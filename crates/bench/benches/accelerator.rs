@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the accelerator-level models: full-design
+//! evaluation, iteration reporting and the Fig. 17 design comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zfgan_accel::{AccelConfig, Design, GanAccelerator, SyncPolicy};
+use zfgan_dataflow::ArchKind;
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+fn bench_iteration_report(c: &mut Criterion) {
+    let accel = GanAccelerator::new(AccelConfig::vcu118(), GanSpec::cgan());
+    c.bench_function("accel_iteration_report_cgan", |b| {
+        b.iter(|| accel.iteration_report(64))
+    });
+}
+
+fn bench_design_evaluation(c: &mut Criterion) {
+    let spec = GanSpec::cgan();
+    let combo = Design::Combo {
+        st: ArchKind::Zfost,
+        w: ArchKind::Zfwst,
+    };
+    c.bench_function("design_eval_zfost_zfwst_deferred", |b| {
+        b.iter(|| combo.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Deferred, 1680))
+    });
+}
+
+fn bench_memory_analysis(c: &mut Criterion) {
+    let spec = GanSpec::dcgan();
+    c.bench_function("memory_analysis_dcgan_256", |b| {
+        b.iter(|| zfgan_accel::MemoryAnalysis::analyse(&spec, 256, 2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_iteration_report,
+    bench_design_evaluation,
+    bench_memory_analysis
+);
+criterion_main!(benches);

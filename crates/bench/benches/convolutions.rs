@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the golden-reference convolutions — the
+//! numerical substrate every functional validation rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan_tensor::{
+    s_conv, t_conv, t_conv_via_zero_insert, w_conv_for_s_layer, w_conv_for_t_layer, ConvGeom,
+    Fmaps, Fx, Kernels,
+};
+
+fn operands() -> (ConvGeom, Fmaps<f32>, Fmaps<f32>, Kernels<f32>) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let geom = ConvGeom::down(32, 32, 4, 4, 2, 16, 16).expect("static geometry");
+    let big = Fmaps::random(16, 32, 32, 1.0, &mut rng);
+    let small = Fmaps::random(32, 16, 16, 1.0, &mut rng);
+    let k = Kernels::random(32, 16, 4, 4, 0.25, &mut rng);
+    (geom, big, small, k)
+}
+
+fn bench_reference_convs(c: &mut Criterion) {
+    let (geom, big, small, k) = operands();
+    let mut group = c.benchmark_group("reference_conv");
+    group.bench_function("s_conv_16to32maps_32px", |b| {
+        b.iter(|| s_conv(&big, &k, &geom).expect("valid operands"))
+    });
+    group.bench_function("t_conv_32to16maps_16px", |b| {
+        b.iter(|| t_conv(&small, &k, &geom).expect("valid operands"))
+    });
+    group.bench_function("t_conv_via_zero_insert", |b| {
+        b.iter(|| t_conv_via_zero_insert(&small, &k, &geom).expect("valid operands"))
+    });
+    group.bench_function("w_conv_for_s_layer", |b| {
+        b.iter(|| w_conv_for_s_layer(&big, &small, &geom).expect("valid operands"))
+    });
+    group.bench_function("w_conv_for_t_layer", |b| {
+        b.iter(|| w_conv_for_t_layer(&small, &big, &geom).expect("valid operands"))
+    });
+    group.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let (geom, big, _, k) = operands();
+    let bigq = big.map(Fx::from_f32);
+    let kq = k.map(Fx::from_f32);
+    let mut group = c.benchmark_group("fixed_point");
+    group.bench_function("s_conv_q8_8", |b| {
+        b.iter(|| s_conv(&bigq, &kq, &geom).expect("valid operands"))
+    });
+    group.bench_function("quantise_feature_maps", |b| {
+        b.iter_batched(
+            || big.clone(),
+            |m| m.map(Fx::from_f32),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_convs, bench_fixed_point);
+criterion_main!(benches);

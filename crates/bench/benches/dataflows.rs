@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the dataflow schedulers (closed-form cycle
+//! models over whole networks) and the functional PE-array executors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan_dataflow::exec::{zfost_s_conv, zfost_t_conv, zfwst_wgrad_s};
+use zfgan_dataflow::{ArchKind, Dataflow, UnrollChoice, Zfost, Zfwst};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::{ConvGeom, Fmaps, Kernels};
+use zfgan_workloads::GanSpec;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = GanSpec::cgan();
+    let phases: Vec<ConvShape> = spec.iteration_phases();
+    let mut group = c.benchmark_group("schedule");
+    for (name, df) in [
+        (
+            "zfost_4x4x75",
+            Box::new(Zfost::new(4, 4, 75)) as Box<dyn Dataflow>,
+        ),
+        (
+            "zfwst_4x4x30",
+            Box::new(Zfwst::new(4, 4, 30)) as Box<dyn Dataflow>,
+        ),
+    ] {
+        group.bench_function(format!("cgan_iteration_{name}"), |b| {
+            b.iter(|| df.schedule_all(&phases))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unroll_search(c: &mut Criterion) {
+    let phases = GanSpec::cgan().phase_set(ConvKind::T);
+    c.bench_function("unroll_search_zfost_t_1200", |b| {
+        b.iter(|| UnrollChoice::search(ArchKind::Zfost, 1200, &phases))
+    });
+}
+
+fn bench_functional_executors(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let geom = ConvGeom::down(16, 16, 4, 4, 2, 8, 8).expect("static geometry");
+    let s_phase = ConvShape::new(ConvKind::S, geom, 8, 4, 16, 16);
+    let t_phase = s_phase.with_kind(ConvKind::T);
+    let w_phase = s_phase.with_kind(ConvKind::WGradS);
+    let big: Fmaps<f32> = Fmaps::random(4, 16, 16, 1.0, &mut rng);
+    let small: Fmaps<f32> = Fmaps::random(8, 8, 8, 1.0, &mut rng);
+    let k: Kernels<f32> = Kernels::random(8, 4, 4, 4, 0.25, &mut rng);
+    let zfost = Zfost::new(4, 4, 4);
+    let zfwst = Zfwst::new(4, 4, 4);
+    let mut group = c.benchmark_group("functional_exec");
+    group.bench_function("zfost_s_conv", |b| {
+        b.iter(|| zfost_s_conv(&zfost, &s_phase, &big, &k).expect("valid operands"))
+    });
+    group.bench_function("zfost_t_conv", |b| {
+        b.iter(|| zfost_t_conv(&zfost, &t_phase, &small, &k).expect("valid operands"))
+    });
+    group.bench_function("zfwst_wgrad_s", |b| {
+        b.iter(|| zfwst_wgrad_s(&zfwst, &w_phase, &big, &small).expect("valid operands"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_unroll_search,
+    bench_functional_executors
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the training loops: synchronized vs deferred
+//! Discriminator/Generator updates on a small trainable GAN.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan_nn::{GanPair, GanTrainer, SyncMode, TrainerConfig};
+
+fn trainer(mode: SyncMode) -> GanTrainer {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let pair = GanPair::tiny(&mut rng);
+    GanTrainer::new(
+        pair,
+        TrainerConfig {
+            mode,
+            ..TrainerConfig::default()
+        },
+    )
+}
+
+fn bench_discriminator_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dis_step_batch8");
+    for (name, mode) in [
+        ("synchronized", SyncMode::Synchronized),
+        ("deferred", SyncMode::Deferred),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    let t = trainer(mode);
+                    let reals = t.gan().sample_real_batch(8, &mut rng);
+                    (t, reals, rng)
+                },
+                |(mut t, reals, mut rng)| t.step_discriminator(&reals, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_gradients(c: &mut Criterion) {
+    use rand::Rng;
+    use zfgan_nn::parallel::parallel_dis_grads_with;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let pair = zfgan_nn::GanPair::tiny(&mut rng);
+    let reals = pair.sample_real_batch(16, &mut rng);
+    let fakes = pair.sample_real_batch(16, &mut rng);
+    let _: f32 = rng.gen(); // keep the rng exercised for clarity
+    let mut group = c.benchmark_group("parallel_dis_grads_batch16");
+    for threads in [1usize, 4] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| parallel_dis_grads_with(pair.discriminator(), &reals, &fakes, threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator_step(c: &mut Criterion) {
+    c.bench_function("gen_step_batch8_deferred", |b| {
+        b.iter_batched(
+            || (trainer(SyncMode::Deferred), SmallRng::seed_from_u64(2)),
+            |(mut t, mut rng)| t.step_generator(8, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_discriminator_step,
+    bench_generator_step,
+    bench_parallel_gradients
+);
+criterion_main!(benches);

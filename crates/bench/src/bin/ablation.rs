@@ -1,0 +1,226 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! 1. **ZFOST kernel-feed reorder** (paper Fig. 12a) — what the parity
+//!    reordering buys on `S-CONV` (input reuse) and `T-CONV` (4× cycles).
+//! 2. **W-ARCH speed ratio** (paper Eq. 8) — sweep the ST:W split away from
+//!    2.5:1 and watch one array starve the other.
+//! 3. **Deferral safety** — the WGAN losses admit per-sample backward
+//!    passes; a batch-coupled loss (log-sum-exp) provably does not.
+
+use serde::Serialize;
+use zfgan_accel::gantt::BatchSchedule;
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dataflow::{Dataflow, Zfost, Zfwst};
+use zfgan_nn::wgan;
+use zfgan_sim::ConvKind;
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+#[derive(Serialize)]
+struct ReorderRow {
+    phase: &'static str,
+    variant: &'static str,
+    cycles: u64,
+    input_reads: u64,
+}
+
+fn reorder_ablation() -> Vec<ReorderRow> {
+    let spec = GanSpec::dcgan();
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("S-CONV (D̄ fwd)", ConvKind::S),
+        ("T-CONV (Ḡ fwd)", ConvKind::T),
+    ] {
+        let phases = spec.phase_set(kind);
+        for (variant, zf) in [
+            ("with reorder", Zfost::new(4, 4, 75)),
+            ("without reorder", Zfost::without_reorder(4, 4, 75)),
+        ] {
+            let s = zf.schedule_all(&phases);
+            rows.push(ReorderRow {
+                phase: label,
+                variant,
+                cycles: s.cycles,
+                input_reads: s.access.input_reads,
+            });
+        }
+    }
+    rows
+}
+
+#[derive(Serialize)]
+struct RatioRow {
+    st_pof: usize,
+    w_pof: usize,
+    ratio: f64,
+    makespan: u64,
+    st_util: f64,
+    w_util: f64,
+}
+
+fn ratio_sweep() -> Vec<RatioRow> {
+    // Fixed 1680-PE budget, varying the split; Eq. 8 says 2.5:1 is the
+    // sweet spot for Discriminator updates.
+    let spec = GanSpec::cgan();
+    let mut rows = Vec::new();
+    for (st_pof, w_pof) in [(95usize, 10usize), (85, 20), (75, 30), (65, 40), (55, 50)] {
+        let st = Zfost::new(4, 4, st_pof);
+        let w = Zfwst::new(4, 4, w_pof);
+        let st_cycles = st.schedule_all(&spec.st_phases(PhaseSeq::DisUpdate)).cycles;
+        let w_cycles = w.schedule_all(&spec.w_phases(PhaseSeq::DisUpdate)).cycles;
+        let sched = BatchSchedule::deferred(st_cycles, w_cycles, 32);
+        let (st_util, w_util) = sched.utilizations();
+        rows.push(RatioRow {
+            st_pof,
+            w_pof,
+            ratio: st_pof as f64 / w_pof as f64,
+            makespan: sched.makespan,
+            st_util,
+            w_util,
+        });
+    }
+    rows
+}
+
+fn main() {
+    // 1. Kernel-feed reorder.
+    let rows = reorder_ablation();
+    let mut table = TextTable::new(["Phase", "Variant", "Cycles (DCGAN)", "Input loads"]);
+    for r in &rows {
+        table.row([
+            r.phase.to_string(),
+            r.variant.to_string(),
+            r.cycles.to_string(),
+            r.input_reads.to_string(),
+        ]);
+    }
+    emit(
+        "ablation_reorder",
+        "Ablation 1: ZFOST kernel-feed reorder (Fig. 12a)",
+        &table,
+        &rows,
+    );
+    let t_with = rows
+        .iter()
+        .find(|r| r.phase.starts_with("T-CONV") && r.variant == "with reorder")
+        .expect("present");
+    let t_without = rows
+        .iter()
+        .find(|r| r.phase.starts_with("T-CONV") && r.variant == "without reorder")
+        .expect("present");
+    println!(
+        "The reorder buys {} on T-CONV cycles.\n",
+        fmt_x(t_without.cycles as f64 / t_with.cycles as f64)
+    );
+
+    // 2. ST:W split sweep.
+    let rows = ratio_sweep();
+    let mut table = TextTable::new([
+        "ST_Pof",
+        "W_Pof",
+        "ST:W",
+        "Makespan (32 samples)",
+        "ST util",
+        "W util",
+    ]);
+    for r in &rows {
+        table.row([
+            r.st_pof.to_string(),
+            r.w_pof.to_string(),
+            format!("{:.2}", r.ratio),
+            r.makespan.to_string(),
+            format!("{:.0}%", 100.0 * r.st_util),
+            format!("{:.0}%", 100.0 * r.w_util),
+        ]);
+    }
+    emit(
+        "ablation_ratio",
+        "Ablation 2: ST:W budget split around Eq. 8's 2.5:1",
+        &table,
+        &rows,
+    );
+    let best = rows.iter().min_by_key(|r| r.makespan).expect("non-empty");
+    println!(
+        "Best split: ST_Pof={} / W_Pof={} (ratio {:.2}; Eq. 8 prescribes 2.5)\n",
+        best.st_pof, best.w_pof, best.ratio
+    );
+
+    // 3. Deferral safety.
+    let probe = [0.7, -0.4, 1.3, 0.1];
+    let wgan_safe = wgan::is_deferral_safe(
+        |scores| vec![-1.0 / scores.len() as f64; scores.len()],
+        &probe,
+    );
+    let lse_safe = wgan::is_deferral_safe(|s| wgan::lse_output_errors(s), &probe);
+    println!("== Ablation 3: which losses admit deferred synchronization ==");
+    println!("WGAN linear average : deferral-safe = {wgan_safe}");
+    println!("log-sum-exp (coupled): deferral-safe = {lse_safe}");
+    println!("(Paper Eq. 6 relies exactly on the linear-average structure.)");
+
+    // Grid ablation (Section V-A): the paper picks a 4×4 PE grid because
+    // DCGAN's minimum output feature map is 4×4. Re-split the same budget
+    // across grid shapes and compare full-iteration cycles.
+    {
+        use zfgan_accel::{AccelConfig, GanAccelerator};
+        println!("== Ablation: PE-grid edge at a fixed ~1680-PE budget (DCGAN) ==");
+        println!("grid   total PEs   cyc/sample");
+        let base = AccelConfig::vcu118();
+        let mut best: Option<(usize, u64)> = None;
+        for grid in [2usize, 3, 4, 5, 6, 8] {
+            let cfg = base.with_grid(grid);
+            let accel = GanAccelerator::new(cfg, GanSpec::dcgan());
+            let cyc = accel.iteration_cycles_per_sample();
+            println!("{grid:>4}   {:>9}   {cyc:>10}", cfg.total_pes());
+            if best.map(|(_, c)| cyc < c).unwrap_or(true) {
+                best = Some((grid, cyc));
+            }
+        }
+        let (g, _) = best.expect("swept");
+        println!(
+            "best grid: {g} (paper picks 4 = DCGAN's minimum output map)
+"
+        );
+    }
+
+    // RTL-level evidence for the reorder: run the register-lattice model
+    // of Fig. 11 in both feed orders and report the *observed* buffer
+    // loads (not the analytical model's assumption).
+    {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use zfgan_dataflow::rtl::reorder_load_comparison;
+        use zfgan_sim::ConvShape;
+        use zfgan_tensor::{ConvGeom, Fmaps, Kernels};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let geom = ConvGeom::down(32, 32, 4, 4, 2, 16, 16).expect("static geometry");
+        let phase = ConvShape::new(ConvKind::S, geom, 16, 3, 32, 32);
+        let x: Fmaps<f32> = Fmaps::random(3, 32, 32, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(16, 3, 4, 4, 0.25, &mut rng);
+        let zf = Zfost::new(4, 4, 8);
+        let (reordered, raster) =
+            reorder_load_comparison(&zf, &phase, &x, &k).expect("operands match phase");
+        println!("== RTL register-lattice measurement (S-CONV, 16×16 out, 3→16 maps) ==");
+        println!("input-buffer loads with parity reorder : {reordered}");
+        println!(
+            "input-buffer loads with raster feed    : {raster}  ({:.1}x more)",
+            raster as f64 / reordered as f64
+        );
+        println!(
+            "(observed on the Fig. 11 register model, not assumed)
+"
+        );
+    }
+
+    // Bonus: the batch pipeline as ASCII Gantt art, Fig. 10 made visible.
+    let spec = GanSpec::cgan();
+    let st = Zfost::new(4, 4, 75);
+    let w = Zfwst::new(4, 4, 30);
+    let st_c = st.schedule_all(&spec.st_phases(PhaseSeq::DisUpdate)).cycles;
+    let w_c = w.schedule_all(&spec.w_phases(PhaseSeq::DisUpdate)).cycles;
+    println!("\n== Deferred pipeline, 6 samples (digits = sample index) ==");
+    println!("{}", BatchSchedule::deferred(st_c, w_c, 6).render_ascii(72));
+    println!("\n== Synchronized, same work ==");
+    println!(
+        "{}",
+        BatchSchedule::synchronized(st_c, w_c, 6).render_ascii(72)
+    );
+}

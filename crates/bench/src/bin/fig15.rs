@@ -1,0 +1,92 @@
+//! Fig. 15 — throughput of the five architectures on the four computing
+//! phases (`D̄/Ḡ`, `Ḡ/D̄`, `D̄w`, `Ḡw`), normalized to improved NLR,
+//! at equal PE budgets (ST phases: 1200 PEs, W phases: 480 PEs).
+
+use serde::Serialize;
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    phase: &'static str,
+    arch: &'static str,
+    cycles: u64,
+    speedup_vs_nlr: f64,
+    utilization: f64,
+}
+
+fn main() {
+    let groups: [(&'static str, ConvKind, usize); 4] = [
+        ("D (S-CONV)", ConvKind::S, 1200),
+        ("G (T-CONV)", ConvKind::T, 1200),
+        ("Dw (W-CONV)", ConvKind::WGradS, 480),
+        ("Gw (W-CONV)", ConvKind::WGradT, 480),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        for (label, kind, budget) in groups {
+            let phases: Vec<ConvShape> = spec.phase_set(kind);
+            let nlr_cycles = {
+                let tuned = PhaseTuned::tune(ArchKind::Nlr, budget, &phases);
+                tuned.schedule_all(&phases).cycles
+            };
+            for arch in ArchKind::ALL {
+                let tuned = PhaseTuned::tune(arch, budget, &phases);
+                let stats = tuned.schedule_all(&phases);
+                rows.push(Row {
+                    gan: spec.name().to_string(),
+                    phase: label,
+                    arch: arch.name(),
+                    cycles: stats.cycles,
+                    speedup_vs_nlr: nlr_cycles as f64 / stats.cycles as f64,
+                    utilization: stats.utilization(),
+                });
+            }
+        }
+    }
+    let mut table = TextTable::new([
+        "GAN",
+        "Phase",
+        "Arch",
+        "Cycles",
+        "Speedup vs NLR",
+        "PE util",
+    ]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.phase.to_string(),
+            r.arch.to_string(),
+            r.cycles.to_string(),
+            fmt_x(r.speedup_vs_nlr),
+            format!("{:.2}", r.utilization),
+        ]);
+    }
+    emit(
+        "fig15",
+        "Fig. 15: performance comparison on the four computing phases",
+        &table,
+        &rows,
+    );
+
+    // Geometric-mean summary across GANs, like the paper's bars.
+    let mut summary = TextTable::new(["Phase", "NLR", "WST", "OST", "ZFOST", "ZFWST"]);
+    for (label, _, _) in groups {
+        let mut cells = vec![label.to_string()];
+        for arch in ArchKind::ALL {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.phase == label && r.arch == arch.name())
+                .map(|r| r.speedup_vs_nlr)
+                .collect();
+            let gm = (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
+            cells.push(fmt_x(gm));
+        }
+        summary.row(cells);
+    }
+    println!("== Fig. 15 summary (geomean speedup over NLR across GANs) ==");
+    println!("{}", summary.render());
+}

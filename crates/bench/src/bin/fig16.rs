@@ -1,0 +1,69 @@
+//! Fig. 16 — on-chip data-access breakdown for DCGAN: kernel-weight loads,
+//! input-neuron loads and output reads/writes per architecture and phase
+//! group (same tuned configurations as Fig. 15).
+
+use serde::Serialize;
+use zfgan_bench::{emit, TextTable};
+use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
+use zfgan_sim::ConvKind;
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    phase: &'static str,
+    arch: &'static str,
+    weight_reads: u64,
+    input_reads: u64,
+    output_rw: u64,
+    total: u64,
+}
+
+fn main() {
+    let spec = GanSpec::dcgan();
+    let groups: [(&'static str, ConvKind, usize); 4] = [
+        ("D (S-CONV)", ConvKind::S, 1200),
+        ("G (T-CONV)", ConvKind::T, 1200),
+        ("Dw (W-CONV)", ConvKind::WGradS, 480),
+        ("Gw (W-CONV)", ConvKind::WGradT, 480),
+    ];
+    let mut rows = Vec::new();
+    for (label, kind, budget) in groups {
+        let phases = spec.phase_set(kind);
+        for arch in ArchKind::ALL {
+            let tuned = PhaseTuned::tune(arch, budget, &phases);
+            let s = tuned.schedule_all(&phases);
+            rows.push(Row {
+                phase: label,
+                arch: arch.name(),
+                weight_reads: s.access.weight_reads,
+                input_reads: s.access.input_reads,
+                output_rw: s.access.output_reads + s.access.output_writes,
+                total: s.access.total(),
+            });
+        }
+    }
+    let mut table = TextTable::new([
+        "Phase",
+        "Arch",
+        "Weight loads",
+        "Input loads",
+        "Output R+W",
+        "Total",
+    ]);
+    for r in &rows {
+        table.row([
+            r.phase.to_string(),
+            r.arch.to_string(),
+            r.weight_reads.to_string(),
+            r.input_reads.to_string(),
+            r.output_rw.to_string(),
+            r.total.to_string(),
+        ]);
+    }
+    emit(
+        "fig16",
+        "Fig. 16: on-chip data accesses breakdown for DCGAN",
+        &table,
+        &rows,
+    );
+}

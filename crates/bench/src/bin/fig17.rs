@@ -1,0 +1,95 @@
+//! Fig. 17 — overall performance of the five designs on Discriminator and
+//! Generator updates, with and without deferred synchronization, at 1680
+//! PEs. Normalized to unique OST under synchronization (the leftmost
+//! traditional bar).
+
+use serde::Serialize;
+use zfgan_accel::{Design, SyncPolicy};
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+const PES: usize = 1680;
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    update: &'static str,
+    design: String,
+    policy: &'static str,
+    cycles: u64,
+    speedup_vs_ost_sync: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        for (update, seq) in [("D", PhaseSeq::DisUpdate), ("G", PhaseSeq::GenUpdate)] {
+            let baseline = Design::paper_designs()[0]
+                .evaluate(&spec, seq, SyncPolicy::Synchronized, PES)
+                .total_cycles;
+            for design in Design::paper_designs() {
+                for (pname, policy) in [
+                    ("sync", SyncPolicy::Synchronized),
+                    ("deferred", SyncPolicy::Deferred),
+                ] {
+                    let r = design.evaluate(&spec, seq, policy, PES);
+                    rows.push(Row {
+                        gan: spec.name().to_string(),
+                        update,
+                        design: design.name(),
+                        policy: pname,
+                        cycles: r.total_cycles,
+                        speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
+                    });
+                }
+            }
+        }
+    }
+    let mut table = TextTable::new([
+        "GAN",
+        "Update",
+        "Design",
+        "Policy",
+        "Cycles",
+        "Speedup vs OST(sync)",
+    ]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.update.to_string(),
+            r.design.clone(),
+            r.policy.to_string(),
+            r.cycles.to_string(),
+            fmt_x(r.speedup_vs_ost_sync),
+        ]);
+    }
+    emit(
+        "fig17",
+        "Fig. 17: overall performance comparison (1680 PEs)",
+        &table,
+        &rows,
+    );
+
+    // Headline: average speedup of deferred ZFOST-ZFWST over the
+    // traditional designs (the paper's "average 4.3X").
+    let winner: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.design == "ZFOST-ZFWST" && r.policy == "deferred")
+        .collect();
+    let mut ratios = Vec::new();
+    for w in &winner {
+        for t in rows.iter().filter(|r| {
+            (r.design == "OST" || r.design == "NLR-OST")
+                && r.policy == "sync"
+                && r.gan == w.gan
+                && r.update == w.update
+        }) {
+            ratios.push(t.cycles as f64 / w.cycles as f64);
+        }
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "Average speedup of deferred ZFOST-ZFWST over traditional designs: {} (paper: 4.3x)",
+        fmt_x(avg)
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 18 — performance variation of the top three designs (NLR-OST,
+//! ZFOST, ZFOST-ZFWST, all with deferred synchronization) as the PE count
+//! sweeps 512 → 2048, on a full DCGAN training iteration.
+
+use serde::Serialize;
+use zfgan_accel::{Design, SyncPolicy};
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dataflow::ArchKind;
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    pes: usize,
+    cycles_per_sample: u64,
+    perf_vs_512_nlr_ost: f64,
+}
+
+fn main() {
+    let spec = GanSpec::dcgan();
+    let designs = [
+        Design::Combo {
+            st: ArchKind::Nlr,
+            w: ArchKind::Ost,
+        },
+        Design::Unique(ArchKind::Zfost),
+        Design::Combo {
+            st: ArchKind::Zfost,
+            w: ArchKind::Zfwst,
+        },
+    ];
+    let sweep = [512usize, 1024, 1680, 2048];
+    let baseline = designs[0].iteration_cycles(&spec, SyncPolicy::Deferred, sweep[0]) as f64;
+    let mut rows = Vec::new();
+    for design in designs {
+        for pes in sweep {
+            let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
+            rows.push(Row {
+                design: design.name(),
+                pes,
+                cycles_per_sample: cycles,
+                perf_vs_512_nlr_ost: baseline / cycles as f64,
+            });
+        }
+    }
+    let mut table = TextTable::new(["Design", "PEs", "Cycles/sample", "Perf vs NLR-OST@512"]);
+    for r in &rows {
+        table.row([
+            r.design.clone(),
+            r.pes.to_string(),
+            r.cycles_per_sample.to_string(),
+            fmt_x(r.perf_vs_512_nlr_ost),
+        ]);
+    }
+    emit(
+        "fig18",
+        "Fig. 18: performance variation with various PE counts (DCGAN)",
+        &table,
+        &rows,
+    );
+
+    // The paper's observation: ZFOST-ZFWST at 512 PEs ≈ the others at 1024.
+    let zf512 = rows
+        .iter()
+        .find(|r| r.design == "ZFOST-ZFWST" && r.pes == 512)
+        .expect("present");
+    for other in ["NLR-OST", "ZFOST"] {
+        let o1024 = rows
+            .iter()
+            .find(|r| r.design == other && r.pes == 1024)
+            .expect("present");
+        println!(
+            "ZFOST-ZFWST@512 vs {other}@1024: {}",
+            fmt_x(o1024.cycles_per_sample as f64 / zf512.cycles_per_sample as f64)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 19 — throughput (GOPS) and energy efficiency (GOPS/W) of the
+//! accelerator against CPU and GPU platforms on full GAN training
+//! iterations, plus a measured single-thread Rust CPU data point.
+
+use serde::Serialize;
+use zfgan_accel::{AccelConfig, GanAccelerator};
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_platforms::{measured, Platform};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    platform: String,
+    gops: f64,
+    watts: f64,
+    gops_per_watt: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        let phases = spec.iteration_phases();
+        // Our accelerator.
+        let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
+        let r = accel.iteration_report(64);
+        rows.push(Row {
+            gan: spec.name().to_string(),
+            platform: "FPGA (ours)".to_string(),
+            gops: r.gops,
+            watts: r.watts,
+            gops_per_watt: r.gops_per_watt,
+        });
+        // Analytical platforms.
+        for p in Platform::all_paper_platforms() {
+            let pr = p.run(&phases);
+            rows.push(Row {
+                gan: spec.name().to_string(),
+                platform: p.name().to_string(),
+                gops: pr.gops,
+                watts: p.power_watts(),
+                gops_per_watt: pr.gops_per_watt,
+            });
+        }
+    }
+    // Measured single-thread Rust CPU point on the smallest workload
+    // (reference loop nests, release build).
+    let mnist = GanSpec::mnist_gan();
+    let m = measured::measure_phases(&mnist.iteration_phases());
+    rows.push(Row {
+        gan: mnist.name().to_string(),
+        platform: "CPU (measured Rust, 1 thread)".to_string(),
+        gops: m.gops,
+        watts: 140.0,
+        gops_per_watt: m.gops / 140.0,
+    });
+
+    let mut table = TextTable::new(["GAN", "Platform", "GOPS", "Watts", "GOPS/W"]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.platform.clone(),
+            format!("{:.1}", r.gops),
+            format!("{:.1}", r.watts),
+            format!("{:.2}", r.gops_per_watt),
+        ]);
+    }
+    emit(
+        "fig19",
+        "Fig. 19: comparison with CPU and GPU",
+        &table,
+        &rows,
+    );
+
+    // Headline ratios (paper: 8.3x speedup over CPU, 5.2x / 7.1x energy
+    // efficiency over Titan X / K20).
+    let avg = |f: &dyn Fn(&Row) -> bool, g: &dyn Fn(&Row) -> f64| -> f64 {
+        let v: Vec<f64> = rows.iter().filter(|r| f(r)).map(g).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let fpga_gops = avg(&|r| r.platform == "FPGA (ours)", &|r| r.gops);
+    let cpu_gops = avg(&|r| r.platform.starts_with("CPU (i7"), &|r| r.gops);
+    let fpga_eff = avg(&|r| r.platform == "FPGA (ours)", &|r| r.gops_per_watt);
+    let k20_eff = avg(&|r| r.platform.contains("K20"), &|r| r.gops_per_watt);
+    let titan_eff = avg(&|r| r.platform.contains("Titan"), &|r| r.gops_per_watt);
+    println!(
+        "Speedup over CPU:                {} (paper: 8.3x)",
+        fmt_x(fpga_gops / cpu_gops)
+    );
+    println!(
+        "Energy efficiency over K20:      {} (paper: 7.1x)",
+        fmt_x(fpga_eff / k20_eff)
+    );
+    println!(
+        "Energy efficiency over Titan X:  {} (paper: 5.2x)",
+        fmt_x(fpga_eff / titan_eff)
+    );
+}

@@ -1,0 +1,60 @@
+//! Table III — FPGA resource utilization of the accelerator.
+
+use serde::Serialize;
+use zfgan_accel::{AccelConfig, ResourceModel};
+use zfgan_bench::{emit, TextTable};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    resource: &'static str,
+    modelled: u64,
+    paper: u64,
+    device_total: u64,
+}
+
+fn main() {
+    let cfg = AccelConfig::vcu118();
+    let model = ResourceModel::estimate(&cfg, &GanSpec::dcgan());
+    let rows = vec![
+        Row {
+            resource: "Logic (LUTs)",
+            modelled: model.luts,
+            paper: 254_523,
+            device_total: 1_182_240,
+        },
+        Row {
+            resource: "Flip-Flops",
+            modelled: model.flip_flops,
+            paper: 79_668,
+            device_total: 2_364_480,
+        },
+        Row {
+            resource: "Block RAM",
+            modelled: model.bram_blocks,
+            paper: 2_008,
+            device_total: 2_160,
+        },
+        Row {
+            resource: "DSP",
+            modelled: model.dsps,
+            paper: 1_694,
+            device_total: 6_840,
+        },
+    ];
+    let mut table = TextTable::new(["Resource type", "Modelled", "Paper", "Total on board"]);
+    for r in &rows {
+        table.row([
+            r.resource.to_string(),
+            r.modelled.to_string(),
+            r.paper.to_string(),
+            r.device_total.to_string(),
+        ]);
+    }
+    emit(
+        "table3",
+        "Table III: resource utilization (XCVU9P, 1680 PEs)",
+        &table,
+        &rows,
+    );
+}

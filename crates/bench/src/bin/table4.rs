@@ -1,0 +1,45 @@
+//! Table IV — parameters of the evaluated GANs (Discriminator ladders).
+
+use serde::Serialize;
+use zfgan_bench::{emit, TextTable};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    input: String,
+    kernel: String,
+    stride: String,
+    output: String,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        for l in spec.layers() {
+            rows.push(Row {
+                gan: spec.name().to_string(),
+                input: format!("{}x{}x{}", l.large_c, l.large_hw, l.large_hw),
+                kernel: format!("{}x{}", l.kernel, l.kernel),
+                stride: format!("{}x{}", l.stride, l.stride),
+                output: format!("{}x{}x{}", l.small_c, l.small_hw(), l.small_hw()),
+            });
+        }
+    }
+    let mut table = TextTable::new(["GAN", "Input", "Kernel", "Stride", "Output"]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.input.clone(),
+            r.kernel.clone(),
+            r.stride.clone(),
+            r.output.clone(),
+        ]);
+    }
+    emit(
+        "table4",
+        "Table IV: parameters of the evaluated GANs",
+        &table,
+        &rows,
+    );
+}

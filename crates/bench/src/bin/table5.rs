@@ -1,0 +1,81 @@
+//! Table V — per-architecture, per-phase unrolling strategies found by the
+//! search of `zfgan_dataflow::unroll` under the paper's PE budgets
+//! (ST-ARCH: 1200 PEs, W-ARCH: 480 PEs).
+
+use serde::Serialize;
+use zfgan_bench::{emit, TextTable};
+use zfgan_dataflow::{ArchKind, UnrollChoice};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    arch: String,
+    phase: String,
+    budget: usize,
+    choice: String,
+    pes_used: usize,
+}
+
+fn phases(kind: ConvKind) -> Vec<ConvShape> {
+    GanSpec::all_paper_gans()
+        .iter()
+        .flat_map(|g| g.phase_set(kind))
+        .collect()
+}
+
+fn describe(c: &UnrollChoice) -> String {
+    match c.arch {
+        ArchKind::Nlr => format!("Pif={}, Pof={}", c.p_y, c.p_of),
+        ArchKind::Wst | ArchKind::Zfwst => {
+            format!("Pky={}, Pkx={}, Pof={}", c.p_y, c.p_x, c.p_of)
+        }
+        ArchKind::Ost | ArchKind::Zfost => {
+            format!("Poy={}, Pox={}, Pof={}", c.p_y, c.p_x, c.p_of)
+        }
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let groups: [(&str, ConvKind, usize); 4] = [
+        ("ST: S-CONV (D̄ fwd / Ḡ bwd)", ConvKind::S, 1200),
+        ("ST: T-CONV (Ḡ fwd / D̄ bwd)", ConvKind::T, 1200),
+        ("W: D̄w", ConvKind::WGradS, 480),
+        ("W: Ḡw", ConvKind::WGradT, 480),
+    ];
+    for arch in ArchKind::ALL {
+        for (label, kind, budget) in groups {
+            let choice = UnrollChoice::search(arch, budget, &phases(kind));
+            rows.push(Row {
+                arch: arch.name().to_string(),
+                phase: label.to_string(),
+                budget,
+                choice: describe(&choice),
+                pes_used: choice.n_pes(),
+            });
+        }
+    }
+    let mut table = TextTable::new([
+        "Arch",
+        "Phase group",
+        "Budget",
+        "Chosen unrolling",
+        "PEs used",
+    ]);
+    for r in &rows {
+        table.row([
+            r.arch.clone(),
+            r.phase.clone(),
+            r.budget.to_string(),
+            r.choice.clone(),
+            r.pes_used.to_string(),
+        ]);
+    }
+    emit(
+        "table5",
+        "Table V: unrolling strategies (searched per phase group)",
+        &table,
+        &rows,
+    );
+}

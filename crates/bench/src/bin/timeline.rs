@@ -1,0 +1,116 @@
+//! Figs. 9–10 — pipeline bubbles of the naive three-architecture design vs
+//! the time-multiplexed ST-ARCH + W-ARCH organisation, in both the paper's
+//! unit-slot idealization and with real ZFOST/ZFWST phase durations.
+
+use serde::Serialize;
+use zfgan_accel::timeline::{naive_pipeline, time_multiplexed_pipeline, PipelineReport};
+use zfgan_accel::AccelConfig;
+use zfgan_bench::{emit, TextTable};
+use zfgan_dataflow::{Dataflow, Zfost, Zfwst};
+use zfgan_sim::ConvKind;
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    update: &'static str,
+    organisation: &'static str,
+    lane: String,
+    utilization: f64,
+    bubble_fraction: f64,
+}
+
+fn push_rows(
+    rows: &mut Vec<Row>,
+    gan: &str,
+    update: &'static str,
+    org: &'static str,
+    r: &PipelineReport,
+) {
+    for lane in &r.lanes {
+        rows.push(Row {
+            gan: gan.to_string(),
+            update,
+            organisation: org,
+            lane: lane.name.clone(),
+            utilization: lane.utilization,
+            bubble_fraction: r.bubble_fraction(),
+        });
+    }
+}
+
+fn main() {
+    let cfg = AccelConfig::vcu118();
+    let st = Zfost::new(cfg.grid(), cfg.grid(), cfg.st_pof());
+    let w = Zfwst::new(cfg.grid(), cfg.grid(), cfg.w_pof());
+    let mut rows = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        for (update, seq) in [("D", PhaseSeq::DisUpdate), ("G", PhaseSeq::GenUpdate)] {
+            // Paper idealization: equal phase durations.
+            let naive = naive_pipeline(&spec, seq, |_| 1);
+            push_rows(&mut rows, spec.name(), update, "naive (unit slots)", &naive);
+            let tm = time_multiplexed_pipeline(&spec, seq, |_| 1, AccelConfig::ST_TO_W_RATIO);
+            push_rows(
+                &mut rows,
+                spec.name(),
+                update,
+                "time-multiplexed (unit)",
+                &tm,
+            );
+            // Real durations from the tuned arrays.
+            let real = |p: &zfgan_sim::ConvShape| -> u64 {
+                if p.kind().is_weight_grad() {
+                    w.schedule(p).cycles
+                } else {
+                    st.schedule(p).cycles
+                }
+            };
+            let _ = ConvKind::S;
+            let tm_real = time_multiplexed_pipeline(&spec, seq, real, 1.0);
+            push_rows(
+                &mut rows,
+                spec.name(),
+                update,
+                "time-multiplexed (real)",
+                &tm_real,
+            );
+        }
+    }
+    let mut table = TextTable::new([
+        "GAN",
+        "Update",
+        "Organisation",
+        "Lane",
+        "Utilization",
+        "Bubbles",
+    ]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.update.to_string(),
+            r.organisation.to_string(),
+            r.lane.clone(),
+            format!("{:.1}%", 100.0 * r.utilization),
+            format!("{:.1}%", 100.0 * r.bubble_fraction),
+        ]);
+    }
+    emit(
+        "timeline",
+        "Figs. 9-10: pipeline occupancy, naive vs time-multiplexed",
+        &table,
+        &rows,
+    );
+
+    // The fine-grained Fig. 10 picture: one cGAN sample's D-update with
+    // real per-layer durations on both arrays.
+    use zfgan_accel::timeline::{labeled_update_timeline, render_segments};
+    let spec = GanSpec::cgan();
+    let segs = labeled_update_timeline(
+        &spec,
+        PhaseSeq::DisUpdate,
+        |p| st.schedule(p).cycles,
+        |p| w.schedule(p).cycles,
+    );
+    println!("== One cGAN sample's D-update, labeled (cycles) ==");
+    println!("{}", render_segments(&segs));
+}

@@ -1,0 +1,72 @@
+//! Section III-C — ineffectual (zero-operand) multiplication fractions per
+//! phase family ("about 64% and 75% of total multiplications in Ḡ/Ḡw and
+//! D̄w") and the WST utilization formula (Eq. 5).
+
+use serde::Serialize;
+use zfgan_bench::{emit, TextTable};
+use zfgan_sim::ConvKind;
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    gan: String,
+    phase: &'static str,
+    naive_muls: u64,
+    effectual: u64,
+    ineffectual_pct: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in GanSpec::all_paper_gans() {
+        for (label, kind) in [
+            ("G fwd / D bwd (T-CONV)", ConvKind::T),
+            ("Dw (W-CONV, zero-ins. kernel)", ConvKind::WGradS),
+            ("Gw (W-CONV, zero-ins. input)", ConvKind::WGradT),
+        ] {
+            let (mut naive, mut eff) = (0u64, 0u64);
+            for p in spec.phase_set(kind) {
+                naive += p.naive_muls();
+                eff += p.effectual_macs();
+            }
+            rows.push(Row {
+                gan: spec.name().to_string(),
+                phase: label,
+                naive_muls: naive,
+                effectual: eff,
+                ineffectual_pct: 100.0 * (1.0 - eff as f64 / naive as f64),
+            });
+        }
+    }
+    let mut table = TextTable::new(["GAN", "Phase", "Naive muls", "Effectual", "Ineffectual %"]);
+    for r in &rows {
+        table.row([
+            r.gan.clone(),
+            r.phase.to_string(),
+            r.naive_muls.to_string(),
+            r.effectual.to_string(),
+            format!("{:.1}%", r.ineffectual_pct),
+        ]);
+    }
+    emit(
+        "zeros",
+        "Section III-C: ineffectual multiplications from zero-inserting",
+        &table,
+        &rows,
+    );
+
+    // Eq. 5: WST utilization = (Noy·Nox)/(Niy·Nix) per layer.
+    let mut eq5 = TextTable::new(["GAN", "Layer", "Eq. 5 WST utilization bound"]);
+    for spec in GanSpec::all_paper_gans() {
+        for (i, l) in spec.layers().iter().enumerate() {
+            let bound = (l.small_hw() * l.small_hw()) as f64 / (l.large_hw * l.large_hw) as f64;
+            eq5.row([
+                spec.name().to_string(),
+                format!("{}", i + 1),
+                format!("{bound:.3}"),
+            ]);
+        }
+    }
+    println!("== Eq. 5: WST utilization bound on S-CONV ==");
+    println!("{}", eq5.render());
+}

@@ -1,0 +1,312 @@
+//! The top-level accelerator model (paper Fig. 14): a ZFOST ST-ARCH and a
+//! ZFWST W-ARCH coupled through on-chip buffers, running deferred-
+//! synchronization GAN training.
+
+use serde::{Deserialize, Serialize};
+use zfgan_dataflow::{Dataflow, Zfost, Zfwst};
+use zfgan_sim::{DramTraffic, EnergyBreakdown, EnergyModel, PhaseStats};
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+use crate::buffers::BufferPlan;
+use crate::config::AccelConfig;
+
+/// Board-level static power of the FPGA platform in watts (clock trees,
+/// DDR4 PHYs, regulators) — added on top of the event-based energy model
+/// when converting to wall power, as a WattsUp meter would see it.
+pub const BOARD_STATIC_WATTS: f64 = 15.0;
+
+/// Performance/energy summary of running GAN training on the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelReport {
+    /// Cycles per training iteration (one sample through both updates).
+    pub cycles_per_sample: u64,
+    /// Seconds per training iteration at the configured clock for the whole
+    /// batch.
+    pub seconds_per_iteration: f64,
+    /// Effectual operations per sample iteration (2 per MAC).
+    pub ops_per_sample: u64,
+    /// Sustained throughput in GOPS — the Fig. 19 left axis.
+    pub gops: f64,
+    /// Event-based energy of one batch iteration.
+    pub energy: EnergyBreakdown,
+    /// Wall power estimate in watts (event energy / time + board static).
+    pub watts: f64,
+    /// Energy efficiency in GOPS/W — the Fig. 19 right axis.
+    pub gops_per_watt: f64,
+}
+
+/// The paper's accelerator: configuration + workload + the two arrays.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_accel::{AccelConfig, GanAccelerator};
+/// use zfgan_workloads::GanSpec;
+///
+/// let accel = GanAccelerator::new(AccelConfig::vcu118(), GanSpec::cgan());
+/// let report = accel.iteration_report(64);
+/// assert!(report.gops > 100.0);
+/// assert!(report.gops_per_watt > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GanAccelerator {
+    config: AccelConfig,
+    spec: GanSpec,
+    st_arch: Zfost,
+    w_arch: Zfwst,
+    energy_model: EnergyModel,
+}
+
+impl GanAccelerator {
+    /// Builds the accelerator for one workload.
+    pub fn new(config: AccelConfig, spec: GanSpec) -> Self {
+        let g = config.grid();
+        Self {
+            st_arch: Zfost::new(g, g, config.st_pof()),
+            w_arch: Zfwst::new(g, g, config.w_pof()),
+            energy_model: EnergyModel::default(),
+            config,
+            spec,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// The workload.
+    pub fn spec(&self) -> &GanSpec {
+        &self.spec
+    }
+
+    /// The ST-ARCH array.
+    pub fn st_arch(&self) -> &Zfost {
+        &self.st_arch
+    }
+
+    /// The W-ARCH array.
+    pub fn w_arch(&self) -> &Zfwst {
+        &self.w_arch
+    }
+
+    /// The buffer plan for this workload.
+    pub fn buffer_plan(&self) -> BufferPlan {
+        BufferPlan::for_spec(&self.spec, &self.config)
+    }
+
+    /// Schedules one update of the given kind on both arrays, returning
+    /// `(st_stats, w_stats)` for a single sample's loop.
+    pub fn update_stats(&self, seq: PhaseSeq) -> (PhaseStats, PhaseStats) {
+        let st = self.st_arch.schedule_all(&self.spec.st_phases(seq));
+        let w = self.w_arch.schedule_all(&self.spec.w_phases(seq));
+        (st, w)
+    }
+
+    /// Cycles per sample for one update under deferred synchronization:
+    /// the two decoupled arrays pipeline, so the slower one governs.
+    pub fn update_cycles(&self, seq: PhaseSeq) -> u64 {
+        let (st, w) = self.update_stats(seq);
+        st.cycles.max(w.cycles)
+    }
+
+    /// Cycles per sample for a full training iteration (both updates),
+    /// compute side only.
+    pub fn compute_cycles_per_sample(&self) -> u64 {
+        self.update_cycles(PhaseSeq::DisUpdate) + self.update_cycles(PhaseSeq::GenUpdate)
+    }
+
+    /// Cycles the DRAM channel needs per sample iteration at full
+    /// bandwidth — the other side of the roofline.
+    pub fn dram_cycles_per_sample(&self) -> u64 {
+        self.config
+            .dram()
+            .cycles_for_bytes(self.iteration_dram_traffic().total_bytes())
+    }
+
+    /// Effective cycles per sample: the slower of compute and DRAM. At the
+    /// paper's design point every workload is compute-bound (Eq. 7 chose
+    /// the unrolling to make it so), but aggressive PE scaling or a
+    /// bandwidth cut can flip it.
+    pub fn iteration_cycles_per_sample(&self) -> u64 {
+        self.compute_cycles_per_sample()
+            .max(self.dram_cycles_per_sample())
+    }
+
+    /// Whether the configuration is limited by off-chip bandwidth rather
+    /// than PEs.
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.dram_cycles_per_sample() > self.compute_cycles_per_sample()
+    }
+
+    /// Cycles for one Generator *inference* (one forward pass of the
+    /// up-sampling ladder on ST-ARCH) — the paper's IoT deployment story
+    /// runs inference continuously and training opportunistically.
+    pub fn generator_inference_cycles(&self) -> u64 {
+        self.st_arch
+            .schedule_all(&self.spec.phase_set(zfgan_sim::ConvKind::T))
+            .cycles
+    }
+
+    /// Cycles for one Discriminator inference (a recognition forward pass).
+    pub fn discriminator_inference_cycles(&self) -> u64 {
+        self.st_arch
+            .schedule_all(&self.spec.phase_set(zfgan_sim::ConvKind::S))
+            .cycles
+    }
+
+    /// Generator inferences per second at the configured clock.
+    pub fn inference_rate_hz(&self) -> f64 {
+        self.config.frequency_mhz() * 1e6 / self.generator_inference_cycles() as f64
+    }
+
+    /// Off-chip traffic of one sample's full iteration: layer weights
+    /// fetched once per pass that uses them, ∇W partials read+written per
+    /// W pass (the Eq. 7 budget), plus the input image.
+    pub fn iteration_dram_traffic(&self) -> DramTraffic {
+        let b = self.config.bytes_per_elem() as u64;
+        let weights_bytes: u64 = self
+            .spec
+            .layers()
+            .iter()
+            .map(|l| (l.large_c * l.small_c * l.kernel * l.kernel) as u64 * b)
+            .sum();
+        // ST passes per iteration: 5 (D update) + 4 (G update); each pass
+        // streams each layer's weights through the Weight buffer once.
+        let st_passes = 9u64;
+        // W passes: 2 + 1; each reads and writes the full ∇W once.
+        let w_passes = 3u64;
+        let (c, h, w) = self.spec.image_shape();
+        let image_bytes = (c * h * w) as u64 * b;
+        DramTraffic {
+            read_bytes: st_passes * weights_bytes + w_passes * weights_bytes + 2 * image_bytes,
+            write_bytes: w_passes * weights_bytes,
+        }
+    }
+
+    /// Runs one batch iteration and summarises throughput and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn iteration_report(&self, batch: usize) -> AccelReport {
+        assert!(batch > 0, "batch must be non-zero");
+        let cycles_per_sample = self.iteration_cycles_per_sample();
+        let ops_per_sample = self.spec.iteration_ops();
+        let seconds = batch as f64 * cycles_per_sample as f64 / (self.config.frequency_mhz() * 1e6);
+        let gops = batch as f64 * ops_per_sample as f64 / seconds / 1e9;
+
+        // Merge both arrays' event counts plus DRAM traffic for energy.
+        let (st_d, w_d) = self.update_stats(PhaseSeq::DisUpdate);
+        let (st_g, w_g) = self.update_stats(PhaseSeq::GenUpdate);
+        let dram = self.iteration_dram_traffic();
+        let mut energy = EnergyBreakdown::default();
+        for s in [st_d, st_g, w_d, w_g] {
+            energy = energy.merged(self.energy_model.phase_energy(&s));
+        }
+        energy = energy.merged(self.energy_model.phase_energy(&PhaseStats {
+            dram,
+            ..Default::default()
+        }));
+        // Scale per-sample energy to the batch.
+        let scale = batch as f64;
+        let energy = EnergyBreakdown {
+            compute_pj: energy.compute_pj * scale,
+            sram_pj: energy.sram_pj * scale,
+            dram_pj: energy.dram_pj * scale,
+            static_pj: energy.static_pj * scale,
+        };
+        let dynamic_watts = energy.total_pj() * 1e-12 / seconds;
+        let watts = dynamic_watts + BOARD_STATIC_WATTS;
+        AccelReport {
+            cycles_per_sample,
+            seconds_per_iteration: seconds,
+            ops_per_sample,
+            gops,
+            energy,
+            watts,
+            gops_per_watt: gops / watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accel(spec: GanSpec) -> GanAccelerator {
+        GanAccelerator::new(AccelConfig::vcu118(), spec)
+    }
+
+    #[test]
+    fn w_arch_keeps_up_at_eq8_ratio() {
+        // Eq. 8 sizes W-ARCH so it does not bottleneck the Discriminator
+        // update: W cycles ≈ ST cycles within the ratio's rounding.
+        let a = accel(GanSpec::cgan());
+        let (st, w) = a.update_stats(PhaseSeq::DisUpdate);
+        let ratio = w.cycles as f64 / st.cycles as f64;
+        assert!((0.5..=1.3).contains(&ratio), "W/ST cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn report_is_self_consistent() {
+        let a = accel(GanSpec::cgan());
+        let r = a.iteration_report(32);
+        assert!(r.gops > 0.0 && r.gops.is_finite());
+        assert!(r.watts > BOARD_STATIC_WATTS);
+        assert!((r.gops_per_watt - r.gops / r.watts).abs() < 1e-9);
+        // Sustained throughput cannot exceed 2 ops/PE/cycle.
+        let peak = 2.0 * a.config().total_pes() as f64 * a.config().frequency_mhz() / 1e3;
+        assert!(r.gops < peak, "{} ≥ peak {peak}", r.gops);
+    }
+
+    #[test]
+    fn utilization_is_high_on_big_networks() {
+        let a = accel(GanSpec::cgan());
+        let r = a.iteration_report(1);
+        let peak = 2.0 * a.config().total_pes() as f64 * a.config().frequency_mhz() / 1e3;
+        assert!(r.gops > 0.4 * peak, "sustained {} of peak {peak}", r.gops);
+    }
+
+    #[test]
+    fn paper_design_point_is_compute_bound() {
+        // Eq. 7 chose W_Pof so the bandwidth keeps up: all three workloads
+        // must be compute-bound at the VCU118 point.
+        for spec in GanSpec::all_paper_gans() {
+            let a = accel(spec.clone());
+            assert!(
+                !a.is_bandwidth_bound(),
+                "{} is bandwidth-bound",
+                spec.name()
+            );
+            assert!(a.dram_cycles_per_sample() > 0);
+        }
+    }
+
+    #[test]
+    fn inference_is_much_cheaper_than_training() {
+        let a = accel(GanSpec::cgan());
+        let inf = a.generator_inference_cycles();
+        let train = a.iteration_cycles_per_sample();
+        assert!(train > 5 * inf, "train {train} vs inference {inf}");
+        assert!(a.inference_rate_hz() > 100.0);
+        assert!(a.discriminator_inference_cycles() > 0);
+    }
+
+    #[test]
+    fn dram_traffic_is_dominated_by_weights() {
+        let a = accel(GanSpec::dcgan());
+        let t = a.iteration_dram_traffic();
+        assert!(t.read_bytes > t.write_bytes);
+        assert!(t.total_bytes() > 1_000_000);
+    }
+
+    #[test]
+    fn batch_scales_time_not_gops() {
+        let a = accel(GanSpec::mnist_gan());
+        let r1 = a.iteration_report(1);
+        let r64 = a.iteration_report(64);
+        assert!((r64.gops - r1.gops).abs() / r1.gops < 1e-9);
+        assert!(r64.seconds_per_iteration > 60.0 * r1.seconds_per_iteration);
+    }
+}

@@ -1,0 +1,276 @@
+//! On-chip buffer sizing — paper Section V-B.
+//!
+//! Fig. 14's buffers and their sizing rules:
+//!
+//! * **In&Out (×2)** — ping-pong pair next to ZFOST; each must hold the
+//!   largest layer output of the workload ("the size of buffers in In&Out
+//!   should be equal to the maximum size of outputs among all the layers").
+//! * **Data** — the forward intermediates `d^l` of one sample (thanks to
+//!   deferred synchronization, *one* sample suffices — this is exactly the
+//!   Section III-A result).
+//! * **Error** — the backward errors `δ^l` of one sample.
+//! * **∇W (×2)** — ping-pong partial-gradient store for ZFWST. Only the
+//!   in-flight tile lives on chip (`W_Pof` channels × kernel); completed
+//!   partials stream to DRAM — the traffic Eq. 7 budgets for.
+//! * **Weight** — the working set of kernel weights for the output maps
+//!   currently unrolled on ZFOST (`ST_Pof × N_if × k²`), so each weight is
+//!   fetched from DRAM exactly once per pass.
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::{BufferSpec, OnChipBuffer};
+use zfgan_workloads::GanSpec;
+
+use crate::config::AccelConfig;
+
+/// Usable on-chip block RAM of the paper's XCVU9P: 75.9 Mbit.
+pub const VCU9P_BRAM_BYTES: u64 = 75_900_000 / 8;
+
+/// A complete buffer plan for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferPlan {
+    in_out_bytes: u64,
+    data_bytes: u64,
+    error_bytes: u64,
+    grad_bytes: u64,
+    weight_bytes: u64,
+}
+
+impl BufferPlan {
+    /// Sizes every buffer for `spec` under `config`.
+    pub fn for_spec(spec: &GanSpec, config: &AccelConfig) -> Self {
+        let b = config.bytes_per_elem() as u64;
+        // Largest activation on either side of any layer (the Generator
+        // mirrors the ladder, so the large side bounds both directions).
+        let max_layer_elems = spec
+            .layers()
+            .iter()
+            .map(|l| {
+                let large = l.large_c * l.large_hw * l.large_hw;
+                let small = l.small_c * l.small_hw() * l.small_hw();
+                large.max(small) as u64
+            })
+            .max()
+            .expect("spec has layers");
+        let intermediates = spec.dis_intermediate_bytes_per_sample(config.bytes_per_elem());
+        // Weight working set: the ST_Pof output maps currently unrolled,
+        // against every input map of the worst layer.
+        let weight_ws = spec
+            .layers()
+            .iter()
+            .map(|l| (config.st_pof().min(l.small_c) * l.large_c * l.kernel * l.kernel) as u64)
+            .max()
+            .expect("spec has layers");
+        // ∇W in-flight tile: W_Pof channel-pairs × kernel.
+        let max_kernel = spec
+            .layers()
+            .iter()
+            .map(|l| (l.kernel * l.kernel) as u64)
+            .max()
+            .expect("spec has layers");
+        Self {
+            in_out_bytes: max_layer_elems * b,
+            data_bytes: intermediates,
+            error_bytes: intermediates,
+            grad_bytes: config.w_pof() as u64 * max_kernel * b,
+            weight_bytes: weight_ws * b,
+        }
+    }
+
+    /// Size of **one** In&Out buffer (two are instantiated).
+    pub fn in_out_bytes(&self) -> u64 {
+        self.in_out_bytes
+    }
+
+    /// Size of the Data buffer (one sample's forward intermediates).
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Size of the Error buffer (one sample's backward errors).
+    pub fn error_bytes(&self) -> u64 {
+        self.error_bytes
+    }
+
+    /// Size of **one** ∇W buffer (two are instantiated, ping-pong).
+    pub fn grad_bytes(&self) -> u64 {
+        self.grad_bytes
+    }
+
+    /// Size of the Weight buffer.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_bytes
+    }
+
+    /// Total on-chip bytes including the doubled ping-pong buffers.
+    pub fn total_bytes(&self) -> u64 {
+        2 * self.in_out_bytes
+            + self.data_bytes
+            + self.error_bytes
+            + 2 * self.grad_bytes
+            + self.weight_bytes
+    }
+
+    /// Whether the plan fits in `capacity_bytes` of block RAM.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.total_bytes() <= capacity_bytes
+    }
+
+    /// The named buffer sizes, in Fig. 14 order.
+    pub fn named_sizes(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("In&Out A", self.in_out_bytes),
+            ("In&Out B", self.in_out_bytes),
+            ("Data", self.data_bytes),
+            ("Error", self.error_bytes),
+            ("∇W A", self.grad_bytes),
+            ("∇W B", self.grad_bytes),
+            ("Weight", self.weight_bytes),
+        ]
+    }
+
+    /// Simulates the In&Out ping-pong of one Discriminator forward pass
+    /// against the planned capacities: layer `l` reads its input from one
+    /// buffer and writes its output to the other, which then flips to
+    /// become the next layer's input ("After completing one layer's
+    /// processing, the input and output buffers are switched").
+    ///
+    /// Returns the two buffers with their occupancy high-water marks and
+    /// access counters filled in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`zfgan_sim::BufferError`] if any layer's activation
+    /// overflows its buffer — i.e. the plan was sized wrong.
+    pub fn simulate_forward(
+        &self,
+        spec: &GanSpec,
+        config: &AccelConfig,
+    ) -> Result<(OnChipBuffer, OnChipBuffer), zfgan_sim::BufferError> {
+        let b = config.bytes_per_elem() as u64;
+        let mut ping = OnChipBuffer::new(BufferSpec::new("In&Out A", self.in_out_bytes));
+        let mut pong = OnChipBuffer::new(BufferSpec::new("In&Out B", self.in_out_bytes));
+        // Image lands in the ping buffer.
+        let (c, h, w) = spec.image_shape();
+        let mut live_bytes = (c * h * w) as u64 * b;
+        ping.alloc(live_bytes)?;
+        ping.record_writes(live_bytes / b);
+        let mut reading_ping = true;
+        for l in spec.layers() {
+            let out_bytes = (l.small_c * l.small_hw() * l.small_hw()) as u64 * b;
+            let (src, dst) = if reading_ping {
+                (&mut ping, &mut pong)
+            } else {
+                (&mut pong, &mut ping)
+            };
+            dst.alloc(out_bytes)?;
+            src.record_reads(live_bytes / b);
+            dst.record_writes(out_bytes / b);
+            src.free(live_bytes);
+            live_bytes = out_bytes;
+            reading_ping = !reading_ping;
+        }
+        Ok((ping, pong))
+    }
+
+    /// Instantiates live, counter-carrying buffer models from the plan.
+    pub fn instantiate(&self) -> Vec<OnChipBuffer> {
+        self.named_sizes()
+            .into_iter()
+            .map(|(name, bytes)| OnChipBuffer::new(BufferSpec::new(name, bytes)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_workloads_fit_on_chip_after_deferral() {
+        let cfg = AccelConfig::vcu118();
+        for spec in GanSpec::all_paper_gans() {
+            let plan = BufferPlan::for_spec(&spec, &cfg);
+            assert!(
+                plan.fits(VCU9P_BRAM_BYTES),
+                "{}: {} bytes exceed {}",
+                spec.name(),
+                plan.total_bytes(),
+                VCU9P_BRAM_BYTES
+            );
+        }
+    }
+
+    #[test]
+    fn synchronized_dcgan_would_not_fit() {
+        // The point of Section III-A: without deferral the Data buffer
+        // alone would need 2·batch samples ≈ 126 MB ≫ 9.5 MB of BRAM.
+        let spec = GanSpec::dcgan();
+        assert!(spec.sync_buffer_bytes(256, 2) > VCU9P_BRAM_BYTES);
+        // …while the deferred Data buffer is a rounding error of capacity.
+        let plan = BufferPlan::for_spec(&spec, &AccelConfig::vcu118());
+        assert!(plan.data_bytes() * 10 < VCU9P_BRAM_BYTES);
+    }
+
+    #[test]
+    fn in_out_holds_largest_activation() {
+        let cfg = AccelConfig::vcu118();
+        let plan = BufferPlan::for_spec(&GanSpec::cgan(), &cfg);
+        // cGAN's largest side is 64·32·32 = 65536 elements (layer 2 input),
+        // vs the 3·64·64 image = 12288.
+        assert_eq!(plan.in_out_bytes(), 65536 * 2);
+    }
+
+    #[test]
+    fn weight_working_set_covers_unrolled_channels() {
+        let cfg = AccelConfig::vcu118();
+        let plan = BufferPlan::for_spec(&GanSpec::cgan(), &cfg);
+        // Worst layer: ST_Pof = 75 of layer 4's 512 outputs × 256 inputs ×
+        // 4·4 weights.
+        assert_eq!(plan.weight_bytes(), 75 * 256 * 16 * 2);
+        // ∇W tile: 30 pairs × 16 weights × 2 bytes, doubled by ping-pong.
+        assert_eq!(plan.grad_bytes(), 30 * 16 * 2);
+    }
+
+    #[test]
+    fn forward_ping_pong_fits_the_plan_for_every_workload() {
+        let cfg = AccelConfig::vcu118();
+        for spec in GanSpec::all_paper_gans() {
+            let plan = BufferPlan::for_spec(&spec, &cfg);
+            let (ping, pong) = plan
+                .simulate_forward(&spec, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert!(ping.peak_bytes() <= plan.in_out_bytes());
+            assert!(pong.peak_bytes() <= plan.in_out_bytes());
+            // Every layer read its input and wrote its output exactly once.
+            let total_writes = ping.writes() + pong.writes();
+            let expected: u64 = (spec.image_shape().0 * spec.image_shape().1 * spec.image_shape().2)
+                as u64
+                + spec
+                    .layers()
+                    .iter()
+                    .map(|l| (l.small_c * l.small_hw() * l.small_hw()) as u64)
+                    .sum::<u64>();
+            assert_eq!(total_writes, expected, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn undersized_buffers_overflow_loudly() {
+        let cfg = AccelConfig::vcu118();
+        let spec = GanSpec::cgan();
+        let mut plan = BufferPlan::for_spec(&spec, &cfg);
+        plan.in_out_bytes = 16; // sabotage
+        assert!(plan.simulate_forward(&spec, &cfg).is_err());
+    }
+
+    #[test]
+    fn instantiate_names_all_buffers() {
+        let cfg = AccelConfig::vcu118();
+        let plan = BufferPlan::for_spec(&GanSpec::mnist_gan(), &cfg);
+        let bufs = plan.instantiate();
+        assert_eq!(bufs.len(), 7);
+        assert!(bufs.iter().any(|b| b.spec().name == "Weight"));
+        let total: u64 = bufs.iter().map(|b| b.spec().capacity_bytes).sum();
+        assert_eq!(total, plan.total_bytes());
+    }
+}

@@ -1,0 +1,269 @@
+//! Accelerator configuration and the Eq. 7/8 unrolling derivation.
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::DramModel;
+
+/// Platform parameters of the accelerator (paper Section V).
+///
+/// # Example
+///
+/// ```
+/// use zfgan_accel::AccelConfig;
+///
+/// let cfg = AccelConfig::vcu118();
+/// // Paper Section V-C: "W_Pof is 30 and ST_Pof is 75".
+/// assert_eq!(cfg.w_pof(), 30);
+/// assert_eq!(cfg.st_pof(), 75);
+/// assert_eq!(cfg.total_pes(), 1680);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    frequency_mhz: f64,
+    bandwidth_gbps: f64,
+    data_bits: u32,
+    /// PE grid edge of both arrays (paper Section V-A: 4×4, the minimum
+    /// output feature map / kernel of DCGAN).
+    grid: usize,
+    w_pof: usize,
+    st_pof: usize,
+}
+
+impl AccelConfig {
+    /// The ratio between ST-ARCH and W-ARCH throughput (paper Eq. 8):
+    /// Discriminator updates issue five ST passes per two W passes, so
+    /// W-ARCH may run at 2/5 of ST-ARCH speed.
+    pub const ST_TO_W_RATIO: f64 = 2.5;
+
+    /// Derives the unrolling from platform limits: `W_Pof` from Eq. 7 (off-
+    /// chip bandwidth) and `ST_Pof = 2.5 × W_Pof` from Eq. 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive or the bandwidth cannot sustain
+    /// even one W-ARCH channel.
+    pub fn from_platform(frequency_mhz: f64, bandwidth_gbps: f64, data_bits: u32) -> Self {
+        assert!(data_bits > 0, "data width must be non-zero");
+        let dram = DramModel::new(bandwidth_gbps, frequency_mhz);
+        let w_pof = dram.eq7_w_pof(data_bits);
+        assert!(
+            w_pof >= 1,
+            "bandwidth cannot sustain a single W-ARCH channel"
+        );
+        let st_pof = (Self::ST_TO_W_RATIO * w_pof as f64).round() as usize;
+        Self {
+            frequency_mhz,
+            bandwidth_gbps,
+            data_bits,
+            grid: 4,
+            w_pof,
+            st_pof,
+        }
+    }
+
+    /// The paper's platform: Xilinx VCU118, 200 MHz PEs, 192 Gbit/s DDR4,
+    /// 16-bit datapath.
+    pub fn vcu118() -> Self {
+        Self::from_platform(200.0, 192.0, 16)
+    }
+
+    /// A configuration with exactly `total` PEs, split `ST : W = 2.5 : 1`
+    /// as Eq. 8 prescribes (used for the Fig. 18 PE sweep). Bandwidth and
+    /// frequency keep the VCU118 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is too small to give each array one channel
+    /// (less than `2 × grid²` PEs).
+    pub fn with_total_pes(total: usize) -> Self {
+        let grid = 4usize;
+        let cell = grid * grid;
+        assert!(total >= 2 * cell, "need at least {} PEs", 2 * cell);
+        let channels = total / cell;
+        // Split channels 2.5 : 1, keeping at least one W channel.
+        let w_pof = ((channels as f64) / 3.5).round().max(1.0) as usize;
+        let st_pof = channels - w_pof;
+        assert!(st_pof >= 1, "split leaves ST-ARCH empty");
+        Self {
+            frequency_mhz: 200.0,
+            bandwidth_gbps: 192.0,
+            data_bits: 16,
+            grid,
+            w_pof,
+            st_pof,
+        }
+    }
+
+    /// Fully explicit constructor: platform limits plus the array shape.
+    /// `grid` is the PE-array edge of both arrays (the paper's Section V-A
+    /// picks 4, the minimum output feature map / kernel of DCGAN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn custom(
+        frequency_mhz: f64,
+        bandwidth_gbps: f64,
+        data_bits: u32,
+        grid: usize,
+        st_pof: usize,
+        w_pof: usize,
+    ) -> Self {
+        assert!(
+            frequency_mhz > 0.0 && bandwidth_gbps > 0.0,
+            "platform limits must be positive"
+        );
+        assert!(
+            data_bits > 0 && grid > 0 && st_pof > 0 && w_pof > 0,
+            "shape must be non-zero"
+        );
+        Self {
+            frequency_mhz,
+            bandwidth_gbps,
+            data_bits,
+            grid,
+            w_pof,
+            st_pof,
+        }
+    }
+
+    /// A variant of this configuration with a different PE-grid edge,
+    /// re-splitting (approximately) the same total PE budget — the
+    /// Section V-A grid ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is zero or too large for the budget.
+    pub fn with_grid(&self, grid: usize) -> Self {
+        assert!(grid > 0, "grid must be non-zero");
+        let st_pof = (self.st_pes() / (grid * grid)).max(1);
+        let w_pof = (self.w_pes() / (grid * grid)).max(1);
+        Self::custom(
+            self.frequency_mhz,
+            self.bandwidth_gbps,
+            self.data_bits,
+            grid,
+            st_pof,
+            w_pof,
+        )
+    }
+
+    /// PE clock in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        self.frequency_mhz
+    }
+
+    /// Off-chip bandwidth in Gbit/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Datapath width in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Bytes per data element.
+    pub fn bytes_per_elem(&self) -> usize {
+        (self.data_bits as usize).div_ceil(8)
+    }
+
+    /// PE grid edge of each array.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// `W_Pof`: ZFWST channel unrolling (Eq. 7).
+    pub fn w_pof(&self) -> usize {
+        self.w_pof
+    }
+
+    /// `ST_Pof`: ZFOST channel unrolling (Eq. 8).
+    pub fn st_pof(&self) -> usize {
+        self.st_pof
+    }
+
+    /// PEs in the ST-ARCH array.
+    pub fn st_pes(&self) -> usize {
+        self.grid * self.grid * self.st_pof
+    }
+
+    /// PEs in the W-ARCH array.
+    pub fn w_pes(&self) -> usize {
+        self.grid * self.grid * self.w_pof
+    }
+
+    /// Total PEs across both arrays.
+    pub fn total_pes(&self) -> usize {
+        self.st_pes() + self.w_pes()
+    }
+
+    /// The DRAM model implied by this configuration.
+    pub fn dram(&self) -> DramModel {
+        DramModel::new(self.bandwidth_gbps, self.frequency_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcu118_matches_paper_section_v() {
+        let c = AccelConfig::vcu118();
+        assert_eq!(c.w_pof(), 30);
+        assert_eq!(c.st_pof(), 75);
+        assert_eq!(c.st_pes(), 1200);
+        assert_eq!(c.w_pes(), 480);
+        assert_eq!(c.total_pes(), 1680);
+        assert_eq!(c.bytes_per_elem(), 2);
+    }
+
+    #[test]
+    fn eq8_ratio_holds() {
+        let c = AccelConfig::vcu118();
+        let ratio = c.st_pof() as f64 / c.w_pof() as f64;
+        assert!((ratio - AccelConfig::ST_TO_W_RATIO).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe_sweep_split_preserves_ratio_roughly() {
+        for total in [512usize, 1024, 2048] {
+            let c = AccelConfig::with_total_pes(total);
+            assert!(c.total_pes() <= total);
+            let ratio = c.st_pof() as f64 / c.w_pof() as f64;
+            assert!((2.0..=3.0).contains(&ratio), "total {total}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn halving_bandwidth_halves_w_pof() {
+        let full = AccelConfig::from_platform(200.0, 192.0, 16);
+        let half = AccelConfig::from_platform(200.0, 96.0, 16);
+        assert_eq!(half.w_pof(), full.w_pof() / 2);
+    }
+
+    #[test]
+    fn grid_variants_preserve_the_budget_roughly() {
+        let base = AccelConfig::vcu118();
+        for grid in [2usize, 3, 4, 5, 8] {
+            let c = base.with_grid(grid);
+            assert_eq!(c.grid(), grid);
+            let ratio = c.total_pes() as f64 / base.total_pes() as f64;
+            assert!((0.7..=1.1).contains(&ratio), "grid {grid}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn custom_constructor_is_explicit() {
+        let c = AccelConfig::custom(100.0, 96.0, 8, 5, 40, 16);
+        assert_eq!(c.grid(), 5);
+        assert_eq!(c.st_pes(), 25 * 40);
+        assert_eq!(c.bytes_per_elem(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_budget_rejected() {
+        let _ = AccelConfig::with_total_pes(16);
+    }
+}

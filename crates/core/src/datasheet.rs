@@ -1,0 +1,156 @@
+//! A human-readable "datasheet" for one accelerator configuration — the
+//! one-page summary a hardware engineer would pin above their desk.
+
+use std::fmt::Write as _;
+
+use zfgan_workloads::PhaseSeq;
+
+use crate::accelerator::GanAccelerator;
+use crate::buffers::VCU9P_BRAM_BYTES;
+use crate::resources::{DeviceCapacity, ResourceModel};
+
+/// Renders the full configuration / buffers / resources / performance
+/// summary of an accelerator instance as plain text.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_accel::{datasheet, AccelConfig, GanAccelerator};
+/// use zfgan_workloads::GanSpec;
+///
+/// let accel = GanAccelerator::new(AccelConfig::vcu118(), GanSpec::cgan());
+/// let sheet = datasheet(&accel, 64);
+/// assert!(sheet.contains("ZFOST"));
+/// assert!(sheet.contains("GOPS"));
+/// ```
+pub fn datasheet(accel: &GanAccelerator, batch: usize) -> String {
+    let cfg = accel.config();
+    let spec = accel.spec();
+    let plan = accel.buffer_plan();
+    let resources = ResourceModel::estimate(cfg, spec);
+    let device = DeviceCapacity::xcvu9p();
+    let report = accel.iteration_report(batch);
+    let (st_d, w_d) = accel.update_stats(PhaseSeq::DisUpdate);
+    let (st_g, w_g) = accel.update_stats(PhaseSeq::GenUpdate);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== zfgan accelerator datasheet: {} ===", spec.name());
+    let _ = writeln!(
+        out,
+        "Arrays        ZFOST {g}x{g}x{st} ({st_pes} PEs) + ZFWST {g}x{g}x{w} ({w_pes} PEs)",
+        g = cfg.grid(),
+        st = cfg.st_pof(),
+        w = cfg.w_pof(),
+        st_pes = cfg.st_pes(),
+        w_pes = cfg.w_pes(),
+    );
+    let _ = writeln!(
+        out,
+        "Platform      {:.0} MHz, {:.0} Gbit/s DRAM, {}-bit datapath",
+        cfg.frequency_mhz(),
+        cfg.bandwidth_gbps(),
+        cfg.data_bits()
+    );
+    let _ = writeln!(out, "--- On-chip buffers (Section V-B) ---");
+    for (name, bytes) in plan.named_sizes() {
+        let _ = writeln!(out, "  {name:<10} {bytes:>9} B");
+    }
+    let _ = writeln!(
+        out,
+        "  total      {:>9} B of {} B BRAM ({:.1}%)",
+        plan.total_bytes(),
+        VCU9P_BRAM_BYTES,
+        100.0 * plan.total_bytes() as f64 / VCU9P_BRAM_BYTES as f64
+    );
+    let _ = writeln!(out, "--- Resources (Table III model) ---");
+    let _ = writeln!(
+        out,
+        "  LUT {} / {}   FF {} / {}   BRAM {} / {}   DSP {} / {}",
+        resources.luts,
+        device.luts,
+        resources.flip_flops,
+        device.flip_flops,
+        resources.bram_blocks,
+        device.bram_blocks,
+        resources.dsps,
+        device.dsps
+    );
+    let _ = writeln!(out, "--- Per-sample schedule (deferred) ---");
+    let _ = writeln!(
+        out,
+        "  D-update   ST {:>9} cyc (util {:.2})   W {:>9} cyc (util {:.2})",
+        st_d.cycles,
+        st_d.utilization(),
+        w_d.cycles,
+        w_d.utilization()
+    );
+    let _ = writeln!(
+        out,
+        "  G-update   ST {:>9} cyc (util {:.2})   W {:>9} cyc (util {:.2})",
+        st_g.cycles,
+        st_g.utilization(),
+        w_g.cycles,
+        w_g.utilization()
+    );
+    let bound = if accel.is_bandwidth_bound() {
+        "bandwidth"
+    } else {
+        "compute"
+    };
+    let _ = writeln!(
+        out,
+        "  roofline   compute {} cyc vs DRAM {} cyc  ->  {bound}-bound",
+        accel.compute_cycles_per_sample(),
+        accel.dram_cycles_per_sample()
+    );
+    let _ = writeln!(out, "--- Throughput & energy (batch {batch}) ---");
+    let _ = writeln!(
+        out,
+        "  {:.0} GOPS   {:.1} W   {:.1} GOPS/W   {:.2} ms/iteration",
+        report.gops,
+        report.watts,
+        report.gops_per_watt,
+        report.seconds_per_iteration * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  inference  G: {} cyc ({:.0} images/s)   D: {} cyc",
+        accel.generator_inference_cycles(),
+        accel.inference_rate_hz(),
+        accel.discriminator_inference_cycles()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use zfgan_workloads::GanSpec;
+
+    #[test]
+    fn datasheet_contains_every_section() {
+        let accel = GanAccelerator::new(AccelConfig::vcu118(), GanSpec::dcgan());
+        let sheet = datasheet(&accel, 16);
+        for needle in [
+            "datasheet: DCGAN",
+            "buffers",
+            "Resources",
+            "schedule",
+            "roofline",
+            "GOPS",
+            "inference",
+        ] {
+            assert!(sheet.contains(needle), "missing {needle:?} in:\n{sheet}");
+        }
+        assert!(sheet.contains("compute-bound"));
+    }
+
+    #[test]
+    fn datasheet_reflects_configuration() {
+        let accel = GanAccelerator::new(AccelConfig::with_total_pes(512), GanSpec::mnist_gan());
+        let sheet = datasheet(&accel, 4);
+        assert!(sheet.contains("MNIST-GAN"));
+        assert!(sheet.contains(&format!("{}", accel.config().st_pof())));
+    }
+}

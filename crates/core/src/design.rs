@@ -1,0 +1,310 @@
+//! The Fig. 17 design space: unique vs combinational architectures under
+//! synchronized vs deferred training.
+//!
+//! * A **unique** design runs every phase on one array holding the whole PE
+//!   budget. Deferral does not change its performance — there is nothing to
+//!   overlap ("the performance of unique architecture remains the same").
+//! * A **combinational** design splits the budget `ST : W = 2.5 : 1`
+//!   (Eq. 8) between an ST-ARCH and a W-ARCH. Under the original
+//!   synchronized algorithm "only one architecture … works at each time",
+//!   so the two serialize; with deferred synchronization the per-sample
+//!   loops pipeline and the iteration time is the *slower* array's total.
+
+use serde::{Deserialize, Serialize};
+use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+use crate::config::AccelConfig;
+
+/// Synchronization policy of the training algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// Original algorithm: loss synchronization barrier between all forward
+    /// and all backward passes.
+    Synchronized,
+    /// Paper Section IV-A: per-sample backward immediately after forward.
+    Deferred,
+}
+
+/// One competitor of the Fig. 17 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// All phases on one architecture with the full PE budget.
+    Unique(ArchKind),
+    /// ST phases on `st`, W phases on `w`, budget split per Eq. 8.
+    Combo {
+        /// Architecture of the ST-ARCH array.
+        st: ArchKind,
+        /// Architecture of the W-ARCH array.
+        w: ArchKind,
+    },
+}
+
+impl Design {
+    /// The five designs of paper Fig. 17, in its order: OST, ZFWST, ZFOST
+    /// (unique), NLR-OST, ZFOST-ZFWST (combinational).
+    pub fn paper_designs() -> Vec<Design> {
+        vec![
+            Design::Unique(ArchKind::Ost),
+            Design::Unique(ArchKind::Zfwst),
+            Design::Unique(ArchKind::Zfost),
+            Design::Combo {
+                st: ArchKind::Nlr,
+                w: ArchKind::Ost,
+            },
+            Design::Combo {
+                st: ArchKind::Zfost,
+                w: ArchKind::Zfwst,
+            },
+        ]
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> String {
+        match self {
+            Design::Unique(a) => a.name().to_string(),
+            Design::Combo { st, w } => format!("{}-{}", st.name(), w.name()),
+        }
+    }
+
+    /// Evaluates one network update on this design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pes` is too small to tune (fewer than 32).
+    pub fn evaluate(
+        &self,
+        spec: &GanSpec,
+        seq: PhaseSeq,
+        policy: SyncPolicy,
+        total_pes: usize,
+    ) -> DesignReport {
+        assert!(total_pes >= 32, "PE budget too small");
+        let st_phases = spec.st_phases(seq);
+        let w_phases = spec.w_phases(seq);
+        match self {
+            Design::Unique(arch) => {
+                let all: Vec<_> = st_phases.iter().chain(&w_phases).copied().collect();
+                let tuned = PhaseTuned::tune(*arch, total_pes, &all);
+                let st_cycles = tuned.schedule_all(&st_phases).cycles;
+                let w_cycles = tuned.schedule_all(&w_phases).cycles;
+                // One array: everything serializes regardless of policy.
+                DesignReport {
+                    design: *self,
+                    policy,
+                    st_cycles,
+                    w_cycles,
+                    total_cycles: st_cycles + w_cycles,
+                    total_pes,
+                }
+            }
+            Design::Combo { st, w } => {
+                let st_budget =
+                    ((total_pes as f64) * AccelConfig::ST_TO_W_RATIO / 3.5).round() as usize;
+                let w_budget = total_pes - st_budget;
+                let st_tuned = PhaseTuned::tune(*st, st_budget, &st_phases);
+                let w_tuned = PhaseTuned::tune(*w, w_budget, &w_phases);
+                let st_cycles = st_tuned.schedule_all(&st_phases).cycles;
+                let w_cycles = w_tuned.schedule_all(&w_phases).cycles;
+                let total_cycles = match policy {
+                    // Only one array works at a time.
+                    SyncPolicy::Synchronized => st_cycles + w_cycles,
+                    // Per-sample loops pipeline across the batch: steady
+                    // state is governed by the slower array.
+                    SyncPolicy::Deferred => st_cycles.max(w_cycles),
+                };
+                DesignReport {
+                    design: *self,
+                    policy,
+                    st_cycles,
+                    w_cycles,
+                    total_cycles,
+                    total_pes,
+                }
+            }
+        }
+    }
+
+    /// Evaluates a full training iteration (Discriminator + Generator
+    /// update) and returns total cycles per sample.
+    pub fn iteration_cycles(&self, spec: &GanSpec, policy: SyncPolicy, total_pes: usize) -> u64 {
+        self.evaluate(spec, PhaseSeq::DisUpdate, policy, total_pes)
+            .total_cycles
+            + self
+                .evaluate(spec, PhaseSeq::GenUpdate, policy, total_pes)
+                .total_cycles
+    }
+}
+
+/// Outcome of evaluating a [`Design`] on one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// The evaluated design.
+    pub design: Design,
+    /// The evaluated policy.
+    pub policy: SyncPolicy,
+    /// Cycles spent on `S-CONV`/`T-CONV` passes.
+    pub st_cycles: u64,
+    /// Cycles spent on `W-CONV` passes.
+    pub w_cycles: u64,
+    /// Total cycles per sample for this update.
+    pub total_cycles: u64,
+    /// PE budget used.
+    pub total_pes: usize,
+}
+
+impl DesignReport {
+    /// Throughput relative to another report (higher = faster).
+    pub fn speedup_over(&self, other: &DesignReport) -> f64 {
+        other.total_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PES: usize = 1680;
+
+    fn eval(design: Design, policy: SyncPolicy) -> DesignReport {
+        design.evaluate(&GanSpec::cgan(), PhaseSeq::DisUpdate, policy, PES)
+    }
+
+    #[test]
+    fn unique_designs_ignore_the_policy() {
+        let a = eval(Design::Unique(ArchKind::Zfost), SyncPolicy::Synchronized);
+        let b = eval(Design::Unique(ArchKind::Zfost), SyncPolicy::Deferred);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn deferral_unlocks_the_combinational_design() {
+        let combo = Design::Combo {
+            st: ArchKind::Zfost,
+            w: ArchKind::Zfwst,
+        };
+        let sync = eval(combo, SyncPolicy::Synchronized);
+        let deferred = eval(combo, SyncPolicy::Deferred);
+        assert!(deferred.total_cycles < sync.total_cycles);
+        assert_eq!(
+            deferred.total_cycles,
+            deferred.st_cycles.max(deferred.w_cycles)
+        );
+        assert_eq!(sync.total_cycles, sync.st_cycles + sync.w_cycles);
+    }
+
+    #[test]
+    fn under_synchronization_unique_zfost_beats_the_combo() {
+        // Paper: "Under the synchronization … the unique architecture ZFOST
+        // outperforms our combinational architecture."
+        let unique = eval(Design::Unique(ArchKind::Zfost), SyncPolicy::Synchronized);
+        let combo = eval(
+            Design::Combo {
+                st: ArchKind::Zfost,
+                w: ArchKind::Zfwst,
+            },
+            SyncPolicy::Synchronized,
+        );
+        assert!(unique.total_cycles < combo.total_cycles);
+    }
+
+    #[test]
+    fn deferred_zfost_zfwst_is_the_overall_winner() {
+        // "Overall" = a full training iteration (Discriminator + Generator
+        // update), the granularity of the paper's headline claim. On the
+        // D-update alone a full-budget unique ZFOST can tie the combo
+        // (both are near-ideal on D̄w); the Ḡw phase is where the unique
+        // design loses and the ZFWST array earns its keep.
+        let spec = GanSpec::cgan();
+        let winner = Design::Combo {
+            st: ArchKind::Zfost,
+            w: ArchKind::Zfwst,
+        };
+        let w = winner.iteration_cycles(&spec, SyncPolicy::Deferred, PES);
+        for d in Design::paper_designs() {
+            for p in [SyncPolicy::Synchronized, SyncPolicy::Deferred] {
+                let r = d.iteration_cycles(&spec, p, PES);
+                assert!(
+                    w <= r,
+                    "{} under {:?} ({r}) beats ZFOST-ZFWST ({w})",
+                    d.name(),
+                    p,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zf_combo_beats_traditional_combo() {
+        let zf = eval(
+            Design::Combo {
+                st: ArchKind::Zfost,
+                w: ArchKind::Zfwst,
+            },
+            SyncPolicy::Deferred,
+        );
+        let trad = eval(
+            Design::Combo {
+                st: ArchKind::Nlr,
+                w: ArchKind::Ost,
+            },
+            SyncPolicy::Deferred,
+        );
+        assert!(
+            zf.speedup_over(&trad) > 1.2,
+            "speedup {}",
+            zf.speedup_over(&trad)
+        );
+    }
+
+    #[test]
+    fn average_speedup_over_traditional_designs_is_paper_scale() {
+        // The abstract's headline: "best performance (average 4.3X) with the
+        // same computing resource" over traditional accelerators. Average
+        // our winner's speedup over the traditional designs across the three
+        // GANs and both updates; accept the 2×–8× band (exact 4.3 depends
+        // on the authors' layer mix).
+        let winner = Design::Combo {
+            st: ArchKind::Zfost,
+            w: ArchKind::Zfwst,
+        };
+        let traditional = [
+            Design::Unique(ArchKind::Ost),
+            Design::Combo {
+                st: ArchKind::Nlr,
+                w: ArchKind::Ost,
+            },
+        ];
+        let mut speedups = Vec::new();
+        for spec in GanSpec::all_paper_gans() {
+            for seq in [PhaseSeq::DisUpdate, PhaseSeq::GenUpdate] {
+                let w = winner.evaluate(&spec, seq, SyncPolicy::Deferred, PES);
+                for t in traditional {
+                    let r = t.evaluate(&spec, seq, SyncPolicy::Synchronized, PES);
+                    speedups.push(w.speedup_over(&r));
+                }
+            }
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!((2.0..=8.0).contains(&avg), "average speedup {avg}");
+    }
+
+    #[test]
+    fn design_names_match_the_legend() {
+        let names: Vec<_> = Design::paper_designs().iter().map(Design::name).collect();
+        assert_eq!(
+            names,
+            vec!["OST", "ZFWST", "ZFOST", "NLR-OST", "ZFOST-ZFWST"]
+        );
+    }
+
+    #[test]
+    fn iteration_cycles_sum_both_updates() {
+        let d = Design::Unique(ArchKind::Zfost);
+        let spec = GanSpec::mnist_gan();
+        let total = d.iteration_cycles(&spec, SyncPolicy::Deferred, PES);
+        let dis = d.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Deferred, PES);
+        let gen = d.evaluate(&spec, PhaseSeq::GenUpdate, SyncPolicy::Deferred, PES);
+        assert_eq!(total, dis.total_cycles + gen.total_cycles);
+    }
+}

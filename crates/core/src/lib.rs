@@ -1,0 +1,50 @@
+//! `zfgan-accel` — the paper's full GAN accelerator (its Fig. 14) and the
+//! design-space machinery behind its evaluation.
+//!
+//! The accelerator couples two PE arrays through on-chip buffers:
+//!
+//! * **ST-ARCH**, a [`Zfost`](zfgan_dataflow::Zfost) array running the five
+//!   `S-CONV`/`T-CONV` passes of a Discriminator update (four for a
+//!   Generator update), and
+//! * **W-ARCH**, a [`Zfwst`](zfgan_dataflow::Zfwst) array running the
+//!   `W-CONV` weight-gradient passes, decoupled through the Data/Error
+//!   buffers so it may lag ST-ARCH by design.
+//!
+//! This crate provides:
+//!
+//! * [`AccelConfig`] — platform parameters and the Eq. 7/8 unrolling
+//!   derivation (`W_Pof = BW/(2·f·bits)`, `ST_Pof = 2.5 × W_Pof`),
+//! * [`BufferPlan`] — the In&Out / Data / Error / ∇W / Weight buffer sizing
+//!   of Section V-B with an on-chip capacity check,
+//! * [`ResourceModel`] — the Table III LUT/FF/BRAM/DSP estimate,
+//! * [`Design`] / [`DesignReport`] — the Fig. 17 competitors (unique OST /
+//!   ZFOST / ZFWST, combinational NLR-OST and ZFOST-ZFWST) under
+//!   synchronized vs deferred training,
+//! * [`timeline`] — the Fig. 9 (pipeline with bubbles) vs Fig. 10
+//!   (time-multiplexed) occupancy analysis,
+//! * [`gantt`] — an event-level batch pipeline simulation that verifies the
+//!   steady-state model and renders lane schedules,
+//! * [`MemoryAnalysis`] — the Section III-A 2·batch → 1 buffering result,
+//! * [`GanAccelerator`] — the top-level model producing per-iteration
+//!   cycles, GOPS and energy for Figs. 18–19.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod accelerator;
+mod buffers;
+mod config;
+mod datasheet;
+mod design;
+pub mod gantt;
+mod memory;
+mod resources;
+pub mod timeline;
+
+pub use accelerator::{AccelReport, GanAccelerator};
+pub use buffers::BufferPlan;
+pub use config::AccelConfig;
+pub use datasheet::datasheet;
+pub use design::{Design, DesignReport, SyncPolicy};
+pub use memory::MemoryAnalysis;
+pub use resources::ResourceModel;

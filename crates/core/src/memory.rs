@@ -1,0 +1,103 @@
+//! The Section III-A memory analysis: synchronized vs deferred
+//! intermediate-data buffering.
+
+use serde::{Deserialize, Serialize};
+use zfgan_workloads::GanSpec;
+
+use crate::buffers::VCU9P_BRAM_BYTES;
+
+/// Memory requirements of a workload under both synchronization policies.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_accel::MemoryAnalysis;
+/// use zfgan_workloads::GanSpec;
+///
+/// let m = MemoryAnalysis::analyse(&GanSpec::dcgan(), 256, 2);
+/// // The paper's ~126 MB figure:
+/// assert!((120e6..132e6).contains(&(m.synchronized_bytes as f64)));
+/// assert_eq!(m.reduction_factor(), 512.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAnalysis {
+    /// Batch size the analysis assumed.
+    pub batch: usize,
+    /// Intermediate bytes one sample's forward pass produces.
+    pub per_sample_bytes: u64,
+    /// Buffer demand of the original algorithm (`2 × batch` samples).
+    pub synchronized_bytes: u64,
+    /// Buffer demand after deferred synchronization (one sample).
+    pub deferred_bytes: u64,
+    /// Whether each policy's demand fits the XCVU9P's block RAM.
+    pub synchronized_fits_on_chip: bool,
+    /// Whether the deferred demand fits on chip.
+    pub deferred_fits_on_chip: bool,
+}
+
+impl MemoryAnalysis {
+    /// Analyses `spec` at the given batch size and element width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `bytes_per_elem` is zero.
+    pub fn analyse(spec: &GanSpec, batch: usize, bytes_per_elem: usize) -> Self {
+        assert!(
+            batch > 0 && bytes_per_elem > 0,
+            "batch and element width must be non-zero"
+        );
+        let per_sample = spec.dis_intermediate_bytes_per_sample(bytes_per_elem);
+        let synchronized = spec.sync_buffer_bytes(batch, bytes_per_elem);
+        let deferred = spec.deferred_buffer_bytes(bytes_per_elem);
+        Self {
+            batch,
+            per_sample_bytes: per_sample,
+            synchronized_bytes: synchronized,
+            deferred_bytes: deferred,
+            synchronized_fits_on_chip: synchronized <= VCU9P_BRAM_BYTES,
+            deferred_fits_on_chip: deferred <= VCU9P_BRAM_BYTES,
+        }
+    }
+
+    /// How many times smaller the deferred demand is (`2 × batch`).
+    pub fn reduction_factor(&self) -> f64 {
+        self.synchronized_bytes as f64 / self.deferred_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcgan_at_256_matches_the_paper() {
+        let m = MemoryAnalysis::analyse(&GanSpec::dcgan(), 256, 2);
+        let mb = m.synchronized_bytes as f64 / 1e6;
+        assert!((120.0..132.0).contains(&mb), "{mb} MB");
+        assert!(!m.synchronized_fits_on_chip);
+        assert!(m.deferred_fits_on_chip);
+        assert_eq!(m.reduction_factor(), 512.0);
+    }
+
+    #[test]
+    fn reduction_scales_with_batch() {
+        for batch in [16usize, 64, 256] {
+            let m = MemoryAnalysis::analyse(&GanSpec::cgan(), batch, 2);
+            assert_eq!(m.reduction_factor(), 2.0 * batch as f64);
+        }
+    }
+
+    #[test]
+    fn small_gan_fits_either_way() {
+        // MNIST-GAN intermediates are small enough that even a modest batch
+        // fits on chip — deferral matters for the big networks.
+        let m = MemoryAnalysis::analyse(&GanSpec::mnist_gan(), 4, 2);
+        assert!(m.synchronized_fits_on_chip);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_batch_rejected() {
+        let _ = MemoryAnalysis::analyse(&GanSpec::dcgan(), 0, 2);
+    }
+}

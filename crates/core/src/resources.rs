@@ -1,0 +1,129 @@
+//! FPGA resource model — paper Table III.
+//!
+//! The estimate is calibrated against the paper's reported utilization of
+//! the XCVU9P (254 523 LUTs, 79 668 FFs, 2 008 BRAM blocks, 1 694 DSPs for
+//! 1 680 PEs): one DSP slice per PE plus address-generation overhead,
+//! ~145 LUTs and ~44 FFs of datapath/control per PE, one 36 Kbit BRAM
+//! block of register/partial-sum storage per PE, and banked BRAM blocks
+//! (one bank per PE-grid column) for the Section V-B buffers.
+
+use serde::{Deserialize, Serialize};
+use zfgan_workloads::GanSpec;
+
+use crate::buffers::BufferPlan;
+use crate::config::AccelConfig;
+
+/// XCVU9P totals (paper Table III, right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCapacity {
+    /// Logic LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub flip_flops: u64,
+    /// 36 Kbit block RAMs.
+    pub bram_blocks: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl DeviceCapacity {
+    /// The paper's Xilinx UltraScale+ XCVU9P.
+    pub fn xcvu9p() -> Self {
+        Self {
+            luts: 1_182_240,
+            flip_flops: 2_364_480,
+            bram_blocks: 2_160,
+            dsps: 6_840,
+        }
+    }
+}
+
+/// Estimated resource usage of one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// Logic LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub flip_flops: u64,
+    /// 36 Kbit block RAMs.
+    pub bram_blocks: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+const LUTS_PER_PE: u64 = 145;
+const LUTS_FIXED: u64 = 11_000; // DMA engines, AXI, control FSMs
+const FFS_PER_PE: u64 = 44;
+const FFS_FIXED: u64 = 5_700;
+const DSPS_FIXED: u64 = 14; // address generators
+const BRAM_BYTES_PER_BLOCK: u64 = 36 * 1024 / 8;
+
+impl ResourceModel {
+    /// Estimates resources for `config` running `spec`.
+    pub fn estimate(config: &AccelConfig, spec: &GanSpec) -> Self {
+        let pes = config.total_pes() as u64;
+        let plan = BufferPlan::for_spec(spec, config);
+        // Each named buffer rounds up to whole BRAM blocks independently;
+        // wide buffers replicate for banked access (factor from port width:
+        // one bank per PE-grid column).
+        let banks = config.grid() as u64;
+        let buffer_blocks: u64 = plan
+            .named_sizes()
+            .iter()
+            .map(|&(_, bytes)| {
+                let per_bank = bytes.div_ceil(banks);
+                banks * per_bank.div_ceil(BRAM_BYTES_PER_BLOCK)
+            })
+            .sum();
+        Self {
+            luts: LUTS_FIXED + LUTS_PER_PE * pes,
+            flip_flops: FFS_FIXED + FFS_PER_PE * pes,
+            // One block of register/psum storage per PE + the banked
+            // Section V-B buffers.
+            bram_blocks: pes + buffer_blocks,
+            dsps: DSPS_FIXED + pes,
+        }
+    }
+
+    /// Whether the estimate fits a device.
+    pub fn fits(&self, device: &DeviceCapacity) -> bool {
+        self.luts <= device.luts
+            && self.flip_flops <= device.flip_flops
+            && self.bram_blocks <= device.bram_blocks
+            && self.dsps <= device.dsps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_in_the_ballpark_of_table_iii() {
+        // Paper Table III: 254 523 LUTs, 79 668 FFs, 2 008 BRAMs, 1 694
+        // DSPs. The estimate should land within ±30% on every row.
+        let m = ResourceModel::estimate(&AccelConfig::vcu118(), &GanSpec::dcgan());
+        let within = |est: u64, paper: u64| {
+            let r = est as f64 / paper as f64;
+            (0.7..=1.3).contains(&r)
+        };
+        assert!(within(m.luts, 254_523), "LUTs {}", m.luts);
+        assert!(within(m.flip_flops, 79_668), "FFs {}", m.flip_flops);
+        assert!(within(m.bram_blocks, 2_008), "BRAMs {}", m.bram_blocks);
+        assert!(within(m.dsps, 1_694), "DSPs {}", m.dsps);
+    }
+
+    #[test]
+    fn design_fits_the_device() {
+        let m = ResourceModel::estimate(&AccelConfig::vcu118(), &GanSpec::dcgan());
+        assert!(m.fits(&DeviceCapacity::xcvu9p()));
+    }
+
+    #[test]
+    fn more_pes_cost_more_dsps() {
+        let small = ResourceModel::estimate(&AccelConfig::with_total_pes(512), &GanSpec::cgan());
+        let big = ResourceModel::estimate(&AccelConfig::with_total_pes(2048), &GanSpec::cgan());
+        assert!(big.dsps > small.dsps);
+        assert!(big.luts > small.luts);
+    }
+}

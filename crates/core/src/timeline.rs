@@ -1,0 +1,316 @@
+//! Pipeline occupancy analysis — paper Figs. 9 and 10.
+//!
+//! The naive mapping instantiates three per-phase architectures (T-ARCH,
+//! S-ARCH, W-ARCH) and pipelines sample loops across them; because the
+//! phase mix is uneven (a Discriminator update has three T passes, two S
+//! passes and two W passes), the less-loaded stages idle — the bubbles of
+//! Fig. 9. The paper's design merges T-ARCH and S-ARCH into one
+//! time-multiplexed **ST-ARCH** and slows W-ARCH to 2/5 speed (Eq. 8),
+//! after which both stages are fully busy (Fig. 10).
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::ConvShape;
+use zfgan_workloads::{GanSpec, PhaseSeq};
+
+/// Occupancy of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneReport {
+    /// Stage name ("T-ARCH", "S-ARCH", "W-ARCH", "ST-ARCH").
+    pub name: String,
+    /// Work units the stage performs per sample loop.
+    pub busy: u64,
+    /// The pipeline's steady-state period per sample.
+    pub period: u64,
+    /// `busy / period`.
+    pub utilization: f64,
+}
+
+/// Occupancy report for one pipeline organisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Per-stage occupancy.
+    pub lanes: Vec<LaneReport>,
+    /// Steady-state cycles (work units) per sample.
+    pub period: u64,
+}
+
+impl PipelineReport {
+    /// The fraction of stage-cycles lost to bubbles, over all lanes.
+    pub fn bubble_fraction(&self) -> f64 {
+        let total: u64 = self.lanes.iter().map(|l| l.period).sum();
+        let busy: u64 = self.lanes.iter().map(|l| l.busy).sum();
+        1.0 - busy as f64 / total as f64
+    }
+
+    fn from_lanes(named: Vec<(String, u64)>) -> Self {
+        let period = named.iter().map(|(_, b)| *b).max().unwrap_or(0).max(1);
+        let lanes = named
+            .into_iter()
+            .map(|(name, busy)| LaneReport {
+                name,
+                busy,
+                period,
+                utilization: busy as f64 / period as f64,
+            })
+            .collect();
+        Self { lanes, period }
+    }
+}
+
+/// Fig. 9: the naive three-architecture pipeline, with stage work computed
+/// by `dur` (pass a constant closure for the paper's unit-slot
+/// idealization, or a dataflow's `schedule(..).cycles` for real durations).
+pub fn naive_pipeline(
+    spec: &GanSpec,
+    seq: PhaseSeq,
+    mut dur: impl FnMut(&ConvShape) -> u64,
+) -> PipelineReport {
+    let st = spec.st_phases(seq);
+    let w = spec.w_phases(seq);
+    let layers = spec.layers().len();
+    // The ST sequence interleaves T and S passes; recover the split by
+    // phase kind.
+    let mut t_busy = 0u64;
+    let mut s_busy = 0u64;
+    for p in &st {
+        match p.kind() {
+            zfgan_sim::ConvKind::T => t_busy += dur(p),
+            zfgan_sim::ConvKind::S => s_busy += dur(p),
+            _ => unreachable!("st_phases contains only S/T"),
+        }
+    }
+    let w_busy: u64 = w.iter().map(&mut dur).sum();
+    let _ = layers;
+    PipelineReport::from_lanes(vec![
+        ("T-ARCH".to_string(), t_busy),
+        ("S-ARCH".to_string(), s_busy),
+        ("W-ARCH".to_string(), w_busy),
+    ])
+}
+
+/// Fig. 10: the time-multiplexed organisation — one ST-ARCH handling all
+/// `S`/`T` passes, one W-ARCH decoupled through the Data/Error buffers.
+/// `w_slowdown` is the W-ARCH speed ratio relative to ST-ARCH (Eq. 8 uses
+/// 2.5: W-ARCH has 1/2.5 of ST-ARCH's channels).
+///
+/// # Panics
+///
+/// Panics if `w_slowdown` is not positive.
+pub fn time_multiplexed_pipeline(
+    spec: &GanSpec,
+    seq: PhaseSeq,
+    mut dur: impl FnMut(&ConvShape) -> u64,
+    w_slowdown: f64,
+) -> PipelineReport {
+    assert!(w_slowdown > 0.0, "slowdown ratio must be positive");
+    let st_busy: u64 = spec.st_phases(seq).iter().map(&mut dur).sum();
+    let w_work: u64 = spec.w_phases(seq).iter().map(&mut dur).sum();
+    let w_busy = (w_work as f64 * w_slowdown).round() as u64;
+    PipelineReport::from_lanes(vec![
+        ("ST-ARCH".to_string(), st_busy),
+        ("W-ARCH".to_string(), w_busy),
+    ])
+}
+
+/// A labeled busy interval on one lane of the per-phase timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSegment {
+    /// Lane name ("ST-ARCH" / "W-ARCH").
+    pub lane: &'static str,
+    /// Human-readable phase label, e.g. "Ḡ L2 (T)".
+    pub label: String,
+    /// Start cycle (inclusive).
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+}
+
+/// Builds the labeled per-phase schedule of **one sample's** update on the
+/// time-multiplexed accelerator: every ST pass runs back to back on
+/// ST-ARCH while W-ARCH drains the same sample's `W-CONV` work as soon as
+/// each layer's operands exist (after the corresponding backward pass) —
+/// the fine-grained picture behind paper Fig. 10.
+pub fn labeled_update_timeline(
+    spec: &GanSpec,
+    seq: PhaseSeq,
+    mut st_dur: impl FnMut(&ConvShape) -> u64,
+    mut w_dur: impl FnMut(&ConvShape) -> u64,
+) -> Vec<PhaseSegment> {
+    let n = spec.layers().len();
+    let pass_names: &[&str] = match seq {
+        PhaseSeq::DisUpdate => &[
+            "Ḡ fwd",
+            "D̄ fwd(fake)",
+            "D̄ fwd(real)",
+            "D̄ bwd(fake)",
+            "D̄ bwd(real)",
+        ],
+        PhaseSeq::GenUpdate => &["Ḡ fwd", "D̄ fwd", "D̄ bwd", "Ḡ bwd"],
+    };
+    let st_phases = spec.st_phases(seq);
+    let mut segments = Vec::new();
+    let mut t = 0u64;
+    // The backward passes (which produce the W operands) are the last
+    // `w_passes` ST passes; record their completion times per pass.
+    let mut pass_end = Vec::new();
+    for (p, name) in pass_names.iter().enumerate() {
+        for (l, phase) in st_phases[p * n..(p + 1) * n].iter().enumerate() {
+            let d = st_dur(phase);
+            segments.push(PhaseSegment {
+                lane: "ST-ARCH",
+                label: format!("{name} L{}", l + 1),
+                start: t,
+                end: t + d,
+            });
+            t += d;
+        }
+        pass_end.push(t);
+    }
+    // W-CONV work: one W pass per backward pass, eligible once that
+    // backward pass has fully retired its errors into the Error buffer.
+    let w_phases = spec.w_phases(seq);
+    let w_passes = w_phases.len() / n;
+    let mut w_free = 0u64;
+    for wp in 0..w_passes {
+        let eligible = pass_end[pass_names.len() - w_passes + wp];
+        for (l, phase) in w_phases[wp * n..(wp + 1) * n].iter().enumerate() {
+            let d = w_dur(phase);
+            let start = w_free.max(eligible);
+            segments.push(PhaseSegment {
+                lane: "W-ARCH",
+                label: format!("W pass {} L{}", wp + 1, l + 1),
+                start,
+                end: start + d,
+            });
+            w_free = start + d;
+        }
+    }
+    segments
+}
+
+/// Renders labeled segments lane by lane in start order.
+pub fn render_segments(segments: &[PhaseSegment]) -> String {
+    let mut out = String::new();
+    for lane in ["ST-ARCH", "W-ARCH"] {
+        out.push_str(&format!(
+            "{lane}:
+"
+        ));
+        let mut lane_segs: Vec<&PhaseSegment> =
+            segments.iter().filter(|s| s.lane == lane).collect();
+        lane_segs.sort_by_key(|s| s.start);
+        for s in lane_segs {
+            out.push_str(&format!(
+                "  [{:>9} .. {:>9}) {}
+",
+                s.start, s.end, s.label
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: fn(&ConvShape) -> u64 = |_| 1;
+
+    #[test]
+    fn naive_dis_update_w_arch_utilization_is_two_thirds() {
+        // Paper Section IV-B: "the utilization of W-ARCH is low (66.7% when
+        // updating Discriminator…)".
+        let spec = GanSpec::cgan();
+        let r = naive_pipeline(&spec, PhaseSeq::DisUpdate, UNIT);
+        let w = r.lanes.iter().find(|l| l.name == "W-ARCH").unwrap();
+        assert!(
+            (w.utilization - 2.0 / 3.0).abs() < 1e-9,
+            "util {}",
+            w.utilization
+        );
+        // S-ARCH idles too: 2 passes against T-ARCH's 3.
+        let s = r.lanes.iter().find(|l| l.name == "S-ARCH").unwrap();
+        assert!((s.utilization - 2.0 / 3.0).abs() < 1e-9);
+        assert!(r.bubble_fraction() > 0.2);
+    }
+
+    #[test]
+    fn naive_gen_update_w_arch_utilization_is_half() {
+        // "…and 50% when updating Generator".
+        let spec = GanSpec::cgan();
+        let r = naive_pipeline(&spec, PhaseSeq::GenUpdate, UNIT);
+        let w = r.lanes.iter().find(|l| l.name == "W-ARCH").unwrap();
+        assert!((w.utilization - 0.5).abs() < 1e-9, "util {}", w.utilization);
+    }
+
+    #[test]
+    fn time_multiplexing_removes_the_bubbles() {
+        // Fig. 10: with ST merged and W slowed 2.5×, both lanes are busy.
+        let spec = GanSpec::cgan();
+        let r = time_multiplexed_pipeline(&spec, PhaseSeq::DisUpdate, UNIT, 2.5);
+        for lane in &r.lanes {
+            assert!(
+                lane.utilization > 0.99,
+                "{}: {}",
+                lane.name,
+                lane.utilization
+            );
+        }
+        assert!(r.bubble_fraction() < 0.01);
+    }
+
+    #[test]
+    fn gen_update_w_arch_has_slack_at_eq8_ratio() {
+        // Eq. 8 sizes W-ARCH for the Discriminator's 2/5 ratio; Generator
+        // updates need only 1/4, so W-ARCH has headroom there.
+        let spec = GanSpec::cgan();
+        let r = time_multiplexed_pipeline(&spec, PhaseSeq::GenUpdate, UNIT, 2.5);
+        let w = r.lanes.iter().find(|l| l.name == "W-ARCH").unwrap();
+        assert!(
+            (0.5..1.0).contains(&w.utilization),
+            "util {}",
+            w.utilization
+        );
+    }
+
+    #[test]
+    fn labeled_timeline_orders_and_gates_correctly() {
+        let spec = GanSpec::cgan();
+        let segs = labeled_update_timeline(&spec, PhaseSeq::DisUpdate, |_| 10, |_| 12);
+        // 5 ST passes × 4 layers + 2 W passes × 4 layers.
+        assert_eq!(segs.len(), 5 * 4 + 2 * 4);
+        // ST is gap-free.
+        let st: Vec<&PhaseSegment> = segs.iter().filter(|s| s.lane == "ST-ARCH").collect();
+        for pair in st.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Every W segment starts only after its producing backward pass:
+        // W pass 1 needs "D̄ bwd(fake)" (pass 4 of 5) complete at cycle 160.
+        let w1 = segs
+            .iter()
+            .find(|s| s.label == "W pass 1 L1")
+            .expect("present");
+        assert!(w1.start >= 4 * 4 * 10);
+        // Rendering mentions both lanes and a label.
+        let text = render_segments(&segs);
+        assert!(text.contains("ST-ARCH:") && text.contains("W pass 2 L4"));
+    }
+
+    #[test]
+    fn labeled_timeline_handles_gen_update() {
+        let spec = GanSpec::mnist_gan();
+        let segs = labeled_update_timeline(&spec, PhaseSeq::GenUpdate, |_| 5, |_| 7);
+        assert_eq!(segs.len(), 4 * 2 + 2);
+        assert!(segs.iter().any(|s| s.label.starts_with("Ḡ bwd")));
+    }
+
+    #[test]
+    fn real_durations_are_supported() {
+        use zfgan_dataflow::{Dataflow, Zfost};
+        let spec = GanSpec::mnist_gan();
+        let zf = Zfost::new(4, 4, 75);
+        let r = naive_pipeline(&spec, PhaseSeq::DisUpdate, |p| zf.schedule(p).cycles);
+        assert!(r.period > 0);
+        assert_eq!(r.lanes.len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! The [`Dataflow`] trait and shared helpers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::{ConvShape, PhaseStats};
+
+/// Integer ceiling division — tiling maths used by every cycle model.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "division by zero tile size");
+    a.div_ceil(b)
+}
+
+/// Which of the five evaluated architectures a configuration belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// No-Local-Reuse (Fig. 5a), improved with zero-skipping per the
+    /// paper's evaluation methodology.
+    Nlr,
+    /// Weight-Stationary (Fig. 5b).
+    Wst,
+    /// Output-Stationary (Fig. 5c).
+    Ost,
+    /// Zero-Free Output-Stationary — the paper's ST-ARCH design (Fig. 11).
+    Zfost,
+    /// Zero-Free Weight-Stationary — the paper's W-ARCH design (Fig. 13).
+    Zfwst,
+}
+
+impl ArchKind {
+    /// All five architectures, in the paper's presentation order.
+    pub const ALL: [ArchKind; 5] = [
+        ArchKind::Nlr,
+        ArchKind::Wst,
+        ArchKind::Ost,
+        ArchKind::Zfost,
+        ArchKind::Zfwst,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Nlr => "NLR",
+            ArchKind::Wst => "WST",
+            ArchKind::Ost => "OST",
+            ArchKind::Zfost => "ZFOST",
+            ArchKind::Zfwst => "ZFWST",
+        }
+    }
+}
+
+impl fmt::Display for ArchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dataflow architecture: maps a convolution phase onto a PE array and
+/// reports the resulting schedule.
+///
+/// Implementors are *configurations* (an architecture plus its unrolling
+/// factors); the same `Ost` type with different factors models the paper's
+/// per-phase tuning of Table V.
+pub trait Dataflow: fmt::Debug + Send + Sync {
+    /// The architecture family.
+    fn kind(&self) -> ArchKind;
+
+    /// Number of PEs this configuration instantiates.
+    fn n_pes(&self) -> u64;
+
+    /// Schedules one convolution phase, returning cycles, access counts and
+    /// PE occupancy.
+    fn schedule(&self, phase: &ConvShape) -> PhaseStats;
+
+    /// Schedules a sequence of phases back-to-back on this array.
+    fn schedule_all(&self, phases: &[ConvShape]) -> PhaseStats {
+        let mut total = PhaseStats {
+            n_pes: self.n_pes(),
+            ..Default::default()
+        };
+        for p in phases {
+            total = total.merged(self.schedule(p));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_rounds_up() {
+        assert_eq!(ceil_div(10, 5), 2);
+        assert_eq!(ceil_div(11, 5), 3);
+        assert_eq!(ceil_div(0, 5), 0);
+        assert_eq!(ceil_div(1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn ceil_div_rejects_zero() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn arch_kind_names() {
+        assert_eq!(ArchKind::Zfost.to_string(), "ZFOST");
+        assert_eq!(ArchKind::ALL.len(), 5);
+    }
+}

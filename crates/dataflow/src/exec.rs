@@ -1,0 +1,970 @@
+//! Functional executors: the ZFOST / ZFWST dataflows walked tile by tile on
+//! real data.
+//!
+//! Each executor is the cycle-enumerated twin of the corresponding
+//! closed-form schedule: it iterates groups → tiles → operand feeds exactly
+//! as the hardware would, incrementing a cycle counter per feed and
+//! performing the real multiply-accumulates. Two invariants are enforced by
+//! the test suite (including property tests over random shapes):
+//!
+//! * the numerical output equals the `zfgan-tensor` golden reference;
+//! * the enumerated cycle count equals [`crate::Dataflow::schedule`]'s
+//!   closed form.
+//!
+//! This is what makes the simulator a *simulator* rather than a spreadsheet:
+//! the cycle counts are properties of an executable schedule.
+
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::{Fmaps, Kernels, Num, ShapeError, TensorResult};
+
+#[cfg(test)]
+use crate::arch::Dataflow;
+use crate::nlr::Nlr;
+use crate::ost::Ost;
+use crate::wst::Wst;
+use crate::zfost::Zfost;
+use crate::zfwst::Zfwst;
+
+/// Small helpers shared by the executors.
+mod exec_support {
+    use zfgan_tensor::{Fmaps, Num};
+
+    /// Zero-inserts without pulling `zfgan_tensor::zeros` into the public
+    /// signature (the executor needs the explicit map to index).
+    pub fn zero_inserted<T: Num>(input: &Fmaps<T>, stride: usize) -> Fmaps<T> {
+        zfgan_tensor::zeros::insert_zeros(input, stride)
+    }
+}
+
+/// Result of a functional execution: the computed tensor plus the
+/// enumerated cycle count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome<T> {
+    /// The computed output.
+    pub output: T,
+    /// Cycles counted while walking the schedule.
+    pub cycles: u64,
+}
+
+/// Executes an `S-CONV` phase on a [`Zfost`] array.
+///
+/// Kernel weights are fed in the parity-reordered order of paper Fig. 12(a)
+/// — `(even,even)`, `(even,odd)`, `(odd,even)`, `(odd,odd)` — which for
+/// `S-CONV` changes the input-register shift pattern but not the result.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfost_s_conv<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    if input.shape() != (large, phase.large_hw().0, phase.large_hw().1) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = zf.factors();
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out: Fmaps<T> = Fmaps::zeros(small, sh, sw);
+    let mut cycles = 0u64;
+    // Surplus channel groups fold over extra spatial tiles (matches the
+    // closed-form schedule).
+    let fold = (p_of / small).max(1);
+    let tiles: Vec<(usize, usize)> = (0..sh.div_ceil(p_oy))
+        .flat_map(|ty| (0..sw.div_ceil(p_ox)).map(move |tx| (ty, tx)))
+        .collect();
+    for of_base in (0..small).step_by(p_of) {
+        let of_end = (of_base + p_of).min(small);
+        for chunk in tiles.chunks(fold) {
+            for if_ in 0..large {
+                for (ky, kx) in kernel_parity_order(geom.kh(), geom.kw(), geom.stride()) {
+                    cycles += 1;
+                    for &(ty, tx) in chunk {
+                        for of in of_base..of_end {
+                            let w = *kernels.at(of, if_, ky, kx);
+                            for py in 0..p_oy {
+                                let oy = ty * p_oy + py;
+                                if oy >= sh {
+                                    continue;
+                                }
+                                for px in 0..p_ox {
+                                    let ox = tx * p_ox + px;
+                                    if ox >= sw {
+                                        continue;
+                                    }
+                                    let iy = stride * oy as isize + ky as isize - pt;
+                                    let ix = stride * ox as isize + kx as isize - pl;
+                                    out.at_mut(of, oy, ox)
+                                        .mul_add_assign(input.at_padded(if_, iy, ix), w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: out,
+        cycles,
+    })
+}
+
+/// Executes a `T-CONV` phase on a [`Zfost`] array.
+///
+/// One sweep of the `N_ky × N_kx` kernel feeds completes an
+/// `(s·P_oy) × (s·P_ox)` output region: during the feed of kernel position
+/// `(ky, kx)` the PEs compute the output parity class that position is
+/// effective for (paper Fig. 12b), so no inserted zero is ever multiplied.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfost_t_conv<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = zf.factors();
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let region_h = s * p_oy;
+    let region_w = s * p_ox;
+    let mut out: Fmaps<T> = Fmaps::zeros(large, lh, lw);
+    let mut cycles = 0u64;
+    let fold = (p_of / large).max(1);
+    let tiles: Vec<(usize, usize)> = (0..lh.div_ceil(region_h))
+        .flat_map(|ty| (0..lw.div_ceil(region_w)).map(move |tx| (ty, tx)))
+        .collect();
+    for of_base in (0..large).step_by(p_of) {
+        let of_end = (of_base + p_of).min(large);
+        for chunk in tiles.chunks(fold) {
+            {
+                for sf in 0..small {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            cycles += 1;
+                            // Output rows effective for this kernel row form
+                            // one residue class mod s.
+                            let res_y =
+                                (pt_ as isize - ky as isize).rem_euclid(s as isize) as usize;
+                            let res_x =
+                                (pl_ as isize - kx as isize).rem_euclid(s as isize) as usize;
+                            for &(ty, tx) in chunk {
+                                for of in of_base..of_end {
+                                    let w = *kernels.at(sf, of, kh - 1 - ky, kw - 1 - kx);
+                                    for py in 0..p_oy {
+                                        let oy = ty * region_h + py * s + res_y;
+                                        if oy >= lh {
+                                            continue;
+                                        }
+                                        let zy = oy as isize + ky as isize - pt_ as isize;
+                                        if zy < 0 {
+                                            continue;
+                                        }
+                                        debug_assert_eq!(zy as usize % s, 0);
+                                        let iy = zy as usize / s;
+                                        if iy >= sh {
+                                            continue;
+                                        }
+                                        for px in 0..p_ox {
+                                            let ox = tx * region_w + px * s + res_x;
+                                            if ox >= lw {
+                                                continue;
+                                            }
+                                            let zx = ox as isize + kx as isize - pl_ as isize;
+                                            if zx < 0 {
+                                                continue;
+                                            }
+                                            let ix = zx as usize / s;
+                                            if ix >= sw {
+                                                continue;
+                                            }
+                                            out.at_mut(of, oy, ox)
+                                                .mul_add_assign(*input.at(sf, iy, ix), w);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: out,
+        cycles,
+    })
+}
+
+/// Executes the Discriminator-side `W-CONV` (`D̄w`) on a [`Zfwst`] array:
+/// every cycle the adder tree folds `P_ky × P_kx` real error positions into
+/// one `∇W` neuron per channel group.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_wgrad_s<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+) -> TensorResult<ExecOutcome<Kernels<T>>> {
+    check_kind(phase, ConvKind::WGradS)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    if data.shape() != (large, phase.large_hw().0, phase.large_hw().1) {
+        return Err(ShapeError::new("data does not match phase's large side"));
+    }
+    if error.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("error does not match phase's small side"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let pairs: Vec<(usize, usize)> = (0..small)
+        .flat_map(|of| (0..large).map(move |if_| (of, if_)))
+        .collect();
+    let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
+    let mut cycles = 0u64;
+    for group in pairs.chunks(p_of) {
+        for ky in 0..geom.kh() {
+            for kx in 0..geom.kw() {
+                let positions: Vec<(usize, usize)> = (0..sh)
+                    .flat_map(|oy| (0..sw).map(move |ox| (oy, ox)))
+                    .collect();
+                for chunk in positions.chunks(grid) {
+                    cycles += 1;
+                    for &(of, if_) in group {
+                        let mut acc = T::zero();
+                        for &(oy, ox) in chunk {
+                            let iy = stride * oy as isize + ky as isize - pt;
+                            let ix = stride * ox as isize + kx as isize - pl;
+                            acc.mul_add_assign(*error.at(of, oy, ox), data.at_padded(if_, iy, ix));
+                        }
+                        *grad.at_mut(of, if_, ky, kx) += acc;
+                    }
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: grad,
+        cycles,
+    })
+}
+
+/// Executes the Generator-side `W-CONV` (`Ḡw`) on a [`Zfwst`] array: only
+/// the real (non-inserted) data pixels are loaded into the register array
+/// and folded through the adder tree.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_wgrad_t<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+) -> TensorResult<ExecOutcome<Kernels<T>>> {
+    check_kind(phase, ConvKind::WGradT)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if data.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("data does not match phase's small side"));
+    }
+    if error.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("error does not match phase's large side"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let pairs: Vec<(usize, usize)> = (0..small)
+        .flat_map(|sf| (0..large).map(move |lf| (sf, lf)))
+        .collect();
+    let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
+    let mut cycles = 0u64;
+    for group in pairs.chunks(p_of) {
+        for ky in 0..geom.kh() {
+            for kx in 0..geom.kw() {
+                let positions: Vec<(usize, usize)> = (0..sh)
+                    .flat_map(|iy| (0..sw).map(move |ix| (iy, ix)))
+                    .collect();
+                for chunk in positions.chunks(grid) {
+                    cycles += 1;
+                    for &(sf, lf) in group {
+                        let mut acc = T::zero();
+                        for &(iy, ix) in chunk {
+                            let ty = stride * iy as isize + ky as isize - pt;
+                            let tx = stride * ix as isize + kx as isize - pl;
+                            if ty >= 0 && tx >= 0 && (ty as usize) < lh && (tx as usize) < lw {
+                                acc.mul_add_assign(
+                                    *data.at(sf, iy, ix),
+                                    *error.at(lf, ty as usize, tx as usize),
+                                );
+                            }
+                        }
+                        *grad.at_mut(sf, lf, ky, kx) += acc;
+                    }
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: grad,
+        cycles,
+    })
+}
+
+/// Executes a `T-CONV` phase on a plain [`Ost`] array — the *baseline*
+/// behaviour the zero-free design fixes. The naive dataflow walks the
+/// zero-inserted input; this executor performs those multiplications for
+/// real and counts how many had a zero operand, so the analytical
+/// ineffectual-operation census ([`ConvShape::naive_muls`]) is validated
+/// against an actual execution.
+///
+/// Returns the output, the enumerated cycles, and
+/// `(effectual, ineffectual)` multiplication counts.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+#[allow(clippy::type_complexity)]
+pub fn ost_t_conv<T: Num>(
+    ost: &Ost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = ost.factors();
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let zi = exec_support::zero_inserted(input, s);
+    let (zh, zw) = (zi.height(), zi.width());
+    let mut out: Fmaps<T> = Fmaps::zeros(large, lh, lw);
+    let mut cycles = 0u64;
+    let (mut effectual, mut ineffectual) = (0u64, 0u64);
+    let fold = (p_of / large).max(1);
+    let tiles: Vec<(usize, usize)> = (0..lh.div_ceil(p_oy))
+        .flat_map(|ty| (0..lw.div_ceil(p_ox)).map(move |tx| (ty, tx)))
+        .collect();
+    for of_base in (0..large).step_by(p_of) {
+        let of_end = (of_base + p_of).min(large);
+        for chunk in tiles.chunks(fold) {
+            for sf in 0..small {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        cycles += 1;
+                        for &(ty, tx) in chunk {
+                            for of in of_base..of_end {
+                                let w = *kernels.at(sf, of, kh - 1 - ky, kw - 1 - kx);
+                                for py in 0..p_oy {
+                                    let oy = ty * p_oy + py;
+                                    if oy >= lh {
+                                        continue;
+                                    }
+                                    for px in 0..p_ox {
+                                        let ox = tx * p_ox + px;
+                                        if ox >= lw {
+                                            continue;
+                                        }
+                                        let zy = oy as isize + ky as isize - pt_ as isize;
+                                        let zx = ox as isize + kx as isize - pl_ as isize;
+                                        let v = if zy >= 0
+                                            && zx >= 0
+                                            && (zy as usize) < zh
+                                            && (zx as usize) < zw
+                                        {
+                                            *zi.at(sf, zy as usize, zx as usize)
+                                        } else {
+                                            T::zero()
+                                        };
+                                        // The naive array multiplies no
+                                        // matter what the operand holds.
+                                        if v.is_zero() {
+                                            ineffectual += 1;
+                                        } else {
+                                            effectual += 1;
+                                        }
+                                        out.at_mut(of, oy, ox).mul_add_assign(v, w);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        (effectual, ineffectual),
+    ))
+}
+
+/// Executes an `S-CONV` phase on a [`Wst`] array: weights stationary in
+/// the `P_ky × P_kx` grid, one input neuron broadcast per cycle, partial
+/// sums accumulated through the output buffer (counted — WST's defining
+/// cost).
+///
+/// Returns the output, enumerated cycles, and the observed partial-sum
+/// buffer accesses `(reads, writes)`.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+#[allow(clippy::type_complexity)]
+pub fn wst_s_conv<T: Num>(
+    wst: &Wst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = wst.factors();
+    let stride = geom.stride() as isize;
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out: Fmaps<T> = Fmaps::zeros(small, sh, sw);
+    let mut cycles = 0u64;
+    let (mut psum_reads, mut psum_writes) = (0u64, 0u64);
+    for of_base in (0..small).step_by(p_of) {
+        let of_end = (of_base + p_of).min(small);
+        for ky_base in (0..kh).step_by(p_ky) {
+            for kx_base in (0..kw).step_by(p_kx) {
+                // The grid holds one chunk of each group-channel's kernel;
+                // every input neuron of the map streams past it.
+                for if_ in 0..large {
+                    for iy in 0..lh {
+                        for ix in 0..lw {
+                            cycles += 1;
+                            let v = *input.at(if_, iy, ix);
+                            for of in of_base..of_end {
+                                for ky in ky_base..(ky_base + p_ky).min(kh) {
+                                    for kx in kx_base..(kx_base + p_kx).min(kw) {
+                                        // Which output (if any) does this
+                                        // (input, weight) pair feed?
+                                        let ny = iy as isize - ky as isize + pt;
+                                        let nx = ix as isize - kx as isize + pl;
+                                        if ny < 0 || nx < 0 || ny % stride != 0 || nx % stride != 0
+                                        {
+                                            continue; // idle PE this cycle
+                                        }
+                                        let (oy, ox) =
+                                            ((ny / stride) as usize, (nx / stride) as usize);
+                                        if oy >= sh || ox >= sw {
+                                            continue;
+                                        }
+                                        // No stationary psum: read-modify-
+                                        // write through the buffer.
+                                        psum_reads += 1;
+                                        psum_writes += 1;
+                                        out.at_mut(of, oy, ox)
+                                            .mul_add_assign(v, *kernels.at(of, if_, ky, kx));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        (psum_reads, psum_writes),
+    ))
+}
+
+/// Executes an `S-CONV` phase on an [`Nlr`] array: `P_if` input lanes fold
+/// through the adder tree into `P_of` output channels; no operand is kept
+/// locally, so every cycle re-fetches its weights (the counted cost).
+///
+/// Returns the output, enumerated cycles and the observed weight fetches.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn nlr_s_conv<T: Num>(
+    nlr: &Nlr,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, u64)> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    if input.shape() != (large, phase.large_hw().0, phase.large_hw().1) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_if, p_of) = (nlr.p_if(), nlr.p_of());
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out: Fmaps<T> = Fmaps::zeros(small, sh, sw);
+    let mut cycles = 0u64;
+    let mut weight_fetches = 0u64;
+    for of_base in (0..small).step_by(p_of) {
+        let of_end = (of_base + p_of).min(small);
+        for if_base in (0..large).step_by(p_if) {
+            let if_end = (if_base + p_if).min(large);
+            // One (kernel-position, output-position) coordinate per cycle,
+            // P_if lanes folded by the adder tree, P_of channels wide.
+            for oy in 0..sh {
+                for ox in 0..sw {
+                    for ky in 0..geom.kh() {
+                        for kx in 0..geom.kw() {
+                            cycles += 1;
+                            for of in of_base..of_end {
+                                let mut tree = T::zero();
+                                for if_ in if_base..if_end {
+                                    let iy = stride * oy as isize + ky as isize - pt;
+                                    let ix = stride * ox as isize + kx as isize - pl;
+                                    weight_fetches += 1;
+                                    tree +=
+                                        input.at_padded(if_, iy, ix) * *kernels.at(of, if_, ky, kx);
+                                }
+                                *out.at_mut(of, oy, ox) += tree;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        weight_fetches,
+    ))
+}
+
+/// Executes an `S-CONV` phase on a [`Zfwst`] array (the cross-assignment
+/// the paper evaluates in Fig. 15): the layer kernel is held stationary in
+/// the `P_ky × P_kx` grid and the adder tree folds one output neuron's
+/// worth of products per cycle per channel, accumulating across input maps.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_s_conv<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    if input.shape() != (large, phase.large_hw().0, phase.large_hw().1) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let positions: Vec<(usize, usize)> = (0..geom.kh())
+        .flat_map(|ky| (0..geom.kw()).map(move |kx| (ky, kx)))
+        .collect();
+    let mut out: Fmaps<T> = Fmaps::zeros(small, sh, sw);
+    let mut cycles = 0u64;
+    for of_base in (0..small).step_by(p_of) {
+        let of_end = (of_base + p_of).min(small);
+        for oy in 0..sh {
+            for ox in 0..sw {
+                for if_ in 0..large {
+                    for chunk in positions.chunks(grid) {
+                        cycles += 1;
+                        for of in of_base..of_end {
+                            // The adder tree folds the chunk's products.
+                            let mut tree = T::zero();
+                            for &(ky, kx) in chunk {
+                                let iy = stride * oy as isize + ky as isize - pt;
+                                let ix = stride * ox as isize + kx as isize - pl;
+                                tree += input.at_padded(if_, iy, ix) * *kernels.at(of, if_, ky, kx);
+                            }
+                            *out.at_mut(of, oy, ox) += tree;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: out,
+        cycles,
+    })
+}
+
+/// Executes a `T-CONV` phase on a [`Zfwst`] array: only the non-zero
+/// kernel taps of each output's parity class are made stationary
+/// ("we only allocate non-zero kernel weights to PEs"), so the tree folds
+/// ~`k²/s²` effective taps per output instead of `k²`.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_t_conv<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let mut out: Fmaps<T> = Fmaps::zeros(large, lh, lw);
+    let mut cycles = 0u64;
+    // Per-output effective tap budget: ⌈k/s⌉² grid slots per pass.
+    let eff = (kh.div_ceil(s)) * (kw.div_ceil(s));
+    let passes = eff.div_ceil(grid);
+    for of_base in (0..large).step_by(p_of) {
+        let of_end = (of_base + p_of).min(large);
+        for oy in 0..lh {
+            for ox in 0..lw {
+                // Non-zero taps of this output's parity class.
+                let taps: Vec<(usize, usize, usize, usize)> = (0..kh)
+                    .flat_map(|ky| (0..kw).map(move |kx| (ky, kx)))
+                    .filter_map(|(ky, kx)| {
+                        let zy = oy as isize + ky as isize - pt_ as isize;
+                        let zx = ox as isize + kx as isize - pl_ as isize;
+                        if zy < 0 || zx < 0 || zy as usize % s != 0 || zx as usize % s != 0 {
+                            return None;
+                        }
+                        let (iy, ix) = (zy as usize / s, zx as usize / s);
+                        if iy < sh && ix < sw {
+                            Some((ky, kx, iy, ix))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                for sf in 0..small {
+                    // The schedule charges `passes` cycles per (output, map)
+                    // regardless of edge-thinning — the hardware's fixed
+                    // pipeline beat.
+                    for chunk in taps.chunks(grid.max(1)) {
+                        cycles += 1;
+                        for of in of_base..of_end {
+                            let mut tree = T::zero();
+                            for &(ky, kx, iy, ix) in chunk {
+                                tree += *input.at(sf, iy, ix)
+                                    * *kernels.at(sf, of, kh - 1 - ky, kw - 1 - kx);
+                            }
+                            *out.at_mut(of, oy, ox) += tree;
+                        }
+                    }
+                    // Idle beats when edge-thinning left fewer chunks than
+                    // the schedule's fixed pass count.
+                    let used = taps.chunks(grid.max(1)).count();
+                    cycles += (passes - used.min(passes)) as u64;
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        output: out,
+        cycles,
+    })
+}
+
+/// Kernel positions in the parity-class feed order of paper Fig. 12(a).
+pub(crate) fn kernel_parity_order(kh: usize, kw: usize, stride: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(kh * kw);
+    for ry in 0..stride.min(kh) {
+        for rx in 0..stride.min(kw) {
+            for ky in (ry..kh).step_by(stride) {
+                for kx in (rx..kw).step_by(stride) {
+                    order.push((ky, kx));
+                }
+            }
+        }
+    }
+    order
+}
+
+fn check_kind(phase: &ConvShape, expected: ConvKind) -> TensorResult<()> {
+    if phase.kind() != expected {
+        return Err(ShapeError::new(format!(
+            "executor expects a {expected:?} phase, got {:?}",
+            phase.kind()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use zfgan_tensor::{s_conv, t_conv, w_conv_for_s_layer, w_conv_for_t_layer, ConvGeom};
+
+    fn phase(kind: ConvKind) -> ConvShape {
+        let geom = ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap();
+        ConvShape::new(kind, geom, 5, 3, 12, 12)
+    }
+
+    #[test]
+    fn parity_order_is_a_permutation() {
+        let mut order = kernel_parity_order(4, 4, 2);
+        assert_eq!(order.len(), 16);
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), 16);
+        // Stride 1: plain raster order.
+        assert_eq!(
+            kernel_parity_order(2, 2, 1),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+    }
+
+    #[test]
+    fn zfost_s_conv_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = phase(ConvKind::S);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfost::new(4, 4, 2);
+        let out = zfost_s_conv(&zf, &p, &x, &k).unwrap();
+        let reference = s_conv(&x, &k, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn zfost_t_conv_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = phase(ConvKind::T);
+        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfost::new(2, 3, 2);
+        let out = zfost_t_conv(&zf, &p, &x, &k).unwrap();
+        let reference = t_conv(&x, &k, p.geom()).unwrap();
+        assert!(
+            out.output.max_abs_diff(&reference) < 1e-9,
+            "diff {}",
+            out.output.max_abs_diff(&reference)
+        );
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn zfwst_wgrad_s_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = phase(ConvKind::WGradS);
+        let data: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let err: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let zf = Zfwst::new(3, 3, 4);
+        let out = zfwst_wgrad_s(&zf, &p, &data, &err).unwrap();
+        let reference = w_conv_for_s_layer(&data, &err, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn zfwst_wgrad_t_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = phase(ConvKind::WGradT);
+        let data: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let err: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let zf = Zfwst::new(4, 2, 3);
+        let out = zfwst_wgrad_t(&zf, &p, &data, &err).unwrap();
+        let reference = w_conv_for_t_layer(&data, &err, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn executors_reject_wrong_kinds_and_shapes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfost::new(4, 4, 2);
+        assert!(zfost_s_conv(&zf, &phase(ConvKind::T), &x, &k).is_err());
+        let wrong: Fmaps<f64> = Fmaps::random(2, 12, 12, 1.0, &mut rng);
+        assert!(zfost_s_conv(&zf, &phase(ConvKind::S), &wrong, &k).is_err());
+    }
+
+    #[test]
+    fn zfwst_s_executor_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let p = phase(ConvKind::S);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfwst::new(3, 3, 2);
+        let out = zfwst_s_conv(&zf, &p, &x, &k).unwrap();
+        let reference = s_conv(&x, &k, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn zfwst_t_executor_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let p = phase(ConvKind::T);
+        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfwst::new(2, 2, 2);
+        let out = zfwst_t_conv(&zf, &p, &x, &k).unwrap();
+        let reference = t_conv(&x, &k, p.geom()).unwrap();
+        assert!(
+            out.output.max_abs_diff(&reference) < 1e-9,
+            "diff {}",
+            out.output.max_abs_diff(&reference)
+        );
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+
+    #[test]
+    fn wst_executor_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p = phase(ConvKind::S);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let wst = crate::Wst::new(4, 4, 2);
+        let (out, (pr, pw)) = wst_s_conv(&wst, &p, &x, &k).unwrap();
+        let reference = s_conv(&x, &k, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, wst.schedule(&p).cycles);
+        // Observed psum traffic: one read+write per MAC actually fired.
+        // The stream never presents padding pixels, so the count sits just
+        // below the census (which includes zero-padding MACs).
+        assert_eq!(pr, pw);
+        assert!(pr <= p.effectual_macs());
+        assert!(
+            pr * 10 >= p.effectual_macs() * 8,
+            "pr {pr} vs census {}",
+            p.effectual_macs()
+        );
+    }
+
+    #[test]
+    fn nlr_executor_matches_reference_and_schedule() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let p = phase(ConvKind::S);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let nlr = crate::Nlr::new(3, 5);
+        let (out, weight_fetches) = nlr_s_conv(&nlr, &p, &x, &k).unwrap();
+        let reference = s_conv(&x, &k, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, nlr.schedule(&p).cycles);
+        // No local reuse: every MAC fetched its weight.
+        assert_eq!(weight_fetches, p.effectual_macs());
+    }
+
+    #[test]
+    fn ost_t_executor_counts_the_wasted_work() {
+        // The baseline executor really multiplies the inserted zeros: its
+        // effectual count equals the phase's analytical census and the
+        // total equals `naive_muls`.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let p = phase(ConvKind::T);
+        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let ost = crate::Ost::new(4, 4, 2);
+        let (out, (effectual, ineffectual)) = ost_t_conv(&ost, &p, &x, &k).unwrap();
+        let reference = t_conv(&x, &k, p.geom()).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, ost.schedule(&p).cycles);
+        assert_eq!(effectual, p.effectual_macs());
+        assert_eq!(effectual + ineffectual, p.naive_muls());
+        // ~3/4 of the baseline's multiplications are wasted.
+        let frac = ineffectual as f64 / (effectual + ineffectual) as f64;
+        assert!((0.6..0.85).contains(&frac), "wasted fraction {frac}");
+    }
+
+    #[test]
+    fn asymmetric_padding_t_conv_matches() {
+        // MNIST-GAN geometry: 5×5 kernel, pads (1,2,1,2).
+        let mut rng = SmallRng::seed_from_u64(6);
+        let geom = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
+        let p = ConvShape::new(ConvKind::T, geom, 4, 2, 28, 28);
+        let x: Fmaps<f64> = Fmaps::random(4, 14, 14, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(4, 2, 5, 5, 1.0, &mut rng);
+        let zf = Zfost::new(4, 4, 2);
+        let out = zfost_t_conv(&zf, &p, &x, &k).unwrap();
+        let reference = t_conv(&x, &k, &geom).unwrap();
+        assert!(out.output.max_abs_diff(&reference) < 1e-9);
+        assert_eq!(out.cycles, zf.schedule(&p).cycles);
+    }
+}

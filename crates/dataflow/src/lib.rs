@@ -1,0 +1,63 @@
+//! Dataflow architectures for GAN convolutions: the paper's baselines
+//! (NLR, WST, OST) and its contributions (**ZFOST**, **ZFWST**).
+//!
+//! Every architecture implements the [`Dataflow`] trait: given a
+//! [`ConvShape`](zfgan_sim::ConvShape) phase it produces a
+//! [`PhaseStats`](zfgan_sim::PhaseStats) — cycles, effectual MACs, PE count
+//! and on-chip access counts. The cycle models are derived from each
+//! architecture's loop mapping (documented per module) and are cross-checked
+//! two ways:
+//!
+//! * the [`exec`] module contains *functional executors* for ZFOST and
+//!   ZFWST that walk the dataflow tile by tile on real data, producing both
+//!   the numerical result (validated against the `zfgan-tensor` golden
+//!   reference) and an enumerated cycle count (validated against the
+//!   closed-form schedule);
+//! * property tests draw random shapes and assert closed-form ↔ enumerated
+//!   agreement.
+//!
+//! The [`unroll`] module reproduces the paper's Table V: given a PE budget
+//! and a workload's phases it searches the unrolling space per architecture
+//! and per phase kind, exactly the "lowest idleness" tuning methodology of
+//! the evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use zfgan_dataflow::{Dataflow, Ost, Zfost};
+//! use zfgan_sim::{ConvKind, ConvShape};
+//! use zfgan_tensor::ConvGeom;
+//!
+//! let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32)?;
+//! // Generator forward: T-CONV with zero-inserted input.
+//! let phase = ConvShape::new(ConvKind::T, geom, 64, 3, 64, 64);
+//! let ost = Ost::new(4, 4, 75);
+//! let zfost = Zfost::new(4, 4, 75);
+//! // The zero-free dataflow needs ~4× fewer cycles at equal PE count.
+//! let speedup = ost.schedule(&phase).cycles as f64 / zfost.schedule(&phase).cycles as f64;
+//! assert!(speedup > 3.0);
+//! # Ok::<(), zfgan_tensor::ShapeError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod arch;
+pub mod exec;
+mod nlr;
+mod ost;
+mod rs;
+pub mod rtl;
+pub mod unroll;
+mod wst;
+mod zfost;
+mod zfwst;
+
+pub use arch::{ceil_div, ArchKind, Dataflow};
+pub use nlr::Nlr;
+pub use ost::Ost;
+pub use rs::RowStationary;
+pub use unroll::{PhaseTuned, UnrollChoice};
+pub use wst::Wst;
+pub use zfost::Zfost;
+pub use zfwst::Zfwst;

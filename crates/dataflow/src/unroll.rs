@@ -1,0 +1,309 @@
+//! Unrolling-strategy search — the methodology behind the paper's Table V.
+//!
+//! The evaluation gives every architecture the same PE budget and, per
+//! computing phase, "different unrolling strategies … to guarantee the
+//! lowest idleness". [`UnrollChoice::search`] reproduces that: it enumerates
+//! the configuration space of one architecture under a PE budget and picks
+//! the configuration minimising total cycles over a set of phases, breaking
+//! ties by on-chip accesses.
+//!
+//! [`PhaseTuned`] bundles one configuration per [`ConvKind`] into a single
+//! [`Dataflow`], mirroring the per-phase rows of Table V.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::{ConvKind, ConvShape, PhaseStats};
+
+use crate::arch::{ArchKind, Dataflow};
+use crate::nlr::Nlr;
+use crate::ost::Ost;
+use crate::wst::Wst;
+use crate::zfost::Zfost;
+use crate::zfwst::Zfwst;
+
+/// One concrete unrolling decision: architecture + factors.
+///
+/// `factors` means `(P_if, P_of)` for NLR and `(P_y, P_x, P_of)` for the
+/// grid-based architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UnrollChoice {
+    /// Which architecture family.
+    pub arch: ArchKind,
+    /// Grid rows (`P_if` for NLR, `P_ky`/`P_oy` otherwise).
+    pub p_y: usize,
+    /// Grid columns (1 for NLR).
+    pub p_x: usize,
+    /// Channel unrolling `P_of`.
+    pub p_of: usize,
+}
+
+impl UnrollChoice {
+    /// Instantiates the configured dataflow.
+    pub fn build(&self) -> Box<dyn Dataflow> {
+        match self.arch {
+            ArchKind::Nlr => Box::new(Nlr::new(self.p_y, self.p_of)),
+            ArchKind::Wst => Box::new(Wst::new(self.p_y, self.p_x, self.p_of)),
+            ArchKind::Ost => Box::new(Ost::new(self.p_y, self.p_x, self.p_of)),
+            ArchKind::Zfost => Box::new(Zfost::new(self.p_y, self.p_x, self.p_of)),
+            ArchKind::Zfwst => Box::new(Zfwst::new(self.p_y, self.p_x, self.p_of)),
+        }
+    }
+
+    /// Number of PEs the choice instantiates.
+    pub fn n_pes(&self) -> usize {
+        match self.arch {
+            ArchKind::Nlr => self.p_y * self.p_of,
+            _ => self.p_y * self.p_x * self.p_of,
+        }
+    }
+
+    /// Searches the unrolling space of `arch` under `pe_budget` PEs for the
+    /// configuration minimising total cycles over `phases` (ties broken by
+    /// on-chip accesses, then by PE count).
+    ///
+    /// The grid dimensions range over `1..=max_grid` (the paper's grids stay
+    /// ≤ 5×5; the default searches up to 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or `pe_budget` is zero.
+    pub fn search(arch: ArchKind, pe_budget: usize, phases: &[ConvShape]) -> UnrollChoice {
+        assert!(!phases.is_empty(), "need at least one phase to tune for");
+        assert!(pe_budget > 0, "PE budget must be non-zero");
+        let max_grid = 8usize;
+        // Enumerate the candidate space first…
+        let mut candidates: Vec<UnrollChoice> = Vec::new();
+        match arch {
+            ArchKind::Nlr => {
+                // The adder tree folding P_if lanes is NLR's defining
+                // structure; a degenerate P_if would turn it into a
+                // different machine, so the search keeps at least an
+                // 8-input tree (the paper uses P_if = 16).
+                for p_if in [8usize, 16, 32, 64] {
+                    let p_of = pe_budget / p_if;
+                    if p_of == 0 {
+                        break;
+                    }
+                    candidates.push(UnrollChoice {
+                        arch,
+                        p_y: p_if,
+                        p_x: 1,
+                        p_of,
+                    });
+                }
+            }
+            _ => {
+                for p_y in 1..=max_grid {
+                    for p_x in 1..=max_grid {
+                        let p_of = pe_budget / (p_y * p_x);
+                        if p_of == 0 {
+                            continue;
+                        }
+                        candidates.push(UnrollChoice {
+                            arch,
+                            p_y,
+                            p_x,
+                            p_of,
+                        });
+                    }
+                }
+            }
+        }
+        // …then score them (in parallel when the space is large enough to
+        // pay for the threads) and take the deterministic argmin: candidate
+        // order breaks exact ties, so the parallel result is identical to a
+        // sequential scan.
+        let score = |c: &UnrollChoice| -> (u64, u64, usize) {
+            let stats = c.build().schedule_all(phases);
+            (stats.cycles, stats.access.total(), c.n_pes())
+        };
+        let keys: Vec<(u64, u64, usize)> = if candidates.len() >= 16 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2);
+            let chunk = candidates.len().div_ceil(threads);
+            let mut keys = vec![(0u64, 0u64, 0usize); candidates.len()];
+            crossbeam::thread::scope(|scope| {
+                for (slot, cand) in keys.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                    scope.spawn(move |_| {
+                        for (k, c) in slot.iter_mut().zip(cand) {
+                            *k = score(c);
+                        }
+                    });
+                }
+            })
+            .expect("search worker panicked");
+            keys
+        } else {
+            candidates.iter().map(score).collect()
+        };
+        let best = keys
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, k)| (**k, *i))
+            .map(|(i, _)| candidates[i])
+            .expect("non-empty search space");
+        best
+    }
+}
+
+/// A per-phase-kind tuned architecture: one [`UnrollChoice`] per
+/// [`ConvKind`], dispatched at schedule time — exactly how Table V assigns
+/// ZFOST different `P` factors for `D̄w` and `Ḡw`.
+#[derive(Debug)]
+pub struct PhaseTuned {
+    arch: ArchKind,
+    n_pes: u64,
+    by_kind: BTreeMap<&'static str, (ConvKind, Box<dyn Dataflow>, UnrollChoice)>,
+}
+
+impl PhaseTuned {
+    /// Tunes `arch` under `pe_budget` separately for each phase kind present
+    /// in `phases`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn tune(arch: ArchKind, pe_budget: usize, phases: &[ConvShape]) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let mut by_kind = BTreeMap::new();
+        for kind in [ConvKind::S, ConvKind::T, ConvKind::WGradS, ConvKind::WGradT] {
+            let subset: Vec<ConvShape> = phases
+                .iter()
+                .filter(|p| p.kind() == kind)
+                .copied()
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let choice = UnrollChoice::search(arch, pe_budget, &subset);
+            by_kind.insert(kind_key(kind), (kind, choice.build(), choice));
+        }
+        Self {
+            arch,
+            n_pes: pe_budget as u64,
+            by_kind,
+        }
+    }
+
+    /// The tuned choice for one phase kind, if any phase of that kind was
+    /// provided at tuning time.
+    pub fn choice(&self, kind: ConvKind) -> Option<UnrollChoice> {
+        self.by_kind.get(kind_key(kind)).map(|(_, _, c)| *c)
+    }
+}
+
+fn kind_key(kind: ConvKind) -> &'static str {
+    match kind {
+        ConvKind::S => "S",
+        ConvKind::T => "T",
+        ConvKind::WGradS => "WGradS",
+        ConvKind::WGradT => "WGradT",
+    }
+}
+
+impl Dataflow for PhaseTuned {
+    fn kind(&self) -> ArchKind {
+        self.arch
+    }
+
+    fn n_pes(&self) -> u64 {
+        self.n_pes
+    }
+
+    fn schedule(&self, phase: &ConvShape) -> PhaseStats {
+        let (_, df, _) = self
+            .by_kind
+            .get(kind_key(phase.kind()))
+            .unwrap_or_else(|| panic!("no tuning for phase kind {:?}", phase.kind()));
+        let mut stats = df.schedule(phase);
+        // Report occupancy against the full budget: unused PEs are idle, not
+        // free (the fairness rule of the evaluation).
+        stats.n_pes = self.n_pes;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zfgan_tensor::ConvGeom;
+
+    fn dcgan_phases(kind: ConvKind) -> Vec<ConvShape> {
+        // The DCGAN discriminator ladder of Table IV (cGAN row).
+        let dims = [
+            (3usize, 64usize, 64usize),
+            (64, 128, 32),
+            (128, 256, 16),
+            (256, 512, 8),
+        ];
+        dims.iter()
+            .map(|&(large, small, lhw)| {
+                let geom = ConvGeom::down(lhw, lhw, 4, 4, 2, lhw / 2, lhw / 2).unwrap();
+                ConvShape::new(kind, geom, small, large, lhw, lhw)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zfost_search_picks_4x4_grid_for_st_phases() {
+        // Table V: ZFOST ST-ARCH picks P_ox=4, P_oy=4, P_of=75 — the
+        // minimum output feature map of DCGAN is 4×4.
+        let choice = UnrollChoice::search(ArchKind::Zfost, 1200, &dcgan_phases(ConvKind::S));
+        assert_eq!((choice.p_y, choice.p_x), (4, 4), "{choice:?}");
+        assert_eq!(choice.p_of, 75);
+    }
+
+    #[test]
+    fn zfwst_search_uses_kernel_grid_for_wgrad() {
+        // Table V: ZFWST W-ARCH picks P_kx=4, P_ky=4, P_of=30.
+        let choice = UnrollChoice::search(ArchKind::Zfwst, 480, &dcgan_phases(ConvKind::WGradS));
+        assert_eq!(choice.n_pes() <= 480, true);
+        let zf = choice.build();
+        let stats = zf.schedule_all(&dcgan_phases(ConvKind::WGradS));
+        // The searched config must not be worse than the paper's.
+        let paper = Zfwst::new(4, 4, 30).schedule_all(&dcgan_phases(ConvKind::WGradS));
+        assert!(stats.cycles <= paper.cycles);
+    }
+
+    #[test]
+    fn search_respects_budget() {
+        for arch in ArchKind::ALL {
+            let c = UnrollChoice::search(arch, 480, &dcgan_phases(ConvKind::S));
+            assert!(c.n_pes() <= 480, "{arch:?}: {c:?}");
+            assert!(
+                c.n_pes() > 240,
+                "{arch:?} wastes more than half the budget: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_tuned_dispatches_by_kind() {
+        let mut phases = dcgan_phases(ConvKind::WGradS);
+        phases.extend(dcgan_phases(ConvKind::WGradT));
+        let tuned = PhaseTuned::tune(ArchKind::Zfost, 480, &phases);
+        assert!(tuned.choice(ConvKind::WGradS).is_some());
+        assert!(tuned.choice(ConvKind::WGradT).is_some());
+        assert!(tuned.choice(ConvKind::S).is_none());
+        let stats = tuned.schedule(&phases[0]);
+        assert_eq!(stats.n_pes, 480);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tuning")]
+    fn phase_tuned_rejects_untuned_kind() {
+        let tuned = PhaseTuned::tune(ArchKind::Ost, 480, &dcgan_phases(ConvKind::S));
+        let _ = tuned.schedule(&dcgan_phases(ConvKind::T)[0]);
+    }
+
+    #[test]
+    fn tuned_beats_or_ties_untuned_default() {
+        let phases = dcgan_phases(ConvKind::T);
+        let searched = UnrollChoice::search(ArchKind::Ost, 1200, &phases).build();
+        let naive = Ost::new(8, 8, 18);
+        assert!(searched.schedule_all(&phases).cycles <= naive.schedule_all(&phases).cycles);
+    }
+}

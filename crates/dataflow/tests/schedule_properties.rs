@@ -1,0 +1,148 @@
+//! Property-based invariants every dataflow schedule must satisfy, over
+//! randomly drawn phases and unrolling configurations.
+
+use proptest::prelude::*;
+use zfgan_dataflow::{Dataflow, Nlr, Ost, RowStationary, Wst, Zfost, Zfwst};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::ConvGeom;
+
+fn arb_phase() -> impl Strategy<Value = ConvShape> {
+    (
+        1usize..=2,
+        2usize..=5,
+        2usize..=6,
+        1usize..=8,
+        1usize..=8,
+        0usize..4,
+    )
+        .prop_map(|(stride_sel, k, out, small, large, kind_sel)| {
+            let stride = stride_sel + 1; // 2 or 3
+                                         // A kernel smaller than the stride cannot cover the input with
+                                         // padding below the kernel size; clamp to keep geometry valid.
+            let k = k.max(stride);
+            let in_hw = stride * out;
+            let geom = ConvGeom::down(in_hw, in_hw, k, k, stride, out, out)
+                .expect("constructed to be valid");
+            let kind = match kind_sel {
+                0 => ConvKind::S,
+                1 => ConvKind::T,
+                2 => ConvKind::WGradS,
+                _ => ConvKind::WGradT,
+            };
+            ConvShape::new(kind, geom, small, large, in_hw, in_hw)
+        })
+}
+
+fn arb_factors() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=5, 1usize..=5, 1usize..=16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No schedule is super-efficient: utilization ≤ 1 everywhere, i.e.
+    /// cycles × nPEs ≥ effectual MACs.
+    #[test]
+    fn no_architecture_exceeds_unit_utilization(
+        phase in arb_phase(),
+        (py, px, pof) in arb_factors(),
+    ) {
+        let archs: Vec<Box<dyn Dataflow>> = vec![
+            Box::new(Nlr::new(py * px, pof)),
+            Box::new(Wst::new(py, px, pof)),
+            Box::new(Ost::new(py, px, pof)),
+            Box::new(Zfost::new(py, px, pof)),
+            Box::new(Zfwst::new(py, px, pof)),
+            Box::new(RowStationary::new(py, px, pof)),
+        ];
+        for arch in archs {
+            let s = arch.schedule(&phase);
+            prop_assert!(s.cycles > 0, "{:?} produced zero cycles", arch.kind());
+            prop_assert!(
+                s.utilization() <= 1.0 + 1e-9,
+                "{:?} on {:?}: util {} > 1",
+                arch.kind(),
+                phase.kind(),
+                s.utilization()
+            );
+        }
+    }
+
+    /// The zero-free designs never lose to their direct baselines at equal
+    /// configuration.
+    #[test]
+    fn zero_free_dominates_pointwise(
+        phase in arb_phase(),
+        (py, px, pof) in arb_factors(),
+    ) {
+        let ost = Ost::new(py, px, pof).schedule(&phase);
+        let zfost = Zfost::new(py, px, pof).schedule(&phase);
+        prop_assert!(
+            zfost.cycles <= ost.cycles,
+            "ZFOST {} > OST {} on {:?}",
+            zfost.cycles,
+            ost.cycles,
+            phase.kind()
+        );
+        if phase.kind().is_weight_grad() {
+            let wst = Wst::new(py, px, pof).schedule(&phase);
+            let zfwst = Zfwst::new(py, px, pof).schedule(&phase);
+            prop_assert!(
+                zfwst.cycles <= wst.cycles,
+                "ZFWST {} > WST {} on {:?}",
+                zfwst.cycles,
+                wst.cycles,
+                phase.kind()
+            );
+        }
+    }
+
+    /// Effectual MACs are an architecture-independent phase property.
+    #[test]
+    fn effectual_macs_do_not_depend_on_the_architecture(
+        phase in arb_phase(),
+        (py, px, pof) in arb_factors(),
+    ) {
+        let a = Ost::new(py, px, pof).schedule(&phase).effectual_macs;
+        let b = Zfwst::new(py, px, pof).schedule(&phase).effectual_macs;
+        let c = Nlr::new(py * px, pof).schedule(&phase).effectual_macs;
+        prop_assert_eq!(a, phase.effectual_macs());
+        prop_assert_eq!(b, a);
+        prop_assert_eq!(c, a);
+    }
+
+    /// More channels never slow a schedule down (monotonicity in P_of).
+    #[test]
+    fn channel_unrolling_is_monotone(
+        phase in arb_phase(),
+        (py, px, pof) in arb_factors(),
+    ) {
+        let makers: [fn(usize, usize, usize) -> Box<dyn Dataflow>; 3] = [
+            |y, x, c| Box::new(Ost::new(y, x, c)),
+            |y, x, c| Box::new(Zfost::new(y, x, c)),
+            |y, x, c| Box::new(Zfwst::new(y, x, c)),
+        ];
+        for make in makers {
+            let small = make(py, px, pof).schedule(&phase).cycles;
+            let big = make(py, px, pof * 2).schedule(&phase).cycles;
+            prop_assert!(big <= small, "doubling P_of slowed {:?}", phase.kind());
+        }
+    }
+
+    /// Access totals are positive and outputs are written at least once.
+    #[test]
+    fn schedules_account_for_their_outputs(
+        phase in arb_phase(),
+        (py, px, pof) in arb_factors(),
+    ) {
+        for arch in [
+            Box::new(Ost::new(py, px, pof)) as Box<dyn Dataflow>,
+            Box::new(Zfost::new(py, px, pof)),
+            Box::new(Zfwst::new(py, px, pof)),
+        ] {
+            let s = arch.schedule(&phase);
+            prop_assert!(s.access.output_writes >= phase.output_count());
+            prop_assert!(s.access.total() > 0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Checkpointing: serialise a trained [`GanPair`] and restore it later.
+//!
+//! Both networks are plain serde data structures, so any serde format
+//! works; the round-trip re-validates the pair's shape contract on load.
+
+use serde::{Deserialize, Serialize};
+use zfgan_tensor::TensorResult;
+
+use crate::network::ConvNet;
+use crate::trainer::GanPair;
+
+/// A serialisable snapshot of a Generator/Discriminator pair.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use zfgan_nn::{Checkpoint, GanPair};
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let pair = GanPair::tiny(&mut rng);
+/// let snapshot = Checkpoint::from_pair(&pair);
+/// let restored = snapshot.into_pair()?;
+/// assert_eq!(restored.image_shape(), pair.image_shape());
+/// # Ok::<(), zfgan_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    generator: ConvNet,
+    discriminator: ConvNet,
+}
+
+impl Checkpoint {
+    /// Snapshots a pair (clones both networks).
+    pub fn from_pair(pair: &GanPair) -> Self {
+        Self {
+            generator: pair.generator().clone(),
+            discriminator: pair.discriminator().clone(),
+        }
+    }
+
+    /// Restores the pair, re-validating shape compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the serialised networks are not a valid pair
+    /// (e.g. the payload was edited or truncated).
+    pub fn into_pair(self) -> TensorResult<GanPair> {
+        GanPair::new(self.generator, self.discriminator)
+    }
+
+    /// The snapshotted Generator.
+    pub fn generator(&self) -> &ConvNet {
+        &self.generator
+    }
+
+    /// The snapshotted Discriminator.
+    pub fn discriminator(&self) -> &ConvNet {
+        &self.discriminator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use zfgan_tensor::Fmaps;
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pair = GanPair::tiny(&mut rng);
+        let z = Fmaps::random(8, 1, 1, 1.0, &mut rng);
+        let before = pair.generator().forward(&z).unwrap().output().clone();
+
+        let json = serde_json::to_string(&Checkpoint::from_pair(&pair)).unwrap();
+        let restored: Checkpoint = serde_json::from_str(&json).unwrap();
+        let restored = restored.into_pair().unwrap();
+        let after = restored.generator().forward(&z).unwrap().output().clone();
+        assert_eq!(before, after, "restored generator must be bit-identical");
+    }
+
+    #[test]
+    fn mismatched_networks_fail_to_restore() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = GanPair::tiny(&mut rng);
+        let bad = Checkpoint {
+            generator: a.discriminator().clone(), // wrong role
+            discriminator: a.discriminator().clone(),
+        };
+        assert!(bad.into_pair().is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! A stack of convolutional layers with full backpropagation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use zfgan_tensor::{Fmaps, ShapeError, TensorResult};
+
+use crate::layer::{ConvLayer, LayerGrads};
+
+/// Cached forward-pass tensors of one sample — the paper's "intermediate
+/// data" (`d^l`) that `W-CONV` needs during the backward pass.
+///
+/// Its size is exactly what the paper's Section III-A memory analysis is
+/// about: the synchronized algorithm must hold `2 × batch` of these, the
+/// deferred algorithm only one.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    input: Fmaps<f32>,
+    pre: Vec<Fmaps<f32>>,
+    post: Vec<Fmaps<f32>>,
+}
+
+impl Trace {
+    /// The network input that produced this trace.
+    pub fn input(&self) -> &Fmaps<f32> {
+        &self.input
+    }
+
+    /// The final network output.
+    pub fn output(&self) -> &Fmaps<f32> {
+        self.post.last().unwrap_or(&self.input)
+    }
+
+    /// Post-activation output of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn post(&self, l: usize) -> &Fmaps<f32> {
+        &self.post[l]
+    }
+
+    /// Total number of buffered elements (input + all pre/post activations)
+    /// — the memory-accounting currency of the Section III-A experiment.
+    pub fn buffered_elems(&self) -> usize {
+        self.input.len()
+            + self.pre.iter().map(Fmaps::len).sum::<usize>()
+            + self.post.iter().map(Fmaps::len).sum::<usize>()
+    }
+
+    /// Number of buffered elements counting only what weight updating needs:
+    /// each layer's *input* activation (`d^{l-1}`), i.e. the network input
+    /// plus every post-activation except the last. This matches the paper's
+    /// accounting for the ~126 MB DCGAN figure.
+    pub fn weight_update_elems(&self) -> usize {
+        let mut total = self.input.len();
+        for p in &self.post[..self.post.len().saturating_sub(1)] {
+            total += p.len();
+        }
+        total
+    }
+}
+
+/// A feed-forward stack of [`ConvLayer`]s — one Generator or Discriminator.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use zfgan_nn::{Activation, ConvLayer, ConvNet, Direction};
+/// use zfgan_tensor::{ConvGeom, Fmaps};
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let geom = ConvGeom::down(8, 8, 4, 4, 2, 4, 4)?;
+/// let layer = ConvLayer::random(
+///     Direction::Down, geom, 4, 1, Activation::Identity, (1, 8, 8), 0.1, &mut rng,
+/// )?;
+/// let net = ConvNet::new(vec![layer])?;
+/// let x = Fmaps::random(1, 8, 8, 1.0, &mut rng);
+/// let trace = net.forward(&x)?;
+/// assert_eq!(trace.output().shape(), (4, 4, 4));
+/// # Ok::<(), zfgan_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvNet {
+    layers: Vec<ConvLayer>,
+}
+
+impl ConvNet {
+    /// Creates a network, validating that consecutive layer shapes chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stack is empty or a layer's input shape does
+    /// not equal the previous layer's output shape.
+    pub fn new(layers: Vec<ConvLayer>) -> TensorResult<Self> {
+        if layers.is_empty() {
+            return Err(ShapeError::new("a network needs at least one layer"));
+        }
+        for (i, pair) in layers.windows(2).enumerate() {
+            if pair[0].out_shape() != pair[1].in_shape() {
+                return Err(ShapeError::new(format!(
+                    "layer {i} outputs {:?} but layer {} expects {:?}",
+                    pair[0].out_shape(),
+                    i + 1,
+                    pair[1].in_shape()
+                )));
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// The layers, in forward order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [ConvLayer] {
+        &mut self.layers
+    }
+
+    /// `(channels, height, width)` the network consumes.
+    pub fn in_shape(&self) -> (usize, usize, usize) {
+        self.layers[0].in_shape()
+    }
+
+    /// `(channels, height, width)` the network produces.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        self.layers.last().expect("validated non-empty").out_shape()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(ConvLayer::param_count).sum()
+    }
+
+    /// Forward pass, caching every intermediate tensor for the backward
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network's input shape.
+    pub fn forward(&self, input: &Fmaps<f32>) -> TensorResult<Trace> {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            let (p, a) = layer.forward(&cur)?;
+            cur = a.clone();
+            pre.push(p);
+            post.push(a);
+        }
+        Ok(Trace {
+            input: input.clone(),
+            pre,
+            post,
+        })
+    }
+
+    /// Backward pass: propagates `delta_out` (error on the network output)
+    /// through every layer, returning per-layer gradients (forward order)
+    /// and the error on the network input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta_out` does not match the output shape.
+    pub fn backward(
+        &self,
+        trace: &Trace,
+        delta_out: &Fmaps<f32>,
+    ) -> TensorResult<(Vec<LayerGrads>, Fmaps<f32>)> {
+        if delta_out.shape() != self.out_shape() {
+            return Err(ShapeError::new(format!(
+                "delta shape {:?} does not match output {:?}",
+                delta_out.shape(),
+                self.out_shape()
+            )));
+        }
+        let mut grads: Vec<Option<LayerGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut delta = delta_out.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let input = if l == 0 {
+                &trace.input
+            } else {
+                &trace.post[l - 1]
+            };
+            let (dx, g) = layer.backward(&delta, &trace.pre[l], input)?;
+            grads[l] = Some(g);
+            delta = dx;
+        }
+        Ok((
+            grads
+                .into_iter()
+                .map(|g| g.expect("all layers visited"))
+                .collect(),
+            delta,
+        ))
+    }
+
+    /// Creates zero-valued gradient accumulators matching every layer.
+    pub fn zero_grads(&self) -> Vec<LayerGrads> {
+        self.layers
+            .iter()
+            .map(|l| LayerGrads {
+                weights: zfgan_tensor::Kernels::zeros(
+                    l.weights().n_of(),
+                    l.weights().n_if(),
+                    l.weights().kh(),
+                    l.weights().kw(),
+                ),
+                bias: vec![0.0; l.out_shape().0],
+            })
+            .collect()
+    }
+
+    /// Renders a torchsummary-style table of the network: one row per
+    /// layer with direction, shapes and parameter count.
+    pub fn summary(&self) -> String {
+        let mut out = String::from(
+            "layer  dir   in (CxHxW)        out (CxHxW)       params
+",
+        );
+        for (i, l) in self.layers.iter().enumerate() {
+            let (ic, ih, iw) = l.in_shape();
+            let (oc, oh, ow) = l.out_shape();
+            let dir = match l.direction() {
+                crate::layer::Direction::Down => "down",
+                crate::layer::Direction::Up => "up  ",
+            };
+            out.push_str(&format!(
+                "{:<6} {dir}  {:<16} {:<16} {}
+",
+                i + 1,
+                format!("{ic}x{ih}x{iw}"),
+                format!("{oc}x{oh}x{ow}"),
+                l.param_count()
+            ));
+        }
+        out.push_str(&format!(
+            "total parameters: {}
+",
+            self.param_count()
+        ));
+        out
+    }
+
+    /// Adds uniform noise in `[-scale, scale]` to every parameter — handy
+    /// for perturbation tests.
+    pub fn jitter<R: Rng>(&mut self, scale: f32, rng: &mut R) {
+        for layer in &mut self.layers {
+            let mut w = layer.weights().clone();
+            for v in w.as_mut_slice() {
+                *v += rng.gen_range(-scale..=scale);
+            }
+            let delta = layer.weights().clone();
+            // apply_update subtracts, so feed (old − new).
+            let mut d = delta;
+            for (dv, nv) in d.as_mut_slice().iter_mut().zip(w.as_slice()) {
+                *dv -= nv;
+            }
+            let zero_bias = vec![0.0; layer.out_shape().0];
+            layer.apply_update(&d, &zero_bias);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layer::Direction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use zfgan_tensor::ConvGeom;
+
+    fn two_layer_net(rng: &mut SmallRng) -> ConvNet {
+        let g1 = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).unwrap();
+        let g2 = ConvGeom::down(4, 4, 4, 4, 1, 1, 1).unwrap();
+        let l1 = ConvLayer::random(
+            Direction::Down,
+            g1,
+            4,
+            1,
+            Activation::LeakyRelu { alpha: 0.2 },
+            (1, 8, 8),
+            0.3,
+            rng,
+        )
+        .unwrap();
+        let l2 = ConvLayer::random(
+            Direction::Down,
+            g2,
+            1,
+            4,
+            Activation::Identity,
+            (4, 4, 4),
+            0.3,
+            rng,
+        )
+        .unwrap();
+        ConvNet::new(vec![l1, l2]).unwrap()
+    }
+
+    #[test]
+    fn forward_chains_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = two_layer_net(&mut rng);
+        assert_eq!(net.in_shape(), (1, 8, 8));
+        assert_eq!(net.out_shape(), (1, 1, 1));
+        let x = Fmaps::random(1, 8, 8, 1.0, &mut rng);
+        let trace = net.forward(&x).unwrap();
+        assert_eq!(trace.output().shape(), (1, 1, 1));
+        assert_eq!(trace.post(0).shape(), (4, 4, 4));
+        assert_eq!(trace.input().shape(), (1, 8, 8));
+    }
+
+    #[test]
+    fn rejects_mismatched_stack() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g1 = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).unwrap();
+        let l1 = ConvLayer::random(
+            Direction::Down,
+            g1,
+            4,
+            1,
+            Activation::Identity,
+            (1, 8, 8),
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        let l_bad = ConvLayer::random(
+            Direction::Down,
+            g1,
+            2,
+            3, // expects 3 input maps, previous layer makes 4
+            Activation::Identity,
+            (3, 8, 8),
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ConvNet::new(vec![l1, l_bad]).is_err());
+        assert!(ConvNet::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn backward_whole_net_matches_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let net = two_layer_net(&mut rng);
+        let x = Fmaps::random(1, 8, 8, 1.0, &mut rng);
+        let trace = net.forward(&x).unwrap();
+        let delta = Fmaps::from_vec(1, 1, 1, vec![1.0]);
+        let (grads, dx) = net.backward(&trace, &delta).unwrap();
+        let base = trace.output().sum_f64();
+        let eps = 1e-3f32;
+        // Input gradient at a few points.
+        for (y, xx) in [(0usize, 0usize), (4, 4), (7, 2)] {
+            let mut xp = x.clone();
+            *xp.at_mut(0, y, xx) += eps;
+            let fd = (net.forward(&xp).unwrap().output().sum_f64() - base) / f64::from(eps);
+            assert!(
+                (fd - f64::from(*dx.at(0, y, xx))).abs() < 2e-2,
+                "dx[{y}][{xx}] fd={fd} an={}",
+                dx.at(0, y, xx)
+            );
+        }
+        // First-layer weight gradient (propagates through layer 2).
+        let mut netp = net.clone();
+        {
+            let w = netp.layers_mut()[0].weights().clone();
+            let mut d = zfgan_tensor::Kernels::zeros(w.n_of(), w.n_if(), w.kh(), w.kw());
+            *d.at_mut(2, 0, 1, 1) = -eps; // apply_update subtracts
+            let zero_bias = vec![0.0; 4];
+            netp.layers_mut()[0].apply_update(&d, &zero_bias);
+        }
+        let fd = (netp.forward(&x).unwrap().output().sum_f64() - base) / f64::from(eps);
+        assert!(
+            (fd - f64::from(*grads[0].weights.at(2, 0, 1, 1))).abs() < 2e-2,
+            "fd={fd} an={}",
+            grads[0].weights.at(2, 0, 1, 1)
+        );
+    }
+
+    #[test]
+    fn buffered_elems_counts_everything() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = two_layer_net(&mut rng);
+        let x = Fmaps::random(1, 8, 8, 1.0, &mut rng);
+        let trace = net.forward(&x).unwrap();
+        // input 64 + (pre+post) of layer1 (2·64) + layer2 (2·1).
+        assert_eq!(trace.buffered_elems(), 64 + 128 + 2);
+        // weight-update accounting: input + post(0).
+        assert_eq!(trace.weight_update_elems(), 64 + 64);
+    }
+
+    #[test]
+    fn zero_grads_match_layer_shapes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = two_layer_net(&mut rng);
+        let zg = net.zero_grads();
+        assert_eq!(zg.len(), 2);
+        assert_eq!(zg[0].weights.shape(), net.layers()[0].weights().shape());
+        assert!(zg[0].weights.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(zg[1].bias.len(), 1);
+    }
+
+    #[test]
+    fn summary_lists_every_layer_and_totals() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let net = two_layer_net(&mut rng);
+        let s = net.summary();
+        assert!(s.contains("down"));
+        assert!(s.contains("1x8x8"));
+        assert!(s.contains(&format!("total parameters: {}", net.param_count())));
+        assert_eq!(s.lines().count(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn jitter_changes_weights() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = two_layer_net(&mut rng);
+        let before = net.layers()[0].weights().clone();
+        net.jitter(0.1, &mut rng);
+        assert!(net.layers()[0].weights().max_abs_diff(&before) > 0.0);
+    }
+}

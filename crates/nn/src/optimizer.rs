@@ -1,0 +1,320 @@
+//! Parameter-update rules: plain SGD, RMSProp (the WGAN default) and Adam
+//! (the DCGAN default).
+
+use serde::{Deserialize, Serialize};
+use zfgan_tensor::Kernels;
+
+use crate::layer::LayerGrads;
+use crate::network::ConvNet;
+
+/// Which update rule an [`Optimizer`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// `θ ← θ − lr · g`.
+    Sgd,
+    /// RMSProp: `v ← ρ·v + (1−ρ)·g²`, `θ ← θ − lr · g / (√v + ε)` — the
+    /// optimizer the WGAN paper prescribes.
+    RmsProp {
+        /// Decay rate `ρ` of the squared-gradient moving average.
+        rho: f32,
+        /// Numerical-stability constant `ε`.
+        epsilon: f32,
+    },
+    /// Adam with bias correction — the optimizer the DCGAN paper uses.
+    Adam {
+        /// First-moment decay `β₁`.
+        beta1: f32,
+        /// Second-moment decay `β₂`.
+        beta2: f32,
+        /// Numerical-stability constant `ε`.
+        epsilon: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// The WGAN paper's recommended RMSProp configuration.
+    pub fn wgan_default() -> Self {
+        OptimizerKind::RmsProp {
+            rho: 0.9,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// The DCGAN paper's Adam configuration (`β₁ = 0.5`, `β₂ = 0.999`).
+    pub fn dcgan_adam() -> Self {
+        OptimizerKind::Adam {
+            beta1: 0.5,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+}
+
+/// Per-network optimizer state.
+///
+/// Holds one squared-gradient accumulator per parameter tensor (RMSProp) and
+/// applies updates to a [`ConvNet`] in place.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use zfgan_nn::{GanPair, Optimizer, OptimizerKind};
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let pair = GanPair::tiny(&mut rng);
+/// let mut opt = Optimizer::new(OptimizerKind::Sgd, 5e-4, pair.discriminator());
+/// # let _ = opt;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    learning_rate: f32,
+    weight_v: Vec<Kernels<f32>>,
+    bias_v: Vec<Vec<f32>>,
+    weight_m: Vec<Kernels<f32>>,
+    bias_m: Vec<Vec<f32>>,
+    steps: u32,
+}
+
+impl Optimizer {
+    /// Creates optimizer state sized for `net`.
+    pub fn new(kind: OptimizerKind, learning_rate: f32, net: &ConvNet) -> Self {
+        let weight_v: Vec<Kernels<f32>> = net
+            .layers()
+            .iter()
+            .map(|l| {
+                let w = l.weights();
+                Kernels::zeros(w.n_of(), w.n_if(), w.kh(), w.kw())
+            })
+            .collect();
+        let bias_v: Vec<Vec<f32>> = net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.out_shape().0])
+            .collect();
+        let weight_m = weight_v.clone();
+        let bias_m = bias_v.clone();
+        Self {
+            kind,
+            learning_rate,
+            weight_v,
+            bias_v,
+            weight_m,
+            bias_m,
+            steps: 0,
+        }
+    }
+
+    /// The configured update rule.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Applies one step of averaged gradients to `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not have one entry per layer with matching
+    /// shapes (which indicates a bug in the caller, not bad data).
+    pub fn step(&mut self, net: &mut ConvNet, grads: &[LayerGrads]) {
+        assert_eq!(
+            grads.len(),
+            net.layers().len(),
+            "one gradient set per layer"
+        );
+        let lr = self.learning_rate;
+        self.steps += 1;
+        for (l, (layer, g)) in net.layers_mut().iter_mut().zip(grads).enumerate() {
+            let mut wdelta = g.weights.clone();
+            let mut bdelta = g.bias.clone();
+            match self.kind {
+                OptimizerKind::Sgd => {
+                    wdelta.scale(lr);
+                    for b in &mut bdelta {
+                        *b *= lr;
+                    }
+                }
+                OptimizerKind::RmsProp { rho, epsilon } => {
+                    let v = &mut self.weight_v[l];
+                    for (d, vv) in wdelta.as_mut_slice().iter_mut().zip(v.as_mut_slice()) {
+                        *vv = rho * *vv + (1.0 - rho) * *d * *d;
+                        *d = lr * *d / (vv.sqrt() + epsilon);
+                    }
+                    let bv = &mut self.bias_v[l];
+                    for (d, vv) in bdelta.iter_mut().zip(bv.iter_mut()) {
+                        *vv = rho * *vv + (1.0 - rho) * *d * *d;
+                        *d = lr * *d / (vv.sqrt() + epsilon);
+                    }
+                }
+                OptimizerKind::Adam {
+                    beta1,
+                    beta2,
+                    epsilon,
+                } => {
+                    let bc1 = 1.0 - beta1.powi(self.steps as i32);
+                    let bc2 = 1.0 - beta2.powi(self.steps as i32);
+                    let v = &mut self.weight_v[l];
+                    let m = &mut self.weight_m[l];
+                    for ((d, vv), mm) in wdelta
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(v.as_mut_slice())
+                        .zip(m.as_mut_slice())
+                    {
+                        *mm = beta1 * *mm + (1.0 - beta1) * *d;
+                        *vv = beta2 * *vv + (1.0 - beta2) * *d * *d;
+                        let m_hat = *mm / bc1;
+                        let v_hat = *vv / bc2;
+                        *d = lr * m_hat / (v_hat.sqrt() + epsilon);
+                    }
+                    let bv = &mut self.bias_v[l];
+                    let bm = &mut self.bias_m[l];
+                    for ((d, vv), mm) in bdelta.iter_mut().zip(bv.iter_mut()).zip(bm.iter_mut()) {
+                        *mm = beta1 * *mm + (1.0 - beta1) * *d;
+                        *vv = beta2 * *vv + (1.0 - beta2) * *d * *d;
+                        *d = lr * (*mm / bc1) / ((*vv / bc2).sqrt() + epsilon);
+                    }
+                }
+            }
+            layer.apply_update(&wdelta, &bdelta);
+        }
+    }
+
+    /// Clamps every weight of `net` into `[-c, c]` — the WGAN critic's
+    /// weight-clipping step that enforces the Lipschitz constraint.
+    pub fn clip_weights(net: &mut ConvNet, c: f32) {
+        for layer in net.layers_mut() {
+            layer.clamp_weights(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::GanPair;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net(rng: &mut SmallRng) -> ConvNet {
+        GanPair::tiny(rng).discriminator().clone()
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut d = net(&mut rng);
+        let before = d.layers()[0].weights().clone();
+        let mut grads = d.zero_grads();
+        *grads[0].weights.at_mut(0, 0, 0, 0) = 2.0;
+        let mut opt = Optimizer::new(OptimizerKind::Sgd, 0.1, &d);
+        opt.step(&mut d, &grads);
+        let after = d.layers()[0].weights();
+        let moved = *after.at(0, 0, 0, 0) - *before.at(0, 0, 0, 0);
+        assert!((moved + 0.2).abs() < 1e-6, "moved {moved}");
+        // Untouched weight stays put.
+        assert_eq!(*after.at(0, 0, 1, 1), *before.at(0, 0, 1, 1));
+    }
+
+    #[test]
+    fn rmsprop_normalises_step_size() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = net(&mut rng);
+        let mut grads = d.zero_grads();
+        *grads[0].weights.at_mut(0, 0, 0, 0) = 100.0;
+        *grads[0].weights.at_mut(0, 0, 0, 1) = 0.01;
+        let before = d.layers()[0].weights().clone();
+        let mut opt = Optimizer::new(OptimizerKind::wgan_default(), 0.01, &d);
+        opt.step(&mut d, &grads);
+        let after = d.layers()[0].weights();
+        let step_big = (*after.at(0, 0, 0, 0) - *before.at(0, 0, 0, 0)).abs();
+        let step_small = (*after.at(0, 0, 0, 1) - *before.at(0, 0, 0, 1)).abs();
+        // RMSProp's first step is ≈ lr/√(1−ρ) for any gradient magnitude.
+        assert!(
+            (step_big - step_small).abs() < 1e-4,
+            "big={step_big} small={step_small}"
+        );
+    }
+
+    #[test]
+    fn clip_weights_bounds_everything() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut d = net(&mut rng);
+        d.jitter(5.0, &mut rng);
+        Optimizer::clip_weights(&mut d, 0.01);
+        for layer in d.layers() {
+            assert!(layer
+                .weights()
+                .as_slice()
+                .iter()
+                .all(|v| v.abs() <= 0.01 + 1e-7));
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized_and_direction_correct() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut d = net(&mut rng);
+        let mut grads = d.zero_grads();
+        *grads[0].weights.at_mut(0, 0, 0, 0) = 3.0;
+        *grads[0].weights.at_mut(0, 0, 0, 1) = -0.001;
+        let before = d.layers()[0].weights().clone();
+        let mut opt = Optimizer::new(OptimizerKind::dcgan_adam(), 0.01, &d);
+        opt.step(&mut d, &grads);
+        let after = d.layers()[0].weights();
+        // Bias correction makes the very first step ≈ lr regardless of the
+        // gradient magnitude, in the opposite direction of the gradient.
+        let step_big = *after.at(0, 0, 0, 0) - *before.at(0, 0, 0, 0);
+        let step_small = *after.at(0, 0, 0, 1) - *before.at(0, 0, 0, 1);
+        assert!((step_big + 0.01).abs() < 1e-4, "step {step_big}");
+        assert!((step_small - 0.01).abs() < 1e-4, "step {step_small}");
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimise ||w||² with gradients 2w: Adam should shrink the norm.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut d = net(&mut rng);
+        d.jitter(0.5, &mut rng);
+        let mut opt = Optimizer::new(OptimizerKind::dcgan_adam(), 0.05, &d);
+        let norm = |n: &ConvNet| -> f64 {
+            n.layers()
+                .iter()
+                .flat_map(|l| l.weights().as_slice())
+                .map(|w| f64::from(w * w))
+                .sum()
+        };
+        let start = norm(&d);
+        for _ in 0..50 {
+            let grads: Vec<_> = d
+                .layers()
+                .iter()
+                .map(|l| {
+                    let mut g = l.weights().clone();
+                    g.scale(2.0);
+                    crate::layer::LayerGrads {
+                        weights: g,
+                        bias: vec![0.0; l.out_shape().0],
+                    }
+                })
+                .collect();
+            opt.step(&mut d, &grads);
+        }
+        assert!(norm(&d) < 0.2 * start, "norm {} vs start {start}", norm(&d));
+    }
+
+    #[test]
+    fn accessors_report_config() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = net(&mut rng);
+        let opt = Optimizer::new(OptimizerKind::Sgd, 0.05, &d);
+        assert_eq!(opt.kind(), OptimizerKind::Sgd);
+        assert_eq!(opt.learning_rate(), 0.05);
+    }
+}

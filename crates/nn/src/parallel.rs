@@ -1,0 +1,196 @@
+//! Data-parallel batch processing — how the *GPU* baseline of the paper's
+//! Fig. 19 exploits the synchronized algorithm.
+//!
+//! The synchronized trainer's per-sample forward/backward passes are
+//! mutually independent (that independence is also what deferred
+//! synchronization exploits, just in time rather than in space), so they
+//! parallelise across threads with a deterministic ordered reduction:
+//! the result is **bit-identical** to the sequential synchronized trainer
+//! and therefore also to the deferred one.
+//!
+//! This is the paper's taxonomy made concrete: GPUs spend the batch
+//! dimension on *space* (massive parallelism, 2·batch buffers alive), the
+//! paper's accelerator spends it on *time* (pipelining, one buffer alive).
+
+use crossbeam::thread;
+use zfgan_tensor::Fmaps;
+
+use crate::layer::LayerGrads;
+use crate::network::ConvNet;
+use crate::wgan;
+
+/// Computes the summed Discriminator gradients of a real+fake batch using
+/// `n_threads` worker threads, with a deterministic (sample-ordered)
+/// reduction.
+///
+/// Returns `(grads, real_scores, fake_scores)` — exactly what the
+/// sequential synchronized trainer computes before its optimizer step.
+///
+/// # Panics
+///
+/// Panics if the batches are empty or of different lengths, if
+/// `n_threads` is zero, or if a sample's shape does not match the critic.
+#[allow(clippy::type_complexity)]
+pub fn parallel_dis_grads(
+    critic: &ConvNet,
+    reals: &[Fmaps<f32>],
+    fakes: &[Fmaps<f32>],
+) -> (Vec<LayerGrads>, Vec<f64>, Vec<f64>) {
+    parallel_dis_grads_with(critic, reals, fakes, default_threads())
+}
+
+/// [`parallel_dis_grads`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`parallel_dis_grads`].
+#[allow(clippy::type_complexity)]
+pub fn parallel_dis_grads_with(
+    critic: &ConvNet,
+    reals: &[Fmaps<f32>],
+    fakes: &[Fmaps<f32>],
+    n_threads: usize,
+) -> (Vec<LayerGrads>, Vec<f64>, Vec<f64>) {
+    assert!(!reals.is_empty(), "batch must be non-empty");
+    assert_eq!(
+        reals.len(),
+        fakes.len(),
+        "real and fake batches must pair up"
+    );
+    assert!(n_threads > 0, "need at least one thread");
+    let m = reals.len();
+
+    // Work items in the exact order the sequential trainer visits them:
+    // all reals, then all fakes.
+    let jobs: Vec<(&Fmaps<f32>, f32)> = reals
+        .iter()
+        .map(|x| (x, wgan::dis_output_error_real(m)))
+        .chain(fakes.iter().map(|x| (x, wgan::dis_output_error_fake(m))))
+        .collect();
+
+    // Each worker produces (job index, score, grads); the reduction sorts
+    // by index so float summation order is identical to sequential.
+    let mut results: Vec<Option<(f64, Vec<LayerGrads>)>> = (0..jobs.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        let chunk = jobs.len().div_ceil(n_threads);
+        let mut handles = Vec::new();
+        for (t, job_chunk) in jobs.chunks(chunk).enumerate() {
+            let base = t * chunk;
+            handles.push(scope.spawn(move |_| {
+                job_chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (x, delta))| {
+                        let trace = critic.forward(x).expect("image shape matches critic");
+                        let score = wgan::score(trace.output());
+                        let (grads, _) = critic
+                            .backward(&trace, &wgan::scalar_error(*delta))
+                            .expect("trace produced by this network");
+                        (base + i, score, grads)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (idx, score, grads) in h.join().expect("worker thread panicked") {
+                results[idx] = Some((score, grads));
+            }
+        }
+    })
+    .expect("thread scope");
+
+    // Ordered deterministic reduction.
+    let mut acc = critic.zero_grads();
+    let mut real_scores = Vec::with_capacity(m);
+    let mut fake_scores = Vec::with_capacity(m);
+    for (idx, slot) in results.into_iter().enumerate() {
+        let (score, grads) = slot.expect("every job completed");
+        for (a, g) in acc.iter_mut().zip(&grads) {
+            a.add_assign(g);
+        }
+        if idx < m {
+            real_scores.push(score);
+        } else {
+            fake_scores.push(score);
+        }
+    }
+    (acc, real_scores, fake_scores)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::GanPair;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn batches(rng: &mut SmallRng, m: usize) -> (GanPair, Vec<Fmaps<f32>>, Vec<Fmaps<f32>>) {
+        let pair = GanPair::tiny(rng);
+        let reals = pair.sample_real_batch(m, rng);
+        let zs = pair.sample_z_batch(m, rng);
+        let fakes: Vec<Fmaps<f32>> = zs
+            .iter()
+            .map(|z| pair.generator().forward(z).unwrap().output().clone())
+            .collect();
+        (pair, reals, fakes)
+    }
+
+    /// Sequential reference: exactly what the synchronized trainer does.
+    fn sequential(critic: &ConvNet, reals: &[Fmaps<f32>], fakes: &[Fmaps<f32>]) -> Vec<LayerGrads> {
+        let m = reals.len();
+        let mut acc = critic.zero_grads();
+        for (x, delta) in reals
+            .iter()
+            .map(|x| (x, wgan::dis_output_error_real(m)))
+            .chain(fakes.iter().map(|x| (x, wgan::dis_output_error_fake(m))))
+        {
+            let trace = critic.forward(x).unwrap();
+            let (g, _) = critic.backward(&trace, &wgan::scalar_error(delta)).unwrap();
+            for (a, gi) in acc.iter_mut().zip(&g) {
+                a.add_assign(gi);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (pair, reals, fakes) = batches(&mut rng, 6);
+        let seq = sequential(pair.discriminator(), &reals, &fakes);
+        for threads in [1usize, 2, 4, 7] {
+            let (par, real_scores, fake_scores) =
+                parallel_dis_grads_with(pair.discriminator(), &reals, &fakes, threads);
+            assert_eq!(real_scores.len(), 6);
+            assert_eq!(fake_scores.len(), 6);
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.max_abs_diff(b), 0.0, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_come_back_in_batch_order() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (pair, reals, fakes) = batches(&mut rng, 5);
+        let (_, real_scores, _) = parallel_dis_grads(pair.discriminator(), &reals, &fakes);
+        for (x, s) in reals.iter().zip(&real_scores) {
+            let direct = wgan::score(pair.discriminator().forward(x).unwrap().output());
+            assert_eq!(direct, *s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_batches_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (pair, reals, _) = batches(&mut rng, 3);
+        let _ = parallel_dis_grads(pair.discriminator(), &reals, &reals[..2].to_vec());
+    }
+}

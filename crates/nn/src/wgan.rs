@@ -1,0 +1,307 @@
+//! The Wasserstein GAN losses (paper Eqs. 1–2) and their output-layer
+//! errors (Eq. 6).
+//!
+//! The crucial property the paper exploits is that both losses are *linear
+//! averages* of critic outputs, so the error each sample injects at the
+//! critic's output layer is a constant (`∓1/m`) that does **not** depend on
+//! the other samples in the batch — the mathematical licence for deferred
+//! synchronization. [`dis_output_error_real`] and friends return exactly
+//! those constants.
+
+use zfgan_tensor::Fmaps;
+
+/// Discriminator (critic) loss of paper Eq. 1:
+/// `−(1/m) Σ [D(xᵢ) − D(x̃ᵢ)]` — the negated Wasserstein estimate.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn dis_loss(real_scores: &[f64], fake_scores: &[f64]) -> f64 {
+    assert_eq!(
+        real_scores.len(),
+        fake_scores.len(),
+        "batch sizes must match"
+    );
+    assert!(!real_scores.is_empty(), "batch must be non-empty");
+    let m = real_scores.len() as f64;
+    -(real_scores.iter().sum::<f64>() - fake_scores.iter().sum::<f64>()) / m
+}
+
+/// Generator loss of paper Eq. 2: `−(1/m) Σ D(x̃ᵢ)`.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn gen_loss(fake_scores: &[f64]) -> f64 {
+    assert!(!fake_scores.is_empty(), "batch must be non-empty");
+    -fake_scores.iter().sum::<f64>() / fake_scores.len() as f64
+}
+
+/// The Wasserstein-distance estimate `（1/m)Σ[D(xᵢ) − D(x̃ᵢ)]` (the negated
+/// discriminator loss) — the quantity WGAN training monitors.
+pub fn wasserstein_estimate(real_scores: &[f64], fake_scores: &[f64]) -> f64 {
+    -dis_loss(real_scores, fake_scores)
+}
+
+/// Paper Eq. 6: the error a *real* sample injects at the critic output
+/// during a Discriminator update — `∂loss_dis/∂D(xᵢ) = −1/m`, independent
+/// of every other sample.
+pub fn dis_output_error_real(batch: usize) -> f32 {
+    -1.0 / batch as f32
+}
+
+/// The error a *fake* sample injects at the critic output during a
+/// Discriminator update — `∂loss_dis/∂D(x̃ᵢ) = +1/m`.
+pub fn dis_output_error_fake(batch: usize) -> f32 {
+    1.0 / batch as f32
+}
+
+/// The error a fake sample injects at the critic output during a
+/// *Generator* update — `∂loss_gen/∂D(x̃ᵢ) = −1/m`.
+pub fn gen_output_error(batch: usize) -> f32 {
+    -1.0 / batch as f32
+}
+
+/// Original-GAN Discriminator loss over critic logits:
+/// `−(1/m) Σ [log σ(zᵢ_real) + log(1 − σ(zᵢ_fake))]`.
+///
+/// # Panics
+///
+/// Panics if the batches are empty or of different lengths.
+pub fn vanilla_dis_loss(real_logits: &[f64], fake_logits: &[f64]) -> f64 {
+    assert_eq!(
+        real_logits.len(),
+        fake_logits.len(),
+        "batch sizes must match"
+    );
+    assert!(!real_logits.is_empty(), "batch must be non-empty");
+    let m = real_logits.len() as f64;
+    -(real_logits
+        .iter()
+        .map(|&z| sigmoid(z).max(1e-12).ln())
+        .sum::<f64>()
+        + fake_logits
+            .iter()
+            .map(|&z| (1.0 - sigmoid(z)).max(1e-12).ln())
+            .sum::<f64>())
+        / m
+}
+
+/// Non-saturating original-GAN Generator loss: `−(1/m) Σ log σ(zᵢ)`.
+///
+/// # Panics
+///
+/// Panics if the batch is empty.
+pub fn vanilla_gen_loss(fake_logits: &[f64]) -> f64 {
+    assert!(!fake_logits.is_empty(), "batch must be non-empty");
+    -fake_logits
+        .iter()
+        .map(|&z| sigmoid(z).max(1e-12).ln())
+        .sum::<f64>()
+        / fake_logits.len() as f64
+}
+
+/// Logistic sigmoid, numerically stable on both tails.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Output error of a *real* sample under the **original** (minimax) GAN
+/// loss of Goodfellow et al. — `loss = −(1/m) Σ log σ(zᵢ)` over critic
+/// logits `zᵢ`, so `∂loss/∂zᵢ = (σ(zᵢ) − 1)/m`.
+///
+/// Crucially for the paper's Section IV-A: although non-linear in the
+/// *score*, the per-sample error still depends only on that sample's own
+/// logit, so the deferred-synchronization transformation remains exact for
+/// the original GAN formulation too (any loss of the form `(1/m) Σ f(zᵢ)`
+/// qualifies).
+pub fn vanilla_output_error_real(logit: f64, batch: usize) -> f32 {
+    ((sigmoid(logit) - 1.0) / batch as f64) as f32
+}
+
+/// Output error of a *fake* sample during a Discriminator update under the
+/// original GAN loss: `−(1/m) Σ log(1 − σ(zᵢ))` ⇒ `∂/∂zᵢ = σ(zᵢ)/m`.
+pub fn vanilla_output_error_fake(logit: f64, batch: usize) -> f32 {
+    (sigmoid(logit) / batch as f64) as f32
+}
+
+/// Output error of a fake sample during a *Generator* update under the
+/// non-saturating objective `−(1/m) Σ log σ(zᵢ)` ⇒ `(σ(zᵢ) − 1)/m`.
+pub fn vanilla_gen_output_error(logit: f64, batch: usize) -> f32 {
+    vanilla_output_error_real(logit, batch)
+}
+
+/// Output-layer errors of a **batch-coupled** loss — the counterexample
+/// that shows where deferred synchronization is *invalid*.
+///
+/// `loss = log Σ exp(D(x̃ᵢ))` (a log-sum-exp "soft-max-margin" objective
+/// used by some energy-based GAN variants) has
+/// `∂loss/∂D(x̃ᵢ) = softmax(scores)ᵢ`, which depends on **every** sample in
+/// the batch. No per-sample constant like Eq. 6's `∓1/m` exists, so the
+/// backward pass genuinely must wait for the whole batch — deferring it
+/// would compute a different (wrong) gradient. The crate's tests
+/// demonstrate this failure mode; the linear WGAN losses above are exactly
+/// the structure that avoids it.
+pub fn lse_output_errors(scores: &[f64]) -> Vec<f64> {
+    assert!(!scores.is_empty(), "batch must be non-empty");
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Whether a loss's per-sample output error can be computed from that
+/// sample alone (the condition under which the paper's deferred
+/// synchronization is exact).
+///
+/// Checks the definition directly: perturbing any *other* sample's score
+/// must leave sample `i`'s error unchanged.
+pub fn is_deferral_safe(errors_of: impl Fn(&[f64]) -> Vec<f64>, probe: &[f64]) -> bool {
+    assert!(
+        probe.len() >= 2,
+        "need at least two samples to probe coupling"
+    );
+    let base = errors_of(probe);
+    for j in 1..probe.len() {
+        let mut perturbed = probe.to_vec();
+        perturbed[j] += 1.0;
+        let new = errors_of(&perturbed);
+        if (new[0] - base[0]).abs() > 1e-12 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Wraps a per-sample scalar error into the `1×1×1` feature-map shape that
+/// the critic's backward pass consumes.
+pub fn scalar_error(value: f32) -> Fmaps<f32> {
+    Fmaps::from_vec(1, 1, 1, vec![value])
+}
+
+/// Extracts the critic's scalar score from its `1×1×1` output.
+///
+/// # Panics
+///
+/// Panics if the output is not `1×1×1` — i.e. the network is not a critic.
+pub fn score(output: &Fmaps<f32>) -> f64 {
+    assert_eq!(
+        output.shape(),
+        (1, 1, 1),
+        "critic output must be a 1×1×1 scalar"
+    );
+    f64::from(*output.at(0, 0, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dis_loss_is_negated_wasserstein() {
+        let real = [1.0, 2.0, 3.0];
+        let fake = [0.0, 1.0, 2.0];
+        assert_eq!(dis_loss(&real, &fake), -1.0);
+        assert_eq!(wasserstein_estimate(&real, &fake), 1.0);
+    }
+
+    #[test]
+    fn gen_loss_averages() {
+        assert_eq!(gen_loss(&[2.0, 4.0]), -3.0);
+    }
+
+    #[test]
+    fn output_errors_are_per_sample_constants() {
+        // Eq. 6: the per-sample error is ∓1/m regardless of the outputs —
+        // this constancy is what allows deferring the synchronization.
+        assert_eq!(dis_output_error_real(4), -0.25);
+        assert_eq!(dis_output_error_fake(4), 0.25);
+        assert_eq!(gen_output_error(4), -0.25);
+    }
+
+    #[test]
+    fn errors_sum_to_full_batch_gradient() {
+        // The summed per-sample errors reproduce the gradient of the
+        // batch-mean loss: d(dis_loss)/d(real_i) summed over i = −1.
+        let m = 8;
+        let total: f32 = (0..m).map(|_| dis_output_error_real(m)).sum();
+        assert!((total + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_error_round_trip() {
+        let e = scalar_error(-0.125);
+        assert_eq!(score(&e), -0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "1×1×1")]
+    fn score_rejects_non_scalar() {
+        let m = Fmaps::<f32>::zeros(1, 2, 2);
+        let _ = score(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sizes")]
+    fn dis_loss_rejects_mismatch() {
+        let _ = dis_loss(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn lse_errors_are_a_softmax() {
+        let e = lse_output_errors(&[0.0, 0.0, 0.0]);
+        for v in &e {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((e.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Numerically stable for large scores.
+        let e = lse_output_errors(&[1000.0, 999.0]);
+        assert!(e[0] > e[1] && e.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0 && sigmoid(1000.0) > 0.999);
+        assert!(sigmoid(-1000.0) >= 0.0 && sigmoid(-1000.0) < 1e-3);
+        // Derivative check for the vanilla errors: d(−log σ)/dz = σ − 1.
+        let eps = 1e-6;
+        for z in [-2.0f64, 0.3, 1.7] {
+            let fd = (-(sigmoid(z + eps)).ln() + (sigmoid(z)).ln()) / eps;
+            let an = f64::from(vanilla_output_error_real(z, 1));
+            assert!((fd - an).abs() < 1e-4, "z={z}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn vanilla_errors_are_per_sample_separable() {
+        // The original GAN loss is non-linear in the score but still a sum
+        // of per-sample terms: each sample's error depends only on its own
+        // logit — deferral-safe.
+        let probe = [0.5, -1.0, 2.0];
+        let errors = |scores: &[f64]| -> Vec<f64> {
+            scores
+                .iter()
+                .map(|&z| f64::from(vanilla_output_error_fake(z, scores.len())))
+                .collect()
+        };
+        assert!(is_deferral_safe(errors, &probe));
+    }
+
+    /// The heart of paper Section IV-A, stated as a decidable property:
+    /// the WGAN losses are deferral-safe, a batch-coupled loss is not.
+    #[test]
+    fn wgan_is_deferral_safe_lse_is_not() {
+        let probe = [0.3, -1.2, 2.5, 0.0];
+        // WGAN generator loss: constant −1/m per sample.
+        let wgan_errors = |scores: &[f64]| vec![-1.0 / scores.len() as f64; scores.len()];
+        assert!(is_deferral_safe(wgan_errors, &probe));
+        // Log-sum-exp: softmax couples every sample.
+        assert!(!is_deferral_safe(|s| lse_output_errors(s), &probe));
+    }
+}

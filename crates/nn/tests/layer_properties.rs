@@ -1,0 +1,193 @@
+//! Property-based gradient checks: for random layer configurations
+//! (direction, activation, geometry), the analytic backward pass must
+//! match finite differences and satisfy the adjoint identity.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan_nn::{Activation, ConvLayer, Direction};
+use zfgan_tensor::{ConvGeom, Fmaps};
+
+#[derive(Debug, Clone, Copy)]
+struct Cfg {
+    direction: Direction,
+    activation: Activation,
+    stride: usize,
+    small_hw: usize,
+    small_c: usize,
+    large_c: usize,
+    seed: u64,
+}
+
+fn arb_cfg() -> impl Strategy<Value = Cfg> {
+    (
+        0usize..2,
+        0usize..4,
+        1usize..=2,
+        2usize..=3,
+        1usize..=3,
+        1usize..=3,
+        any::<u64>(),
+    )
+        .prop_map(|(dir, act, stride, small_hw, small_c, large_c, seed)| Cfg {
+            direction: if dir == 0 {
+                Direction::Down
+            } else {
+                Direction::Up
+            },
+            activation: match act {
+                0 => Activation::Identity,
+                1 => Activation::Relu,
+                2 => Activation::LeakyRelu { alpha: 0.3 },
+                _ => Activation::Tanh,
+            },
+            stride,
+            small_hw,
+            small_c,
+            large_c,
+            seed,
+        })
+}
+
+fn build(cfg: &Cfg) -> (ConvLayer, Fmaps<f32>) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let k = 3usize;
+    let large_hw = cfg.small_hw * cfg.stride;
+    let geom = ConvGeom::down(
+        large_hw,
+        large_hw,
+        k,
+        k,
+        cfg.stride,
+        cfg.small_hw,
+        cfg.small_hw,
+    )
+    .expect("valid by construction");
+    let (in_shape, layer) = match cfg.direction {
+        Direction::Down => {
+            let in_shape = (cfg.large_c, large_hw, large_hw);
+            (
+                in_shape,
+                ConvLayer::random(
+                    Direction::Down,
+                    geom,
+                    cfg.small_c,
+                    cfg.large_c,
+                    cfg.activation,
+                    in_shape,
+                    0.5,
+                    &mut rng,
+                )
+                .expect("consistent"),
+            )
+        }
+        Direction::Up => {
+            let in_shape = (cfg.small_c, cfg.small_hw, cfg.small_hw);
+            (
+                in_shape,
+                ConvLayer::random(
+                    Direction::Up,
+                    geom,
+                    cfg.small_c,
+                    cfg.large_c,
+                    cfg.activation,
+                    in_shape,
+                    0.5,
+                    &mut rng,
+                )
+                .expect("consistent"),
+            )
+        }
+    };
+    let x = Fmaps::random(in_shape.0, in_shape.1, in_shape.2, 0.8, &mut rng);
+    (layer, x)
+}
+
+
+/// Whether any pre-activation changes sign between the two forwards — the
+/// perturbation segment then crosses a ReLU-family kink and a finite
+/// difference is not a valid derivative estimate there.
+fn crosses_a_kink(a: &Fmaps<f32>, b: &Fmaps<f32>) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .any(|(&x, &y)| (x > 0.0) != (y > 0.0) && (x.abs() > 1e-7 || y.abs() > 1e-7))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// d(Σ output)/d(input) from the analytic backward pass matches central
+    /// finite differences at random coordinates.
+    #[test]
+    fn input_gradient_matches_finite_differences(cfg in arb_cfg()) {
+        let (layer, x) = build(&cfg);
+        let (pre, post) = layer.forward(&x).unwrap();
+        let (oc, oh, ow) = layer.out_shape();
+        let ones = Fmaps::from_vec(oc, oh, ow, vec![1.0; oc * oh * ow]);
+        let (dx, _) = layer.backward(&ones, &pre, &x).unwrap();
+        let _ = post; // forward cached only for the backward inputs
+        let eps = 1e-3f32;
+        let (c, h, w) = layer.in_shape();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF00D);
+        use rand::Rng;
+        for _ in 0..3 {
+            let (ci, yi, xi) =
+                (rng.gen_range(0..c), rng.gen_range(0..h), rng.gen_range(0..w));
+            let mut plus = x.clone();
+            *plus.at_mut(ci, yi, xi) += eps;
+            let mut minus = x.clone();
+            *minus.at_mut(ci, yi, xi) -= eps;
+            let (pre_p, post_p) = layer.forward(&plus).unwrap();
+            let (pre_m, post_m) = layer.forward(&minus).unwrap();
+            if crosses_a_kink(&pre_p, &pre_m) {
+                continue; // not differentiable on this segment
+            }
+            let fd = (post_p.sum_f64() - post_m.sum_f64()) / (2.0 * f64::from(eps));
+            let an = f64::from(*dx.at(ci, yi, xi));
+            prop_assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                "{:?} dx[{ci}][{yi}][{xi}]: fd={fd} analytic={an}",
+                cfg
+            );
+        }
+    }
+
+    /// Weight gradients match finite differences at random coordinates.
+    #[test]
+    fn weight_gradient_matches_finite_differences(cfg in arb_cfg()) {
+        let (layer, x) = build(&cfg);
+        let (pre, post) = layer.forward(&x).unwrap();
+        let (oc, oh, ow) = layer.out_shape();
+        let ones = Fmaps::from_vec(oc, oh, ow, vec![1.0; oc * oh * ow]);
+        let (_, grads) = layer.backward(&ones, &pre, &x).unwrap();
+        let base = post.sum_f64();
+        let eps = 1e-3f32;
+        let w = layer.weights();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xBEEF);
+        use rand::Rng;
+        for _ in 0..3 {
+            let (of, if_, ky, kx) = (
+                rng.gen_range(0..w.n_of()),
+                rng.gen_range(0..w.n_if()),
+                rng.gen_range(0..w.kh()),
+                rng.gen_range(0..w.kw()),
+            );
+            let mut perturbed = layer.clone();
+            let mut delta = zfgan_tensor::Kernels::zeros(w.n_of(), w.n_if(), w.kh(), w.kw());
+            *delta.at_mut(of, if_, ky, kx) = -eps; // apply_update subtracts
+            let zero_bias = vec![0.0; oc];
+            perturbed.apply_update(&delta, &zero_bias);
+            let (pre_p, post_p) = perturbed.forward(&x).unwrap();
+            if crosses_a_kink(&pre_p, &pre) {
+                continue; // not differentiable on this segment
+            }
+            let fd = (post_p.sum_f64() - base) / f64::from(eps);
+            let an = f64::from(*grads.weights.at(of, if_, ky, kx));
+            prop_assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                "{:?} dw[{of}][{if_}][{ky}][{kx}]: fd={fd} analytic={an}",
+                cfg
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Analytical CPU/GPU platform models for the paper's Fig. 19 comparison.
+//!
+//! The paper measures Caffe-based GAN training on an Intel i7-6850K, an
+//! NVIDIA Tesla K20 and an NVIDIA Titan X, with wall power from a WattsUp
+//! meter. Without that hardware, this crate substitutes **roofline-style
+//! analytical models**: published peak throughput and TDP per device, scaled
+//! by per-convolution-family efficiency factors that capture how well
+//! `im2col + GEMM` style libraries (Caffe's implementation) exploit each
+//! convolution type — in particular the zero-inserting overhead of
+//! transposed convolutions, which libraries of the paper's era executed
+//! *without* skipping the inserted zeros.
+//!
+//! The [`measured`] module complements the analytical models with a real
+//! single-threaded execution of the golden-reference convolutions, so one
+//! data point on the CPU side is grounded in an actual measurement.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod measured;
+mod model;
+
+pub use model::{Platform, PlatformReport};

@@ -1,0 +1,217 @@
+//! Roofline platform models.
+
+use serde::{Deserialize, Serialize};
+use zfgan_sim::{ConvKind, ConvShape};
+
+/// A compute platform characterised by peak throughput, power and per-phase
+/// efficiency.
+///
+/// Efficiency factors are the fraction of peak FLOPS a Caffe-style
+/// `im2col + GEMM` implementation sustains on each convolution family.
+/// `T-CONV`/`W-CONV` factors are lower because era-typical libraries
+/// materialised the inserted zeros and multiplied through them.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_platforms::Platform;
+/// use zfgan_workloads::GanSpec;
+///
+/// let cpu = Platform::cpu_i7_6850k();
+/// let report = cpu.run(&GanSpec::cgan().iteration_phases());
+/// assert!(report.gops > 0.0 && report.gops < cpu.peak_gops());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    name: String,
+    peak_gops: f64,
+    power_watts: f64,
+    eff_s: f64,
+    eff_t: f64,
+    eff_w: f64,
+}
+
+/// Throughput/energy summary of running a phase list on a [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformReport {
+    /// Total effectual operations (2 per MAC).
+    pub ops: u64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Sustained throughput in GOPS (the Fig. 19 left axis).
+    pub gops: f64,
+    /// Energy in joules.
+    pub joules: f64,
+    /// Energy efficiency in GOPS/W (the Fig. 19 right axis).
+    pub gops_per_watt: f64,
+}
+
+impl Platform {
+    /// Creates a platform model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or an efficiency exceeds 1.
+    pub fn new(
+        name: impl Into<String>,
+        peak_gops: f64,
+        power_watts: f64,
+        eff_s: f64,
+        eff_t: f64,
+        eff_w: f64,
+    ) -> Self {
+        assert!(
+            peak_gops > 0.0 && power_watts > 0.0,
+            "peak and power must be positive"
+        );
+        for e in [eff_s, eff_t, eff_w] {
+            assert!(
+                (0.0..=1.0).contains(&e) && e > 0.0,
+                "efficiency must be in (0, 1]"
+            );
+        }
+        Self {
+            name: name.into(),
+            peak_gops,
+            power_watts,
+            eff_s,
+            eff_t,
+            eff_w,
+        }
+    }
+
+    /// Intel i7-6850K (Broadwell-E): 6 cores × 3.6 GHz × 2 AVX2 FMA units ×
+    /// 8 f32 lanes × 2 ops ≈ 690 GFLOPS peak, 140 W TDP. Caffe's CPU path
+    /// sustains ~10% of peak on dense convolution and less on the
+    /// zero-inserted families.
+    pub fn cpu_i7_6850k() -> Self {
+        Self::new("CPU (i7-6850K)", 690.0, 140.0, 0.12, 0.068, 0.075)
+    }
+
+    /// NVIDIA Tesla K20 (Kepler): 3.52 TFLOPS f32 peak, 225 W. cuDNN-era
+    /// dense conv sustains ~30%; deconvolution paths considerably less.
+    pub fn gpu_k20() -> Self {
+        Self::new("GPU (K20)", 3520.0, 225.0, 0.43, 0.185, 0.20)
+    }
+
+    /// NVIDIA Titan X (Maxwell): 6.14 TFLOPS f32 peak, 250 W.
+    pub fn gpu_titan_x() -> Self {
+        Self::new("GPU (Titan X)", 6140.0, 250.0, 0.36, 0.163, 0.175)
+    }
+
+    /// The paper's three comparison platforms.
+    pub fn all_paper_platforms() -> Vec<Platform> {
+        vec![Self::cpu_i7_6850k(), Self::gpu_k20(), Self::gpu_titan_x()]
+    }
+
+    /// The platform's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Peak throughput in GOPS.
+    pub fn peak_gops(&self) -> f64 {
+        self.peak_gops
+    }
+
+    /// Sustained board power in watts.
+    pub fn power_watts(&self) -> f64 {
+        self.power_watts
+    }
+
+    /// Efficiency factor for one convolution family.
+    pub fn efficiency(&self, kind: ConvKind) -> f64 {
+        match kind {
+            ConvKind::S => self.eff_s,
+            ConvKind::T => self.eff_t,
+            ConvKind::WGradS | ConvKind::WGradT => self.eff_w,
+        }
+    }
+
+    /// Time in seconds to execute one phase.
+    pub fn phase_seconds(&self, phase: &ConvShape) -> f64 {
+        let ops = 2.0 * phase.effectual_macs() as f64;
+        ops / (self.peak_gops * 1e9 * self.efficiency(phase.kind()))
+    }
+
+    /// Runs a phase list, returning the throughput/energy summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn run(&self, phases: &[ConvShape]) -> PlatformReport {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let ops: u64 = phases.iter().map(|p| 2 * p.effectual_macs()).sum();
+        let seconds: f64 = phases.iter().map(|p| self.phase_seconds(p)).sum();
+        let gops = ops as f64 / seconds / 1e9;
+        let joules = seconds * self.power_watts;
+        PlatformReport {
+            ops,
+            seconds,
+            gops,
+            joules,
+            gops_per_watt: gops / self.power_watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zfgan_tensor::ConvGeom;
+
+    fn phases() -> Vec<ConvShape> {
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        vec![
+            ConvShape::new(ConvKind::S, geom, 64, 3, 64, 64),
+            ConvShape::new(ConvKind::T, geom, 64, 3, 64, 64),
+            ConvShape::new(ConvKind::WGradS, geom, 64, 3, 64, 64),
+        ]
+    }
+
+    #[test]
+    fn sustained_is_below_peak() {
+        for p in Platform::all_paper_platforms() {
+            let r = p.run(&phases());
+            assert!(r.gops < p.peak_gops(), "{}: {} ≥ peak", p.name(), r.gops);
+            assert!(r.gops > 0.01 * p.peak_gops());
+            assert!(r.joules > 0.0);
+        }
+    }
+
+    #[test]
+    fn gpu_outruns_cpu_but_burns_power() {
+        let cpu = Platform::cpu_i7_6850k().run(&phases());
+        let titan = Platform::gpu_titan_x().run(&phases());
+        assert!(titan.gops > 5.0 * cpu.gops);
+        assert!(titan.joules < cpu.joules); // faster enough to win on energy
+    }
+
+    #[test]
+    fn t_conv_is_the_slow_family() {
+        let p = Platform::gpu_k20();
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        let s = ConvShape::new(ConvKind::S, geom, 64, 64, 64, 64);
+        let t = s.with_kind(ConvKind::T);
+        // Similar MAC counts, but the T phase takes longer per op.
+        let per_op_s = p.phase_seconds(&s) / s.effectual_macs() as f64;
+        let per_op_t = p.phase_seconds(&t) / t.effectual_macs() as f64;
+        assert!(per_op_t > 1.5 * per_op_s);
+    }
+
+    #[test]
+    fn efficiency_accessors() {
+        let p = Platform::cpu_i7_6850k();
+        assert_eq!(
+            p.efficiency(ConvKind::WGradS),
+            p.efficiency(ConvKind::WGradT)
+        );
+        assert!(p.efficiency(ConvKind::S) > p.efficiency(ConvKind::T));
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn rejects_bad_efficiency() {
+        let _ = Platform::new("x", 100.0, 100.0, 1.5, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Capacity-checked on-chip buffer models.
+//!
+//! The accelerator of paper Fig. 14 builds four kinds of on-chip buffers
+//! (In&Out, Data, Error, ∇W, Weight). [`OnChipBuffer`] models one of them:
+//! a byte capacity, a current/peak occupancy, and read/write access
+//! counters that feed the Fig. 16 access breakdown and the energy model.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A buffer's static description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferSpec {
+    /// Human-readable name ("In&Out A", "Weight", …).
+    pub name: String,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl BufferSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, capacity_bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            capacity_bytes,
+        }
+    }
+}
+
+/// Error returned when an allocation would overflow a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferError {
+    buffer: String,
+    requested: u64,
+    free: u64,
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer '{}' overflow: requested {} bytes with only {} free",
+            self.buffer, self.requested, self.free
+        )
+    }
+}
+
+impl Error for BufferError {}
+
+/// A modelled on-chip SRAM buffer.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_sim::{BufferSpec, OnChipBuffer};
+///
+/// let mut buf = OnChipBuffer::new(BufferSpec::new("Weight", 1024));
+/// buf.alloc(512)?;
+/// buf.record_reads(256);
+/// assert_eq!(buf.occupancy_bytes(), 512);
+/// assert_eq!(buf.reads(), 256);
+/// buf.free(512);
+/// # Ok::<(), zfgan_sim::BufferError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnChipBuffer {
+    spec: BufferSpec,
+    occupancy: u64,
+    peak: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl OnChipBuffer {
+    /// Creates an empty buffer.
+    pub fn new(spec: BufferSpec) -> Self {
+        Self {
+            spec,
+            occupancy: 0,
+            peak: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The buffer's spec.
+    pub fn spec(&self) -> &BufferSpec {
+        &self.spec
+    }
+
+    /// Current occupancy in bytes.
+    pub fn occupancy_bytes(&self) -> u64 {
+        self.occupancy
+    }
+
+    /// High-water mark of occupancy in bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total recorded element reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total recorded element writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reserves `bytes` of space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BufferError`] if the buffer would overflow. The
+    /// occupancy is unchanged on error.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), BufferError> {
+        let free = self.spec.capacity_bytes - self.occupancy;
+        if bytes > free {
+            return Err(BufferError {
+                buffer: self.spec.name.clone(),
+                requested: bytes,
+                free,
+            });
+        }
+        self.occupancy += bytes;
+        self.peak = self.peak.max(self.occupancy);
+        Ok(())
+    }
+
+    /// Releases `bytes` of space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than is occupied (a modelling bug).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.occupancy,
+            "freeing {bytes} of {} occupied",
+            self.occupancy
+        );
+        self.occupancy -= bytes;
+    }
+
+    /// Records `n` element reads (for access accounting).
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` element writes.
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Resets counters and occupancy (new experiment, same hardware).
+    pub fn reset(&mut self) {
+        self.occupancy = 0;
+        self.peak = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_peak() {
+        let mut b = OnChipBuffer::new(BufferSpec::new("t", 100));
+        b.alloc(60).unwrap();
+        b.alloc(30).unwrap();
+        b.free(50);
+        assert_eq!(b.occupancy_bytes(), 40);
+        assert_eq!(b.peak_bytes(), 90);
+    }
+
+    #[test]
+    fn overflow_is_an_error_and_leaves_state() {
+        let mut b = OnChipBuffer::new(BufferSpec::new("t", 100));
+        b.alloc(80).unwrap();
+        let err = b.alloc(30).unwrap_err();
+        assert!(err.to_string().contains("overflow"));
+        assert_eq!(b.occupancy_bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut b = OnChipBuffer::new(BufferSpec::new("t", 100));
+        b.free(1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut b = OnChipBuffer::new(BufferSpec::new("t", 100));
+        b.record_reads(5);
+        b.record_writes(7);
+        assert_eq!((b.reads(), b.writes()), (5, 7));
+        b.reset();
+        assert_eq!(
+            (b.reads(), b.writes(), b.occupancy_bytes(), b.peak_bytes()),
+            (0, 0, 0, 0)
+        );
+    }
+}

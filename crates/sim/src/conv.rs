@@ -1,0 +1,331 @@
+//! A convolution *phase*: which family it belongs to and its full shape.
+
+use serde::{Deserialize, Serialize};
+use zfgan_tensor::zeros::{t_conv_mul_counts, w_conv_s_mul_counts, w_conv_t_mul_counts, MulCounts};
+use zfgan_tensor::ConvGeom;
+
+/// The paper's convolution taxonomy (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvKind {
+    /// Strided convolution — `D̄` forward and `Ḡ` backward-error.
+    S,
+    /// Transposed convolution with zero-inserted input — `Ḡ` forward and
+    /// `D̄` backward-error.
+    T,
+    /// Weight-gradient convolution of an `S-CONV` layer (Discriminator
+    /// update): zero-inserting in the *kernel* operand (paper Fig. 6c).
+    WGradS,
+    /// Weight-gradient convolution of a `T-CONV` layer (Generator update):
+    /// zero-inserting in the *input* operand (paper Fig. 6d).
+    WGradT,
+}
+
+impl ConvKind {
+    /// Whether this is one of the two four-dimensional-output `W-CONV`
+    /// variants.
+    pub fn is_weight_grad(self) -> bool {
+        matches!(self, ConvKind::WGradS | ConvKind::WGradT)
+    }
+
+    /// Whether the phase's naive execution involves inserted zeros in
+    /// either operand.
+    pub fn has_inserted_zeros(self) -> bool {
+        !matches!(self, ConvKind::S)
+    }
+}
+
+/// One convolution phase with concrete dimensions.
+///
+/// The shape is always expressed in *down-direction* terms, exactly like
+/// [`ConvGeom`]: `small` is the channel count on the down-sampled side of
+/// the geometry, `large` the channel count on the up-sampled side, and
+/// `large_h × large_w` the up-sampled spatial size. How the four convolution
+/// families consume those dimensions:
+///
+/// | kind      | input operand                 | output                         |
+/// |-----------|-------------------------------|--------------------------------|
+/// | `S`       | `large` maps, `large_h×large_w` | `small` maps, `small_h×small_w` |
+/// | `T`       | `small` maps, `small_h×small_w` | `large` maps, `large_h×large_w` |
+/// | `WGradS`  | `large` maps (data) + `small` maps (error) | `small×large×kh×kw` |
+/// | `WGradT`  | `small` maps (data) + `large` maps (error) | `small×large×kh×kw` |
+///
+/// # Example
+///
+/// ```
+/// use zfgan_sim::{ConvKind, ConvShape};
+/// use zfgan_tensor::ConvGeom;
+///
+/// // DCGAN discriminator layer 1: 3×64×64 → 64×32×32.
+/// let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32)?;
+/// let phase = ConvShape::new(ConvKind::S, geom, 64, 3, 64, 64);
+/// assert_eq!(phase.effectual_macs(), 64 * 3 * 16 * 32 * 32);
+/// # Ok::<(), zfgan_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvShape {
+    kind: ConvKind,
+    geom: ConvGeom,
+    /// Channels on the down-sampled (small) side.
+    small: usize,
+    /// Channels on the up-sampled (large) side.
+    large: usize,
+    /// Up-sampled spatial height.
+    large_h: usize,
+    /// Up-sampled spatial width.
+    large_w: usize,
+}
+
+impl ConvShape {
+    /// Creates a phase shape.
+    ///
+    /// `large_h × large_w` is the spatial size on the *up-sampled* side of
+    /// the geometry (the `S-CONV` input / `T-CONV` output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        kind: ConvKind,
+        geom: ConvGeom,
+        small: usize,
+        large: usize,
+        large_h: usize,
+        large_w: usize,
+    ) -> Self {
+        assert!(
+            small > 0 && large > 0 && large_h > 0 && large_w > 0,
+            "phase dimensions must be non-zero"
+        );
+        Self {
+            kind,
+            geom,
+            small,
+            large,
+            large_h,
+            large_w,
+        }
+    }
+
+    /// The convolution family.
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// The shared geometry.
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    /// Channel count on the down-sampled side.
+    pub fn small(&self) -> usize {
+        self.small
+    }
+
+    /// Channel count on the up-sampled side.
+    pub fn large(&self) -> usize {
+        self.large
+    }
+
+    /// Spatial size on the up-sampled side.
+    pub fn large_hw(&self) -> (usize, usize) {
+        (self.large_h, self.large_w)
+    }
+
+    /// Spatial size on the down-sampled side.
+    pub fn small_hw(&self) -> (usize, usize) {
+        self.geom.down_out(self.large_h, self.large_w)
+    }
+
+    /// The same shape reinterpreted as a different convolution family —
+    /// how one layer yields its forward, backward and weight-update phases.
+    pub fn with_kind(&self, kind: ConvKind) -> ConvShape {
+        ConvShape { kind, ..*self }
+    }
+
+    /// `(N_if, N_iy, N_ix)` of the phase's *input operand* in the naive
+    /// (zero-inserted) execution the traditional architectures see.
+    pub fn naive_input_dims(&self) -> (usize, usize, usize) {
+        let (sh, sw) = self.small_hw();
+        match self.kind {
+            ConvKind::S => (self.large, self.large_h, self.large_w),
+            ConvKind::T => {
+                let (zh, zw) = self.geom.zero_inserted(sh, sw);
+                (self.small, zh, zw)
+            }
+            // D-side W-CONV walks the (real) layer input; the zeros live in
+            // the dilated error kernel.
+            ConvKind::WGradS => (self.large, self.large_h, self.large_w),
+            // G-side W-CONV walks the zero-inserted layer input.
+            ConvKind::WGradT => {
+                let (zh, zw) = self.geom.zero_inserted(sh, sw);
+                (self.small, zh, zw)
+            }
+        }
+    }
+
+    /// `(N_of, N_oy, N_ox)` of the phase's output (for `W-CONV`, one output
+    /// "map" per `(of, if)` pair with the kernel's spatial size).
+    pub fn output_dims(&self) -> (usize, usize, usize) {
+        let (sh, sw) = self.small_hw();
+        match self.kind {
+            ConvKind::S => (self.small, sh, sw),
+            ConvKind::T => (self.large, self.large_h, self.large_w),
+            ConvKind::WGradS | ConvKind::WGradT => {
+                (self.small * self.large, self.geom.kh(), self.geom.kw())
+            }
+        }
+    }
+
+    /// Effectual multiply-accumulates — the work an ideal zero-skipping
+    /// machine performs. All four phases of one layer have (asymptotically)
+    /// the same count, the paper's "equivalent amount of computations".
+    pub fn effectual_macs(&self) -> u64 {
+        let (sh, sw) = self.small_hw();
+        let pairs = (self.small * self.large) as u64;
+        match self.kind {
+            ConvKind::S => pairs * (self.geom.kh() * self.geom.kw()) as u64 * (sh * sw) as u64,
+            ConvKind::T => pairs * t_conv_mul_counts(&self.geom, sh, sw).effectual,
+            ConvKind::WGradS => {
+                pairs * w_conv_s_mul_counts(&self.geom, self.large_h, self.large_w).effectual
+            }
+            ConvKind::WGradT => pairs * w_conv_t_mul_counts(&self.geom, sh, sw).effectual,
+        }
+    }
+
+    /// Total multiplications of the naive (zero-inserted) execution —
+    /// what a machine that cannot skip zeros performs.
+    pub fn naive_muls(&self) -> u64 {
+        let pairs = (self.small * self.large) as u64;
+        let (sh, sw) = self.small_hw();
+        match self.kind {
+            ConvKind::S => self.effectual_macs(),
+            ConvKind::T => pairs * t_conv_mul_counts(&self.geom, sh, sw).total,
+            ConvKind::WGradS => {
+                pairs * w_conv_s_mul_counts(&self.geom, self.large_h, self.large_w).total
+            }
+            ConvKind::WGradT => pairs * w_conv_t_mul_counts(&self.geom, sh, sw).total,
+        }
+    }
+
+    /// The per-`(of, if)`-pair multiplication census of this phase.
+    pub fn mul_counts(&self) -> MulCounts {
+        let (sh, sw) = self.small_hw();
+        match self.kind {
+            ConvKind::S => {
+                let eff = (self.geom.kh() * self.geom.kw() * sh * sw) as u64;
+                MulCounts {
+                    effectual: eff,
+                    total: eff,
+                }
+            }
+            ConvKind::T => t_conv_mul_counts(&self.geom, sh, sw),
+            ConvKind::WGradS => w_conv_s_mul_counts(&self.geom, self.large_h, self.large_w),
+            ConvKind::WGradT => w_conv_t_mul_counts(&self.geom, sh, sw),
+        }
+    }
+
+    /// Fraction of the naive multiplications that are ineffectual — the
+    /// paper's "~64% / ~75%" quantity.
+    pub fn ineffectual_fraction(&self) -> f64 {
+        self.mul_counts().ineffectual_fraction()
+    }
+
+    /// Number of weights this phase reads (`small × large × kh × kw`).
+    pub fn weight_count(&self) -> u64 {
+        (self.small * self.large * self.geom.kh() * self.geom.kw()) as u64
+    }
+
+    /// Number of elements in the phase output.
+    pub fn output_count(&self) -> u64 {
+        let (c, h, w) = self.output_dims();
+        (c * h * w) as u64
+    }
+
+    /// Number of (real, non-inserted) elements in the phase input operand.
+    pub fn real_input_count(&self) -> u64 {
+        let (sh, sw) = self.small_hw();
+        match self.kind {
+            ConvKind::S | ConvKind::WGradS => (self.large * self.large_h * self.large_w) as u64,
+            ConvKind::T | ConvKind::WGradT => (self.small * sh * sw) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcgan_l1() -> ConvShape {
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        ConvShape::new(ConvKind::S, geom, 64, 3, 64, 64)
+    }
+
+    #[test]
+    fn s_phase_dims() {
+        let p = dcgan_l1();
+        assert_eq!(p.naive_input_dims(), (3, 64, 64));
+        assert_eq!(p.output_dims(), (64, 32, 32));
+        assert_eq!(p.small_hw(), (32, 32));
+        assert_eq!(p.effectual_macs(), 64 * 3 * 16 * 1024);
+        assert_eq!(p.naive_muls(), p.effectual_macs());
+        assert_eq!(p.ineffectual_fraction(), 0.0);
+    }
+
+    #[test]
+    fn t_phase_dims_and_zero_fraction() {
+        let p = dcgan_l1().with_kind(ConvKind::T);
+        assert_eq!(p.naive_input_dims(), (64, 63, 63));
+        assert_eq!(p.output_dims(), (3, 64, 64));
+        let frac = p.ineffectual_fraction();
+        assert!((0.70..0.80).contains(&frac), "{frac}");
+        assert!(p.naive_muls() > p.effectual_macs());
+    }
+
+    #[test]
+    fn wgrad_phases_have_4d_outputs() {
+        let ps = dcgan_l1().with_kind(ConvKind::WGradS);
+        assert_eq!(ps.output_dims(), (64 * 3, 4, 4));
+        assert!(ps.kind().is_weight_grad());
+        let pt = dcgan_l1().with_kind(ConvKind::WGradT);
+        assert_eq!(pt.output_dims(), (64 * 3, 4, 4));
+        assert!(pt.ineffectual_fraction() > 0.5);
+    }
+
+    #[test]
+    fn all_phases_have_comparable_work() {
+        // "All the computing phases have the equivalent amount of
+        // computations" — within edge effects.
+        let base = dcgan_l1().effectual_macs() as f64;
+        for kind in [ConvKind::T, ConvKind::WGradS, ConvKind::WGradT] {
+            let m = dcgan_l1().with_kind(kind).effectual_macs() as f64;
+            let ratio = m / base;
+            assert!((0.8..=1.05).contains(&ratio), "{kind:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn zero_insertion_flags() {
+        assert!(!ConvKind::S.has_inserted_zeros());
+        assert!(ConvKind::T.has_inserted_zeros());
+        assert!(ConvKind::WGradS.has_inserted_zeros());
+        assert!(ConvKind::WGradT.has_inserted_zeros());
+        assert!(!ConvKind::T.is_weight_grad());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let p = dcgan_l1();
+        assert_eq!(p.weight_count(), 64 * 3 * 16);
+        assert_eq!(p.output_count(), 64 * 32 * 32);
+        assert_eq!(p.real_input_count(), 3 * 64 * 64);
+        let t = p.with_kind(ConvKind::T);
+        assert_eq!(t.real_input_count(), 64 * 32 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let geom = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).unwrap();
+        let _ = ConvShape::new(ConvKind::S, geom, 0, 3, 8, 8);
+    }
+}

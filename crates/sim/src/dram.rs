@@ -1,0 +1,110 @@
+//! Off-chip memory bandwidth model — paper Eq. 7's constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// A DRAM channel characterised by sustained bandwidth.
+///
+/// The paper's VCU118 board offers 192 Gbit/s; with a 200 MHz PE clock and
+/// 16-bit data this bounds the `W-CONV` unrolling at `W_Pof = 30` (Eq. 7).
+///
+/// # Example
+///
+/// ```
+/// use zfgan_sim::DramModel;
+///
+/// let dram = DramModel::new(192.0, 200.0);
+/// // One ∇W read+write per (Nk/Pk) cycles per channel: Eq. 7 gives 30.
+/// assert_eq!(dram.eq7_w_pof(16), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    bandwidth_gbps: f64,
+    frequency_mhz: f64,
+}
+
+impl DramModel {
+    /// Creates a model from sustained bandwidth (Gbit/s) and the PE clock
+    /// (MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    pub fn new(bandwidth_gbps: f64, frequency_mhz: f64) -> Self {
+        assert!(
+            bandwidth_gbps > 0.0 && frequency_mhz > 0.0,
+            "parameters must be positive"
+        );
+        Self {
+            bandwidth_gbps,
+            frequency_mhz,
+        }
+    }
+
+    /// The paper's platform: 192 Gbit/s DDR4, 200 MHz PE clock.
+    pub fn vcu118() -> Self {
+        Self::new(192.0, 200.0)
+    }
+
+    /// Sustained bandwidth in Gbit/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// PE clock in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        self.frequency_mhz
+    }
+
+    /// Bits transferable per PE clock cycle.
+    pub fn bits_per_cycle(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Cycles needed to move `bytes` at full bandwidth (rounded up).
+    pub fn cycles_for_bytes(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * 8.0) / self.bits_per_cycle()).ceil() as u64
+    }
+
+    /// Paper Eq. 7: the maximum `W_Pof` the off-chip bandwidth sustains,
+    /// `W_Pof = BW / (2 × f × bits_per_data)` — each ZFWST channel issues
+    /// one ∇W read **and** one write per `(Nk×Nk)/(Pk×Pk)` cycles, worst
+    /// case one of each per cycle.
+    pub fn eq7_w_pof(&self, bits_per_data: u32) -> usize {
+        (self.bandwidth_gbps * 1e9 / (2.0 * self.frequency_mhz * 1e6 * f64::from(bits_per_data)))
+            .floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcu118_matches_paper_constants() {
+        let d = DramModel::vcu118();
+        assert_eq!(d.bandwidth_gbps(), 192.0);
+        assert_eq!(d.frequency_mhz(), 200.0);
+        // Paper Section V-C: "W_Pof is 30".
+        assert_eq!(d.eq7_w_pof(16), 30);
+    }
+
+    #[test]
+    fn bits_per_cycle_is_bandwidth_over_clock() {
+        let d = DramModel::new(200.0, 100.0);
+        assert_eq!(d.bits_per_cycle(), 2000.0);
+        assert_eq!(d.cycles_for_bytes(1000), 4); // 8000 bits / 2000
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let d = DramModel::new(8.0, 1000.0); // 8 bits per cycle
+        assert_eq!(d.cycles_for_bytes(1), 1);
+        assert_eq!(d.cycles_for_bytes(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = DramModel::new(0.0, 200.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Microarchitecture substrate for the `zfgan` cycle-level simulator.
+//!
+//! This crate provides the shared vocabulary every architecture model in
+//! `zfgan-dataflow` and `zfgan-accel` speaks:
+//!
+//! * [`ConvShape`] / [`ConvKind`] — a convolution *phase*: geometry, channel
+//!   counts and which of the paper's convolution families it belongs to
+//!   (`S-CONV`, `T-CONV`, or the two `W-CONV` variants).
+//! * [`PhaseStats`] / [`AccessCounts`] — what a dataflow schedule reports:
+//!   cycles, effectual MACs, PE occupancy and on-chip buffer accesses
+//!   (the paper's Figs. 15–16 quantities).
+//! * [`EnergyModel`] — per-event energy costs turning access counts into
+//!   energy (Fig. 19's efficiency axis).
+//! * [`OnChipBuffer`] / [`BufferSpec`] — capacity-checked on-chip buffer
+//!   models with access counters (the In&Out / Data / Error / ∇W / Weight
+//!   buffers of paper Fig. 14).
+//! * [`DramModel`] — an off-chip bandwidth model (paper Eq. 7's constraint).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod buffer;
+mod conv;
+mod dram;
+mod energy;
+mod stats;
+pub mod trace;
+
+pub use buffer::{BufferError, BufferSpec, OnChipBuffer};
+pub use conv::{ConvKind, ConvShape};
+pub use dram::DramModel;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use stats::{AccessCounts, DramTraffic, PhaseStats};

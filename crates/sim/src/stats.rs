@@ -1,0 +1,192 @@
+//! Schedule-level accounting records.
+
+use serde::{Deserialize, Serialize};
+
+/// On-chip data accesses of one scheduled phase — the currency of the
+/// paper's Fig. 16 ("loading kernel weights and input neurons and
+/// reading/writing output neurons").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Kernel weights loaded from an on-chip buffer into the PE array.
+    pub weight_reads: u64,
+    /// Input neurons loaded from an on-chip buffer into the PE array
+    /// (register-to-register shifts between neighbouring PEs do **not**
+    /// count — that locality is exactly what the stationary dataflows buy).
+    pub input_reads: u64,
+    /// Partial sums read back from an on-chip buffer.
+    pub output_reads: u64,
+    /// Output neurons / partial sums written to an on-chip buffer.
+    pub output_writes: u64,
+}
+
+impl AccessCounts {
+    /// Total on-chip accesses.
+    pub fn total(&self) -> u64 {
+        self.weight_reads + self.input_reads + self.output_reads + self.output_writes
+    }
+
+    /// Component-wise sum.
+    pub fn merged(self, o: AccessCounts) -> AccessCounts {
+        AccessCounts {
+            weight_reads: self.weight_reads + o.weight_reads,
+            input_reads: self.input_reads + o.input_reads,
+            output_reads: self.output_reads + o.output_reads,
+            output_writes: self.output_writes + o.output_writes,
+        }
+    }
+}
+
+/// Off-chip (DRAM) traffic of one scheduled phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+}
+
+impl DramTraffic {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Component-wise sum.
+    pub fn merged(self, o: DramTraffic) -> DramTraffic {
+        DramTraffic {
+            read_bytes: self.read_bytes + o.read_bytes,
+            write_bytes: self.write_bytes + o.write_bytes,
+        }
+    }
+}
+
+/// Everything a dataflow schedule reports about executing one convolution
+/// phase on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Cycles the PE array is occupied.
+    pub cycles: u64,
+    /// Effectual multiply-accumulates performed.
+    pub effectual_macs: u64,
+    /// Number of PEs in the array (`nPEs` of paper Eq. 5).
+    pub n_pes: u64,
+    /// On-chip buffer accesses.
+    pub access: AccessCounts,
+    /// Off-chip traffic.
+    pub dram: DramTraffic,
+}
+
+impl PhaseStats {
+    /// PE utilization — paper Eq. 5's `nMACs / (nCycles × nPEs)`.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.n_pes == 0 {
+            0.0
+        } else {
+            self.effectual_macs as f64 / (self.cycles * self.n_pes) as f64
+        }
+    }
+
+    /// Throughput in effectual MACs per cycle — the paper's Fig. 15
+    /// "performance (processing throughput)" metric.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.effectual_macs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges two phases executed back-to-back on the same array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE counts differ (merging across arrays is a caller
+    /// bug; aggregate those at the accelerator level instead).
+    pub fn merged(self, o: PhaseStats) -> PhaseStats {
+        assert_eq!(
+            self.n_pes, o.n_pes,
+            "cannot merge stats across different PE arrays"
+        );
+        PhaseStats {
+            cycles: self.cycles + o.cycles,
+            effectual_macs: self.effectual_macs + o.effectual_macs,
+            n_pes: self.n_pes,
+            access: self.access.merged(o.access),
+            dram: self.dram.merged(o.dram),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_matches_eq5() {
+        let s = PhaseStats {
+            cycles: 100,
+            effectual_macs: 250,
+            n_pes: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.utilization(), 0.5);
+        assert_eq!(s.macs_per_cycle(), 2.5);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_utilization() {
+        let s = PhaseStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.macs_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn merging_accumulates_everything() {
+        let a = PhaseStats {
+            cycles: 10,
+            effectual_macs: 20,
+            n_pes: 4,
+            access: AccessCounts {
+                weight_reads: 1,
+                input_reads: 2,
+                output_reads: 3,
+                output_writes: 4,
+            },
+            dram: DramTraffic {
+                read_bytes: 5,
+                write_bytes: 6,
+            },
+        };
+        let m = a.merged(a);
+        assert_eq!(m.cycles, 20);
+        assert_eq!(m.effectual_macs, 40);
+        assert_eq!(m.access.total(), 20);
+        assert_eq!(m.dram.total_bytes(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "different PE arrays")]
+    fn merging_across_arrays_panics() {
+        let a = PhaseStats {
+            n_pes: 4,
+            ..Default::default()
+        };
+        let b = PhaseStats {
+            n_pes: 8,
+            ..Default::default()
+        };
+        let _ = a.merged(b);
+    }
+
+    #[test]
+    fn access_counts_total() {
+        let a = AccessCounts {
+            weight_reads: 1,
+            input_reads: 10,
+            output_reads: 100,
+            output_writes: 1000,
+        };
+        assert_eq!(a.total(), 1111);
+        assert_eq!(a.merged(a).total(), 2222);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cycle-stamped event tracing for debugging schedules.
+//!
+//! A [`TraceBuffer`] is a bounded ring of `(cycle, event)` records a
+//! simulator can stream into at negligible cost; when something looks
+//! wrong in an aggregate counter, the trace shows *which* cycle diverged.
+//! Bounded capacity keeps worst-case memory flat — old events are evicted,
+//! and the eviction count is reported so truncation is never silent.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A multiply-accumulate fired on PE `(row, col)` of channel `ch`.
+    Mac {
+        /// Channel index.
+        ch: u16,
+        /// PE row.
+        row: u16,
+        /// PE column.
+        col: u16,
+    },
+    /// An operand was loaded from an on-chip buffer into a register.
+    BufferRead {
+        /// Which named buffer (index into the plan's order).
+        buffer: u8,
+    },
+    /// A value was written back to an on-chip buffer.
+    BufferWrite {
+        /// Which named buffer.
+        buffer: u8,
+    },
+    /// The register lattice shifted.
+    Shift {
+        /// Row delta (−1/0/1).
+        dy: i8,
+        /// Column delta (−1/0/1).
+        dx: i8,
+    },
+    /// A DRAM burst of `bytes` started.
+    DramBurst {
+        /// Burst length in bytes.
+        bytes: u32,
+    },
+    /// A new phase began (label index managed by the caller).
+    PhaseStart {
+        /// Caller-managed phase label index.
+        label: u16,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Mac { ch, row, col } => write!(f, "mac ch{ch} pe({row},{col})"),
+            TraceEvent::BufferRead { buffer } => write!(f, "rd buf{buffer}"),
+            TraceEvent::BufferWrite { buffer } => write!(f, "wr buf{buffer}"),
+            TraceEvent::Shift { dy, dx } => write!(f, "shift ({dy},{dx})"),
+            TraceEvent::DramBurst { bytes } => write!(f, "dram {bytes}B"),
+            TraceEvent::PhaseStart { label } => write!(f, "phase {label}"),
+        }
+    }
+}
+
+/// A bounded ring buffer of cycle-stamped events.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_sim::trace::{TraceBuffer, TraceEvent};
+///
+/// let mut t = TraceBuffer::new(4);
+/// for c in 0..6 {
+///     t.record(c, TraceEvent::Shift { dy: 0, dx: 1 });
+/// }
+/// assert_eq!(t.len(), 4);      // capacity bound holds
+/// assert_eq!(t.evicted(), 2);  // truncation is visible
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<(u64, TraceEvent)>,
+    evicted: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            evicted: 0,
+        }
+    }
+
+    /// Records one event at `cycle`.
+    pub fn record(&mut self, cycle: u64, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back((cycle, event));
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates retained events in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Events recorded in the half-open cycle range `[from, to)`.
+    pub fn window(&self, from: u64, to: u64) -> Vec<(u64, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(|(c, _)| (from..to).contains(c))
+            .copied()
+            .collect()
+    }
+
+    /// Renders the retained events, one per line, `cycle: event`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.evicted > 0 {
+            out.push_str(&format!("… {} earlier events evicted …\n", self.evicted));
+        }
+        for (cycle, ev) in &self.events {
+            out.push_str(&format!("{cycle:>8}: {ev}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut t = TraceBuffer::new(3);
+        for c in 0..5u64 {
+            t.record(c, TraceEvent::PhaseStart { label: c as u16 });
+        }
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(t.evicted(), 2);
+    }
+
+    #[test]
+    fn window_filters_by_cycle() {
+        let mut t = TraceBuffer::new(16);
+        t.record(
+            10,
+            TraceEvent::Mac {
+                ch: 0,
+                row: 1,
+                col: 2,
+            },
+        );
+        t.record(20, TraceEvent::BufferRead { buffer: 3 });
+        t.record(30, TraceEvent::DramBurst { bytes: 64 });
+        let w = t.window(15, 30);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].0, 20);
+    }
+
+    #[test]
+    fn render_shows_eviction_and_events() {
+        let mut t = TraceBuffer::new(1);
+        t.record(1, TraceEvent::Shift { dy: 1, dx: 0 });
+        t.record(2, TraceEvent::BufferWrite { buffer: 0 });
+        let s = t.render();
+        assert!(s.contains("evicted"));
+        assert!(s.contains("wr buf0"));
+        assert!(!s.contains("shift"), "evicted event must not render");
+    }
+
+    #[test]
+    fn display_formats_every_variant() {
+        let evs = [
+            TraceEvent::Mac {
+                ch: 1,
+                row: 2,
+                col: 3,
+            },
+            TraceEvent::BufferRead { buffer: 0 },
+            TraceEvent::BufferWrite { buffer: 1 },
+            TraceEvent::Shift { dy: -1, dx: 1 },
+            TraceEvent::DramBurst { bytes: 128 },
+            TraceEvent::PhaseStart { label: 7 },
+        ];
+        for e in evs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

@@ -1,0 +1,619 @@
+//! Golden-reference implementations of the paper's three convolution
+//! families.
+//!
+//! All of GAN training is built from one geometry ([`ConvGeom`]) applied in
+//! three ways (paper Table I):
+//!
+//! * **S-CONV** ([`s_conv`]) — strided convolution. Discriminator forward
+//!   (`D̄` uses it too, as the Generator's backward error pass).
+//! * **T-CONV** ([`t_conv`]) — transposed convolution, the up-sampling
+//!   direction of the same geometry. Generator forward and Discriminator
+//!   backward error pass. [`t_conv_via_zero_insert`] computes the identical
+//!   result the way the hardware sees it: zero-insert, then unit-stride
+//!   convolution — the source of the paper's "ineffectual operations".
+//! * **W-CONV** ([`w_conv_for_s_layer`], [`w_conv_for_t_layer`]) — the
+//!   weight-gradient convolution with a four-dimensional output and no
+//!   cross-input-map accumulation (paper Fig. 3). For an S-CONV layer the
+//!   stride dilates the error operand ("zero-inserting in kernel"); for a
+//!   T-CONV layer the input operand is the zero-inserted activation
+//!   ("zero-inserting in input").
+//!
+//! These are deliberately plain loop nests: they exist to be *obviously
+//! correct* so that the cycle-level dataflow executors in `zfgan-dataflow`
+//! can be validated against them.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::fmaps::Fmaps;
+use crate::kernels::Kernels;
+use crate::num::Num;
+use crate::shape::ConvGeom;
+use crate::zeros::insert_zeros;
+
+/// Strided convolution (`S-CONV`): the down-sampling direction.
+///
+/// `output[of][oy][ox] = Σ_if Σ_ky Σ_kx input[if][s·oy+ky−pt][s·ox+kx−pl] · k[of][if][ky][kx]`
+///
+/// # Errors
+///
+/// Returns an error if `k.n_if() != input.channels()` or the geometry's
+/// output would be empty for this input size.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::{ConvGeom, Fmaps, Kernels, s_conv};
+///
+/// let geom = ConvGeom::down(8, 8, 4, 4, 2, 4, 4)?;
+/// let x: Fmaps<f32> = Fmaps::zeros(3, 8, 8);
+/// let k: Kernels<f32> = Kernels::zeros(16, 3, 4, 4);
+/// let y = s_conv(&x, &k, &geom)?;
+/// assert_eq!(y.shape(), (16, 4, 4));
+/// # Ok::<(), zfgan_tensor::ShapeError>(())
+/// ```
+pub fn s_conv<T: Num>(input: &Fmaps<T>, k: &Kernels<T>, geom: &ConvGeom) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel expects {} input maps, input has {}",
+            k.n_if(),
+            input.channels()
+        )));
+    }
+    let (oh, ow) = geom.down_out(input.height(), input.width());
+    if oh == 0 || ow == 0 {
+        return Err(ShapeError::new(
+            "geometry yields an empty output for this input",
+        ));
+    }
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out = Fmaps::zeros(k.n_of(), oh, ow);
+    for of in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = T::zero();
+                for if_ in 0..k.n_if() {
+                    for ky in 0..geom.kh() {
+                        for kx in 0..geom.kw() {
+                            let iy = stride * oy as isize + ky as isize - pt;
+                            let ix = stride * ox as isize + kx as isize - pl;
+                            acc.mul_add_assign(
+                                input.at_padded(if_, iy, ix),
+                                *k.at(of, if_, ky, kx),
+                            );
+                        }
+                    }
+                }
+                *out.at_mut(of, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Transposed convolution (`T-CONV`): the up-sampling direction of `geom`.
+///
+/// The kernel tensor keeps its *down-direction* layout — `n_of` is the small
+/// side (this function's input channels) and `n_if` the large side (this
+/// function's output channels) — so the very same `Kernels` value drives a
+/// Discriminator layer forward and the mirrored Generator layer, matching
+/// the paper's "Generator has an inverse architecture of Discriminator".
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::{ConvGeom, Fmaps, Kernels, t_conv};
+///
+/// let geom = ConvGeom::down(8, 8, 4, 4, 2, 4, 4)?;
+/// let z: Fmaps<f32> = Fmaps::zeros(16, 4, 4);
+/// let k: Kernels<f32> = Kernels::zeros(16, 3, 4, 4);
+/// let y = t_conv(&z, &k, &geom)?;
+/// assert_eq!(y.shape(), (3, 8, 8));
+/// # Ok::<(), zfgan_tensor::ShapeError>(())
+/// ```
+pub fn t_conv<T: Num>(input: &Fmaps<T>, k: &Kernels<T>, geom: &ConvGeom) -> TensorResult<Fmaps<T>> {
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    t_conv_with_output_size(input, k, geom, oh, ow)
+}
+
+/// [`t_conv`] with an explicit output size (used by [`s_conv_input_grad`]
+/// when the down-sampling quantised away rows that must not be recreated).
+fn t_conv_with_output_size<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's down-direction output side is {} maps, t_conv input has {}",
+            k.n_of(),
+            input.channels()
+        )));
+    }
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out: Fmaps<T> = Fmaps::zeros(k.n_if(), oh, ow);
+    for sf in 0..input.channels() {
+        for iy in 0..input.height() {
+            for ix in 0..input.width() {
+                let v = *input.at(sf, iy, ix);
+                if v.is_zero() {
+                    // Reference impl may skip: 0 · w contributes nothing.
+                    continue;
+                }
+                for lf in 0..k.n_if() {
+                    for ky in 0..geom.kh() {
+                        for kx in 0..geom.kw() {
+                            let ty = stride * iy as isize + ky as isize - pt;
+                            let tx = stride * ix as isize + kx as isize - pl;
+                            if ty >= 0 && tx >= 0 && (ty as usize) < oh && (tx as usize) < ow {
+                                out.at_mut(lf, ty as usize, tx as usize)
+                                    .mul_add_assign(v, *k.at(sf, lf, ky, kx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `T-CONV` computed the way the hardware sees it: first insert
+/// `stride − 1` zeros between input pixels, then run a **unit-stride**
+/// convolution with the flipped kernel over the zero-inserted map.
+///
+/// Bit-identical to [`t_conv`]; exists so the dataflow simulator's view of
+/// the computation (including every ineffectual zero-operand multiplication)
+/// has a checkable reference.
+///
+/// # Errors
+///
+/// Same conditions as [`t_conv`].
+pub fn t_conv_via_zero_insert<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's down-direction output side is {} maps, t_conv input has {}",
+            k.n_of(),
+            input.channels()
+        )));
+    }
+    let zi = insert_zeros(input, geom.stride());
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    let (pt, _pb, pl, _pr) = geom.t_conv_pads();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let mut out = Fmaps::zeros(k.n_if(), oh, ow);
+    for lf in 0..k.n_if() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = T::zero();
+                for sf in 0..k.n_of() {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let zy = oy as isize + ky as isize - pt as isize;
+                            let zx = ox as isize + kx as isize - pl as isize;
+                            acc.mul_add_assign(
+                                zi.at_padded(sf, zy, zx),
+                                *k.at(sf, lf, kh - 1 - ky, kw - 1 - kx),
+                            );
+                        }
+                    }
+                }
+                *out.at_mut(lf, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward error pass of an `S-CONV` layer (paper Eq. 3 before the `∘ σ'`):
+/// scatters `δ_out` back through the layer's weights onto the input grid.
+///
+/// This *is* a `T-CONV` — exactly the paper's observation that `D̄` runs
+/// T-CONV — but takes the original input size explicitly, because a strided
+/// down-sampling may have ignored trailing rows that must stay zero in the
+/// gradient.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out.channels() != k.n_of()`.
+pub fn s_conv_input_grad<T: Num>(
+    delta_out: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    in_h: usize,
+    in_w: usize,
+) -> TensorResult<Fmaps<T>> {
+    t_conv_with_output_size(delta_out, k, geom, in_h, in_w)
+}
+
+/// Backward error pass of a `T-CONV` layer: the gather direction, i.e. a
+/// plain [`s_conv`] of the output error with the layer's own weights —
+/// the paper's observation that `Ḡ` runs S-CONV.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out.channels() != k.n_if()`.
+pub fn t_conv_input_grad<T: Num>(
+    delta_out: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Fmaps<T>> {
+    s_conv_swapped(delta_out, k, geom)
+}
+
+/// `s_conv` but indexing the kernel with (of, if) swapped, because for a
+/// T-CONV layer the kernel's `n_of` axis is the *input* of the backward pass.
+fn s_conv_swapped<T: Num>(
+    delta_out: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != delta_out.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's up-direction side is {} maps, error has {}",
+            k.n_if(),
+            delta_out.channels()
+        )));
+    }
+    let (oh, ow) = geom.down_out(delta_out.height(), delta_out.width());
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut out = Fmaps::zeros(k.n_of(), oh, ow);
+    for sf in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = T::zero();
+                for lf in 0..k.n_if() {
+                    for ky in 0..geom.kh() {
+                        for kx in 0..geom.kw() {
+                            let iy = stride * oy as isize + ky as isize - pt;
+                            let ix = stride * ox as isize + kx as isize - pl;
+                            acc.mul_add_assign(
+                                delta_out.at_padded(lf, iy, ix),
+                                *k.at(sf, lf, ky, kx),
+                            );
+                        }
+                    }
+                }
+                *out.at_mut(sf, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `W-CONV` for an `S-CONV` layer (Discriminator update, paper Eq. 4 /
+/// Fig. 6c): the loss gradient w.r.t. the layer's weights.
+///
+/// `∇W[of][if][ky][kx] = Σ_oy,ox δ_out[of][oy][ox] · input[if][s·oy+ky−pt][s·ox+kx−pl]`
+///
+/// The output is four-dimensional (one `KH×KW` slice per `(of, if)` pair)
+/// and involves **no accumulation across input maps** — the property that
+/// idles the NLR adder tree in the paper's analysis. Seen as a convolution,
+/// the `δ` operand is dilated by the stride, i.e. has zeros inserted in the
+/// *kernel* position.
+///
+/// # Errors
+///
+/// Returns an error if the operand channel counts are inconsistent with a
+/// forward pass of this geometry.
+pub fn w_conv_for_s_layer<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.down_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let mut grad = Kernels::zeros(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
+    for of in 0..delta_out.channels() {
+        for if_ in 0..input.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    let mut acc = T::zero();
+                    for oy in 0..delta_out.height() {
+                        for ox in 0..delta_out.width() {
+                            let iy = stride * oy as isize + ky as isize - pt;
+                            let ix = stride * ox as isize + kx as isize - pl;
+                            acc.mul_add_assign(
+                                *delta_out.at(of, oy, ox),
+                                input.at_padded(if_, iy, ix),
+                            );
+                        }
+                    }
+                    *grad.at_mut(of, if_, ky, kx) = acc;
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// `W-CONV` for a `T-CONV` layer (Generator update, paper Fig. 6d): the
+/// loss gradient w.r.t. the weights of an up-sampling layer.
+///
+/// `∇W[sf][lf][ky][kx] = Σ_iy,ix input[sf][iy][ix] · δ_out[lf][s·iy+ky−pt][s·ix+kx−pl]`
+///
+/// Seen as a convolution this correlates the **zero-inserted** input with
+/// the output error — the "zero-inserting in input" case of W-CONV. The
+/// returned gradient has the same down-direction layout as the layer's
+/// weight tensor.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size is not the up-sampled size
+/// of `input` under this geometry.
+pub fn w_conv_for_t_layer<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.up_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let (dh, dw) = (delta_out.height() as isize, delta_out.width() as isize);
+    let mut grad = Kernels::zeros(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
+    for sf in 0..input.channels() {
+        for lf in 0..delta_out.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    let mut acc = T::zero();
+                    for iy in 0..input.height() {
+                        for ix in 0..input.width() {
+                            let ty = stride * iy as isize + ky as isize - pt;
+                            let tx = stride * ix as isize + kx as isize - pl;
+                            if ty >= 0 && tx >= 0 && ty < dh && tx < dw {
+                                acc.mul_add_assign(
+                                    *input.at(sf, iy, ix),
+                                    *delta_out.at(lf, ty as usize, tx as usize),
+                                );
+                            }
+                        }
+                    }
+                    *grad.at_mut(sf, lf, ky, kx) = acc;
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn geom_4x4_s2(in_hw: usize) -> ConvGeom {
+        ConvGeom::down(in_hw, in_hw, 4, 4, 2, in_hw / 2, in_hw / 2).unwrap()
+    }
+
+    #[test]
+    fn s_conv_identity_kernel() {
+        // 1×1 kernel, stride 1, no padding: convolution is a scaling.
+        let geom = ConvGeom::new(1, 1, 1, 0, 0, 0, 0).unwrap();
+        let x = Fmaps::from_vec(1, 2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let k = Kernels::from_vec(1, 1, 1, 1, vec![2.0f32]);
+        let y = s_conv(&x, &k, &geom).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn s_conv_known_values() {
+        // Hand-computed 3×3 input, 2×2 kernel, stride 1, no pad.
+        let geom = ConvGeom::new(2, 2, 1, 0, 0, 0, 0).unwrap();
+        let x = Fmaps::from_vec(
+            1,
+            3,
+            3,
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let k = Kernels::from_vec(1, 1, 2, 2, vec![1.0f32, 0.0, 0.0, 1.0]);
+        let y = s_conv(&x, &k, &geom).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
+    }
+
+    #[test]
+    fn s_conv_accumulates_across_input_maps() {
+        let geom = ConvGeom::new(1, 1, 1, 0, 0, 0, 0).unwrap();
+        let x = Fmaps::from_vec(2, 1, 1, vec![3.0f32, 4.0]);
+        let k = Kernels::from_vec(1, 2, 1, 1, vec![1.0f32, 10.0]);
+        let y = s_conv(&x, &k, &geom).unwrap();
+        assert_eq!(y.as_slice(), &[43.0]);
+    }
+
+    #[test]
+    fn s_conv_rejects_channel_mismatch() {
+        let geom = geom_4x4_s2(8);
+        let x: Fmaps<f32> = Fmaps::zeros(3, 8, 8);
+        let k: Kernels<f32> = Kernels::zeros(4, 2, 4, 4);
+        assert!(s_conv(&x, &k, &geom).is_err());
+    }
+
+    #[test]
+    fn t_conv_matches_zero_insert_path() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for in_hw in [4usize, 6, 8] {
+            let geom = geom_4x4_s2(in_hw * 2);
+            let x: Fmaps<f64> = Fmaps::random(3, in_hw, in_hw, 1.0, &mut rng).map(|v: f64| v);
+            let k: Kernels<f64> = Kernels::random(3, 2, 4, 4, 1.0, &mut rng);
+            let direct = t_conv(&x, &k, &geom).unwrap();
+            let via_zi = t_conv_via_zero_insert(&x, &k, &geom).unwrap();
+            assert!(direct.max_abs_diff(&via_zi) < 1e-9, "in_hw={in_hw}");
+        }
+    }
+
+    #[test]
+    fn t_conv_shape_is_up_out() {
+        let geom = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
+        let x: Fmaps<f32> = Fmaps::zeros(8, 14, 14);
+        let k: Kernels<f32> = Kernels::zeros(8, 1, 5, 5);
+        let y = t_conv(&x, &k, &geom).unwrap();
+        assert_eq!(y.shape(), (1, 28, 28));
+    }
+
+    #[test]
+    fn t_conv_rejects_channel_mismatch() {
+        let geom = geom_4x4_s2(8);
+        let x: Fmaps<f32> = Fmaps::zeros(5, 4, 4);
+        let k: Kernels<f32> = Kernels::zeros(4, 2, 4, 4);
+        assert!(t_conv(&x, &k, &geom).is_err());
+        assert!(t_conv_via_zero_insert(&x, &k, &geom).is_err());
+    }
+
+    /// Finite-difference check of `s_conv_input_grad` and `w_conv_for_s_layer`.
+    #[test]
+    fn s_layer_gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let geom = ConvGeom::down(6, 6, 4, 4, 2, 3, 3).unwrap();
+        let x: Fmaps<f64> = Fmaps::random(2, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(3, 2, 4, 4, 1.0, &mut rng);
+        // Loss = Σ y ⇒ δy = all-ones.
+        let y = s_conv(&x, &k, &geom).unwrap();
+        let delta = Fmaps::from_vec(3, 3, 3, vec![1.0f64; 27]);
+        let dx = s_conv_input_grad(&delta, &k, &geom, 6, 6).unwrap();
+        let dw = w_conv_for_s_layer(&x, &delta, &geom).unwrap();
+        let eps = 1e-6;
+        let loss = |y: &Fmaps<f64>| y.sum_f64();
+        let base = loss(&y);
+        // Check a handful of input coordinates.
+        for (c, yy, xx) in [(0, 0, 0), (1, 3, 2), (0, 5, 5), (1, 2, 4)] {
+            let mut xp = x.clone();
+            *xp.at_mut(c, yy, xx) += eps;
+            let num = (loss(&s_conv(&xp, &k, &geom).unwrap()) - base) / eps;
+            assert!(
+                (num - *dx.at(c, yy, xx)).abs() < 1e-5,
+                "dx[{c}][{yy}][{xx}]: fd={num} analytic={}",
+                dx.at(c, yy, xx)
+            );
+        }
+        // Check a handful of weight coordinates.
+        for (of, if_, ky, kx) in [(0, 0, 0, 0), (2, 1, 3, 3), (1, 0, 2, 1)] {
+            let mut kp = k.clone();
+            *kp.at_mut(of, if_, ky, kx) += eps;
+            let num = (loss(&s_conv(&x, &kp, &geom).unwrap()) - base) / eps;
+            assert!(
+                (num - *dw.at(of, if_, ky, kx)).abs() < 1e-5,
+                "dw[{of}][{if_}][{ky}][{kx}]: fd={num} analytic={}",
+                dw.at(of, if_, ky, kx)
+            );
+        }
+    }
+
+    /// Finite-difference check of `t_conv_input_grad` and `w_conv_for_t_layer`.
+    #[test]
+    fn t_layer_gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let geom = ConvGeom::down(6, 6, 4, 4, 2, 3, 3).unwrap();
+        let x: Fmaps<f64> = Fmaps::random(3, 3, 3, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(3, 2, 4, 4, 1.0, &mut rng);
+        let y = t_conv(&x, &k, &geom).unwrap();
+        assert_eq!(y.shape(), (2, 6, 6));
+        let delta = Fmaps::from_vec(2, 6, 6, vec![1.0f64; 72]);
+        let dx = t_conv_input_grad(&delta, &k, &geom).unwrap();
+        let dw = w_conv_for_t_layer(&x, &delta, &geom).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dw.shape(), k.shape());
+        let eps = 1e-6;
+        let base = y.sum_f64();
+        for (c, yy, xx) in [(0, 0, 0), (2, 1, 2), (1, 2, 2)] {
+            let mut xp = x.clone();
+            *xp.at_mut(c, yy, xx) += eps;
+            let num = (t_conv(&xp, &k, &geom).unwrap().sum_f64() - base) / eps;
+            assert!(
+                (num - *dx.at(c, yy, xx)).abs() < 1e-5,
+                "dx[{c}][{yy}][{xx}]: fd={num} analytic={}",
+                dx.at(c, yy, xx)
+            );
+        }
+        for (sf, lf, ky, kx) in [(0, 0, 0, 0), (2, 1, 3, 2), (1, 1, 1, 1)] {
+            let mut kp = k.clone();
+            *kp.at_mut(sf, lf, ky, kx) += eps;
+            let num = (t_conv(&x, &kp, &geom).unwrap().sum_f64() - base) / eps;
+            assert!(
+                (num - *dw.at(sf, lf, ky, kx)).abs() < 1e-5,
+                "dw[{sf}][{lf}][{ky}][{kx}]: fd={num} analytic={}",
+                dw.at(sf, lf, ky, kx)
+            );
+        }
+    }
+
+    #[test]
+    fn w_conv_validates_error_shape() {
+        let geom = geom_4x4_s2(8);
+        let x: Fmaps<f32> = Fmaps::zeros(2, 8, 8);
+        let bad: Fmaps<f32> = Fmaps::zeros(3, 5, 5);
+        assert!(w_conv_for_s_layer(&x, &bad, &geom).is_err());
+        let x_small: Fmaps<f32> = Fmaps::zeros(2, 4, 4);
+        assert!(w_conv_for_t_layer(&x_small, &bad, &geom).is_err());
+    }
+
+    #[test]
+    fn round_trip_s_then_t_shapes() {
+        // Down then up restores the spatial size for every paper layer.
+        for (h, k, s, o) in [
+            (64usize, 4usize, 2usize, 32usize),
+            (28, 5, 2, 14),
+            (16, 4, 2, 8),
+        ] {
+            let geom = ConvGeom::down(h, h, k, k, s, o, o).unwrap();
+            let x: Fmaps<f32> = Fmaps::zeros(2, h, h);
+            let w: Kernels<f32> = Kernels::zeros(3, 2, k, k);
+            let y = s_conv(&x, &w, &geom).unwrap();
+            assert_eq!((y.height(), y.width()), (o, o));
+            let back = t_conv(&y, &Kernels::<f32>::zeros(3, 2, k, k), &geom).unwrap();
+            assert_eq!((back.height(), back.width()), (h, h));
+        }
+    }
+
+    #[test]
+    fn fixed_point_conv_close_to_float() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let geom = geom_4x4_s2(8);
+        let x: Fmaps<f32> = Fmaps::random(2, 8, 8, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(4, 2, 4, 4, 0.25, &mut rng);
+        let y = s_conv(&x, &k, &geom).unwrap();
+        let yq = s_conv(
+            &x.map(crate::Fx::from_f32),
+            &k.map(crate::Fx::from_f32),
+            &geom,
+        )
+        .unwrap();
+        let diff = y
+            .as_slice()
+            .iter()
+            .zip(yq.as_slice())
+            .map(|(&a, &b)| (f64::from(a) - b.to_f64()).abs())
+            .fold(0.0f64, f64::max);
+        // 32 MACs of Q8.8 values ⇒ worst-case rounding well under 0.2.
+        assert!(diff < 0.2, "quantisation error {diff}");
+    }
+}

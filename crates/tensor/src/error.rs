@@ -1,0 +1,57 @@
+//! Error type shared by all shape-checked tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+/// A shape or geometry mismatch detected by a tensor operation.
+///
+/// Every public convolution in this crate validates its operands before
+/// touching data, so out-of-bounds access is impossible and misuse surfaces
+/// as a descriptive error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of the mismatch.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ShapeError::new("kernel larger than padded input");
+        assert!(err.to_string().contains("kernel larger than padded input"));
+        assert_eq!(err.message(), "kernel larger than padded input");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

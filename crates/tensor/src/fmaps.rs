@@ -1,0 +1,365 @@
+//! [`Fmaps`] — one sample's worth of feature maps (`C × H × W`).
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::num::Num;
+
+/// A dense set of 2-D feature maps, stored row-major as `C × H × W`.
+///
+/// This is the unit of data that flows between GAN layers: activations on the
+/// forward pass, errors (`δ`) on the backward pass. Indexing is
+/// bounds-checked through [`Fmaps::at`] / [`Fmaps::at_mut`]; the paper's
+/// notation `I_(ix,iy)^(if)` maps to `at(if, iy, ix)`.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::Fmaps;
+///
+/// let mut x: Fmaps<f32> = Fmaps::zeros(2, 3, 3);
+/// *x.at_mut(1, 2, 0) = 5.0;
+/// assert_eq!(*x.at(1, 2, 0), 5.0);
+/// assert_eq!(x.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fmaps<T> {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<T>,
+}
+
+impl<T: Num> Fmaps<T> {
+    /// Creates feature maps filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "feature-map dimensions must be non-zero (got {channels}×{height}×{width})"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![T::zero(); channels * height * width],
+        }
+    }
+
+    /// Creates feature maps from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * height * width` or any dimension
+    /// is zero.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<T>) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "dimensions must be non-zero"
+        );
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "buffer length {} does not match {channels}×{height}×{width}",
+            data.len()
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Creates feature maps with each element drawn uniformly from
+    /// `[-scale, scale]`.
+    pub fn random<R: Rng>(
+        channels: usize,
+        height: usize,
+        width: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
+        let mut out = Self::zeros(channels, height, width);
+        for v in &mut out.data {
+            *v = T::from_f32(rng.gen_range(-scale..=scale));
+        }
+        out
+    }
+
+    /// Number of feature maps (`N_if` / `N_of` in the paper).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Rows per feature map (`N_iy`).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Columns per feature map (`N_ix`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (never true: dimensions are
+    /// validated to be non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the element at channel `c`, row `y`, column `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> &T {
+        &self.data[self.offset(c, y, x)]
+    }
+
+    /// Mutably borrow the element at channel `c`, row `y`, column `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut T {
+        let idx = self.offset(c, y, x);
+        &mut self.data[idx]
+    }
+
+    /// The element at `(c, y, x)` treating out-of-bounds coordinates as the
+    /// zero padding that surrounds the map — the form every convolution
+    /// loop nest wants.
+    #[inline]
+    pub fn at_padded(&self, c: usize, y: isize, x: isize) -> T {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            T::zero()
+        } else {
+            self.data[self.offset(c, y as usize, x as usize)]
+        }
+    }
+
+    /// Flat read-only view of the underlying buffer (row-major `C×H×W`).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates the elements in row-major (`C×H×W`) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutably iterates the elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Flat mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Applies `f` element-wise, producing a new tensor of the same shape.
+    pub fn map<U: Num>(&self, mut f: impl FnMut(T) -> U) -> Fmaps<U> {
+        Fmaps {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise (Hadamard) product — the `∘ σ'` step of paper Eq. (3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard(&self, rhs: &Fmaps<T>) -> Fmaps<T> {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard requires equal shapes");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Fmaps {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            data,
+        }
+    }
+
+    /// In-place accumulation `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Fmaps<T>) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_assign requires equal shapes"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of elements that are exactly zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| v.is_zero()).count()
+    }
+
+    /// Sum of all elements in `f64` (used for loss averaging).
+    pub fn sum_f64(&self) -> f64 {
+        self.data.iter().map(|v| v.to_f64()).sum()
+    }
+
+    /// Largest absolute element-wise difference to `rhs`, in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Fmaps<T>) -> f64 {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "max_abs_diff requires equal shapes"
+        );
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, y: usize, x: usize) -> usize {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c},{y},{x}) out of bounds for {}×{}×{}",
+            self.channels,
+            self.height,
+            self.width
+        );
+        (c * self.height + y) * self.width + x
+    }
+}
+
+impl<T: Num> fmt::Display for Fmaps<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fmaps({}×{}×{})", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_round_trip() {
+        let mut t: Fmaps<f32> = Fmaps::zeros(2, 3, 4);
+        *t.at_mut(1, 2, 3) = 7.0;
+        assert_eq!(*t.at(1, 2, 3), 7.0);
+        assert_eq!(t.as_slice()[(1 * 3 + 2) * 4 + 3], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t: Fmaps<f32> = Fmaps::zeros(1, 2, 2);
+        let _ = t.at(0, 2, 0);
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let mut t: Fmaps<f32> = Fmaps::zeros(1, 2, 2);
+        *t.at_mut(0, 0, 0) = 3.0;
+        assert_eq!(t.at_padded(0, -1, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 5), 0.0);
+        assert_eq!(t.at_padded(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = Fmaps::from_vec(1, 1, 3, vec![1.0f32, 2.0, 3.0]);
+        let b = Fmaps::from_vec(1, 1, 3, vec![4.0f32, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Fmaps::from_vec(1, 1, 2, vec![1.0f32, 2.0]);
+        let b = Fmaps::from_vec(1, 1, 2, vec![0.5f32, -2.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn count_zeros_and_sum() {
+        let t = Fmaps::from_vec(1, 2, 2, vec![0.0f32, 1.0, 0.0, 2.0]);
+        assert_eq!(t.count_zeros(), 2);
+        assert_eq!(t.sum_f64(), 3.0);
+    }
+
+    #[test]
+    fn random_respects_scale() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t: Fmaps<f32> = Fmaps::random(2, 4, 4, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 0.5));
+        // Astronomically unlikely to be all zeros.
+        assert!(t.count_zeros() < t.len());
+    }
+
+    #[test]
+    fn map_changes_element_type() {
+        let t = Fmaps::from_vec(1, 1, 2, vec![1.25f32, -0.5]);
+        let q = t.map(crate::Fx::from_f32);
+        assert_eq!(q.at(0, 0, 0).to_f32(), 1.25);
+        assert_eq!(q.at(0, 0, 1).to_f32(), -0.5);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        let a = Fmaps::from_vec(1, 1, 3, vec![1.0f32, 2.0, 3.0]);
+        let b = Fmaps::from_vec(1, 1, 3, vec![1.0f32, 4.5, 3.0]);
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    fn iterators_walk_row_major() {
+        let mut t = Fmaps::from_vec(1, 2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let sum: f32 = t.iter().sum();
+        assert_eq!(sum, 10.0);
+        for v in t.iter_mut() {
+            *v *= 2.0;
+        }
+        assert_eq!(t.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        let _: Fmaps<f32> = Fmaps::zeros(0, 2, 2);
+    }
+}

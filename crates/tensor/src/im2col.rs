@@ -1,0 +1,377 @@
+//! `im2col + GEMM` — the convolution lowering Caffe (the paper's CPU/GPU
+//! baseline software) actually executes.
+//!
+//! Lowering a convolution to a matrix multiply materialises one input patch
+//! per output position. For `S-CONV` that is merely redundant; for `T-CONV`
+//! the patches come from the **zero-inserted** map, so the GEMM multiplies
+//! through every inserted zero — this module makes that cost measurable
+//! ([`Lowered::zero_fraction`]) and is the concrete justification for the
+//! lower `T-CONV` efficiency factors in `zfgan-platforms`.
+//!
+//! Everything here is validated against the direct loop nests of
+//! [`crate::s_conv`] / [`crate::t_conv`].
+
+use crate::error::{ShapeError, TensorResult};
+use crate::fmaps::Fmaps;
+use crate::kernels::Kernels;
+use crate::num::Num;
+use crate::shape::ConvGeom;
+use crate::zeros::insert_zeros;
+
+/// A dense row-major matrix — just enough linear algebra for the lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Num> Matrix<T> {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> &T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutably borrow element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Fraction of elements that are exactly zero.
+    pub fn zero_fraction(&self) -> f64 {
+        self.data.iter().filter(|v| v.is_zero()).count() as f64 / self.data.len() as f64
+    }
+
+    /// Plain triple-loop GEMM: `self × rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix<T>) -> TensorResult<Matrix<T>> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new(format!(
+                "matmul inner dimensions disagree: {}×{} vs {}×{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The lowered form of one convolution: the patch matrix plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered<T> {
+    /// Patch matrix: one row per output position, `N_if·K_h·K_w` columns.
+    pub patches: Matrix<T>,
+    /// Output spatial size `(oh, ow)`.
+    pub out_hw: (usize, usize),
+}
+
+impl<T: Num> Lowered<T> {
+    /// Fraction of the patch matrix that is zeros — the ineffectual-operand
+    /// share a GEMM grinds through.
+    pub fn zero_fraction(&self) -> f64 {
+        self.patches.zero_fraction()
+    }
+}
+
+/// Lowers an `S-CONV` input into patch-matrix form.
+pub fn im2col_s<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
+    let (oh, ow) = geom.down_out(input.height(), input.width());
+    let cols = input.channels() * geom.kh() * geom.kw();
+    let mut patches = Matrix::zeros(oh * ow, cols);
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let mut col = 0;
+            for c in 0..input.channels() {
+                for ky in 0..geom.kh() {
+                    for kx in 0..geom.kw() {
+                        let iy = stride * oy as isize + ky as isize - pt;
+                        let ix = stride * ox as isize + kx as isize - pl;
+                        *patches.at_mut(row, col) = input.at_padded(c, iy, ix);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Lowered {
+        patches,
+        out_hw: (oh, ow),
+    }
+}
+
+/// Lowers a `T-CONV` input the way Caffe's deconvolution path effectively
+/// does: zero-insert, then unit-stride `im2col` with the flipped-kernel
+/// padding. The resulting patch matrix is mostly zeros.
+pub fn im2col_t<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
+    let zi = insert_zeros(input, geom.stride());
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    let (pt, _, pl, _) = geom.t_conv_pads();
+    let cols = input.channels() * geom.kh() * geom.kw();
+    let mut patches = Matrix::zeros(oh * ow, cols);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let mut col = 0;
+            for c in 0..input.channels() {
+                for ky in 0..geom.kh() {
+                    for kx in 0..geom.kw() {
+                        let zy = oy as isize + ky as isize - pt as isize;
+                        let zx = ox as isize + kx as isize - pl as isize;
+                        *patches.at_mut(row, col) = zi.at_padded(c, zy, zx);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Lowered {
+        patches,
+        out_hw: (oh, ow),
+    }
+}
+
+/// Reshapes an `S-CONV` weight tensor into the `(N_if·K_h·K_w) × N_of` GEMM
+/// operand.
+pub fn weights_as_matrix_s<T: Num>(k: &Kernels<T>) -> Matrix<T> {
+    let mut m = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+    for of in 0..k.n_of() {
+        let mut row = 0;
+        for if_ in 0..k.n_if() {
+            for ky in 0..k.kh() {
+                for kx in 0..k.kw() {
+                    *m.at_mut(row, of) = *k.at(of, if_, ky, kx);
+                    row += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Reshapes a (down-layout) weight tensor for the `T-CONV` GEMM: the
+/// flipped kernels, indexed by the transposed channel roles.
+pub fn weights_as_matrix_t<T: Num>(k: &Kernels<T>) -> Matrix<T> {
+    let (kh, kw) = (k.kh(), k.kw());
+    let mut m = Matrix::zeros(k.n_of() * kh * kw, k.n_if());
+    for lf in 0..k.n_if() {
+        let mut row = 0;
+        for sf in 0..k.n_of() {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    *m.at_mut(row, lf) = *k.at(sf, lf, kh - 1 - ky, kw - 1 - kx);
+                    row += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// `S-CONV` computed by `im2col + GEMM`. Bit-equivalent (up to float
+/// summation order) to [`crate::s_conv`].
+///
+/// # Errors
+///
+/// Returns an error if `k` does not match `input`'s channel count.
+pub fn s_conv_via_gemm<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != input.channels() {
+        return Err(ShapeError::new("kernel/input channel mismatch"));
+    }
+    let lowered = im2col_s(input, geom);
+    let product = lowered.patches.matmul(&weights_as_matrix_s(k))?;
+    let (oh, ow) = lowered.out_hw;
+    let mut out = Fmaps::zeros(k.n_of(), oh, ow);
+    for of in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                *out.at_mut(of, oy, ox) = *product.at(oy * ow + ox, of);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `T-CONV` computed by zero-insert + `im2col + GEMM` — the Caffe
+/// deconvolution cost model made executable.
+///
+/// # Errors
+///
+/// Returns an error if `k` does not match `input`'s channel count.
+pub fn t_conv_via_gemm<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new("kernel/input channel mismatch"));
+    }
+    let lowered = im2col_t(input, geom);
+    let product = lowered.patches.matmul(&weights_as_matrix_t(k))?;
+    let (oh, ow) = lowered.out_hw;
+    let mut out = Fmaps::zeros(k.n_if(), oh, ow);
+    for lf in 0..k.n_if() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                *out.at_mut(lf, oy, ox) = *product.at(oy * ow + ox, lf);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{s_conv, t_conv};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn geom() -> ConvGeom {
+        ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let mut a: Matrix<f64> = Matrix::zeros(2, 2);
+        *a.at_mut(0, 0) = 1.0;
+        *a.at_mut(0, 1) = 2.0;
+        *a.at_mut(1, 0) = 3.0;
+        *a.at_mut(1, 1) = 4.0;
+        let b = a.clone();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[7.0, 10.0, 15.0, 22.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a: Matrix<f64> = Matrix::zeros(2, 3);
+        let b: Matrix<f64> = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn s_conv_gemm_matches_direct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let direct = s_conv(&x, &k, &geom()).unwrap();
+        let gemm = s_conv_via_gemm(&x, &k, &geom()).unwrap();
+        assert!(direct.max_abs_diff(&gemm) < 1e-9);
+    }
+
+    #[test]
+    fn t_conv_gemm_matches_direct() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let direct = t_conv(&x, &k, &geom()).unwrap();
+        let gemm = t_conv_via_gemm(&x, &k, &geom()).unwrap();
+        assert!(direct.max_abs_diff(&gemm) < 1e-9);
+    }
+
+    #[test]
+    fn t_conv_patches_are_mostly_zeros() {
+        // The Caffe-cost story: the T-CONV patch matrix is ~3/4 zeros for
+        // stride 2 (plus padding), while the S-CONV one has only padding
+        // zeros.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dense: Fmaps<f64> = Fmaps::random(2, 6, 6, 1.0, &mut rng);
+        let t = im2col_t(&dense, &geom());
+        assert!(t.zero_fraction() > 0.65, "T fraction {}", t.zero_fraction());
+        let big: Fmaps<f64> = Fmaps::random(2, 12, 12, 1.0, &mut rng);
+        let s = im2col_s(&big, &geom());
+        assert!(s.zero_fraction() < 0.2, "S fraction {}", s.zero_fraction());
+    }
+
+    #[test]
+    fn gemm_rejects_channel_mismatch() {
+        let x: Fmaps<f64> = Fmaps::zeros(2, 12, 12);
+        let k: Kernels<f64> = Kernels::zeros(5, 3, 4, 4);
+        assert!(s_conv_via_gemm(&x, &k, &geom()).is_err());
+        let z: Fmaps<f64> = Fmaps::zeros(2, 6, 6);
+        assert!(t_conv_via_gemm(&z, &k, &geom()).is_err());
+    }
+
+    #[test]
+    fn asymmetric_padding_also_matches() {
+        let g = ConvGeom::down(14, 14, 5, 5, 2, 7, 7).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x: Fmaps<f64> = Fmaps::random(2, 14, 14, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(4, 2, 5, 5, 1.0, &mut rng);
+        let a = s_conv(&x, &k, &g).unwrap();
+        let b = s_conv_via_gemm(&x, &k, &g).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-9);
+        let z: Fmaps<f64> = Fmaps::random(4, 7, 7, 1.0, &mut rng);
+        let c = t_conv(&z, &k, &g).unwrap();
+        let d = t_conv_via_gemm(&z, &k, &g).unwrap();
+        assert!(c.max_abs_diff(&d) < 1e-9);
+    }
+}

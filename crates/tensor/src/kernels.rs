@@ -1,0 +1,315 @@
+//! [`Kernels`] — a 4-D convolution weight tensor (`OF × IF × KH × KW`).
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::num::Num;
+
+/// The weights of one convolutional layer, stored row-major as
+/// `OF × IF × KH × KW`.
+///
+/// The same type also holds the output of `W-CONV`: the paper's
+/// "four-dimension output matrices" `∇W` have exactly this shape, with the
+/// `(of, if)` pair indexing which output/input feature-map combination each
+/// `KH × KW` slice belongs to.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::Kernels;
+///
+/// let mut w: Kernels<f32> = Kernels::zeros(64, 3, 4, 4);
+/// *w.at_mut(10, 2, 1, 3) = 0.5;
+/// assert_eq!(*w.at(10, 2, 1, 3), 0.5);
+/// assert_eq!(w.len(), 64 * 3 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernels<T> {
+    n_of: usize,
+    n_if: usize,
+    kh: usize,
+    kw: usize,
+    data: Vec<T>,
+}
+
+impl<T: Num> Kernels<T> {
+    /// Creates a zero-filled weight tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(n_of: usize, n_if: usize, kh: usize, kw: usize) -> Self {
+        assert!(
+            n_of > 0 && n_if > 0 && kh > 0 && kw > 0,
+            "kernel dimensions must be non-zero (got {n_of}×{n_if}×{kh}×{kw})"
+        );
+        Self {
+            n_of,
+            n_if,
+            kh,
+            kw,
+            data: vec![T::zero(); n_of * n_if * kh * kw],
+        }
+    }
+
+    /// Creates a weight tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the dimensions.
+    pub fn from_vec(n_of: usize, n_if: usize, kh: usize, kw: usize, data: Vec<T>) -> Self {
+        assert!(
+            n_of > 0 && n_if > 0 && kh > 0 && kw > 0,
+            "dimensions must be non-zero"
+        );
+        assert_eq!(data.len(), n_of * n_if * kh * kw, "buffer length mismatch");
+        Self {
+            n_of,
+            n_if,
+            kh,
+            kw,
+            data,
+        }
+    }
+
+    /// Creates a weight tensor with elements drawn uniformly from
+    /// `[-scale, scale]` — the usual DCGAN initialisation envelope.
+    pub fn random<R: Rng>(
+        n_of: usize,
+        n_if: usize,
+        kh: usize,
+        kw: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
+        let mut out = Self::zeros(n_of, n_if, kh, kw);
+        for v in &mut out.data {
+            *v = T::from_f32(rng.gen_range(-scale..=scale));
+        }
+        out
+    }
+
+    /// Number of output feature maps (`N_of`).
+    pub fn n_of(&self) -> usize {
+        self.n_of
+    }
+
+    /// Number of input feature maps (`N_if`).
+    pub fn n_if(&self) -> usize {
+        self.n_if
+    }
+
+    /// Kernel rows (`N_ky`).
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel columns (`N_kx`).
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Total number of weights.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no weights (never true: dimensions are
+    /// validated to be non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the weight `K_(ky,kx)^(of,if)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at(&self, of: usize, if_: usize, ky: usize, kx: usize) -> &T {
+        &self.data[self.offset(of, if_, ky, kx)]
+    }
+
+    /// Mutably borrow the weight `K_(ky,kx)^(of,if)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, of: usize, if_: usize, ky: usize, kx: usize) -> &mut T {
+        let idx = self.offset(of, if_, ky, kx);
+        &mut self.data[idx]
+    }
+
+    /// Flat read-only view (row-major `OF×IF×KH×KW`).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates the weights in row-major (`OF×IF×KH×KW`) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutably iterates the weights in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// `(n_of, n_if, kh, kw)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n_of, self.n_if, self.kh, self.kw)
+    }
+
+    /// Applies `f` element-wise, producing a new tensor of the same shape.
+    pub fn map<U: Num>(&self, mut f: impl FnMut(T) -> U) -> Kernels<U> {
+        Kernels {
+            n_of: self.n_of,
+            n_if: self.n_if,
+            kh: self.kh,
+            kw: self.kw,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place accumulation `self += rhs` — how the deferred-synchronization
+    /// trainer accumulates per-sample `∇wᵢ` into `∇W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Kernels<T>) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_assign requires equal shapes"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling by a scalar (loss averaging: `1/m`).
+    pub fn scale(&mut self, factor: T) {
+        for v in &mut self.data {
+            *v = *v * factor;
+        }
+    }
+
+    /// Largest absolute element-wise difference to `rhs`, in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Kernels<T>) -> f64 {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "max_abs_diff requires equal shapes"
+        );
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of weights that are exactly zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| v.is_zero()).count()
+    }
+
+    #[inline]
+    fn offset(&self, of: usize, if_: usize, ky: usize, kx: usize) -> usize {
+        assert!(
+            of < self.n_of && if_ < self.n_if && ky < self.kh && kx < self.kw,
+            "index ({of},{if_},{ky},{kx}) out of bounds for {}×{}×{}×{}",
+            self.n_of,
+            self.n_if,
+            self.kh,
+            self.kw
+        );
+        ((of * self.n_if + if_) * self.kh + ky) * self.kw + kx
+    }
+}
+
+impl<T: Num> fmt::Display for Kernels<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Kernels({}×{}×{}×{})",
+            self.n_of, self.n_if, self.kh, self.kw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_round_trip() {
+        let mut w: Kernels<f32> = Kernels::zeros(3, 2, 4, 5);
+        *w.at_mut(2, 1, 3, 4) = -2.5;
+        assert_eq!(*w.at(2, 1, 3, 4), -2.5);
+        assert_eq!(w.as_slice()[((2 * 2 + 1) * 4 + 3) * 5 + 4], -2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let w: Kernels<f32> = Kernels::zeros(1, 1, 2, 2);
+        let _ = w.at(0, 0, 0, 2);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = Kernels::from_vec(1, 1, 1, 2, vec![1.0f32, 2.0]);
+        let b = Kernels::from_vec(1, 1, 1, 2, vec![3.0f32, -2.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[4.0, 0.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn random_respects_scale() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w: Kernels<f32> = Kernels::random(4, 4, 3, 3, 0.1, &mut rng);
+        assert!(w.as_slice().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn max_abs_diff_and_zero_count() {
+        let a = Kernels::from_vec(1, 1, 2, 2, vec![0.0f32, 1.0, 2.0, 3.0]);
+        let b = Kernels::from_vec(1, 1, 2, 2, vec![0.0f32, 1.0, 2.0, 5.0]);
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+        assert_eq!(a.count_zeros(), 1);
+    }
+
+    #[test]
+    fn iterators_walk_row_major() {
+        let mut w = Kernels::from_vec(1, 1, 1, 3, vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(w.iter().copied().sum::<f32>(), 6.0);
+        for v in w.iter_mut() {
+            *v += 1.0;
+        }
+        assert_eq!(w.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn map_quantises() {
+        let w = Kernels::from_vec(1, 1, 1, 2, vec![0.25f32, -1.5]);
+        let q = w.map(crate::Fx::from_f32);
+        assert_eq!(q.at(0, 0, 0, 1).to_f32(), -1.5);
+    }
+}

@@ -1,0 +1,106 @@
+//! The element trait implemented by `f32`, `f64` and the fixed-point [`Fx`].
+//!
+//! [`Fx`]: crate::Fx
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Numeric element of a tensor.
+///
+/// The trait is deliberately small: the golden-reference convolutions and the
+/// functional PE-array executors only need multiply-accumulate, zero and a
+/// conversion path from `f32` (used when quantising reference data onto the
+/// 16-bit datapath).
+pub trait Num:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Converts from an `f32`, saturating/rounding as the type requires.
+    fn from_f32(value: f32) -> Self;
+
+    /// Converts to `f64` for loss accounting and cross-type comparison.
+    fn to_f64(self) -> f64;
+
+    /// Whether this element is exactly zero (an *ineffectual* multiply
+    /// operand in the paper's terminology).
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    fn mul_add_assign(&mut self, a: Self, b: Self) {
+        *self += a * b;
+    }
+}
+
+impl Num for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_f32(value: f32) -> Self {
+        value
+    }
+
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Num for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_f32(value: f32) -> Self {
+        f64::from(value)
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_basics() {
+        assert_eq!(f32::zero(), 0.0);
+        assert_eq!(f32::one(), 1.0);
+        assert!(f32::zero().is_zero());
+        assert!(!f32::one().is_zero());
+        let mut acc = 1.0f32;
+        acc.mul_add_assign(2.0, 3.0);
+        assert_eq!(acc, 7.0);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        assert_eq!(f64::from_f32(1.5).to_f64(), 1.5);
+    }
+}

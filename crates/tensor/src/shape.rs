@@ -1,0 +1,265 @@
+//! Convolution geometry: kernel size, stride and (possibly asymmetric)
+//! padding, with the shape algebra used by every convolution family.
+//!
+//! One [`ConvGeom`] describes a *down-sampling* pairing (`S-CONV`), and the
+//! same geometry run in reverse describes the matching *up-sampling*
+//! transposed convolution (`T-CONV`) — exactly how the paper derives the
+//! Generator as "an inverse architecture of Discriminator".
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ShapeError, TensorResult};
+
+/// Geometry of one convolutional layer.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::ConvGeom;
+///
+/// // MNIST-GAN layer 1: 28×28 → 14×14 with a 5×5 kernel, stride 2.
+/// let geom = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
+/// assert_eq!(geom.down_out(28, 28), (14, 14));
+/// assert_eq!(geom.up_out(14, 14), (28, 28));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeom {
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_top: usize,
+    pad_bottom: usize,
+    pad_left: usize,
+    pad_right: usize,
+}
+
+impl ConvGeom {
+    /// Creates a geometry from explicit padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel is empty, the stride is zero, or the
+    /// padding on any side reaches the kernel size (which would make the
+    /// transposed form ill-defined).
+    pub fn new(
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_top: usize,
+        pad_bottom: usize,
+        pad_left: usize,
+        pad_right: usize,
+    ) -> TensorResult<Self> {
+        if kh == 0 || kw == 0 {
+            return Err(ShapeError::new("kernel dimensions must be non-zero"));
+        }
+        if stride == 0 {
+            return Err(ShapeError::new("stride must be non-zero"));
+        }
+        if pad_top >= kh || pad_bottom >= kh || pad_left >= kw || pad_right >= kw {
+            return Err(ShapeError::new(format!(
+                "padding ({pad_top},{pad_bottom},{pad_left},{pad_right}) must be \
+                 smaller than the kernel ({kh}×{kw})"
+            )));
+        }
+        Ok(Self {
+            kh,
+            kw,
+            stride,
+            pad_top,
+            pad_bottom,
+            pad_left,
+            pad_right,
+        })
+    }
+
+    /// Creates a symmetric-padding geometry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvGeom::new`].
+    pub fn symmetric(kh: usize, kw: usize, stride: usize, pad: usize) -> TensorResult<Self> {
+        Self::new(kh, kw, stride, pad, pad, pad, pad)
+    }
+
+    /// Solves the padding so that an `in_h × in_w` input down-samples to
+    /// exactly `out_h × out_w` (TensorFlow `SAME`-style: the extra pad unit,
+    /// if any, goes on the bottom/right).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no padding smaller than the kernel achieves the
+    /// requested output size.
+    pub fn down(
+        in_h: usize,
+        in_w: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        out_h: usize,
+        out_w: usize,
+    ) -> TensorResult<Self> {
+        if stride == 0 {
+            return Err(ShapeError::new("stride must be non-zero"));
+        }
+        if out_h == 0 || out_w == 0 {
+            return Err(ShapeError::new("output dimensions must be non-zero"));
+        }
+        let solve = |inp: usize, k: usize, out: usize| -> TensorResult<(usize, usize)> {
+            let needed = (out - 1) * stride + k;
+            if needed < inp {
+                return Err(ShapeError::new(format!(
+                    "output {out} too small for input {inp} with kernel {k}, stride {stride}"
+                )));
+            }
+            let total = needed - inp;
+            Ok((total / 2, total - total / 2))
+        };
+        let (pad_top, pad_bottom) = solve(in_h, kh, out_h)?;
+        let (pad_left, pad_right) = solve(in_w, kw, out_w)?;
+        Self::new(kh, kw, stride, pad_top, pad_bottom, pad_left, pad_right)
+    }
+
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Stride (identical in both spatial dimensions, as in all of the
+    /// paper's networks).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding on the top edge.
+    pub fn pad_top(&self) -> usize {
+        self.pad_top
+    }
+
+    /// Padding on the bottom edge.
+    pub fn pad_bottom(&self) -> usize {
+        self.pad_bottom
+    }
+
+    /// Padding on the left edge.
+    pub fn pad_left(&self) -> usize {
+        self.pad_left
+    }
+
+    /// Padding on the right edge.
+    pub fn pad_right(&self) -> usize {
+        self.pad_right
+    }
+
+    /// Output size of the down-sampling (`S-CONV`) direction.
+    pub fn down_out(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        let oh = (in_h + self.pad_top + self.pad_bottom).saturating_sub(self.kh) / self.stride + 1;
+        let ow = (in_w + self.pad_left + self.pad_right).saturating_sub(self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Output size of the up-sampling (`T-CONV`) direction: the unique size
+    /// whose down-sampling yields `in_h × in_w` under this geometry.
+    pub fn up_out(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        let oh = self.stride * (in_h - 1) + self.kh - self.pad_top - self.pad_bottom;
+        let ow = self.stride * (in_w - 1) + self.kw - self.pad_left - self.pad_right;
+        (oh, ow)
+    }
+
+    /// Spatial size of the zero-inserted input of a `T-CONV` (`stride − 1`
+    /// zeros between adjacent pixels; no edge extension).
+    pub fn zero_inserted(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        (self.stride * (in_h - 1) + 1, self.stride * (in_w - 1) + 1)
+    }
+
+    /// Effective padding of the unit-stride convolution over the
+    /// zero-inserted input that realises the `T-CONV`: `k − 1 − pad` per
+    /// edge, with top/bottom (and left/right) swapped by the kernel flip.
+    pub fn t_conv_pads(&self) -> (usize, usize, usize, usize) {
+        (
+            self.kh - 1 - self.pad_top,
+            self.kh - 1 - self.pad_bottom,
+            self.kw - 1 - self.pad_left,
+            self.kw - 1 - self.pad_right,
+        )
+    }
+
+    /// Total number of multiply-accumulate operations in the down-sampling
+    /// direction for the given channel counts, counting one MAC per (output
+    /// neuron × input channel × kernel position) — the paper's `nMACs`.
+    pub fn down_macs(&self, n_if: usize, n_of: usize, in_h: usize, in_w: usize) -> u64 {
+        let (oh, ow) = self.down_out(in_h, in_w);
+        n_if as u64 * n_of as u64 * self.kh as u64 * self.kw as u64 * oh as u64 * ow as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcgan_layer_geometry() {
+        // 64×64 → 32×32, k=4, s=2 ⇒ symmetric padding 1.
+        let g = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        assert_eq!(
+            (g.pad_top(), g.pad_bottom(), g.pad_left(), g.pad_right()),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(g.down_out(64, 64), (32, 32));
+        assert_eq!(g.up_out(32, 32), (64, 64));
+    }
+
+    #[test]
+    fn mnist_gan_asymmetric_padding() {
+        // 28×28 → 14×14, k=5, s=2 ⇒ total padding 3 split as 1/2.
+        let g = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
+        assert_eq!((g.pad_top(), g.pad_bottom()), (1, 2));
+        assert_eq!(g.down_out(28, 28), (14, 14));
+        assert_eq!(g.up_out(14, 14), (28, 28));
+    }
+
+    #[test]
+    fn zero_inserted_dimensions() {
+        let g = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        // 32 pixels with one zero between every pair: 2·31 + 1 = 63.
+        assert_eq!(g.zero_inserted(32, 32), (63, 63));
+    }
+
+    #[test]
+    fn t_conv_pads_complement_kernel() {
+        let g = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        assert_eq!(g.t_conv_pads(), (2, 2, 2, 2));
+        let g = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
+        assert_eq!(g.t_conv_pads(), (3, 2, 3, 2));
+    }
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        assert!(ConvGeom::new(0, 4, 2, 0, 0, 0, 0).is_err());
+        assert!(ConvGeom::new(4, 4, 0, 0, 0, 0, 0).is_err());
+        assert!(ConvGeom::new(4, 4, 2, 4, 0, 0, 0).is_err());
+        assert!(ConvGeom::down(64, 64, 4, 4, 2, 8, 8).is_err());
+        assert!(ConvGeom::down(64, 64, 4, 4, 2, 0, 32).is_err());
+        assert!(ConvGeom::down(64, 64, 4, 4, 0, 32, 32).is_err());
+    }
+
+    #[test]
+    fn down_macs_counts_loop_nest() {
+        let g = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).unwrap();
+        // 3 in-maps × 5 out-maps × 4×4 kernel × 4×4 outputs.
+        assert_eq!(g.down_macs(3, 5, 8, 8), 3 * 5 * 16 * 16);
+    }
+
+    #[test]
+    fn unit_stride_identity_sizes() {
+        let g = ConvGeom::symmetric(3, 3, 1, 1).unwrap();
+        assert_eq!(g.down_out(7, 9), (7, 9));
+        assert_eq!(g.up_out(7, 9), (7, 9));
+        assert_eq!(g.zero_inserted(7, 9), (7, 9));
+    }
+}

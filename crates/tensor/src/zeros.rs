@@ -1,0 +1,276 @@
+//! Zero-inserting transformations and ineffectual-operation accounting.
+//!
+//! `T-CONV` and `W-CONV` are realised on traditional hardware by inserting
+//! zeros into the input feature maps (paper Fig. 6b/d) or between kernel
+//! weights (Fig. 6c) and then running an ordinary convolution. Every
+//! multiplication whose operand is such an inserted zero is *ineffectual* —
+//! it cannot contribute to the output. The paper measures these at "about
+//! 64% and 75% of total multiplications in `Ḡ`/`Ḡw` and `D̄w`"; the counters
+//! here compute the exact numbers for any geometry so the claim can be
+//! checked (and is, in this crate's tests).
+
+use crate::fmaps::Fmaps;
+use crate::kernels::Kernels;
+use crate::num::Num;
+use crate::shape::ConvGeom;
+
+/// Inserts `stride − 1` zeros between adjacent pixels of every feature map
+/// (no edge extension): the paper's Fig. 6(b) transformation.
+///
+/// A `H × W` map becomes `(s·(H−1)+1) × (s·(W−1)+1)`, with the original
+/// pixel `(y, x)` landing at `(s·y, s·x)`.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_tensor::{Fmaps, zeros::insert_zeros};
+///
+/// let x = Fmaps::from_vec(1, 2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+/// let z = insert_zeros(&x, 2);
+/// assert_eq!(z.shape(), (1, 3, 3));
+/// assert_eq!(z.as_slice(), &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0]);
+/// ```
+pub fn insert_zeros<T: Num>(input: &Fmaps<T>, stride: usize) -> Fmaps<T> {
+    assert!(stride > 0, "stride must be non-zero");
+    if stride == 1 {
+        return input.clone();
+    }
+    let (c, h, w) = input.shape();
+    let (zh, zw) = (stride * (h - 1) + 1, stride * (w - 1) + 1);
+    let mut out = Fmaps::zeros(c, zh, zw);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(ch, stride * y, stride * x) = *input.at(ch, y, x);
+            }
+        }
+    }
+    out
+}
+
+/// Inserts `stride − 1` zeros between adjacent weights of every kernel
+/// slice: the paper's Fig. 6(c) transformation ("zero-inserting in kernel"),
+/// used when the Discriminator's `W-CONV` is expressed as an ordinary
+/// convolution with a dilated error kernel.
+pub fn dilate_kernels<T: Num>(k: &Kernels<T>, stride: usize) -> Kernels<T> {
+    assert!(stride > 0, "stride must be non-zero");
+    if stride == 1 {
+        return k.clone();
+    }
+    let (n_of, n_if, kh, kw) = k.shape();
+    let (dh, dw) = (stride * (kh - 1) + 1, stride * (kw - 1) + 1);
+    let mut out = Kernels::zeros(n_of, n_if, dh, dw);
+    for of in 0..n_of {
+        for if_ in 0..n_if {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    *out.at_mut(of, if_, stride * ky, stride * kx) = *k.at(of, if_, ky, kx);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplication counts of a convolution phase when executed naively over
+/// zero-inserted data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MulCounts {
+    /// Multiplications whose operands are both potentially non-zero.
+    pub effectual: u64,
+    /// All multiplications the naive loop nest performs.
+    pub total: u64,
+}
+
+impl MulCounts {
+    /// Fraction of multiplications that are ineffectual (`0` when no
+    /// multiplications are counted).
+    pub fn ineffectual_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.effectual as f64 / self.total as f64
+        }
+    }
+
+    /// Component-wise sum, for aggregating across layers.
+    pub fn merged(self, other: MulCounts) -> MulCounts {
+        MulCounts {
+            effectual: self.effectual + other.effectual,
+            total: other.total + self.total,
+        }
+    }
+}
+
+/// Multiplication counts of a `T-CONV` over an `in_h × in_w` input under
+/// `geom`, per `(of, if)` feature-map pair (multiply by `N_of · N_if` for a
+/// whole layer).
+///
+/// "Total" walks the unit-stride convolution over the zero-inserted map,
+/// counting one multiplication per (output position × kernel position);
+/// "effectual" counts only those landing on a real (non-inserted, in-bounds)
+/// input pixel.
+pub fn t_conv_mul_counts(geom: &ConvGeom, in_h: usize, in_w: usize) -> MulCounts {
+    let (oh, ow) = geom.up_out(in_h, in_w);
+    let (zh, zw) = geom.zero_inserted(in_h, in_w);
+    let (pt, _pb, pl, _pr) = geom.t_conv_pads();
+    let s = geom.stride() as isize;
+    // The validity condition separates by axis, so the 4-deep census
+    // collapses to two 1-D sums: effectual = (Σ_oy f(oy)) · (Σ_ox f(ox)).
+    let axis_sum = |n_out: usize, k: usize, pad: usize, z_len: usize| -> u64 {
+        let mut sum = 0u64;
+        for o in 0..n_out {
+            for kk in 0..k {
+                let z = o as isize + kk as isize - pad as isize;
+                if z >= 0 && (z as usize) < z_len && z % s == 0 {
+                    sum += 1;
+                }
+            }
+        }
+        sum
+    };
+    MulCounts {
+        effectual: axis_sum(oh, geom.kh(), pt, zh) * axis_sum(ow, geom.kw(), pl, zw),
+        total: (oh * ow * geom.kh() * geom.kw()) as u64,
+    }
+}
+
+/// Multiplication counts of the Discriminator-side `W-CONV` (zero-inserted
+/// *kernel*), per `(of, if)` pair.
+///
+/// The naive form convolves the `in_h × in_w` input with the error map
+/// dilated by the stride; one multiplication is counted per (gradient
+/// element × dilated-kernel position), effectual when the dilated position
+/// holds a real error value.
+pub fn w_conv_s_mul_counts(geom: &ConvGeom, in_h: usize, in_w: usize) -> MulCounts {
+    let (oh, ow) = geom.down_out(in_h, in_w);
+    let s = geom.stride() as u64;
+    // Dilated error kernel size.
+    let (dh, dw) = (s * (oh as u64 - 1) + 1, s * (ow as u64 - 1) + 1);
+    let grad_elems = (geom.kh() * geom.kw()) as u64;
+    MulCounts {
+        effectual: grad_elems * oh as u64 * ow as u64,
+        total: grad_elems * dh * dw,
+    }
+}
+
+/// Multiplication counts of the Generator-side `W-CONV` (zero-inserted
+/// *input*), per `(sf, lf)` pair: correlating the zero-inserted `in_h ×
+/// in_w` activation with the up-sampled error.
+pub fn w_conv_t_mul_counts(geom: &ConvGeom, in_h: usize, in_w: usize) -> MulCounts {
+    let (zh, zw) = geom.zero_inserted(in_h, in_w);
+    let grad_elems = (geom.kh() * geom.kw()) as u64;
+    MulCounts {
+        effectual: grad_elems * (in_h * in_w) as u64,
+        total: grad_elems * (zh * zw) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_zeros_stride_one_is_identity() {
+        let x = Fmaps::from_vec(1, 2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(insert_zeros(&x, 1), x);
+    }
+
+    #[test]
+    fn insert_zeros_places_pixels_on_stride_grid() {
+        let x = Fmaps::from_vec(1, 2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let z = insert_zeros(&x, 3);
+        assert_eq!(z.shape(), (1, 4, 7));
+        assert_eq!(*z.at(0, 0, 0), 1.0);
+        assert_eq!(*z.at(0, 0, 3), 2.0);
+        assert_eq!(*z.at(0, 3, 6), 6.0);
+        assert_eq!(z.count_zeros(), 4 * 7 - 6);
+    }
+
+    #[test]
+    fn dilate_kernels_spreads_weights() {
+        let k = Kernels::from_vec(1, 1, 2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let d = dilate_kernels(&k, 2);
+        assert_eq!(d.shape(), (1, 1, 3, 3));
+        assert_eq!(*d.at(0, 0, 0, 0), 1.0);
+        assert_eq!(*d.at(0, 0, 0, 2), 2.0);
+        assert_eq!(*d.at(0, 0, 2, 0), 3.0);
+        assert_eq!(*d.at(0, 0, 2, 2), 4.0);
+        assert_eq!(d.count_zeros(), 5);
+    }
+
+    #[test]
+    fn t_conv_interior_zero_fraction_approaches_three_quarters() {
+        // Large map, stride 2: 3 of every 4 operand positions are inserted
+        // zeros (or out-of-range), so the ineffectual fraction tends to 75%.
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        let c = t_conv_mul_counts(&geom, 32, 32);
+        let frac = c.ineffectual_fraction();
+        assert!((0.70..0.80).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn t_conv_counts_effectual_equals_direct_macs() {
+        // Effectual multiplications = MACs of the gather form of T-CONV =
+        // MACs of the equivalent down-direction S-CONV (each input pixel
+        // meets each kernel weight at most once per output map).
+        let geom = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).unwrap();
+        let c = t_conv_mul_counts(&geom, 4, 4);
+        // Scatter form: 4×4 inputs × 16 kernel positions, minus scatters that
+        // fall outside the 8×8 output.
+        let mut scatter = 0u64;
+        for iy in 0..4i64 {
+            for ix in 0..4i64 {
+                for ky in 0..4i64 {
+                    for kx in 0..4i64 {
+                        let ty = 2 * iy + ky - 1;
+                        let tx = 2 * ix + kx - 1;
+                        if (0..8).contains(&ty) && (0..8).contains(&tx) {
+                            scatter += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(c.effectual, scatter);
+    }
+
+    #[test]
+    fn w_conv_s_fraction_is_about_three_quarters() {
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        let c = w_conv_s_mul_counts(&geom, 64, 64);
+        let frac = c.ineffectual_fraction();
+        assert!((0.70..0.80).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn w_conv_t_fraction_matches_grid_density() {
+        let geom = ConvGeom::down(64, 64, 4, 4, 2, 32, 32).unwrap();
+        let c = w_conv_t_mul_counts(&geom, 32, 32);
+        // 32² real pixels on a 63² grid.
+        let expected = 1.0 - (32.0f64 * 32.0) / (63.0 * 63.0);
+        assert!((c.ineffectual_fraction() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_counts_merge_and_fraction() {
+        let a = MulCounts {
+            effectual: 1,
+            total: 4,
+        };
+        let b = MulCounts {
+            effectual: 3,
+            total: 4,
+        };
+        let m = a.merged(b);
+        assert_eq!(
+            m,
+            MulCounts {
+                effectual: 4,
+                total: 8
+            }
+        );
+        assert_eq!(m.ineffectual_fraction(), 0.5);
+        assert_eq!(MulCounts::default().ineffectual_fraction(), 0.0);
+    }
+}

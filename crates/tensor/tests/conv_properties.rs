@@ -1,0 +1,155 @@
+//! Property-based tests of the convolution algebra: linearity, adjointness
+//! of forward/backward passes, zero-inserting consistency, and fixed-point
+//! saturation invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan_tensor::zeros::{dilate_kernels, insert_zeros, t_conv_mul_counts};
+use zfgan_tensor::{
+    s_conv, s_conv_input_grad, t_conv, t_conv_via_zero_insert, ConvGeom, Fmaps, Fx, Kernels,
+};
+
+/// Inner product of two equally-shaped feature-map tensors.
+fn dot(a: &Fmaps<f64>, b: &Fmaps<f64>) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .sum()
+}
+
+/// A random valid geometry with strides 1–3 and kernels 2–5.
+fn arb_geom() -> impl Strategy<Value = (ConvGeom, usize)> {
+    (1usize..=3, 2usize..=5, 2usize..=5).prop_filter_map(
+        "padding must stay below kernel",
+        |(stride, k, out)| {
+            let in_hw = stride * out;
+            ConvGeom::down(in_hw, in_hw, k, k, stride, out, out)
+                .ok()
+                .map(|g| (g, in_hw))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution is linear: conv(a·x + y) = a·conv(x) + conv(y).
+    #[test]
+    fn s_conv_is_linear((geom, in_hw) in arb_geom(), a in -3.0f32..3.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x: Fmaps<f64> = Fmaps::random(2, in_hw, in_hw, 1.0, &mut rng);
+        let y: Fmaps<f64> = Fmaps::random(2, in_hw, in_hw, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(3, 2, geom.kh(), geom.kw(), 1.0, &mut rng);
+        let combo = {
+            let mut c = x.map(|v| f64::from(a) * v);
+            c.add_assign(&y);
+            c
+        };
+        let lhs = s_conv(&combo, &k, &geom).unwrap();
+        let mut rhs = s_conv(&x, &k, &geom).unwrap().map(|v| f64::from(a) * v);
+        rhs.add_assign(&s_conv(&y, &k, &geom).unwrap());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    /// Forward and backward-error passes are adjoint:
+    /// ⟨s_conv(x), δ⟩ = ⟨x, s_conv_input_grad(δ)⟩ — the defining property
+    /// of a correct backward pass, and the reason `D̄` *is* a T-CONV.
+    #[test]
+    fn s_conv_and_its_gradient_are_adjoint((geom, in_hw) in arb_geom(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x: Fmaps<f64> = Fmaps::random(2, in_hw, in_hw, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(3, 2, geom.kh(), geom.kw(), 1.0, &mut rng);
+        let y = s_conv(&x, &k, &geom).unwrap();
+        let delta: Fmaps<f64> = Fmaps::random(y.channels(), y.height(), y.width(), 1.0, &mut rng);
+        let dx = s_conv_input_grad(&delta, &k, &geom, in_hw, in_hw).unwrap();
+        let lhs = dot(&y, &delta);
+        let rhs = dot(&x, &dx);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()), "⟨y,δ⟩={lhs} ⟨x,dx⟩={rhs}");
+    }
+
+    /// T-CONV direct and via explicit zero-inserting agree for any geometry.
+    #[test]
+    fn t_conv_zero_insert_equivalence((geom, in_hw) in arb_geom(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (oh, ow) = geom.down_out(in_hw, in_hw);
+        let x: Fmaps<f64> = Fmaps::random(3, oh, ow, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(3, 2, geom.kh(), geom.kw(), 1.0, &mut rng);
+        let a = t_conv(&x, &k, &geom).unwrap();
+        let b = t_conv_via_zero_insert(&x, &k, &geom).unwrap();
+        prop_assert!(a.max_abs_diff(&b) < 1e-9);
+    }
+
+    /// Zero-inserting preserves exactly the original values and adds only
+    /// zeros; dilation does the same for kernels.
+    #[test]
+    fn zero_inserting_is_lossless(stride in 1usize..=4, h in 1usize..=6, w in 1usize..=6, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x: Fmaps<f64> = Fmaps::random(2, h, w, 1.0, &mut rng);
+        let z = insert_zeros(&x, stride);
+        for c in 0..2 {
+            for y in 0..h {
+                for xx in 0..w {
+                    prop_assert_eq!(*z.at(c, stride * y, stride * xx), *x.at(c, y, xx));
+                }
+            }
+        }
+        let nonzero_budget = x.len() - x.count_zeros();
+        prop_assert_eq!(z.len() - z.count_zeros(), nonzero_budget);
+        let k: Kernels<f64> = Kernels::random(1, 1, h, w, 1.0, &mut rng);
+        let d = dilate_kernels(&k, stride);
+        prop_assert_eq!(d.len() - d.count_zeros(), k.len() - k.count_zeros());
+    }
+
+    /// The effectual-multiplication census is conserved: counting by output
+    /// position (gather) equals counting by input pixel (scatter).
+    #[test]
+    fn mul_census_gather_equals_scatter((geom, in_hw) in arb_geom()) {
+        let (oh, ow) = geom.down_out(in_hw, in_hw);
+        let counts = t_conv_mul_counts(&geom, oh, ow);
+        // Scatter count: every (input pixel, kernel position) pair whose
+        // target lands inside the up-sampled output.
+        let (uh, uw) = geom.up_out(oh, ow);
+        let s = geom.stride() as i64;
+        let (pt, pl) = (geom.pad_top() as i64, geom.pad_left() as i64);
+        let mut scatter = 0u64;
+        for iy in 0..oh as i64 {
+            for ix in 0..ow as i64 {
+                for ky in 0..geom.kh() as i64 {
+                    for kx in 0..geom.kw() as i64 {
+                        let ty = s * iy + ky - pt;
+                        let tx = s * ix + kx - pl;
+                        if ty >= 0 && tx >= 0 && (ty as usize) < uh && (tx as usize) < uw {
+                            scatter += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(counts.effectual, scatter);
+    }
+
+    /// Fixed-point arithmetic saturates monotonically: |a ⊕ b| never
+    /// exceeds the representable range and ordering of magnitudes survives
+    /// scaling by a positive constant.
+    #[test]
+    fn fixed_point_saturation(a in -200.0f32..200.0, b in -200.0f32..200.0) {
+        let fa = Fx::from_f32(a);
+        let fb = Fx::from_f32(b);
+        for v in [fa + fb, fa * fb, fa - fb, -fa] {
+            prop_assert!(v >= Fx::MIN && v <= Fx::MAX);
+        }
+        // Round-trip error of representable values is bounded by half an LSB.
+        if a.abs() < 127.0 {
+            prop_assert!((fa.to_f32() - a).abs() <= 1.0 / 512.0 + 1e-6);
+        }
+    }
+
+    /// Down-then-up spatial round trip holds for every generated geometry.
+    #[test]
+    fn geometry_round_trip((geom, in_hw) in arb_geom()) {
+        let (oh, ow) = geom.down_out(in_hw, in_hw);
+        prop_assert_eq!(geom.up_out(oh, ow), (in_hw, in_hw));
+    }
+}

@@ -1,0 +1,325 @@
+//! Synthetic training data.
+//!
+//! The paper trains on MNIST and LSUN-style images; the accelerator's cycle
+//! behaviour is independent of pixel values (the only zeros that matter are
+//! the structurally inserted ones), so this module substitutes deterministic
+//! synthetic distributions that are (a) reproducible from a seed and
+//! (b) structured enough for a WGAN critic to separate from Generator noise
+//! — which is all the training demos need.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use zfgan_tensor::Fmaps;
+
+/// A deterministic synthetic image distribution.
+///
+/// Each sample is a mixture of `blobs` Gaussian bumps with class-dependent
+/// centres, squashed into the Generator's `tanh` output range `[-1, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_workloads::data::SyntheticImages;
+///
+/// let mut ds = SyntheticImages::new(1, 28, 28, 42);
+/// let batch = ds.batch(8);
+/// assert_eq!(batch.len(), 8);
+/// assert_eq!(batch[0].shape(), (1, 28, 28));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticImages {
+    channels: usize,
+    height: usize,
+    width: usize,
+    rng: SmallRng,
+}
+
+impl SyntheticImages {
+    /// Creates a dataset producing `channels × height × width` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(channels: usize, height: usize, width: usize, seed: u64) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "dimensions must be non-zero"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a dataset matching a workload's image shape.
+    pub fn for_shape(shape: (usize, usize, usize), seed: u64) -> Self {
+        Self::new(shape.0, shape.1, shape.2, seed)
+    }
+
+    /// `(channels, height, width)` of produced images.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self) -> Fmaps<f32> {
+        let (c, h, w) = (self.channels, self.height, self.width);
+        let blobs = 2;
+        let centres: Vec<(f32, f32, f32)> = (0..blobs)
+            .map(|_| {
+                (
+                    self.rng.gen_range(0.2..0.8) * h as f32,
+                    self.rng.gen_range(0.2..0.8) * w as f32,
+                    self.rng.gen_range(0.15..0.35) * h.min(w) as f32,
+                )
+            })
+            .collect();
+        let mut img = Fmaps::zeros(c, h, w);
+        for ch in 0..c {
+            // Slight per-channel gain gives colour structure.
+            let gain = 1.0 - 0.15 * ch as f32 / c as f32;
+            for y in 0..h {
+                for x in 0..w {
+                    let mut v = 0.0f32;
+                    for &(cy, cx, sigma) in &centres {
+                        let d2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                        v += (-d2 / (2.0 * sigma * sigma)).exp();
+                    }
+                    *img.at_mut(ch, y, x) = (gain * v).min(1.0) * 2.0 - 1.0;
+                }
+            }
+        }
+        img
+    }
+
+    /// Draws a batch of samples.
+    pub fn batch(&mut self, n: usize) -> Vec<Fmaps<f32>> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_in_tanh_range() {
+        let mut ds = SyntheticImages::new(3, 16, 16, 7);
+        for img in ds.batch(4) {
+            assert!(img.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_data() {
+        let a = SyntheticImages::new(1, 8, 8, 1).sample();
+        let b = SyntheticImages::new(1, 8, 8, 1).sample();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticImages::new(1, 8, 8, 1).sample();
+        let b = SyntheticImages::new(1, 8, 8, 2).sample();
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn samples_have_structure() {
+        // Not constant: a blob creates contrast.
+        let img = SyntheticImages::new(1, 16, 16, 3).sample();
+        let min = img.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = img
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.5, "contrast {}", max - min);
+    }
+
+    #[test]
+    fn for_shape_matches() {
+        let ds = SyntheticImages::for_shape((3, 4, 5), 0);
+        assert_eq!(ds.shape(), (3, 4, 5));
+    }
+}
+
+/// A deterministic multi-class synthetic dataset: seven-segment-style
+/// "digits" rendered into the workload's image frame.
+///
+/// The paper's motivation is *unsupervised* learning — the accelerator
+/// trains on raw, unlabeled data. This dataset provides exactly that
+/// setting with known (but withheld) class structure, so experiments can
+/// verify after the fact that an unsupervised critic's features separate
+/// classes it never saw labels for.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_workloads::data::SyntheticDigits;
+///
+/// let mut ds = SyntheticDigits::new(1, 28, 28, 7);
+/// let (img, class) = ds.sample();
+/// assert!(class < 10);
+/// assert_eq!(img.shape(), (1, 28, 28));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticDigits {
+    channels: usize,
+    height: usize,
+    width: usize,
+    rng: SmallRng,
+}
+
+/// Segment on/off patterns for digits 0–9 in the order
+/// (top, top-left, top-right, middle, bottom-left, bottom-right, bottom).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],     // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
+];
+
+impl SyntheticDigits {
+    /// Creates a digit dataset rendering into `channels × height × width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the frame is smaller than 8×6.
+    pub fn new(channels: usize, height: usize, width: usize, seed: u64) -> Self {
+        assert!(
+            channels > 0 && height >= 8 && width >= 6,
+            "frame too small for a digit"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one sample, returning the image and its (withheld) class.
+    pub fn sample(&mut self) -> (Fmaps<f32>, usize) {
+        let class = self.rng.gen_range(0..10usize);
+        let jitter_y = self.rng.gen_range(0..self.height / 8);
+        let jitter_x = self.rng.gen_range(0..self.width / 8);
+        (self.render(class, jitter_y, jitter_x), class)
+    }
+
+    /// Draws a batch of images, discarding the labels (the unsupervised
+    /// setting the paper targets).
+    pub fn batch_unlabeled(&mut self, n: usize) -> Vec<Fmaps<f32>> {
+        (0..n).map(|_| self.sample().0).collect()
+    }
+
+    /// Renders digit `class` with the given positional jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class ≥ 10`.
+    pub fn render(&self, class: usize, jitter_y: usize, jitter_x: usize) -> Fmaps<f32> {
+        assert!(class < 10, "classes are 0–9");
+        let segs = SEGMENTS[class];
+        let gh = (self.height * 3 / 4).max(8);
+        let gw = (self.width / 2).max(4);
+        let y0 = jitter_y.min(self.height - gh);
+        let x0 = jitter_x.min(self.width - gw);
+        let mid = y0 + gh / 2;
+        let mut img = Fmaps::zeros(self.channels, self.height, self.width);
+        let draw_h = |img: &mut Fmaps<f32>, y: usize| {
+            for x in x0..x0 + gw {
+                for c in 0..self.channels {
+                    *img.at_mut(c, y, x) = 1.0;
+                }
+            }
+        };
+        let draw_v = |img: &mut Fmaps<f32>, ys: usize, ye: usize, x: usize| {
+            for y in ys..ye {
+                for c in 0..self.channels {
+                    *img.at_mut(c, y, x) = 1.0;
+                }
+            }
+        };
+        if segs[0] {
+            draw_h(&mut img, y0);
+        }
+        if segs[3] {
+            draw_h(&mut img, mid);
+        }
+        if segs[6] {
+            draw_h(&mut img, y0 + gh - 1);
+        }
+        if segs[1] {
+            draw_v(&mut img, y0, mid, x0);
+        }
+        if segs[2] {
+            draw_v(&mut img, y0, mid, x0 + gw - 1);
+        }
+        if segs[4] {
+            draw_v(&mut img, mid, y0 + gh, x0);
+        }
+        if segs[5] {
+            draw_v(&mut img, mid, y0 + gh, x0 + gw - 1);
+        }
+        // Map {0, 1} strokes into the tanh range.
+        img.map(|v| v * 2.0 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod digit_tests {
+    use super::*;
+
+    #[test]
+    fn digits_are_deterministic_per_seed() {
+        let a = SyntheticDigits::new(1, 28, 28, 5).sample();
+        let b = SyntheticDigits::new(1, 28, 28, 5).sample();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn all_ten_classes_render_distinctly() {
+        let ds = SyntheticDigits::new(1, 28, 28, 0);
+        let rendered: Vec<Fmaps<f32>> = (0..10).map(|c| ds.render(c, 0, 0)).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert!(
+                    rendered[i].max_abs_diff(&rendered[j]) > 0.5,
+                    "digits {i} and {j} look identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eight_has_more_ink_than_one() {
+        let ds = SyntheticDigits::new(1, 28, 28, 0);
+        let ink = |img: &Fmaps<f32>| img.as_slice().iter().filter(|v| **v > 0.0).count();
+        assert!(ink(&ds.render(8, 0, 0)) > 2 * ink(&ds.render(1, 0, 0)));
+    }
+
+    #[test]
+    fn unlabeled_batches_are_in_range() {
+        let mut ds = SyntheticDigits::new(1, 28, 28, 3);
+        for img in ds.batch_unlabeled(8) {
+            assert!(img.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0–9")]
+    fn class_out_of_range_panics() {
+        let ds = SyntheticDigits::new(1, 28, 28, 0);
+        let _ = ds.render(10, 0, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! GAN network specifications and synthetic datasets for the `zfgan`
+//! evaluation.
+//!
+//! The paper evaluates three networks (its Fig. 1 and Table IV):
+//!
+//! * **DCGAN** — the 64×64 RGB network of Fig. 1 (5×5 kernels),
+//! * **MNIST-GAN** — the 28×28 grayscale conditional DCGAN,
+//! * **cGAN** — the 64×64 context-encoder network (4×4 kernels).
+//!
+//! A [`GanSpec`] describes the *Discriminator* ladder only — "Generator has
+//! an inverse architecture of Discriminator", so every Generator quantity is
+//! derived by running the same ladder in reverse. From a spec you can:
+//!
+//! * extract the [`ConvShape`](zfgan_sim::ConvShape) phase sets that the
+//!   dataflow architectures schedule ([`GanSpec::phase_set`],
+//!   [`GanSpec::iteration_phases`]),
+//! * build a runnable, trainable [`GanPair`](zfgan_nn::GanPair)
+//!   ([`GanSpec::build_pair`]),
+//! * compute the Section III-A memory quantities
+//!   ([`GanSpec::dis_intermediate_bytes_per_sample`]), and
+//! * draw synthetic training data ([`data`]).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod data;
+mod spec;
+
+pub use spec::{GanSpec, LayerSpec, PhaseSeq};

@@ -1,0 +1,527 @@
+//! Network specifications: the paper's Fig. 1 / Table IV GANs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use zfgan_nn::{Activation, ConvLayer, ConvNet, Direction, GanPair};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::{ConvGeom, TensorResult};
+
+/// One Discriminator layer of a GAN ladder (Table IV row).
+///
+/// Everything is expressed in down-direction terms: `large_c` input maps at
+/// `large_hw × large_hw` are strided down to `small_c` maps. The mirrored
+/// Generator layer runs the same numbers in reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Channels on the up-sampled (input) side.
+    pub large_c: usize,
+    /// Channels on the down-sampled (output) side.
+    pub small_c: usize,
+    /// Spatial size on the up-sampled side (all paper maps are square).
+    pub large_hw: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Stride (all paper layers use 2).
+    pub stride: usize,
+}
+
+impl LayerSpec {
+    /// Spatial size on the down-sampled side.
+    pub fn small_hw(&self) -> usize {
+        self.large_hw / self.stride
+    }
+
+    /// The layer's convolution geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent (a static-data bug,
+    /// not an input condition).
+    pub fn geom(&self) -> ConvGeom {
+        ConvGeom::down(
+            self.large_hw,
+            self.large_hw,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.small_hw(),
+            self.small_hw(),
+        )
+        .expect("layer spec must be self-consistent")
+    }
+
+    /// The layer's phase shape under one of the four convolution families.
+    pub fn shape(&self, kind: ConvKind) -> ConvShape {
+        ConvShape::new(
+            kind,
+            self.geom(),
+            self.small_c,
+            self.large_c,
+            self.large_hw,
+            self.large_hw,
+        )
+    }
+}
+
+/// Which half of a training iteration a phase sequence belongs to
+/// (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseSeq {
+    /// Discriminator update: `Ḡ`, `D̄`×2 (real+fake), `D̄`-backward×2 on
+    /// ST-ARCH; `D̄w`×2 on W-ARCH.
+    DisUpdate,
+    /// Generator update: `Ḡ`, `D̄`, `D̄`-backward, `Ḡ`-backward on
+    /// ST-ARCH; `Ḡw` on W-ARCH.
+    GenUpdate,
+}
+
+/// A full GAN workload: the Discriminator ladder plus the latent size.
+///
+/// # Example
+///
+/// ```
+/// use zfgan_workloads::GanSpec;
+/// use zfgan_sim::ConvKind;
+///
+/// let dcgan = GanSpec::dcgan();
+/// assert_eq!(dcgan.layers().len(), 4);
+/// // All four phase families over the ladder:
+/// assert_eq!(dcgan.phase_set(ConvKind::S).len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GanSpec {
+    name: String,
+    z_dim: usize,
+    layers: Vec<LayerSpec>,
+}
+
+impl GanSpec {
+    /// Creates a spec from an explicit ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, a layer does not chain onto the next,
+    /// or a stride does not evenly divide its input.
+    pub fn new(name: impl Into<String>, z_dim: usize, layers: Vec<LayerSpec>) -> Self {
+        assert!(!layers.is_empty(), "a GAN needs at least one layer");
+        assert!(z_dim > 0, "latent dimension must be non-zero");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].small_c, pair[1].large_c,
+                "channel ladder must chain"
+            );
+            assert_eq!(
+                pair[0].small_hw(),
+                pair[1].large_hw,
+                "spatial ladder must chain"
+            );
+        }
+        for l in &layers {
+            assert_eq!(
+                l.large_hw % l.stride,
+                0,
+                "stride must divide the input size"
+            );
+        }
+        Self {
+            name: name.into(),
+            z_dim,
+            layers,
+        }
+    }
+
+    /// The paper's Fig. 1 DCGAN: 64×64 RGB, 5×5 kernels, stride 2,
+    /// 3 → 64 → 128 → 256 → 512 maps.
+    pub fn dcgan() -> Self {
+        Self::ladder("DCGAN", 100, 3, 64, 64, 5)
+    }
+
+    /// Table IV MNIST-GAN: 28×28 grayscale, 5×5 kernels,
+    /// 1 → 64 → 128 maps.
+    pub fn mnist_gan() -> Self {
+        Self::new(
+            "MNIST-GAN",
+            100,
+            vec![
+                LayerSpec {
+                    large_c: 1,
+                    small_c: 64,
+                    large_hw: 28,
+                    kernel: 5,
+                    stride: 2,
+                },
+                LayerSpec {
+                    large_c: 64,
+                    small_c: 128,
+                    large_hw: 14,
+                    kernel: 5,
+                    stride: 2,
+                },
+            ],
+        )
+    }
+
+    /// Table IV cGAN (Context Encoders / image editing): 64×64 RGB,
+    /// 4×4 kernels, 3 → 64 → 128 → 256 → 512 maps.
+    pub fn cgan() -> Self {
+        Self::ladder("cGAN", 100, 3, 64, 64, 4)
+    }
+
+    /// The three evaluation networks in the paper's order.
+    pub fn all_paper_gans() -> Vec<GanSpec> {
+        vec![Self::mnist_gan(), Self::dcgan(), Self::cgan()]
+    }
+
+    /// Builds a doubling ladder: `base_c` maps after layer 1, doubling each
+    /// layer, halving the spatial size down to 4×4, starting from
+    /// `img_c × img_hw × img_hw` — the DCGAN family's construction rule,
+    /// usable for custom resolutions (e.g. a 128×128 variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting ladder is inconsistent (e.g. `img_hw` not a
+    /// multiple of a power of two ≥ 8, or a zero `z_dim`).
+    pub fn ladder(
+        name: &str,
+        z_dim: usize,
+        img_c: usize,
+        img_hw: usize,
+        base_c: usize,
+        kernel: usize,
+    ) -> Self {
+        let mut specs = Vec::new();
+        let mut large_c = img_c;
+        let mut small_c = base_c;
+        let mut hw = img_hw;
+        while hw > 4 {
+            specs.push(LayerSpec {
+                large_c,
+                small_c,
+                large_hw: hw,
+                kernel,
+                stride: 2,
+            });
+            large_c = small_c;
+            small_c *= 2;
+            hw /= 2;
+        }
+        Self::new(name, z_dim, specs)
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The latent dimension.
+    pub fn z_dim(&self) -> usize {
+        self.z_dim
+    }
+
+    /// The Discriminator ladder, first layer first.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// `(channels, height, width)` of the image the GAN models.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let l = &self.layers[0];
+        (l.large_c, l.large_hw, l.large_hw)
+    }
+
+    /// All layers' phase shapes under one convolution family.
+    pub fn phase_set(&self, kind: ConvKind) -> Vec<ConvShape> {
+        self.layers.iter().map(|l| l.shape(kind)).collect()
+    }
+
+    /// The ST-ARCH phase sequence of one sample's loop (paper Fig. 8): the
+    /// `S-CONV`/`T-CONV` passes of the given update.
+    pub fn st_phases(&self, seq: PhaseSeq) -> Vec<ConvShape> {
+        let fwd_g = self.phase_set(ConvKind::T); // Ḡ forward
+        let fwd_d = self.phase_set(ConvKind::S); // D̄ forward
+        let bwd_d = self.phase_set(ConvKind::T); // D̄ backward error
+        let bwd_g = self.phase_set(ConvKind::S); // Ḡ backward error
+        match seq {
+            PhaseSeq::DisUpdate => {
+                // Ḡ, D̄(fake), D̄(real), D̄-bwd(fake), D̄-bwd(real).
+                [fwd_g, fwd_d.clone(), fwd_d, bwd_d.clone(), bwd_d].concat()
+            }
+            PhaseSeq::GenUpdate => [fwd_g, fwd_d, bwd_d, bwd_g].concat(),
+        }
+    }
+
+    /// The W-ARCH phase sequence of one sample's loop.
+    pub fn w_phases(&self, seq: PhaseSeq) -> Vec<ConvShape> {
+        match seq {
+            // D̄w for the fake and the real sample.
+            PhaseSeq::DisUpdate => [
+                self.phase_set(ConvKind::WGradS),
+                self.phase_set(ConvKind::WGradS),
+            ]
+            .concat(),
+            PhaseSeq::GenUpdate => self.phase_set(ConvKind::WGradT),
+        }
+    }
+
+    /// Every phase of one sample's full training iteration (both updates).
+    pub fn iteration_phases(&self) -> Vec<ConvShape> {
+        [
+            self.st_phases(PhaseSeq::DisUpdate),
+            self.w_phases(PhaseSeq::DisUpdate),
+            self.st_phases(PhaseSeq::GenUpdate),
+            self.w_phases(PhaseSeq::GenUpdate),
+        ]
+        .concat()
+    }
+
+    /// Effectual operations (1 MAC = 2 ops) of one sample's full training
+    /// iteration — the Fig. 19 GOPS numerator.
+    pub fn iteration_ops(&self) -> u64 {
+        self.iteration_phases()
+            .iter()
+            .map(|p| 2 * p.effectual_macs())
+            .sum()
+    }
+
+    /// Bytes of intermediate data (`d^l` of every Discriminator layer) one
+    /// sample's forward pass produces — the paper's Section III-A currency.
+    /// With `2 × batch` samples buffered, DCGAN at batch 256 needs ~126 MB.
+    pub fn dis_intermediate_bytes_per_sample(&self, bytes_per_elem: usize) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.small_c * l.small_hw() * l.small_hw() * bytes_per_elem) as u64)
+            .sum()
+    }
+
+    /// Buffer demand of the *synchronized* algorithm for a Discriminator
+    /// update: `2 × batch` samples' intermediates.
+    pub fn sync_buffer_bytes(&self, batch: usize, bytes_per_elem: usize) -> u64 {
+        2 * batch as u64 * self.dis_intermediate_bytes_per_sample(bytes_per_elem)
+    }
+
+    /// Buffer demand after deferred synchronization: one sample.
+    pub fn deferred_buffer_bytes(&self, bytes_per_elem: usize) -> u64 {
+        self.dis_intermediate_bytes_per_sample(bytes_per_elem)
+    }
+
+    /// Builds a runnable, trainable [`GanPair`] for this workload:
+    /// the Discriminator ladder with LeakyReLU(0.2) plus a full-frame
+    /// critic head, mirrored into a Generator with ReLU bodies and a Tanh
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layer construction (impossible for the
+    /// built-in specs; possible for hand-built inconsistent ones).
+    pub fn build_pair<R: Rng>(&self, scale: f32, rng: &mut R) -> TensorResult<GanPair> {
+        let last = self.layers.last().expect("validated non-empty");
+        let head_hw = last.small_hw();
+        let head_geom =
+            ConvGeom::new(head_hw, head_hw, 1, 0, 0, 0, 0).expect("head geometry is valid");
+
+        // Discriminator: ladder + critic head.
+        let mut d_layers = Vec::new();
+        for l in &self.layers {
+            d_layers.push(ConvLayer::random(
+                Direction::Down,
+                l.geom(),
+                l.small_c,
+                l.large_c,
+                Activation::LeakyRelu { alpha: 0.2 },
+                (l.large_c, l.large_hw, l.large_hw),
+                scale,
+                rng,
+            )?);
+        }
+        d_layers.push(ConvLayer::random(
+            Direction::Down,
+            head_geom,
+            1,
+            last.small_c,
+            Activation::Identity,
+            (last.small_c, head_hw, head_hw),
+            scale,
+            rng,
+        )?);
+        let discriminator = ConvNet::new(d_layers)?;
+
+        // Generator: projection head + mirrored ladder.
+        let mut g_layers = vec![ConvLayer::random(
+            Direction::Up,
+            head_geom,
+            self.z_dim,
+            last.small_c,
+            Activation::Relu,
+            (self.z_dim, 1, 1),
+            scale,
+            rng,
+        )?];
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let act = if i == 0 {
+                Activation::Tanh
+            } else {
+                Activation::Relu
+            };
+            g_layers.push(ConvLayer::random(
+                Direction::Up,
+                l.geom(),
+                l.small_c,
+                l.large_c,
+                act,
+                (l.small_c, l.small_hw(), l.small_hw()),
+                scale,
+                rng,
+            )?);
+        }
+        let generator = ConvNet::new(g_layers)?;
+        GanPair::new(generator, discriminator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_iv_mnist_gan() {
+        let g = GanSpec::mnist_gan();
+        let l = g.layers();
+        assert_eq!(l.len(), 2);
+        // "1×28×28, 5×5, 2×2 → 64×14×14".
+        assert_eq!((l[0].large_c, l[0].large_hw, l[0].kernel), (1, 28, 5));
+        assert_eq!((l[0].small_c, l[0].small_hw()), (64, 14));
+        // "64×14×14 → 128×7×7".
+        assert_eq!((l[1].small_c, l[1].small_hw()), (128, 7));
+    }
+
+    #[test]
+    fn table_iv_cgan() {
+        let g = GanSpec::cgan();
+        let dims: Vec<_> = g
+            .layers()
+            .iter()
+            .map(|l| (l.large_c, l.large_hw, l.small_c, l.kernel))
+            .collect();
+        assert_eq!(
+            dims,
+            vec![
+                (3, 64, 64, 4),
+                (64, 32, 128, 4),
+                (128, 16, 256, 4),
+                (256, 8, 512, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn dcgan_uses_5x5_kernels() {
+        let g = GanSpec::dcgan();
+        assert!(g.layers().iter().all(|l| l.kernel == 5));
+        assert_eq!(g.image_shape(), (3, 64, 64));
+        assert_eq!(g.layers().last().unwrap().small_hw(), 4);
+    }
+
+    /// The Section III-A claim: "DCGAN needs a ~126M-byte buffer when the
+    /// batch size is 256".
+    #[test]
+    fn dcgan_sync_buffer_is_about_126_mb() {
+        let g = GanSpec::dcgan();
+        let bytes = g.sync_buffer_bytes(256, 2);
+        let mb = bytes as f64 / 1e6;
+        assert!((120.0..132.0).contains(&mb), "sync buffer {mb} MB");
+        // Deferred: 2·256× smaller.
+        assert_eq!(g.deferred_buffer_bytes(2) * 512, bytes);
+    }
+
+    #[test]
+    fn phase_counts_match_fig8() {
+        let g = GanSpec::cgan();
+        let n = g.layers().len();
+        // Five ST passes + two W passes per Discriminator-update loop.
+        assert_eq!(g.st_phases(PhaseSeq::DisUpdate).len(), 5 * n);
+        assert_eq!(g.w_phases(PhaseSeq::DisUpdate).len(), 2 * n);
+        // Four ST passes + one W pass per Generator-update loop.
+        assert_eq!(g.st_phases(PhaseSeq::GenUpdate).len(), 4 * n);
+        assert_eq!(g.w_phases(PhaseSeq::GenUpdate).len(), n);
+        assert_eq!(g.iteration_phases().len(), 12 * n);
+    }
+
+    #[test]
+    fn iteration_ops_are_positive_and_scale_with_network() {
+        let small = GanSpec::mnist_gan().iteration_ops();
+        let big = GanSpec::cgan().iteration_ops();
+        assert!(small > 0);
+        assert!(
+            big > 10 * small,
+            "cGAN ({big}) should dwarf MNIST-GAN ({small})"
+        );
+    }
+
+    #[test]
+    fn build_pair_produces_trainable_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pair = GanSpec::mnist_gan().build_pair(0.05, &mut rng).unwrap();
+        assert_eq!(pair.image_shape(), (1, 28, 28));
+        assert_eq!(pair.z_shape(), (100, 1, 1));
+        assert_eq!(pair.discriminator().out_shape(), (1, 1, 1));
+        // Generator mirrors the ladder + head.
+        assert_eq!(pair.generator().layers().len(), 3);
+        assert_eq!(pair.discriminator().layers().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn inconsistent_ladder_rejected() {
+        let _ = GanSpec::new(
+            "bad",
+            10,
+            vec![
+                LayerSpec {
+                    large_c: 1,
+                    small_c: 8,
+                    large_hw: 16,
+                    kernel: 4,
+                    stride: 2,
+                },
+                LayerSpec {
+                    large_c: 16,
+                    small_c: 32,
+                    large_hw: 8,
+                    kernel: 4,
+                    stride: 2,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn custom_ladders_scale_to_other_resolutions() {
+        let big = GanSpec::ladder("DCGAN-128", 128, 3, 128, 64, 4);
+        assert_eq!(big.layers().len(), 5);
+        assert_eq!(big.image_shape(), (3, 128, 128));
+        assert_eq!(big.layers().last().unwrap().small_hw(), 4);
+        // Work grows superlinearly with resolution.
+        assert!(big.iteration_ops() > 2 * GanSpec::cgan().iteration_ops());
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        for spec in GanSpec::all_paper_gans() {
+            let json = serde_json::to_string(&spec).expect("serialises");
+            let back: GanSpec = serde_json::from_str(&json).expect("deserialises");
+            assert_eq!(back, spec);
+            assert_eq!(back.iteration_ops(), spec.iteration_ops());
+        }
+    }
+
+    #[test]
+    fn all_paper_gans_enumerates_three() {
+        let names: Vec<_> = GanSpec::all_paper_gans()
+            .iter()
+            .map(|g| g.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["MNIST-GAN", "DCGAN", "cGAN"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration beyond the paper: sweep the PE budget and the
+//! off-chip bandwidth and watch Eq. 7/8 re-derive the accelerator.
+//!
+//! The paper fixes one design point (192 Gbit/s, 200 MHz, 1680 PEs); this
+//! example shows how the model answers "what if" questions a deployment
+//! engineer would ask — e.g. how much bandwidth a 2× larger array needs
+//! before ZFWST starves.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use zfgan::accel::{AccelConfig, GanAccelerator};
+use zfgan::workloads::{GanSpec, PhaseSeq};
+
+fn main() {
+    let spec = GanSpec::cgan();
+
+    println!("Bandwidth sweep at 200 MHz (Eq. 7 derives W_Pof, Eq. 8 ST_Pof):");
+    println!(
+        "{:>10}  {:>6}  {:>7}  {:>9}  {:>8}  {:>8}",
+        "Gbit/s", "W_Pof", "ST_Pof", "total PEs", "GOPS", "GOPS/W"
+    );
+    for bw in [48.0, 96.0, 192.0, 384.0] {
+        let cfg = AccelConfig::from_platform(200.0, bw, 16);
+        let accel = GanAccelerator::new(cfg, spec.clone());
+        let r = accel.iteration_report(16);
+        println!(
+            "{:>10}  {:>6}  {:>7}  {:>9}  {:>8.0}  {:>8.1}",
+            bw,
+            cfg.w_pof(),
+            cfg.st_pof(),
+            cfg.total_pes(),
+            r.gops,
+            r.gops_per_watt
+        );
+    }
+
+    println!("\nPE sweep at fixed VCU118 bandwidth (2.5:1 split per Eq. 8):");
+    println!(
+        "{:>9}  {:>7}  {:>6}  {:>10}  {:>8}",
+        "total PEs", "ST_Pof", "W_Pof", "cyc/sample", "GOPS"
+    );
+    for total in [512usize, 1024, 1680, 2048, 4096] {
+        let cfg = AccelConfig::with_total_pes(total);
+        let accel = GanAccelerator::new(cfg, spec.clone());
+        let r = accel.iteration_report(16);
+        println!(
+            "{:>9}  {:>7}  {:>6}  {:>10}  {:>8.0}",
+            cfg.total_pes(),
+            cfg.st_pof(),
+            cfg.w_pof(),
+            r.cycles_per_sample,
+            r.gops
+        );
+    }
+
+    println!("\nWhere does W-ARCH starve? (D-update W/ST cycle ratio per workload)");
+    for spec in GanSpec::all_paper_gans() {
+        let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
+        let (st, w) = accel.update_stats(PhaseSeq::DisUpdate);
+        println!(
+            "  {:10}: ST {:>8} cycles, W {:>8} cycles (ratio {:.2} — ≤1 means ZFWST keeps up)",
+            spec.name(),
+            st.cycles,
+            w.cycles,
+            w.cycles as f64 / st.cycles as f64
+        );
+    }
+}

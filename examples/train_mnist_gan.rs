@@ -1,0 +1,94 @@
+//! Train the paper's MNIST-GAN (Table IV) end to end on synthetic data.
+//!
+//! Demonstrates the full algorithm side of the reproduction:
+//!
+//! * the MNIST-GAN Discriminator/Generator pair built from its `GanSpec`,
+//! * WGAN training (RMSProp, weight clipping, n_critic) under **deferred
+//!   synchronization**,
+//! * the bit-exact equivalence of the deferred and synchronized updates,
+//! * the memory high-water marks of both modes.
+//!
+//! Run with `cargo run --release --example train_mnist_gan`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::nn::{GanTrainer, SyncMode, TrainerConfig};
+use zfgan::workloads::data::SyntheticImages;
+use zfgan::workloads::GanSpec;
+
+fn main() {
+    let spec = GanSpec::mnist_gan();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    {
+        let mut preview_rng = SmallRng::seed_from_u64(0);
+        let preview = spec
+            .build_pair(0.05, &mut preview_rng)
+            .expect("spec is consistent");
+        println!("Discriminator:\n{}", preview.discriminator().summary());
+        println!("Generator:\n{}", preview.generator().summary());
+    }
+
+    // Equivalence check first: one update in both modes from identical
+    // weights must produce identical losses.
+    let batch = 4;
+    let mut data = SyntheticImages::for_shape(spec.image_shape(), 1);
+    let reals = data.batch(batch);
+    let mut reports = Vec::new();
+    for mode in [SyncMode::Synchronized, SyncMode::Deferred] {
+        let mut seed_rng = SmallRng::seed_from_u64(5);
+        let pair = spec
+            .build_pair(0.05, &mut seed_rng)
+            .expect("spec is consistent");
+        let mut t = GanTrainer::new(
+            pair,
+            TrainerConfig {
+                mode,
+                ..TrainerConfig::default()
+            },
+        );
+        let mut step_rng = SmallRng::seed_from_u64(6);
+        reports.push(t.step_discriminator(&reals, &mut step_rng));
+    }
+    assert_eq!(
+        reports[0].dis_loss, reports[1].dis_loss,
+        "modes must agree exactly"
+    );
+    println!(
+        "\nDeferred == synchronized: dis_loss {:+.6} in both modes;\n\
+         peak buffering {} traces (sync) vs {} trace (deferred), {}x fewer elements.",
+        reports[0].dis_loss,
+        reports[0].peak_live_traces,
+        reports[1].peak_live_traces,
+        reports[0].peak_buffered_elems / reports[1].peak_buffered_elems.max(1),
+    );
+
+    // Then train for real with the deferred trainer.
+    let mut seed_rng = SmallRng::seed_from_u64(5);
+    let pair = spec
+        .build_pair(0.05, &mut seed_rng)
+        .expect("spec is consistent");
+    let mut trainer = GanTrainer::new(
+        pair,
+        TrainerConfig {
+            mode: SyncMode::Deferred,
+            learning_rate: 5e-4,
+            n_critic: 2,
+            ..TrainerConfig::default()
+        },
+    );
+    println!("\nTraining (deferred, batch {batch}, n_critic 2):");
+    for iter in 0..6 {
+        let mut last_w = 0.0;
+        for _ in 0..trainer.config().n_critic {
+            let reals = data.batch(batch);
+            let rep = trainer.step_discriminator(&reals, &mut rng);
+            last_w = rep.wasserstein_estimate;
+        }
+        let gen = trainer.step_generator(batch, &mut rng);
+        println!(
+            "  iter {iter}: Wasserstein {last_w:+.4}, generator loss {:+.4}",
+            gen.gen_loss
+        );
+    }
+    println!("\nDone — the critic's separation margin should have grown.");
+}

@@ -1,0 +1,102 @@
+//! The paper's motivation, end to end: "GAN can autonomously learn
+//! interpretable, useful feature representation from raw big data."
+//!
+//! We train the MNIST-GAN critic on **unlabeled** synthetic digits, then —
+//! using labels the training never saw — measure whether the critic's
+//! internal features cluster by class. The metric is the between-class /
+//! within-class distance ratio of the penultimate-layer activations
+//! (higher = better-separated classes).
+//!
+//! Run with `cargo run --release --example unsupervised_features`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::nn::{ConvNet, GanTrainer, SyncMode, TrainerConfig};
+use zfgan::workloads::data::SyntheticDigits;
+use zfgan::workloads::GanSpec;
+
+/// Flattened penultimate-layer activations of the critic for one image.
+fn features(critic: &ConvNet, img: &zfgan::tensor::Fmaps<f32>) -> Vec<f32> {
+    let trace = critic.forward(img).expect("image shape");
+    let n = critic.layers().len();
+    trace.post(n.saturating_sub(2)).as_slice().to_vec()
+}
+
+/// Between-class / within-class mean-distance ratio over a labeled set.
+fn separation_ratio(feats: &[(usize, Vec<f32>)]) -> f64 {
+    let dist = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| f64::from(x - y).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let (mut within, mut wn, mut between, mut bn) = (0.0f64, 0u64, 0.0f64, 0u64);
+    for i in 0..feats.len() {
+        for j in (i + 1)..feats.len() {
+            let d = dist(&feats[i].1, &feats[j].1);
+            if feats[i].0 == feats[j].0 {
+                within += d;
+                wn += 1;
+            } else {
+                between += d;
+                bn += 1;
+            }
+        }
+    }
+    (between / bn.max(1) as f64) / (within / wn.max(1) as f64).max(1e-12)
+}
+
+fn main() {
+    let spec = GanSpec::mnist_gan();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut data = SyntheticDigits::new(1, 28, 28, 100);
+
+    // Labeled evaluation set — labels withheld from training.
+    let mut eval = SyntheticDigits::new(1, 28, 28, 200);
+    let labeled: Vec<(usize, zfgan::tensor::Fmaps<f32>)> = (0..30)
+        .map(|_| eval.sample())
+        .map(|(img, c)| (c, img))
+        .collect();
+
+    let mut build_rng = SmallRng::seed_from_u64(3);
+    let pair = spec
+        .build_pair(0.05, &mut build_rng)
+        .expect("consistent spec");
+
+    let measure = |critic: &ConvNet| -> f64 {
+        let feats: Vec<(usize, Vec<f32>)> = labeled
+            .iter()
+            .map(|(c, img)| (*c, features(critic, img)))
+            .collect();
+        separation_ratio(&feats)
+    };
+
+    let before = measure(pair.discriminator());
+    println!("class-separation ratio of critic features, untrained: {before:.3}");
+
+    let mut trainer = GanTrainer::new(
+        pair,
+        TrainerConfig {
+            mode: SyncMode::Deferred,
+            learning_rate: 5e-4,
+            n_critic: 2,
+            ..TrainerConfig::default()
+        },
+    );
+    for iter in 0..8 {
+        for _ in 0..trainer.config().n_critic {
+            let reals = data.batch_unlabeled(4); // labels never enter training
+            trainer.step_discriminator(&reals, &mut rng);
+        }
+        trainer.step_generator(4, &mut rng);
+        let ratio = measure(trainer.gan().discriminator());
+        println!("after iteration {iter}: {ratio:.3}");
+    }
+    let after = measure(trainer.gan().discriminator());
+    println!(
+        "\nTrained on raw unlabeled digits, the critic's features separate the\n\
+         ten (never-seen) classes {}x better than at initialisation ({before:.3} → {after:.3}).",
+        (after / before).max(0.0) as f32
+    );
+}

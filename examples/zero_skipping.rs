@@ -1,0 +1,81 @@
+//! Watch the zero-free dataflows compute *real numbers*: the functional
+//! executors walk the ZFOST/ZFWST schedules tile by tile, and their outputs
+//! are compared against the golden-reference convolutions while their
+//! enumerated cycle counts are compared against the closed-form models.
+//!
+//! Run with `cargo run --release --example zero_skipping`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::dataflow::exec::{zfost_s_conv, zfost_t_conv, zfwst_wgrad_s, zfwst_wgrad_t};
+use zfgan::dataflow::{Dataflow, Ost, Zfost, Zfwst};
+use zfgan::sim::{ConvKind, ConvShape};
+use zfgan::tensor::{
+    s_conv, t_conv, w_conv_for_s_layer, w_conv_for_t_layer, ConvGeom, Fmaps, Kernels,
+};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let geom = ConvGeom::down(16, 16, 4, 4, 2, 8, 8).expect("static geometry");
+    let (small_c, large_c) = (8usize, 3usize);
+    let phase = ConvShape::new(ConvKind::S, geom, small_c, large_c, 16, 16);
+    let big: Fmaps<f32> = Fmaps::random(large_c, 16, 16, 1.0, &mut rng);
+    let small: Fmaps<f32> = Fmaps::random(small_c, 8, 8, 1.0, &mut rng);
+    let k: Kernels<f32> = Kernels::random(small_c, large_c, 4, 4, 0.25, &mut rng);
+    let zfost = Zfost::new(4, 4, 8);
+    let zfwst = Zfwst::new(4, 4, 8);
+    let ost = Ost::new(4, 4, 8);
+
+    println!("Functional execution of the zero-free dataflows (16×16 layer, 8↔3 maps)\n");
+
+    // S-CONV on ZFOST.
+    let out = zfost_s_conv(&zfost, &phase, &big, &k).expect("operands match phase");
+    let reference = s_conv(&big, &k, &geom).expect("operands match");
+    println!(
+        "S-CONV  on ZFOST : {:>6} cycles (closed form {:>6}), max |Δ| vs reference = {:.2e}",
+        out.cycles,
+        zfost.schedule(&phase).cycles,
+        out.output.max_abs_diff(&reference)
+    );
+
+    // T-CONV on ZFOST vs OST.
+    let t_phase = phase.with_kind(ConvKind::T);
+    let out = zfost_t_conv(&zfost, &t_phase, &small, &k).expect("operands match phase");
+    let reference = t_conv(&small, &k, &geom).expect("operands match");
+    println!(
+        "T-CONV  on ZFOST : {:>6} cycles (closed form {:>6}), max |Δ| vs reference = {:.2e}",
+        out.cycles,
+        zfost.schedule(&t_phase).cycles,
+        out.output.max_abs_diff(&reference)
+    );
+    println!(
+        "T-CONV  on OST   : {:>6} cycles — the inserted zeros cost {:.1}×",
+        ost.schedule(&t_phase).cycles,
+        ost.schedule(&t_phase).cycles as f64 / out.cycles as f64
+    );
+
+    // W-CONV (D̄w) on ZFWST.
+    let w_phase = phase.with_kind(ConvKind::WGradS);
+    let out = zfwst_wgrad_s(&zfwst, &w_phase, &big, &small).expect("operands match phase");
+    let reference = w_conv_for_s_layer(&big, &small, &geom).expect("operands match");
+    println!(
+        "D̄w     on ZFWST : {:>6} cycles (closed form {:>6}), max |Δ| vs reference = {:.2e}",
+        out.cycles,
+        zfwst.schedule(&w_phase).cycles,
+        out.output.max_abs_diff(&reference)
+    );
+
+    // W-CONV (Ḡw) on ZFWST.
+    let gw_phase = phase.with_kind(ConvKind::WGradT);
+    let out = zfwst_wgrad_t(&zfwst, &gw_phase, &small, &big).expect("operands match phase");
+    let reference = w_conv_for_t_layer(&small, &big, &geom).expect("operands match");
+    println!(
+        "Ḡw     on ZFWST : {:>6} cycles (closed form {:>6}), max |Δ| vs reference = {:.2e}",
+        out.cycles,
+        zfwst.schedule(&gw_phase).cycles,
+        out.output.max_abs_diff(&reference)
+    );
+
+    println!("\nEvery dataflow computed the exact same numbers as the textbook loop nest —");
+    println!("the cycle counts in the paper's figures belong to *executable* schedules.");
+}

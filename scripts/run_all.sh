@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of the paper plus the extensions, then the
+# Markdown digest. Run from the repository root.
+set -euo pipefail
+
+BINS=(table3 table4 table5 fig15 fig16 fig17 fig18 fig19 memory zeros \
+      timeline ablation related_work quantization energy report)
+
+cargo build --release -p zfgan-bench --bins
+
+for bin in "${BINS[@]}"; do
+    echo "=== $bin ==="
+    "./target/release/$bin"
+done
+
+echo "All experiments regenerated; digest at results/RESULTS.md"

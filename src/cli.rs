@@ -1,0 +1,235 @@
+//! The `zfgan` command-line interface — a single entry point over the
+//! library for the workflows a user reaches for most often.
+//!
+//! The heavy lifting lives in [`run`], which is pure (arguments in,
+//! rendered text out) and therefore directly testable; `src/main.rs` is a
+//! thin shell around it.
+
+use crate::accel::{datasheet, AccelConfig, GanAccelerator, MemoryAnalysis};
+use crate::workloads::GanSpec;
+
+/// Executes one CLI invocation and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a usage/description string when the arguments do not name a
+/// valid command; the caller prints it to stderr and exits non-zero.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
+        Some("list") => Ok(list_workloads()),
+        Some("datasheet") => {
+            let gan = it
+                .next()
+                .ok_or_else(|| "datasheet: missing <gan>\n".to_string() + &usage())?;
+            let pes = parse_flag(&mut it, "--pes")?;
+            datasheet_cmd(gan, pes)
+        }
+        Some("memory") => {
+            let gan = it
+                .next()
+                .ok_or_else(|| "memory: missing <gan>\n".to_string() + &usage())?;
+            let batch = parse_flag(&mut it, "--batch")?.unwrap_or(256);
+            memory_cmd(gan, batch)
+        }
+        Some("sweep") => {
+            let gan = it.next().unwrap_or("cgan");
+            sweep_cmd(gan)
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "zfgan — cycle-level reproduction of the HPCA'18 zero-free GAN accelerator\n\
+     \n\
+     USAGE: zfgan <command> [options]\n\
+     \n\
+     COMMANDS:\n\
+     \x20 list                       the built-in GAN workloads\n\
+     \x20 datasheet <gan> [--pes N]  full accelerator summary for a workload\n\
+     \x20 memory <gan> [--batch N]   Section III-A buffering analysis\n\
+     \x20 sweep [<gan>]              PE-count scaling study\n\
+     \x20 help                       this text\n\
+     \n\
+     <gan> is one of: mnist, dcgan, cgan (or a case-insensitive prefix).\n\
+     The full per-figure evaluation lives in `cargo run -p zfgan-bench --bin <figN|tableN|...>`.\n"
+        .to_string()
+}
+
+fn lookup(gan: &str) -> Result<GanSpec, String> {
+    let needle = gan.to_ascii_lowercase();
+    GanSpec::all_paper_gans()
+        .into_iter()
+        .find(|s| s.name().to_ascii_lowercase().starts_with(&needle))
+        .ok_or_else(|| format!("unknown GAN '{gan}' (try: mnist, dcgan, cgan)"))
+}
+
+fn parse_flag<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<Option<usize>, String> {
+    match it.next() {
+        None => Ok(None),
+        Some(f) if f == flag => {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse()
+                .map(Some)
+                .map_err(|_| format!("{flag}: '{v}' is not a number"))
+        }
+        Some(other) => Err(format!("unexpected argument '{other}'")),
+    }
+}
+
+fn list_workloads() -> String {
+    let mut out = String::from("Built-in workloads (Discriminator ladders, Table IV / Fig. 1):\n");
+    for spec in GanSpec::all_paper_gans() {
+        let (c, h, w) = spec.image_shape();
+        out.push_str(&format!(
+            "  {:10} {}x{}x{} image, {} layers, {:.2} GOP per training sample\n",
+            spec.name(),
+            c,
+            h,
+            w,
+            spec.layers().len(),
+            spec.iteration_ops() as f64 / 1e9
+        ));
+    }
+    out
+}
+
+fn datasheet_cmd(gan: &str, pes: Option<usize>) -> Result<String, String> {
+    let spec = lookup(gan)?;
+    let config = match pes {
+        Some(n) if n < 32 => return Err(format!("--pes {n} is too small (need ≥ 32)")),
+        Some(n) => AccelConfig::with_total_pes(n),
+        None => AccelConfig::vcu118(),
+    };
+    Ok(datasheet(&GanAccelerator::new(config, spec), 64))
+}
+
+fn memory_cmd(gan: &str, batch: usize) -> Result<String, String> {
+    if batch == 0 {
+        return Err("--batch must be non-zero".to_string());
+    }
+    let spec = lookup(gan)?;
+    let m = MemoryAnalysis::analyse(&spec, batch, 2);
+    Ok(format!(
+        "{} @ batch {batch} (16-bit data):\n\
+         \x20 synchronized buffering : {:>12} bytes ({}on chip)\n\
+         \x20 deferred buffering     : {:>12} bytes ({}on chip)\n\
+         \x20 reduction              : {:.0}x (= 2 x batch)\n",
+        spec.name(),
+        m.synchronized_bytes,
+        if m.synchronized_fits_on_chip {
+            "fits "
+        } else {
+            "does NOT fit "
+        },
+        m.deferred_bytes,
+        if m.deferred_fits_on_chip {
+            "fits "
+        } else {
+            "does NOT fit "
+        },
+        m.reduction_factor(),
+    ))
+}
+
+fn sweep_cmd(gan: &str) -> Result<String, String> {
+    let spec = lookup(gan)?;
+    let mut out = format!(
+        "PE sweep on {} (deferred, VCU118 bandwidth):\n",
+        spec.name()
+    );
+    out.push_str("  PEs     cyc/sample      GOPS   bound\n");
+    for total in [512usize, 1024, 1680, 2048, 4096] {
+        let accel = GanAccelerator::new(AccelConfig::with_total_pes(total), spec.clone());
+        let r = accel.iteration_report(8);
+        out.push_str(&format!(
+            "  {:5}  {:>12}  {:>8.0}   {}\n",
+            accel.config().total_pes(),
+            accel.iteration_cycles_per_sample(),
+            r.gops,
+            if accel.is_bandwidth_bound() {
+                "DRAM"
+            } else {
+                "compute"
+            }
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let out = run(&args(&["help"])).unwrap();
+        for cmd in ["list", "datasheet", "memory", "sweep"] {
+            assert!(out.contains(cmd), "usage missing {cmd}");
+        }
+        assert_eq!(run(&[]).unwrap(), out);
+    }
+
+    #[test]
+    fn list_names_the_three_gans() {
+        let out = run(&args(&["list"])).unwrap();
+        for gan in ["MNIST-GAN", "DCGAN", "cGAN"] {
+            assert!(out.contains(gan));
+        }
+    }
+
+    #[test]
+    fn datasheet_resolves_prefixes() {
+        let out = run(&args(&["datasheet", "mnist"])).unwrap();
+        assert!(out.contains("MNIST-GAN"));
+        assert!(out.contains("GOPS"));
+    }
+
+    #[test]
+    fn datasheet_respects_pes_flag() {
+        let out = run(&args(&["datasheet", "cgan", "--pes", "512"])).unwrap();
+        assert!(out.contains("cGAN"));
+        // 512-PE split: 23 ST channels × 16 PEs.
+        assert!(out.contains("4x4x23"), "{out}");
+    }
+
+    #[test]
+    fn memory_reports_the_126_mb_figure() {
+        let out = run(&args(&["memory", "dcgan"])).unwrap();
+        assert!(out.contains("125829120"), "{out}");
+        assert!(out.contains("512x"));
+    }
+
+    #[test]
+    fn sweep_runs_and_mentions_bounds() {
+        let out = run(&args(&["sweep", "cgan"])).unwrap();
+        assert!(out.contains("compute"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(run(&args(&["bogus"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(run(&args(&["datasheet"])).unwrap_err().contains("missing"));
+        assert!(run(&args(&["datasheet", "nope"]))
+            .unwrap_err()
+            .contains("unknown GAN"));
+        assert!(run(&args(&["memory", "dcgan", "--batch", "x"]))
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(run(&args(&["datasheet", "cgan", "--pes", "8"]))
+            .unwrap_err()
+            .contains("too small"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `zfgan` binary: a thin shell around [`zfgan::cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match zfgan::cli::run(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprint!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

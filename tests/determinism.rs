@@ -1,0 +1,50 @@
+//! Run-to-run determinism: every simulator-side result in this repository
+//! must be a pure function of its inputs — re-running any evaluation
+//! produces identical numbers (this is what makes the JSON sidecars
+//! diffable and the parallel implementations trustworthy).
+
+use zfgan::accel::{AccelConfig, Design, GanAccelerator, SyncPolicy};
+use zfgan::dataflow::{ArchKind, Dataflow, PhaseTuned, UnrollChoice};
+use zfgan::sim::ConvKind;
+use zfgan::workloads::{GanSpec, PhaseSeq};
+
+#[test]
+fn unroll_search_is_deterministic_despite_parallelism() {
+    // The search scores candidates on worker threads; the ordered argmin
+    // must make the result identical across invocations.
+    let phases = GanSpec::cgan().phase_set(ConvKind::T);
+    let first = UnrollChoice::search(ArchKind::Zfost, 1200, &phases);
+    for _ in 0..5 {
+        assert_eq!(UnrollChoice::search(ArchKind::Zfost, 1200, &phases), first);
+    }
+}
+
+#[test]
+fn design_evaluation_is_reproducible() {
+    let spec = GanSpec::dcgan();
+    let combo = Design::Combo {
+        st: ArchKind::Zfost,
+        w: ArchKind::Zfwst,
+    };
+    let a = combo.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Deferred, 1680);
+    let b = combo.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Deferred, 1680);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn accelerator_reports_are_reproducible() {
+    let accel = GanAccelerator::new(AccelConfig::vcu118(), GanSpec::mnist_gan());
+    let a = accel.iteration_report(32);
+    let b = accel.iteration_report(32);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tuned_schedules_are_reproducible() {
+    let phases = GanSpec::cgan().iteration_phases();
+    let t1 = PhaseTuned::tune(ArchKind::Zfwst, 480, &phases);
+    let t2 = PhaseTuned::tune(ArchKind::Zfwst, 480, &phases);
+    for p in &phases {
+        assert_eq!(t1.schedule(p), t2.schedule(p));
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests spanning every crate: workload specs →
+//! trainable networks → dataflow schedules → functional execution →
+//! accelerator reports.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::accel::{AccelConfig, BufferPlan, GanAccelerator};
+use zfgan::dataflow::exec::{zfost_s_conv, zfost_t_conv};
+use zfgan::dataflow::{ArchKind, Dataflow, PhaseTuned, Zfost};
+use zfgan::nn::{Activation, ConvLayer, Direction, GanTrainer, SyncMode, TrainerConfig};
+use zfgan::sim::{ConvKind, ConvShape, EnergyModel};
+use zfgan::tensor::{ConvGeom, Fmaps, Kernels};
+use zfgan::workloads::data::SyntheticImages;
+use zfgan::workloads::{GanSpec, PhaseSeq};
+
+/// A full MNIST-GAN training step runs and both sync modes agree exactly.
+#[test]
+fn mnist_gan_trains_identically_in_both_modes() {
+    let spec = GanSpec::mnist_gan();
+    let mut data = SyntheticImages::for_shape(spec.image_shape(), 3);
+    let reals = data.batch(2);
+    let mut losses = Vec::new();
+    for mode in [SyncMode::Synchronized, SyncMode::Deferred] {
+        let mut wrng = SmallRng::seed_from_u64(10);
+        let pair = spec.build_pair(0.05, &mut wrng).expect("consistent spec");
+        let mut trainer = GanTrainer::new(
+            pair,
+            TrainerConfig {
+                mode,
+                ..TrainerConfig::default()
+            },
+        );
+        let mut srng = SmallRng::seed_from_u64(11);
+        let d = trainer.step_discriminator(&reals, &mut srng);
+        let g = trainer.step_generator(2, &mut srng);
+        losses.push((d.dis_loss, g.gen_loss));
+    }
+    assert_eq!(losses[0], losses[1]);
+}
+
+/// The ZFOST functional executor computes the same numbers as an `nn`
+/// layer's forward pass when driven by the same weights — the simulator and
+/// the training library agree on what a convolution *is*.
+#[test]
+fn simulator_matches_the_training_library() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let geom = ConvGeom::down(12, 12, 4, 4, 2, 6, 6).expect("static geometry");
+    let weights: Kernels<f32> = Kernels::random(6, 2, 4, 4, 0.3, &mut rng);
+    let x: Fmaps<f32> = Fmaps::random(2, 12, 12, 1.0, &mut rng);
+
+    // nn view: a Down layer with identity activation and zero bias.
+    let layer = ConvLayer::new(
+        Direction::Down,
+        geom,
+        weights.clone(),
+        Activation::Identity,
+        (2, 12, 12),
+    )
+    .expect("consistent layer");
+    let (pre, _) = layer.forward(&x).expect("matching input");
+
+    // simulator view: ZFOST executing the equivalent S phase.
+    let phase = ConvShape::new(ConvKind::S, geom, 6, 2, 12, 12);
+    let zf = Zfost::new(3, 3, 4);
+    let out = zfost_s_conv(&zf, &phase, &x, &weights).expect("matching operands");
+    assert!(
+        out.output.max_abs_diff(&pre) < 1e-4,
+        "diff {}",
+        out.output.max_abs_diff(&pre)
+    );
+
+    // And the Up direction against the generator-layer forward.
+    let up_layer = ConvLayer::new(
+        Direction::Up,
+        geom,
+        weights.clone(),
+        Activation::Identity,
+        (6, 6, 6),
+    )
+    .expect("consistent layer");
+    let z: Fmaps<f32> = Fmaps::random(6, 6, 6, 1.0, &mut rng);
+    let (pre_up, _) = up_layer.forward(&z).expect("matching input");
+    let t_phase = phase.with_kind(ConvKind::T);
+    let out = zfost_t_conv(&zf, &t_phase, &z, &weights).expect("matching operands");
+    assert!(out.output.max_abs_diff(&pre_up) < 1e-4);
+}
+
+/// Every paper workload schedules on every architecture, and the zero-free
+/// designs never lose to their traditional counterparts on any phase.
+#[test]
+fn zero_free_designs_dominate_their_baselines() {
+    for spec in GanSpec::all_paper_gans() {
+        for (kind, budget) in [
+            (ConvKind::S, 1200usize),
+            (ConvKind::T, 1200),
+            (ConvKind::WGradS, 480),
+            (ConvKind::WGradT, 480),
+        ] {
+            let phases = spec.phase_set(kind);
+            let ost = PhaseTuned::tune(ArchKind::Ost, budget, &phases).schedule_all(&phases);
+            let zfost = PhaseTuned::tune(ArchKind::Zfost, budget, &phases).schedule_all(&phases);
+            let wst = PhaseTuned::tune(ArchKind::Wst, budget, &phases).schedule_all(&phases);
+            let zfwst = PhaseTuned::tune(ArchKind::Zfwst, budget, &phases).schedule_all(&phases);
+            assert!(
+                zfost.cycles <= ost.cycles,
+                "{} {kind:?}: ZFOST {} > OST {}",
+                spec.name(),
+                zfost.cycles,
+                ost.cycles
+            );
+            assert!(
+                zfwst.cycles <= wst.cycles,
+                "{} {kind:?}: ZFWST {} > WST {}",
+                spec.name(),
+                zfwst.cycles,
+                wst.cycles
+            );
+        }
+    }
+}
+
+/// The accelerator's energy accounting is dominated by DRAM (as every
+/// accelerator paper finds) and its buffer plan fits the device for all
+/// three workloads.
+#[test]
+fn accelerator_energy_and_buffers_are_sane() {
+    for spec in GanSpec::all_paper_gans() {
+        let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
+        let report = accel.iteration_report(8);
+        assert!(
+            report.energy.dram_pj > report.energy.compute_pj,
+            "{}",
+            spec.name()
+        );
+        let plan = BufferPlan::for_spec(&spec, accel.config());
+        assert!(plan.fits(zfgan::accel::BufferPlan::for_spec(&spec, accel.config()).total_bytes()));
+        assert!(
+            plan.total_bytes() < 10_000_000,
+            "{}: {}",
+            spec.name(),
+            plan.total_bytes()
+        );
+    }
+    // Per-event energy model ordering survives aggregation.
+    let m = EnergyModel::default();
+    assert!(m.dram_pj_per_access > m.sram_pj);
+}
+
+/// The whole evaluation flow of Fig. 17 runs for one workload: all five
+/// designs, both policies, monotone improvements from deferral.
+#[test]
+fn fig17_flow_runs_for_mnist_gan() {
+    use zfgan::accel::{Design, SyncPolicy};
+    let spec = GanSpec::mnist_gan();
+    for design in Design::paper_designs() {
+        let sync = design.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Synchronized, 1680);
+        let deferred = design.evaluate(&spec, PhaseSeq::DisUpdate, SyncPolicy::Deferred, 1680);
+        assert!(
+            deferred.total_cycles <= sync.total_cycles,
+            "{}",
+            design.name()
+        );
+        assert!(sync.total_cycles > 0);
+    }
+}

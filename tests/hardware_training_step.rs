@@ -1,0 +1,159 @@
+//! The whole point of the paper, executed: one Discriminator update where
+//! **every computing phase runs on the simulated hardware dataflows** —
+//! `D̄` forward on ZFOST (S-CONV), `D̄` backward on ZFOST (T-CONV, the
+//! paper's Table I assignment), and `D̄w` on ZFWST (W-CONV) — and the
+//! resulting weight gradients match the software training library's
+//! backward pass on the same network.
+//!
+//! This is paper Fig. 8 as an executable composition: the ST-ARCH and
+//! W-ARCH phases chained through the Data/Error buffer contents, validated
+//! end to end against `zfgan-nn`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::dataflow::exec::{zfost_s_conv, zfost_t_conv, zfwst_wgrad_s};
+use zfgan::dataflow::{Zfost, Zfwst};
+use zfgan::nn::{wgan, Activation, ConvLayer, ConvNet, Direction};
+use zfgan::sim::{ConvKind, ConvShape};
+use zfgan::tensor::{ConvGeom, Fmaps, Kernels};
+
+#[test]
+fn discriminator_update_on_the_simulated_hardware_matches_the_library() {
+    let mut rng = SmallRng::seed_from_u64(2018);
+
+    // A two-layer critic: 1×8×8 → 4×4×4 → 1×1×1, identity activations so
+    // the inter-phase handoff is exactly the paper's convolution chain.
+    let body = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).expect("static geometry");
+    let head = ConvGeom::down(4, 4, 4, 4, 1, 1, 1).expect("static geometry");
+    let w1: Kernels<f32> = Kernels::random(4, 1, 4, 4, 0.4, &mut rng);
+    let w2: Kernels<f32> = Kernels::random(1, 4, 4, 4, 0.4, &mut rng);
+    let x: Fmaps<f32> = Fmaps::random(1, 8, 8, 1.0, &mut rng);
+
+    // --- Software reference: the training library's backward pass. -------
+    let critic = ConvNet::new(vec![
+        ConvLayer::new(
+            Direction::Down,
+            body,
+            w1.clone(),
+            Activation::Identity,
+            (1, 8, 8),
+        )
+        .expect("consistent"),
+        ConvLayer::new(
+            Direction::Down,
+            head,
+            w2.clone(),
+            Activation::Identity,
+            (4, 4, 4),
+        )
+        .expect("consistent"),
+    ])
+    .expect("consistent stack");
+    let trace = critic.forward(&x).expect("matching input");
+    let m = 4; // batch size for the 1/m scaling of Eq. 6
+    let delta_out = wgan::scalar_error(wgan::dis_output_error_real(m));
+    let (ref_grads, _) = critic.backward(&trace, &delta_out).expect("trace matches");
+
+    // --- Hardware: the same step, phase by phase on the arrays. ----------
+    let st = Zfost::new(4, 4, 4);
+    let w_arch = Zfwst::new(4, 4, 4);
+
+    // D̄ forward, layer 1 (S-CONV on ST-ARCH).
+    let l1_phase = ConvShape::new(ConvKind::S, body, 4, 1, 8, 8);
+    let a1 = zfost_s_conv(&st, &l1_phase, &x, &w1)
+        .expect("operands match")
+        .output;
+    // D̄ forward, layer 2.
+    let l2_phase = ConvShape::new(ConvKind::S, head, 1, 4, 4, 4);
+    let score = zfost_s_conv(&st, &l2_phase, &a1, &w2)
+        .expect("operands match")
+        .output;
+    // Forward outputs land in the Data buffer; check they match the trace.
+    assert!(a1.max_abs_diff(trace.post(0)) < 1e-4);
+    assert!(score.max_abs_diff(trace.output()) < 1e-4);
+
+    // Loss error at the output layer (Eq. 6): δ² = −1/m.
+    let delta2 = wgan::scalar_error(wgan::dis_output_error_real(m));
+
+    // D̄ backward, layer 2 → layer 1 error (T-CONV on ST-ARCH — the
+    // paper's "backward error pass of Discriminator uses T-CONV").
+    let delta1 = zfost_t_conv(&st, &l2_phase.with_kind(ConvKind::T), &delta2, &w2)
+        .expect("operands match")
+        .output;
+
+    // D̄w on W-ARCH: ∇W for both layers from the Data/Error buffers.
+    let grad2 = zfwst_wgrad_s(&w_arch, &l2_phase.with_kind(ConvKind::WGradS), &a1, &delta2)
+        .expect("operands match")
+        .output;
+    let grad1 = zfwst_wgrad_s(&w_arch, &l1_phase.with_kind(ConvKind::WGradS), &x, &delta1)
+        .expect("operands match")
+        .output;
+
+    // --- The hardware's gradients are the library's gradients. -----------
+    assert!(
+        grad2.max_abs_diff(&ref_grads[1].weights) < 1e-4,
+        "layer-2 ∇W diverged: {}",
+        grad2.max_abs_diff(&ref_grads[1].weights)
+    );
+    assert!(
+        grad1.max_abs_diff(&ref_grads[0].weights) < 1e-4,
+        "layer-1 ∇W diverged: {}",
+        grad1.max_abs_diff(&ref_grads[0].weights)
+    );
+}
+
+#[test]
+fn generator_update_error_path_on_the_hardware_matches_the_library() {
+    let mut rng = SmallRng::seed_from_u64(2019);
+
+    // Generator layer (T-CONV, `Ḡ`): 4×4×4 → 1×8×8, identity activation.
+    let body = ConvGeom::down(8, 8, 4, 4, 2, 4, 4).expect("static geometry");
+    let wg: Kernels<f32> = Kernels::random(4, 1, 4, 4, 0.4, &mut rng);
+    let z: Fmaps<f32> = Fmaps::random(4, 4, 4, 1.0, &mut rng);
+
+    let g_layer = ConvLayer::new(
+        Direction::Up,
+        body,
+        wg.clone(),
+        Activation::Identity,
+        (4, 4, 4),
+    )
+    .expect("consistent");
+    let (pre, post) = g_layer.forward(&z).expect("matching input");
+
+    // Ḡ forward on ZFOST (T-CONV).
+    let st = Zfost::new(4, 4, 2);
+    let phase = ConvShape::new(ConvKind::T, body, 4, 1, 8, 8);
+    let hw_out = zfost_t_conv(&st, &phase, &z, &wg)
+        .expect("operands match")
+        .output;
+    assert!(hw_out.max_abs_diff(&post) < 1e-4);
+
+    // A downstream error arrives at the Generator output; Ḡ backward is an
+    // S-CONV (paper Table I) — run it on ZFOST-S and compare with the
+    // library's backward.
+    let delta_out: Fmaps<f32> = Fmaps::random(1, 8, 8, 0.5, &mut rng);
+    let (dx_ref, grads_ref) = g_layer
+        .backward(&delta_out, &pre, &z)
+        .expect("trace matches");
+    let dx_hw = zfost_s_conv(&st, &phase.with_kind(ConvKind::S), &delta_out, &wg)
+        .expect("operands match")
+        .output;
+    assert!(dx_hw.max_abs_diff(&dx_ref) < 1e-4, "Ḡ backward diverged");
+
+    // Ḡw on ZFWST (W-CONV with zero-inserted input).
+    let w_arch = Zfwst::new(4, 4, 2);
+    let grad_hw = zfgan::dataflow::exec::zfwst_wgrad_t(
+        &w_arch,
+        &phase.with_kind(ConvKind::WGradT),
+        &z,
+        &delta_out,
+    )
+    .expect("operands match")
+    .output;
+    assert!(
+        grad_hw.max_abs_diff(&grads_ref.weights) < 1e-4,
+        "Ḡw diverged: {}",
+        grad_hw.max_abs_diff(&grads_ref.weights)
+    );
+}
