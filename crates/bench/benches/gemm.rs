@@ -1,0 +1,176 @@
+//! GEMM fast-path benchmarks on paper GAN layer shapes: naive vs blocked
+//! vs parallel matmul kernels, dense vs zero-free T-CONV lowering, and an
+//! end-to-end WGAN trainer iteration per [`ConvBackend`].
+//!
+//! Uses a custom harness (no `criterion_main!`) so it can drain the
+//! recorded measurements, compute speedups against each group's baseline,
+//! and emit the machine-readable summary `results/BENCH_gemm.json` via
+//! [`zfgan_bench::emit`] — the perf trajectory the fast path is tracked
+//! by. All compared variants are bit-identical by construction (pinned by
+//! `tests/fast_conv.rs`), so every ratio here is pure speed.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_nn::{GanTrainer, TrainerConfig};
+use zfgan_tensor::gemm::MatmulKind;
+use zfgan_tensor::im2col::t_conv_via_gemm;
+use zfgan_tensor::im2col::{im2col_s, weights_as_matrix_s, Matrix};
+use zfgan_tensor::zero_free::t_conv_zero_free;
+use zfgan_tensor::{t_conv, ConvBackend, ConvGeom, Fmaps, Kernels};
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+    /// Speedup over this group's baseline variant (1.0 for the baseline).
+    speedup: f64,
+}
+
+/// MNIST-GAN layer 2 (Table IV): 64 → 128 maps, 14×14 → 7×7, 5×5, stride 2.
+fn mnist_layer2() -> ConvGeom {
+    ConvGeom::down(14, 14, 5, 5, 2, 7, 7).expect("static geometry")
+}
+
+/// Post-ReLU activations: roughly half the entries are exact zeros, the
+/// sparsity the zero-skipping GEMM exploits.
+fn relu_like(c: usize, h: usize, w: usize, rng: &mut SmallRng) -> Fmaps<f32> {
+    Fmaps::random(c, h, w, 1.0, rng).map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Naive vs blocked vs parallel kernels on the lowered MNIST-GAN S-CONV:
+/// a 49×1600 patch matrix against a 1600×128 weight matrix.
+fn bench_matmul_kinds(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let geom = mnist_layer2();
+    let input = relu_like(64, 14, 14, &mut rng);
+    let k = Kernels::random(128, 64, 5, 5, 0.25, &mut rng);
+    let a: Matrix<f32> = im2col_s(&input, &geom).patches;
+    let b = weights_as_matrix_s(&k);
+    let mut group = c.benchmark_group("matmul");
+    for (name, kind) in [
+        ("naive", MatmulKind::Naive),
+        ("blocked", MatmulKind::Blocked),
+        ("parallel2", MatmulKind::Parallel(2)),
+        ("parallel4", MatmulKind::Parallel(4)),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| kind.run(&a, &b).expect("conforming operands"))
+        });
+    }
+    group.finish();
+}
+
+/// Golden nest vs dense zero-inserted lowering vs compact zero-free
+/// lowering on the MNIST-GAN Generator layer (128×7×7 → 64×14×14).
+fn bench_t_conv_lowering(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(22);
+    let geom = mnist_layer2();
+    let input = relu_like(128, 7, 7, &mut rng);
+    let k = Kernels::random(128, 64, 5, 5, 0.25, &mut rng);
+    let mut group = c.benchmark_group("t_conv");
+    group.bench_function("golden", |bch| {
+        bch.iter(|| t_conv(&input, &k, &geom).expect("conforming operands"))
+    });
+    group.bench_function("dense_gemm", |bch| {
+        bch.iter(|| t_conv_via_gemm(&input, &k, &geom).expect("conforming operands"))
+    });
+    group.bench_function("zero_free", |bch| {
+        bch.iter(|| {
+            t_conv_zero_free(&input, &k, &geom, MatmulKind::Blocked).expect("conforming operands")
+        })
+    });
+    group.finish();
+}
+
+/// Full WGAN trainer iterations (1 critic step + 1 Generator step,
+/// batch 2) on the MNIST-GAN spec, one bench per conv backend.
+fn bench_trainer_backends(c: &mut Criterion) {
+    let spec = GanSpec::mnist_gan();
+    let config = TrainerConfig {
+        n_critic: 1,
+        ..TrainerConfig::default()
+    };
+    let mut group = c.benchmark_group("trainer");
+    for (name, backend) in [
+        ("golden_direct", ConvBackend::GoldenDirect),
+        ("lowered_gemm", ConvBackend::LoweredGemm),
+        ("lowered_zero_free", ConvBackend::LoweredZeroFree),
+        ("parallel2", ConvBackend::Parallel(2)),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut pair = spec
+            .build_pair(0.05, &mut rng)
+            .expect("built-in spec is consistent");
+        pair.set_backend(backend);
+        let mut trainer = GanTrainer::new(pair, config);
+        group.bench_function(name, |bch| {
+            bch.iter(|| trainer.train_iteration(2, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// Baseline id within each group: ratios are reported against it.
+fn baseline_of(id: &str) -> &'static str {
+    if id.starts_with("matmul/") {
+        "matmul/naive"
+    } else if id.starts_with("t_conv/") {
+        "t_conv/golden"
+    } else {
+        "trainer/golden_direct"
+    }
+}
+
+fn main() {
+    // `cargo bench` runs with cwd = this package; anchor at the workspace
+    // root so `emit` drops the sidecar in the tracked top-level `results/`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let _ = std::env::set_current_dir(root);
+
+    let mut c = Criterion::default().measurement_time(Duration::from_millis(200));
+    bench_matmul_kinds(&mut c);
+    bench_t_conv_lowering(&mut c);
+    bench_trainer_backends(&mut c);
+
+    let measurements = c.take_results();
+    let rows: Vec<Row> = measurements
+        .iter()
+        .map(|m| {
+            let base = measurements
+                .iter()
+                .find(|b| b.id == baseline_of(&m.id))
+                .expect("baseline benches run first in each group");
+            Row {
+                id: m.id.clone(),
+                mean_ns: m.mean_ns,
+                iters: m.iters,
+                speedup: base.mean_ns / m.mean_ns,
+            }
+        })
+        .collect();
+
+    let mut table = TextTable::new(["Benchmark", "ns/iter", "Speedup vs baseline"]);
+    for r in &rows {
+        table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
+    }
+    emit(
+        "BENCH_gemm",
+        "GEMM fast path: kernels, lowering, and trainer backends",
+        &table,
+        &rows,
+    );
+
+    let headline = |id: &str| rows.iter().find(|r| r.id == id).map_or(0.0, |r| r.speedup);
+    println!(
+        "Trainer iteration speedup over GoldenDirect: zero-free {} | parallel(2) {}",
+        fmt_x(headline("trainer/lowered_zero_free")),
+        fmt_x(headline("trainer/parallel2")),
+    );
+}

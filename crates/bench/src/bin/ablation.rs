@@ -150,7 +150,7 @@ fn main() {
         |scores| vec![-1.0 / scores.len() as f64; scores.len()],
         &probe,
     );
-    let lse_safe = wgan::is_deferral_safe(|s| wgan::lse_output_errors(s), &probe);
+    let lse_safe = wgan::is_deferral_safe(wgan::lse_output_errors, &probe);
     println!("== Ablation 3: which losses admit deferred synchronization ==");
     println!("WGAN linear average : deferral-safe = {wgan_safe}");
     println!("log-sum-exp (coupled): deferral-safe = {lse_safe}");

@@ -3,7 +3,7 @@
 //! at equal PE budgets (ST phases: 1200 PEs, W phases: 480 PEs).
 
 use serde::Serialize;
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map, TextTable};
 use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
 use zfgan_sim::{ConvKind, ConvShape};
 use zfgan_workloads::GanSpec;
@@ -25,28 +25,40 @@ fn main() {
         ("Dw (W-CONV)", ConvKind::WGradS, 480),
         ("Gw (W-CONV)", ConvKind::WGradT, 480),
     ];
-    let mut rows: Vec<Row> = Vec::new();
+    // One sweep point per (GAN, phase group); each point tunes every
+    // architecture. par_map returns the points in input order, so the row
+    // stream is byte-identical to the old nested loops.
+    let mut points = Vec::new();
     for spec in GanSpec::all_paper_gans() {
         for (label, kind, budget) in groups {
-            let phases: Vec<ConvShape> = spec.phase_set(kind);
-            let nlr_cycles = {
-                let tuned = PhaseTuned::tune(ArchKind::Nlr, budget, &phases);
-                tuned.schedule_all(&phases).cycles
-            };
-            for arch in ArchKind::ALL {
-                let tuned = PhaseTuned::tune(arch, budget, &phases);
+            points.push((spec.clone(), label, kind, budget));
+        }
+    }
+    let rows: Vec<Row> = par_map(&points, |(spec, label, kind, budget)| {
+        let phases: Vec<ConvShape> = spec.phase_set(*kind);
+        let nlr_cycles = {
+            let tuned = PhaseTuned::tune(ArchKind::Nlr, *budget, &phases);
+            tuned.schedule_all(&phases).cycles
+        };
+        ArchKind::ALL
+            .into_iter()
+            .map(|arch| {
+                let tuned = PhaseTuned::tune(arch, *budget, &phases);
                 let stats = tuned.schedule_all(&phases);
-                rows.push(Row {
+                Row {
                     gan: spec.name().to_string(),
                     phase: label,
                     arch: arch.name(),
                     cycles: stats.cycles,
                     speedup_vs_nlr: nlr_cycles as f64 / stats.cycles as f64,
                     utilization: stats.utilization(),
-                });
-            }
-        }
-    }
+                }
+            })
+            .collect::<Vec<Row>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut table = TextTable::new([
         "GAN",
         "Phase",

@@ -3,7 +3,7 @@
 //! group (same tuned configurations as Fig. 15).
 
 use serde::Serialize;
-use zfgan_bench::{emit, TextTable};
+use zfgan_bench::{emit, par_map, TextTable};
 use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
 use zfgan_sim::ConvKind;
 use zfgan_workloads::GanSpec;
@@ -26,22 +26,29 @@ fn main() {
         ("Dw (W-CONV)", ConvKind::WGradS, 480),
         ("Gw (W-CONV)", ConvKind::WGradT, 480),
     ];
-    let mut rows = Vec::new();
-    for (label, kind, budget) in groups {
+    // Tune each phase group on its own worker; the ordered merge keeps the
+    // row order identical to the sequential sweep.
+    let rows: Vec<Row> = par_map(&groups, |&(label, kind, budget)| {
         let phases = spec.phase_set(kind);
-        for arch in ArchKind::ALL {
-            let tuned = PhaseTuned::tune(arch, budget, &phases);
-            let s = tuned.schedule_all(&phases);
-            rows.push(Row {
-                phase: label,
-                arch: arch.name(),
-                weight_reads: s.access.weight_reads,
-                input_reads: s.access.input_reads,
-                output_rw: s.access.output_reads + s.access.output_writes,
-                total: s.access.total(),
-            });
-        }
-    }
+        ArchKind::ALL
+            .into_iter()
+            .map(|arch| {
+                let tuned = PhaseTuned::tune(arch, budget, &phases);
+                let s = tuned.schedule_all(&phases);
+                Row {
+                    phase: label,
+                    arch: arch.name(),
+                    weight_reads: s.access.weight_reads,
+                    input_reads: s.access.input_reads,
+                    output_rw: s.access.output_reads + s.access.output_writes,
+                    total: s.access.total(),
+                }
+            })
+            .collect::<Vec<Row>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut table = TextTable::new([
         "Phase",
         "Arch",

@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map, TextTable};
 use zfgan_workloads::{GanSpec, PhaseSeq};
 
 const PES: usize = 1680;
@@ -21,30 +21,40 @@ struct Row {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    // One sweep point per (GAN, update pass); rows merge in input order so
+    // the output matches the sequential sweep byte for byte.
+    let mut points = Vec::new();
     for spec in GanSpec::all_paper_gans() {
         for (update, seq) in [("D", PhaseSeq::DisUpdate), ("G", PhaseSeq::GenUpdate)] {
-            let baseline = Design::paper_designs()[0]
-                .evaluate(&spec, seq, SyncPolicy::Synchronized, PES)
-                .total_cycles;
-            for design in Design::paper_designs() {
-                for (pname, policy) in [
-                    ("sync", SyncPolicy::Synchronized),
-                    ("deferred", SyncPolicy::Deferred),
-                ] {
-                    let r = design.evaluate(&spec, seq, policy, PES);
-                    rows.push(Row {
-                        gan: spec.name().to_string(),
-                        update,
-                        design: design.name(),
-                        policy: pname,
-                        cycles: r.total_cycles,
-                        speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
-                    });
-                }
-            }
+            points.push((spec.clone(), update, seq));
         }
     }
+    let rows: Vec<Row> = par_map(&points, |(spec, update, seq)| {
+        let baseline = Design::paper_designs()[0]
+            .evaluate(spec, *seq, SyncPolicy::Synchronized, PES)
+            .total_cycles;
+        let mut out = Vec::new();
+        for design in Design::paper_designs() {
+            for (pname, policy) in [
+                ("sync", SyncPolicy::Synchronized),
+                ("deferred", SyncPolicy::Deferred),
+            ] {
+                let r = design.evaluate(spec, *seq, policy, PES);
+                out.push(Row {
+                    gan: spec.name().to_string(),
+                    update,
+                    design: design.name(),
+                    policy: pname,
+                    cycles: r.total_cycles,
+                    speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
+                });
+            }
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut table = TextTable::new([
         "GAN",
         "Update",

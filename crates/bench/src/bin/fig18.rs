@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map, TextTable};
 use zfgan_dataflow::ArchKind;
 use zfgan_workloads::GanSpec;
 
@@ -31,18 +31,23 @@ fn main() {
     ];
     let sweep = [512usize, 1024, 1680, 2048];
     let baseline = designs[0].iteration_cycles(&spec, SyncPolicy::Deferred, sweep[0]) as f64;
-    let mut rows = Vec::new();
-    for design in designs {
+    // Each (design, PE count) point evaluates independently; the ordered
+    // merge reproduces the sequential row order exactly.
+    let mut points = Vec::new();
+    for design in &designs {
         for pes in sweep {
-            let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
-            rows.push(Row {
-                design: design.name(),
-                pes,
-                cycles_per_sample: cycles,
-                perf_vs_512_nlr_ost: baseline / cycles as f64,
-            });
+            points.push((design, pes));
         }
     }
+    let rows: Vec<Row> = par_map(&points, |&(design, pes)| {
+        let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
+        Row {
+            design: design.name(),
+            pes,
+            cycles_per_sample: cycles,
+            perf_vs_512_nlr_ost: baseline / cycles as f64,
+        }
+    });
     let mut table = TextTable::new(["Design", "PEs", "Cycles/sample", "Perf vs NLR-OST@512"]);
     for r in &rows {
         table.row([

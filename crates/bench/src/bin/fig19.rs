@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 use zfgan_accel::{AccelConfig, GanAccelerator};
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map, TextTable};
 use zfgan_platforms::{measured, Platform};
 use zfgan_workloads::GanSpec;
 
@@ -18,13 +18,17 @@ struct Row {
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    for spec in GanSpec::all_paper_gans() {
+    // The analytical sweep parallelizes per GAN (ordered merge keeps the
+    // sequential row order); the measured wall-clock point below must stay
+    // on one thread to remain a meaningful single-thread sample.
+    let specs = GanSpec::all_paper_gans();
+    let mut rows: Vec<Row> = par_map(&specs, |spec| {
         let phases = spec.iteration_phases();
+        let mut out = Vec::new();
         // Our accelerator.
         let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
         let r = accel.iteration_report(64);
-        rows.push(Row {
+        out.push(Row {
             gan: spec.name().to_string(),
             platform: "FPGA (ours)".to_string(),
             gops: r.gops,
@@ -34,7 +38,7 @@ fn main() {
         // Analytical platforms.
         for p in Platform::all_paper_platforms() {
             let pr = p.run(&phases);
-            rows.push(Row {
+            out.push(Row {
                 gan: spec.name().to_string(),
                 platform: p.name().to_string(),
                 gops: pr.gops,
@@ -42,7 +46,11 @@ fn main() {
                 gops_per_watt: pr.gops_per_watt,
             });
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     // Measured single-thread Rust CPU point on the smallest workload
     // (reference loop nests, release build).
     let mnist = GanSpec::mnist_gan();

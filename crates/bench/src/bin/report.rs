@@ -63,7 +63,7 @@ fn main() {
                         if let serde_json::Value::Object(obj) = row {
                             let cells: Vec<String> = cols
                                 .iter()
-                                .map(|c| match obj.get(*c) {
+                                .map(|c| match obj.get(c) {
                                     Some(serde_json::Value::Number(n)) => {
                                         // Trim float noise for readability.
                                         n.as_f64()

@@ -95,6 +95,53 @@ pub fn emit<T: Serialize>(name: &str, title: &str, table: &TextTable, data: &T) 
     println!();
 }
 
+/// Maps `f` over `items` on scoped worker threads and returns the results
+/// **in input order** — the deterministic merge that keeps the figure
+/// sweeps byte-identical to their sequential form.
+///
+/// Each item is computed by exactly one worker into its own slot, so the
+/// output is independent of scheduling. Thread count is
+/// `available_parallelism` clamped to the item count; with one item (or
+/// one core) this degenerates to a plain sequential map.
+///
+/// # Panics
+///
+/// Panics if a worker panics.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("par_map worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
 /// Formats a ratio with two decimals and an `x` suffix.
 pub fn fmt_x(v: f64) -> String {
     format!("{v:.2}x")
@@ -147,5 +194,14 @@ mod tests {
     #[test]
     fn ratio_formatting() {
         assert_eq!(fmt_x(4.3), "4.30x");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = par_map(&items, |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, |&i: &usize| i).is_empty());
     }
 }

@@ -1,0 +1,256 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses:
+//! `Criterion`, `benchmark_group`/`bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The measurement model is deliberately simple: a short calibration run
+//! sizes the iteration count to a fixed measurement window, then the mean
+//! wall-clock time per iteration is reported on stdout. There are no HTML
+//! reports and no statistical machinery — the workspace's benches compare
+//! alternatives within one process, where a mean over a fixed window is
+//! enough signal.
+//!
+//! Results are also recorded in-process so callers (e.g. the gemm bench)
+//! can read back timings via [`Criterion::take_results`] and emit their
+//! own JSON summaries.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimisation barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; the shim re-runs setup per
+/// batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (many iterations per setup).
+    SmallInput,
+    /// Large per-iteration inputs (few iterations per setup).
+    LargeInput,
+    /// Setup re-runs every iteration.
+    PerIteration,
+}
+
+/// One recorded measurement: benchmark id → mean nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// The benchmark driver (a far smaller cousin of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_window: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Shrinks or grows the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement_window = window;
+        self
+    }
+
+    /// Starts a named group; benchmark ids become `group/function`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let m = run_bench(&id, self.measurement_window, &mut f);
+        self.results.push(m);
+        self
+    }
+
+    /// Drains every measurement recorded so far (used by benches that
+    /// emit their own JSON summary).
+    pub fn take_results(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let window = self.criterion.measurement_window;
+        let m = run_bench(&id, window, &mut f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim has
+    /// nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, window: Duration, f: &mut F) -> Measurement {
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        per_iter_ns: 0.0,
+        iters_done: 0,
+        window,
+    };
+    // Calibration pass: run once to find the per-iteration cost…
+    f(&mut b);
+    // …then the measurement pass with an iteration count sized to the
+    // window.
+    b.mode = Mode::Measure;
+    f(&mut b);
+    let m = Measurement {
+        id: id.to_string(),
+        mean_ns: b.per_iter_ns,
+        iters: b.iters_done,
+    };
+    println!(
+        "bench {id:<48} {:>14.1} ns/iter ({} iters)",
+        m.mean_ns, m.iters
+    );
+    m
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Passed to every benchmark closure; `iter`/`iter_batched` time the
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    per_iter_ns: f64,
+    iters_done: u64,
+    window: Duration,
+}
+
+impl Bencher {
+    fn target_iters(&self) -> u64 {
+        if self.mode == Mode::Calibrate {
+            return 1;
+        }
+        let per_iter = self.per_iter_ns.max(1.0);
+        ((self.window.as_nanos() as f64 / per_iter).ceil() as u64).clamp(1, 1_000_000)
+    }
+
+    /// Times `routine` over an adaptively-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.target_iters();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.per_iter_ns = total / iters as f64;
+        self.iters_done = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.target_iters();
+        let mut total_ns = 0.0;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.per_iter_ns = total_ns / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+/// Declares a named group of benchmark functions, like upstream's simple
+/// form: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. `--bench`); a custom
+            // harness is free to ignore them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("spin", |b| b.iter(|| spin(1000)));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].mean_ns > 0.0);
+        assert!(results[0].iters >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            b.iter_batched(|| 10u64, spin, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.take_results()[0].id, "g/f");
+    }
+}

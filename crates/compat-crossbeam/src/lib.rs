@@ -1,0 +1,76 @@
+//! Offline stand-in for the one `crossbeam` API this workspace uses:
+//! `crossbeam::thread::scope` with `scope.spawn(|_| …)`.
+//!
+//! Backed by `std::thread::scope` (stable since Rust 1.63), which provides
+//! the same borrow-from-the-stack guarantee; the shim only adapts the call
+//! shape (a `Result` return and a `&Scope` argument to every spawned
+//! closure).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// closure (crossbeam's signature; the workspace ignores the argument).
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if any spawned thread (or `f`
+    /// itself) panicked — the same contract as crossbeam's `scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let mut out = [0u64; 6];
+        super::thread::scope(|scope| {
+            for (o, chunk) in out.chunks_mut(2).zip(data.chunks(2)) {
+                scope.spawn(move |_| {
+                    for (o, v) in o.iter_mut().zip(chunk) {
+                        *o = v * 10;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, [10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

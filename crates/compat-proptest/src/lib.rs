@@ -1,0 +1,470 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses:
+//! the `proptest! { fn case(x in strategy, …) { … } }` macro,
+//! range/tuple/`any` strategies, `prop_map`/`prop_filter_map`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline test
+//! harness: no shrinking (a failing case reports its values and seed
+//! instead), and a deterministic per-test RNG (seeded from the test's
+//! module path) so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub use zfgan_rand::rngs::SmallRng as TestRng;
+use zfgan_rand::{Rng, RngCore, SeedableRng};
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Run-time configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with a message (what `prop_assert!` produces).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives the cases of one property test (used by the `proptest!`
+/// expansion; not part of the public proptest API).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    accepted: u32,
+    rejected: u64,
+    case_seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Deterministic base seed from the test name (FNV-1a) so each test
+        // gets its own reproducible stream.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name,
+            accepted: 0,
+            rejected: 0,
+            case_seed: h,
+        }
+    }
+
+    /// Whether another case should run.
+    pub fn more(&self) -> bool {
+        self.accepted < self.config.cases
+    }
+
+    /// The RNG for the next case (advances the per-case seed).
+    pub fn case_rng(&mut self) -> TestRng {
+        self.case_seed = self.case_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        TestRng::seed_from_u64(self.case_seed)
+    }
+
+    /// Records a strategy rejection (filter miss); panics if the test
+    /// rejects far more often than it accepts.
+    pub fn reject(&mut self) {
+        self.rejected += 1;
+        let budget = 100 + self.config.cases as u64 * 100;
+        assert!(
+            self.rejected <= budget,
+            "{}: too many strategy rejections ({} for {} accepted cases)",
+            self.name,
+            self.rejected,
+            self.accepted,
+        );
+    }
+
+    /// Records the outcome of one executed case.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the `#[test]`) if the case returned an error.
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        if let Err(e) = result {
+            panic!(
+                "{} failed at case {} (seed {:#x}): {}",
+                self.name, self.accepted, self.case_seed, e
+            );
+        }
+        self.accepted += 1;
+    }
+}
+
+/// A source of random values of one type.
+///
+/// `sample` returns `None` when a filter rejects the draw; the runner
+/// retries with a fresh RNG state.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value (or `None` on a filter rejection).
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Maps values through a partial function; `None` rejects the draw.
+    /// `_reason` mirrors the upstream diagnostic label.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> FilterMapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMapStrategy { inner: self, f }
+    }
+
+    /// Keeps only values passing `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: &'static str,
+        pred: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy { inner: self, pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug)]
+pub struct FilterMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMapStrategy<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// A strategy producing one fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// --- ranges ----------------------------------------------------------------
+
+macro_rules! strategy_for_sampleable_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+strategy_for_sampleable_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// --- any -------------------------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-domain strategy for `T` (upstream's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// --- macros ----------------------------------------------------------------
+
+/// The property-test entry macro: wraps each `fn name(pat in strategy, …)`
+/// into a `#[test]` that samples the strategies and runs the body for the
+/// configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while runner.more() {
+                let mut rng = runner.case_rng();
+                $(
+                    let $pat = match $crate::Strategy::sample(&($strat), &mut rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            runner.reject();
+                            continue;
+                        }
+                    };
+                )+
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.finish_case(result);
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails just this case with
+/// the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Tuple strategies and ranges stay in bounds.
+        fn ranges_in_bounds((a, b) in (1usize..=5, -2.0f32..2.0), s in any::<u64>()) {
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            let _ = s;
+        }
+
+        fn filter_map_applies(v in (1usize..=3, 2usize..=5).prop_filter_map(
+            "product must be even",
+            |(x, y)| if x * y % 2 == 0 { Some(x * y) } else { None },
+        )) {
+            prop_assert!(v % 2 == 0, "odd product {v} slipped through");
+        }
+
+        fn map_composes(x in (0u32..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(x % 3, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        proptest_inner();
+    }
+
+    fn proptest_inner() {
+        let mut runner = crate::TestRunner::new(crate::ProptestConfig::with_cases(4), "inner");
+        while runner.more() {
+            let _rng = runner.case_rng();
+            runner.finish_case(Err(crate::TestCaseError::fail("forced")));
+        }
+    }
+}

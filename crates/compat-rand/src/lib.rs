@@ -1,0 +1,281 @@
+//! Offline stand-in for the slice of the `rand` crate API this workspace
+//! uses: `SmallRng`, `SeedableRng::seed_from_u64`, and `Rng::{gen,
+//! gen_range}` over integer and float ranges.
+//!
+//! The container this repo builds in has no registry access, so external
+//! crates are vendored as minimal compat shims (see `crates/compat-*`).
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` family uses — but the exact stream is
+//! **not** promised to match upstream `rand`; everything in this repo that
+//! cares about determinism seeds its own RNG and compares against itself.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of the "standard" distribution for `T`
+    /// (uniform bits for integers, uniform `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a canonical "standard" distribution (the `rand::distributions::Standard` analogue).
+pub trait Standard: Sized {
+    /// Draws one standard-distributed value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 24 uniform mantissa bits in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range a value can be drawn from.
+///
+/// Implemented once, generically, for `Range<T>` and `RangeInclusive<T>`
+/// over every [`UniformSampler`] type — a *single* generic impl per range
+/// shape, like upstream rand, so type inference can unify an unannotated
+/// float literal range (`0.25..0.75`) with how the result is used.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSampler> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformSampler> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_closed(lo, hi, rng)
+    }
+}
+
+/// Primitive types that can be drawn uniformly from a range.
+pub trait UniformSampler: Sized {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_closed<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformSampler for $t {
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+            fn sample_closed<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSampler for $t {
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+            fn sample_closed<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add((rng.next_u64() % (span + 1)) as i64) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSampler for $t {
+            fn sample_half_open<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let u: $t = Standard::sample_standard(rng); // [0, 1)
+                let v = lo + (hi - lo) * u;
+                if v >= hi { lo } else { v }
+            }
+            fn sample_closed<R: RngCore>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let u: $t = Standard::sample_standard(rng); // [0, 1)
+                // Stretch [0,1) over the closed interval; clamp for safety.
+                let v = lo + (hi - lo) * u;
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator: xoshiro256++ with SplitMix64
+    /// key expansion (the construction upstream `SmallRng` uses on
+    /// 64-bit targets).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-2.5f32..=2.5);
+            assert!((-2.5..=2.5).contains(&y));
+            let z = rng.gen_range(0.25..0.75) * 4.0f32;
+            assert!((1.0..3.0).contains(&z));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn float_ranges_cover_more_than_one_value() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let vals: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
+        assert!(vals.iter().any(|v| *v != vals[0]));
+    }
+}

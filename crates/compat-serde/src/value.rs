@@ -1,0 +1,294 @@
+//! The JSON-shaped data model shared by `serde` (shim) and `serde_json`
+//! (shim): [`Value`], [`Number`], and an insertion-ordered [`Map`].
+
+use std::fmt;
+
+/// A JSON value tree — the fixed data model of the compat serde stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The object form, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array form, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string form, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON — identical to `serde_json::to_string`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes, `\`-escapes, `\u00XX`
+/// for control characters — serde_json's escaping rules).
+pub(crate) fn write_json_string(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+/// A JSON number: a non-negative integer, a negative integer, or a float.
+///
+/// Integral floats print without a fractional part (Rust `Display`), so
+/// they re-parse as integers; every `as_f64` consumer sees the same value
+/// either way, which keeps `f32`/`f64` round-trips bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A non-negative integer number.
+    pub fn from_u64(n: u64) -> Self {
+        Number(N::PosInt(n))
+    }
+
+    /// A signed integer number.
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number(N::PosInt(n as u64))
+        } else {
+            Number(N::NegInt(n))
+        }
+    }
+
+    /// A float number (NaN/∞ have no JSON form and print as `null`).
+    pub fn from_f64(f: f64) -> Self {
+        Number(N::Float(f))
+    }
+
+    /// The value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::PosInt(n) => n as f64,
+            N::NegInt(n) => n as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(n) => Some(n),
+            N::NegInt(_) => None,
+            N::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(n) => i64::try_from(n).ok(),
+            N::NegInt(n) => Some(n),
+            N::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            N::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(n) => write!(f, "{n}"),
+            N::NegInt(n) => write!(f, "{n}"),
+            // Rust's float Display is the shortest string that re-parses
+            // to the same bits — exactly what JSON round-tripping needs.
+            // Integral values keep a trailing `.0` (upstream serde_json's
+            // ryu does the same), so floats never print as integers and
+            // regenerated sidecars stay byte-identical to committed ones.
+            N::Float(x) if x.is_finite() && x.fract() == 0.0 && x.abs() < 1e16 => {
+                write!(f, "{x:.1}")
+            }
+            N::Float(x) if x.is_finite() => write!(f, "{x}"),
+            N::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// An insertion-ordered string→[`Value`] map (the object representation).
+///
+/// Backed by a `Vec` of pairs: objects in this workspace are tiny (struct
+/// fields), so linear lookup beats hashing and preserves field order,
+/// which keeps serialised output deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key (replacing any existing entry with the same key,
+    /// keeping its original position).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z", Value::Null);
+        m.insert("a", Value::Bool(true));
+        m.insert("z", Value::Bool(false)); // replace keeps position
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(m.get("z"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn float_display_is_round_trip_exact() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, -2.5, 12345678.9] {
+            let s = format!("{}", Number::from_f64(x));
+            assert_eq!(s.parse::<f64>().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::String("a\"b\\c\n\u{1}".to_string());
+        assert_eq!(v.to_string(), r#""a\"b\\c\n\u0001""#);
+    }
+}

@@ -706,7 +706,11 @@ pub fn zfwst_t_conv<T: Num>(
                     .filter_map(|(ky, kx)| {
                         let zy = oy as isize + ky as isize - pt_ as isize;
                         let zx = ox as isize + kx as isize - pl_ as isize;
-                        if zy < 0 || zx < 0 || zy as usize % s != 0 || zx as usize % s != 0 {
+                        if zy < 0
+                            || zx < 0
+                            || !(zy as usize).is_multiple_of(s)
+                            || !(zx as usize).is_multiple_of(s)
+                        {
                             return None;
                         }
                         let (iy, ix) = (zy as usize / s, zx as usize / s);

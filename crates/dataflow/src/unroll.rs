@@ -10,7 +10,8 @@
 //! [`PhaseTuned`] bundles one configuration per [`ConvKind`] into a single
 //! [`Dataflow`], mirroring the per-phase rows of Table V.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 use zfgan_sim::{ConvKind, ConvShape, PhaseStats};
@@ -65,12 +66,27 @@ impl UnrollChoice {
     /// The grid dimensions range over `1..=max_grid` (the paper's grids stay
     /// ≤ 5×5; the default searches up to 8).
     ///
+    /// The search is deterministic, so results are memoized process-wide
+    /// by `(arch, budget, phases)`: the figure sweeps re-tune identical
+    /// GAN ladders dozens of times, and every repeat is now a map lookup.
+    ///
     /// # Panics
     ///
     /// Panics if `phases` is empty or `pe_budget` is zero.
     pub fn search(arch: ArchKind, pe_budget: usize, phases: &[ConvShape]) -> UnrollChoice {
         assert!(!phases.is_empty(), "need at least one phase to tune for");
         assert!(pe_budget > 0, "PE budget must be non-zero");
+        let key = (arch, pe_budget, phases.to_vec());
+        if let Some(hit) = search_cache().lock().expect("cache lock").get(&key) {
+            return *hit;
+        }
+        let best = Self::search_uncached(arch, pe_budget, phases);
+        search_cache().lock().expect("cache lock").insert(key, best);
+        best
+    }
+
+    /// The actual enumeration behind [`UnrollChoice::search`].
+    fn search_uncached(arch: ArchKind, pe_budget: usize, phases: &[ConvShape]) -> UnrollChoice {
         let max_grid = 8usize;
         // Enumerate the candidate space first…
         let mut candidates: Vec<UnrollChoice> = Vec::new();
@@ -146,6 +162,15 @@ impl UnrollChoice {
             .expect("non-empty search space");
         best
     }
+}
+
+/// Process-wide memo for [`UnrollChoice::search`], keyed by
+/// `(arch, pe_budget, phases)`.
+type SearchKey = (ArchKind, usize, Vec<ConvShape>);
+
+fn search_cache() -> &'static Mutex<HashMap<SearchKey, UnrollChoice>> {
+    static CACHE: OnceLock<Mutex<HashMap<SearchKey, UnrollChoice>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// A per-phase-kind tuned architecture: one [`UnrollChoice`] per
@@ -259,7 +284,7 @@ mod tests {
     fn zfwst_search_uses_kernel_grid_for_wgrad() {
         // Table V: ZFWST W-ARCH picks P_kx=4, P_ky=4, P_of=30.
         let choice = UnrollChoice::search(ArchKind::Zfwst, 480, &dcgan_phases(ConvKind::WGradS));
-        assert_eq!(choice.n_pes() <= 480, true);
+        assert!(choice.n_pes() <= 480);
         let zf = choice.build();
         let stats = zf.schedule_all(&dcgan_phases(ConvKind::WGradS));
         // The searched config must not be worse than the paper's.
@@ -297,6 +322,18 @@ mod tests {
     fn phase_tuned_rejects_untuned_kind() {
         let tuned = PhaseTuned::tune(ArchKind::Ost, 480, &dcgan_phases(ConvKind::S));
         let _ = tuned.schedule(&dcgan_phases(ConvKind::T)[0]);
+    }
+
+    #[test]
+    fn memoized_search_repeats_bit_for_bit() {
+        let phases = dcgan_phases(ConvKind::T);
+        let first = UnrollChoice::search(ArchKind::Zfost, 1200, &phases);
+        for _ in 0..3 {
+            assert_eq!(first, UnrollChoice::search(ArchKind::Zfost, 1200, &phases));
+        }
+        // A different budget is a different key, not a stale hit.
+        let other = UnrollChoice::search(ArchKind::Zfost, 480, &phases);
+        assert!(other.n_pes() <= 480);
     }
 
     #[test]

@@ -145,7 +145,7 @@ mod tests {
         // the naive size, not the 32×32 real one.
         let wst = Wst::new(4, 4, 75);
         let s = wst.schedule(&dcgan_l1(ConvKind::T));
-        assert_eq!(s.cycles, 64 * (63 * 63) * 1 * 1);
+        assert_eq!(s.cycles, 64 * (63 * 63));
     }
 
     #[test]

@@ -19,9 +19,10 @@ use zfgan_tensor::Fmaps;
 /// assert_eq!(a.apply_scalar(-1.0), -0.2);
 /// assert_eq!(a.derivative_scalar(-1.0), 0.2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Activation {
     /// `f(x) = x` — used on the WGAN critic output.
+    #[default]
     Identity,
     /// `f(x) = max(0, x)`.
     Relu,
@@ -32,12 +33,6 @@ pub enum Activation {
     },
     /// Hyperbolic tangent — the Generator's output squashing.
     Tanh,
-}
-
-impl Default for Activation {
-    fn default() -> Self {
-        Activation::Identity
-    }
 }
 
 impl Activation {

@@ -111,10 +111,10 @@ impl BatchNorm {
         let mut mean = vec![0.0f32; self.channels];
         let mut var = vec![0.0f32; self.channels];
         for x in batch {
-            for c in 0..self.channels {
+            for (c, m) in mean.iter_mut().enumerate() {
                 for y in 0..h {
                     for xx in 0..w {
-                        mean[c] += *x.at(c, y, xx);
+                        *m += *x.at(c, y, xx);
                     }
                 }
             }
@@ -123,11 +123,11 @@ impl BatchNorm {
             *m /= n;
         }
         for x in batch {
-            for c in 0..self.channels {
+            for (c, v) in var.iter_mut().enumerate() {
                 for y in 0..h {
                     for xx in 0..w {
                         let d = *x.at(c, y, xx) - mean[c];
-                        var[c] += d * d;
+                        *v += d * d;
                     }
                 }
             }
@@ -375,7 +375,7 @@ mod tests {
         let mut bn = BatchNorm::new(2);
         assert!(bn.forward_batch(&[]).is_err());
         let wrong = Fmaps::<f32>::zeros(3, 2, 2);
-        assert!(bn.forward_batch(&[wrong.clone()]).is_err());
+        assert!(bn.forward_batch(std::slice::from_ref(&wrong)).is_err());
         assert!(bn.forward_frozen(&wrong).is_err());
     }
 }

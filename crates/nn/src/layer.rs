@@ -3,10 +3,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{
-    s_conv, s_conv_input_grad, t_conv, t_conv_input_grad, w_conv_for_s_layer, w_conv_for_t_layer,
-    ConvGeom, Fmaps, Kernels, ShapeError, TensorResult,
-};
+use zfgan_tensor::{ConvBackend, ConvGeom, Fmaps, Kernels, ShapeError, TensorResult};
 
 use crate::activation::Activation;
 
@@ -83,6 +80,7 @@ pub struct ConvLayer {
     bias: Vec<f32>,
     activation: Activation,
     in_shape: (usize, usize, usize),
+    backend: ConvBackend,
 }
 
 impl ConvLayer {
@@ -119,6 +117,7 @@ impl ConvLayer {
             bias,
             activation,
             in_shape,
+            backend: ConvBackend::default(),
         })
     }
 
@@ -130,6 +129,7 @@ impl ConvLayer {
     /// # Errors
     ///
     /// Same conditions as [`ConvLayer::new`].
+    #[allow(clippy::too_many_arguments)]
     pub fn random<R: Rng>(
         direction: Direction,
         geom: ConvGeom,
@@ -162,6 +162,18 @@ impl ConvLayer {
     /// The layer's activation function.
     pub fn activation(&self) -> Activation {
         self.activation
+    }
+
+    /// How this layer computes its convolutions. Every backend is
+    /// bit-identical (see [`ConvBackend`]); the default is the zero-free
+    /// lowered fast path.
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// Selects the convolution backend for this layer.
+    pub fn set_backend(&mut self, backend: ConvBackend) {
+        self.backend = backend;
     }
 
     /// `(channels, height, width)` of the layer input.
@@ -198,8 +210,8 @@ impl ConvLayer {
             )));
         }
         let mut pre = match self.direction {
-            Direction::Down => s_conv(input, &self.weights, &self.geom)?,
-            Direction::Up => t_conv(input, &self.weights, &self.geom)?,
+            Direction::Down => self.backend.s_conv(input, &self.weights, &self.geom)?,
+            Direction::Up => self.backend.t_conv(input, &self.weights, &self.geom)?,
         };
         let (c, h, w) = pre.shape();
         for ch in 0..c {
@@ -233,25 +245,37 @@ impl ConvLayer {
         let delta_pre = self.activation.backprop(delta_post, pre);
         let (c, h, w) = delta_pre.shape();
         let mut bias_grad = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, bg) in bias_grad.iter_mut().enumerate() {
             let mut acc = 0.0;
             for y in 0..h {
                 for x in 0..w {
                     acc += *delta_pre.at(ch, y, x);
                 }
             }
-            bias_grad[ch] = acc;
+            *bg = acc;
         }
         let (delta_in, weight_grad) = match self.direction {
             Direction::Down => {
                 let (_, ih, iw) = self.in_shape;
-                let dx = s_conv_input_grad(&delta_pre, &self.weights, &self.geom, ih, iw)?;
-                let dw = w_conv_for_s_layer(input, &delta_pre, &self.geom)?;
+                let dx = self.backend.s_conv_input_grad(
+                    &delta_pre,
+                    &self.weights,
+                    &self.geom,
+                    ih,
+                    iw,
+                )?;
+                let dw = self
+                    .backend
+                    .w_conv_for_s_layer(input, &delta_pre, &self.geom)?;
                 (dx, dw)
             }
             Direction::Up => {
-                let dx = t_conv_input_grad(&delta_pre, &self.weights, &self.geom)?;
-                let dw = w_conv_for_t_layer(input, &delta_pre, &self.geom)?;
+                let dx = self
+                    .backend
+                    .t_conv_input_grad(&delta_pre, &self.weights, &self.geom)?;
+                let dw = self
+                    .backend
+                    .w_conv_for_t_layer(input, &delta_pre, &self.geom)?;
                 (dx, dw)
             }
         };

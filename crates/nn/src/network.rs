@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{Fmaps, ShapeError, TensorResult};
+use zfgan_tensor::{ConvBackend, Fmaps, ShapeError, TensorResult};
 
 use crate::layer::{ConvLayer, LayerGrads};
 
@@ -112,6 +112,14 @@ impl ConvNet {
     /// The layers, in forward order.
     pub fn layers(&self) -> &[ConvLayer] {
         &self.layers
+    }
+
+    /// Selects the convolution backend for every layer. All backends are
+    /// bit-identical (see [`ConvBackend`]); this only trades speed.
+    pub fn set_backend(&mut self, backend: ConvBackend) {
+        for layer in &mut self.layers {
+            layer.set_backend(backend);
+        }
     }
 
     /// Mutable access to the layers (used by optimizers).

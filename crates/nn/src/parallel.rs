@@ -59,6 +59,9 @@ pub fn parallel_dis_grads_with(
     );
     assert!(n_threads > 0, "need at least one thread");
     let m = reals.len();
+    // Never spawn more workers than there are jobs: a 2-sample batch on a
+    // 128-way machine gets 4 workers, not 124 idle threads.
+    let n_threads = n_threads.min(2 * m);
 
     // Work items in the exact order the sequential trainer visits them:
     // all reals, then all fakes.
@@ -117,10 +120,12 @@ pub fn parallel_dis_grads_with(
     (acc, real_scores, fake_scores)
 }
 
+/// One worker per hardware thread: the batch clamp above keeps small
+/// batches from over-subscribing, so there is no fixed upper cap.
 fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(2)
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -191,6 +196,6 @@ mod tests {
     fn mismatched_batches_rejected() {
         let mut rng = SmallRng::seed_from_u64(5);
         let (pair, reals, _) = batches(&mut rng, 3);
-        let _ = parallel_dis_grads(pair.discriminator(), &reals, &reals[..2].to_vec());
+        let _ = parallel_dis_grads(pair.discriminator(), &reals, &reals[..2]);
     }
 }

@@ -19,7 +19,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{Fmaps, ShapeError, TensorResult};
+use zfgan_tensor::{ConvBackend, Fmaps, ShapeError, TensorResult};
 
 use crate::layer::LayerGrads;
 use crate::network::{ConvNet, Trace};
@@ -189,6 +189,13 @@ impl GanPair {
     /// The Discriminator (critic) network.
     pub fn discriminator(&self) -> &ConvNet {
         &self.discriminator
+    }
+
+    /// Selects the convolution backend for both networks. All backends
+    /// are bit-identical, so the training trajectory does not change.
+    pub fn set_backend(&mut self, backend: ConvBackend) {
+        self.generator.set_backend(backend);
+        self.discriminator.set_backend(backend);
     }
 
     /// `(channels, height, width)` of the latent input `z`.

@@ -302,6 +302,6 @@ mod tests {
         let wgan_errors = |scores: &[f64]| vec![-1.0 / scores.len() as f64; scores.len()];
         assert!(is_deferral_safe(wgan_errors, &probe));
         // Log-sum-exp: softmax couples every sample.
-        assert!(!is_deferral_safe(|s| lse_output_errors(s), &probe));
+        assert!(!is_deferral_safe(lse_output_errors, &probe));
     }
 }

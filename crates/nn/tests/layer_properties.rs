@@ -103,7 +103,6 @@ fn build(cfg: &Cfg) -> (ConvLayer, Fmaps<f32>) {
     (layer, x)
 }
 
-
 /// Whether any pre-activation changes sign between the two forwards — the
 /// perturbation segment then crosses a ReLU-family kink and a finite
 /// difference is not a valid derivative estimate there.

@@ -61,7 +61,7 @@ impl ConvKind {
 /// assert_eq!(phase.effectual_macs(), 64 * 3 * 16 * 32 * 32);
 /// # Ok::<(), zfgan_tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConvShape {
     kind: ConvKind,
     geom: ConvGeom,

@@ -1,0 +1,310 @@
+//! Backend selection for the three convolution families.
+//!
+//! [`ConvBackend`] picks how a convolution is *computed* without changing
+//! what it computes: every backend is bit-identical to the golden loop
+//! nests in [`crate::conv`] (see [`crate::gemm`] for why blocking and
+//! threading preserve bits, and [`crate::zero_free`] for why skipping the
+//! inserted zeros does). The golden nests stay the oracle the dataflow
+//! executors validate against; the lowered backends are what training
+//! actually runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorResult;
+use crate::fmaps::Fmaps;
+use crate::gemm::MatmulKind;
+use crate::im2col::{
+    im2col_s, im2col_t, im2col_t_with_output_size, weights_as_matrix_s, weights_as_matrix_t,
+};
+use crate::kernels::Kernels;
+use crate::num::Num;
+use crate::shape::ConvGeom;
+use crate::zero_free;
+use crate::{conv, ShapeError};
+
+/// How a convolution layer executes its forward and backward passes.
+///
+/// All variants produce bit-identical results; they differ in speed and
+/// in whether the zero-inserting transformations are materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvBackend {
+    /// The golden loop nests — the slow, obviously-correct oracle.
+    GoldenDirect,
+    /// `im2col + blocked GEMM`, materialising inserted zeros the way
+    /// Caffe's deconvolution path does (the paper's software baseline).
+    LoweredGemm,
+    /// Compact zero-free lowering + blocked GEMM: inserted zeros are
+    /// never built — the software mirror of ZFOST/ZFWST.
+    LoweredZeroFree,
+    /// [`ConvBackend::LoweredZeroFree`] with the GEMM split over this
+    /// many scoped threads (clamped to the available rows; deterministic
+    /// for every thread count).
+    Parallel(usize),
+}
+
+impl Default for ConvBackend {
+    /// Zero-free is the default: it is bit-identical to the golden nests
+    /// and strictly cheaper than the dense lowering.
+    fn default() -> Self {
+        ConvBackend::LoweredZeroFree
+    }
+}
+
+impl ConvBackend {
+    /// The GEMM kernel the lowered backends use.
+    fn mm(self) -> MatmulKind {
+        match self {
+            // Unused for GoldenDirect; the naive kernel is the honest
+            // stand-in.
+            ConvBackend::GoldenDirect => MatmulKind::Naive,
+            ConvBackend::LoweredGemm | ConvBackend::LoweredZeroFree => MatmulKind::Blocked,
+            ConvBackend::Parallel(n) => MatmulKind::Parallel(n),
+        }
+    }
+
+    /// Strided convolution (`S-CONV`) — see [`crate::s_conv`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::s_conv`].
+    pub fn s_conv<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::s_conv(input, k, geom),
+            _ => {
+                if k.n_if() != input.channels() {
+                    return Err(ShapeError::new("kernel/input channel mismatch"));
+                }
+                let lowered = im2col_s(input, geom);
+                let product = self.mm().run(&lowered.patches, &weights_as_matrix_s(k))?;
+                let (oh, ow) = lowered.out_hw;
+                let mut out = Fmaps::zeros(k.n_of(), oh, ow);
+                for of in 0..k.n_of() {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            *out.at_mut(of, oy, ox) = *product.at(oy * ow + ox, of);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Transposed convolution (`T-CONV`) — see [`crate::t_conv`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::t_conv`].
+    pub fn t_conv<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::t_conv(input, k, geom),
+            ConvBackend::LoweredGemm => {
+                if k.n_of() != input.channels() {
+                    return Err(ShapeError::new("kernel/input channel mismatch"));
+                }
+                let lowered = im2col_t(input, geom);
+                let product = self.mm().run(&lowered.patches, &weights_as_matrix_t(k))?;
+                let (oh, ow) = lowered.out_hw;
+                let mut out = Fmaps::zeros(k.n_if(), oh, ow);
+                for lf in 0..k.n_if() {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            *out.at_mut(lf, oy, ox) = *product.at(oy * ow + ox, lf);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::t_conv_zero_free(input, k, geom, self.mm())
+            }
+        }
+    }
+
+    /// Backward error pass of an `S-CONV` layer — see
+    /// [`crate::s_conv_input_grad`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::s_conv_input_grad`].
+    pub fn s_conv_input_grad<T: Num>(
+        self,
+        delta_out: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+        in_h: usize,
+        in_w: usize,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::s_conv_input_grad(delta_out, k, geom, in_h, in_w),
+            ConvBackend::LoweredGemm => {
+                if k.n_of() != delta_out.channels() {
+                    return Err(ShapeError::new("kernel/error channel mismatch"));
+                }
+                let lowered = im2col_t_with_output_size(delta_out, geom, in_h, in_w);
+                let product = self.mm().run(&lowered.patches, &weights_as_matrix_t(k))?;
+                let mut out = Fmaps::zeros(k.n_if(), in_h, in_w);
+                for lf in 0..k.n_if() {
+                    for oy in 0..in_h {
+                        for ox in 0..in_w {
+                            *out.at_mut(lf, oy, ox) = *product.at(oy * in_w + ox, lf);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::t_conv_zero_free_sized(delta_out, k, geom, in_h, in_w, self.mm())
+            }
+        }
+    }
+
+    /// Backward error pass of a `T-CONV` layer — see
+    /// [`crate::t_conv_input_grad`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::t_conv_input_grad`].
+    pub fn t_conv_input_grad<T: Num>(
+        self,
+        delta_out: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::t_conv_input_grad(delta_out, k, geom),
+            // This pass involves no zero-inserting in either formulation,
+            // so dense-lowered and zero-free share one GEMM.
+            _ => zero_free::t_conv_input_grad_via_gemm(delta_out, k, geom, self.mm()),
+        }
+    }
+
+    /// `W-CONV` of an `S-CONV` layer — see [`crate::w_conv_for_s_layer`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::w_conv_for_s_layer`].
+    pub fn w_conv_for_s_layer<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        delta_out: &Fmaps<T>,
+        geom: &ConvGeom,
+    ) -> TensorResult<Kernels<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::w_conv_for_s_layer(input, delta_out, geom),
+            // Caffe computes exactly this GEMM — the dilated ("zero-
+            // inserted in kernel") error operand never materialises — so
+            // it serves the dense-lowered backend too.
+            _ => zero_free::w_conv_s_via_gemm(input, delta_out, geom, self.mm()),
+        }
+    }
+
+    /// `W-CONV` of a `T-CONV` layer — see [`crate::w_conv_for_t_layer`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::w_conv_for_t_layer`].
+    pub fn w_conv_for_t_layer<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        delta_out: &Fmaps<T>,
+        geom: &ConvGeom,
+    ) -> TensorResult<Kernels<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::w_conv_for_t_layer(input, delta_out, geom),
+            ConvBackend::LoweredGemm => {
+                zero_free::w_conv_t_via_zero_insert_gemm(input, delta_out, geom, self.mm())
+            }
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::w_conv_t_zero_free(input, delta_out, geom, self.mm())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const ALL: [ConvBackend; 4] = [
+        ConvBackend::GoldenDirect,
+        ConvBackend::LoweredGemm,
+        ConvBackend::LoweredZeroFree,
+        ConvBackend::Parallel(4),
+    ];
+
+    fn geom() -> ConvGeom {
+        ConvGeom::down(10, 10, 4, 4, 2, 5, 5).unwrap()
+    }
+
+    #[test]
+    fn every_backend_matches_golden_on_every_family() {
+        let mut rng = SmallRng::seed_from_u64(30);
+        let g = geom();
+        let x: Fmaps<f32> = Fmaps::random(3, 10, 10, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(4, 3, 4, 4, 1.0, &mut rng);
+        let y = ConvBackend::GoldenDirect.s_conv(&x, &k, &g).unwrap();
+        let z: Fmaps<f32> = Fmaps::random(4, 5, 5, 1.0, &mut rng);
+        let up = ConvBackend::GoldenDirect.t_conv(&z, &k, &g).unwrap();
+        for b in ALL {
+            assert_eq!(y, b.s_conv(&x, &k, &g).unwrap(), "{b:?} s_conv");
+            assert_eq!(up, b.t_conv(&z, &k, &g).unwrap(), "{b:?} t_conv");
+            assert_eq!(
+                ConvBackend::GoldenDirect
+                    .s_conv_input_grad(&y, &k, &g, 10, 10)
+                    .unwrap(),
+                b.s_conv_input_grad(&y, &k, &g, 10, 10).unwrap(),
+                "{b:?} s_conv_input_grad"
+            );
+            assert_eq!(
+                ConvBackend::GoldenDirect
+                    .t_conv_input_grad(&up, &k, &g)
+                    .unwrap(),
+                b.t_conv_input_grad(&up, &k, &g).unwrap(),
+                "{b:?} t_conv_input_grad"
+            );
+            assert_eq!(
+                ConvBackend::GoldenDirect
+                    .w_conv_for_s_layer(&x, &y, &g)
+                    .unwrap(),
+                b.w_conv_for_s_layer(&x, &y, &g).unwrap(),
+                "{b:?} w_conv_for_s_layer"
+            );
+            assert_eq!(
+                ConvBackend::GoldenDirect
+                    .w_conv_for_t_layer(&z, &up, &g)
+                    .unwrap(),
+                b.w_conv_for_t_layer(&z, &up, &g).unwrap(),
+                "{b:?} w_conv_for_t_layer"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_zero_free() {
+        assert_eq!(ConvBackend::default(), ConvBackend::LoweredZeroFree);
+    }
+
+    #[test]
+    fn backends_propagate_shape_errors() {
+        let g = geom();
+        let x: Fmaps<f32> = Fmaps::zeros(2, 10, 10);
+        let k: Kernels<f32> = Kernels::zeros(4, 3, 4, 4);
+        for b in ALL {
+            assert!(b.s_conv(&x, &k, &g).is_err(), "{b:?}");
+            assert!(b.t_conv(&x, &k, &g).is_err(), "{b:?}");
+        }
+    }
+}

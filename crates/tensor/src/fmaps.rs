@@ -281,7 +281,7 @@ mod tests {
         let mut t: Fmaps<f32> = Fmaps::zeros(2, 3, 4);
         *t.at_mut(1, 2, 3) = 7.0;
         assert_eq!(*t.at(1, 2, 3), 7.0);
-        assert_eq!(t.as_slice()[(1 * 3 + 2) * 4 + 3], 7.0);
+        assert_eq!(t.as_slice()[(3 + 2) * 4 + 3], 7.0);
     }
 
     #[test]

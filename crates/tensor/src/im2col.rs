@@ -79,9 +79,30 @@ impl<T: Num> Matrix<T> {
         &mut self.data[r * self.cols + c]
     }
 
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}×{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
     /// Flat row-major view.
     pub fn as_slice(&self) -> &[T] {
         &self.data
+    }
+
+    /// Flat mutable row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
     }
 
     /// Fraction of elements that are exactly zero.
@@ -167,8 +188,20 @@ pub fn im2col_s<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
 /// does: zero-insert, then unit-stride `im2col` with the flipped-kernel
 /// padding. The resulting patch matrix is mostly zeros.
 pub fn im2col_t<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
-    let zi = insert_zeros(input, geom.stride());
     let (oh, ow) = geom.up_out(input.height(), input.width());
+    im2col_t_with_output_size(input, geom, oh, ow)
+}
+
+/// [`im2col_t`] with an explicit output size — the backward error pass of
+/// an S-CONV layer must recreate the layer's original input size, which a
+/// strided down-sampling may have quantised away.
+pub fn im2col_t_with_output_size<T: Num>(
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+) -> Lowered<T> {
+    let zi = insert_zeros(input, geom.stride());
     let (pt, _, pl, _) = geom.t_conv_pads();
     let cols = input.channels() * geom.kh() * geom.kw();
     let mut patches = Matrix::zeros(oh * ow, cols);

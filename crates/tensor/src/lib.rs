@@ -46,16 +46,20 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod backend;
 mod conv;
 mod error;
 mod fixed;
 mod fmaps;
+pub mod gemm;
 pub mod im2col;
 mod kernels;
 mod num;
 mod shape;
+pub mod zero_free;
 pub mod zeros;
 
+pub use backend::ConvBackend;
 pub use conv::{
     s_conv, s_conv_input_grad, t_conv, t_conv_input_grad, t_conv_via_zero_insert,
     w_conv_for_s_layer, w_conv_for_t_layer,

@@ -1,0 +1,568 @@
+//! Zero-free convolution lowerings — the software mirror of the paper's
+//! ZFOST/ZFWST dataflows.
+//!
+//! The Caffe-style lowering in [`crate::im2col`] materialises every zero
+//! the zero-inserting transformations create: `T-CONV` patches are ~3/4
+//! inserted zeros at stride 2, and the `W-CONV` of a T-CONV layer
+//! correlates a zero-inserted input. The hardware answer in the paper is
+//! to *reorganise the computation* so those zeros are never fetched; this
+//! module is the same idea in software.
+//!
+//! For `T-CONV`, the output pixels are split into `stride²` phases by
+//! their coordinates mod the stride. Within one phase every output pixel
+//! uses the *same* subset of (flipped) kernel taps — exactly the
+//! observation behind ZFOST's zero-free output-stationary schedule — so
+//! the phase lowers to a compact patch matrix whose columns enumerate
+//! only the kept taps. Inserted zeros are never materialised; only
+//! boundary (padding) zeros remain, and they are skipped by the GEMM's
+//! zero-operand test. [`im2col_t_zero_free`] exposes the compact patch
+//! matrices so the residual zero share is measurable through
+//! [`Lowered::zero_fraction`], next to the dense lowering's.
+//!
+//! For `W-CONV` of a T-CONV layer, the gradient is a GEMM between the
+//! *compact* input (as a channels × pixels matrix) and a patch matrix of
+//! the output error — the zero-inserted input of the textbook formulation
+//! ([`w_conv_t_via_zero_insert_gemm`]) never exists, mirroring ZFWST's
+//! "zero-inserting in input" elimination. For `W-CONV` of an S-CONV layer
+//! the dilated-error operand is likewise never built.
+//!
+//! Every function here is **bit-identical** to its golden loop nest in
+//! [`crate::conv`]: per output element the multiply–add sequence is the
+//! same terms in the same order, with only exact-zero terms (which cannot
+//! change a finite accumulation) skipped. `tests/fast_conv.rs` asserts
+//! exact equality over random geometries.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::fmaps::Fmaps;
+use crate::gemm::MatmulKind;
+use crate::im2col::{im2col_s, Lowered, Matrix};
+use crate::kernels::Kernels;
+use crate::num::Num;
+use crate::shape::ConvGeom;
+use crate::zeros::insert_zeros;
+
+/// One stride-phase of a zero-free `T-CONV`: the output pixels with
+/// `oy ≡ ry`, `ox ≡ rx (mod stride)` and the kernel taps that can reach
+/// them.
+struct TPhase {
+    /// Output rows of this phase, ascending.
+    oys: Vec<usize>,
+    /// Output columns of this phase, ascending.
+    oxs: Vec<usize>,
+    /// Kept flipped-kernel row indices `ky′`, ascending — ascending `ky′`
+    /// is ascending source row `iy`, the golden scatter's order.
+    kys: Vec<usize>,
+    /// Kept flipped-kernel column indices `kx′`, ascending.
+    kxs: Vec<usize>,
+}
+
+/// Enumerates the `stride²` phases of a `T-CONV` output of size `oh × ow`.
+fn t_phases(geom: &ConvGeom, oh: usize, ow: usize) -> Vec<TPhase> {
+    let s = geom.stride();
+    let (pt, _, pl, _) = geom.t_conv_pads();
+    let keep = |r: usize, pad: usize, kdim: usize| -> Vec<usize> {
+        (0..kdim)
+            .filter(|&k| (r as isize + k as isize - pad as isize).rem_euclid(s as isize) == 0)
+            .collect()
+    };
+    let mut phases = Vec::with_capacity(s * s);
+    for ry in 0..s {
+        for rx in 0..s {
+            let oys: Vec<usize> = (ry..oh).step_by(s).collect();
+            let oxs: Vec<usize> = (rx..ow).step_by(s).collect();
+            if oys.is_empty() || oxs.is_empty() {
+                continue;
+            }
+            phases.push(TPhase {
+                oys,
+                oxs,
+                kys: keep(ry, pt, geom.kh()),
+                kxs: keep(rx, pl, geom.kw()),
+            });
+        }
+    }
+    phases
+}
+
+/// Builds one phase's compact patch matrix. Rows enumerate the phase's
+/// output pixels (row-major); columns enumerate `(sf, ky′, kx′)` over the
+/// kept taps. Entries outside the real input (boundary, not inserted) are
+/// zero.
+fn t_phase_patches<T: Num>(input: &Fmaps<T>, geom: &ConvGeom, phase: &TPhase) -> Matrix<T> {
+    let s = geom.stride() as isize;
+    let (pt, _, pl, _) = geom.t_conv_pads();
+    let (ih, iw) = (input.height() as isize, input.width() as isize);
+    let cols = input.channels() * phase.kys.len() * phase.kxs.len();
+    let mut patches = Matrix::zeros(phase.oys.len() * phase.oxs.len(), cols);
+    for (ri, &oy) in phase.oys.iter().enumerate() {
+        for (rj, &ox) in phase.oxs.iter().enumerate() {
+            let row = ri * phase.oxs.len() + rj;
+            let mut col = 0;
+            for sf in 0..input.channels() {
+                for &ky in &phase.kys {
+                    // zy ≡ 0 (mod s) by construction of the kept taps; it
+                    // is a real source pixel iff it lands inside the map.
+                    let zy = oy as isize + ky as isize - pt as isize;
+                    for &kx in &phase.kxs {
+                        let zx = ox as isize + kx as isize - pl as isize;
+                        if zy >= 0 && zx >= 0 && zy / s < ih && zx / s < iw {
+                            *patches.at_mut(row, col) =
+                                *input.at(sf, (zy / s) as usize, (zx / s) as usize);
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    patches
+}
+
+/// The row subset of [`crate::im2col::weights_as_matrix_t`] matching one
+/// phase's kept taps: rows are `(sf, ky′, kx′)`, columns the large-side
+/// output channels.
+fn t_phase_weights<T: Num>(k: &Kernels<T>, phase: &TPhase) -> Matrix<T> {
+    let (kh, kw) = (k.kh(), k.kw());
+    let rows = k.n_of() * phase.kys.len() * phase.kxs.len();
+    let mut m = Matrix::zeros(rows, k.n_if());
+    for lf in 0..k.n_if() {
+        let mut row = 0;
+        for sf in 0..k.n_of() {
+            for &ky in &phase.kys {
+                for &kx in &phase.kxs {
+                    *m.at_mut(row, lf) = *k.at(sf, lf, kh - 1 - ky, kw - 1 - kx);
+                    row += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The compact per-phase patch matrices of a zero-free `T-CONV` lowering,
+/// for ineffectual-operand accounting: compare these matrices'
+/// [`Lowered::zero_fraction`] (only boundary zeros remain) with
+/// [`crate::im2col::im2col_t`]'s (inserted zeros dominate). Each entry's
+/// `out_hw` is the phase's output grid. Phases with no reachable kernel
+/// taps produce no patches.
+pub fn im2col_t_zero_free<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Vec<Lowered<T>> {
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    t_phases(geom, oh, ow)
+        .iter()
+        .filter(|p| !p.kys.is_empty() && !p.kxs.is_empty())
+        .map(|p| Lowered {
+            patches: t_phase_patches(input, geom, p),
+            out_hw: (p.oys.len(), p.oxs.len()),
+        })
+        .collect()
+}
+
+/// Zero-free `T-CONV`: compact per-phase lowering + GEMM, bit-identical
+/// to [`crate::t_conv`].
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+pub fn t_conv_zero_free<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+) -> TensorResult<Fmaps<T>> {
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    t_conv_zero_free_sized(input, k, geom, oh, ow, mm)
+}
+
+/// [`t_conv_zero_free`] with an explicit output size (the backward error
+/// pass of an S-CONV layer needs the original input size back).
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+pub fn t_conv_zero_free_sized<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+    mm: MatmulKind,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's down-direction output side is {} maps, t_conv input has {}",
+            k.n_of(),
+            input.channels()
+        )));
+    }
+    let mut out = Fmaps::zeros(k.n_if(), oh, ow);
+    for phase in t_phases(geom, oh, ow) {
+        if phase.kys.is_empty() || phase.kxs.is_empty() {
+            // No kernel tap reaches this phase: its outputs stay zero,
+            // exactly as the golden scatter leaves them.
+            continue;
+        }
+        let patches = t_phase_patches(input, geom, &phase);
+        let weights = t_phase_weights(k, &phase);
+        let product = mm.run(&patches, &weights)?;
+        for lf in 0..k.n_if() {
+            for (ri, &oy) in phase.oys.iter().enumerate() {
+                for (rj, &ox) in phase.oxs.iter().enumerate() {
+                    *out.at_mut(lf, oy, ox) = *product.at(ri * phase.oxs.len() + rj, lf);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reshapes a (down-layout) weight tensor for the backward error pass of a
+/// T-CONV layer: rows are `(lf, ky, kx)`, columns the small-side channels
+/// — the operand of [`t_conv_input_grad_via_gemm`].
+pub fn weights_as_matrix_s_swapped<T: Num>(k: &Kernels<T>) -> Matrix<T> {
+    let mut m = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+    for sf in 0..k.n_of() {
+        let mut row = 0;
+        for lf in 0..k.n_if() {
+            for ky in 0..k.kh() {
+                for kx in 0..k.kw() {
+                    *m.at_mut(row, sf) = *k.at(sf, lf, ky, kx);
+                    row += 1;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Backward error pass of a T-CONV layer by lowering: a plain strided
+/// `im2col` of the error GEMMed against the channel-swapped weights.
+/// Bit-identical to [`crate::t_conv_input_grad`]. No zero-inserting is
+/// involved in either formulation, so this is also the zero-free form.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out.channels() != k.n_if()`.
+pub fn t_conv_input_grad_via_gemm<T: Num>(
+    delta_out: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != delta_out.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's up-direction side is {} maps, error has {}",
+            k.n_if(),
+            delta_out.channels()
+        )));
+    }
+    let lowered = im2col_s(delta_out, geom);
+    let product = mm.run(&lowered.patches, &weights_as_matrix_s_swapped(k))?;
+    let (oh, ow) = lowered.out_hw;
+    let mut out = Fmaps::zeros(k.n_of(), oh, ow);
+    for sf in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                *out.at_mut(sf, oy, ox) = *product.at(oy * ow + ox, sf);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `W-CONV` of an S-CONV layer by lowering: the error (as a channels ×
+/// pixels matrix) GEMMed against the forward pass's `im2col` patches.
+/// Bit-identical to [`crate::w_conv_for_s_layer`].
+///
+/// This is the form Caffe actually executes — the "zero-inserting in
+/// kernel" dilation of the textbook description never materialises, so
+/// the same routine serves both the dense-lowered and zero-free backends.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size does not match this
+/// geometry's forward output.
+pub fn w_conv_s_via_gemm<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.down_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let (oh, ow) = (delta_out.height(), delta_out.width());
+    let delta_mat = Matrix::from_vec(delta_out.channels(), oh * ow, delta_out.as_slice().to_vec());
+    let lowered = im2col_s(input, geom);
+    let product = mm.run(&delta_mat, &lowered.patches)?;
+    let mut grad = Kernels::zeros(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
+    for of in 0..delta_out.channels() {
+        let mut col = 0;
+        for if_ in 0..input.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    *grad.at_mut(of, if_, ky, kx) = *product.at(of, col);
+                    col += 1;
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// Patch matrix for the zero-free `W-CONV` of a T-CONV layer: rows are the
+/// layer's *compact* input pixels `(iy, ix)`, columns `(lf, ky, kx)`, each
+/// entry the output error the pixel meets under that tap (zero outside the
+/// error map).
+fn im2col_wgrad_t<T: Num>(
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    ih: usize,
+    iw: usize,
+) -> Matrix<T> {
+    let s = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let cols = delta_out.channels() * geom.kh() * geom.kw();
+    let mut m = Matrix::zeros(ih * iw, cols);
+    for iy in 0..ih {
+        for ix in 0..iw {
+            let row = iy * iw + ix;
+            let mut col = 0;
+            for lf in 0..delta_out.channels() {
+                for ky in 0..geom.kh() {
+                    for kx in 0..geom.kw() {
+                        let ty = s * iy as isize + ky as isize - pt;
+                        let tx = s * ix as isize + kx as isize - pl;
+                        *m.at_mut(row, col) = delta_out.at_padded(lf, ty, tx);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Zero-free `W-CONV` of a T-CONV layer: the compact input (channels ×
+/// pixels) GEMMed against [`im2col_wgrad_t`] patches of the error. The
+/// zero-inserted input of the textbook formulation is never built —
+/// ZFWST's elimination, in software. Bit-identical to
+/// [`crate::w_conv_for_t_layer`].
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size is not the up-sampled
+/// size of `input` under this geometry.
+pub fn w_conv_t_zero_free<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.up_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let (ih, iw) = (input.height(), input.width());
+    let input_mat = Matrix::from_vec(input.channels(), ih * iw, input.as_slice().to_vec());
+    let patches = im2col_wgrad_t(delta_out, geom, ih, iw);
+    let product = mm.run(&input_mat, &patches)?;
+    let mut grad = Kernels::zeros(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
+    for sf in 0..input.channels() {
+        let mut col = 0;
+        for lf in 0..delta_out.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    *grad.at_mut(sf, lf, ky, kx) = *product.at(sf, col);
+                    col += 1;
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// `W-CONV` of a T-CONV layer the textbook way: materialise the
+/// zero-inserted input, then GEMM it against unit-stride error patches.
+/// Bit-identical to [`crate::w_conv_for_t_layer`] (the GEMM's zero skip
+/// drops exactly the inserted rows), but pays for every inserted zero in
+/// memory and operand traffic — the dense-lowered backend's cost model,
+/// and the baseline the zero-free path is measured against.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size is not the up-sampled
+/// size of `input` under this geometry.
+pub fn w_conv_t_via_zero_insert_gemm<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.up_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let zi = insert_zeros(input, geom.stride());
+    let (zh, zw) = (zi.height(), zi.width());
+    let zi_mat = Matrix::from_vec(zi.channels(), zh * zw, zi.as_slice().to_vec());
+    // Unit-stride patches of the error over the zero-inserted grid: the
+    // original pixel (iy, ix) sits at (s·iy, s·ix), so the taps match the
+    // golden nest's `s·iy + ky − pt` exactly.
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let cols = delta_out.channels() * geom.kh() * geom.kw();
+    let mut patches = Matrix::zeros(zh * zw, cols);
+    for zy in 0..zh {
+        for zx in 0..zw {
+            let row = zy * zw + zx;
+            let mut col = 0;
+            for lf in 0..delta_out.channels() {
+                for ky in 0..geom.kh() {
+                    for kx in 0..geom.kw() {
+                        let ty = zy as isize + ky as isize - pt;
+                        let tx = zx as isize + kx as isize - pl;
+                        *patches.at_mut(row, col) = delta_out.at_padded(lf, ty, tx);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    let product = mm.run(&zi_mat, &patches)?;
+    let mut grad = Kernels::zeros(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
+    for sf in 0..input.channels() {
+        let mut col = 0;
+        for lf in 0..delta_out.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    *grad.at_mut(sf, lf, ky, kx) = *product.at(sf, col);
+                    col += 1;
+                }
+            }
+        }
+    }
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{t_conv, t_conv_input_grad, w_conv_for_s_layer, w_conv_for_t_layer};
+    use crate::im2col::im2col_t;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn geom() -> ConvGeom {
+        ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap()
+    }
+
+    #[test]
+    fn zero_free_t_conv_is_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let x: Fmaps<f32> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let golden = t_conv(&x, &k, &geom()).unwrap();
+        for mm in [
+            MatmulKind::Naive,
+            MatmulKind::Blocked,
+            MatmulKind::Parallel(3),
+        ] {
+            let fast = t_conv_zero_free(&x, &k, &geom(), mm).unwrap();
+            assert_eq!(golden, fast, "{mm:?}");
+        }
+    }
+
+    #[test]
+    fn zero_free_patches_drop_the_inserted_zeros() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let x: Fmaps<f64> = Fmaps::random(2, 6, 6, 1.0, &mut rng);
+        let dense = im2col_t(&x, &geom());
+        let compact = im2col_t_zero_free(&x, &geom());
+        let frac = |zeros: f64, total: f64| zeros / total;
+        let compact_zeros: f64 = compact
+            .iter()
+            .map(|l| l.zero_fraction() * (l.patches.rows() * l.patches.cols()) as f64)
+            .sum();
+        let compact_total: f64 = compact
+            .iter()
+            .map(|l| (l.patches.rows() * l.patches.cols()) as f64)
+            .sum();
+        assert!(dense.zero_fraction() > 0.65);
+        assert!(
+            frac(compact_zeros, compact_total) < 0.35,
+            "compact fraction {}",
+            frac(compact_zeros, compact_total)
+        );
+        // The compact lowering covers every output pixel exactly once.
+        let (oh, ow) = geom().up_out(6, 6);
+        let covered: usize = compact.iter().map(|l| l.out_hw.0 * l.out_hw.1).sum();
+        assert_eq!(covered, oh * ow);
+    }
+
+    #[test]
+    fn wgrad_lowerings_are_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let g = geom();
+        // S layer: input 12×12 → delta 6×6.
+        let x: Fmaps<f32> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let d: Fmaps<f32> = Fmaps::random(4, 6, 6, 1.0, &mut rng);
+        let golden_s = w_conv_for_s_layer(&x, &d, &g).unwrap();
+        assert_eq!(
+            golden_s,
+            w_conv_s_via_gemm(&x, &d, &g, MatmulKind::Blocked).unwrap()
+        );
+        // T layer: input 6×6 → delta 12×12.
+        let xt: Fmaps<f32> = Fmaps::random(4, 6, 6, 1.0, &mut rng);
+        let dt: Fmaps<f32> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let golden_t = w_conv_for_t_layer(&xt, &dt, &g).unwrap();
+        assert_eq!(
+            golden_t,
+            w_conv_t_zero_free(&xt, &dt, &g, MatmulKind::Blocked).unwrap()
+        );
+        assert_eq!(
+            golden_t,
+            w_conv_t_via_zero_insert_gemm(&xt, &dt, &g, MatmulKind::Blocked).unwrap()
+        );
+    }
+
+    #[test]
+    fn t_input_grad_lowering_is_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = geom();
+        let d: Fmaps<f32> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let golden = t_conv_input_grad(&d, &k, &g).unwrap();
+        let fast = t_conv_input_grad_via_gemm(&d, &k, &g, MatmulKind::Blocked).unwrap();
+        assert_eq!(golden, fast);
+    }
+
+    #[test]
+    fn shape_errors_match_the_golden_nests() {
+        let g = geom();
+        let x: Fmaps<f32> = Fmaps::zeros(2, 6, 6);
+        let k: Kernels<f32> = Kernels::zeros(5, 3, 4, 4);
+        assert!(t_conv_zero_free(&x, &k, &g, MatmulKind::Blocked).is_err());
+        let bad: Fmaps<f32> = Fmaps::zeros(3, 5, 5);
+        assert!(w_conv_s_via_gemm(&x, &bad, &g, MatmulKind::Blocked).is_err());
+        assert!(w_conv_t_zero_free(&x, &bad, &g, MatmulKind::Blocked).is_err());
+        assert!(w_conv_t_via_zero_insert_gemm(&x, &bad, &g, MatmulKind::Blocked).is_err());
+    }
+}

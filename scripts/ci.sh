@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The repository's CI gate: formatting, lints (warnings are errors), the
+# release build, and the full test suite. Run from the repository root.
+set -euo pipefail
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all --check
+
+echo "=== cargo clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test ==="
+cargo test -q
+
+echo "CI gate passed."

@@ -3,9 +3,13 @@
 //! produces identical numbers (this is what makes the JSON sidecars
 //! diffable and the parallel implementations trustworthy).
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use zfgan::accel::{AccelConfig, Design, GanAccelerator, SyncPolicy};
 use zfgan::dataflow::{ArchKind, Dataflow, PhaseTuned, UnrollChoice};
+use zfgan::nn::{GanPair, GanTrainer, TrainerConfig};
 use zfgan::sim::ConvKind;
+use zfgan::tensor::{ConvBackend, Fmaps};
 use zfgan::workloads::{GanSpec, PhaseSeq};
 
 #[test]
@@ -37,6 +41,38 @@ fn accelerator_reports_are_reproducible() {
     let a = accel.iteration_report(32);
     let b = accel.iteration_report(32);
     assert_eq!(a, b);
+}
+
+#[test]
+fn training_trajectory_is_backend_invariant() {
+    // Two WGAN iterations from identical seeds must land on bit-identical
+    // weights no matter which conv backend computed them — the fast paths
+    // are pure accelerations, not approximations.
+    let run = |backend: ConvBackend| -> Fmaps<f32> {
+        let mut pair = GanPair::tiny(&mut SmallRng::seed_from_u64(40));
+        pair.set_backend(backend);
+        let config = TrainerConfig {
+            n_critic: 1,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = GanTrainer::new(pair, config);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..2 {
+            trainer.train_iteration(2, &mut rng);
+        }
+        let z = trainer
+            .gan()
+            .sample_z_batch(1, &mut SmallRng::seed_from_u64(42));
+        trainer.gan().generate(&z[0])
+    };
+    let golden = run(ConvBackend::GoldenDirect);
+    for backend in [
+        ConvBackend::LoweredGemm,
+        ConvBackend::LoweredZeroFree,
+        ConvBackend::Parallel(3),
+    ] {
+        assert_eq!(golden, run(backend), "{backend:?} diverged from golden");
+    }
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Bit-identity of the fast convolution backends: over randomly drawn
+//! geometries and operands, every [`ConvBackend`] must produce *exactly*
+//! the same bits as the golden loop nests, for every family the layers
+//! dispatch (S-CONV, T-CONV, both input-gradient passes, both W-CONVs),
+//! and the parallel GEMM must be bit-identical for every thread count.
+//!
+//! This is the contract that lets training default to the zero-free path
+//! while the golden nests stay the validation oracle.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use zfgan::tensor::gemm::{matmul_parallel, MatmulKind};
+use zfgan::tensor::im2col::Matrix;
+use zfgan::tensor::{ConvBackend, ConvGeom, Fmaps, Kernels};
+
+const BACKENDS: [ConvBackend; 5] = [
+    ConvBackend::GoldenDirect,
+    ConvBackend::LoweredGemm,
+    ConvBackend::LoweredZeroFree,
+    ConvBackend::Parallel(2),
+    ConvBackend::Parallel(7),
+];
+
+/// A randomly drawn layer: geometry plus channel counts, with the input
+/// size chosen as an exact multiple of the stride so both directions of
+/// the geometry are exercised (the same construction the dataflow
+/// property tests use).
+#[derive(Debug, Clone)]
+struct ArbLayer {
+    geom: ConvGeom,
+    in_hw: usize,
+    out_hw: usize,
+    small_c: usize,
+    large_c: usize,
+    seed: u64,
+}
+
+fn arb_layer() -> impl Strategy<Value = ArbLayer> {
+    (
+        1usize..=3,
+        1usize..=5,
+        2usize..=5,
+        1usize..=3,
+        1usize..=4,
+        any::<u64>(),
+    )
+        .prop_map(|(stride, k, out, small_c, large_c, seed)| {
+            let k = k.max(stride);
+            let in_hw = stride * out;
+            let geom = ConvGeom::down(in_hw, in_hw, k, k, stride, out, out)
+                .expect("constructed to be valid");
+            ArbLayer {
+                geom,
+                in_hw,
+                out_hw: out,
+                small_c,
+                large_c,
+                seed,
+            }
+        })
+}
+
+/// Post-ReLU-like operand: roughly half exact zeros, so the zero-skipping
+/// paths actually take their skip branches.
+fn sparse(c: usize, h: usize, w: usize, rng: &mut SmallRng) -> Fmaps<f32> {
+    Fmaps::random(c, h, w, 1.0, rng).map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every backend reproduces the golden nests bit for bit on all six
+    /// dispatched convolution passes.
+    #[test]
+    fn backends_are_bit_identical_to_golden(layer in arb_layer()) {
+        let mut rng = SmallRng::seed_from_u64(layer.seed);
+        let g = &layer.geom;
+        let x = sparse(layer.large_c, layer.in_hw, layer.in_hw, &mut rng);
+        let z = sparse(layer.small_c, layer.out_hw, layer.out_hw, &mut rng);
+        let k = Kernels::random(layer.small_c, layer.large_c, g.kh(), g.kw(), 0.5, &mut rng);
+
+        let golden = ConvBackend::GoldenDirect;
+        let y = golden.s_conv(&x, &k, g).unwrap();
+        let up = golden.t_conv(&z, &k, g).unwrap();
+        let sig = golden.s_conv_input_grad(&y, &k, g, layer.in_hw, layer.in_hw).unwrap();
+        let tig = golden.t_conv_input_grad(&up, &k, g).unwrap();
+        let ws = golden.w_conv_for_s_layer(&x, &y, g).unwrap();
+        let wt = golden.w_conv_for_t_layer(&z, &up, g).unwrap();
+
+        for b in BACKENDS {
+            prop_assert_eq!(&y, &b.s_conv(&x, &k, g).unwrap(), "{:?} s_conv", b);
+            prop_assert_eq!(&up, &b.t_conv(&z, &k, g).unwrap(), "{:?} t_conv", b);
+            prop_assert_eq!(
+                &sig,
+                &b.s_conv_input_grad(&y, &k, g, layer.in_hw, layer.in_hw).unwrap(),
+                "{:?} s_conv_input_grad", b
+            );
+            prop_assert_eq!(
+                &tig,
+                &b.t_conv_input_grad(&up, &k, g).unwrap(),
+                "{:?} t_conv_input_grad", b
+            );
+            prop_assert_eq!(
+                &ws,
+                &b.w_conv_for_s_layer(&x, &y, g).unwrap(),
+                "{:?} w_conv_for_s_layer", b
+            );
+            prop_assert_eq!(
+                &wt,
+                &b.w_conv_for_t_layer(&z, &up, g).unwrap(),
+                "{:?} w_conv_for_t_layer", b
+            );
+        }
+    }
+
+    /// The blocked and parallel GEMM kernels match the naive triple loop
+    /// bit for bit, for any shape, sparsity and thread count.
+    #[test]
+    fn gemm_kernels_are_bit_identical(
+        m in 1usize..=40,
+        kk in 1usize..=48,
+        n in 1usize..=70,
+        threads in 0usize..=9,
+        zero_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut draw = |rows: usize, cols: usize| {
+            let data = (0..rows * cols)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < zero_frac {
+                        0.0
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect();
+            Matrix::from_vec(rows, cols, data)
+        };
+        let a = draw(m, kk);
+        let b = draw(kk, n);
+        let naive = MatmulKind::Naive.run(&a, &b).unwrap();
+        prop_assert_eq!(&naive, &MatmulKind::Blocked.run(&a, &b).unwrap());
+        prop_assert_eq!(&naive, &matmul_parallel(&a, &b, threads).unwrap());
+    }
+}
