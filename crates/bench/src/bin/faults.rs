@@ -1,0 +1,92 @@
+//! Fault-injection campaign: rate × site × dataflow sweep of the
+//! detection layers (ABFT, transfer checksums, finite guards) plus the
+//! supervised-training rollback demonstration. Writes
+//! `results/faults.json`.
+//!
+//! Run `ZFGAN_FAULTS_FULL=1 cargo run -p zfgan-bench --release --bin
+//! faults` for the full sweep; the default is the CI smoke campaign.
+
+use zfgan::faults::{run_campaign, smoke_violations, CampaignConfig};
+use zfgan_bench::{emit, TextTable};
+
+fn main() {
+    let full = std::env::var_os("ZFGAN_FAULTS_FULL").is_some();
+    let seed = std::env::var("ZFGAN_FAULTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024u64);
+    let cfg = if full {
+        CampaignConfig::full(seed)
+    } else {
+        CampaignConfig::smoke(seed)
+    };
+
+    let result = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut table = TextTable::new([
+        "Dataflow",
+        "Site",
+        "Rate",
+        "Bit",
+        "Attempts",
+        "Fired",
+        "Effective",
+        "Detected",
+        "Benign",
+        "Silent",
+        "Latency (words)",
+    ]);
+    for c in &result.cells {
+        table.row([
+            c.dataflow.clone(),
+            c.site.clone(),
+            format!("{}", c.rate),
+            format!("{}", c.bit),
+            format!("{}", c.attempts),
+            format!("{}", c.fired),
+            format!("{}", c.effective),
+            format!("{}", c.detected),
+            format!("{}", c.benign),
+            format!("{}", c.silent),
+            format!("{:.1}", c.mean_detection_latency_words),
+        ]);
+    }
+    emit(
+        "faults",
+        "Fault injection: detection coverage by site and dataflow",
+        &table,
+        &result,
+    );
+
+    let t = &result.trainer;
+    println!(
+        "Supervised training under trainer-step faults (rate {}, bit {}):\n\
+         \x20 injected {}  anomalies {}  rollbacks {}  retries {}  healthy iterations {}\n\
+         \x20 completed: {}  final losses: D {:.4}  G {:.4}\n",
+        t.rate,
+        t.bit,
+        t.faults_injected,
+        t.anomalies,
+        t.rollbacks,
+        t.retries,
+        t.completed_iterations,
+        t.completed,
+        t.final_dis_loss,
+        t.final_gen_loss,
+    );
+
+    let violations = smoke_violations(&result);
+    if !violations.is_empty() {
+        eprintln!("RESILIENCE INVARIANTS VIOLATED:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@
 //! works; the round-trip re-validates the pair's shape contract on load.
 
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::TensorResult;
+use zfgan_tensor::{ShapeError, TensorResult};
 
 use crate::network::ConvNet;
 use crate::trainer::GanPair;
@@ -39,14 +39,51 @@ impl Checkpoint {
         }
     }
 
-    /// Restores the pair, re-validating shape compatibility.
+    /// Restores the pair, re-validating both networks' internal invariants
+    /// and their shape compatibility.
     ///
     /// # Errors
     ///
     /// Returns an error if the serialised networks are not a valid pair
     /// (e.g. the payload was edited or truncated).
     pub fn into_pair(self) -> TensorResult<GanPair> {
+        self.validate()?;
         GanPair::new(self.generator, self.discriminator)
+    }
+
+    /// Checks every invariant of both snapshotted networks — the guard that
+    /// turns corrupted payloads into errors instead of panics. Called by
+    /// [`Checkpoint::into_pair`] and [`Checkpoint::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error naming the offending network and layer.
+    pub fn validate(&self) -> TensorResult<()> {
+        self.generator
+            .validate()
+            .map_err(|e| ShapeError::new(format!("generator: {e}")))?;
+        self.discriminator
+            .validate()
+            .map_err(|e| ShapeError::new(format!("discriminator: {e}")))
+    }
+
+    /// Serialises the checkpoint to JSON (bit-exact float round-trip).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation is infallible")
+    }
+
+    /// Parses and fully validates a JSON checkpoint. Truncated, edited or
+    /// shape-mismatched payloads return an error — never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the JSON does not parse or the parsed networks
+    /// violate any invariant.
+    pub fn from_json(json: &str) -> TensorResult<Self> {
+        let cp: Self = serde_json::from_str(json)
+            .map_err(|e| ShapeError::new(format!("checkpoint parse error: {e}")))?;
+        cp.validate()?;
+        Ok(cp)
     }
 
     /// The snapshotted Generator.

@@ -159,6 +159,18 @@ impl ConvLayer {
         &self.weights
     }
 
+    /// Mutable access to the weights — used by fault-injection campaigns
+    /// to corrupt parameters in place. Shape invariants must be preserved
+    /// (the slice length is fixed); values are unconstrained.
+    pub fn weights_mut(&mut self) -> &mut Kernels<f32> {
+        &mut self.weights
+    }
+
+    /// The layer's per-output-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
     /// The layer's activation function.
     pub fn activation(&self) -> Activation {
         self.activation
@@ -333,6 +345,103 @@ impl ConvLayer {
     pub fn param_count(&self) -> usize {
         self.weights.len() + self.bias.len()
     }
+
+    /// Checks every invariant a freshly **deserialized** layer must satisfy.
+    ///
+    /// The constructors enforce these, but serde's derived `Deserialize`
+    /// fills fields directly, so a truncated or edited checkpoint can
+    /// produce a layer whose buffers disagree with its declared shapes, a
+    /// zero-stride geometry, or non-finite parameters — all of which would
+    /// otherwise only surface as a panic (or silent corruption) mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for any violated invariant.
+    pub fn validate(&self) -> TensorResult<()> {
+        self.geom.validate()?;
+        let (n_of, n_if, kh, kw) = self.weights.shape();
+        if n_of == 0 || n_if == 0 || kh == 0 || kw == 0 {
+            return Err(ShapeError::new(format!(
+                "weight tensor has a zero dimension: {n_of}×{n_if}×{kh}×{kw}"
+            )));
+        }
+        if self.weights.len() != n_of * n_if * kh * kw {
+            return Err(ShapeError::new(format!(
+                "weight buffer holds {} values, shape {n_of}×{n_if}×{kh}×{kw} needs {}",
+                self.weights.len(),
+                n_of * n_if * kh * kw
+            )));
+        }
+        if (kh, kw) != (self.geom.kh(), self.geom.kw()) {
+            return Err(ShapeError::new(format!(
+                "weight kernel is {kh}×{kw} but the geometry declares {}×{}",
+                self.geom.kh(),
+                self.geom.kw()
+            )));
+        }
+        let (in_c, in_h, in_w) = self.in_shape;
+        if in_c == 0 || in_h == 0 || in_w == 0 {
+            return Err(ShapeError::new(format!(
+                "input shape has a zero dimension: {in_c}×{in_h}×{in_w}"
+            )));
+        }
+        let (expected_in, out_c) = match self.direction {
+            Direction::Down => (n_if, n_of),
+            Direction::Up => (n_of, n_if),
+        };
+        if expected_in != in_c {
+            return Err(ShapeError::new(format!(
+                "weights expect {expected_in} input maps, layer input has {in_c}"
+            )));
+        }
+        if self.bias.len() != out_c {
+            return Err(ShapeError::new(format!(
+                "bias holds {} values for {out_c} output channels",
+                self.bias.len()
+            )));
+        }
+        match self.direction {
+            Direction::Down => {
+                // The padded input must cover at least one kernel window.
+                if in_h + self.geom.pad_top() + self.geom.pad_bottom() < kh
+                    || in_w + self.geom.pad_left() + self.geom.pad_right() < kw
+                {
+                    return Err(ShapeError::new(format!(
+                        "padded input {in_h}×{in_w} is smaller than the kernel {kh}×{kw}"
+                    )));
+                }
+            }
+            Direction::Up => {
+                // up_out computes stride·(in−1) + k − pads; it must not
+                // underflow (the transposed pads can exceed k on tiny maps).
+                let (pt, pb, pl, pr) = (
+                    self.geom.pad_top(),
+                    self.geom.pad_bottom(),
+                    self.geom.pad_left(),
+                    self.geom.pad_right(),
+                );
+                if self.geom.stride() * (in_h - 1) + kh < pt + pb + 1
+                    || self.geom.stride() * (in_w - 1) + kw < pl + pr + 1
+                {
+                    return Err(ShapeError::new(format!(
+                        "up-sampled output of {in_h}×{in_w} would be empty under this geometry"
+                    )));
+                }
+            }
+        }
+        if let Some(i) = self
+            .weights
+            .as_slice()
+            .iter()
+            .chain(&self.bias)
+            .position(|v| !v.is_finite())
+        {
+            return Err(ShapeError::new(format!(
+                "parameter {i} is not finite (corrupted payload?)"
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -470,6 +579,44 @@ mod tests {
         lb.bias[0] += eps;
         let fd = (loss(&lb, &x) - base) / f64::from(eps);
         assert!((fd - f64::from(grads.bias[0])).abs() < 1e-2);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_layers_and_rejects_tampering() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let layer = ConvLayer::random(
+            Direction::Down,
+            small_geom(),
+            4,
+            2,
+            Activation::Relu,
+            (2, 8, 8),
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(layer.validate().is_ok());
+        // Tamper as a corrupted deserialization would: fields directly.
+        let mut bad_bias = layer.clone();
+        bad_bias.bias = vec![0.0; 3];
+        assert!(bad_bias
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("bias"));
+        let mut bad_weight = layer.clone();
+        *bad_weight.weights.at_mut(0, 0, 0, 0) = f32::NAN;
+        assert!(bad_weight
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("finite"));
+        let mut bad_shape = layer.clone();
+        bad_shape.in_shape = (3, 8, 8);
+        assert!(bad_shape.validate().is_err());
+        let mut zero_dim = layer;
+        zero_dim.in_shape = (2, 0, 8);
+        assert!(zero_dim.validate().is_err());
     }
 
     #[test]

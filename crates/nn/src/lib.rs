@@ -51,6 +51,7 @@ pub mod metrics;
 mod network;
 mod optimizer;
 pub mod parallel;
+pub mod supervisor;
 mod trainer;
 pub mod wgan;
 
@@ -61,6 +62,11 @@ pub use history::{fit, IterationRecord, TrainingHistory};
 pub use layer::{ConvLayer, Direction, LayerGrads};
 pub use network::{ConvNet, Trace};
 pub use optimizer::{Optimizer, OptimizerKind};
+pub use parallel::ParallelError;
+pub use supervisor::{
+    Anomaly, SupervisedTrainer, SupervisorConfig, SupervisorError, SupervisorStats,
+};
 pub use trainer::{
-    DisStepReport, GanPair, GanTrainer, GenStepReport, LossKind, SyncMode, TrainerConfig,
+    ConfigError, DisStepReport, GanPair, GanTrainer, GenStepReport, LossKind, SyncMode,
+    TrainerConfig, TrainerState,
 };

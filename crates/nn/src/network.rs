@@ -114,6 +114,37 @@ impl ConvNet {
         &self.layers
     }
 
+    /// Checks every invariant a freshly **deserialized** network must
+    /// satisfy: each layer's internal consistency ([`ConvLayer::validate`])
+    /// plus the shape chaining [`ConvNet::new`] enforces. Checkpoint
+    /// loading calls this so corrupted payloads surface as errors instead
+    /// of panics mid-inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error naming the first offending layer.
+    pub fn validate(&self) -> TensorResult<()> {
+        if self.layers.is_empty() {
+            return Err(ShapeError::new("a network needs at least one layer"));
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer
+                .validate()
+                .map_err(|e| ShapeError::new(format!("layer {i}: {e}")))?;
+        }
+        for (i, pair) in self.layers.windows(2).enumerate() {
+            if pair[0].out_shape() != pair[1].in_shape() {
+                return Err(ShapeError::new(format!(
+                    "layer {i} outputs {:?} but layer {} expects {:?}",
+                    pair[0].out_shape(),
+                    i + 1,
+                    pair[1].in_shape()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Selects the convolution backend for every layer. All backends are
     /// bit-identical (see [`ConvBackend`]); this only trades speed.
     pub fn set_backend(&mut self, backend: ConvBackend) {

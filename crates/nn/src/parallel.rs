@@ -11,6 +11,15 @@
 //! This is the paper's taxonomy made concrete: GPUs spend the batch
 //! dimension on *space* (massive parallelism, 2·batch buffers alive), the
 //! paper's accelerator spends it on *time* (pipelining, one buffer alive).
+//!
+//! Worker failures are contained: a panicking worker thread no longer
+//! brings the whole training process down. [`try_parallel_dis_grads_with`]
+//! reports the failure as a typed [`ParallelError`], and the convenience
+//! wrappers fall back to the bit-identical sequential path, so a flaky
+//! thread pool degrades throughput — never correctness.
+
+use std::error::Error;
+use std::fmt;
 
 use crossbeam::thread;
 use zfgan_tensor::Fmaps;
@@ -19,17 +28,45 @@ use crate::layer::LayerGrads;
 use crate::network::ConvNet;
 use crate::wgan;
 
+/// A failure inside the parallel batch evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// One or more worker threads panicked before finishing their chunk.
+    WorkerPanicked {
+        /// How many of the spawned workers died.
+        failed: usize,
+        /// How many workers were spawned in total.
+        spawned: usize,
+    },
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::WorkerPanicked { failed, spawned } => {
+                write!(f, "{failed} of {spawned} worker threads panicked")
+            }
+        }
+    }
+}
+
+impl Error for ParallelError {}
+
 /// Computes the summed Discriminator gradients of a real+fake batch using
 /// `n_threads` worker threads, with a deterministic (sample-ordered)
 /// reduction.
 ///
 /// Returns `(grads, real_scores, fake_scores)` — exactly what the
 /// sequential synchronized trainer computes before its optimizer step.
+/// If a worker thread panics the batch is transparently re-evaluated on
+/// the sequential path, which produces bit-identical results.
 ///
 /// # Panics
 ///
 /// Panics if the batches are empty or of different lengths, if
-/// `n_threads` is zero, or if a sample's shape does not match the critic.
+/// `n_threads` is zero, or if a sample's shape does not match the critic
+/// (shape mismatches panic on the sequential fallback too, so they are
+/// a caller bug, not a transient worker failure).
 #[allow(clippy::type_complexity)]
 pub fn parallel_dis_grads(
     critic: &ConvNet,
@@ -51,6 +88,33 @@ pub fn parallel_dis_grads_with(
     fakes: &[Fmaps<f32>],
     n_threads: usize,
 ) -> (Vec<LayerGrads>, Vec<f64>, Vec<f64>) {
+    match try_parallel_dis_grads_with(critic, reals, fakes, n_threads) {
+        Ok(out) => out,
+        // Worker died (e.g. a poisoned thread pool or a stack overflow in
+        // one worker): the jobs are independent, so redo them in-process.
+        Err(ParallelError::WorkerPanicked { .. }) => sequential_dis_grads(critic, reals, fakes),
+    }
+}
+
+/// [`parallel_dis_grads_with`] without the sequential fallback: a worker
+/// panic surfaces as a typed error so callers (e.g. the training
+/// supervisor) can decide to retry with fewer threads instead.
+///
+/// # Errors
+///
+/// Returns [`ParallelError::WorkerPanicked`] if any worker thread dies.
+///
+/// # Panics
+///
+/// Panics if the batches are empty or of different lengths, or if
+/// `n_threads` is zero.
+#[allow(clippy::type_complexity)]
+pub fn try_parallel_dis_grads_with(
+    critic: &ConvNet,
+    reals: &[Fmaps<f32>],
+    fakes: &[Fmaps<f32>],
+    n_threads: usize,
+) -> Result<(Vec<LayerGrads>, Vec<f64>, Vec<f64>), ParallelError> {
     assert!(!reals.is_empty(), "batch must be non-empty");
     assert_eq!(
         reals.len(),
@@ -74,7 +138,9 @@ pub fn parallel_dis_grads_with(
     // Each worker produces (job index, score, grads); the reduction sorts
     // by index so float summation order is identical to sequential.
     let mut results: Vec<Option<(f64, Vec<LayerGrads>)>> = (0..jobs.len()).map(|_| None).collect();
-    thread::scope(|scope| {
+    let mut spawned = 0usize;
+    let mut failed = 0usize;
+    let scope_result = thread::scope(|scope| {
         let chunk = jobs.len().div_ceil(n_threads);
         let mut handles = Vec::new();
         for (t, job_chunk) in jobs.chunks(chunk).enumerate() {
@@ -94,13 +160,29 @@ pub fn parallel_dis_grads_with(
                     .collect::<Vec<_>>()
             }));
         }
+        spawned = handles.len();
+        // Consume every join result — an Err here is the worker's panic
+        // payload; swallowing it (instead of propagating) is what keeps
+        // the scope from re-raising it and lets us report a typed error.
         for h in handles {
-            for (idx, score, grads) in h.join().expect("worker thread panicked") {
-                results[idx] = Some((score, grads));
+            match h.join() {
+                Ok(chunk_results) => {
+                    for (idx, score, grads) in chunk_results {
+                        results[idx] = Some((score, grads));
+                    }
+                }
+                Err(_) => failed += 1,
             }
         }
-    })
-    .expect("thread scope");
+    });
+    if scope_result.is_err() {
+        // All joins were consumed above, so the scope itself should never
+        // carry a panic; treat it as a worker failure if it somehow does.
+        failed = failed.max(1);
+    }
+    if failed > 0 {
+        return Err(ParallelError::WorkerPanicked { failed, spawned });
+    }
 
     // Ordered deterministic reduction.
     let mut acc = critic.zero_grads();
@@ -110,6 +192,47 @@ pub fn parallel_dis_grads_with(
         let (score, grads) = slot.expect("every job completed");
         for (a, g) in acc.iter_mut().zip(&grads) {
             a.add_assign(g);
+        }
+        if idx < m {
+            real_scores.push(score);
+        } else {
+            fake_scores.push(score);
+        }
+    }
+    Ok((acc, real_scores, fake_scores))
+}
+
+/// Sequential reference path: exactly what the synchronized trainer does,
+/// and the fallback when the thread pool is unhealthy.
+#[allow(clippy::type_complexity)]
+pub fn sequential_dis_grads(
+    critic: &ConvNet,
+    reals: &[Fmaps<f32>],
+    fakes: &[Fmaps<f32>],
+) -> (Vec<LayerGrads>, Vec<f64>, Vec<f64>) {
+    assert!(!reals.is_empty(), "batch must be non-empty");
+    assert_eq!(
+        reals.len(),
+        fakes.len(),
+        "real and fake batches must pair up"
+    );
+    let m = reals.len();
+    let mut acc = critic.zero_grads();
+    let mut real_scores = Vec::with_capacity(m);
+    let mut fake_scores = Vec::with_capacity(m);
+    for (idx, (x, delta)) in reals
+        .iter()
+        .map(|x| (x, wgan::dis_output_error_real(m)))
+        .chain(fakes.iter().map(|x| (x, wgan::dis_output_error_fake(m))))
+        .enumerate()
+    {
+        let trace = critic.forward(x).expect("image shape matches critic");
+        let score = wgan::score(trace.output());
+        let (g, _) = critic
+            .backward(&trace, &wgan::scalar_error(delta))
+            .expect("trace produced by this network");
+        for (a, gi) in acc.iter_mut().zip(&g) {
+            a.add_assign(gi);
         }
         if idx < m {
             real_scores.push(score);
@@ -178,6 +301,35 @@ mod tests {
                 assert_eq!(a.max_abs_diff(b), 0.0, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn sequential_helper_matches_parallel() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (pair, reals, fakes) = batches(&mut rng, 4);
+        let (sg, sr, sf) = sequential_dis_grads(pair.discriminator(), &reals, &fakes);
+        let (pg, pr, pf) = parallel_dis_grads_with(pair.discriminator(), &reals, &fakes, 3);
+        assert_eq!(sr, pr);
+        assert_eq!(sf, pf);
+        for (a, b) in sg.iter().zip(&pg) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_propagated() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (pair, reals, fakes) = batches(&mut rng, 3);
+        // A fake whose shape does not match the critic makes exactly the
+        // workers that process the fake half panic.
+        let mut bad_fakes = fakes.clone();
+        bad_fakes[2] = pair.sample_z_batch(1, &mut rng).remove(0);
+        let err = try_parallel_dis_grads_with(pair.discriminator(), &reals, &bad_fakes, 2)
+            .expect_err("shape-mismatched job must kill its worker");
+        let ParallelError::WorkerPanicked { failed, spawned } = err.clone();
+        assert!(failed >= 1, "{err}");
+        assert!(spawned >= failed, "{err}");
+        assert!(err.to_string().contains("worker threads panicked"));
     }
 
     #[test]

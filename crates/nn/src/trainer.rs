@@ -17,6 +17,9 @@
 //! memory high-water marks, reproducing the paper's `2 × batch → 1`
 //! reduction.
 
+use std::error::Error;
+use std::fmt;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use zfgan_tensor::{ConvBackend, Fmaps, ShapeError, TensorResult};
@@ -80,6 +83,58 @@ impl Default for TrainerConfig {
             weight_clip: Some(0.01),
             n_critic: 5,
         }
+    }
+}
+
+/// An invalid [`TrainerConfig`], with a field-specific explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trainer config: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+impl TrainerConfig {
+    /// Checks every field for validity, so bad configuration surfaces as a
+    /// descriptive error at construction instead of a panic deep inside
+    /// training (`clamp_weights` asserts a positive clip bound, optimizer
+    /// updates assume a positive finite learning rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "learning_rate must be positive and finite, got {}",
+                self.learning_rate
+            )));
+        }
+        if let Some(c) = self.weight_clip {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(ConfigError::new(format!(
+                    "weight_clip must be positive and finite, got {c}"
+                )));
+            }
+        }
+        if self.n_critic == 0 {
+            return Err(ConfigError::new("n_critic must be at least 1"));
+        }
+        Ok(())
     }
 }
 
@@ -191,6 +246,16 @@ impl GanPair {
         &self.discriminator
     }
 
+    /// Mutable access to the Generator (fault injection, custom updates).
+    pub fn generator_mut(&mut self) -> &mut ConvNet {
+        &mut self.generator
+    }
+
+    /// Mutable access to the Discriminator.
+    pub fn discriminator_mut(&mut self) -> &mut ConvNet {
+        &mut self.discriminator
+    }
+
     /// Selects the convolution backend for both networks. All backends
     /// are bit-identical, so the training trajectory does not change.
     pub fn set_backend(&mut self, backend: ConvBackend) {
@@ -288,6 +353,17 @@ pub struct GenStepReport {
     pub peak_live_traces: usize,
 }
 
+/// A complete snapshot of a [`GanTrainer`]'s mutable state — both networks
+/// **and** both optimizers' moment estimates. Restoring it resumes
+/// training bit-identically, which is what the supervisor's rollback
+/// relies on ([`GanTrainer::snapshot`] / [`GanTrainer::restore`]).
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    gan: GanPair,
+    opt_g: Optimizer,
+    opt_d: Optimizer,
+}
+
 /// Drives WGAN training of a [`GanPair`] under a chosen [`SyncMode`].
 #[derive(Debug)]
 pub struct GanTrainer {
@@ -299,15 +375,34 @@ pub struct GanTrainer {
 
 impl GanTrainer {
     /// Creates a trainer, allocating optimizer state for both networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — use
+    /// [`GanTrainer::try_new`] to handle that as an error.
     pub fn new(gan: GanPair, config: TrainerConfig) -> Self {
+        match Self::try_new(gan, config) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a trainer after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field (bad learning
+    /// rate, non-positive `weight_clip`, zero `n_critic`).
+    pub fn try_new(gan: GanPair, config: TrainerConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let opt_g = Optimizer::new(config.optimizer, config.learning_rate, gan.generator());
         let opt_d = Optimizer::new(config.optimizer, config.learning_rate, gan.discriminator());
-        Self {
+        Ok(Self {
             gan,
             config,
             opt_g,
             opt_d,
-        }
+        })
     }
 
     /// The GAN being trained.
@@ -315,9 +410,35 @@ impl GanTrainer {
         &self.gan
     }
 
+    /// Mutable access to the GAN (fault injection, backend changes).
+    pub fn gan_mut(&mut self) -> &mut GanPair {
+        &mut self.gan
+    }
+
     /// The trainer configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// Snapshots networks and optimizer state for later [`restore`].
+    ///
+    /// [`restore`]: GanTrainer::restore
+    pub fn snapshot(&self) -> TrainerState {
+        TrainerState {
+            gan: self.gan.clone(),
+            opt_g: self.opt_g.clone(),
+            opt_d: self.opt_d.clone(),
+        }
+    }
+
+    /// Rolls networks and optimizer state back to a snapshot. Training
+    /// resumed from here (with the same RNG state and data) is
+    /// bit-identical to training resumed from the moment the snapshot was
+    /// taken.
+    pub fn restore(&mut self, state: &TrainerState) {
+        self.gan = state.gan.clone();
+        self.opt_g = state.opt_g.clone();
+        self.opt_d = state.opt_d.clone();
     }
 
     /// One Discriminator (critic) update over `reals` plus an equal number
@@ -578,6 +699,78 @@ mod tests {
                 ..TrainerConfig::default()
             },
         )
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_with_field_specific_errors() {
+        let mut rng = SmallRng::seed_from_u64(60);
+        let cases: [(TrainerConfig, &str); 4] = [
+            (
+                TrainerConfig {
+                    weight_clip: Some(0.0),
+                    ..TrainerConfig::default()
+                },
+                "weight_clip",
+            ),
+            (
+                TrainerConfig {
+                    weight_clip: Some(f32::NAN),
+                    ..TrainerConfig::default()
+                },
+                "weight_clip",
+            ),
+            (
+                TrainerConfig {
+                    learning_rate: -1e-3,
+                    ..TrainerConfig::default()
+                },
+                "learning_rate",
+            ),
+            (
+                TrainerConfig {
+                    n_critic: 0,
+                    ..TrainerConfig::default()
+                },
+                "n_critic",
+            ),
+        ];
+        for (cfg, field) in cases {
+            assert!(cfg.validate().is_err());
+            let err = GanTrainer::try_new(GanPair::tiny(&mut rng), cfg).unwrap_err();
+            assert!(err.to_string().contains(field), "{err}");
+        }
+        assert!(TrainerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight_clip")]
+    fn new_panics_with_the_descriptive_message() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        let _ = GanTrainer::new(
+            GanPair::tiny(&mut rng),
+            TrainerConfig {
+                weight_clip: Some(-1.0),
+                ..TrainerConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut t = trainer(SyncMode::Deferred, 70);
+        let mut rng = SmallRng::seed_from_u64(71);
+        // Warm up so optimizer state is non-trivial.
+        let _ = t.train_iteration(2, &mut rng);
+        let state = t.snapshot();
+        let rng_state = rng.clone();
+        let (d1, g1) = t.train_iteration(2, &mut rng);
+        // Diverge further, then roll back and replay.
+        let _ = t.train_iteration(2, &mut rng);
+        t.restore(&state);
+        let mut rng2 = rng_state;
+        let (d2, g2) = t.train_iteration(2, &mut rng2);
+        assert_eq!(d1, d2);
+        assert_eq!(g1, g2);
     }
 
     #[test]

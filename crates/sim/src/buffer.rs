@@ -9,6 +9,7 @@ use std::error::Error;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use zfgan_tensor::fault::{FaultLog, FaultPlan, FaultSite};
 
 /// A buffer's static description.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -154,6 +155,23 @@ impl OnChipBuffer {
         self.writes += n;
     }
 
+    /// Models reading `data` out of this buffer under a fault plan:
+    /// records the element reads, then corrupts each word the plan fires
+    /// on at [`FaultSite::BufferRead`]. Element `i` is word `base + i` of
+    /// the site's index space, so injection is positional and
+    /// replay-deterministic. A plan targeting another site only counts
+    /// the reads.
+    pub fn read_through(
+        &mut self,
+        base: u64,
+        data: &mut [f32],
+        plan: &FaultPlan,
+        log: &mut FaultLog,
+    ) {
+        self.record_reads(data.len() as u64);
+        plan.corrupt_slice(FaultSite::BufferRead, base, data, log);
+    }
+
     /// Resets counters and occupancy (new experiment, same hardware).
     pub fn reset(&mut self) {
         self.occupancy = 0;
@@ -191,6 +209,47 @@ mod tests {
     fn over_free_panics() {
         let mut b = OnChipBuffer::new(BufferSpec::new("t", 100));
         b.free(1);
+    }
+
+    #[test]
+    fn read_through_counts_reads_and_injects_deterministically() {
+        use zfgan_tensor::fault::FaultKind;
+        let plan = FaultPlan::new(
+            11,
+            0.05,
+            FaultSite::BufferRead,
+            FaultKind::BitFlip { bit: 31 },
+        )
+        .unwrap();
+        let mut b = OnChipBuffer::new(BufferSpec::new("Data", 4096));
+        let mut data = vec![1.0f32; 500];
+        let mut log = FaultLog::default();
+        b.read_through(0, &mut data, &plan, &mut log);
+        assert_eq!(b.reads(), 500);
+        assert!(log.fired > 0);
+        assert_eq!(
+            data.iter().filter(|&&v| v == -1.0).count() as u64,
+            log.effective
+        );
+        // Replay is bit-identical.
+        let mut replay = vec![1.0f32; 500];
+        let mut log2 = FaultLog::default();
+        b.read_through(0, &mut replay, &plan, &mut log2);
+        assert_eq!(data, replay);
+        // A plan for another site leaves data alone but still counts reads.
+        let other = FaultPlan::new(
+            11,
+            1.0,
+            FaultSite::DramBurst,
+            FaultKind::BitFlip { bit: 31 },
+        )
+        .unwrap();
+        let mut clean = vec![1.0f32; 10];
+        let mut log3 = FaultLog::default();
+        b.read_through(0, &mut clean, &other, &mut log3);
+        assert_eq!(clean, vec![1.0f32; 10]);
+        assert_eq!(log3.fired, 0);
+        assert_eq!(b.reads(), 1010);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Off-chip memory bandwidth model — paper Eq. 7's constraint.
 
 use serde::{Deserialize, Serialize};
+use zfgan_tensor::fault::{FaultLog, FaultPlan, FaultSite};
 
 /// A DRAM channel characterised by sustained bandwidth.
 ///
@@ -65,6 +66,23 @@ impl DramModel {
         ((bytes as f64 * 8.0) / self.bits_per_cycle()).ceil() as u64
     }
 
+    /// Models one burst of `data` across the channel under a fault plan:
+    /// corrupts each word the plan fires on at [`FaultSite::DramBurst`]
+    /// (element `i` is word `base + i` of the site's index space) and
+    /// returns the transfer's cycle cost at `bytes_per_elem` bytes per
+    /// word. A plan targeting another site leaves the data untouched.
+    pub fn burst(
+        &self,
+        base: u64,
+        data: &mut [f32],
+        bytes_per_elem: u32,
+        plan: &FaultPlan,
+        log: &mut FaultLog,
+    ) -> u64 {
+        plan.corrupt_slice(FaultSite::DramBurst, base, data, log);
+        self.cycles_for_bytes(data.len() as u64 * u64::from(bytes_per_elem))
+    }
+
     /// Paper Eq. 7: the maximum `W_Pof` the off-chip bandwidth sustains,
     /// `W_Pof = BW / (2 × f × bits_per_data)` — each ZFWST channel issues
     /// one ∇W read **and** one write per `(Nk×Nk)/(Pk×Pk)` cycles, worst
@@ -106,5 +124,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_bandwidth() {
         let _ = DramModel::new(0.0, 200.0);
+    }
+
+    #[test]
+    fn burst_costs_cycles_and_injects_at_its_site_only() {
+        use zfgan_tensor::fault::FaultKind;
+        let d = DramModel::new(8.0, 1000.0); // 8 bits per cycle
+        let plan = FaultPlan::new(
+            2,
+            1.0,
+            FaultSite::DramBurst,
+            FaultKind::StuckAtOne { bit: 31 },
+        )
+        .unwrap();
+        let mut data = vec![1.0f32, -2.0];
+        let mut log = FaultLog::default();
+        let cycles = d.burst(0, &mut data, 4, &plan, &mut log);
+        assert_eq!(cycles, 8); // 8 bytes at one byte per cycle
+        assert_eq!(data, vec![-1.0, -2.0]);
+        assert_eq!(log.fired, 2);
+        assert_eq!(log.effective, 1);
+        assert_eq!(log.masked, 1);
+        let other = FaultPlan::new(
+            2,
+            1.0,
+            FaultSite::BufferRead,
+            FaultKind::BitFlip { bit: 31 },
+        )
+        .unwrap();
+        let mut untouched = vec![1.0f32];
+        let mut log2 = FaultLog::default();
+        let _ = d.burst(0, &mut untouched, 2, &other, &mut log2);
+        assert_eq!(untouched, vec![1.0f32]);
+        assert_eq!(log2.fired, 0);
     }
 }

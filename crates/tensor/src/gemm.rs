@@ -21,6 +21,7 @@
 //! them), and the golden nests skip zeros the same way.
 
 use crate::error::{ShapeError, TensorResult};
+use crate::fault::{FaultLog, FaultPlan, FaultSite};
 use crate::im2col::Matrix;
 use crate::num::Num;
 
@@ -160,9 +161,35 @@ pub fn matmul_parallel<T: Num>(
     Ok(out)
 }
 
+/// GEMM with deterministic accumulator-fault injection: runs the selected
+/// kernel, then corrupts each output element the plan fires on — modelling
+/// a transient upset of the PE's partial-sum register at writeback.
+///
+/// Output element `(i, j)` is word `base + i·n + j` of the
+/// [`FaultSite::GemmAccumulator`] index space, so injection is positional:
+/// the same plan corrupts the same elements for every [`MatmulKind`] and
+/// thread count, keeping campaigns bit-reproducible.
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree.
+pub fn matmul_with_faults(
+    kind: MatmulKind,
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    plan: &FaultPlan,
+    base: u64,
+    log: &mut FaultLog,
+) -> TensorResult<Matrix<f32>> {
+    let mut out = kind.run(a, b)?;
+    plan.corrupt_slice(FaultSite::GemmAccumulator, base, out.as_mut_slice(), log);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -217,5 +244,66 @@ mod tests {
         let b: Matrix<f32> = Matrix::zeros(2, 3);
         assert!(matmul_blocked(&a, &b).is_err());
         assert!(matmul_parallel(&a, &b, 4).is_err());
+    }
+
+    #[test]
+    fn fault_injection_is_positional_across_kernels() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let a = random_matrix(19, 30, 0.3, &mut rng);
+        let b = random_matrix(30, 21, 0.0, &mut rng);
+        let plan = FaultPlan::new(
+            77,
+            0.02,
+            FaultSite::GemmAccumulator,
+            FaultKind::BitFlip { bit: 30 },
+        )
+        .unwrap();
+        let mut reference_log = FaultLog::default();
+        let reference =
+            matmul_with_faults(MatmulKind::Naive, &a, &b, &plan, 100, &mut reference_log).unwrap();
+        assert!(reference_log.fired > 0, "plan should fire in 399 elements");
+        for kind in [MatmulKind::Blocked, MatmulKind::Parallel(4)] {
+            let mut log = FaultLog::default();
+            let c = matmul_with_faults(kind, &a, &b, &plan, 100, &mut log).unwrap();
+            // Bitwise comparison: injected faults can produce NaN, which
+            // PartialEq would treat as unequal to itself.
+            assert!(
+                reference
+                    .as_slice()
+                    .iter()
+                    .zip(c.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{kind:?}"
+            );
+            assert_eq!(log.attempts, reference_log.attempts, "{kind:?}");
+            assert_eq!(log.fired, reference_log.fired, "{kind:?}");
+            assert_eq!(
+                log.records.iter().map(|r| r.index).collect::<Vec<_>>(),
+                reference_log
+                    .records
+                    .iter()
+                    .map(|r| r.index)
+                    .collect::<Vec<_>>(),
+                "{kind:?}"
+            );
+        }
+        // A different base shifts the fault pattern: same plan, new words.
+        let mut other_log = FaultLog::default();
+        let other =
+            matmul_with_faults(MatmulKind::Naive, &a, &b, &plan, 100_000, &mut other_log).unwrap();
+        assert_ne!(
+            reference_log
+                .records
+                .iter()
+                .map(|r| r.index)
+                .collect::<Vec<_>>(),
+            other_log
+                .records
+                .iter()
+                .map(|r| r.index)
+                .collect::<Vec<_>>(),
+            "base offset must move the fault sites"
+        );
+        let _ = other;
     }
 }

@@ -46,9 +46,11 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod abft;
 mod backend;
 mod conv;
 mod error;
+pub mod fault;
 mod fixed;
 mod fmaps;
 pub mod gemm;

@@ -82,6 +82,29 @@ impl ConvGeom {
         Self::new(kh, kw, stride, pad, pad, pad, pad)
     }
 
+    /// Re-runs the [`ConvGeom::new`] invariants on this geometry.
+    ///
+    /// Every constructor enforces them, but serde's derived `Deserialize`
+    /// fills the fields directly — an edited or corrupted payload can smuggle
+    /// in a zero stride or kernel that would panic deep inside a convolution.
+    /// Checkpoint loading calls this to turn such payloads into errors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvGeom::new`].
+    pub fn validate(&self) -> TensorResult<()> {
+        Self::new(
+            self.kh,
+            self.kw,
+            self.stride,
+            self.pad_top,
+            self.pad_bottom,
+            self.pad_left,
+            self.pad_right,
+        )
+        .map(|_| ())
+    }
+
     /// Solves the padding so that an `in_h × in_w` input down-samples to
     /// exactly `out_h × out_w` (TensorFlow `SAME`-style: the extra pad unit,
     /// if any, goes on the bottom/right).

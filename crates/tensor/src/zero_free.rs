@@ -157,6 +157,36 @@ pub fn im2col_t_zero_free<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Vec<Lowe
         .collect()
 }
 
+/// The per-phase GEMM operand pairs `(patches, weights)` of a zero-free
+/// `T-CONV` — the exact matrices [`t_conv_zero_free`] multiplies, exposed
+/// so fault-injection campaigns can drive each phase's GEMM through
+/// instrumented kernels (ABFT checks, accumulator corruption) without
+/// re-deriving the dataflow. Phases with no reachable kernel taps are
+/// omitted, matching [`im2col_t_zero_free`].
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+pub fn t_zero_free_gemm_operands<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+) -> TensorResult<Vec<(Matrix<T>, Matrix<T>)>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's down-direction output side is {} maps, t_conv input has {}",
+            k.n_of(),
+            input.channels()
+        )));
+    }
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    Ok(t_phases(geom, oh, ow)
+        .iter()
+        .filter(|p| !p.kys.is_empty() && !p.kxs.is_empty())
+        .map(|p| (t_phase_patches(input, geom, p), t_phase_weights(k, p)))
+        .collect())
+}
+
 /// Zero-free `T-CONV`: compact per-phase lowering + GEMM, bit-identical
 /// to [`crate::t_conv`].
 ///
@@ -552,6 +582,23 @@ mod tests {
         let golden = t_conv_input_grad(&d, &k, &g).unwrap();
         let fast = t_conv_input_grad_via_gemm(&d, &k, &g, MatmulKind::Blocked).unwrap();
         assert_eq!(golden, fast);
+    }
+
+    #[test]
+    fn gemm_operands_mirror_the_zero_free_phases() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let x: Fmaps<f32> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let pairs = t_zero_free_gemm_operands(&x, &k, &geom()).unwrap();
+        let lowered = im2col_t_zero_free(&x, &geom());
+        assert_eq!(pairs.len(), lowered.len());
+        for ((patches, weights), l) in pairs.iter().zip(&lowered) {
+            assert_eq!(patches, &l.patches);
+            assert_eq!(patches.cols(), weights.rows(), "GEMM-compatible pair");
+            assert_eq!(weights.cols(), k.n_if());
+        }
+        let bad: Fmaps<f32> = Fmaps::zeros(2, 6, 6);
+        assert!(t_zero_free_gemm_operands(&bad, &k, &geom()).is_err());
     }
 
     #[test]

@@ -15,4 +15,10 @@ cargo build --release
 echo "=== cargo test ==="
 cargo test -q
 
+echo "=== fault-injection smoke campaign ==="
+# Fixed seed; the binary exits non-zero if any resilience invariant is
+# violated (no detections, silent accumulator corruptions, training
+# failing to complete under rollback).
+ZFGAN_FAULTS_SEED=2024 cargo run -q --release -p zfgan-bench --bin faults
+
 echo "CI gate passed."

@@ -4,40 +4,58 @@
 //! The heavy lifting lives in [`run`], which is pure (arguments in,
 //! rendered text out) and therefore directly testable; `src/main.rs` is a
 //! thin shell around it.
+//!
+//! Argument errors are *targeted*: an unknown flag or a malformed value
+//! produces a one-line message naming the flag and the accepted
+//! alternatives, not a full usage dump — the dump is reserved for `help`
+//! and an empty invocation.
 
 use crate::accel::{datasheet, AccelConfig, GanAccelerator, MemoryAnalysis};
+use crate::faults::{self, CampaignConfig};
 use crate::workloads::GanSpec;
 
 /// Executes one CLI invocation and returns the text to print.
 ///
 /// # Errors
 ///
-/// Returns a usage/description string when the arguments do not name a
-/// valid command; the caller prints it to stderr and exits non-zero.
+/// Returns a descriptive error string when the arguments do not name a
+/// valid command or carry malformed flags; the caller prints it to stderr
+/// and exits non-zero.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let mut it = args.iter().map(String::as_str);
-    match it.next() {
-        None | Some("help") | Some("--help") | Some("-h") => Ok(usage()),
-        Some("list") => Ok(list_workloads()),
-        Some("datasheet") => {
-            let gan = it
-                .next()
-                .ok_or_else(|| "datasheet: missing <gan>\n".to_string() + &usage())?;
-            let pes = parse_flag(&mut it, "--pes")?;
-            datasheet_cmd(gan, pes)
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    match argv.split_first() {
+        None => Ok(usage()),
+        Some((&"help", _)) | Some((&"--help", _)) | Some((&"-h", _)) => Ok(usage()),
+        Some((&"list", rest)) => {
+            parse_flags(rest, &[])?;
+            Ok(list_workloads())
         }
-        Some("memory") => {
-            let gan = it
-                .next()
-                .ok_or_else(|| "memory: missing <gan>\n".to_string() + &usage())?;
-            let batch = parse_flag(&mut it, "--batch")?.unwrap_or(256);
-            memory_cmd(gan, batch)
+        Some((&"datasheet", rest)) => {
+            let (gan, rest) = positional(rest, "datasheet", "<gan>")?;
+            let flags = parse_flags(rest, &[("--pes", true)])?;
+            datasheet_cmd(gan, flag_num(&flags, "--pes")?)
         }
-        Some("sweep") => {
-            let gan = it.next().unwrap_or("cgan");
+        Some((&"memory", rest)) => {
+            let (gan, rest) = positional(rest, "memory", "<gan>")?;
+            let flags = parse_flags(rest, &[("--batch", true)])?;
+            memory_cmd(gan, flag_num(&flags, "--batch")?.unwrap_or(256))
+        }
+        Some((&"sweep", rest)) => {
+            let (gan, rest) = match rest.split_first() {
+                Some((&g, more)) if !g.starts_with("--") => (g, more),
+                _ => ("cgan", rest),
+            };
+            parse_flags(rest, &[])?;
             sweep_cmd(gan)
         }
-        Some(other) => Err(format!("unknown command '{other}'\n{}", usage())),
+        Some((&"faults", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[("--seed", true), ("--smoke", false), ("--full", false)],
+            )?;
+            faults_cmd(&flags)
+        }
+        Some((&other, _)) => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
 
@@ -51,11 +69,75 @@ fn usage() -> String {
      \x20 datasheet <gan> [--pes N]  full accelerator summary for a workload\n\
      \x20 memory <gan> [--batch N]   Section III-A buffering analysis\n\
      \x20 sweep [<gan>]              PE-count scaling study\n\
+     \x20 faults [--seed N] [--smoke|--full]\n\
+     \x20                            fault-injection campaign: rate x site x dataflow\n\
      \x20 help                       this text\n\
      \n\
      <gan> is one of: mnist, dcgan, cgan (or a case-insensitive prefix).\n\
      The full per-figure evaluation lives in `cargo run -p zfgan-bench --bin <figN|tableN|...>`.\n"
         .to_string()
+}
+
+/// One parsed flag occurrence: `(name, value)`.
+type Flags<'a> = Vec<(&'a str, Option<&'a str>)>;
+
+/// Takes the command's required leading positional argument.
+fn positional<'a, 'b>(
+    rest: &'b [&'a str],
+    cmd: &str,
+    what: &str,
+) -> Result<(&'a str, &'b [&'a str]), String> {
+    match rest.split_first() {
+        Some((&first, more)) if !first.starts_with("--") => Ok((first, more)),
+        _ => Err(format!("{cmd}: missing {what}\n{}", usage())),
+    }
+}
+
+/// Parses `rest` against a spec of `(flag, takes_value)` pairs, rejecting
+/// anything else with a one-line error naming the alternatives.
+fn parse_flags<'a>(rest: &[&'a str], spec: &[(&str, bool)]) -> Result<Flags<'a>, String> {
+    let expected = || -> String {
+        if spec.is_empty() {
+            "this command takes no flags".to_string()
+        } else {
+            format!(
+                "expected one of: {}",
+                spec.iter().map(|(f, _)| *f).collect::<Vec<_>>().join(", ")
+            )
+        }
+    };
+    let mut out = Flags::new();
+    let mut it = rest.iter();
+    while let Some(&arg) = it.next() {
+        let Some(&(flag, takes_value)) = spec.iter().find(|(f, _)| *f == arg) else {
+            return Err(format!("unknown flag '{arg}' ({})", expected()));
+        };
+        if takes_value {
+            let Some(&value) = it.next() else {
+                return Err(format!("{flag} needs a value"));
+            };
+            out.push((arg, Some(value)));
+        } else {
+            out.push((arg, None));
+        }
+    }
+    Ok(out)
+}
+
+/// The last numeric value of `flag`, if present.
+fn flag_num(flags: &Flags<'_>, flag: &str) -> Result<Option<usize>, String> {
+    match flags.iter().rev().find(|(f, _)| *f == flag) {
+        None => Ok(None),
+        Some((_, Some(v))) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: '{v}' is not a number")),
+        Some((_, None)) => Ok(None),
+    }
+}
+
+fn flag_set(flags: &Flags<'_>, flag: &str) -> bool {
+    flags.iter().any(|(f, _)| *f == flag)
 }
 
 fn lookup(gan: &str) -> Result<GanSpec, String> {
@@ -64,22 +146,6 @@ fn lookup(gan: &str) -> Result<GanSpec, String> {
         .into_iter()
         .find(|s| s.name().to_ascii_lowercase().starts_with(&needle))
         .ok_or_else(|| format!("unknown GAN '{gan}' (try: mnist, dcgan, cgan)"))
-}
-
-fn parse_flag<'a>(
-    it: &mut impl Iterator<Item = &'a str>,
-    flag: &str,
-) -> Result<Option<usize>, String> {
-    match it.next() {
-        None => Ok(None),
-        Some(f) if f == flag => {
-            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
-            v.parse()
-                .map(Some)
-                .map_err(|_| format!("{flag}: '{v}' is not a number"))
-        }
-        Some(other) => Err(format!("unexpected argument '{other}'")),
-    }
 }
 
 fn list_workloads() -> String {
@@ -162,6 +228,33 @@ fn sweep_cmd(gan: &str) -> Result<String, String> {
     Ok(out)
 }
 
+fn faults_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    if flag_set(flags, "--smoke") && flag_set(flags, "--full") {
+        return Err("--smoke and --full are mutually exclusive".to_string());
+    }
+    let seed = flag_num(flags, "--seed")?.unwrap_or(2024) as u64;
+    let cfg = if flag_set(flags, "--full") {
+        CampaignConfig::full(seed)
+    } else {
+        CampaignConfig::smoke(seed)
+    };
+    let result = faults::run_campaign(&cfg).map_err(|e| format!("campaign failed: {e}"))?;
+    let summary = faults::render_summary(&result);
+    let violations = faults::smoke_violations(&result);
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(format!(
+            "{summary}\nRESILIENCE INVARIANTS VIOLATED:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,7 +266,7 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let out = run(&args(&["help"])).unwrap();
-        for cmd in ["list", "datasheet", "memory", "sweep"] {
+        for cmd in ["list", "datasheet", "memory", "sweep", "faults"] {
             assert!(out.contains(cmd), "usage missing {cmd}");
         }
         assert_eq!(run(&[]).unwrap(), out);
@@ -217,6 +310,14 @@ mod tests {
     }
 
     #[test]
+    fn faults_smoke_campaign_passes_its_invariants() {
+        let out = run(&args(&["faults", "--seed", "2024"])).unwrap();
+        assert!(out.contains("gemm-accumulator"), "{out}");
+        assert!(out.contains("Supervised training"), "{out}");
+        assert!(out.contains("completed: true"), "{out}");
+    }
+
+    #[test]
     fn errors_are_informative() {
         assert!(run(&args(&["bogus"]))
             .unwrap_err()
@@ -231,5 +332,39 @@ mod tests {
         assert!(run(&args(&["datasheet", "cgan", "--pes", "8"]))
             .unwrap_err()
             .contains("too small"));
+    }
+
+    #[test]
+    fn flag_errors_are_one_line_and_targeted() {
+        // Unknown flag: names the flag and the accepted alternatives —
+        // no usage dump.
+        let err = run(&args(&["datasheet", "cgan", "--pse", "512"])).unwrap_err();
+        assert_eq!(err.lines().count(), 1, "{err}");
+        assert!(err.contains("unknown flag '--pse'"), "{err}");
+        assert!(err.contains("--pes"), "{err}");
+
+        let err = run(&args(&["memory", "dcgan", "--pes", "4"])).unwrap_err();
+        assert_eq!(err.lines().count(), 1, "{err}");
+        assert!(err.contains("--batch"), "{err}");
+
+        // Malformed value: names flag and offending token.
+        let err = run(&args(&["datasheet", "cgan", "--pes", "many"])).unwrap_err();
+        assert_eq!(err, "--pes: 'many' is not a number");
+
+        // Missing value.
+        let err = run(&args(&["memory", "dcgan", "--batch"])).unwrap_err();
+        assert_eq!(err, "--batch needs a value");
+
+        // Commands without flags reject stray ones.
+        let err = run(&args(&["list", "--verbose"])).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+        let err = run(&args(&["sweep", "cgan", "--fast"])).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+
+        // faults: flag validation.
+        let err = run(&args(&["faults", "--smoke", "--full"])).unwrap_err();
+        assert_eq!(err, "--smoke and --full are mutually exclusive");
+        let err = run(&args(&["faults", "--seed", "NaN"])).unwrap_err();
+        assert_eq!(err, "--seed: 'NaN' is not a number");
     }
 }

@@ -22,6 +22,7 @@
 //! `cargo run --release --example quickstart`.
 
 pub mod cli;
+pub mod faults;
 
 pub use zfgan_accel as accel;
 pub use zfgan_dataflow as dataflow;

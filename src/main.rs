@@ -10,7 +10,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(message) => {
-            eprint!("{message}");
+            eprintln!("{}", message.trim_end_matches('\n'));
             ExitCode::FAILURE
         }
     }
