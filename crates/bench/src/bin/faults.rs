@@ -10,6 +10,7 @@ use zfgan::faults::{run_campaign, smoke_violations, CampaignConfig};
 use zfgan_bench::{emit, TextTable};
 
 fn main() {
+    let telemetry = zfgan_bench::telemetry_sidecar("faults");
     let full = std::env::var_os("ZFGAN_FAULTS_FULL").is_some();
     let seed = std::env::var("ZFGAN_FAULTS_SEED")
         .ok()
@@ -81,6 +82,7 @@ fn main() {
         t.final_gen_loss,
     );
 
+    telemetry();
     let violations = smoke_violations(&result);
     if !violations.is_empty() {
         eprintln!("RESILIENCE INVARIANTS VIOLATED:");

@@ -19,6 +19,7 @@ struct Row {
 }
 
 fn main() {
+    let telemetry = zfgan_bench::telemetry_sidecar("fig15");
     let groups: [(&'static str, ConvKind, usize); 4] = [
         ("D (S-CONV)", ConvKind::S, 1200),
         ("G (T-CONV)", ConvKind::T, 1200),
@@ -101,4 +102,5 @@ fn main() {
     }
     println!("== Fig. 15 summary (geomean speedup over NLR across GANs) ==");
     println!("{}", summary.render());
+    telemetry();
 }

@@ -95,6 +95,31 @@ pub fn emit<T: Serialize>(name: &str, title: &str, table: &TextTable, data: &T) 
     println!();
 }
 
+/// Turns the process-global telemetry registry on and returns a closure
+/// that dumps it as `results/telemetry_<name>.json` (best effort, like
+/// [`emit`]). Bench binaries call this first thing in `main` and invoke
+/// the closure last, so every figure run leaves a metrics sidecar:
+///
+/// ```no_run
+/// let telemetry = zfgan_bench::telemetry_sidecar("fig15");
+/// // ... the sweep ...
+/// telemetry();
+/// ```
+///
+/// The global registry (not a thread-local scope) is the right sink here
+/// because [`par_map`] fans work out to worker threads.
+pub fn telemetry_sidecar(name: &str) -> impl FnOnce() {
+    zfgan_telemetry::set_enabled(true);
+    let path = Path::new("results").join(format!("telemetry_{name}.json"));
+    move || {
+        let _ = fs::create_dir_all("results");
+        let json = zfgan_telemetry::export::telemetry_json(zfgan_telemetry::global());
+        if fs::write(&path, json).is_ok() {
+            println!("[wrote {}]", path.display());
+        }
+    }
+}
+
 /// Maps `f` over `items` on scoped worker threads and returns the results
 /// **in input order** — the deterministic merge that keeps the figure
 /// sweeps byte-identical to their sequential form.

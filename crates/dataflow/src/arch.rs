@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use zfgan_sim::{ConvShape, PhaseStats};
+use zfgan_sim::{ConvKind, ConvShape, PhaseStats};
 
 /// Integer ceiling division — tiling maths used by every cycle model.
 ///
@@ -58,6 +58,52 @@ impl fmt::Display for ArchKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Publish one scheduled phase to the telemetry layer: a
+/// `schedule/<arch>/<conv-kind>` span carrying the deterministic schedule
+/// quantities (cycles, MACs, buffer accesses, DRAM bytes, idle-PE cycles,
+/// utilization in ppm) plus arch-labelled running counters. No-op when
+/// telemetry is off; every `Dataflow::schedule` impl calls this on its
+/// result so all five architectures report through one channel.
+pub(crate) fn record_schedule(kind: ArchKind, phase: &ConvShape, stats: &PhaseStats) {
+    if !zfgan_telemetry::enabled() {
+        return;
+    }
+    let conv = match phase.kind() {
+        ConvKind::S => "s_conv",
+        ConvKind::T => "t_conv",
+        ConvKind::WGradS => "wgrad_s",
+        ConvKind::WGradT => "wgrad_t",
+    };
+    let idle = (stats.cycles * stats.n_pes).saturating_sub(stats.effectual_macs);
+    let mut span = zfgan_telemetry::span!("schedule/{}/{conv}", kind.name());
+    span.record("cycles", stats.cycles);
+    span.record("effectual_macs", stats.effectual_macs);
+    span.record("n_pes", stats.n_pes);
+    span.record("buffer_accesses", stats.access.total());
+    span.record("dram_bytes", stats.dram.total_bytes());
+    span.record("idle_pe_cycles", idle);
+    span.record("util_ppm", (stats.utilization() * 1e6) as u64);
+    let labels: &[(&str, &str)] = &[("arch", kind.name())];
+    zfgan_telemetry::count("schedule_phases_total", labels, 1);
+    zfgan_telemetry::count("schedule_cycles_total", labels, stats.cycles);
+    zfgan_telemetry::count(
+        "schedule_effectual_macs_total",
+        labels,
+        stats.effectual_macs,
+    );
+    zfgan_telemetry::count(
+        "schedule_buffer_accesses_total",
+        labels,
+        stats.access.total(),
+    );
+    zfgan_telemetry::count(
+        "schedule_dram_bytes_total",
+        labels,
+        stats.dram.total_bytes(),
+    );
+    zfgan_telemetry::count("schedule_idle_pe_cycles_total", labels, idle);
 }
 
 /// A dataflow architecture: maps a convolution phase onto a PE array and

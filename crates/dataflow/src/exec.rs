@@ -14,6 +14,7 @@
 //! This is what makes the simulator a *simulator* rather than a spreadsheet:
 //! the cycle counts are properties of an executable schedule.
 
+use zfgan_sim::trace::{TraceBuffer, TraceEvent};
 use zfgan_sim::{ConvKind, ConvShape};
 use zfgan_tensor::{Fmaps, Kernels, Num, ShapeError, TensorResult};
 
@@ -46,6 +47,47 @@ pub struct ExecOutcome<T> {
     pub cycles: u64,
 }
 
+/// Optional cycle-stamped event sink threaded through every executor.
+///
+/// The untraced entry points pass [`TraceSink::off`] — a null sink whose
+/// `emit` is a branch on `None` — so tracing costs nothing unless a
+/// `*_traced` wrapper installed a bounded [`TraceBuffer`]. Cycle stamps are
+/// emitted in nondecreasing order, the invariant
+/// [`TraceBuffer::window`]'s binary search relies on.
+struct TraceSink<'a> {
+    buf: Option<&'a mut TraceBuffer>,
+}
+
+impl<'a> TraceSink<'a> {
+    fn off() -> Self {
+        TraceSink { buf: None }
+    }
+
+    fn to(buf: &'a mut TraceBuffer) -> Self {
+        TraceSink { buf: Some(buf) }
+    }
+
+    #[inline]
+    fn emit(&mut self, cycle: u64, event: TraceEvent) {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.record(cycle, event);
+        }
+    }
+}
+
+/// Publish one executor run to the telemetry layer: an
+/// `exec/<arch>/<kind>` span carrying the enumerated cycle count. No-op
+/// when telemetry is off.
+fn record_exec(path: &str, cycles: u64) {
+    if !zfgan_telemetry::enabled() {
+        return;
+    }
+    let mut span = zfgan_telemetry::span!("exec/{path}");
+    span.record("cycles", cycles);
+    zfgan_telemetry::count("exec_runs_total", &[("executor", path)], 1);
+    zfgan_telemetry::count("exec_cycles_total", &[("executor", path)], cycles);
+}
+
 /// Executes an `S-CONV` phase on a [`Zfost`] array.
 ///
 /// Kernel weights are fed in the parity-reordered order of paper Fig. 12(a)
@@ -60,6 +102,35 @@ pub fn zfost_s_conv<T: Num>(
     phase: &ConvShape,
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    zfost_s_conv_inner(zf, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`zfost_s_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfost_s_conv_traced<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfost_s_conv_inner(zf, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfost_s_conv_inner<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
 ) -> TensorResult<ExecOutcome<Fmaps<T>>> {
     check_kind(phase, ConvKind::S)?;
     let geom = *phase.geom();
@@ -83,10 +154,24 @@ pub fn zfost_s_conv<T: Num>(
         .flat_map(|ty| (0..sw.div_ceil(p_ox)).map(move |tx| (ty, tx)))
         .collect();
     for of_base in (0..small).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(small);
         for chunk in tiles.chunks(fold) {
             for if_ in 0..large {
                 for (ky, kx) in kernel_parity_order(geom.kh(), geom.kw(), geom.stride()) {
+                    sink.emit(
+                        cycles,
+                        TraceEvent::Mac {
+                            ch: if_ as u16,
+                            row: ky as u16,
+                            col: kx as u16,
+                        },
+                    );
                     cycles += 1;
                     for &(ty, tx) in chunk {
                         for of in of_base..of_end {
@@ -113,6 +198,7 @@ pub fn zfost_s_conv<T: Num>(
             }
         }
     }
+    record_exec("zfost/s_conv", cycles);
     Ok(ExecOutcome {
         output: out,
         cycles,
@@ -134,6 +220,35 @@ pub fn zfost_t_conv<T: Num>(
     phase: &ConvShape,
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    zfost_t_conv_inner(zf, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`zfost_t_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfost_t_conv_traced<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfost_t_conv_inner(zf, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfost_t_conv_inner<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
 ) -> TensorResult<ExecOutcome<Fmaps<T>>> {
     check_kind(phase, ConvKind::T)?;
     let geom = *phase.geom();
@@ -159,12 +274,26 @@ pub fn zfost_t_conv<T: Num>(
         .flat_map(|ty| (0..lw.div_ceil(region_w)).map(move |tx| (ty, tx)))
         .collect();
     for of_base in (0..large).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(large);
         for chunk in tiles.chunks(fold) {
             {
                 for sf in 0..small {
                     for ky in 0..kh {
                         for kx in 0..kw {
+                            sink.emit(
+                                cycles,
+                                TraceEvent::Mac {
+                                    ch: sf as u16,
+                                    row: ky as u16,
+                                    col: kx as u16,
+                                },
+                            );
                             cycles += 1;
                             // Output rows effective for this kernel row form
                             // one residue class mod s.
@@ -214,6 +343,7 @@ pub fn zfost_t_conv<T: Num>(
             }
         }
     }
+    record_exec("zfost/t_conv", cycles);
     Ok(ExecOutcome {
         output: out,
         cycles,
@@ -232,6 +362,35 @@ pub fn zfwst_wgrad_s<T: Num>(
     phase: &ConvShape,
     data: &Fmaps<T>,
     error: &Fmaps<T>,
+) -> TensorResult<ExecOutcome<Kernels<T>>> {
+    zfwst_wgrad_s_inner(zf, phase, data, error, &mut TraceSink::off())
+}
+
+/// [`zfwst_wgrad_s`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_wgrad_s_traced<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Kernels<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfwst_wgrad_s_inner(zf, phase, data, error, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfwst_wgrad_s_inner<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    sink: &mut TraceSink<'_>,
 ) -> TensorResult<ExecOutcome<Kernels<T>>> {
     check_kind(phase, ConvKind::WGradS)?;
     let geom = *phase.geom();
@@ -252,13 +411,23 @@ pub fn zfwst_wgrad_s<T: Num>(
         .collect();
     let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
     let mut cycles = 0u64;
-    for group in pairs.chunks(p_of) {
+    for (g, group) in pairs.chunks(p_of).enumerate() {
+        sink.emit(cycles, TraceEvent::PhaseStart { label: g as u16 });
         for ky in 0..geom.kh() {
             for kx in 0..geom.kw() {
                 let positions: Vec<(usize, usize)> = (0..sh)
                     .flat_map(|oy| (0..sw).map(move |ox| (oy, ox)))
                     .collect();
                 for chunk in positions.chunks(grid) {
+                    sink.emit(
+                        cycles,
+                        TraceEvent::Mac {
+                            ch: g as u16,
+                            row: ky as u16,
+                            col: kx as u16,
+                        },
+                    );
+                    sink.emit(cycles, TraceEvent::BufferWrite { buffer: 3 });
                     cycles += 1;
                     for &(of, if_) in group {
                         let mut acc = T::zero();
@@ -273,6 +442,7 @@ pub fn zfwst_wgrad_s<T: Num>(
             }
         }
     }
+    record_exec("zfwst/wgrad_s", cycles);
     Ok(ExecOutcome {
         output: grad,
         cycles,
@@ -291,6 +461,35 @@ pub fn zfwst_wgrad_t<T: Num>(
     phase: &ConvShape,
     data: &Fmaps<T>,
     error: &Fmaps<T>,
+) -> TensorResult<ExecOutcome<Kernels<T>>> {
+    zfwst_wgrad_t_inner(zf, phase, data, error, &mut TraceSink::off())
+}
+
+/// [`zfwst_wgrad_t`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_wgrad_t_traced<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Kernels<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfwst_wgrad_t_inner(zf, phase, data, error, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfwst_wgrad_t_inner<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    sink: &mut TraceSink<'_>,
 ) -> TensorResult<ExecOutcome<Kernels<T>>> {
     check_kind(phase, ConvKind::WGradT)?;
     let geom = *phase.geom();
@@ -312,13 +511,23 @@ pub fn zfwst_wgrad_t<T: Num>(
         .collect();
     let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
     let mut cycles = 0u64;
-    for group in pairs.chunks(p_of) {
+    for (g, group) in pairs.chunks(p_of).enumerate() {
+        sink.emit(cycles, TraceEvent::PhaseStart { label: g as u16 });
         for ky in 0..geom.kh() {
             for kx in 0..geom.kw() {
                 let positions: Vec<(usize, usize)> = (0..sh)
                     .flat_map(|iy| (0..sw).map(move |ix| (iy, ix)))
                     .collect();
                 for chunk in positions.chunks(grid) {
+                    sink.emit(
+                        cycles,
+                        TraceEvent::Mac {
+                            ch: g as u16,
+                            row: ky as u16,
+                            col: kx as u16,
+                        },
+                    );
+                    sink.emit(cycles, TraceEvent::BufferWrite { buffer: 3 });
                     cycles += 1;
                     for &(sf, lf) in group {
                         let mut acc = T::zero();
@@ -338,6 +547,7 @@ pub fn zfwst_wgrad_t<T: Num>(
             }
         }
     }
+    record_exec("zfwst/wgrad_t", cycles);
     Ok(ExecOutcome {
         output: grad,
         cycles,
@@ -364,6 +574,37 @@ pub fn ost_t_conv<T: Num>(
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
 ) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
+    ost_t_conv_inner(ost, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`ost_t_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+#[allow(clippy::type_complexity)]
+pub fn ost_t_conv_traced<T: Num>(
+    ost: &Ost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, (u64, u64)), TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = ost_t_conv_inner(ost, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+#[allow(clippy::type_complexity)]
+fn ost_t_conv_inner<T: Num>(
+    ost: &Ost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
     check_kind(phase, ConvKind::T)?;
     let geom = *phase.geom();
     let (small, large) = (phase.small(), phase.large());
@@ -389,11 +630,25 @@ pub fn ost_t_conv<T: Num>(
         .flat_map(|ty| (0..lw.div_ceil(p_ox)).map(move |tx| (ty, tx)))
         .collect();
     for of_base in (0..large).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(large);
         for chunk in tiles.chunks(fold) {
             for sf in 0..small {
                 for ky in 0..kh {
                     for kx in 0..kw {
+                        sink.emit(
+                            cycles,
+                            TraceEvent::Mac {
+                                ch: sf as u16,
+                                row: ky as u16,
+                                col: kx as u16,
+                            },
+                        );
                         cycles += 1;
                         for &(ty, tx) in chunk {
                             for of in of_base..of_end {
@@ -436,6 +691,7 @@ pub fn ost_t_conv<T: Num>(
             }
         }
     }
+    record_exec("ost/t_conv", cycles);
     Ok((
         ExecOutcome {
             output: out,
@@ -463,6 +719,37 @@ pub fn wst_s_conv<T: Num>(
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
 ) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
+    wst_s_conv_inner(wst, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`wst_s_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+#[allow(clippy::type_complexity)]
+pub fn wst_s_conv_traced<T: Num>(
+    wst: &Wst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, (u64, u64)), TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = wst_s_conv_inner(wst, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+#[allow(clippy::type_complexity)]
+fn wst_s_conv_inner<T: Num>(
+    wst: &Wst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, (u64, u64))> {
     check_kind(phase, ConvKind::S)?;
     let geom = *phase.geom();
     let (small, large) = (phase.small(), phase.large());
@@ -482,6 +769,12 @@ pub fn wst_s_conv<T: Num>(
     let mut cycles = 0u64;
     let (mut psum_reads, mut psum_writes) = (0u64, 0u64);
     for of_base in (0..small).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(small);
         for ky_base in (0..kh).step_by(p_ky) {
             for kx_base in (0..kw).step_by(p_kx) {
@@ -490,6 +783,7 @@ pub fn wst_s_conv<T: Num>(
                 for if_ in 0..large {
                     for iy in 0..lh {
                         for ix in 0..lw {
+                            sink.emit(cycles, TraceEvent::BufferRead { buffer: 1 });
                             cycles += 1;
                             let v = *input.at(if_, iy, ix);
                             for of in of_base..of_end {
@@ -512,6 +806,11 @@ pub fn wst_s_conv<T: Num>(
                                         // write through the buffer.
                                         psum_reads += 1;
                                         psum_writes += 1;
+                                        sink.emit(cycles - 1, TraceEvent::BufferRead { buffer: 2 });
+                                        sink.emit(
+                                            cycles - 1,
+                                            TraceEvent::BufferWrite { buffer: 2 },
+                                        );
                                         out.at_mut(of, oy, ox)
                                             .mul_add_assign(v, *kernels.at(of, if_, ky, kx));
                                     }
@@ -523,6 +822,7 @@ pub fn wst_s_conv<T: Num>(
             }
         }
     }
+    record_exec("wst/s_conv", cycles);
     Ok((
         ExecOutcome {
             output: out,
@@ -547,6 +847,37 @@ pub fn nlr_s_conv<T: Num>(
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
 ) -> TensorResult<(ExecOutcome<Fmaps<T>>, u64)> {
+    nlr_s_conv_inner(nlr, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`nlr_s_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+#[allow(clippy::type_complexity)]
+pub fn nlr_s_conv_traced<T: Num>(
+    nlr: &Nlr,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, u64), TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = nlr_s_conv_inner(nlr, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+#[allow(clippy::type_complexity)]
+fn nlr_s_conv_inner<T: Num>(
+    nlr: &Nlr,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, u64)> {
     check_kind(phase, ConvKind::S)?;
     let geom = *phase.geom();
     let (small, large) = (phase.small(), phase.large());
@@ -564,6 +895,12 @@ pub fn nlr_s_conv<T: Num>(
     let mut cycles = 0u64;
     let mut weight_fetches = 0u64;
     for of_base in (0..small).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(small);
         for if_base in (0..large).step_by(p_if) {
             let if_end = (if_base + p_if).min(large);
@@ -573,6 +910,14 @@ pub fn nlr_s_conv<T: Num>(
                 for ox in 0..sw {
                     for ky in 0..geom.kh() {
                         for kx in 0..geom.kw() {
+                            sink.emit(
+                                cycles,
+                                TraceEvent::Mac {
+                                    ch: if_base as u16,
+                                    row: oy as u16,
+                                    col: ox as u16,
+                                },
+                            );
                             cycles += 1;
                             for of in of_base..of_end {
                                 let mut tree = T::zero();
@@ -580,6 +925,7 @@ pub fn nlr_s_conv<T: Num>(
                                     let iy = stride * oy as isize + ky as isize - pt;
                                     let ix = stride * ox as isize + kx as isize - pl;
                                     weight_fetches += 1;
+                                    sink.emit(cycles - 1, TraceEvent::BufferRead { buffer: 0 });
                                     tree +=
                                         input.at_padded(if_, iy, ix) * *kernels.at(of, if_, ky, kx);
                                 }
@@ -591,6 +937,7 @@ pub fn nlr_s_conv<T: Num>(
             }
         }
     }
+    record_exec("nlr/s_conv", cycles);
     Ok((
         ExecOutcome {
             output: out,
@@ -614,6 +961,35 @@ pub fn zfwst_s_conv<T: Num>(
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
 ) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    zfwst_s_conv_inner(zf, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`zfwst_s_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_s_conv_traced<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfwst_s_conv_inner(zf, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfwst_s_conv_inner<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
     check_kind(phase, ConvKind::S)?;
     let geom = *phase.geom();
     let (small, large) = (phase.small(), phase.large());
@@ -634,11 +1010,25 @@ pub fn zfwst_s_conv<T: Num>(
     let mut out: Fmaps<T> = Fmaps::zeros(small, sh, sw);
     let mut cycles = 0u64;
     for of_base in (0..small).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(small);
         for oy in 0..sh {
             for ox in 0..sw {
                 for if_ in 0..large {
                     for chunk in positions.chunks(grid) {
+                        sink.emit(
+                            cycles,
+                            TraceEvent::Mac {
+                                ch: if_ as u16,
+                                row: oy as u16,
+                                col: ox as u16,
+                            },
+                        );
                         cycles += 1;
                         for of in of_base..of_end {
                             // The adder tree folds the chunk's products.
@@ -655,6 +1045,7 @@ pub fn zfwst_s_conv<T: Num>(
             }
         }
     }
+    record_exec("zfwst/s_conv", cycles);
     Ok(ExecOutcome {
         output: out,
         cycles,
@@ -674,6 +1065,35 @@ pub fn zfwst_t_conv<T: Num>(
     phase: &ConvShape,
     input: &Fmaps<T>,
     kernels: &Kernels<T>,
+) -> TensorResult<ExecOutcome<Fmaps<T>>> {
+    zfwst_t_conv_inner(zf, phase, input, kernels, &mut TraceSink::off())
+}
+
+/// [`zfwst_t_conv`] with a bounded cycle-stamped event trace of up to
+/// `trace_capacity` events (phase starts, operand feeds, buffer traffic),
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// Returns an error if the operands do not match `phase`.
+pub fn zfwst_t_conv_traced<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    trace_capacity: usize,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, TraceBuffer)> {
+    let mut trace = TraceBuffer::new(trace_capacity);
+    let outcome = zfwst_t_conv_inner(zf, phase, input, kernels, &mut TraceSink::to(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn zfwst_t_conv_inner<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    sink: &mut TraceSink<'_>,
 ) -> TensorResult<ExecOutcome<Fmaps<T>>> {
     check_kind(phase, ConvKind::T)?;
     let geom = *phase.geom();
@@ -697,6 +1117,12 @@ pub fn zfwst_t_conv<T: Num>(
     let eff = (kh.div_ceil(s)) * (kw.div_ceil(s));
     let passes = eff.div_ceil(grid);
     for of_base in (0..large).step_by(p_of) {
+        sink.emit(
+            cycles,
+            TraceEvent::PhaseStart {
+                label: (of_base / p_of) as u16,
+            },
+        );
         let of_end = (of_base + p_of).min(large);
         for oy in 0..lh {
             for ox in 0..lw {
@@ -726,6 +1152,14 @@ pub fn zfwst_t_conv<T: Num>(
                     // regardless of edge-thinning — the hardware's fixed
                     // pipeline beat.
                     for chunk in taps.chunks(grid.max(1)) {
+                        sink.emit(
+                            cycles,
+                            TraceEvent::Mac {
+                                ch: sf as u16,
+                                row: oy as u16,
+                                col: ox as u16,
+                            },
+                        );
                         cycles += 1;
                         for of in of_base..of_end {
                             let mut tree = T::zero();
@@ -744,6 +1178,7 @@ pub fn zfwst_t_conv<T: Num>(
             }
         }
     }
+    record_exec("zfwst/t_conv", cycles);
     Ok(ExecOutcome {
         output: out,
         cycles,
@@ -955,6 +1390,111 @@ mod tests {
         // ~3/4 of the baseline's multiplications are wasted.
         let frac = ineffectual as f64 / (effectual + ineffectual) as f64;
         assert!((0.6..0.85).contains(&frac), "wasted fraction {frac}");
+    }
+
+    #[test]
+    fn traced_executor_streams_nondecreasing_events_and_matches_untraced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = phase(ConvKind::S);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let zf = Zfost::new(4, 4, 2);
+        let (out, trace) = zfost_s_conv_traced(&zf, &p, &x, &k, 4096).unwrap();
+        // Tracing never changes results or cycle counts.
+        assert_eq!(out, zfost_s_conv(&zf, &p, &x, &k).unwrap());
+        assert!(!trace.is_empty());
+        let mut last = 0u64;
+        for &(c, _) in trace.iter() {
+            assert!(c >= last, "cycle stamps must be nondecreasing");
+            last = c;
+        }
+        assert!(trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::PhaseStart { .. })));
+        assert!(trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::Mac { .. })));
+        // The binary-search window over the traced run sees everything.
+        assert_eq!(trace.window(0, out.cycles + 1).len(), trace.len());
+    }
+
+    #[test]
+    fn every_traced_variant_emits_events() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let small_x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let err_small: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+        let err_big: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let cap = 512;
+        let traces = vec![
+            zfost_s_conv_traced(&Zfost::new(4, 4, 2), &phase(ConvKind::S), &x, &k, cap)
+                .unwrap()
+                .1,
+            zfost_t_conv_traced(&Zfost::new(2, 3, 2), &phase(ConvKind::T), &small_x, &k, cap)
+                .unwrap()
+                .1,
+            zfwst_wgrad_s_traced(
+                &Zfwst::new(3, 3, 4),
+                &phase(ConvKind::WGradS),
+                &x,
+                &err_small,
+                cap,
+            )
+            .unwrap()
+            .1,
+            zfwst_wgrad_t_traced(
+                &Zfwst::new(4, 2, 3),
+                &phase(ConvKind::WGradT),
+                &small_x,
+                &err_big,
+                cap,
+            )
+            .unwrap()
+            .1,
+            ost_t_conv_traced(&Ost::new(4, 4, 2), &phase(ConvKind::T), &small_x, &k, cap)
+                .unwrap()
+                .1,
+            wst_s_conv_traced(&Wst::new(4, 4, 2), &phase(ConvKind::S), &x, &k, cap)
+                .unwrap()
+                .1,
+            nlr_s_conv_traced(&Nlr::new(3, 5), &phase(ConvKind::S), &x, &k, cap)
+                .unwrap()
+                .1,
+            zfwst_s_conv_traced(&Zfwst::new(3, 3, 2), &phase(ConvKind::S), &x, &k, cap)
+                .unwrap()
+                .1,
+            zfwst_t_conv_traced(&Zfwst::new(2, 2, 2), &phase(ConvKind::T), &small_x, &k, cap)
+                .unwrap()
+                .1,
+        ];
+        for (i, t) in traces.iter().enumerate() {
+            assert!(!t.is_empty(), "executor {i} recorded nothing");
+            let mut last = 0u64;
+            for &(c, _) in t.iter() {
+                assert!(c >= last, "executor {i}: stamps must be nondecreasing");
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_telemetry_lands_in_scoped_registry() {
+        let reg = std::sync::Arc::new(zfgan_telemetry::Registry::new());
+        let _g = zfgan_telemetry::scope(std::sync::Arc::clone(&reg));
+        let zf = Zfost::new(4, 4, 2);
+        let stats = zf.schedule(&phase(ConvKind::S));
+        let snap = reg.snapshot();
+        let cycles = snap
+            .counters
+            .iter()
+            .find(|(k, _, _)| k.render() == "schedule_cycles_total{arch=\"ZFOST\"}")
+            .map(|(_, _, v)| *v);
+        assert_eq!(cycles, Some(stats.cycles));
+        assert!(reg.spans().iter().any(|s| {
+            s.path == "schedule/ZFOST/s_conv"
+                && s.attrs.contains(&("cycles".to_string(), stats.cycles))
+        }));
     }
 
     #[test]

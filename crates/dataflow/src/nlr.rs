@@ -91,7 +91,7 @@ impl Dataflow for Nlr {
                 (ceil_div(e_total, self.p_of), (e_total, e_total))
             }
         };
-        PhaseStats {
+        let stats = PhaseStats {
             cycles,
             effectual_macs: e_total,
             n_pes: self.n_pes(),
@@ -105,7 +105,9 @@ impl Dataflow for Nlr {
                 output_writes: out_traffic.1,
             },
             dram: Default::default(),
-        }
+        };
+        crate::arch::record_schedule(self.kind(), phase, &stats);
+        stats
     }
 }
 

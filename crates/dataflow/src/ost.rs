@@ -122,7 +122,7 @@ impl Dataflow for Ost {
         };
         let _ = group_passes;
 
-        PhaseStats {
+        let stats = PhaseStats {
             cycles,
             effectual_macs: phase.effectual_macs(),
             n_pes: self.n_pes(),
@@ -135,7 +135,9 @@ impl Dataflow for Ost {
                 output_writes: phase.output_count(),
             },
             dram: Default::default(),
-        }
+        };
+        crate::arch::record_schedule(self.kind(), phase, &stats);
+        stats
     }
 }
 

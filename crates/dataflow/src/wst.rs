@@ -98,7 +98,7 @@ impl Dataflow for Wst {
         // Whether layer weights (S/T) or the error operand (W-CONV), the
         // stationary set is loaded once per element.
         let stationary_loads = pairs * kh * kw;
-        PhaseStats {
+        let stats = PhaseStats {
             cycles,
             effectual_macs: e_total,
             n_pes: self.n_pes(),
@@ -112,7 +112,9 @@ impl Dataflow for Wst {
                 output_writes: e_total,
             },
             dram: Default::default(),
-        }
+        };
+        crate::arch::record_schedule(self.kind(), phase, &stats);
+        stats
     }
 }
 

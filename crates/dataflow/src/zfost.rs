@@ -165,7 +165,7 @@ impl Dataflow for Zfost {
             }
         };
 
-        PhaseStats {
+        let stats = PhaseStats {
             cycles,
             effectual_macs: phase.effectual_macs(),
             n_pes: self.n_pes(),
@@ -176,7 +176,9 @@ impl Dataflow for Zfost {
                 output_writes: phase.output_count(),
             },
             dram: Default::default(),
-        }
+        };
+        crate::arch::record_schedule(self.kind(), phase, &stats);
+        stats
     }
 }
 

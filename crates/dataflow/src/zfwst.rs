@@ -128,7 +128,7 @@ impl Dataflow for Zfwst {
         let output_writes = outputs * passes_per_output.max(1);
         let output_reads = outputs * (passes_per_output.max(1) - 1);
 
-        PhaseStats {
+        let stats = PhaseStats {
             cycles,
             effectual_macs: phase.effectual_macs(),
             n_pes: self.n_pes(),
@@ -139,7 +139,9 @@ impl Dataflow for Zfwst {
                 output_writes,
             },
             dram: Default::default(),
-        }
+        };
+        crate::arch::record_schedule(self.kind(), phase, &stats);
+        stats
     }
 }
 

@@ -283,6 +283,7 @@ impl SupervisedTrainer {
                         None => {
                             self.last_good = self.trainer.snapshot();
                             self.stats.iterations += 1;
+                            zfgan_telemetry::count("supervisor_iterations_total", &[], 1);
                             return Ok(reports);
                         }
                         Some(a) => Some(a),
@@ -293,6 +294,8 @@ impl SupervisedTrainer {
             if let Some(a) = anomaly {
                 self.stats.anomalies += 1;
                 self.stats.rollbacks += 1;
+                zfgan_telemetry::count("supervisor_anomalies_total", &[("kind", a.name())], 1);
+                zfgan_telemetry::count("supervisor_rollbacks_total", &[], 1);
                 self.trainer.restore(&self.last_good);
                 self.trainer.gan_mut().set_backend(self.backend);
                 *rng = rng_checkpoint;
@@ -303,6 +306,7 @@ impl SupervisedTrainer {
                     });
                 }
                 self.stats.retries += 1;
+                zfgan_telemetry::count("supervisor_retries_total", &[], 1);
             }
         }
     }
@@ -318,6 +322,7 @@ impl SupervisedTrainer {
                 ConvBackend::LoweredZeroFree
             };
             self.stats.degradations += 1;
+            zfgan_telemetry::count("supervisor_degradations_total", &[], 1);
         }
     }
 
@@ -343,6 +348,7 @@ impl SupervisedTrainer {
         let word_idx = plan.pick(step_index, 0x776f_7264_0000_0000, words.len());
         words[word_idx] = plan.apply(words[word_idx]);
         self.stats.faults_injected += 1;
+        zfgan_telemetry::count("supervisor_faults_injected_total", &[], 1);
     }
 
     /// Post-iteration health checks, cheapest first.

@@ -424,6 +424,7 @@ impl GanTrainer {
     ///
     /// [`restore`]: GanTrainer::restore
     pub fn snapshot(&self) -> TrainerState {
+        zfgan_telemetry::count("trainer_snapshots_total", &[], 1);
         TrainerState {
             gan: self.gan.clone(),
             opt_g: self.opt_g.clone(),
@@ -436,6 +437,7 @@ impl GanTrainer {
     /// bit-identical to training resumed from the moment the snapshot was
     /// taken.
     pub fn restore(&mut self, state: &TrainerState) {
+        zfgan_telemetry::count("trainer_restores_total", &[], 1);
         self.gan = state.gan.clone();
         self.opt_g = state.opt_g.clone();
         self.opt_d = state.opt_d.clone();
@@ -637,12 +639,25 @@ impl GanTrainer {
         batch: usize,
         rng: &mut R,
     ) -> (DisStepReport, GenStepReport) {
+        let mut span = zfgan_telemetry::span!("train/iteration");
+        let t0 = std::time::Instant::now();
         let mut last = None;
         for _ in 0..self.config.n_critic.max(1) {
             let reals = self.gan.sample_real_batch(batch, rng);
             last = Some(self.step_discriminator(&reals, rng));
         }
         let gen = self.step_generator(batch, rng);
+        if span.is_active() {
+            span.record("batch", batch as u64);
+            span.record("critic_updates", self.config.n_critic.max(1) as u64);
+            zfgan_telemetry::count("trainer_steps_total", &[], 1);
+            zfgan_telemetry::observe_wall(
+                "trainer_step_seconds",
+                &[],
+                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
+                t0.elapsed().as_secs_f64(),
+            );
+        }
         (last.expect("n_critic ≥ 1"), gen)
     }
 }

@@ -131,12 +131,14 @@ impl TraceBuffer {
     }
 
     /// Events recorded in the half-open cycle range `[from, to)`.
+    ///
+    /// Cycles are recorded in nondecreasing order, so the range endpoints
+    /// are found by `partition_point` binary search — O(log n + k) rather
+    /// than a full scan of the ring.
     pub fn window(&self, from: u64, to: u64) -> Vec<(u64, TraceEvent)> {
-        self.events
-            .iter()
-            .filter(|(c, _)| (from..to).contains(c))
-            .copied()
-            .collect()
+        let start = self.events.partition_point(|(c, _)| *c < from);
+        let end = self.events.partition_point(|(c, _)| *c < to);
+        self.events.range(start..end).copied().collect()
     }
 
     /// Renders the retained events, one per line, `cycle: event`.
@@ -183,6 +185,31 @@ mod tests {
         let w = t.window(15, 30);
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].0, 20);
+    }
+
+    /// Eviction + windowing together: after the ring wraps, the window
+    /// endpoints still bisect correctly over the retained (rotated) storage,
+    /// including same-cycle runs straddling a bucket edge.
+    #[test]
+    fn window_after_eviction_bisects_the_rotated_ring() {
+        let mut t = TraceBuffer::new(8);
+        // Nondecreasing cycles with duplicates: 0,0,1,1,2,2,...,7,7.
+        for c in 0..8u64 {
+            for buffer in 0..2u8 {
+                t.record(c, TraceEvent::BufferRead { buffer });
+            }
+        }
+        assert_eq!(t.evicted(), 8, "ring must have wrapped");
+        // Retained: cycles 4..8, two events each, stored rotated in the deque.
+        let cycles: Vec<u64> = t.window(5, 7).iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, vec![5, 5, 6, 6]);
+        // Endpoints below / above the retained range clamp cleanly.
+        assert_eq!(t.window(0, 5).len(), 2, "only cycle 4 survives eviction");
+        assert_eq!(t.window(7, 100).len(), 2);
+        assert_eq!(t.window(9, 10).len(), 0);
+        assert_eq!(t.window(6, 6).len(), 0, "empty half-open range");
+        // Whole-range window equals the full retained contents.
+        assert_eq!(t.window(0, u64::MAX).len(), t.len());
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Exporters: Chrome-trace/Perfetto JSON, Prometheus text exposition, a
+//! human-readable summary table, and the canonical deterministic section.
+//!
+//! All JSON here is hand-rolled (the crate is dependency-free) and, for the
+//! deterministic section, canonical: metrics sorted by key, spans sorted by
+//! creation order, integers only or Rust's shortest-roundtrip float display.
+//! That is what lets CI diff two runs byte-for-byte.
+
+use crate::registry::{Class, Registry, Snapshot};
+use crate::span::SpanRecord;
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-roundtrip float display; integral values print without `.0`
+/// noise beyond Rust's default (`1` stays `1`, `1.5` stays `1.5`).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Format nanoseconds as fractional microseconds (Chrome-trace `ts`/`dur`).
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn span_attr_args(rec: &SpanRecord) -> String {
+    let body: Vec<String> = rec
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The canonical byte-stable JSON object holding every deterministic
+/// quantity in the registry: deterministic-class counters, gauges and
+/// histograms (bucket counts), plus each span's path and deterministic
+/// attributes. Wall-clock values never appear here.
+pub fn deterministic_section(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::from("{\"counters\":{");
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(_, class, _)| *class == Class::Deterministic)
+        .map(|(key, _, v)| format!("\"{}\":{v}", escape(&key.render())))
+        .collect();
+    out.push_str(&counters.join(","));
+    out.push_str("},\"gauges\":{");
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .filter(|(_, class, _)| *class == Class::Deterministic)
+        .map(|(key, _, v)| format!("\"{}\":{}", escape(&key.render()), fmt_f64(*v)))
+        .collect();
+    out.push_str(&gauges.join(","));
+    out.push_str("},\"histograms\":{");
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .filter(|(_, class, _)| *class == Class::Deterministic)
+        .map(|(key, _, h)| {
+            let bounds: Vec<String> = h.bounds.iter().map(|b| fmt_f64(*b)).collect();
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            format!(
+                "\"{}\":{{\"bounds\":[{}],\"buckets\":[{}],\"count\":{}}}",
+                escape(&key.render()),
+                bounds.join(","),
+                buckets.join(","),
+                h.count
+            )
+        })
+        .collect();
+    out.push_str(&hists.join(","));
+    out.push_str("},\"spans\":[");
+    let mut spans = reg.spans();
+    spans.sort_by_key(|s| s.seq);
+    let span_objs: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"path\":\"{}\",\"attrs\":{}}}",
+                escape(&s.path),
+                span_attr_args(s)
+            )
+        })
+        .collect();
+    out.push_str(&span_objs.join(","));
+    out.push_str("]}");
+    out
+}
+
+/// Chrome trace event format (object form), loadable in Perfetto /
+/// `chrome://tracing`.
+///
+/// - pid 1: wall-clock spans as `"X"` complete events (`ts`/`dur` in µs).
+/// - pid 2: cycle-domain instant events, one thread per entry of
+///   `cycle_tracks` (`ts` is the simulated cycle, not a real time).
+/// - The top-level `"deterministic"` key embeds [`deterministic_section`];
+///   trace viewers ignore unknown keys.
+pub fn chrome_trace(reg: &Registry, cycle_tracks: &[(String, Vec<(u64, String)>)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"wall-clock spans\"}}"
+            .to_string(),
+    );
+    let mut spans = reg.spans();
+    spans.sort_by_key(|s| s.seq);
+    for s in &spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":0,\"args\":{}}}",
+            escape(&s.path),
+            fmt_us(s.start_ns),
+            fmt_us(s.dur_ns),
+            span_attr_args(s)
+        ));
+    }
+    if !cycle_tracks.is_empty() {
+        events.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"cycle domain\"}}"
+                .to_string(),
+        );
+    }
+    for (tid, (track, points)) in cycle_tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(track)
+        ));
+        for (cycle, label) in points {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"cycle\",\"ph\":\"i\",\"ts\":{cycle},\
+                 \"pid\":2,\"tid\":{tid},\"s\":\"t\"}}",
+                escape(label)
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n],\n\"deterministic\":{}}}\n",
+        events.join(",\n"),
+        deterministic_section(reg)
+    )
+}
+
+/// Prometheus text exposition format (`# TYPE` lines, `_bucket`/`_sum`/
+/// `_count` histogram series with `le` labels).
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (key, _, v) in &snap.counters {
+        out.push_str(&format!(
+            "# TYPE {} counter\n{} {v}\n",
+            key.name,
+            key.render()
+        ));
+    }
+    for (key, _, v) in &snap.gauges {
+        out.push_str(&format!(
+            "# TYPE {} gauge\n{} {}\n",
+            key.name,
+            key.render(),
+            fmt_f64(*v)
+        ));
+    }
+    for (key, _, h) in &snap.histograms {
+        out.push_str(&format!("# TYPE {} histogram\n", key.name));
+        let mut cumulative = 0u64;
+        for (i, bucket) in h.buckets.iter().enumerate() {
+            cumulative += bucket;
+            let le = if i < h.bounds.len() {
+                fmt_f64(h.bounds[i])
+            } else {
+                "+Inf".to_string()
+            };
+            let mut labels: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            labels.push(format!("le=\"{le}\""));
+            out.push_str(&format!(
+                "{}_bucket{{{}}} {cumulative}\n",
+                key.name,
+                labels.join(",")
+            ));
+        }
+        let base = key.render();
+        let (sum_key, count_key) = if key.labels.is_empty() {
+            (format!("{}_sum", key.name), format!("{}_count", key.name))
+        } else {
+            let tail = &base[key.name.len()..];
+            (
+                format!("{}_sum{tail}", key.name),
+                format!("{}_count{tail}", key.name),
+            )
+        };
+        out.push_str(&format!("{sum_key} {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{count_key} {}\n", h.count));
+    }
+    out
+}
+
+/// Human-readable summary table: counters, gauges, histograms, then the
+/// span tree with wall-clock durations and deterministic attributes.
+pub fn summary(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::from("telemetry summary\n");
+    if !snap.counters.is_empty() {
+        out.push_str("  counters:\n");
+        let width = snap
+            .counters
+            .iter()
+            .map(|(k, _, _)| k.render().len())
+            .max()
+            .unwrap_or(0);
+        for (key, class, v) in &snap.counters {
+            out.push_str(&format!(
+                "    {:<width$}  {v}{}\n",
+                key.render(),
+                class_tag(*class),
+            ));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("  gauges:\n");
+        for (key, class, v) in &snap.gauges {
+            out.push_str(&format!(
+                "    {}  {}{}\n",
+                key.render(),
+                fmt_f64(*v),
+                class_tag(*class)
+            ));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("  histograms:\n");
+        for (key, class, h) in &snap.histograms {
+            let buckets: Vec<String> = h
+                .bounds
+                .iter()
+                .map(|b| fmt_f64(*b))
+                .chain(std::iter::once("+Inf".to_string()))
+                .zip(h.buckets.iter())
+                .map(|(le, n)| format!("le {le}: {n}"))
+                .collect();
+            out.push_str(&format!(
+                "    {}  count={} sum={}{}\n      [{}]\n",
+                key.render(),
+                h.count,
+                fmt_f64(h.sum),
+                class_tag(*class),
+                buckets.join(", ")
+            ));
+        }
+    }
+    let mut spans = reg.spans();
+    spans.sort_by_key(|s| s.seq);
+    if !spans.is_empty() {
+        out.push_str("  spans:\n");
+        for s in &spans {
+            let attrs: Vec<String> = s.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let attrs = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", attrs.join(" "))
+            };
+            out.push_str(&format!(
+                "    {:indent$}{}  {:.3} ms{attrs}\n",
+                "",
+                s.path,
+                s.dur_ns as f64 / 1e6,
+                indent = 2 * s.depth as usize,
+            ));
+        }
+    }
+    out
+}
+
+fn class_tag(class: Class) -> &'static str {
+    match class {
+        Class::Deterministic => "",
+        Class::WallClock => "  (wall)",
+    }
+}
+
+/// Machine-readable JSON for bench bins (`results/telemetry_*.json`):
+/// the deterministic section plus a `wallclock` object with span timings
+/// and wall-class histograms for cross-PR perf trajectory.
+pub fn telemetry_json(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut spans = reg.spans();
+    spans.sort_by_key(|s| s.seq);
+    let span_objs: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"path\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+                escape(&s.path),
+                s.start_ns,
+                s.dur_ns
+            )
+        })
+        .collect();
+    let wall_hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .filter(|(_, class, _)| *class == Class::WallClock)
+        .map(|(key, _, h)| {
+            format!(
+                "\"{}\":{{\"count\":{},\"sum\":{}}}",
+                escape(&key.render()),
+                h.count,
+                fmt_f64(h.sum)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"deterministic\":{},\n\"wallclock\":{{\"spans\":[{}],\"histograms\":{{{}}}}}}}\n",
+        deterministic_section(reg),
+        span_objs.join(","),
+        wall_hists.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample() -> Arc<Registry> {
+        let reg = Arc::new(Registry::new());
+        let _scope = crate::scope(Arc::clone(&reg));
+        reg.add(
+            Class::Deterministic,
+            "cycles_total",
+            &[("arch", "zfost")],
+            42,
+        );
+        reg.add(Class::WallClock, "export_runs", &[], 1);
+        reg.observe(Class::Deterministic, "latency_words", &[], &[1.0, 8.0], 3.0);
+        {
+            let mut s = crate::Span::enter("phase");
+            s.record("cycles", 42);
+        }
+        reg
+    }
+
+    #[test]
+    fn deterministic_section_excludes_wall_clock_and_is_stable() {
+        let reg = sample();
+        let det = deterministic_section(&reg);
+        assert!(det.contains("\"cycles_total{arch=\\\"zfost\\\"}\":42"));
+        assert!(!det.contains("export_runs"));
+        assert!(det.contains("\"buckets\":[0,1,0]"));
+        assert!(det.contains("{\"path\":\"phase\",\"attrs\":{\"cycles\":42}}"));
+        assert_eq!(det, deterministic_section(&reg));
+    }
+
+    #[test]
+    fn chrome_trace_has_events_and_embedded_det_section() {
+        let reg = sample();
+        let tracks = vec![(
+            "zfost".to_string(),
+            vec![(0, "phase".to_string()), (7, "mac".to_string())],
+        )];
+        let json = chrome_trace(&reg, &tracks);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":7"));
+        assert!(json.contains("\"deterministic\":{\"counters\""));
+    }
+
+    #[test]
+    fn prometheus_histogram_series_are_cumulative() {
+        let reg = sample();
+        let text = prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE latency_words histogram"));
+        assert!(text.contains("latency_words_bucket{le=\"1\"} 0"));
+        assert!(text.contains("latency_words_bucket{le=\"8\"} 1"));
+        assert!(text.contains("latency_words_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("latency_words_count 1"));
+        assert!(text.contains("cycles_total{arch=\"zfost\"} 42"));
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let reg = sample();
+        let s = summary(&reg);
+        assert!(s.contains("counters:"));
+        assert!(s.contains("histograms:"));
+        assert!(s.contains("spans:"));
+        assert!(s.contains("phase"));
+    }
+}

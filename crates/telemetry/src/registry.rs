@@ -1,0 +1,348 @@
+//! Metric registry: named counters, gauges and fixed-bucket histograms with
+//! label support, cheap atomic updates, and a deterministic / wall-clock
+//! classification that drives the exporters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::span::SpanRecord;
+
+/// Classification of a metric or span attribute.
+///
+/// `Deterministic` quantities (cycles, accesses, bytes, retries) are part of
+/// the byte-stability contract: two runs with the same seed must produce
+/// identical values, and CI diffs them byte-for-byte. `WallClock` quantities
+/// (step latency, export duration) vary run to run and are excluded from the
+/// deterministic export section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Byte-stable across same-seed runs.
+    Deterministic,
+    /// Host timing; varies run to run.
+    WallClock,
+}
+
+/// Identity of a metric: a name plus sorted `(key, value)` label pairs, so
+/// `gemm_blocks{backend="zero_free"}` and `gemm_blocks{backend="blocked"}`
+/// are distinct time series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `gemm_blocks`.
+    pub name: String,
+    /// Label pairs, sorted by key then value.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key from a name and unsorted label slice.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Render as `name` or `name{k="v",...}` (Prometheus style).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+struct CounterCell {
+    class: Class,
+    value: AtomicU64,
+}
+
+struct GaugeCell {
+    class: Class,
+    bits: AtomicU64,
+}
+
+struct HistogramCell {
+    class: Class,
+    bounds: Vec<f64>,
+    /// One bucket per bound plus a final `+Inf` bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: atomic f64 accumulate over the bit pattern.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = f64::to_bits(f64::from_bits(cur) + value);
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (a final implicit `+Inf` bucket follows).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `buckets.len() == bounds.len() + 1`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// Point-in-time copy of every metric in a registry, sorted by key.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(MetricKey, Class, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(MetricKey, Class, f64)>,
+    /// Fixed-bucket histograms.
+    pub histograms: Vec<(MetricKey, Class, HistogramSnapshot)>,
+}
+
+/// A process- or scope-wide collection of metrics and finished spans.
+///
+/// Updates are lock-then-atomic: the registry lock only guards the key map,
+/// so repeated updates to a hot counter contend on one atomic, not the map.
+pub struct Registry {
+    t0: Instant,
+    seq: AtomicU64,
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// Create an empty registry; `t0` for span timestamps is `now`.
+    pub fn new() -> Self {
+        Registry {
+            t0: Instant::now(),
+            seq: AtomicU64::new(0),
+            metrics: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds since the registry was created (span clock).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Next span sequence number (creation order).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn counter_cell(&self, class: Class, key: MetricKey) -> Option<Arc<CounterCell>> {
+        let mut map = lock(&self.metrics);
+        match map.entry(key).or_insert_with(|| {
+            Metric::Counter(Arc::new(CounterCell {
+                class,
+                value: AtomicU64::new(0),
+            }))
+        }) {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None, // name reused with a different type: drop the update
+        }
+    }
+
+    /// Add `delta` to the counter `name{labels}` (created on first use).
+    pub fn add(&self, class: Class, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if let Some(cell) = self.counter_cell(class, MetricKey::new(name, labels)) {
+            cell.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the gauge `name{labels}` to `value` (created on first use).
+    pub fn set_gauge(&self, class: Class, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut map = lock(&self.metrics);
+        let entry = map.entry(key).or_insert_with(|| {
+            Metric::Gauge(Arc::new(GaugeCell {
+                class,
+                bits: AtomicU64::new(0),
+            }))
+        });
+        if let Metric::Gauge(g) = entry {
+            g.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Record `value` into the histogram `name{labels}`.
+    ///
+    /// `bounds` (upper bucket edges, ascending; a `+Inf` bucket is implicit)
+    /// are fixed by the first call; later calls reuse the existing buckets.
+    pub fn observe(
+        &self,
+        class: Class,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        let key = MetricKey::new(name, labels);
+        let cell = {
+            let mut map = lock(&self.metrics);
+            match map.entry(key).or_insert_with(|| {
+                Metric::Histogram(Arc::new(HistogramCell {
+                    class,
+                    bounds: bounds.to_vec(),
+                    buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0),
+                }))
+            }) {
+                Metric::Histogram(h) => Arc::clone(h),
+                _ => return,
+            }
+        };
+        cell.observe(value);
+    }
+
+    /// Append a finished span (called by the [`crate::Span`] guard on drop).
+    pub fn record_span(&self, rec: SpanRecord) {
+        lock(&self.spans).push(rec);
+    }
+
+    /// All finished spans, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.spans).clone()
+    }
+
+    /// Copy every metric out, sorted by key (BTreeMap order), so exporters
+    /// produce byte-stable output for deterministic values.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = lock(&self.metrics);
+        let mut snap = Snapshot::default();
+        for (key, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters
+                        .push((key.clone(), c.class, c.value.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.push((
+                        key.clone(),
+                        g.class,
+                        f64::from_bits(g.bits.load(Ordering::Relaxed)),
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.push((
+                        key.clone(),
+                        h.class,
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        },
+                    ));
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_sorted_and_rendered() {
+        let k = MetricKey::new("m", &[("z", "1"), ("a", "2")]);
+        assert_eq!(k.render(), "m{a=\"2\",z=\"1\"}");
+        assert_eq!(MetricKey::new("m", &[]).render(), "m");
+        // Label order at the call site does not split the series.
+        assert_eq!(k, MetricKey::new("m", &[("a", "2"), ("z", "1")]));
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Registry::new();
+        r.add(Class::Deterministic, "c", &[("b", "x")], 2);
+        r.add(Class::Deterministic, "c", &[("b", "x")], 3);
+        r.add(Class::Deterministic, "c", &[("b", "y")], 7);
+        let snap = r.snapshot();
+        let vals: Vec<u64> = snap.counters.iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(vals, vec![5, 7]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let r = Registry::new();
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            r.observe(Class::Deterministic, "h", &[], &[1.0, 2.0, 4.0], v);
+        }
+        let snap = r.snapshot();
+        let (_, _, h) = &snap.histograms[0];
+        assert_eq!(h.buckets, vec![2, 0, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 104.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_mismatch_is_dropped_not_panicked() {
+        let r = Registry::new();
+        r.add(Class::Deterministic, "m", &[], 1);
+        r.observe(Class::Deterministic, "m", &[], &[1.0], 0.5);
+        r.set_gauge(Class::Deterministic, "m", &[], 9.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].2, 1);
+        assert!(snap.histograms.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+}

@@ -147,13 +147,30 @@ pub fn verify(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) -> AbftReport {
         }
     }
 
-    AbftReport {
+    let report = AbftReport {
         tolerance: tol,
         faulty_cols,
         faulty_rows,
         max_col_residual,
         max_row_residual,
+    };
+    if zfgan_telemetry::enabled() {
+        zfgan_telemetry::count("abft_checks_total", &[], 1);
+        if !report.clean() {
+            zfgan_telemetry::count("abft_detections_total", &[], 1);
+        }
+        zfgan_telemetry::count(
+            "abft_flagged_rows_total",
+            &[],
+            report.faulty_rows.len() as u64,
+        );
+        zfgan_telemetry::count(
+            "abft_flagged_cols_total",
+            &[],
+            report.faulty_cols.len() as u64,
+        );
     }
+    report
 }
 
 /// Residual between an expected and an actual checksum; a non-finite

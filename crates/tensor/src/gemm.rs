@@ -52,11 +52,29 @@ impl MatmulKind {
     /// Returns an error if the inner dimensions disagree.
     pub fn run<T: Num>(&self, a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matrix<T>> {
         match *self {
-            MatmulKind::Naive => a.matmul(b),
+            MatmulKind::Naive => {
+                zfgan_telemetry::count("gemm_calls", &[("backend", "naive")], 1);
+                a.matmul(b)
+            }
             MatmulKind::Blocked => matmul_blocked(a, b),
             MatmulKind::Parallel(n) => matmul_parallel(a, b, n),
         }
     }
+}
+
+/// Publish one kernel invocation's deterministic telemetry: call/tile
+/// counts plus the operand-word traffic and how much of it the
+/// `a.is_zero()` skip elided (the zero-skip ratio numerator).
+fn record_gemm(backend: &'static str, m: usize, n: usize, skipped: u64, visited: u64) {
+    if !zfgan_telemetry::enabled() {
+        return;
+    }
+    let labels: &[(&str, &str)] = &[("backend", backend)];
+    let blocks = (m.div_ceil(ROW_BLOCK) * n.div_ceil(COL_BLOCK)) as u64;
+    zfgan_telemetry::count("gemm_calls", labels, 1);
+    zfgan_telemetry::count("gemm_blocks", labels, blocks);
+    zfgan_telemetry::count("gemm_operand_words", labels, visited);
+    zfgan_telemetry::count("gemm_zero_skipped_words", labels, skipped);
 }
 
 /// The blocked kernel over a row range of the output.
@@ -64,11 +82,17 @@ impl MatmulKind {
 /// `a` holds `m_local` rows of length `kk`; `out` holds the matching
 /// `m_local × n` output rows. Per element the reduction is `k`-ascending
 /// with the naive path's `a.is_zero()` skip — see the module docs.
-fn gemm_rows<T: Num>(a: &[T], b: &[T], out: &mut [T], kk: usize, n: usize) {
+///
+/// Returns `(skipped, visited)` operand-word counts: how many `a` words the
+/// zero skip elided versus how many were walked in total, feeding the
+/// `gemm_zero_skipped_words` / `gemm_operand_words` telemetry counters.
+fn gemm_rows<T: Num>(a: &[T], b: &[T], out: &mut [T], kk: usize, n: usize) -> (u64, u64) {
     let m = out.len() / n;
     debug_assert_eq!(a.len(), m * kk);
     debug_assert_eq!(out.len(), m * n);
     let mut acc = [T::zero(); COL_BLOCK];
+    let mut skipped = 0u64;
+    let mut visited = 0u64;
     for ib in (0..m).step_by(ROW_BLOCK) {
         let ie = (ib + ROW_BLOCK).min(m);
         let mut jb = 0;
@@ -79,8 +103,10 @@ fn gemm_rows<T: Num>(a: &[T], b: &[T], out: &mut [T], kk: usize, n: usize) {
                 let a_row = &a[i * kk..(i + 1) * kk];
                 let tile = &mut acc[..width];
                 tile.fill(T::zero());
+                visited += kk as u64;
                 for (k, &aik) in a_row.iter().enumerate() {
                     if aik.is_zero() {
+                        skipped += 1;
                         continue;
                     }
                     let b_row = &b[k * n + jb..k * n + je];
@@ -93,6 +119,7 @@ fn gemm_rows<T: Num>(a: &[T], b: &[T], out: &mut [T], kk: usize, n: usize) {
             jb = je;
         }
     }
+    (skipped, visited)
 }
 
 /// Cache-blocked, register-tiled GEMM: `a × b`, bit-identical to
@@ -113,7 +140,8 @@ pub fn matmul_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matr
     }
     let (kk, n) = (a.cols(), b.cols());
     let mut out = Matrix::zeros(a.rows(), n);
-    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
+    let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
+    record_gemm("blocked", a.rows(), n, skipped, visited);
     Ok(out)
 }
 
@@ -149,15 +177,28 @@ pub fn matmul_parallel<T: Num>(
     let mut out = Matrix::zeros(m, n);
     let rows_per = m.div_ceil(threads);
     let (a_flat, b_flat) = (a.as_slice(), b.as_slice());
+    // Workers drop their (skipped, visited) counts into per-chunk slots;
+    // the calling thread aggregates and records (worker threads don't see
+    // the caller's thread-local telemetry scope).
+    let mut counts = vec![(0u64, 0u64); m.div_ceil(rows_per)];
     crossbeam::thread::scope(|scope| {
-        for (chunk_idx, out_chunk) in out.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+        for ((chunk_idx, out_chunk), cnt) in out
+            .as_mut_slice()
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .zip(counts.iter_mut())
+        {
             let row0 = chunk_idx * rows_per;
             let rows_here = out_chunk.len() / n;
             let a_chunk = &a_flat[row0 * kk..(row0 + rows_here) * kk];
-            scope.spawn(move |_| gemm_rows(a_chunk, b_flat, out_chunk, kk, n));
+            scope.spawn(move |_| *cnt = gemm_rows(a_chunk, b_flat, out_chunk, kk, n));
         }
     })
     .expect("matmul worker panicked");
+    let (skipped, visited) = counts
+        .iter()
+        .fold((0, 0), |(s, v), (cs, cv)| (s + cs, v + cv));
+    record_gemm("parallel", m, n, skipped, visited);
     Ok(out)
 }
 

@@ -21,4 +21,23 @@ echo "=== fault-injection smoke campaign ==="
 # failing to complete under rollback).
 ZFGAN_FAULTS_SEED=2024 cargo run -q --release -p zfgan-bench --bin faults
 
+echo "=== telemetry smoke gate ==="
+# Two separate same-seed processes must produce (a) trace files that
+# parse as Chrome-trace JSON (trace --check re-parses them) and (b)
+# byte-identical deterministic sections — the observability layer's
+# reproducibility contract.
+tdir="$(mktemp -d)"
+trap 'rm -rf "$tdir"' EXIT
+cargo run -q --release -p zfgan -- trace --seed 2024 --out "$tdir/t1.json" > /dev/null
+cargo run -q --release -p zfgan -- trace --seed 2024 --out "$tdir/t2.json" > /dev/null
+cargo run -q --release -p zfgan -- trace --check "$tdir/t1.json" | grep '^deterministic:' > "$tdir/d1"
+cargo run -q --release -p zfgan -- trace --check "$tdir/t2.json" | grep '^deterministic:' > "$tdir/d2"
+diff "$tdir/d1" "$tdir/d2"
+cargo run -q --release -p zfgan -- sweep cgan --trace-out "$tdir/s1.json" > /dev/null
+cargo run -q --release -p zfgan -- sweep cgan --trace-out "$tdir/s2.json" > /dev/null
+cargo run -q --release -p zfgan -- trace --check "$tdir/s1.json" | grep '^deterministic:' > "$tdir/sd1"
+cargo run -q --release -p zfgan -- trace --check "$tdir/s2.json" | grep '^deterministic:' > "$tdir/sd2"
+diff "$tdir/sd1" "$tdir/sd2"
+echo "telemetry deterministic sections are byte-identical"
+
 echo "CI gate passed."

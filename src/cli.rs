@@ -10,9 +10,19 @@
 //! alternatives, not a full usage dump — the dump is reserved for `help`
 //! and an empty invocation.
 
+use std::sync::Arc;
+
 use crate::accel::{datasheet, AccelConfig, GanAccelerator, MemoryAnalysis};
+use crate::dataflow::{exec, Nlr, Ost, Wst, Zfost, Zfwst};
 use crate::faults::{self, CampaignConfig};
+use crate::sim::trace::TraceBuffer;
+use crate::sim::{ConvKind, ConvShape};
+use crate::telemetry::{export, Registry};
+use crate::tensor::{ConvGeom, Fmaps, Kernels};
 use crate::workloads::GanSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::Value;
 
 /// Executes one CLI invocation and returns the text to print.
 ///
@@ -32,8 +42,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         Some((&"datasheet", rest)) => {
             let (gan, rest) = positional(rest, "datasheet", "<gan>")?;
-            let flags = parse_flags(rest, &[("--pes", true)])?;
-            datasheet_cmd(gan, flag_num(&flags, "--pes")?)
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--pes", true),
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                ],
+            )?;
+            let pes = flag_num(&flags, "--pes")?;
+            with_telemetry(&flags, || datasheet_cmd(gan, pes))
         }
         Some((&"memory", rest)) => {
             let (gan, rest) = positional(rest, "memory", "<gan>")?;
@@ -45,15 +63,34 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 Some((&g, more)) if !g.starts_with("--") => (g, more),
                 _ => ("cgan", rest),
             };
-            parse_flags(rest, &[])?;
-            sweep_cmd(gan)
+            let flags = parse_flags(rest, &[("--telemetry", false), ("--trace-out", true)])?;
+            with_telemetry(&flags, || sweep_cmd(gan))
         }
         Some((&"faults", rest)) => {
             let flags = parse_flags(
                 rest,
-                &[("--seed", true), ("--smoke", false), ("--full", false)],
+                &[
+                    ("--seed", true),
+                    ("--smoke", false),
+                    ("--full", false),
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                ],
             )?;
             faults_cmd(&flags)
+        }
+        Some((&"trace", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--arch", true),
+                    ("--seed", true),
+                    ("--capacity", true),
+                    ("--out", true),
+                    ("--check", true),
+                ],
+            )?;
+            trace_cmd(&flags)
         }
         Some((&other, _)) => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -71,9 +108,15 @@ fn usage() -> String {
      \x20 sweep [<gan>]              PE-count scaling study\n\
      \x20 faults [--seed N] [--smoke|--full]\n\
      \x20                            fault-injection campaign: rate x site x dataflow\n\
+     \x20 trace [--arch A] [--seed N] [--capacity N] [--out PATH]\n\
+     \x20                            run the cycle-accurate executors and export a\n\
+     \x20                            Chrome-trace / Perfetto JSON timeline\n\
+     \x20 trace --check PATH         validate a trace file; print its deterministic section\n\
      \x20 help                       this text\n\
      \n\
      <gan> is one of: mnist, dcgan, cgan (or a case-insensitive prefix).\n\
+     datasheet/sweep/faults also accept --telemetry (print a metrics summary)\n\
+     and --trace-out PATH (write a Chrome-trace JSON of the run).\n\
      The full per-figure evaluation lives in `cargo run -p zfgan-bench --bin <figN|tableN|...>`.\n"
         .to_string()
 }
@@ -138,6 +181,190 @@ fn flag_num(flags: &Flags<'_>, flag: &str) -> Result<Option<usize>, String> {
 
 fn flag_set(flags: &Flags<'_>, flag: &str) -> bool {
     flags.iter().any(|(f, _)| *f == flag)
+}
+
+/// The last string value of `flag`, if present.
+fn flag_str<'a>(flags: &Flags<'a>, flag: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(f, _)| *f == flag)
+        .and_then(|(_, v)| *v)
+}
+
+/// Runs `body` under a fresh scoped telemetry registry when `--telemetry`
+/// or `--trace-out` is present, then appends the metrics summary and/or
+/// writes the Chrome-trace JSON. Without either flag, `body` runs bare.
+fn with_telemetry(
+    flags: &Flags<'_>,
+    body: impl FnOnce() -> Result<String, String>,
+) -> Result<String, String> {
+    let want_summary = flag_set(flags, "--telemetry");
+    let trace_out = flag_str(flags, "--trace-out");
+    if !want_summary && trace_out.is_none() {
+        return body();
+    }
+    let reg = Arc::new(Registry::new());
+    let result = {
+        let _guard = crate::telemetry::scope(Arc::clone(&reg));
+        body()
+    };
+    let mut out = result?;
+    if let Some(path) = trace_out {
+        let json = export::chrome_trace(&reg, &[]);
+        std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        out.push_str(&format!(
+            "\ntrace written to {path} ({} bytes)\n",
+            json.len()
+        ));
+    }
+    if want_summary {
+        out.push('\n');
+        out.push_str(&export::summary(&reg));
+    }
+    Ok(out)
+}
+
+/// The executor phase every `trace` run uses: the scaled-down DCGAN layer
+/// (6×6 → 12×12, 4×4 kernel, stride 2) shared with the fault campaigns.
+fn trace_phase(kind: ConvKind) -> Result<ConvShape, String> {
+    let geom = ConvGeom::down(12, 12, 4, 4, 2, 6, 6).map_err(|e| e.to_string())?;
+    Ok(ConvShape::new(kind, geom, 5, 3, 12, 12))
+}
+
+/// Runs one architecture's cycle-accurate executor with event tracing and
+/// returns its trace buffer. `seed` fixes the operand data.
+fn trace_one(arch: &str, seed: u64, capacity: usize) -> Result<TraceBuffer, String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+    let small_x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
+    let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+    let err = |e: crate::tensor::ShapeError| e.to_string();
+    match arch {
+        "nlr" => {
+            let p = trace_phase(ConvKind::S)?;
+            Ok(
+                exec::nlr_s_conv_traced(&Nlr::new(3, 5), &p, &x, &k, capacity)
+                    .map_err(err)?
+                    .1,
+            )
+        }
+        "wst" => {
+            let p = trace_phase(ConvKind::S)?;
+            Ok(
+                exec::wst_s_conv_traced(&Wst::new(4, 4, 2), &p, &x, &k, capacity)
+                    .map_err(err)?
+                    .1,
+            )
+        }
+        "ost" => {
+            let p = trace_phase(ConvKind::T)?;
+            Ok(
+                exec::ost_t_conv_traced(&Ost::new(4, 4, 2), &p, &small_x, &k, capacity)
+                    .map_err(err)?
+                    .1,
+            )
+        }
+        "zfost" => {
+            let p = trace_phase(ConvKind::T)?;
+            Ok(
+                exec::zfost_t_conv_traced(&Zfost::new(4, 4, 2), &p, &small_x, &k, capacity)
+                    .map_err(err)?
+                    .1,
+            )
+        }
+        "zfwst" => {
+            let p = trace_phase(ConvKind::T)?;
+            Ok(
+                exec::zfwst_t_conv_traced(&Zfwst::new(2, 2, 2), &p, &small_x, &k, capacity)
+                    .map_err(err)?
+                    .1,
+            )
+        }
+        other => Err(format!(
+            "--arch '{other}' unknown (expected one of: nlr, wst, ost, zfost, zfwst, all)"
+        )),
+    }
+}
+
+/// `zfgan trace`: run the traced executors under a scoped registry and
+/// export one Chrome-trace JSON with a cycle-domain track per
+/// architecture; `--check PATH` instead validates an existing file.
+fn trace_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    if let Some(path) = flag_str(flags, "--check") {
+        return trace_check(path);
+    }
+    let seed = flag_num(flags, "--seed")?.unwrap_or(2024) as u64;
+    let capacity = flag_num(flags, "--capacity")?.unwrap_or(4096);
+    if capacity == 0 {
+        return Err("--capacity must be non-zero".to_string());
+    }
+    let arch = flag_str(flags, "--arch").unwrap_or("all");
+    let selected: Vec<&str> = if arch == "all" {
+        vec!["nlr", "wst", "ost", "zfost", "zfwst"]
+    } else {
+        vec![arch]
+    };
+
+    let reg = Arc::new(Registry::new());
+    let mut tracks: Vec<(String, Vec<(u64, String)>)> = Vec::new();
+    let mut out = format!("trace: seed {seed}, capacity {capacity}/arch\n");
+    {
+        let _guard = crate::telemetry::scope(Arc::clone(&reg));
+        for name in &selected {
+            let buf = trace_one(name, seed, capacity)?;
+            out.push_str(&format!(
+                "  {name:<6} {} events retained, {} evicted\n",
+                buf.len(),
+                buf.evicted()
+            ));
+            tracks.push((
+                (*name).to_string(),
+                buf.iter().map(|&(c, e)| (c, e.to_string())).collect(),
+            ));
+        }
+    }
+
+    let json = export::chrome_trace(&reg, &tracks);
+    match flag_str(flags, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("--out {path}: {e}"))?;
+            out.push_str(&format!(
+                "trace written to {path} ({} bytes) — open in https://ui.perfetto.dev\n",
+                json.len()
+            ));
+        }
+        None => {
+            out.push('\n');
+            out.push_str(&export::summary(&reg));
+        }
+    }
+    Ok(out)
+}
+
+/// `zfgan trace --check PATH`: parse a trace file, verify it is a valid
+/// Chrome-trace object, and print its canonicalised deterministic section
+/// (what the CI gate diffs between two same-seed runs).
+fn trace_check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--check {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| format!("{path}: top level is not a JSON object"))?;
+    let events = obj
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing 'traceEvents' array"))?;
+    let det = obj
+        .get("deterministic")
+        .ok_or_else(|| format!("{path}: missing 'deterministic' section"))?;
+    if det.as_object().is_none() {
+        return Err(format!("{path}: 'deterministic' is not an object"));
+    }
+    Ok(format!(
+        "{path}: valid Chrome trace, {} events\ndeterministic:{det}\n",
+        events.len()
+    ))
 }
 
 fn lookup(gan: &str) -> Result<GanSpec, String> {
@@ -238,8 +465,27 @@ fn faults_cmd(flags: &Flags<'_>) -> Result<String, String> {
     } else {
         CampaignConfig::smoke(seed)
     };
-    let result = faults::run_campaign(&cfg).map_err(|e| format!("campaign failed: {e}"))?;
-    let summary = faults::render_summary(&result);
+    // The campaign always runs under its own scoped registry so the ABFT
+    // detection-latency histogram and the supervisor counters are captured
+    // even without --telemetry; the flags only control what gets exported.
+    let reg = Arc::new(Registry::new());
+    let result = {
+        let _guard = crate::telemetry::scope(Arc::clone(&reg));
+        faults::run_campaign(&cfg).map_err(|e| format!("campaign failed: {e}"))?
+    };
+    let mut summary = faults::render_summary(&result);
+    if let Some(path) = flag_str(flags, "--trace-out") {
+        let json = export::chrome_trace(&reg, &[]);
+        std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        summary.push_str(&format!(
+            "\ntrace written to {path} ({} bytes)\n",
+            json.len()
+        ));
+    }
+    if flag_set(flags, "--telemetry") {
+        summary.push('\n');
+        summary.push_str(&export::summary(&reg));
+    }
     let violations = faults::smoke_violations(&result);
     if violations.is_empty() {
         Ok(summary)
@@ -359,7 +605,8 @@ mod tests {
         let err = run(&args(&["list", "--verbose"])).unwrap_err();
         assert!(err.contains("takes no flags"), "{err}");
         let err = run(&args(&["sweep", "cgan", "--fast"])).unwrap_err();
-        assert!(err.contains("takes no flags"), "{err}");
+        assert!(err.contains("unknown flag '--fast'"), "{err}");
+        assert!(err.contains("--telemetry"), "{err}");
 
         // faults: flag validation.
         let err = run(&args(&["faults", "--smoke", "--full"])).unwrap_err();

@@ -38,6 +38,12 @@ use crate::tensor::im2col::{im2col_t, weights_as_matrix_t, Matrix};
 use crate::tensor::zero_free::t_zero_free_gemm_operands;
 use crate::tensor::{ConvGeom, Fmaps, Kernels, ShapeError, TensorResult};
 
+/// Upper bucket bounds (accumulator words) of the ABFT detection-latency
+/// histogram; a final `+Inf` bucket is implicit. Shared by the local
+/// per-cell buckets and the `abft_detection_latency_words` registry
+/// histogram so the two views always agree.
+pub const DETECTION_LATENCY_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
 /// Which lowering feeds the instrumented GEMMs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Dataflow {
@@ -129,6 +135,9 @@ pub struct CellResult {
     /// Mean accumulator words computed between an accumulator fault and
     /// its post-GEMM ABFT check (0 when no accumulator fault detected).
     pub mean_detection_latency_words: f64,
+    /// Detection-latency histogram: one count per
+    /// [`DETECTION_LATENCY_BOUNDS`] bucket plus a final `+Inf` bucket.
+    pub detection_latency_buckets: Vec<u64>,
 }
 
 /// Outcome of the supervised-training resilience section.
@@ -211,6 +220,7 @@ fn run_cell(
     let mut silent = 0u64;
     let mut latency_sum = 0.0f64;
     let mut latency_n = 0u64;
+    let mut latency_buckets = vec![0u64; DETECTION_LATENCY_BOUNDS.len() + 1];
     // Per-site word counters: every word of the campaign gets a unique
     // index, so replaying the config replays the exact fault pattern.
     let mut next_word: u64 = 0;
@@ -298,8 +308,20 @@ fn run_cell(
                 let (row, col) = ((rel / n as u64) as usize, (rel % n as u64) as usize);
                 if report.implicates(row, col) {
                     detected += 1;
-                    latency_sum += (gemm_words - rel) as f64;
+                    let latency = (gemm_words - rel) as f64;
+                    latency_sum += latency;
                     latency_n += 1;
+                    let bucket = DETECTION_LATENCY_BOUNDS
+                        .iter()
+                        .position(|b| latency <= *b)
+                        .unwrap_or(DETECTION_LATENCY_BOUNDS.len());
+                    latency_buckets[bucket] += 1;
+                    crate::telemetry::observe(
+                        "abft_detection_latency_words",
+                        &[("dataflow", dataflow.name())],
+                        &DETECTION_LATENCY_BOUNDS,
+                        latency,
+                    );
                 } else if material {
                     silent += 1;
                 } else {
@@ -342,6 +364,7 @@ fn run_cell(
         } else {
             0.0
         },
+        detection_latency_buckets: latency_buckets,
     })
 }
 
@@ -473,6 +496,37 @@ pub fn render_summary(result: &CampaignResult) -> String {
             c.silent,
             c.mean_detection_latency_words,
         ));
+    }
+    // Detection-latency histogram, aggregated per dataflow across cells.
+    let mut per_dataflow: Vec<(String, Vec<u64>)> = Vec::new();
+    for c in &result.cells {
+        if c.detection_latency_buckets.iter().all(|&b| b == 0) {
+            continue;
+        }
+        match per_dataflow.iter_mut().find(|(d, _)| *d == c.dataflow) {
+            Some((_, acc)) => {
+                for (a, b) in acc.iter_mut().zip(&c.detection_latency_buckets) {
+                    *a += b;
+                }
+            }
+            None => per_dataflow.push((c.dataflow.clone(), c.detection_latency_buckets.clone())),
+        }
+    }
+    if !per_dataflow.is_empty() {
+        out.push_str("\nABFT detection latency (accumulator words between fault and check):\n");
+        let mut header = format!("{:<18}", "dataflow");
+        for b in DETECTION_LATENCY_BOUNDS {
+            header.push_str(&format!(" {:>6}", format!("<={b}")));
+        }
+        header.push_str(&format!(" {:>6}\n", "+Inf"));
+        out.push_str(&header);
+        for (dataflow, buckets) in &per_dataflow {
+            out.push_str(&format!("{dataflow:<18}"));
+            for b in buckets {
+                out.push_str(&format!(" {b:>6}"));
+            }
+            out.push('\n');
+        }
     }
     let t = &result.trainer;
     out.push_str(&format!(

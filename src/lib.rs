@@ -29,5 +29,6 @@ pub use zfgan_dataflow as dataflow;
 pub use zfgan_nn as nn;
 pub use zfgan_platforms as platforms;
 pub use zfgan_sim as sim;
+pub use zfgan_telemetry as telemetry;
 pub use zfgan_tensor as tensor;
 pub use zfgan_workloads as workloads;

@@ -36,6 +36,83 @@ fn abft_catches_all_accumulator_faults_in_the_smoke_campaign() {
     );
 }
 
+/// The supervisor's telemetry counters mirror its own `SupervisorStats`
+/// exactly when an injected-fault scenario runs under a scoped registry:
+/// one observability channel, no drift between the two books.
+#[test]
+fn supervisor_telemetry_counters_match_injected_fault_stats() {
+    let plan = FaultPlan::new(
+        99,
+        0.5,
+        FaultSite::TrainerStep,
+        FaultKind::BitFlip { bit: 30 },
+    )
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(100);
+    let trainer = GanTrainer::try_new(
+        GanPair::tiny(&mut rng),
+        TrainerConfig {
+            n_critic: 1,
+            ..TrainerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sup = SupervisedTrainer::new(
+        trainer,
+        SupervisorConfig {
+            fault: Some(plan),
+            max_retries: 8,
+            ..SupervisorConfig::default()
+        },
+    )
+    .unwrap();
+
+    let reg = std::sync::Arc::new(zfgan::telemetry::Registry::new());
+    let mut step_rng = SmallRng::seed_from_u64(101);
+    {
+        let _guard = zfgan::telemetry::scope(std::sync::Arc::clone(&reg));
+        for _ in 0..5 {
+            sup.train_iteration(2, &mut step_rng).unwrap();
+        }
+    }
+
+    let stats = *sup.stats();
+    assert!(stats.faults_injected > 0, "{stats:?}");
+    assert!(stats.rollbacks > 0, "{stats:?}");
+
+    let snap = reg.snapshot();
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(k, _, _)| k.name == name)
+            .map(|(_, _, v)| *v)
+            .sum()
+    };
+    assert_eq!(counter("supervisor_iterations_total"), stats.iterations);
+    assert_eq!(
+        counter("supervisor_faults_injected_total"),
+        stats.faults_injected
+    );
+    assert_eq!(counter("supervisor_anomalies_total"), stats.anomalies);
+    assert_eq!(counter("supervisor_rollbacks_total"), stats.rollbacks);
+    assert_eq!(counter("supervisor_retries_total"), stats.retries);
+    assert_eq!(counter("supervisor_degradations_total"), stats.degradations);
+    // Every rollback restored a snapshot; one more snapshot per healthy
+    // iteration was taken as the new last-good state.
+    assert_eq!(counter("trainer_restores_total"), stats.rollbacks);
+    assert_eq!(counter("trainer_snapshots_total"), stats.iterations);
+    // The anomaly counter is labelled by kind; the label values must be
+    // real anomaly names, not free text.
+    for (k, _, _) in snap
+        .counters
+        .iter()
+        .filter(|(k, _, _)| k.name == "supervisor_anomalies_total")
+    {
+        assert_eq!(k.labels.len(), 1, "{k:?}");
+        assert_eq!(k.labels[0].0, "kind");
+    }
+}
+
 /// An injected NaN during training triggers rollback + retry and the run
 /// still completes with finite losses.
 #[test]
