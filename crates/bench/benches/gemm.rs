@@ -128,13 +128,23 @@ fn baseline_of(id: &str) -> &'static str {
     }
 }
 
+/// Per-benchmark measurement window: `ZFGAN_BENCH_MS` overrides the
+/// 200 ms default (CI smoke runs use a small value).
+fn measurement_ms() -> u64 {
+    std::env::var("ZFGAN_BENCH_MS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(200)
+}
+
 fn main() {
     // `cargo bench` runs with cwd = this package; anchor at the workspace
     // root so `emit` drops the sidecar in the tracked top-level `results/`.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let _ = std::env::set_current_dir(root);
 
-    let mut c = Criterion::default().measurement_time(Duration::from_millis(200));
+    let mut c = Criterion::default().measurement_time(Duration::from_millis(measurement_ms()));
     bench_matmul_kinds(&mut c);
     bench_t_conv_lowering(&mut c);
     bench_trainer_backends(&mut c);
@@ -173,4 +183,17 @@ fn main() {
         fmt_x(headline("trainer/lowered_zero_free")),
         fmt_x(headline("trainer/parallel2")),
     );
+
+    // Regression gate: the pooled GEMM variants must not lose to the
+    // sequential naive kernel on this shape. Spawn-per-call used to put
+    // parallel2/parallel4 below 1.0×; the persistent pool is what keeps
+    // them above it, and this assertion keeps that from regressing.
+    for id in ["matmul/parallel2", "matmul/parallel4"] {
+        let s = headline(id);
+        assert!(
+            s >= 1.0,
+            "pooled GEMM regressed below the sequential baseline: {id} = {}",
+            fmt_x(s)
+        );
+    }
 }

@@ -1,0 +1,115 @@
+//! Full GAN training-step latency on the MNIST-GAN spec: allocating vs
+//! workspace-reusing conv scratch, sequential vs pooled GEMM.
+//!
+//! Every variant computes bit-identical updates (the workspace paths and
+//! the pooled GEMM both preserve the reduction order — see
+//! `tests/zero_alloc.rs` and `tests/pool.rs`), so the ratios here are pure
+//! speed: what the persistent pool plus the zero-allocation hot path buy
+//! over the allocate-per-call baseline. Emits
+//! `results/BENCH_trainstep.json` via [`zfgan_bench::emit`].
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_nn::{GanTrainer, TrainerConfig};
+use zfgan_tensor::ConvBackend;
+use zfgan_workloads::GanSpec;
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+    /// Speedup over the allocating sequential baseline (1.0 for it).
+    speedup: f64,
+}
+
+/// Per-benchmark measurement window: `ZFGAN_BENCH_MS` overrides the
+/// 200 ms default (CI smoke runs use a small value).
+fn measurement_ms() -> u64 {
+    std::env::var("ZFGAN_BENCH_MS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(200)
+}
+
+fn main() {
+    // Anchor at the workspace root so `emit` writes the tracked top-level
+    // `results/` sidecar.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let _ = std::env::set_current_dir(root);
+
+    let spec = GanSpec::mnist_gan();
+    let config = TrainerConfig {
+        n_critic: 1,
+        ..TrainerConfig::default()
+    };
+    let mut c = Criterion::default().measurement_time(Duration::from_millis(measurement_ms()));
+    let mut group = c.benchmark_group("trainstep");
+    for (name, backend, reuse) in [
+        ("alloc_seq", ConvBackend::LoweredZeroFree, false),
+        ("ws_seq", ConvBackend::LoweredZeroFree, true),
+        ("alloc_pool2", ConvBackend::Parallel(2), false),
+        ("ws_pool2", ConvBackend::Parallel(2), true),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut pair = spec
+            .build_pair(0.05, &mut rng)
+            .expect("built-in spec is consistent");
+        pair.set_backend(backend);
+        let mut trainer = GanTrainer::new(pair, config);
+        trainer.set_workspace_reuse(reuse);
+        group.bench_function(name, |bch| {
+            bch.iter(|| trainer.train_iteration(2, &mut rng))
+        });
+    }
+    group.finish();
+
+    let measurements = c.take_results();
+    let base = measurements
+        .iter()
+        .find(|m| m.id == "trainstep/alloc_seq")
+        .expect("baseline bench runs first")
+        .mean_ns;
+    let rows: Vec<Row> = measurements
+        .iter()
+        .map(|m| Row {
+            id: m.id.clone(),
+            mean_ns: m.mean_ns,
+            iters: m.iters,
+            speedup: base / m.mean_ns,
+        })
+        .collect();
+
+    let mut table = TextTable::new(["Benchmark", "ns/iter", "Speedup vs alloc_seq"]);
+    for r in &rows {
+        table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
+    }
+    emit(
+        "BENCH_trainstep",
+        "GAN training step: allocating vs workspace scratch, sequential vs pooled GEMM",
+        &table,
+        &rows,
+    );
+
+    let headline = |id: &str| rows.iter().find(|r| r.id == id).map_or(0.0, |r| r.speedup);
+    println!(
+        "Training-step speedup over allocating sequential: ws {} | ws+pool2 {}",
+        fmt_x(headline("trainstep/ws_seq")),
+        fmt_x(headline("trainstep/ws_pool2")),
+    );
+
+    // Regression gate: workspace + pool must beat the allocating
+    // sequential baseline outright.
+    let s = headline("trainstep/ws_pool2");
+    assert!(
+        s > 1.0,
+        "workspace+pool training step lost to the allocating baseline: {}",
+        fmt_x(s)
+    );
+}

@@ -10,7 +10,7 @@
 #![deny(missing_debug_implementations)]
 
 use std::fs;
-use std::path::Path;
+use std::path::PathBuf;
 
 use serde::Serialize;
 
@@ -75,14 +75,23 @@ impl TextTable {
     }
 }
 
+/// Where sidecars land: `results/` unless `ZFGAN_RESULTS_DIR` redirects
+/// it (CI smoke runs point it at a temp dir so short measurement windows
+/// never clobber the tracked numbers).
+fn results_dir() -> PathBuf {
+    std::env::var_os("ZFGAN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
 /// Prints a figure/table banner, the rendered table, and writes the JSON
 /// sidecar under `results/<name>.json` (best effort — the harness still
 /// succeeds if the directory is read-only).
 pub fn emit<T: Serialize>(name: &str, title: &str, table: &TextTable, data: &T) {
     println!("== {title} ==");
     println!("{}", table.render());
-    let dir = Path::new("results");
-    let _ = fs::create_dir_all(dir);
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
     match serde_json::to_string_pretty(data) {
         Ok(json) => {
             let path = dir.join(format!("{name}.json"));
@@ -110,9 +119,10 @@ pub fn emit<T: Serialize>(name: &str, title: &str, table: &TextTable, data: &T) 
 /// because [`par_map`] fans work out to worker threads.
 pub fn telemetry_sidecar(name: &str) -> impl FnOnce() {
     zfgan_telemetry::set_enabled(true);
-    let path = Path::new("results").join(format!("telemetry_{name}.json"));
+    let dir = results_dir();
+    let path = dir.join(format!("telemetry_{name}.json"));
     move || {
-        let _ = fs::create_dir_all("results");
+        let _ = fs::create_dir_all(&dir);
         let json = zfgan_telemetry::export::telemetry_json(zfgan_telemetry::global());
         if fs::write(&path, json).is_ok() {
             println!("[wrote {}]", path.display());
@@ -120,14 +130,13 @@ pub fn telemetry_sidecar(name: &str) -> impl FnOnce() {
     }
 }
 
-/// Maps `f` over `items` on scoped worker threads and returns the results
-/// **in input order** — the deterministic merge that keeps the figure
-/// sweeps byte-identical to their sequential form.
+/// Maps `f` over `items` on the persistent `zfgan-pool` workers and
+/// returns the results **in input order** — the deterministic merge that
+/// keeps the figure sweeps byte-identical to their sequential form.
 ///
-/// Each item is computed by exactly one worker into its own slot, so the
-/// output is independent of scheduling. Thread count is
-/// `available_parallelism` clamped to the item count; with one item (or
-/// one core) this degenerates to a plain sequential map.
+/// Each item is computed by exactly one executor into its own slot, so the
+/// output is independent of pool scheduling. With one hardware thread (or
+/// `ZFGAN_THREADS=1`) this degenerates to a plain sequential map.
 ///
 /// # Panics
 ///
@@ -138,33 +147,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("par_map worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    zfgan_pool::parallel_map(items.len(), |i| f(&items[i])).expect("par_map worker panicked")
 }
 
 /// Formats a ratio with two decimals and an `x` suffix.

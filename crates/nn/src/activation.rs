@@ -94,6 +94,39 @@ impl Activation {
     pub fn backprop(self, delta_post: &Fmaps<f32>, pre: &Fmaps<f32>) -> Fmaps<f32> {
         delta_post.hadamard(&pre.map(|v| self.derivative_scalar(v)))
     }
+
+    /// [`Activation::apply`] writing into a caller-provided tensor instead
+    /// of allocating one. Bit-identical; overwrites every element of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn apply_into(self, pre: &Fmaps<f32>, out: &mut Fmaps<f32>) {
+        assert_eq!(pre.shape(), out.shape(), "activation shape mismatch");
+        for (o, &p) in out.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+            *o = self.apply_scalar(p);
+        }
+    }
+
+    /// [`Activation::backprop`] writing into a caller-provided tensor
+    /// instead of allocating one. Bit-identical (same per-element
+    /// `delta · σ'(pre)` product); overwrites every element of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn backprop_into(self, delta_post: &Fmaps<f32>, pre: &Fmaps<f32>, out: &mut Fmaps<f32>) {
+        assert_eq!(delta_post.shape(), pre.shape(), "activation shape mismatch");
+        assert_eq!(pre.shape(), out.shape(), "activation shape mismatch");
+        for ((o, &d), &p) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(delta_post.as_slice())
+            .zip(pre.as_slice())
+        {
+            *o = d * self.derivative_scalar(p);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +174,24 @@ mod tests {
         assert_eq!(a.apply(&pre).as_slice(), &[-0.5, 0.0, 2.0]);
         let delta = Fmaps::from_vec(1, 1, 3, vec![1.0f32, 1.0, 1.0]);
         assert_eq!(a.backprop(&delta, &pre).as_slice(), &[0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn into_variants_match_the_allocating_ones() {
+        let pre = Fmaps::from_vec(1, 1, 4, vec![-2.0f32, -0.1, 0.0, 1.5]);
+        let delta = Fmaps::from_vec(1, 1, 4, vec![0.5f32, -3.0, 2.0, 1.0]);
+        for a in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu { alpha: 0.2 },
+            Activation::Tanh,
+        ] {
+            let mut out = Fmaps::zeros(1, 1, 4);
+            a.apply_into(&pre, &mut out);
+            assert_eq!(out, a.apply(&pre), "{a:?} apply");
+            a.backprop_into(&delta, &pre, &mut out);
+            assert_eq!(out, a.backprop(&delta, &pre), "{a:?} backprop");
+        }
     }
 
     #[test]

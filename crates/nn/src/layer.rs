@@ -3,7 +3,9 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{ConvBackend, ConvGeom, Fmaps, Kernels, ShapeError, TensorResult};
+use zfgan_tensor::{
+    ConvBackend, ConvGeom, ConvWorkspace, Fmaps, Kernels, ShapeError, TensorResult,
+};
 
 use crate::activation::Activation;
 
@@ -46,6 +48,13 @@ impl LayerGrads {
         for b in &mut self.bias {
             *b *= factor;
         }
+    }
+
+    /// Returns this gradient's buffers to a workspace so the next backward
+    /// pass reuses them instead of allocating.
+    pub fn recycle(self, ws: &mut ConvWorkspace<f32>) {
+        ws.give_kernels(self.weights);
+        ws.give(self.bias);
     }
 
     /// Largest absolute difference to `rhs` across weights and bias.
@@ -291,6 +300,116 @@ impl ConvLayer {
                 (dx, dw)
             }
         };
+        Ok((
+            delta_in,
+            LayerGrads {
+                weights: weight_grad,
+                bias: bias_grad,
+            },
+        ))
+    }
+
+    /// [`ConvLayer::forward`] with all transients (conv scratch, the
+    /// pre/post tensors themselves) drawn from the workspace. Bit-identical;
+    /// the returned tensors belong to the caller (recycle them via
+    /// [`ConvWorkspace::give_fmaps`] / [`crate::Trace::recycle`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the layer's input shape.
+    pub fn forward_ws(
+        &self,
+        input: &Fmaps<f32>,
+        ws: &mut ConvWorkspace<f32>,
+    ) -> TensorResult<(Fmaps<f32>, Fmaps<f32>)> {
+        if input.shape() != self.in_shape {
+            return Err(ShapeError::new(format!(
+                "layer expects input {:?}, got {:?}",
+                self.in_shape,
+                input.shape()
+            )));
+        }
+        let mut pre = match self.direction {
+            Direction::Down => self
+                .backend
+                .s_conv_ws(input, &self.weights, &self.geom, ws)?,
+            Direction::Up => self
+                .backend
+                .t_conv_ws(input, &self.weights, &self.geom, ws)?,
+        };
+        let (c, h, w) = pre.shape();
+        for ch in 0..c {
+            let b = self.bias[ch];
+            if b != 0.0 {
+                for y in 0..h {
+                    for x in 0..w {
+                        *pre.at_mut(ch, y, x) += b;
+                    }
+                }
+            }
+        }
+        let mut post = ws.take_fmaps(c, h, w);
+        self.activation.apply_into(&pre, &mut post);
+        Ok((pre, post))
+    }
+
+    /// [`ConvLayer::backward`] with all transients drawn from the
+    /// workspace. Bit-identical; the returned error and gradients belong to
+    /// the caller (recycle via [`ConvWorkspace::give_fmaps`] /
+    /// [`LayerGrads::recycle`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cached tensors are inconsistent with the
+    /// layer shapes.
+    pub fn backward_ws(
+        &self,
+        delta_post: &Fmaps<f32>,
+        pre: &Fmaps<f32>,
+        input: &Fmaps<f32>,
+        ws: &mut ConvWorkspace<f32>,
+    ) -> TensorResult<(Fmaps<f32>, LayerGrads)> {
+        let (c, h, w) = pre.shape();
+        let mut delta_pre = ws.take_fmaps(c, h, w);
+        self.activation
+            .backprop_into(delta_post, pre, &mut delta_pre);
+        let mut bias_grad = ws.take(c);
+        for (ch, bg) in bias_grad.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += *delta_pre.at(ch, y, x);
+                }
+            }
+            *bg = acc;
+        }
+        let (delta_in, weight_grad) = match self.direction {
+            Direction::Down => {
+                let (_, ih, iw) = self.in_shape;
+                let dx = self.backend.s_conv_input_grad_ws(
+                    &delta_pre,
+                    &self.weights,
+                    &self.geom,
+                    ih,
+                    iw,
+                    ws,
+                )?;
+                let dw = self
+                    .backend
+                    .w_conv_for_s_layer_ws(input, &delta_pre, &self.geom, ws)?;
+                (dx, dw)
+            }
+            Direction::Up => {
+                let dx =
+                    self.backend
+                        .t_conv_input_grad_ws(&delta_pre, &self.weights, &self.geom, ws)?;
+                let dw = self
+                    .backend
+                    .w_conv_for_t_layer_ws(input, &delta_pre, &self.geom, ws)?;
+                (dx, dw)
+            }
+        };
+        ws.give_fmaps(delta_pre);
         Ok((
             delta_in,
             LayerGrads {

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{ConvBackend, Fmaps, ShapeError, TensorResult};
+use zfgan_tensor::{ConvBackend, ConvWorkspace, Fmaps, ShapeError, TensorResult};
 
 use crate::layer::{ConvLayer, LayerGrads};
 
@@ -57,6 +57,34 @@ impl Trace {
             total += p.len();
         }
         total
+    }
+
+    /// Returns every buffered tensor to a workspace, so the next forward
+    /// pass reuses them instead of allocating.
+    pub fn recycle(self, ws: &mut ConvWorkspace<f32>) {
+        ws.give_fmaps(self.input);
+        for p in self.pre {
+            ws.give_fmaps(p);
+        }
+        for p in self.post {
+            ws.give_fmaps(p);
+        }
+    }
+
+    /// Consumes the trace, keeping only the final network output; every
+    /// other buffered tensor returns to the workspace. (For a one-layer-or-
+    /// more network the output is the last post-activation; the degenerate
+    /// zero-layer case cannot occur — construction requires a layer.)
+    pub fn into_output(mut self, ws: &mut ConvWorkspace<f32>) -> Fmaps<f32> {
+        let out = self.post.pop().unwrap_or_else(|| self.input.clone());
+        ws.give_fmaps(self.input);
+        for p in self.pre {
+            ws.give_fmaps(p);
+        }
+        for p in self.post {
+            ws.give_fmaps(p);
+        }
+        out
     }
 }
 
@@ -196,6 +224,84 @@ impl ConvNet {
         })
     }
 
+    /// [`ConvNet::forward`] with all transients drawn from the workspace.
+    /// Bit-identical; feeds each layer the cached post-activation directly
+    /// (no per-layer clone), so a warm workspace makes the whole pass
+    /// allocation-free. Recycle the returned trace via [`Trace::recycle`]
+    /// or [`Trace::into_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network's input shape.
+    pub fn forward_ws(
+        &self,
+        input: &Fmaps<f32>,
+        ws: &mut ConvWorkspace<f32>,
+    ) -> TensorResult<Trace> {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post: Vec<Fmaps<f32>> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let cur = if l == 0 { input } else { &post[l - 1] };
+            let (p, a) = layer.forward_ws(cur, ws)?;
+            pre.push(p);
+            post.push(a);
+        }
+        let (c, h, w) = input.shape();
+        let mut own_input = ws.take_fmaps(c, h, w);
+        own_input.as_mut_slice().copy_from_slice(input.as_slice());
+        Ok(Trace {
+            input: own_input,
+            pre,
+            post,
+        })
+    }
+
+    /// [`ConvNet::backward`] with all transients drawn from the workspace.
+    /// Bit-identical; intermediate per-layer errors return to the workspace
+    /// as soon as the next layer has consumed them. Recycle the returned
+    /// gradients via [`crate::LayerGrads::recycle`] and the input error via
+    /// [`ConvWorkspace::give_fmaps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta_out` does not match the output shape.
+    pub fn backward_ws(
+        &self,
+        trace: &Trace,
+        delta_out: &Fmaps<f32>,
+        ws: &mut ConvWorkspace<f32>,
+    ) -> TensorResult<(Vec<LayerGrads>, Fmaps<f32>)> {
+        if delta_out.shape() != self.out_shape() {
+            return Err(ShapeError::new(format!(
+                "delta shape {:?} does not match output {:?}",
+                delta_out.shape(),
+                self.out_shape()
+            )));
+        }
+        let mut grads: Vec<Option<LayerGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let (c, h, w) = delta_out.shape();
+        let mut delta = ws.take_fmaps(c, h, w);
+        delta.as_mut_slice().copy_from_slice(delta_out.as_slice());
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let input = if l == 0 {
+                &trace.input
+            } else {
+                &trace.post[l - 1]
+            };
+            let (dx, g) = layer.backward_ws(&delta, &trace.pre[l], input, ws)?;
+            grads[l] = Some(g);
+            ws.give_fmaps(delta);
+            delta = dx;
+        }
+        Ok((
+            grads
+                .into_iter()
+                .map(|g| g.expect("all layers visited"))
+                .collect(),
+            delta,
+        ))
+    }
+
     /// Backward pass: propagates `delta_out` (error on the network output)
     /// through every layer, returning per-layer gradients (forward order)
     /// and the error on the network input.
@@ -248,6 +354,23 @@ impl ConvNet {
                     l.weights().kw(),
                 ),
                 bias: vec![0.0; l.out_shape().0],
+            })
+            .collect()
+    }
+
+    /// [`ConvNet::zero_grads`] with the accumulator buffers drawn from the
+    /// workspace (already zero-filled by [`ConvWorkspace::take`]).
+    pub fn zero_grads_ws(&self, ws: &mut ConvWorkspace<f32>) -> Vec<LayerGrads> {
+        self.layers
+            .iter()
+            .map(|l| LayerGrads {
+                weights: ws.take_kernels(
+                    l.weights().n_of(),
+                    l.weights().n_if(),
+                    l.weights().kh(),
+                    l.weights().kw(),
+                ),
+                bias: ws.take(l.out_shape().0),
             })
             .collect()
     }

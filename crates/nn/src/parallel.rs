@@ -21,7 +21,6 @@
 use std::error::Error;
 use std::fmt;
 
-use crossbeam::thread;
 use zfgan_tensor::Fmaps;
 
 use crate::layer::LayerGrads;
@@ -135,61 +134,42 @@ pub fn try_parallel_dis_grads_with(
         .chain(fakes.iter().map(|x| (x, wgan::dis_output_error_fake(m))))
         .collect();
 
-    // Each worker produces (job index, score, grads); the reduction sorts
-    // by index so float summation order is identical to sequential.
-    let mut results: Vec<Option<(f64, Vec<LayerGrads>)>> = (0..jobs.len()).map(|_| None).collect();
-    let mut spawned = 0usize;
-    let mut failed = 0usize;
-    let scope_result = thread::scope(|scope| {
-        let chunk = jobs.len().div_ceil(n_threads);
-        let mut handles = Vec::new();
-        for (t, job_chunk) in jobs.chunks(chunk).enumerate() {
-            let base = t * chunk;
-            handles.push(scope.spawn(move |_| {
-                job_chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, (x, delta))| {
-                        let trace = critic.forward(x).expect("image shape matches critic");
-                        let score = wgan::score(trace.output());
-                        let (grads, _) = critic
-                            .backward(&trace, &wgan::scalar_error(*delta))
-                            .expect("trace produced by this network");
-                        (base + i, score, grads)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        spawned = handles.len();
-        // Consume every join result — an Err here is the worker's panic
-        // payload; swallowing it (instead of propagating) is what keeps
-        // the scope from re-raising it and lets us report a typed error.
-        for h in handles {
-            match h.join() {
-                Ok(chunk_results) => {
-                    for (idx, score, grads) in chunk_results {
-                        results[idx] = Some((score, grads));
-                    }
-                }
-                Err(_) => failed += 1,
-            }
-        }
+    // One pool task per job chunk (same chunking as the old scoped-thread
+    // split); parallel_map returns chunk results in chunk order and chunks
+    // are consecutive, so flattening restores exact job order. A panicking
+    // chunk surfaces as a typed pool error, which maps onto the existing
+    // ParallelError contract (tasks stand in for the workers we used to
+    // spawn).
+    let chunk = jobs.len().div_ceil(n_threads);
+    let job_chunks: Vec<&[(&Fmaps<f32>, f32)]> = jobs.chunks(chunk).collect();
+    let per_chunk = zfgan_pool::parallel_map(job_chunks.len(), |t| {
+        job_chunks[t]
+            .iter()
+            .map(|(x, delta)| {
+                let trace = critic.forward(x).expect("image shape matches critic");
+                let score = wgan::score(trace.output());
+                let (grads, _) = critic
+                    .backward(&trace, &wgan::scalar_error(*delta))
+                    .expect("trace produced by this network");
+                (score, grads)
+            })
+            .collect::<Vec<_>>()
     });
-    if scope_result.is_err() {
-        // All joins were consumed above, so the scope itself should never
-        // carry a panic; treat it as a worker failure if it somehow does.
-        failed = failed.max(1);
-    }
-    if failed > 0 {
-        return Err(ParallelError::WorkerPanicked { failed, spawned });
-    }
+    let per_chunk = match per_chunk {
+        Ok(out) => out,
+        Err(zfgan_pool::PoolError::TaskPanicked { failed, total }) => {
+            return Err(ParallelError::WorkerPanicked {
+                failed,
+                spawned: total,
+            });
+        }
+    };
 
-    // Ordered deterministic reduction.
+    // Ordered deterministic reduction: chunk-major flatten == job order.
     let mut acc = critic.zero_grads();
     let mut real_scores = Vec::with_capacity(m);
     let mut fake_scores = Vec::with_capacity(m);
-    for (idx, slot) in results.into_iter().enumerate() {
-        let (score, grads) = slot.expect("every job completed");
+    for (idx, (score, grads)) in per_chunk.into_iter().flatten().enumerate() {
         for (a, g) in acc.iter_mut().zip(&grads) {
             a.add_assign(g);
         }
@@ -243,12 +223,12 @@ pub fn sequential_dis_grads(
     (acc, real_scores, fake_scores)
 }
 
-/// One worker per hardware thread: the batch clamp above keeps small
-/// batches from over-subscribing, so there is no fixed upper cap.
+/// One job chunk per pool thread (cached once per process by
+/// `zfgan_pool::pool_threads`, `ZFGAN_THREADS`-overridable): the batch
+/// clamp above keeps small batches from over-subscribing, so there is no
+/// fixed upper cap.
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    zfgan_pool::pool_threads()
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use std::fmt;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use zfgan_tensor::{ConvBackend, Fmaps, ShapeError, TensorResult};
+use zfgan_tensor::{ConvBackend, ConvWorkspace, Fmaps, ShapeError, TensorResult};
 
 use crate::layer::LayerGrads;
 use crate::network::{ConvNet, Trace};
@@ -365,12 +365,20 @@ pub struct TrainerState {
 }
 
 /// Drives WGAN training of a [`GanPair`] under a chosen [`SyncMode`].
+///
+/// The trainer owns a [`ConvWorkspace`] through which every step's conv
+/// transients are drawn, so a steady-state step performs no heap
+/// allocation in the conv hot path (see `tests/zero_alloc.rs`). The
+/// workspace is scratch, not state: it is deliberately **not** part of
+/// [`TrainerState`], and its contents never affect results (all workspace
+/// paths are bit-identical to the allocating ones).
 #[derive(Debug)]
 pub struct GanTrainer {
     gan: GanPair,
     config: TrainerConfig,
     opt_g: Optimizer,
     opt_d: Optimizer,
+    workspace: ConvWorkspace<f32>,
 }
 
 impl GanTrainer {
@@ -402,7 +410,21 @@ impl GanTrainer {
             config,
             opt_g,
             opt_d,
+            workspace: ConvWorkspace::new(),
         })
+    }
+
+    /// Toggles the training workspace's buffer reuse. `true` (the default)
+    /// recycles conv scratch across steps; `false` allocates freshly per
+    /// take — the honest allocating baseline the `trainstep` bench
+    /// measures. Results are bit-identical either way.
+    pub fn set_workspace_reuse(&mut self, reuse: bool) {
+        self.workspace.set_reuse(reuse);
+    }
+
+    /// The trainer's conv scratch workspace.
+    pub fn workspace(&self) -> &ConvWorkspace<f32> {
+        &self.workspace
     }
 
     /// The GAN being trained.
@@ -457,11 +479,20 @@ impl GanTrainer {
     ) -> DisStepReport {
         assert!(!reals.is_empty(), "batch must be non-empty");
         let m = reals.len();
+        let ws = &mut self.workspace;
         // Step ①: Generator produces the fake batch (forward only; its
-        // trace is not needed for a Discriminator update).
-        let fakes = self.gan.generate_batch(m, rng);
+        // trace is not needed for a Discriminator update). Same RNG
+        // consumption and arithmetic as `GanPair::generate_batch`, with
+        // the forward transients drawn from the workspace.
+        let zs = self.gan.sample_z_batch(m, rng);
+        let mut fakes = Vec::with_capacity(m);
+        for z in &zs {
+            let gt = self.gan.generator.forward_ws(z, ws).expect("z shape");
+            fakes.push(gt.into_output(ws));
+        }
+        drop(zs);
 
-        let mut grads = self.gan.discriminator.zero_grads();
+        let mut grads = self.gan.discriminator.zero_grads_ws(ws);
         let mut real_scores = Vec::with_capacity(m);
         let mut fake_scores = Vec::with_capacity(m);
         let mut peak_elems = 0usize;
@@ -473,11 +504,21 @@ impl GanTrainer {
                 // the loss synchronization point allows any backward pass.
                 let real_traces: Vec<Trace> = reals
                     .iter()
-                    .map(|x| self.gan.discriminator.forward(x).expect("image shape"))
+                    .map(|x| {
+                        self.gan
+                            .discriminator
+                            .forward_ws(x, ws)
+                            .expect("image shape")
+                    })
                     .collect();
                 let fake_traces: Vec<Trace> = fakes
                     .iter()
-                    .map(|x| self.gan.discriminator.forward(x).expect("image shape"))
+                    .map(|x| {
+                        self.gan
+                            .discriminator
+                            .forward_ws(x, ws)
+                            .expect("image shape")
+                    })
                     .collect();
                 peak_elems = real_traces
                     .iter()
@@ -494,37 +535,56 @@ impl GanTrainer {
                 // Synchronization cleared: backward passes may now run.
                 for (t, score) in real_traces.iter().zip(&real_scores) {
                     let delta = wgan::scalar_error(real_delta(self.config.loss, *score, m));
-                    accumulate(&mut grads, &self.gan.discriminator, t, &delta);
+                    accumulate_ws(&mut grads, &self.gan.discriminator, t, &delta, ws);
                 }
                 for (t, score) in fake_traces.iter().zip(&fake_scores) {
                     let delta = wgan::scalar_error(fake_delta(self.config.loss, *score, m));
-                    accumulate(&mut grads, &self.gan.discriminator, t, &delta);
+                    accumulate_ws(&mut grads, &self.gan.discriminator, t, &delta, ws);
+                }
+                for t in real_traces.into_iter().chain(fake_traces) {
+                    t.recycle(ws);
                 }
             }
             SyncMode::Deferred => {
                 // Eq. 6: each sample's output error is a constant ∓1/m, so
                 // its backward pass runs as soon as its forward pass ends.
                 for x in reals {
-                    let t = self.gan.discriminator.forward(x).expect("image shape");
+                    let t = self
+                        .gan
+                        .discriminator
+                        .forward_ws(x, ws)
+                        .expect("image shape");
                     peak_elems = peak_elems.max(t.buffered_elems());
                     peak_traces = peak_traces.max(1);
                     let score = wgan::score(t.output());
                     real_scores.push(score);
                     let delta = wgan::scalar_error(real_delta(self.config.loss, score, m));
-                    accumulate(&mut grads, &self.gan.discriminator, &t, &delta);
+                    accumulate_ws(&mut grads, &self.gan.discriminator, &t, &delta, ws);
+                    t.recycle(ws);
                 }
                 for x in &fakes {
-                    let t = self.gan.discriminator.forward(x).expect("image shape");
+                    let t = self
+                        .gan
+                        .discriminator
+                        .forward_ws(x, ws)
+                        .expect("image shape");
                     peak_elems = peak_elems.max(t.buffered_elems());
                     let score = wgan::score(t.output());
                     fake_scores.push(score);
                     let delta = wgan::scalar_error(fake_delta(self.config.loss, score, m));
-                    accumulate(&mut grads, &self.gan.discriminator, &t, &delta);
+                    accumulate_ws(&mut grads, &self.gan.discriminator, &t, &delta, ws);
+                    t.recycle(ws);
                 }
             }
         }
+        for f in fakes {
+            ws.give_fmaps(f);
+        }
 
         self.opt_d.step(&mut self.gan.discriminator, &grads);
+        for g in grads {
+            g.recycle(&mut self.workspace);
+        }
         if let Some(c) = self.config.weight_clip {
             Optimizer::clip_weights(&mut self.gan.discriminator, c);
         }
@@ -548,8 +608,9 @@ impl GanTrainer {
     /// Panics if `batch` is zero.
     pub fn step_generator<R: Rng>(&mut self, batch: usize, rng: &mut R) -> GenStepReport {
         assert!(batch > 0, "batch must be non-zero");
+        let ws = &mut self.workspace;
         let zs = self.gan.sample_z_batch(batch, rng);
-        let mut grads = self.gan.generator.zero_grads();
+        let mut grads = self.gan.generator.zero_grads_ws(ws);
         let mut fake_scores = Vec::with_capacity(batch);
         let mut peak_elems = 0usize;
         let mut peak_traces = 0usize;
@@ -559,21 +620,31 @@ impl GanTrainer {
                             grads: &mut Vec<LayerGrads>,
                             g_trace: &Trace,
                             d_trace: &Trace,
-                            m: usize| {
+                            m: usize,
+                            ws: &mut ConvWorkspace<f32>| {
             let score = wgan::score(d_trace.output());
             let delta = wgan::scalar_error(gen_delta(loss, score, m));
             // Error flows back through the (frozen) critic into the
-            // Generator — Fig. 2 step ⑧.
-            let (_, delta_image) = gan
+            // Generator — Fig. 2 step ⑧. The critic's own gradients are a
+            // by-product; they go straight back to the workspace.
+            let (d_grads, delta_image) = gan
                 .discriminator
-                .backward(d_trace, &delta)
+                .backward_ws(d_trace, &delta, ws)
                 .expect("trace produced by this network");
-            let (g_grads, _) = gan
+            for g in d_grads {
+                g.recycle(ws);
+            }
+            let (g_grads, dx) = gan
                 .generator
-                .backward(g_trace, &delta_image)
+                .backward_ws(g_trace, &delta_image, ws)
                 .expect("trace produced by this network");
+            ws.give_fmaps(delta_image);
+            ws.give_fmaps(dx);
             for (acc, g) in grads.iter_mut().zip(&g_grads) {
                 acc.add_assign(g);
+            }
+            for g in g_grads {
+                g.recycle(ws);
             }
         };
 
@@ -582,11 +653,11 @@ impl GanTrainer {
                 let traces: Vec<(Trace, Trace)> = zs
                     .iter()
                     .map(|z| {
-                        let gt = self.gan.generator.forward(z).expect("z shape");
+                        let gt = self.gan.generator.forward_ws(z, ws).expect("z shape");
                         let dt = self
                             .gan
                             .discriminator
-                            .forward(gt.output())
+                            .forward_ws(gt.output(), ws)
                             .expect("image shape");
                         (gt, dt)
                     })
@@ -600,26 +671,35 @@ impl GanTrainer {
                     fake_scores.push(wgan::score(dt.output()));
                 }
                 for (gt, dt) in &traces {
-                    backward_one(&self.gan, &mut grads, gt, dt, batch);
+                    backward_one(&self.gan, &mut grads, gt, dt, batch, ws);
+                }
+                for (gt, dt) in traces {
+                    gt.recycle(ws);
+                    dt.recycle(ws);
                 }
             }
             SyncMode::Deferred => {
                 for z in &zs {
-                    let gt = self.gan.generator.forward(z).expect("z shape");
+                    let gt = self.gan.generator.forward_ws(z, ws).expect("z shape");
                     let dt = self
                         .gan
                         .discriminator
-                        .forward(gt.output())
+                        .forward_ws(gt.output(), ws)
                         .expect("image shape");
                     peak_elems = peak_elems.max(gt.buffered_elems() + dt.buffered_elems());
                     peak_traces = peak_traces.max(2);
                     fake_scores.push(wgan::score(dt.output()));
-                    backward_one(&self.gan, &mut grads, &gt, &dt, batch);
+                    backward_one(&self.gan, &mut grads, &gt, &dt, batch, ws);
+                    gt.recycle(ws);
+                    dt.recycle(ws);
                 }
             }
         }
 
         self.opt_g.step(&mut self.gan.generator, &grads);
+        for g in grads {
+            g.recycle(&mut self.workspace);
+        }
         let gen_loss = match loss {
             LossKind::Wasserstein => wgan::gen_loss(&fake_scores),
             LossKind::MinimaxNonSaturating => wgan::vanilla_gen_loss(&fake_scores),
@@ -687,13 +767,24 @@ fn gen_delta(loss: LossKind, score: f64, m: usize) -> f32 {
     }
 }
 
-/// Backpropagates one sample through `net` and accumulates its gradients.
-fn accumulate(grads: &mut [LayerGrads], net: &ConvNet, trace: &Trace, delta: &Fmaps<f32>) {
-    let (g, _) = net
-        .backward(trace, delta)
+/// Backpropagates one sample through `net` and accumulates its gradients,
+/// drawing every transient from (and returning it to) the workspace.
+fn accumulate_ws(
+    grads: &mut [LayerGrads],
+    net: &ConvNet,
+    trace: &Trace,
+    delta: &Fmaps<f32>,
+    ws: &mut ConvWorkspace<f32>,
+) {
+    let (g, dx) = net
+        .backward_ws(trace, delta, ws)
         .expect("trace produced by this network");
+    ws.give_fmaps(dx);
     for (acc, gi) in grads.iter_mut().zip(&g) {
         acc.add_assign(gi);
+    }
+    for gi in g {
+        gi.recycle(ws);
     }
 }
 

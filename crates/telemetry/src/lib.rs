@@ -136,6 +136,25 @@ pub fn gauge(name: &str, labels: &[(&str, &str)], value: f64) {
     }
 }
 
+/// Add `delta` to the wall-clock counter `name{labels}` — excluded from the
+/// deterministic export section (no-op when telemetry is off). For
+/// scheduling-dependent quantities (work steals, queue churn) that must
+/// never enter the byte-diffed section.
+pub fn count_wall(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if let Some(t) = target() {
+        t.registry().add(Class::WallClock, name, labels, delta);
+    }
+}
+
+/// Set the wall-clock gauge `name{labels}` — excluded from the deterministic
+/// export section (no-op when telemetry is off).
+pub fn gauge_wall(name: &str, labels: &[(&str, &str)], value: f64) {
+    if let Some(t) = target() {
+        t.registry()
+            .set_gauge(Class::WallClock, name, labels, value);
+    }
+}
+
 /// Observe into the deterministic histogram `name{labels}` with fixed
 /// `bounds` (no-op when telemetry is off).
 pub fn observe(name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
@@ -194,6 +213,19 @@ mod tests {
         count("c", &[], 10);
         assert_eq!(inner.snapshot().counters[0].2, 1);
         assert_eq!(outer.snapshot().counters[0].2, 10);
+    }
+
+    #[test]
+    fn wall_helpers_stay_out_of_deterministic_section() {
+        let reg = Arc::new(Registry::new());
+        let _g = scope(Arc::clone(&reg));
+        count_wall("pool_steals_total", &[], 2);
+        gauge_wall("pool_queue_depth", &[], 3.0);
+        count("det_counter", &[], 1);
+        let sec = export::deterministic_section(&reg);
+        assert!(sec.contains("det_counter"));
+        assert!(!sec.contains("pool_steals_total"));
+        assert!(!sec.contains("pool_queue_depth"));
     }
 
     #[test]

@@ -14,11 +14,13 @@ use crate::error::TensorResult;
 use crate::fmaps::Fmaps;
 use crate::gemm::MatmulKind;
 use crate::im2col::{
-    im2col_s, im2col_t, im2col_t_with_output_size, weights_as_matrix_s, weights_as_matrix_t,
+    im2col_s, im2col_t, im2col_t_with_output_size, s_conv_via_gemm_ws, weights_as_matrix_s,
+    weights_as_matrix_t,
 };
 use crate::kernels::Kernels;
 use crate::num::Num;
 use crate::shape::ConvGeom;
+use crate::workspace::ConvWorkspace;
 use crate::zero_free;
 use crate::{conv, ShapeError};
 
@@ -230,6 +232,138 @@ impl ConvBackend {
             }
         }
     }
+
+    // Workspace-fed variants. Each is bit-identical to its allocating
+    // sibling above; transients come from (and return to) `ws`, so a
+    // steady-state call allocates nothing (pinned by `tests/zero_alloc.rs`
+    // on the default backend). `GoldenDirect` and the `LoweredGemm`
+    // zero-inserting T paths delegate to the allocating forms: they are
+    // comparison baselines, not the training hot path, and keeping them
+    // allocating keeps their cost model honest.
+
+    /// [`ConvBackend::s_conv`] with transients drawn from the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::s_conv`].
+    pub fn s_conv_ws<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::s_conv(input, k, geom),
+            _ => s_conv_via_gemm_ws(input, k, geom, self.mm(), ws),
+        }
+    }
+
+    /// [`ConvBackend::t_conv`] with transients drawn from the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::t_conv`].
+    pub fn t_conv_ws<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => self.t_conv(input, k, geom),
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::t_conv_zero_free_ws(input, k, geom, self.mm(), ws)
+            }
+        }
+    }
+
+    /// [`ConvBackend::s_conv_input_grad`] with transients drawn from the
+    /// workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::s_conv_input_grad`].
+    pub fn s_conv_input_grad_ws<T: Num>(
+        self,
+        delta_out: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+        in_h: usize,
+        in_w: usize,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => {
+                self.s_conv_input_grad(delta_out, k, geom, in_h, in_w)
+            }
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::t_conv_zero_free_sized_ws(delta_out, k, geom, in_h, in_w, self.mm(), ws)
+            }
+        }
+    }
+
+    /// [`ConvBackend::t_conv_input_grad`] with transients drawn from the
+    /// workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::t_conv_input_grad`].
+    pub fn t_conv_input_grad_ws<T: Num>(
+        self,
+        delta_out: &Fmaps<T>,
+        k: &Kernels<T>,
+        geom: &ConvGeom,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Fmaps<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::t_conv_input_grad(delta_out, k, geom),
+            _ => zero_free::t_conv_input_grad_via_gemm_ws(delta_out, k, geom, self.mm(), ws),
+        }
+    }
+
+    /// [`ConvBackend::w_conv_for_s_layer`] with transients drawn from the
+    /// workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::w_conv_for_s_layer`].
+    pub fn w_conv_for_s_layer_ws<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        delta_out: &Fmaps<T>,
+        geom: &ConvGeom,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Kernels<T>> {
+        match self {
+            ConvBackend::GoldenDirect => conv::w_conv_for_s_layer(input, delta_out, geom),
+            _ => zero_free::w_conv_s_via_gemm_ws(input, delta_out, geom, self.mm(), ws),
+        }
+    }
+
+    /// [`ConvBackend::w_conv_for_t_layer`] with transients drawn from the
+    /// workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::w_conv_for_t_layer`].
+    pub fn w_conv_for_t_layer_ws<T: Num>(
+        self,
+        input: &Fmaps<T>,
+        delta_out: &Fmaps<T>,
+        geom: &ConvGeom,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Kernels<T>> {
+        match self {
+            ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => {
+                self.w_conv_for_t_layer(input, delta_out, geom)
+            }
+            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+                zero_free::w_conv_t_zero_free_ws(input, delta_out, geom, self.mm(), ws)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +423,54 @@ mod tests {
                 b.w_conv_for_t_layer(&z, &up, &g).unwrap(),
                 "{b:?} w_conv_for_t_layer"
             );
+        }
+    }
+
+    #[test]
+    fn workspace_variants_match_allocating_ones_on_every_backend() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = geom();
+        let x: Fmaps<f32> = Fmaps::random(3, 10, 10, 1.0, &mut rng);
+        let k: Kernels<f32> = Kernels::random(4, 3, 4, 4, 1.0, &mut rng);
+        let z: Fmaps<f32> = Fmaps::random(4, 5, 5, 1.0, &mut rng);
+        let mut ws: ConvWorkspace<f32> = ConvWorkspace::new();
+        // Two rounds through one workspace: round two runs on recycled
+        // (dirty) buffers, which is the state the zero-fill rules protect.
+        for round in 0..2 {
+            for b in ALL {
+                let y = b.s_conv(&x, &k, &g).unwrap();
+                assert_eq!(
+                    y,
+                    b.s_conv_ws(&x, &k, &g, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+                let up = b.t_conv(&z, &k, &g).unwrap();
+                assert_eq!(
+                    up,
+                    b.t_conv_ws(&z, &k, &g, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+                assert_eq!(
+                    b.s_conv_input_grad(&y, &k, &g, 10, 10).unwrap(),
+                    b.s_conv_input_grad_ws(&y, &k, &g, 10, 10, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+                assert_eq!(
+                    b.t_conv_input_grad(&up, &k, &g).unwrap(),
+                    b.t_conv_input_grad_ws(&up, &k, &g, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+                assert_eq!(
+                    b.w_conv_for_s_layer(&x, &y, &g).unwrap(),
+                    b.w_conv_for_s_layer_ws(&x, &y, &g, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+                assert_eq!(
+                    b.w_conv_for_t_layer(&z, &up, &g).unwrap(),
+                    b.w_conv_for_t_layer_ws(&z, &up, &g, &mut ws).unwrap(),
+                    "{b:?} r{round}"
+                );
+            }
         }
     }
 

@@ -171,6 +171,12 @@ impl<T: Num> Fmaps<T> {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its row-major buffer (so a workspace
+    /// can recycle it).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Applies `f` element-wise, producing a new tensor of the same shape.
     pub fn map<U: Num>(&self, mut f: impl FnMut(T) -> U) -> Fmaps<U> {
         Fmaps {

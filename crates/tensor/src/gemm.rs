@@ -10,9 +10,10 @@
 //! (`tests/fast_conv.rs`) pins down.
 //!
 //! The parallel variant splits the *output rows* into contiguous chunks,
-//! one scoped thread per chunk. Each output element is still produced by
-//! exactly one thread running the same per-element reduction, so the
-//! result is deterministic and identical for every thread count.
+//! one persistent-pool task per chunk (`zfgan-pool`). Each output element
+//! is still produced by exactly one executor running the same per-element
+//! reduction, so the result is deterministic and identical for every
+//! thread count and every pool schedule.
 //!
 //! Caveat: the "skipping a zero operand is bit-neutral" argument assumes
 //! finite values. A zero activation times an infinite/NaN weight would
@@ -24,11 +25,16 @@ use crate::error::{ShapeError, TensorResult};
 use crate::fault::{FaultLog, FaultPlan, FaultSite};
 use crate::im2col::Matrix;
 use crate::num::Num;
+use crate::workspace::ConvWorkspace;
 
 /// Row-block height: output rows processed per cache tile.
 const ROW_BLOCK: usize = 16;
 /// Column-block width: output columns accumulated in registers per tile.
-const COL_BLOCK: usize = 64;
+/// Sized to cover the widest lowered-GAN output-feature count (128) in a
+/// single tile: every extra tile re-walks the sparse `a` row, and on the
+/// ~50%-zero activations the repeated `is_zero` branches cost more than
+/// the tile buys.
+const COL_BLOCK: usize = 128;
 
 /// How a lowered convolution multiplies its patch and weight matrices.
 ///
@@ -58,6 +64,39 @@ impl MatmulKind {
             }
             MatmulKind::Blocked => matmul_blocked(a, b),
             MatmulKind::Parallel(n) => matmul_parallel(a, b, n),
+        }
+    }
+
+    /// Runs the selected kernel on `a × b` with the product drawn from the
+    /// workspace instead of allocated. Bit-identical to [`MatmulKind::run`]
+    /// for every variant; return the product via
+    /// [`ConvWorkspace::give_matrix`] when done.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inner dimensions disagree (the product
+    /// buffer goes back to the workspace).
+    pub fn run_ws<T: Num>(
+        &self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        ws: &mut ConvWorkspace<T>,
+    ) -> TensorResult<Matrix<T>> {
+        let mut out = ws.take_matrix(a.rows(), b.cols());
+        let result = match *self {
+            MatmulKind::Naive => {
+                zfgan_telemetry::count("gemm_calls", &[("backend", "naive")], 1);
+                a.matmul_into(b, &mut out)
+            }
+            MatmulKind::Blocked => matmul_blocked_into(a, b, &mut out),
+            MatmulKind::Parallel(n) => matmul_parallel_into(a, b, n, &mut out),
+        };
+        match result {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                ws.give_matrix(out);
+                Err(e)
+            }
         }
     }
 }
@@ -122,13 +161,8 @@ fn gemm_rows<T: Num>(a: &[T], b: &[T], out: &mut [T], kk: usize, n: usize) -> (u
     (skipped, visited)
 }
 
-/// Cache-blocked, register-tiled GEMM: `a × b`, bit-identical to
-/// [`Matrix::matmul`].
-///
-/// # Errors
-///
-/// Returns an error if the inner dimensions disagree.
-pub fn matmul_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matrix<T>> {
+/// Validates `a × b = out` shapes for the `_into` kernels.
+fn check_matmul_shapes<T: Num>(a: &Matrix<T>, b: &Matrix<T>, out: &Matrix<T>) -> TensorResult<()> {
     if a.cols() != b.rows() {
         return Err(ShapeError::new(format!(
             "matmul inner dimensions disagree: {}×{} vs {}×{}",
@@ -138,16 +172,53 @@ pub fn matmul_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matr
             b.cols()
         )));
     }
-    let (kk, n) = (a.cols(), b.cols());
-    let mut out = Matrix::zeros(a.rows(), n);
-    let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
-    record_gemm("blocked", a.rows(), n, skipped, visited);
+    if out.rows() != a.rows() || out.cols() != b.cols() {
+        return Err(ShapeError::new(format!(
+            "matmul output shape {}×{} does not match {}×{}",
+            out.rows(),
+            out.cols(),
+            a.rows(),
+            b.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Cache-blocked, register-tiled GEMM: `a × b`, bit-identical to
+/// [`Matrix::matmul`].
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree.
+pub fn matmul_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matrix<T>> {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_blocked_into(a, b, &mut out)?;
     Ok(out)
 }
 
+/// [`matmul_blocked`] into a caller-provided output matrix (every element
+/// is overwritten; no pre-zeroing required). The allocation-free form the
+/// workspace conv path uses.
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree or `out` has the wrong
+/// shape.
+pub fn matmul_blocked_into<T: Num>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    out: &mut Matrix<T>,
+) -> TensorResult<()> {
+    check_matmul_shapes(a, b, out)?;
+    let (kk, n) = (a.cols(), b.cols());
+    let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
+    record_gemm("blocked", a.rows(), n, skipped, visited);
+    Ok(())
+}
+
 /// Multithreaded blocked GEMM: contiguous row chunks of the output, one
-/// scoped thread each, bit-identical to [`Matrix::matmul`] for every
-/// thread count.
+/// pool task each (on the persistent `zfgan-pool` workers), bit-identical
+/// to [`Matrix::matmul`] for every thread count.
 ///
 /// `n_threads` is clamped to `[1, a.rows()]`; with one thread this is
 /// exactly [`matmul_blocked`].
@@ -160,46 +231,60 @@ pub fn matmul_parallel<T: Num>(
     b: &Matrix<T>,
     n_threads: usize,
 ) -> TensorResult<Matrix<T>> {
-    if a.cols() != b.rows() {
-        return Err(ShapeError::new(format!(
-            "matmul inner dimensions disagree: {}×{} vs {}×{}",
-            a.rows(),
-            a.cols(),
-            b.rows(),
-            b.cols()
-        )));
-    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_parallel_into(a, b, n_threads, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_parallel`] into a caller-provided output matrix (every element
+/// is overwritten; no pre-zeroing required).
+///
+/// The row chunking is a pure function of `(rows, n_threads)` — identical
+/// to the pre-pool scoped-thread split — and each chunk's per-element
+/// reduction is the sequential reference's, so results stay bit-identical
+/// regardless of which pool worker runs which chunk.
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree or `out` has the wrong
+/// shape.
+pub fn matmul_parallel_into<T: Num>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    n_threads: usize,
+    out: &mut Matrix<T>,
+) -> TensorResult<()> {
+    check_matmul_shapes(a, b, out)?;
     let (m, kk, n) = (a.rows(), a.cols(), b.cols());
-    let threads = n_threads.clamp(1, m);
+    // Splitting wider than the pool only adds dispatch overhead (the
+    // chunks would serialize anyway), so clamp to the hardware width; on
+    // a single-core host this degrades to the blocked kernel with zero
+    // synchronisation. Results are bit-identical for every width.
+    let threads = n_threads.clamp(1, m).min(zfgan_pool::pool_threads());
     if threads == 1 {
-        return matmul_blocked(a, b);
+        return matmul_blocked_into(a, b, out);
     }
-    let mut out = Matrix::zeros(m, n);
     let rows_per = m.div_ceil(threads);
     let (a_flat, b_flat) = (a.as_slice(), b.as_slice());
-    // Workers drop their (skipped, visited) counts into per-chunk slots;
-    // the calling thread aggregates and records (worker threads don't see
+    // Per-chunk (skipped, visited) counts come back in chunk order; the
+    // calling thread aggregates and records them (pool workers don't see
     // the caller's thread-local telemetry scope).
-    let mut counts = vec![(0u64, 0u64); m.div_ceil(rows_per)];
-    crossbeam::thread::scope(|scope| {
-        for ((chunk_idx, out_chunk), cnt) in out
-            .as_mut_slice()
-            .chunks_mut(rows_per * n)
-            .enumerate()
-            .zip(counts.iter_mut())
-        {
+    let counts = zfgan_pool::parallel_chunks_mut(
+        out.as_mut_slice(),
+        rows_per * n,
+        |chunk_idx, out_chunk| {
             let row0 = chunk_idx * rows_per;
             let rows_here = out_chunk.len() / n;
             let a_chunk = &a_flat[row0 * kk..(row0 + rows_here) * kk];
-            scope.spawn(move |_| *cnt = gemm_rows(a_chunk, b_flat, out_chunk, kk, n));
-        }
-    })
+            gemm_rows(a_chunk, b_flat, out_chunk, kk, n)
+        },
+    )
     .expect("matmul worker panicked");
     let (skipped, visited) = counts
         .iter()
         .fold((0, 0), |(s, v), (cs, cv)| (s + cs, v + cv));
     record_gemm("parallel", m, n, skipped, visited);
-    Ok(out)
+    Ok(())
 }
 
 /// GEMM with deterministic accumulator-fault injection: runs the selected

@@ -13,9 +13,11 @@
 
 use crate::error::{ShapeError, TensorResult};
 use crate::fmaps::Fmaps;
+use crate::gemm::MatmulKind;
 use crate::kernels::Kernels;
 use crate::num::Num;
 use crate::shape::ConvGeom;
+use crate::workspace::ConvWorkspace;
 use crate::zeros::insert_zeros;
 
 /// A dense row-major matrix — just enough linear algebra for the lowering.
@@ -100,6 +102,12 @@ impl<T: Num> Matrix<T> {
         &self.data
     }
 
+    /// Consumes the matrix, returning its flat buffer — how matrices give
+    /// their storage back to a [`crate::ConvWorkspace`].
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Flat mutable row-major view.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
@@ -116,13 +124,34 @@ impl<T: Num> Matrix<T> {
     ///
     /// Returns an error if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix<T>) -> TensorResult<Matrix<T>> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output matrix, which is
+    /// zero-filled first (the triple loop accumulates with `+=`). The
+    /// allocation-free form the workspace conv path uses; bit-identical to
+    /// [`Matrix::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the inner dimensions disagree or `out` has the
+    /// wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) -> TensorResult<()> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new(format!(
                 "matmul inner dimensions disagree: {}×{} vs {}×{}",
                 self.rows, self.cols, rhs.rows, rhs.cols
             )));
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(ShapeError::new(format!(
+                "matmul output shape {}×{} does not match {}×{}",
+                out.rows, out.cols, self.rows, rhs.cols
+            )));
+        }
+        out.data.fill(T::zero());
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -134,7 +163,7 @@ impl<T: Num> Matrix<T> {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -155,11 +184,15 @@ impl<T: Num> Lowered<T> {
     }
 }
 
-/// Lowers an `S-CONV` input into patch-matrix form.
-pub fn im2col_s<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
-    let (oh, ow) = geom.down_out(input.height(), input.width());
-    let cols = input.channels() * geom.kh() * geom.kw();
-    let mut patches = Matrix::zeros(oh * ow, cols);
+/// The `S-CONV` patch fill loop, shared by the allocating and workspace
+/// lowerings. Writes every cell of `patches`.
+pub(crate) fn fill_im2col_s<T: Num>(
+    patches: &mut Matrix<T>,
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+) {
     let stride = geom.stride() as isize;
     let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
     for oy in 0..oh {
@@ -178,6 +211,32 @@ pub fn im2col_s<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
             }
         }
     }
+}
+
+/// Lowers an `S-CONV` input into patch-matrix form.
+pub fn im2col_s<T: Num>(input: &Fmaps<T>, geom: &ConvGeom) -> Lowered<T> {
+    let (oh, ow) = geom.down_out(input.height(), input.width());
+    let cols = input.channels() * geom.kh() * geom.kw();
+    let mut patches = Matrix::zeros(oh * ow, cols);
+    fill_im2col_s(&mut patches, input, geom, oh, ow);
+    Lowered {
+        patches,
+        out_hw: (oh, ow),
+    }
+}
+
+/// [`im2col_s`] drawing the patch matrix from a [`ConvWorkspace`] instead
+/// of allocating it. Bit-identical to [`im2col_s`]; return the patches via
+/// [`ConvWorkspace::give_matrix`] when done.
+pub fn im2col_s_ws<T: Num>(
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    ws: &mut ConvWorkspace<T>,
+) -> Lowered<T> {
+    let (oh, ow) = geom.down_out(input.height(), input.width());
+    let cols = input.channels() * geom.kh() * geom.kw();
+    let mut patches = ws.take_matrix(oh * ow, cols);
+    fill_im2col_s(&mut patches, input, geom, oh, ow);
     Lowered {
         patches,
         out_hw: (oh, ow),
@@ -227,10 +286,9 @@ pub fn im2col_t_with_output_size<T: Num>(
     }
 }
 
-/// Reshapes an `S-CONV` weight tensor into the `(N_if·K_h·K_w) × N_of` GEMM
-/// operand.
-pub fn weights_as_matrix_s<T: Num>(k: &Kernels<T>) -> Matrix<T> {
-    let mut m = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+/// The `S-CONV` weight-matrix fill, shared by the allocating and workspace
+/// reshapes. Writes every cell of `m`.
+pub(crate) fn fill_weights_as_matrix_s<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
     for of in 0..k.n_of() {
         let mut row = 0;
         for if_ in 0..k.n_if() {
@@ -242,6 +300,20 @@ pub fn weights_as_matrix_s<T: Num>(k: &Kernels<T>) -> Matrix<T> {
             }
         }
     }
+}
+
+/// Reshapes an `S-CONV` weight tensor into the `(N_if·K_h·K_w) × N_of` GEMM
+/// operand.
+pub fn weights_as_matrix_s<T: Num>(k: &Kernels<T>) -> Matrix<T> {
+    let mut m = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s(&mut m, k);
+    m
+}
+
+/// [`weights_as_matrix_s`] drawing its matrix from a [`ConvWorkspace`].
+pub fn weights_as_matrix_s_ws<T: Num>(k: &Kernels<T>, ws: &mut ConvWorkspace<T>) -> Matrix<T> {
+    let mut m = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s(&mut m, k);
     m
 }
 
@@ -289,6 +361,43 @@ pub fn s_conv_via_gemm<T: Num>(
             }
         }
     }
+    Ok(out)
+}
+
+/// `S-CONV` by lowering with an explicit GEMM kernel, drawing every
+/// transient (patches, weight matrix, product, output maps) from the
+/// workspace. Bit-identical to the allocating lowering for the same
+/// [`MatmulKind`]; the returned maps belong to the caller (recycle them
+/// via [`ConvWorkspace::give_fmaps`]).
+///
+/// # Errors
+///
+/// Returns an error if `k` does not match `input`'s channel count.
+pub fn s_conv_via_gemm_ws<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != input.channels() {
+        return Err(ShapeError::new("kernel/input channel mismatch"));
+    }
+    let lowered = im2col_s_ws(input, geom, ws);
+    let wmat = weights_as_matrix_s_ws(k, ws);
+    let product = mm.run_ws(&lowered.patches, &wmat, ws)?;
+    ws.give_matrix(lowered.patches);
+    ws.give_matrix(wmat);
+    let (oh, ow) = lowered.out_hw;
+    let mut out = ws.take_fmaps(k.n_of(), oh, ow);
+    for of in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                *out.at_mut(of, oy, ox) = *product.at(oy * ow + ox, of);
+            }
+        }
+    }
+    ws.give_matrix(product);
     Ok(out)
 }
 

@@ -163,6 +163,12 @@ impl<T: Num> Kernels<T> {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its row-major buffer (so a workspace
+    /// can recycle it).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// `(n_of, n_if, kh, kw)`.
     pub fn shape(&self) -> (usize, usize, usize, usize) {
         (self.n_of, self.n_if, self.kh, self.kw)

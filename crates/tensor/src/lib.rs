@@ -58,6 +58,7 @@ pub mod im2col;
 mod kernels;
 mod num;
 mod shape;
+mod workspace;
 pub mod zero_free;
 pub mod zeros;
 
@@ -72,3 +73,4 @@ pub use fmaps::Fmaps;
 pub use kernels::Kernels;
 pub use num::Num;
 pub use shape::ConvGeom;
+pub use workspace::ConvWorkspace;

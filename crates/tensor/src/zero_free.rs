@@ -32,18 +32,23 @@
 //! change a finite accumulation) skipped. `tests/fast_conv.rs` asserts
 //! exact equality over random geometries.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use crate::error::{ShapeError, TensorResult};
 use crate::fmaps::Fmaps;
 use crate::gemm::MatmulKind;
-use crate::im2col::{im2col_s, Lowered, Matrix};
+use crate::im2col::{im2col_s, im2col_s_ws, Lowered, Matrix};
 use crate::kernels::Kernels;
 use crate::num::Num;
 use crate::shape::ConvGeom;
+use crate::workspace::ConvWorkspace;
 use crate::zeros::insert_zeros;
 
 /// One stride-phase of a zero-free `T-CONV`: the output pixels with
 /// `oy ≡ ry`, `ox ≡ rx (mod stride)` and the kernel taps that can reach
 /// them.
+#[derive(Debug)]
 struct TPhase {
     /// Output rows of this phase, ascending.
     oys: Vec<usize>,
@@ -84,16 +89,59 @@ fn t_phases(geom: &ConvGeom, oh: usize, ow: usize) -> Vec<TPhase> {
     phases
 }
 
-/// Builds one phase's compact patch matrix. Rows enumerate the phase's
-/// output pixels (row-major); columns enumerate `(sf, ky′, kx′)` over the
-/// kept taps. Entries outside the real input (boundary, not inserted) are
-/// zero.
-fn t_phase_patches<T: Num>(input: &Fmaps<T>, geom: &ConvGeom, phase: &TPhase) -> Matrix<T> {
+/// Shape-keyed memo of [`t_phases`] decompositions, embedded in
+/// [`ConvWorkspace`]. A GAN's layer geometries repeat every step, and
+/// `t_phases` allocates a handful of index vectors per call — caching them
+/// behind `Arc`s removes the last per-call allocation from the zero-free
+/// T-CONV hot path (`Arc` rather than `Rc` keeps the workspace `Send`).
+#[derive(Debug, Default)]
+pub(crate) struct PhaseCache {
+    #[allow(clippy::type_complexity)]
+    map: HashMap<(usize, usize, usize, usize, usize, usize, usize), Arc<Vec<TPhase>>>,
+}
+
+impl PhaseCache {
+    /// The phase decomposition for `(geom, oh, ow)`, computed at most once
+    /// per distinct shape. The key covers every input `t_phases` reads.
+    fn get(&mut self, geom: &ConvGeom, oh: usize, ow: usize) -> Arc<Vec<TPhase>> {
+        let (pt, _, pl, _) = geom.t_conv_pads();
+        let key = (geom.stride(), pt, pl, geom.kh(), geom.kw(), oh, ow);
+        Arc::clone(
+            self.map
+                .entry(key)
+                .or_insert_with(|| Arc::new(t_phases(geom, oh, ow))),
+        )
+    }
+}
+
+/// The phases for one zero-free T-CONV call: memoized through the
+/// workspace when reuse is on, computed fresh (like the pre-workspace
+/// code) when it is off.
+fn phases_for<T>(
+    ws: &mut ConvWorkspace<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+) -> Arc<Vec<TPhase>> {
+    if ws.reuse() {
+        ws.phases.get(geom, oh, ow)
+    } else {
+        Arc::new(t_phases(geom, oh, ow))
+    }
+}
+
+/// The patch fill loop of [`t_phase_patches`], shared by the allocating
+/// and workspace lowerings. Writes only in-bounds entries, so `patches`
+/// **must** start zero-filled.
+fn fill_t_phase_patches<T: Num>(
+    patches: &mut Matrix<T>,
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    phase: &TPhase,
+) {
     let s = geom.stride() as isize;
     let (pt, _, pl, _) = geom.t_conv_pads();
     let (ih, iw) = (input.height() as isize, input.width() as isize);
-    let cols = input.channels() * phase.kys.len() * phase.kxs.len();
-    let mut patches = Matrix::zeros(phase.oys.len() * phase.oxs.len(), cols);
     for (ri, &oy) in phase.oys.iter().enumerate() {
         for (rj, &ox) in phase.oxs.iter().enumerate() {
             let row = ri * phase.oxs.len() + rj;
@@ -115,16 +163,23 @@ fn t_phase_patches<T: Num>(input: &Fmaps<T>, geom: &ConvGeom, phase: &TPhase) ->
             }
         }
     }
+}
+
+/// Builds one phase's compact patch matrix. Rows enumerate the phase's
+/// output pixels (row-major); columns enumerate `(sf, ky′, kx′)` over the
+/// kept taps. Entries outside the real input (boundary, not inserted) are
+/// zero.
+fn t_phase_patches<T: Num>(input: &Fmaps<T>, geom: &ConvGeom, phase: &TPhase) -> Matrix<T> {
+    let cols = input.channels() * phase.kys.len() * phase.kxs.len();
+    let mut patches = Matrix::zeros(phase.oys.len() * phase.oxs.len(), cols);
+    fill_t_phase_patches(&mut patches, input, geom, phase);
     patches
 }
 
-/// The row subset of [`crate::im2col::weights_as_matrix_t`] matching one
-/// phase's kept taps: rows are `(sf, ky′, kx′)`, columns the large-side
-/// output channels.
-fn t_phase_weights<T: Num>(k: &Kernels<T>, phase: &TPhase) -> Matrix<T> {
+/// The weight fill loop of [`t_phase_weights`], shared by the allocating
+/// and workspace reshapes. Writes every cell of `m`.
+fn fill_t_phase_weights<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, phase: &TPhase) {
     let (kh, kw) = (k.kh(), k.kw());
-    let rows = k.n_of() * phase.kys.len() * phase.kxs.len();
-    let mut m = Matrix::zeros(rows, k.n_if());
     for lf in 0..k.n_if() {
         let mut row = 0;
         for sf in 0..k.n_of() {
@@ -136,6 +191,15 @@ fn t_phase_weights<T: Num>(k: &Kernels<T>, phase: &TPhase) -> Matrix<T> {
             }
         }
     }
+}
+
+/// The row subset of [`crate::im2col::weights_as_matrix_t`] matching one
+/// phase's kept taps: rows are `(sf, ky′, kx′)`, columns the large-side
+/// output channels.
+fn t_phase_weights<T: Num>(k: &Kernels<T>, phase: &TPhase) -> Matrix<T> {
+    let rows = k.n_of() * phase.kys.len() * phase.kxs.len();
+    let mut m = Matrix::zeros(rows, k.n_if());
+    fill_t_phase_weights(&mut m, k, phase);
     m
 }
 
@@ -245,11 +309,89 @@ pub fn t_conv_zero_free_sized<T: Num>(
     Ok(out)
 }
 
+/// [`t_conv_zero_free`] with every transient drawn from the workspace.
+/// Bit-identical; the returned maps belong to the caller.
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+pub fn t_conv_zero_free_ws<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Fmaps<T>> {
+    let (oh, ow) = geom.up_out(input.height(), input.width());
+    t_conv_zero_free_sized_ws(input, k, geom, oh, ow, mm, ws)
+}
+
+/// [`t_conv_zero_free_sized`] with every transient (phase patch and weight
+/// matrices, GEMM products, output maps) drawn from the workspace, and the
+/// phase decomposition memoized through its [`PhaseCache`]. Bit-identical
+/// to the allocating form.
+///
+/// # Errors
+///
+/// Returns an error if `k.n_of() != input.channels()`.
+pub fn t_conv_zero_free_sized_ws<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_of() != input.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's down-direction output side is {} maps, t_conv input has {}",
+            k.n_of(),
+            input.channels()
+        )));
+    }
+    let phases = phases_for(ws, geom, oh, ow);
+    // take_fmaps zero-fills: phases without reachable taps leave their
+    // outputs zero, exactly as the golden scatter does.
+    let mut out = ws.take_fmaps(k.n_if(), oh, ow);
+    for phase in phases.iter() {
+        if phase.kys.is_empty() || phase.kxs.is_empty() {
+            continue;
+        }
+        let cols = input.channels() * phase.kys.len() * phase.kxs.len();
+        // take_matrix zero-fills — required: the patch fill writes only
+        // in-bounds entries.
+        let mut patches = ws.take_matrix(phase.oys.len() * phase.oxs.len(), cols);
+        fill_t_phase_patches(&mut patches, input, geom, phase);
+        let mut weights = ws.take_matrix(k.n_of() * phase.kys.len() * phase.kxs.len(), k.n_if());
+        fill_t_phase_weights(&mut weights, k, phase);
+        let product = mm.run_ws(&patches, &weights, ws)?;
+        ws.give_matrix(patches);
+        ws.give_matrix(weights);
+        for lf in 0..k.n_if() {
+            for (ri, &oy) in phase.oys.iter().enumerate() {
+                for (rj, &ox) in phase.oxs.iter().enumerate() {
+                    *out.at_mut(lf, oy, ox) = *product.at(ri * phase.oxs.len() + rj, lf);
+                }
+            }
+        }
+        ws.give_matrix(product);
+    }
+    Ok(out)
+}
+
 /// Reshapes a (down-layout) weight tensor for the backward error pass of a
 /// T-CONV layer: rows are `(lf, ky, kx)`, columns the small-side channels
 /// — the operand of [`t_conv_input_grad_via_gemm`].
 pub fn weights_as_matrix_s_swapped<T: Num>(k: &Kernels<T>) -> Matrix<T> {
     let mut m = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s_swapped(&mut m, k);
+    m
+}
+
+/// Fills a `(n_if·kh·kw) × n_of` matrix with the channel-swapped weight
+/// layout of [`weights_as_matrix_s_swapped`]. Writes every cell.
+fn fill_weights_as_matrix_s_swapped<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
     for sf in 0..k.n_of() {
         let mut row = 0;
         for lf in 0..k.n_if() {
@@ -261,7 +403,6 @@ pub fn weights_as_matrix_s_swapped<T: Num>(k: &Kernels<T>) -> Matrix<T> {
             }
         }
     }
-    m
 }
 
 /// Backward error pass of a T-CONV layer by lowering: a plain strided
@@ -296,6 +437,45 @@ pub fn t_conv_input_grad_via_gemm<T: Num>(
             }
         }
     }
+    Ok(out)
+}
+
+/// [`t_conv_input_grad_via_gemm`] with every transient drawn from the
+/// workspace. Bit-identical; the returned maps belong to the caller.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out.channels() != k.n_if()`.
+pub fn t_conv_input_grad_via_gemm_ws<T: Num>(
+    delta_out: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Fmaps<T>> {
+    if k.n_if() != delta_out.channels() {
+        return Err(ShapeError::new(format!(
+            "kernel's up-direction side is {} maps, error has {}",
+            k.n_if(),
+            delta_out.channels()
+        )));
+    }
+    let lowered = im2col_s_ws(delta_out, geom, ws);
+    let mut swapped = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s_swapped(&mut swapped, k);
+    let product = mm.run_ws(&lowered.patches, &swapped, ws)?;
+    let (oh, ow) = lowered.out_hw;
+    ws.give_matrix(lowered.patches);
+    ws.give_matrix(swapped);
+    let mut out = ws.take_fmaps(k.n_of(), oh, ow);
+    for sf in 0..k.n_of() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                *out.at_mut(sf, oy, ox) = *product.at(oy * ow + ox, sf);
+            }
+        }
+    }
+    ws.give_matrix(product);
     Ok(out)
 }
 
@@ -346,6 +526,54 @@ pub fn w_conv_s_via_gemm<T: Num>(
     Ok(grad)
 }
 
+/// [`w_conv_s_via_gemm`] with every transient drawn from the workspace.
+/// Bit-identical; the returned gradient belongs to the caller.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size does not match this
+/// geometry's forward output.
+pub fn w_conv_s_via_gemm_ws<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.down_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let (oh, ow) = (delta_out.height(), delta_out.width());
+    let mut delta_buf = ws.take(delta_out.len());
+    delta_buf.copy_from_slice(delta_out.as_slice());
+    let delta_mat = Matrix::from_vec(delta_out.channels(), oh * ow, delta_buf);
+    let lowered = im2col_s_ws(input, geom, ws);
+    let product = mm.run_ws(&delta_mat, &lowered.patches, ws)?;
+    ws.give_matrix(delta_mat);
+    ws.give_matrix(lowered.patches);
+    let mut grad = ws.take_kernels(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
+    for of in 0..delta_out.channels() {
+        let mut col = 0;
+        for if_ in 0..input.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    *grad.at_mut(of, if_, ky, kx) = *product.at(of, col);
+                    col += 1;
+                }
+            }
+        }
+    }
+    ws.give_matrix(product);
+    Ok(grad)
+}
+
 /// Patch matrix for the zero-free `W-CONV` of a T-CONV layer: rows are the
 /// layer's *compact* input pixels `(iy, ix)`, columns `(lf, ky, kx)`, each
 /// entry the output error the pixel meets under that tap (zero outside the
@@ -356,10 +584,23 @@ fn im2col_wgrad_t<T: Num>(
     ih: usize,
     iw: usize,
 ) -> Matrix<T> {
-    let s = geom.stride() as isize;
-    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
     let cols = delta_out.channels() * geom.kh() * geom.kw();
     let mut m = Matrix::zeros(ih * iw, cols);
+    fill_im2col_wgrad_t(&mut m, delta_out, geom, ih, iw);
+    m
+}
+
+/// Fills an `(ih·iw) × (lf·kh·kw)` matrix with [`im2col_wgrad_t`]'s patch
+/// layout. Writes every cell (out-of-bounds taps write an explicit zero).
+fn fill_im2col_wgrad_t<T: Num>(
+    m: &mut Matrix<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    ih: usize,
+    iw: usize,
+) {
+    let s = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
     for iy in 0..ih {
         for ix in 0..iw {
             let row = iy * iw + ix;
@@ -376,7 +617,6 @@ fn im2col_wgrad_t<T: Num>(
             }
         }
     }
-    m
 }
 
 /// Zero-free `W-CONV` of a T-CONV layer: the compact input (channels ×
@@ -421,6 +661,56 @@ pub fn w_conv_t_zero_free<T: Num>(
             }
         }
     }
+    Ok(grad)
+}
+
+/// [`w_conv_t_zero_free`] with every transient drawn from the workspace.
+/// Bit-identical; the returned gradient belongs to the caller.
+///
+/// # Errors
+///
+/// Returns an error if `delta_out`'s spatial size is not the up-sampled
+/// size of `input` under this geometry.
+pub fn w_conv_t_zero_free_ws<T: Num>(
+    input: &Fmaps<T>,
+    delta_out: &Fmaps<T>,
+    geom: &ConvGeom,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Kernels<T>> {
+    let expected = geom.up_out(input.height(), input.width());
+    if (delta_out.height(), delta_out.width()) != expected {
+        return Err(ShapeError::new(format!(
+            "error map is {}×{}, expected {}×{} for this geometry",
+            delta_out.height(),
+            delta_out.width(),
+            expected.0,
+            expected.1
+        )));
+    }
+    let (ih, iw) = (input.height(), input.width());
+    let mut input_buf = ws.take(input.len());
+    input_buf.copy_from_slice(input.as_slice());
+    let input_mat = Matrix::from_vec(input.channels(), ih * iw, input_buf);
+    let cols = delta_out.channels() * geom.kh() * geom.kw();
+    let mut patches = ws.take_matrix(ih * iw, cols);
+    fill_im2col_wgrad_t(&mut patches, delta_out, geom, ih, iw);
+    let product = mm.run_ws(&input_mat, &patches, ws)?;
+    ws.give_matrix(input_mat);
+    ws.give_matrix(patches);
+    let mut grad = ws.take_kernels(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
+    for sf in 0..input.channels() {
+        let mut col = 0;
+        for lf in 0..delta_out.channels() {
+            for ky in 0..geom.kh() {
+                for kx in 0..geom.kw() {
+                    *grad.at_mut(sf, lf, ky, kx) = *product.at(sf, col);
+                    col += 1;
+                }
+            }
+        }
+    }
+    ws.give_matrix(product);
     Ok(grad)
 }
 

@@ -40,4 +40,23 @@ cargo run -q --release -p zfgan -- trace --check "$tdir/s2.json" | grep '^determ
 diff "$tdir/sd1" "$tdir/sd2"
 echo "telemetry deterministic sections are byte-identical"
 
+echo "=== bench smoke (pool + workspace regression gates) ==="
+# Short measurement windows; each harness asserts its own gate (pooled
+# GEMM >= 1.0x vs naive, workspace+pool training step > 1.0x vs the
+# allocating baseline). ZFGAN_RESULTS_DIR keeps the quick numbers out of
+# the tracked results/ sidecars.
+ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
+    cargo bench -q -p zfgan-bench --bench gemm > /dev/null
+ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
+    cargo bench -q -p zfgan-bench --bench trainstep > /dev/null
+echo "bench gates passed"
+
+echo "=== pooled sweep byte-identity ==="
+# The same seed must produce byte-identical sweep output no matter how
+# the persistent pool schedules the fan-out (order-preserving merge).
+ZFGAN_THREADS=4 cargo run -q --release -p zfgan -- sweep cgan > "$tdir/p1"
+ZFGAN_THREADS=2 cargo run -q --release -p zfgan -- sweep cgan > "$tdir/p2"
+diff "$tdir/p1" "$tdir/p2"
+echo "sweep output is byte-identical across pool widths"
+
 echo "CI gate passed."

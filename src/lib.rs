@@ -15,6 +15,9 @@
 //! * [`accel`] — the full time-multiplexed accelerator of paper Fig. 14.
 //! * [`workloads`] — DCGAN / MNIST-GAN / cGAN network specifications.
 //! * [`platforms`] — analytical CPU/GPU models for the Fig. 19 comparison.
+//! * [`pool`] — the persistent work-stealing thread pool behind every
+//!   parallel execution path (deterministic, panic-safe, zero spawns in
+//!   steady state).
 //!
 //! # Quickstart
 //!
@@ -28,6 +31,7 @@ pub use zfgan_accel as accel;
 pub use zfgan_dataflow as dataflow;
 pub use zfgan_nn as nn;
 pub use zfgan_platforms as platforms;
+pub use zfgan_pool as pool;
 pub use zfgan_sim as sim;
 pub use zfgan_telemetry as telemetry;
 pub use zfgan_tensor as tensor;
