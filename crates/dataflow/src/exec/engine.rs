@@ -1,0 +1,1487 @@
+//! The fast executor engine: interior/edge tile split, pooled channel-group
+//! parallelism, and batched trace emission.
+//!
+//! Every function here is the drop-in fast twin of the same-named oracle in
+//! [`super::scalar`], bit-identical in output tensors, cycle counts, access
+//! counters, and (expanded) trace streams. Three mechanisms, layered:
+//!
+//! 1. **Interior/edge split.** For each output tile and kernel position the
+//!    engine decides *once* whether every access the oracle would make is
+//!    in-bounds. Interior tiles then run over flat row slices with
+//!    precomputed strides — no padding clip, no `oy/ox >= bound` guards, no
+//!    per-element accessor asserts. Edge tiles keep the oracle's guarded
+//!    walk verbatim. Per output element the *term order* of the
+//!    accumulation is unchanged (the split never reorders the
+//!    `(if_, ky, kx)` feed sequence an element sees), so floating-point
+//!    results are bit-identical, not just close.
+//!
+//! 2. **Pooled channel groups.** The `of_base` groups of every executor are
+//!    independent by construction — each owns a disjoint contiguous slice
+//!    of the output tensor. [`zfgan_pool::parallel_chunks_for`] hands group
+//!    `g` exactly that sub-slice; no task writes outside its chunk and no
+//!    result depends on scheduling, so outputs are byte-identical at any
+//!    `ZFGAN_THREADS`. Data-dependent counters (OST's effectual census)
+//!    are accumulated per-task and combined with commutative integer adds.
+//!    Scratch comes from the recycled [`ExecWorkspace`], keeping the
+//!    steady-state untraced pass zero-allocation (`tests/zero_alloc.rs`).
+//!
+//! 3. **Batched traces.** Cycle counts and the entire event stream of every
+//!    executor are *structural* — fixed by geometry before any data is
+//!    touched (the one data-dependent stream, ZFWST T-CONV's tap thinning,
+//!    is fixed by the tap map). So the traced variants do not thread a
+//!    per-cycle sink through the compute at all: the engine computes
+//!    untraced, then emits the identical stream as run-length segments
+//!    ([`TraceBuffer::record_run`] / [`TraceBuffer::record_block`]) whose
+//!    lazy expansion reproduces the oracle's per-cycle events exactly.
+//!
+//! The closed-form cycle counts used here are the same chunk/group
+//! enumeration the oracle performs (`groups × per_group`), asserted equal
+//! to the oracle's by the proptests in `tests/exec_engine.rs` and to
+//! [`crate::Dataflow::schedule`]'s by the in-crate tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use zfgan_pool::parallel_chunks_for;
+use zfgan_sim::trace::{TraceBuffer, TraceEvent};
+use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::{ConvWorkspace, Fmaps, Kernels, Num, ShapeError, TensorResult};
+
+use super::{check_kind, kernel_parity_order_into, record_exec, ExecOutcome};
+use crate::nlr::Nlr;
+use crate::ost::Ost;
+use crate::wst::Wst;
+use crate::zfost::Zfost;
+use crate::zfwst::Zfwst;
+
+/// Recycled scratch for the fast executors.
+///
+/// Holds the output-tensor arena plus the engine's geometry buffers (parity
+/// feed order, ZFWST-T tap map, WST per-kernel-row output ranges), all
+/// reused across calls so a warmed-up untraced executor pass performs no
+/// heap allocation. Return finished outputs via [`ExecWorkspace::give_fmaps`]
+/// / [`ExecWorkspace::give_kernels`] to keep the arena warm.
+pub struct ExecWorkspace<T: Num> {
+    conv: ConvWorkspace<T>,
+    parity: Vec<(usize, usize)>,
+    taps: Vec<[u32; 4]>,
+    taps_off: Vec<u32>,
+    ranges_y: Vec<(usize, usize)>,
+    ranges_x: Vec<(usize, usize)>,
+}
+
+impl<T: Num> ExecWorkspace<T> {
+    /// Creates an empty workspace; buffers grow on first use and are
+    /// recycled afterwards.
+    pub fn new() -> Self {
+        ExecWorkspace {
+            conv: ConvWorkspace::new(),
+            parity: Vec::new(),
+            taps: Vec::new(),
+            taps_off: Vec::new(),
+            ranges_y: Vec::new(),
+            ranges_x: Vec::new(),
+        }
+    }
+
+    /// Returns a feature-map output to the arena for reuse.
+    pub fn give_fmaps(&mut self, f: Fmaps<T>) {
+        self.conv.give_fmaps(f);
+    }
+
+    /// Returns a kernel-gradient output to the arena for reuse.
+    pub fn give_kernels(&mut self, k: Kernels<T>) {
+        self.conv.give_kernels(k);
+    }
+}
+
+impl<T: Num> Default for ExecWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Num> std::fmt::Debug for ExecWorkspace<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecWorkspace")
+            .field("parity_len", &self.parity.len())
+            .field("taps_len", &self.taps.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Exact output-row range `[lo, hi)` a kernel row feeds: the `oy` with
+/// `0 <= stride*oy + k - pad < limit`, clamped to `[0, out)`.
+fn feed_range(k: usize, pad: usize, stride: usize, limit: usize, out: usize) -> (usize, usize) {
+    let lo = if pad > k {
+        (pad - k).div_ceil(stride)
+    } else {
+        0
+    };
+    let hi_num = limit as isize - 1 + pad as isize - k as isize;
+    let hi = if hi_num < 0 {
+        0
+    } else {
+        (hi_num as usize / stride + 1).min(out)
+    };
+    (lo.min(hi), hi)
+}
+
+/// Advances the W-CONV position countdown over `n` positions whose terms
+/// are all zero (skipped), flushing the accumulator into its gradient
+/// slot at each chunk boundary crossed — exactly where the oracle's
+/// `positions.chunks(grid)` loop adds its accumulator.
+#[inline]
+fn skip_positions<T: Num>(slot: &mut T, acc: &mut T, left: &mut usize, grid: usize, mut n: usize) {
+    while n >= *left {
+        *slot += *acc;
+        *acc = T::zero();
+        n -= *left;
+        *left = grid;
+    }
+    *left -= n;
+}
+
+// ---------------------------------------------------------------------------
+// ZFOST S-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn zfost_s<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = zf.factors();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let stride = geom.stride();
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    kernel_parity_order_into(kh, kw, stride, &mut ws.parity);
+    let (nty, ntx) = (sh.div_ceil(p_oy), sw.div_ceil(p_ox));
+    let fold = (p_of / small).max(1);
+    let n_chunks = (nty * ntx).div_ceil(fold) as u64;
+    let groups = small.div_ceil(p_of);
+    let per_chunk = (large * kh * kw) as u64;
+    let per_group = n_chunks * per_chunk;
+    let cycles = groups as u64 * per_group;
+
+    let mut out = ws.conv.take_fmaps(small, sh, sw);
+    {
+        let parity: &[(usize, usize)] = &ws.parity;
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * sh * sw, |g, chunk| {
+            // The oracle's tile loop is orthogonal to the per-element term
+            // order (each output cell sees its terms in `(if_, parity)`
+            // order no matter how cells are grouped), so the engine walks
+            // full interior rows instead: per kernel position the feed
+            // range is the exact set of outputs with an in-bounds input,
+            // everything outside it is a padded zero term and is skipped.
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (sh * sw);
+            for if_ in 0..large {
+                let in_ch = &in_s[if_ * lh * lw..(if_ + 1) * lh * lw];
+                for &(ky, kx) in parity {
+                    let (ylo, yhi) = feed_range(ky, pt, stride, lh, sh);
+                    let (xlo, xhi) = feed_range(kx, pl, stride, lw, sw);
+                    if ylo >= yhi || xlo >= xhi {
+                        continue; // every term is a padded zero
+                    }
+                    let xw = xhi - xlo;
+                    let ib0 = stride * xlo + kx - pl;
+                    let wk = |of: usize| k_s[(((of_base + of) * large + if_) * kh + ky) * kw + kx];
+                    // Output channels are independent, so rows are updated
+                    // two channels at a time: one pass over the input row
+                    // feeds both accumulator rows (half the loads, twice
+                    // the independent float chains per iteration).
+                    let mut of = 0;
+                    while of + 1 < n_of {
+                        let (w0, w1) = (wk(of), wk(of + 1));
+                        let (c0, c1) = chunk[of * sh * sw..].split_at_mut(sh * sw);
+                        for oy in ylo..yhi {
+                            let iy = stride * oy + ky - pt;
+                            let ob = oy * sw + xlo;
+                            let r0 = &mut c0[ob..ob + xw];
+                            let r1 = &mut c1[ob..ob + xw];
+                            let irow = &in_ch[iy * lw + ib0..];
+                            if stride == 1 {
+                                for ((o0, o1), i) in r0.iter_mut().zip(r1).zip(&irow[..xw]) {
+                                    o0.mul_add_assign(*i, w0);
+                                    o1.mul_add_assign(*i, w1);
+                                }
+                            } else {
+                                for (n, (o0, o1)) in r0.iter_mut().zip(r1).enumerate() {
+                                    let i = irow[n * stride];
+                                    o0.mul_add_assign(i, w0);
+                                    o1.mul_add_assign(i, w1);
+                                }
+                            }
+                        }
+                        of += 2;
+                    }
+                    if of < n_of {
+                        let w = wk(of);
+                        let o_ch = of * sh * sw;
+                        for oy in ylo..yhi {
+                            let iy = stride * oy + ky - pt;
+                            let ob = o_ch + oy * sw + xlo;
+                            let orow = &mut chunk[ob..ob + xw];
+                            let irow = &in_ch[iy * lw + ib0..];
+                            if stride == 1 {
+                                for (o, i) in orow.iter_mut().zip(&irow[..xw]) {
+                                    o.mul_add_assign(*i, w);
+                                }
+                            } else {
+                                for (n, o) in orow.iter_mut().enumerate() {
+                                    o.mul_add_assign(irow[n * stride], w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfost/s_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let mut buf = TraceBuffer::with_expected(cap, groups as u64 * (1 + per_group));
+        if buf.enabled() {
+            let mut events = Vec::with_capacity(large * ws.parity.len());
+            for if_ in 0..large {
+                for (i, &(ky, kx)) in ws.parity.iter().enumerate() {
+                    events.push((
+                        (if_ * ws.parity.len() + i) as u64,
+                        TraceEvent::Mac {
+                            ch: if_ as u16,
+                            row: ky as u16,
+                            col: kx as u16,
+                        },
+                    ));
+                }
+            }
+            let events: Arc<[(u64, TraceEvent)]> = events.into();
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                buf.record_block(base, per_chunk, n_chunks, Arc::clone(&events));
+            }
+        }
+        buf
+    });
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        trace,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// ZFOST T-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn zfost_t<T: Num>(
+    zf: &Zfost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = zf.factors();
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let region_h = s * p_oy;
+    let region_w = s * p_ox;
+    let (nty, ntx) = (lh.div_ceil(region_h), lw.div_ceil(region_w));
+    let fold = (p_of / large).max(1);
+    let n_chunks = (nty * ntx).div_ceil(fold) as u64;
+    let groups = large.div_ceil(p_of);
+    let per_chunk = (small * kh * kw) as u64;
+    let per_group = n_chunks * per_chunk;
+    let cycles = groups as u64 * per_group;
+
+    let mut out = ws.conv.take_fmaps(large, lh, lw);
+    {
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * lh * lw, |g, chunk| {
+            // As in the S direction, the tile loop is orthogonal to the
+            // per-element `(sf, ky, kx)` term order. Each kernel position
+            // only feeds outputs of its parity class `oy ≡ res_y (mod s)`;
+            // solving the oracle's per-element guards for the index range
+            // once turns the walk into consecutive input reads scattered
+            // to a strided output row.
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (lh * lw);
+            for sf in 0..small {
+                let in_ch = &in_s[sf * sh * sw..(sf + 1) * sh * sw];
+                for ky in 0..kh {
+                    let res_y = (pt_ as isize - ky as isize).rem_euclid(s as isize) as usize;
+                    if res_y >= lh {
+                        continue;
+                    }
+                    // oy = res_y + s*m maps to input row iy = m + cy; the
+                    // division is exact by the parity construction.
+                    let cy = ((res_y + ky) as isize - pt_ as isize) / s as isize;
+                    let m_lo = 0isize.max(-cy) as usize;
+                    let m_hi = (((lh - 1 - res_y) / s) as isize + 1).min(sh as isize - cy);
+                    if (m_hi as i64) <= m_lo as i64 {
+                        continue;
+                    }
+                    let m_hi = m_hi as usize;
+                    for kx in 0..kw {
+                        let res_x = (pl_ as isize - kx as isize).rem_euclid(s as isize) as usize;
+                        if res_x >= lw {
+                            continue;
+                        }
+                        let cx = ((res_x + kx) as isize - pl_ as isize) / s as isize;
+                        let n_lo = 0isize.max(-cx) as usize;
+                        let n_hi = (((lw - 1 - res_x) / s) as isize + 1).min(sw as isize - cx);
+                        if (n_hi as i64) <= n_lo as i64 {
+                            continue;
+                        }
+                        let n_hi = n_hi as usize;
+                        let nw = n_hi - n_lo;
+                        let wk = |of: usize| {
+                            k_s[((sf * large + of_base + of) * kh + (kh - 1 - ky)) * kw
+                                + (kw - 1 - kx)]
+                        };
+                        // Same channel pairing as the S direction: one pass
+                        // over the input row feeds two output channels.
+                        let mut of = 0;
+                        while of + 1 < n_of {
+                            let (w0, w1) = (wk(of), wk(of + 1));
+                            let (c0, c1) = chunk[of * lh * lw..].split_at_mut(lh * lw);
+                            for m in m_lo..m_hi {
+                                let oy = res_y + s * m;
+                                let iy = (m as isize + cy) as usize;
+                                let ob = oy * lw + res_x + s * n_lo;
+                                let ib = iy * sw + (n_lo as isize + cx) as usize;
+                                let irow = &in_ch[ib..ib + nw];
+                                if s == 1 {
+                                    let r1 = &mut c1[ob..ob + nw];
+                                    for ((o0, o1), i) in
+                                        c0[ob..ob + nw].iter_mut().zip(r1).zip(irow)
+                                    {
+                                        o0.mul_add_assign(*i, w0);
+                                        o1.mul_add_assign(*i, w1);
+                                    }
+                                } else {
+                                    for (n, i) in irow.iter().enumerate() {
+                                        let x = ob + s * n;
+                                        c0[x].mul_add_assign(*i, w0);
+                                        c1[x].mul_add_assign(*i, w1);
+                                    }
+                                }
+                            }
+                            of += 2;
+                        }
+                        if of < n_of {
+                            let w = wk(of);
+                            let o_ch = of * lh * lw;
+                            for m in m_lo..m_hi {
+                                let oy = res_y + s * m;
+                                let iy = (m as isize + cy) as usize;
+                                let ob = o_ch + oy * lw + res_x + s * n_lo;
+                                let ib = iy * sw + (n_lo as isize + cx) as usize;
+                                let irow = &in_ch[ib..ib + nw];
+                                if s == 1 {
+                                    for (o, i) in chunk[ob..ob + nw].iter_mut().zip(irow) {
+                                        o.mul_add_assign(*i, w);
+                                    }
+                                } else {
+                                    for (n, i) in irow.iter().enumerate() {
+                                        chunk[ob + s * n].mul_add_assign(*i, w);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfost/t_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let mut buf = TraceBuffer::with_expected(cap, groups as u64 * (1 + per_group));
+        if buf.enabled() {
+            let events = mac_raster_events(small, kh, kw);
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                buf.record_block(base, per_chunk, n_chunks, Arc::clone(&events));
+            }
+        }
+        buf
+    });
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        trace,
+    ))
+}
+
+/// One `Mac{sf, ky, kx}` per relative cycle in `sf → ky → kx` raster order:
+/// the per-chunk feed template shared by the T-CONV executors.
+fn mac_raster_events(small: usize, kh: usize, kw: usize) -> Arc<[(u64, TraceEvent)]> {
+    let mut events = Vec::with_capacity(small * kh * kw);
+    for sf in 0..small {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                events.push((
+                    ((sf * kh + ky) * kw + kx) as u64,
+                    TraceEvent::Mac {
+                        ch: sf as u16,
+                        row: ky as u16,
+                        col: kx as u16,
+                    },
+                ));
+            }
+        }
+    }
+    events.into()
+}
+
+// ---------------------------------------------------------------------------
+// ZFWST W-CONV (both directions share the chunked-pair structure)
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn wgrad_s<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Kernels<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::WGradS)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if data.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("data does not match phase's large side"));
+    }
+    if error.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("error does not match phase's small side"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    let n_pos_chunks = (sh * sw).div_ceil(grid);
+    let groups = (small * large).div_ceil(p_of);
+    let per_group = (kh * kw * n_pos_chunks) as u64;
+    let cycles = groups as u64 * per_group;
+
+    let mut grad = ws.conv.take_kernels(small, large, kh, kw);
+    {
+        let err_s = error.as_slice();
+        let data_s = data.as_slice();
+        parallel_chunks_for(grad.as_mut_slice(), p_of * kh * kw, |g, chunk| {
+            // Per gradient element the oracle's term order is the raster
+            // walk of output positions, summed into an accumulator that is
+            // flushed every `grid` positions. The engine keeps those flush
+            // boundaries (a countdown) but walks whole rows: positions
+            // whose data access would be padding contribute exact zeros
+            // and only advance the countdown.
+            let p0 = g * p_of;
+            let n_pairs = chunk.len() / (kh * kw);
+            for j in 0..n_pairs {
+                let p = p0 + j;
+                let (of, if_) = (p / large, p % large);
+                let err_ch = &err_s[of * sh * sw..(of + 1) * sh * sw];
+                let data_ch = &data_s[if_ * lh * lw..(if_ + 1) * lh * lw];
+                for ky in 0..kh {
+                    let (ylo, yhi) = feed_range(ky, pt, stride, lh, sh);
+                    for kx in 0..kw {
+                        let (xlo, xhi) = feed_range(kx, pl, stride, lw, sw);
+                        let gi = j * kh * kw + ky * kw + kx;
+                        let mut acc = T::zero();
+                        let mut left = grid;
+                        for oy in 0..sh {
+                            if oy < ylo || oy >= yhi || xlo >= xhi {
+                                skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, sw);
+                                continue;
+                            }
+                            let eb = oy * sw;
+                            let db = (stride * oy + ky - pt) * lw + stride * xlo + kx - pl;
+                            skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, xlo);
+                            for nx in 0..(xhi - xlo) {
+                                acc.mul_add_assign(
+                                    err_ch[eb + xlo + nx],
+                                    data_ch[db + stride * nx],
+                                );
+                                left -= 1;
+                                if left == 0 {
+                                    chunk[gi] += acc;
+                                    acc = T::zero();
+                                    left = grid;
+                                }
+                            }
+                            skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, sw - xhi);
+                        }
+                        if left != grid {
+                            // The oracle's final partial chunk.
+                            chunk[gi] += acc;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfwst/wgrad_s", cycles);
+
+    let trace = trace_capacity.map(|cap| wgrad_trace(cap, groups, kh, kw, n_pos_chunks as u64));
+    Ok((
+        ExecOutcome {
+            output: grad,
+            cycles,
+        },
+        trace,
+    ))
+}
+
+#[allow(clippy::type_complexity)]
+pub(super) fn wgrad_t<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    data: &Fmaps<T>,
+    error: &Fmaps<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Kernels<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::WGradT)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if data.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("data does not match phase's small side"));
+    }
+    if error.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("error does not match phase's large side"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    let n_pos_chunks = (sh * sw).div_ceil(grid);
+    let groups = (small * large).div_ceil(p_of);
+    let per_group = (kh * kw * n_pos_chunks) as u64;
+    let cycles = groups as u64 * per_group;
+
+    let mut grad = ws.conv.take_kernels(small, large, kh, kw);
+    {
+        let data_s = data.as_slice();
+        let err_s = error.as_slice();
+        parallel_chunks_for(grad.as_mut_slice(), p_of * kh * kw, |g, chunk| {
+            // Mirror of the S-direction walk with data on the small side;
+            // out-of-bounds error targets are skipped by the oracle too,
+            // so the feed range IS the oracle's guard set.
+            let p0 = g * p_of;
+            let n_pairs = chunk.len() / (kh * kw);
+            for j in 0..n_pairs {
+                let p = p0 + j;
+                let (sf, lf) = (p / large, p % large);
+                let data_ch = &data_s[sf * sh * sw..(sf + 1) * sh * sw];
+                let err_ch = &err_s[lf * lh * lw..(lf + 1) * lh * lw];
+                for ky in 0..kh {
+                    let (ylo, yhi) = feed_range(ky, pt, stride, lh, sh);
+                    for kx in 0..kw {
+                        let (xlo, xhi) = feed_range(kx, pl, stride, lw, sw);
+                        let gi = j * kh * kw + ky * kw + kx;
+                        let mut acc = T::zero();
+                        let mut left = grid;
+                        for iy in 0..sh {
+                            if iy < ylo || iy >= yhi || xlo >= xhi {
+                                skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, sw);
+                                continue;
+                            }
+                            let db = iy * sw;
+                            let eb = (stride * iy + ky - pt) * lw + stride * xlo + kx - pl;
+                            skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, xlo);
+                            for nx in 0..(xhi - xlo) {
+                                acc.mul_add_assign(
+                                    data_ch[db + xlo + nx],
+                                    err_ch[eb + stride * nx],
+                                );
+                                left -= 1;
+                                if left == 0 {
+                                    chunk[gi] += acc;
+                                    acc = T::zero();
+                                    left = grid;
+                                }
+                            }
+                            skip_positions(&mut chunk[gi], &mut acc, &mut left, grid, sw - xhi);
+                        }
+                        if left != grid {
+                            // The oracle's final partial chunk.
+                            chunk[gi] += acc;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfwst/wgrad_t", cycles);
+
+    let trace = trace_capacity.map(|cap| wgrad_trace(cap, groups, kh, kw, n_pos_chunks as u64));
+    Ok((
+        ExecOutcome {
+            output: grad,
+            cycles,
+        },
+        trace,
+    ))
+}
+
+/// Both W-CONV directions share the same structural stream: per group one
+/// `PhaseStart`, then per kernel position a run of `Mac` + psum
+/// `BufferWrite` beats, one per position chunk.
+fn wgrad_trace(cap: usize, groups: usize, kh: usize, kw: usize, npc: u64) -> TraceBuffer {
+    let per_group = (kh * kw) as u64 * npc;
+    let mut buf = TraceBuffer::with_expected(cap, groups as u64 * (1 + 2 * per_group));
+    if !buf.enabled() {
+        return buf;
+    }
+    for g in 0..groups {
+        let base = g as u64 * per_group;
+        buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+        let mut cursor = base;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let events: Arc<[(u64, TraceEvent)]> = vec![
+                    (
+                        0,
+                        TraceEvent::Mac {
+                            ch: g as u16,
+                            row: ky as u16,
+                            col: kx as u16,
+                        },
+                    ),
+                    (0, TraceEvent::BufferWrite { buffer: 3 }),
+                ]
+                .into();
+                buf.record_block(cursor, 1, npc, events);
+                cursor += npc;
+            }
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// OST T-CONV (baseline; multiplies the inserted zeros and counts them)
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn ost_t<T: Num>(
+    ost: &Ost,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, (u64, u64)), Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_oy, p_ox, p_of) = ost.factors();
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let (zh, zw) = ((sh - 1) * s + 1, (sw - 1) * s + 1);
+    let (nty, ntx) = (lh.div_ceil(p_oy), lw.div_ceil(p_ox));
+    let fold = (p_of / large).max(1);
+    let n_chunks = (nty * ntx).div_ceil(fold) as u64;
+    let groups = large.div_ceil(p_of);
+    let per_chunk = (small * kh * kw) as u64;
+    let per_group = n_chunks * per_chunk;
+    let cycles = groups as u64 * per_group;
+
+    // Zero-inserted map, scattered into recycled scratch.
+    let mut zi = ws.conv.take_fmaps(small, zh, zw);
+    {
+        let in_s = input.as_slice();
+        let zi_s = zi.as_mut_slice();
+        for sf in 0..small {
+            for iy in 0..sh {
+                let zb = (sf * zh + iy * s) * zw;
+                let ib = (sf * sh + iy) * sw;
+                for ix in 0..sw {
+                    zi_s[zb + ix * s] = in_s[ib + ix];
+                }
+            }
+        }
+    }
+
+    let effectual = AtomicU64::new(0);
+    let ineffectual = AtomicU64::new(0);
+    let mut out = ws.conv.take_fmaps(large, lh, lw);
+    {
+        let zi_s = zi.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * lh * lw, |g, chunk| {
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (lh * lw);
+            let (mut eff, mut ineff) = (0u64, 0u64);
+            for ty in 0..nty {
+                let oy0 = ty * p_oy;
+                let oy1 = (oy0 + p_oy).min(lh);
+                for tx in 0..ntx {
+                    let ox0 = tx * p_ox;
+                    let ox1 = (ox0 + p_ox).min(lw);
+                    let tw = ox1 - ox0;
+                    for sf in 0..small {
+                        let zi_ch = &zi_s[sf * zh * zw..(sf + 1) * zh * zw];
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let y_ok = oy0 + ky >= pt_ && oy1 - 1 + ky < pt_ + zh;
+                                let x_ok = ox0 + kx >= pl_ && ox1 - 1 + kx < pl_ + zw;
+                                if y_ok && x_ok {
+                                    let zx0 = ox0 + kx - pl_;
+                                    let mut nz = 0u64;
+                                    for oy in oy0..oy1 {
+                                        let zb = (oy + ky - pt_) * zw + zx0;
+                                        for v in &zi_ch[zb..zb + tw] {
+                                            if !v.is_zero() {
+                                                nz += 1;
+                                            }
+                                        }
+                                    }
+                                    eff += n_of as u64 * nz;
+                                    ineff += n_of as u64 * (((oy1 - oy0) * tw) as u64 - nz);
+                                    for of in 0..n_of {
+                                        let w = k_s[((sf * large + of_base + of) * kh
+                                            + (kh - 1 - ky))
+                                            * kw
+                                            + (kw - 1 - kx)];
+                                        let o_ch = of * lh * lw;
+                                        for oy in oy0..oy1 {
+                                            let ob = o_ch + oy * lw + ox0;
+                                            let zb = (oy + ky - pt_) * zw + zx0;
+                                            for (o, v) in
+                                                chunk[ob..ob + tw].iter_mut().zip(&zi_ch[zb..])
+                                            {
+                                                o.mul_add_assign(*v, w);
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    for oy in oy0..oy1 {
+                                        let zy = oy as isize + ky as isize - pt_ as isize;
+                                        for ox in ox0..ox1 {
+                                            let zx = ox as isize + kx as isize - pl_ as isize;
+                                            let v = if zy >= 0
+                                                && zx >= 0
+                                                && (zy as usize) < zh
+                                                && (zx as usize) < zw
+                                            {
+                                                zi_ch[zy as usize * zw + zx as usize]
+                                            } else {
+                                                T::zero()
+                                            };
+                                            if v.is_zero() {
+                                                ineff += n_of as u64;
+                                            } else {
+                                                eff += n_of as u64;
+                                            }
+                                            for of in 0..n_of {
+                                                let w = k_s[((sf * large + of_base + of) * kh
+                                                    + (kh - 1 - ky))
+                                                    * kw
+                                                    + (kw - 1 - kx)];
+                                                chunk[of * lh * lw + oy * lw + ox]
+                                                    .mul_add_assign(v, w);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            effectual.fetch_add(eff, Ordering::Relaxed);
+            ineffectual.fetch_add(ineff, Ordering::Relaxed);
+        })
+        .expect("executor group task panicked");
+    }
+    ws.conv.give_fmaps(zi);
+    record_exec("ost/t_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let mut buf = TraceBuffer::with_expected(cap, groups as u64 * (1 + per_group));
+        if buf.enabled() {
+            let events = mac_raster_events(small, kh, kw);
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                buf.record_block(base, per_chunk, n_chunks, Arc::clone(&events));
+            }
+        }
+        buf
+    });
+    Ok((
+        (
+            ExecOutcome {
+                output: out,
+                cycles,
+            },
+            (
+                effectual.load(Ordering::Relaxed),
+                ineffectual.load(Ordering::Relaxed),
+            ),
+        ),
+        trace,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// WST S-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn wst_s<T: Num>(
+    wst: &Wst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, (u64, u64)), Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = wst.factors();
+    let stride = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    let groups = small.div_ceil(p_of);
+    let (nkb, nxb) = (kh.div_ceil(p_ky), kw.div_ceil(p_kx));
+    let per_group = (nkb * nxb * large * lh * lw) as u64;
+    let cycles = groups as u64 * per_group;
+
+    // Exact output ranges each kernel row/column feeds: the scalar loop's
+    // per-MAC divisibility guards, solved once.
+    ws.ranges_y.clear();
+    ws.ranges_x.clear();
+    for ky in 0..kh {
+        ws.ranges_y.push(feed_range(ky, pt, stride, lh, sh));
+    }
+    for kx in 0..kw {
+        ws.ranges_x.push(feed_range(kx, pl, stride, lw, sw));
+    }
+    let sy: u64 = ws.ranges_y.iter().map(|&(lo, hi)| (hi - lo) as u64).sum();
+    let sx: u64 = ws.ranges_x.iter().map(|&(lo, hi)| (hi - lo) as u64).sum();
+    let psums = (small * large) as u64 * sy * sx;
+
+    let mut out = ws.conv.take_fmaps(small, sh, sw);
+    {
+        let ranges_y: &[(usize, usize)] = &ws.ranges_y;
+        let ranges_x: &[(usize, usize)] = &ws.ranges_x;
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * sh * sw, |g, chunk| {
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (sh * sw);
+            for kyb in (0..kh).step_by(p_ky) {
+                let ky_end = (kyb + p_ky).min(kh);
+                for kxb in (0..kw).step_by(p_kx) {
+                    let kx_end = (kxb + p_kx).min(kw);
+                    for if_ in 0..large {
+                        let in_ch = &in_s[if_ * lh * lw..(if_ + 1) * lh * lw];
+                        for of in 0..n_of {
+                            let o_ch = of * sh * sw;
+                            let k_ch = ((of_base + of) * large + if_) * kh * kw;
+                            for ky in kyb..ky_end {
+                                let (ylo, yhi) = ranges_y[ky];
+                                for oy in ylo..yhi {
+                                    let ib = (stride * oy + ky - pt) * lw;
+                                    let ob = o_ch + oy * sw;
+                                    for kx in kxb..kx_end {
+                                        let (xlo, xhi) = ranges_x[kx];
+                                        if xlo >= xhi {
+                                            continue;
+                                        }
+                                        let w = k_s[k_ch + ky * kw + kx];
+                                        for (i, o) in
+                                            chunk[ob + xlo..ob + xhi].iter_mut().enumerate()
+                                        {
+                                            let ix = stride * (xlo + i) + kx - pl;
+                                            o.mul_add_assign(in_ch[ib + ix], w);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("wst/s_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let expected = groups as u64 * (1 + per_group) + 2 * psums;
+        let mut buf = TraceBuffer::with_expected(cap, expected);
+        if buf.enabled() {
+            // Per input position: one stream read, then one psum
+            // read/write pair per MAC the grid fires that cycle.
+            let mut cnt_y = vec![0u64; lh];
+            let mut cnt_x = vec![0u64; lw];
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                let n_of = ((g * p_of + p_of).min(small) - g * p_of) as u64;
+                let mut block_base = base;
+                for kyb in (0..kh).step_by(p_ky) {
+                    let ky_end = (kyb + p_ky).min(kh);
+                    for kxb in (0..kw).step_by(p_kx) {
+                        let kx_end = (kxb + p_kx).min(kw);
+                        cnt_y.iter_mut().for_each(|c| *c = 0);
+                        cnt_x.iter_mut().for_each(|c| *c = 0);
+                        for ky in kyb..ky_end {
+                            let (lo, hi) = ws.ranges_y[ky];
+                            for oy in lo..hi {
+                                cnt_y[stride * oy + ky - pt] += 1;
+                            }
+                        }
+                        for kx in kxb..kx_end {
+                            let (lo, hi) = ws.ranges_x[kx];
+                            for ox in lo..hi {
+                                cnt_x[stride * ox + kx - pl] += 1;
+                            }
+                        }
+                        let mut events = Vec::new();
+                        for (iy, &cy) in cnt_y.iter().enumerate() {
+                            for (ix, &cx) in cnt_x.iter().enumerate() {
+                                let rel = (iy * lw + ix) as u64;
+                                events.push((rel, TraceEvent::BufferRead { buffer: 1 }));
+                                for _ in 0..n_of * cy * cx {
+                                    events.push((rel, TraceEvent::BufferRead { buffer: 2 }));
+                                    events.push((rel, TraceEvent::BufferWrite { buffer: 2 }));
+                                }
+                            }
+                        }
+                        buf.record_block(block_base, (lh * lw) as u64, large as u64, events.into());
+                        block_base += (large * lh * lw) as u64;
+                    }
+                }
+            }
+        }
+        buf
+    });
+    Ok((
+        (
+            ExecOutcome {
+                output: out,
+                cycles,
+            },
+            (psums, psums),
+        ),
+        trace,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// NLR S-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn nlr_s<T: Num>(
+    nlr: &Nlr,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<((ExecOutcome<Fmaps<T>>, u64), Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_if, p_of) = (nlr.p_if(), nlr.p_of());
+    let stride = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    let groups = small.div_ceil(p_of);
+    let nib = large.div_ceil(p_if);
+    let per_group = (nib * sh * sw * kh * kw) as u64;
+    let cycles = groups as u64 * per_group;
+    let weight_fetches = (small * large * sh * sw * kh * kw) as u64;
+
+    // Interior box: outputs whose full kernel window is in-bounds.
+    let (oy_lo, oy_hi) = interior_box(pt, stride, kh, lh, sh);
+    let (ox_lo, ox_hi) = interior_box(pl, stride, kw, lw, sw);
+
+    let mut out = ws.conv.take_fmaps(small, sh, sw);
+    {
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * sh * sw, |g, chunk| {
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (sh * sw);
+            for ib in 0..nib {
+                let if_base = ib * p_if;
+                let if_end = (if_base + p_if).min(large);
+                for oy in 0..sh {
+                    let y_in = oy >= oy_lo && oy < oy_hi;
+                    for ox in 0..sw {
+                        if y_in && ox >= ox_lo && ox < ox_hi {
+                            for ky in 0..kh {
+                                let ib_row = (stride * oy + ky - pt) * lw;
+                                for kx in 0..kw {
+                                    let ix = stride * ox + kx - pl;
+                                    for of in 0..n_of {
+                                        let k_ch = (of_base + of) * large;
+                                        let mut tree = T::zero();
+                                        for if_ in if_base..if_end {
+                                            tree += in_s[if_ * lh * lw + ib_row + ix]
+                                                * k_s[((k_ch + if_) * kh + ky) * kw + kx];
+                                        }
+                                        chunk[of * sh * sw + oy * sw + ox] += tree;
+                                    }
+                                }
+                            }
+                        } else {
+                            for ky in 0..kh {
+                                let iy = (stride * oy + ky) as isize - pt as isize;
+                                for kx in 0..kw {
+                                    let ix = (stride * ox + kx) as isize - pl as isize;
+                                    let in_bounds = iy >= 0
+                                        && ix >= 0
+                                        && (iy as usize) < lh
+                                        && (ix as usize) < lw;
+                                    for of in 0..n_of {
+                                        let k_ch = (of_base + of) * large;
+                                        let mut tree = T::zero();
+                                        for if_ in if_base..if_end {
+                                            let v = if in_bounds {
+                                                in_s[if_ * lh * lw + iy as usize * lw + ix as usize]
+                                            } else {
+                                                T::zero()
+                                            };
+                                            tree += v * k_s[((k_ch + if_) * kh + ky) * kw + kx];
+                                        }
+                                        chunk[of * sh * sw + oy * sw + ox] += tree;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("nlr/s_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let expected = groups as u64 * (1 + per_group) + weight_fetches;
+        let mut buf = TraceBuffer::with_expected(cap, expected);
+        if buf.enabled() {
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                let n_of = (g * p_of + p_of).min(small) - g * p_of;
+                let mut cursor = base;
+                for ib in 0..nib {
+                    let if_base = ib * p_if;
+                    let lanes = (if_base + p_if).min(large) - if_base;
+                    for oy in 0..sh {
+                        for ox in 0..sw {
+                            let mut events = Vec::with_capacity(1 + n_of * lanes);
+                            events.push((
+                                0,
+                                TraceEvent::Mac {
+                                    ch: if_base as u16,
+                                    row: oy as u16,
+                                    col: ox as u16,
+                                },
+                            ));
+                            for _ in 0..n_of * lanes {
+                                events.push((0, TraceEvent::BufferRead { buffer: 0 }));
+                            }
+                            buf.record_block(cursor, 1, (kh * kw) as u64, events.into());
+                            cursor += (kh * kw) as u64;
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    });
+    Ok((
+        (
+            ExecOutcome {
+                output: out,
+                cycles,
+            },
+            weight_fetches,
+        ),
+        trace,
+    ))
+}
+
+/// Output range `[lo, hi)` whose *entire* kernel window is in-bounds for a
+/// kernel extent `kdim`: `0 <= stride*o + k - pad < limit` for every
+/// `k in 0..kdim`.
+fn interior_box(
+    pad: usize,
+    stride: usize,
+    kdim: usize,
+    limit: usize,
+    out: usize,
+) -> (usize, usize) {
+    let lo = pad.div_ceil(stride);
+    let hi_num = limit as isize - 1 + pad as isize - (kdim as isize - 1);
+    let hi = if hi_num < 0 {
+        0
+    } else {
+        (hi_num as usize / stride + 1).min(out)
+    };
+    (lo.min(hi), hi)
+}
+
+// ---------------------------------------------------------------------------
+// ZFWST S-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn zfwst_s<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::S)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (large, lh, lw) {
+        return Err(ShapeError::new("input does not match phase's large side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let stride = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt, pl) = (geom.pad_top(), geom.pad_left());
+    let pc = (kh * kw).div_ceil(grid);
+    let groups = small.div_ceil(p_of);
+    let per_group = (sh * sw * large * pc) as u64;
+    let cycles = groups as u64 * per_group;
+
+    let (oy_lo, oy_hi) = interior_box(pt, stride, kh, lh, sh);
+    let (ox_lo, ox_hi) = interior_box(pl, stride, kw, lw, sw);
+
+    let mut out = ws.conv.take_fmaps(small, sh, sw);
+    {
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * sh * sw, |g, chunk| {
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (sh * sw);
+            for oy in 0..sh {
+                let y_in = oy >= oy_lo && oy < oy_hi;
+                for ox in 0..sw {
+                    let interior = y_in && ox >= ox_lo && ox < ox_hi;
+                    for if_ in 0..large {
+                        let in_ch = &in_s[if_ * lh * lw..(if_ + 1) * lh * lw];
+                        for c in 0..pc {
+                            let r0 = c * grid;
+                            let r1 = (r0 + grid).min(kh * kw);
+                            for of in 0..n_of {
+                                let k_ch = ((of_base + of) * large + if_) * kh * kw;
+                                let mut tree = T::zero();
+                                if interior {
+                                    for p in r0..r1 {
+                                        let (ky, kx) = (p / kw, p % kw);
+                                        let iy = stride * oy + ky - pt;
+                                        let ix = stride * ox + kx - pl;
+                                        tree += in_ch[iy * lw + ix] * k_s[k_ch + p];
+                                    }
+                                } else {
+                                    for p in r0..r1 {
+                                        let (ky, kx) = (p / kw, p % kw);
+                                        let iy = (stride * oy + ky) as isize - pt as isize;
+                                        let ix = (stride * ox + kx) as isize - pl as isize;
+                                        let v = if iy >= 0
+                                            && ix >= 0
+                                            && (iy as usize) < lh
+                                            && (ix as usize) < lw
+                                        {
+                                            in_ch[iy as usize * lw + ix as usize]
+                                        } else {
+                                            T::zero()
+                                        };
+                                        tree += v * k_s[k_ch + p];
+                                    }
+                                }
+                                chunk[of * sh * sw + oy * sw + ox] += tree;
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfwst/s_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let mut buf = TraceBuffer::with_expected(cap, groups as u64 * (1 + per_group));
+        if buf.enabled() {
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                let mut cursor = base;
+                for oy in 0..sh {
+                    for ox in 0..sw {
+                        for if_ in 0..large {
+                            buf.record_run(
+                                cursor,
+                                1,
+                                pc as u64,
+                                TraceEvent::Mac {
+                                    ch: if_ as u16,
+                                    row: oy as u16,
+                                    col: ox as u16,
+                                },
+                            );
+                            cursor += pc as u64;
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    });
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        trace,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// ZFWST T-CONV
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+pub(super) fn zfwst_t<T: Num>(
+    zf: &Zfwst,
+    phase: &ConvShape,
+    input: &Fmaps<T>,
+    kernels: &Kernels<T>,
+    ws: &mut ExecWorkspace<T>,
+    trace_capacity: Option<usize>,
+) -> TensorResult<(ExecOutcome<Fmaps<T>>, Option<TraceBuffer>)> {
+    check_kind(phase, ConvKind::T)?;
+    let geom = *phase.geom();
+    let (small, large) = (phase.small(), phase.large());
+    let (sh, sw) = phase.small_hw();
+    let (lh, lw) = phase.large_hw();
+    if input.shape() != (small, sh, sw) {
+        return Err(ShapeError::new("input does not match phase's small side"));
+    }
+    if kernels.shape() != (small, large, geom.kh(), geom.kw()) {
+        return Err(ShapeError::new("kernels do not match phase channels"));
+    }
+    let (p_ky, p_kx, p_of) = zf.factors();
+    let grid = p_ky * p_kx;
+    let gmax = grid.max(1);
+    let s = geom.stride();
+    let (kh, kw) = (geom.kh(), geom.kw());
+    let (pt_, _, pl_, _) = geom.t_conv_pads();
+    let eff = kh.div_ceil(s) * kw.div_ceil(s);
+    let passes = eff.div_ceil(grid) as u64;
+    let groups = large.div_ceil(p_of);
+    let per_group = (lh * lw * small) as u64 * passes;
+    let cycles = groups as u64 * per_group;
+
+    // Tap map (CSR): the non-zero kernel taps of each output's parity
+    // class, hoisted out of the per-channel-group loop entirely.
+    ws.taps.clear();
+    ws.taps_off.clear();
+    ws.taps_off.push(0);
+    for oy in 0..lh {
+        for ox in 0..lw {
+            for ky in 0..kh {
+                let zy = oy as isize + ky as isize - pt_ as isize;
+                if zy < 0 || !(zy as usize).is_multiple_of(s) || zy as usize / s >= sh {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let zx = ox as isize + kx as isize - pl_ as isize;
+                    if zx < 0 || !(zx as usize).is_multiple_of(s) || zx as usize / s >= sw {
+                        continue;
+                    }
+                    ws.taps.push([
+                        ky as u32,
+                        kx as u32,
+                        (zy as usize / s) as u32,
+                        (zx as usize / s) as u32,
+                    ]);
+                }
+            }
+            ws.taps_off.push(ws.taps.len() as u32);
+        }
+    }
+
+    let mut out = ws.conv.take_fmaps(large, lh, lw);
+    {
+        let taps: &[[u32; 4]] = &ws.taps;
+        let taps_off: &[u32] = &ws.taps_off;
+        let in_s = input.as_slice();
+        let k_s = kernels.as_slice();
+        parallel_chunks_for(out.as_mut_slice(), p_of * lh * lw, |g, chunk| {
+            let of_base = g * p_of;
+            let n_of = chunk.len() / (lh * lw);
+            for pos in 0..lh * lw {
+                let t0 = taps_off[pos] as usize;
+                let t1 = taps_off[pos + 1] as usize;
+                for sf in 0..small {
+                    let in_ch = &in_s[sf * sh * sw..(sf + 1) * sh * sw];
+                    let mut r = t0;
+                    while r < t1 {
+                        let r1 = (r + gmax).min(t1);
+                        for of in 0..n_of {
+                            let k_ch = (sf * large + of_base + of) * kh * kw;
+                            let mut tree = T::zero();
+                            for &[ky, kx, iy, ix] in &taps[r..r1] {
+                                tree += in_ch[iy as usize * sw + ix as usize]
+                                    * k_s[k_ch
+                                        + (kh - 1 - ky as usize) * kw
+                                        + (kw - 1 - kx as usize)];
+                            }
+                            chunk[of * lh * lw + pos] += tree;
+                        }
+                        r = r1;
+                    }
+                }
+            }
+        })
+        .expect("executor group task panicked");
+    }
+    record_exec("zfwst/t_conv", cycles);
+
+    let trace = trace_capacity.map(|cap| {
+        let used_total: u64 = (0..lh * lw)
+            .map(|pos| {
+                let n = (ws.taps_off[pos + 1] - ws.taps_off[pos]) as u64;
+                n.div_ceil(gmax as u64)
+            })
+            .sum();
+        let expected = groups as u64 * (1 + small as u64 * used_total);
+        let mut buf = TraceBuffer::with_expected(cap, expected);
+        if buf.enabled() {
+            for g in 0..groups {
+                let base = g as u64 * per_group;
+                buf.record(base, TraceEvent::PhaseStart { label: g as u16 });
+                let mut cursor = base;
+                for oy in 0..lh {
+                    for ox in 0..lw {
+                        let pos = oy * lw + ox;
+                        let n = (ws.taps_off[pos + 1] - ws.taps_off[pos]) as u64;
+                        let used = n.div_ceil(gmax as u64);
+                        for sf in 0..small {
+                            buf.record_run(
+                                cursor,
+                                1,
+                                used,
+                                TraceEvent::Mac {
+                                    ch: sf as u16,
+                                    row: oy as u16,
+                                    col: ox as u16,
+                                },
+                            );
+                            cursor += passes;
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    });
+    Ok((
+        ExecOutcome {
+            output: out,
+            cycles,
+        },
+        trace,
+    ))
+}

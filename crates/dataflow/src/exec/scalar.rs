@@ -1,25 +1,18 @@
-//! Functional executors: the ZFOST / ZFWST dataflows walked tile by tile on
-//! real data.
+//! The scalar executor oracle: the original guarded per-element loops.
 //!
-//! Each executor is the cycle-enumerated twin of the corresponding
-//! closed-form schedule: it iterates groups → tiles → operand feeds exactly
-//! as the hardware would, incrementing a cycle counter per feed and
-//! performing the real multiply-accumulates. Two invariants are enforced by
-//! the test suite (including property tests over random shapes):
-//!
-//! * the numerical output equals the `zfgan-tensor` golden reference;
-//! * the enumerated cycle count equals [`crate::Dataflow::schedule`]'s
-//!   closed form.
-//!
-//! This is what makes the simulator a *simulator* rather than a spreadsheet:
-//! the cycle counts are properties of an executable schedule.
+//! Every executor here walks groups → tiles → operand feeds exactly as the
+//! hardware would, one bounds-checked `at()` / `at_padded()` access and one
+//! `TraceSink::emit` per event. This module is deliberately *slow and
+//! obvious* — it is the semantics the fast engine in `super::engine` must
+//! reproduce bit-for-bit (tensors), cycle-for-cycle, and event-for-event,
+//! and the oracle `tests/exec_engine.rs` proptests diff against. Keep it
+//! simple; optimize the engine instead.
 
 use zfgan_sim::trace::{TraceBuffer, TraceEvent};
 use zfgan_sim::{ConvKind, ConvShape};
 use zfgan_tensor::{Fmaps, Kernels, Num, ShapeError, TensorResult};
 
-#[cfg(test)]
-use crate::arch::Dataflow;
+use super::{check_kind, kernel_parity_order, record_exec, ExecOutcome, TraceSink};
 use crate::nlr::Nlr;
 use crate::ost::Ost;
 use crate::wst::Wst;
@@ -27,7 +20,7 @@ use crate::zfost::Zfost;
 use crate::zfwst::Zfwst;
 
 /// Small helpers shared by the executors.
-mod exec_support {
+pub(super) mod exec_support {
     use zfgan_tensor::{Fmaps, Num};
 
     /// Zero-inserts without pulling `zfgan_tensor::zeros` into the public
@@ -35,57 +28,6 @@ mod exec_support {
     pub fn zero_inserted<T: Num>(input: &Fmaps<T>, stride: usize) -> Fmaps<T> {
         zfgan_tensor::zeros::insert_zeros(input, stride)
     }
-}
-
-/// Result of a functional execution: the computed tensor plus the
-/// enumerated cycle count.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExecOutcome<T> {
-    /// The computed output.
-    pub output: T,
-    /// Cycles counted while walking the schedule.
-    pub cycles: u64,
-}
-
-/// Optional cycle-stamped event sink threaded through every executor.
-///
-/// The untraced entry points pass [`TraceSink::off`] — a null sink whose
-/// `emit` is a branch on `None` — so tracing costs nothing unless a
-/// `*_traced` wrapper installed a bounded [`TraceBuffer`]. Cycle stamps are
-/// emitted in nondecreasing order, the invariant
-/// [`TraceBuffer::window`]'s binary search relies on.
-struct TraceSink<'a> {
-    buf: Option<&'a mut TraceBuffer>,
-}
-
-impl<'a> TraceSink<'a> {
-    fn off() -> Self {
-        TraceSink { buf: None }
-    }
-
-    fn to(buf: &'a mut TraceBuffer) -> Self {
-        TraceSink { buf: Some(buf) }
-    }
-
-    #[inline]
-    fn emit(&mut self, cycle: u64, event: TraceEvent) {
-        if let Some(buf) = self.buf.as_mut() {
-            buf.record(cycle, event);
-        }
-    }
-}
-
-/// Publish one executor run to the telemetry layer: an
-/// `exec/<arch>/<kind>` span carrying the enumerated cycle count. No-op
-/// when telemetry is off.
-fn record_exec(path: &str, cycles: u64) {
-    if !zfgan_telemetry::enabled() {
-        return;
-    }
-    let mut span = zfgan_telemetry::span!("exec/{path}");
-    span.record("cycles", cycles);
-    zfgan_telemetry::count("exec_runs_total", &[("executor", path)], 1);
-    zfgan_telemetry::count("exec_cycles_total", &[("executor", path)], cycles);
 }
 
 /// Executes an `S-CONV` phase on a [`Zfost`] array.
@@ -153,6 +95,7 @@ fn zfost_s_conv_inner<T: Num>(
     let tiles: Vec<(usize, usize)> = (0..sh.div_ceil(p_oy))
         .flat_map(|ty| (0..sw.div_ceil(p_ox)).map(move |tx| (ty, tx)))
         .collect();
+    let parity = kernel_parity_order(geom.kh(), geom.kw(), geom.stride());
     for of_base in (0..small).step_by(p_of) {
         sink.emit(
             cycles,
@@ -163,7 +106,7 @@ fn zfost_s_conv_inner<T: Num>(
         let of_end = (of_base + p_of).min(small);
         for chunk in tiles.chunks(fold) {
             for if_ in 0..large {
-                for (ky, kx) in kernel_parity_order(geom.kh(), geom.kw(), geom.stride()) {
+                for &(ky, kx) in &parity {
                     sink.emit(
                         cycles,
                         TraceEvent::Mac {
@@ -411,13 +354,13 @@ fn zfwst_wgrad_s_inner<T: Num>(
         .collect();
     let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
     let mut cycles = 0u64;
+    let positions: Vec<(usize, usize)> = (0..sh)
+        .flat_map(|oy| (0..sw).map(move |ox| (oy, ox)))
+        .collect();
     for (g, group) in pairs.chunks(p_of).enumerate() {
         sink.emit(cycles, TraceEvent::PhaseStart { label: g as u16 });
         for ky in 0..geom.kh() {
             for kx in 0..geom.kw() {
-                let positions: Vec<(usize, usize)> = (0..sh)
-                    .flat_map(|oy| (0..sw).map(move |ox| (oy, ox)))
-                    .collect();
                 for chunk in positions.chunks(grid) {
                     sink.emit(
                         cycles,
@@ -511,13 +454,13 @@ fn zfwst_wgrad_t_inner<T: Num>(
         .collect();
     let mut grad: Kernels<T> = Kernels::zeros(small, large, geom.kh(), geom.kw());
     let mut cycles = 0u64;
+    let positions: Vec<(usize, usize)> = (0..sh)
+        .flat_map(|iy| (0..sw).map(move |ix| (iy, ix)))
+        .collect();
     for (g, group) in pairs.chunks(p_of).enumerate() {
         sink.emit(cycles, TraceEvent::PhaseStart { label: g as u16 });
         for ky in 0..geom.kh() {
             for kx in 0..geom.kw() {
-                let positions: Vec<(usize, usize)> = (0..sh)
-                    .flat_map(|iy| (0..sw).map(move |ix| (iy, ix)))
-                    .collect();
                 for chunk in positions.chunks(grid) {
                     sink.emit(
                         cycles,
@@ -1183,332 +1126,4 @@ fn zfwst_t_conv_inner<T: Num>(
         output: out,
         cycles,
     })
-}
-
-/// Kernel positions in the parity-class feed order of paper Fig. 12(a).
-pub(crate) fn kernel_parity_order(kh: usize, kw: usize, stride: usize) -> Vec<(usize, usize)> {
-    let mut order = Vec::with_capacity(kh * kw);
-    for ry in 0..stride.min(kh) {
-        for rx in 0..stride.min(kw) {
-            for ky in (ry..kh).step_by(stride) {
-                for kx in (rx..kw).step_by(stride) {
-                    order.push((ky, kx));
-                }
-            }
-        }
-    }
-    order
-}
-
-fn check_kind(phase: &ConvShape, expected: ConvKind) -> TensorResult<()> {
-    if phase.kind() != expected {
-        return Err(ShapeError::new(format!(
-            "executor expects a {expected:?} phase, got {:?}",
-            phase.kind()
-        )));
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-    use zfgan_tensor::{s_conv, t_conv, w_conv_for_s_layer, w_conv_for_t_layer, ConvGeom};
-
-    fn phase(kind: ConvKind) -> ConvShape {
-        let geom = ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap();
-        ConvShape::new(kind, geom, 5, 3, 12, 12)
-    }
-
-    #[test]
-    fn parity_order_is_a_permutation() {
-        let mut order = kernel_parity_order(4, 4, 2);
-        assert_eq!(order.len(), 16);
-        order.sort_unstable();
-        order.dedup();
-        assert_eq!(order.len(), 16);
-        // Stride 1: plain raster order.
-        assert_eq!(
-            kernel_parity_order(2, 2, 1),
-            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
-        );
-    }
-
-    #[test]
-    fn zfost_s_conv_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(1);
-        let p = phase(ConvKind::S);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfost::new(4, 4, 2);
-        let out = zfost_s_conv(&zf, &p, &x, &k).unwrap();
-        let reference = s_conv(&x, &k, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn zfost_t_conv_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(2);
-        let p = phase(ConvKind::T);
-        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfost::new(2, 3, 2);
-        let out = zfost_t_conv(&zf, &p, &x, &k).unwrap();
-        let reference = t_conv(&x, &k, p.geom()).unwrap();
-        assert!(
-            out.output.max_abs_diff(&reference) < 1e-9,
-            "diff {}",
-            out.output.max_abs_diff(&reference)
-        );
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn zfwst_wgrad_s_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(3);
-        let p = phase(ConvKind::WGradS);
-        let data: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let err: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let zf = Zfwst::new(3, 3, 4);
-        let out = zfwst_wgrad_s(&zf, &p, &data, &err).unwrap();
-        let reference = w_conv_for_s_layer(&data, &err, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn zfwst_wgrad_t_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(4);
-        let p = phase(ConvKind::WGradT);
-        let data: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let err: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let zf = Zfwst::new(4, 2, 3);
-        let out = zfwst_wgrad_t(&zf, &p, &data, &err).unwrap();
-        let reference = w_conv_for_t_layer(&data, &err, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn executors_reject_wrong_kinds_and_shapes() {
-        let mut rng = SmallRng::seed_from_u64(5);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfost::new(4, 4, 2);
-        assert!(zfost_s_conv(&zf, &phase(ConvKind::T), &x, &k).is_err());
-        let wrong: Fmaps<f64> = Fmaps::random(2, 12, 12, 1.0, &mut rng);
-        assert!(zfost_s_conv(&zf, &phase(ConvKind::S), &wrong, &k).is_err());
-    }
-
-    #[test]
-    fn zfwst_s_executor_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(21);
-        let p = phase(ConvKind::S);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfwst::new(3, 3, 2);
-        let out = zfwst_s_conv(&zf, &p, &x, &k).unwrap();
-        let reference = s_conv(&x, &k, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn zfwst_t_executor_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(22);
-        let p = phase(ConvKind::T);
-        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfwst::new(2, 2, 2);
-        let out = zfwst_t_conv(&zf, &p, &x, &k).unwrap();
-        let reference = t_conv(&x, &k, p.geom()).unwrap();
-        assert!(
-            out.output.max_abs_diff(&reference) < 1e-9,
-            "diff {}",
-            out.output.max_abs_diff(&reference)
-        );
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
-
-    #[test]
-    fn wst_executor_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(11);
-        let p = phase(ConvKind::S);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let wst = crate::Wst::new(4, 4, 2);
-        let (out, (pr, pw)) = wst_s_conv(&wst, &p, &x, &k).unwrap();
-        let reference = s_conv(&x, &k, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, wst.schedule(&p).cycles);
-        // Observed psum traffic: one read+write per MAC actually fired.
-        // The stream never presents padding pixels, so the count sits just
-        // below the census (which includes zero-padding MACs).
-        assert_eq!(pr, pw);
-        assert!(pr <= p.effectual_macs());
-        assert!(
-            pr * 10 >= p.effectual_macs() * 8,
-            "pr {pr} vs census {}",
-            p.effectual_macs()
-        );
-    }
-
-    #[test]
-    fn nlr_executor_matches_reference_and_schedule() {
-        let mut rng = SmallRng::seed_from_u64(12);
-        let p = phase(ConvKind::S);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let nlr = crate::Nlr::new(3, 5);
-        let (out, weight_fetches) = nlr_s_conv(&nlr, &p, &x, &k).unwrap();
-        let reference = s_conv(&x, &k, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, nlr.schedule(&p).cycles);
-        // No local reuse: every MAC fetched its weight.
-        assert_eq!(weight_fetches, p.effectual_macs());
-    }
-
-    #[test]
-    fn ost_t_executor_counts_the_wasted_work() {
-        // The baseline executor really multiplies the inserted zeros: its
-        // effectual count equals the phase's analytical census and the
-        // total equals `naive_muls`.
-        let mut rng = SmallRng::seed_from_u64(9);
-        let p = phase(ConvKind::T);
-        let x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let ost = crate::Ost::new(4, 4, 2);
-        let (out, (effectual, ineffectual)) = ost_t_conv(&ost, &p, &x, &k).unwrap();
-        let reference = t_conv(&x, &k, p.geom()).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, ost.schedule(&p).cycles);
-        assert_eq!(effectual, p.effectual_macs());
-        assert_eq!(effectual + ineffectual, p.naive_muls());
-        // ~3/4 of the baseline's multiplications are wasted.
-        let frac = ineffectual as f64 / (effectual + ineffectual) as f64;
-        assert!((0.6..0.85).contains(&frac), "wasted fraction {frac}");
-    }
-
-    #[test]
-    fn traced_executor_streams_nondecreasing_events_and_matches_untraced() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let p = phase(ConvKind::S);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let zf = Zfost::new(4, 4, 2);
-        let (out, trace) = zfost_s_conv_traced(&zf, &p, &x, &k, 4096).unwrap();
-        // Tracing never changes results or cycle counts.
-        assert_eq!(out, zfost_s_conv(&zf, &p, &x, &k).unwrap());
-        assert!(!trace.is_empty());
-        let mut last = 0u64;
-        for &(c, _) in trace.iter() {
-            assert!(c >= last, "cycle stamps must be nondecreasing");
-            last = c;
-        }
-        assert!(trace
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::PhaseStart { .. })));
-        assert!(trace
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::Mac { .. })));
-        // The binary-search window over the traced run sees everything.
-        assert_eq!(trace.window(0, out.cycles + 1).len(), trace.len());
-    }
-
-    #[test]
-    fn every_traced_variant_emits_events() {
-        let mut rng = SmallRng::seed_from_u64(8);
-        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let small_x: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
-        let err_small: Fmaps<f64> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
-        let err_big: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
-        let cap = 512;
-        let traces = vec![
-            zfost_s_conv_traced(&Zfost::new(4, 4, 2), &phase(ConvKind::S), &x, &k, cap)
-                .unwrap()
-                .1,
-            zfost_t_conv_traced(&Zfost::new(2, 3, 2), &phase(ConvKind::T), &small_x, &k, cap)
-                .unwrap()
-                .1,
-            zfwst_wgrad_s_traced(
-                &Zfwst::new(3, 3, 4),
-                &phase(ConvKind::WGradS),
-                &x,
-                &err_small,
-                cap,
-            )
-            .unwrap()
-            .1,
-            zfwst_wgrad_t_traced(
-                &Zfwst::new(4, 2, 3),
-                &phase(ConvKind::WGradT),
-                &small_x,
-                &err_big,
-                cap,
-            )
-            .unwrap()
-            .1,
-            ost_t_conv_traced(&Ost::new(4, 4, 2), &phase(ConvKind::T), &small_x, &k, cap)
-                .unwrap()
-                .1,
-            wst_s_conv_traced(&Wst::new(4, 4, 2), &phase(ConvKind::S), &x, &k, cap)
-                .unwrap()
-                .1,
-            nlr_s_conv_traced(&Nlr::new(3, 5), &phase(ConvKind::S), &x, &k, cap)
-                .unwrap()
-                .1,
-            zfwst_s_conv_traced(&Zfwst::new(3, 3, 2), &phase(ConvKind::S), &x, &k, cap)
-                .unwrap()
-                .1,
-            zfwst_t_conv_traced(&Zfwst::new(2, 2, 2), &phase(ConvKind::T), &small_x, &k, cap)
-                .unwrap()
-                .1,
-        ];
-        for (i, t) in traces.iter().enumerate() {
-            assert!(!t.is_empty(), "executor {i} recorded nothing");
-            let mut last = 0u64;
-            for &(c, _) in t.iter() {
-                assert!(c >= last, "executor {i}: stamps must be nondecreasing");
-                last = c;
-            }
-        }
-    }
-
-    #[test]
-    fn schedule_telemetry_lands_in_scoped_registry() {
-        let reg = std::sync::Arc::new(zfgan_telemetry::Registry::new());
-        let _g = zfgan_telemetry::scope(std::sync::Arc::clone(&reg));
-        let zf = Zfost::new(4, 4, 2);
-        let stats = zf.schedule(&phase(ConvKind::S));
-        let snap = reg.snapshot();
-        let cycles = snap
-            .counters
-            .iter()
-            .find(|(k, _, _)| k.render() == "schedule_cycles_total{arch=\"ZFOST\"}")
-            .map(|(_, _, v)| *v);
-        assert_eq!(cycles, Some(stats.cycles));
-        assert!(reg.spans().iter().any(|s| {
-            s.path == "schedule/ZFOST/s_conv"
-                && s.attrs.contains(&("cycles".to_string(), stats.cycles))
-        }));
-    }
-
-    #[test]
-    fn asymmetric_padding_t_conv_matches() {
-        // MNIST-GAN geometry: 5×5 kernel, pads (1,2,1,2).
-        let mut rng = SmallRng::seed_from_u64(6);
-        let geom = ConvGeom::down(28, 28, 5, 5, 2, 14, 14).unwrap();
-        let p = ConvShape::new(ConvKind::T, geom, 4, 2, 28, 28);
-        let x: Fmaps<f64> = Fmaps::random(4, 14, 14, 1.0, &mut rng);
-        let k: Kernels<f64> = Kernels::random(4, 2, 5, 5, 1.0, &mut rng);
-        let zf = Zfost::new(4, 4, 2);
-        let out = zfost_t_conv(&zf, &p, &x, &k).unwrap();
-        let reference = t_conv(&x, &k, &geom).unwrap();
-        assert!(out.output.max_abs_diff(&reference) < 1e-9);
-        assert_eq!(out.cycles, zf.schedule(&p).cycles);
-    }
 }

@@ -44,6 +44,7 @@
 
 mod arch;
 pub mod exec;
+pub use exec::ExecWorkspace;
 mod nlr;
 mod ost;
 mod rs;

@@ -467,6 +467,38 @@ where
         .collect())
 }
 
+/// [`parallel_chunks_mut`] without result collection: runs
+/// `f(chunk_index, chunk)` for each chunk and returns nothing, so the call
+/// itself performs **no heap allocation** — the primitive the
+/// zero-allocation executor hot path in `zfgan-dataflow` fans out on.
+/// Tasks that need to report back do so through caller-owned state
+/// (disjoint chunk writes, or commutative atomics).
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` and `data` is non-empty.
+pub fn parallel_chunks_for<T, F>(data: &mut [T], chunk_len: usize, f: F) -> Result<(), PoolError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return Ok(());
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    let n = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    run_batch(n, &|i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks [start, end) are pairwise disjoint across indices
+        // and in bounds; `data` outlives the batch.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.add(start), end - start) };
+        f(i, chunk);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +555,25 @@ mod tests {
         assert!(parallel_chunks_mut(&mut empty, 4, |_, _| 0)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn chunks_for_visits_every_chunk_once() {
+        let mut data: Vec<u64> = vec![0; 103];
+        let visits = AtomicU64::new(0);
+        parallel_chunks_for(&mut data, 10, |ci, chunk| {
+            visits.fetch_add(1, Ordering::SeqCst);
+            for v in chunk.iter_mut() {
+                *v = ci as u64 + 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(visits.load(Ordering::SeqCst), 11);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 10) as u64 + 1, "element {i} missed its chunk");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        parallel_chunks_for(&mut empty, 4, |_, _| unreachable!()).unwrap();
     }
 
     #[test]

@@ -1,13 +1,39 @@
 //! Cycle-stamped event tracing for debugging schedules.
 //!
-//! A [`TraceBuffer`] is a bounded ring of `(cycle, event)` records a
+//! A [`TraceBuffer`] is a bounded buffer of `(cycle, event)` records a
 //! simulator can stream into at negligible cost; when something looks
 //! wrong in an aggregate counter, the trace shows *which* cycle diverged.
 //! Bounded capacity keeps worst-case memory flat — old events are evicted,
 //! and the eviction count is reported so truncation is never silent.
+//!
+//! # Run-length segments
+//!
+//! Internally the buffer stores *segments*, not individual events: a
+//! single event, an arithmetic run (`count` repeats of one event whose
+//! cycle advances by a fixed `step`), or a repeated block (a template of
+//! relative-cycle events replayed `reps` times with a fixed `period`).
+//! Producers with structural knowledge of their event stream — the fast
+//! executor engine in `zfgan-dataflow` emits one run or block per tile
+//! instead of one `record` per MAC — append whole segments via
+//! [`TraceBuffer::record_run`] / [`TraceBuffer::record_block`]; plain
+//! [`TraceBuffer::record`] still works and transparently merges adjacent
+//! compatible events into runs. All observers ([`TraceBuffer::iter`],
+//! [`TraceBuffer::window`], [`TraceBuffer::render`], capacity/eviction
+//! accounting) operate on the *expanded* event stream, so a batched and a
+//! per-event producer of the same stream are indistinguishable.
+//!
+//! # Capacity contract
+//!
+//! `capacity` bounds the number of *expanded* events retained; recording
+//! past it evicts from the front (partially consuming the front segment
+//! when necessary) and counts the evictions. A capacity of **zero**
+//! disables the buffer entirely: every record is discarded, `len()` and
+//! `evicted()` stay 0 — the tracing-off mode the `*_traced` executors use
+//! to thread one code path for traced and untraced runs.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -65,7 +91,85 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// A bounded ring buffer of cycle-stamped events.
+/// One run-length-encoded piece of the event stream.
+#[derive(Debug, Clone)]
+enum Seg {
+    /// A single event.
+    One { cycle: u64, event: TraceEvent },
+    /// `count` copies of `event` at cycles `start, start+step, …`.
+    Run {
+        start: u64,
+        step: u64,
+        count: u64,
+        event: TraceEvent,
+    },
+    /// A template of `(relative_cycle, event)` pairs replayed `reps`
+    /// times: repetition `r` stamps `base + r·period + rel`.
+    Block {
+        base: u64,
+        period: u64,
+        reps: u64,
+        events: Arc<[(u64, TraceEvent)]>,
+    },
+}
+
+impl Seg {
+    /// Number of expanded events this segment describes.
+    fn len(&self) -> u64 {
+        match self {
+            Seg::One { .. } => 1,
+            Seg::Run { count, .. } => *count,
+            Seg::Block { reps, events, .. } => reps * events.len() as u64,
+        }
+    }
+
+    /// Cycle stamp of the first expanded event.
+    fn first_cycle(&self) -> u64 {
+        match self {
+            Seg::One { cycle, .. } => *cycle,
+            Seg::Run { start, .. } => *start,
+            Seg::Block { base, events, .. } => base + events[0].0,
+        }
+    }
+
+    /// Cycle stamp of the last expanded event.
+    fn last_cycle(&self) -> u64 {
+        match self {
+            Seg::One { cycle, .. } => *cycle,
+            Seg::Run {
+                start, step, count, ..
+            } => start + step * (count - 1),
+            Seg::Block {
+                base,
+                period,
+                reps,
+                events,
+            } => base + period * (reps - 1) + events[events.len() - 1].0,
+        }
+    }
+
+    /// The expanded event at position `pos` (must be `< self.len()`).
+    fn at(&self, pos: u64) -> (u64, TraceEvent) {
+        match self {
+            Seg::One { cycle, event } => (*cycle, *event),
+            Seg::Run {
+                start, step, event, ..
+            } => (start + step * pos, *event),
+            Seg::Block {
+                base,
+                period,
+                events,
+                ..
+            } => {
+                let n = events.len() as u64;
+                let (rel, ev) = events[(pos % n) as usize];
+                (base + period * (pos / n) + rel, ev)
+            }
+        }
+    }
+}
+
+/// A bounded buffer of cycle-stamped events, run-length encoded.
 ///
 /// # Example
 ///
@@ -82,42 +186,192 @@ impl fmt::Display for TraceEvent {
 #[derive(Debug, Clone)]
 pub struct TraceBuffer {
     capacity: usize,
-    events: VecDeque<(u64, TraceEvent)>,
+    segs: VecDeque<Seg>,
+    /// Expanded events of the *front* segment already evicted (partial
+    /// front eviction without re-encoding the segment).
+    front_skip: u64,
+    /// Expanded events currently retained (cached; kept in sync by every
+    /// mutation).
+    len: u64,
     evicted: u64,
 }
 
 impl TraceBuffer {
-    /// Creates a buffer keeping at most `capacity` events.
+    /// Creates a buffer keeping at most `capacity` expanded events.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A `capacity` of zero creates a *disabled* buffer: every record is
+    /// discarded without being counted, so executors can thread a single
+    /// sink through traced and untraced runs.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be non-zero");
         Self {
             capacity,
-            events: VecDeque::with_capacity(capacity),
+            segs: VecDeque::new(),
+            front_skip: 0,
+            len: 0,
             evicted: 0,
         }
     }
 
-    /// Records one event at `cycle`.
-    pub fn record(&mut self, cycle: u64, event: TraceEvent) {
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.evicted += 1;
-        }
-        self.events.push_back((cycle, event));
+    /// [`TraceBuffer::new`] with the producer's known total event count:
+    /// segment storage is pre-reserved for `expected.min(capacity)` events
+    /// (an upper bound — run-length encoding needs far fewer segments than
+    /// events), so a traced run sized within its capacity never regrows
+    /// the deque.
+    pub fn with_expected(capacity: usize, expected: u64) -> Self {
+        let mut buf = Self::new(capacity);
+        let reserve = expected.min(capacity as u64).min(1 << 20) as usize;
+        buf.segs.reserve(reserve);
+        buf
     }
 
-    /// Number of retained events.
+    /// Whether records are retained (capacity is non-zero).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event at `cycle`. Adjacent records of the same event
+    /// whose cycles advance arithmetically are merged into a run.
+    pub fn record(&mut self, cycle: u64, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        // Merge with the back segment when the stream stays arithmetic.
+        // (A partially evicted front segment is never a `One`, so the
+        // One→Run rewrite below cannot disturb `front_skip`.)
+        let merge = match self.segs.back() {
+            Some(Seg::Run {
+                start,
+                step,
+                count,
+                event: e,
+            }) if *e == event && cycle == *start + *step * *count => Some(None),
+            Some(Seg::One {
+                cycle: c0,
+                event: e,
+            }) if *e == event && cycle >= *c0 => Some(Some(*c0)),
+            _ => None,
+        };
+        match merge {
+            Some(None) => {
+                if let Some(Seg::Run { count, .. }) = self.segs.back_mut() {
+                    *count += 1;
+                }
+            }
+            Some(Some(c0)) => {
+                *self.segs.back_mut().expect("peeked above") = Seg::Run {
+                    start: c0,
+                    step: cycle - c0,
+                    count: 2,
+                    event,
+                };
+            }
+            None => self.segs.push_back(Seg::One { cycle, event }),
+        }
+        self.len += 1;
+        self.evict_to_capacity();
+    }
+
+    /// Records `count` copies of `event` at cycles `start, start+step, …`
+    /// in one segment. Cycle stamps must continue the stream's
+    /// nondecreasing order.
+    pub fn record_run(&mut self, start: u64, step: u64, count: u64, event: TraceEvent) {
+        if self.capacity == 0 || count == 0 {
+            return;
+        }
+        debug_assert!(
+            self.segs.back().is_none_or(|s| s.last_cycle() <= start),
+            "trace cycle stamps must be nondecreasing"
+        );
+        if count == 1 {
+            // Keep single events in `One` form so `record`'s merging stays
+            // applicable.
+            self.segs.push_back(Seg::One {
+                cycle: start,
+                event,
+            });
+        } else {
+            self.segs.push_back(Seg::Run {
+                start,
+                step,
+                count,
+                event,
+            });
+        }
+        self.len += count;
+        self.evict_to_capacity();
+    }
+
+    /// Records a template of `(relative_cycle, event)` pairs replayed
+    /// `reps` times, repetition `r` stamped at `base + r·period + rel` —
+    /// the per-tile batched form the fast executor engine emits. The
+    /// template's relative cycles must be nondecreasing and the whole
+    /// expansion must continue the stream's nondecreasing order.
+    pub fn record_block(
+        &mut self,
+        base: u64,
+        period: u64,
+        reps: u64,
+        events: Arc<[(u64, TraceEvent)]>,
+    ) {
+        if self.capacity == 0 || reps == 0 || events.is_empty() {
+            return;
+        }
+        debug_assert!(
+            events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "block template cycles must be nondecreasing"
+        );
+        debug_assert!(
+            reps == 1 || events[events.len() - 1].0 <= period,
+            "repetitions must not interleave: max relative cycle exceeds period"
+        );
+        if events.len() == 1 {
+            let (rel, ev) = events[0];
+            self.record_run(base + rel, period, reps, ev);
+            return;
+        }
+        debug_assert!(
+            self.segs
+                .back()
+                .is_none_or(|s| s.last_cycle() <= base + events[0].0),
+            "trace cycle stamps must be nondecreasing"
+        );
+        let added = reps * events.len() as u64;
+        self.segs.push_back(Seg::Block {
+            base,
+            period,
+            reps,
+            events,
+        });
+        self.len += added;
+        self.evict_to_capacity();
+    }
+
+    /// Evicts expanded events from the front until `len <= capacity`,
+    /// consuming front segments partially via `front_skip`.
+    fn evict_to_capacity(&mut self) {
+        while self.len > self.capacity as u64 {
+            let excess = self.len - self.capacity as u64;
+            let front_len = self.segs.front().expect("len > 0 implies segments").len();
+            let avail = front_len - self.front_skip;
+            let take = avail.min(excess);
+            self.front_skip += take;
+            self.len -= take;
+            self.evicted += take;
+            if self.front_skip == front_len {
+                self.segs.pop_front();
+                self.front_skip = 0;
+            }
+        }
+    }
+
+    /// Number of retained (expanded) events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.len as usize
     }
 
     /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len == 0
     }
 
     /// How many events were evicted by the capacity bound.
@@ -125,20 +379,40 @@ impl TraceBuffer {
         self.evicted
     }
 
-    /// Iterates retained events in record order.
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
-        self.events.iter()
+    /// Iterates retained events in record order, expanding run-length
+    /// segments on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, TraceEvent)> + '_ {
+        self.segs
+            .iter()
+            .flat_map(|seg| (0..seg.len()).map(move |pos| seg.at(pos)))
+            .skip(self.front_skip as usize)
     }
 
     /// Events recorded in the half-open cycle range `[from, to)`.
     ///
-    /// Cycles are recorded in nondecreasing order, so the range endpoints
-    /// are found by `partition_point` binary search — O(log n + k) rather
-    /// than a full scan of the ring.
+    /// Cycles are recorded in nondecreasing order, so the segment range is
+    /// found by `partition_point` binary search and only boundary segments
+    /// are filtered — O(log n + k) in segments rather than a full scan.
     pub fn window(&self, from: u64, to: u64) -> Vec<(u64, TraceEvent)> {
-        let start = self.events.partition_point(|(c, _)| *c < from);
-        let end = self.events.partition_point(|(c, _)| *c < to);
-        self.events.range(start..end).copied().collect()
+        if from >= to || self.len == 0 {
+            return Vec::new();
+        }
+        let lo = self.segs.partition_point(|s| s.last_cycle() < from);
+        let hi = self.segs.partition_point(|s| s.first_cycle() < to);
+        let mut out = Vec::new();
+        for (i, seg) in self.segs.range(lo..hi.max(lo)).enumerate() {
+            let skip = if lo + i == 0 { self.front_skip } else { 0 };
+            for pos in skip..seg.len() {
+                let (c, e) = seg.at(pos);
+                if c >= to {
+                    break;
+                }
+                if c >= from {
+                    out.push((c, e));
+                }
+            }
+        }
+        out
     }
 
     /// Renders the retained events, one per line, `cycle: event`.
@@ -147,7 +421,7 @@ impl TraceBuffer {
         if self.evicted > 0 {
             out.push_str(&format!("… {} earlier events evicted …\n", self.evicted));
         }
-        for (cycle, ev) in &self.events {
+        for (cycle, ev) in self.iter() {
             out.push_str(&format!("{cycle:>8}: {ev}\n"));
         }
         out
@@ -164,7 +438,7 @@ mod tests {
         for c in 0..5u64 {
             t.record(c, TraceEvent::PhaseStart { label: c as u16 });
         }
-        let cycles: Vec<u64> = t.iter().map(|(c, _)| *c).collect();
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| c).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
         assert_eq!(t.evicted(), 2);
     }
@@ -187,8 +461,8 @@ mod tests {
         assert_eq!(w[0].0, 20);
     }
 
-    /// Eviction + windowing together: after the ring wraps, the window
-    /// endpoints still bisect correctly over the retained (rotated) storage,
+    /// Eviction + windowing together: after the buffer wraps, the window
+    /// endpoints still bisect correctly over the retained segments,
     /// including same-cycle runs straddling a bucket edge.
     #[test]
     fn window_after_eviction_bisects_the_rotated_ring() {
@@ -200,7 +474,7 @@ mod tests {
             }
         }
         assert_eq!(t.evicted(), 8, "ring must have wrapped");
-        // Retained: cycles 4..8, two events each, stored rotated in the deque.
+        // Retained: cycles 4..8, two events each.
         let cycles: Vec<u64> = t.window(5, 7).iter().map(|(c, _)| *c).collect();
         assert_eq!(cycles, vec![5, 5, 6, 6]);
         // Endpoints below / above the retained range clamp cleanly.
@@ -243,8 +517,114 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_capacity_rejected() {
-        let _ = TraceBuffer::new(0);
+    fn zero_capacity_discards_everything() {
+        let mut t = TraceBuffer::new(0);
+        assert!(!t.enabled());
+        t.record(1, TraceEvent::BufferRead { buffer: 0 });
+        t.record_run(2, 1, 10, TraceEvent::BufferRead { buffer: 0 });
+        t.record_block(
+            20,
+            2,
+            3,
+            vec![(0, TraceEvent::BufferRead { buffer: 1 })].into(),
+        );
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.evicted(), 0, "a disabled buffer never counts evictions");
+        assert!(t.iter().next().is_none());
+        assert_eq!(t.window(0, u64::MAX).len(), 0);
+        assert_eq!(t.render(), "");
+    }
+
+    /// The batched producers and a per-event producer of the same stream
+    /// are indistinguishable through every observer.
+    #[test]
+    fn runs_and_blocks_expand_to_the_per_event_stream() {
+        let mac = TraceEvent::Mac {
+            ch: 1,
+            row: 0,
+            col: 0,
+        };
+        let wr = TraceEvent::BufferWrite { buffer: 3 };
+        let mut batched = TraceBuffer::new(4096);
+        let mut plain = TraceBuffer::new(4096);
+        // run: 5 macs at cycles 0,2,4,6,8
+        batched.record_run(0, 2, 5, mac);
+        for c in [0u64, 2, 4, 6, 8] {
+            plain.record(c, mac);
+        }
+        // block: (mac, wr) at cycle 10 and 11, repeated 3 times, period 2
+        batched.record_block(10, 2, 3, vec![(0, mac), (1, wr)].into());
+        for r in 0..3u64 {
+            plain.record(10 + 2 * r, mac);
+            plain.record(11 + 2 * r, wr);
+        }
+        let a: Vec<_> = batched.iter().collect();
+        let b: Vec<_> = plain.iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(batched.len(), plain.len());
+        assert_eq!(batched.window(3, 12), plain.window(3, 12));
+        assert_eq!(batched.render(), plain.render());
+    }
+
+    /// Capacity eviction consumes segments partially and keeps the
+    /// expanded accounting identical to a per-event ring.
+    #[test]
+    fn eviction_cuts_into_runs_and_blocks() {
+        let mac = TraceEvent::Mac {
+            ch: 0,
+            row: 0,
+            col: 0,
+        };
+        let rd = TraceEvent::BufferRead { buffer: 1 };
+        let mut t = TraceBuffer::new(5);
+        t.record_run(0, 1, 8, mac); // evicts 3 immediately
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.evicted(), 3);
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![3, 4, 5, 6, 7]);
+        t.record_block(8, 2, 2, vec![(0, rd), (1, rd)].into()); // 4 more
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.evicted(), 7);
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(
+            got,
+            vec![(7, mac), (8, rd), (9, rd), (10, rd), (11, rd)],
+            "partial front-segment eviction must preserve the tail stream"
+        );
+        // Window over a partially evicted front segment respects the skip.
+        assert_eq!(t.window(0, 9).len(), 2);
+    }
+
+    #[test]
+    fn record_merges_arithmetic_runs() {
+        let rd = TraceEvent::BufferRead { buffer: 0 };
+        let mut t = TraceBuffer::new(1024);
+        for c in 0..100u64 {
+            t.record(c, rd);
+        }
+        // 100 events, but a single merged segment.
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.segs.len(), 1);
+        // A different event type breaks the run.
+        t.record(100, TraceEvent::BufferWrite { buffer: 0 });
+        assert_eq!(t.segs.len(), 2);
+        // Same-cycle duplicates also merge (step-0 runs).
+        let mut s = TraceBuffer::new(64);
+        s.record(5, rd);
+        s.record(5, rd);
+        s.record(5, rd);
+        assert_eq!(s.segs.len(), 1);
+        assert_eq!(s.len(), 3);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(5, rd), (5, rd), (5, rd)]);
+    }
+
+    #[test]
+    fn with_expected_reserves_within_capacity() {
+        let t = TraceBuffer::with_expected(64, 1_000_000);
+        assert!(t.segs.capacity() >= 64);
+        let u = TraceBuffer::with_expected(1 << 30, 16);
+        assert!(u.segs.capacity() >= 16);
+        assert!(u.segs.capacity() < 1024, "reservation follows the run size");
     }
 }

@@ -49,7 +49,24 @@ ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
     cargo bench -q -p zfgan-bench --bench gemm > /dev/null
 ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
     cargo bench -q -p zfgan-bench --bench trainstep > /dev/null
+# Exec engine smoke: asserts the fast engine holds >= 3x over the scalar
+# oracle on the headline forward/transposed executors.
+ZFGAN_BENCH_MS=50 ZFGAN_RESULTS_DIR="$tdir/results" \
+    cargo bench -q -p zfgan-bench --bench exec > /dev/null
 echo "bench gates passed"
+
+echo "=== executor trace byte-identity across pool widths ==="
+# A traced ZFOST execution's deterministic telemetry section must be
+# byte-identical whether the engine's channel-group fan-out runs inline
+# or across four pool workers.
+ZFGAN_THREADS=1 cargo run -q --release -p zfgan -- trace --arch zfost --seed 2024 \
+    --out "$tdir/x1.json" > /dev/null
+ZFGAN_THREADS=4 cargo run -q --release -p zfgan -- trace --arch zfost --seed 2024 \
+    --out "$tdir/x4.json" > /dev/null
+cargo run -q --release -p zfgan -- trace --check "$tdir/x1.json" | grep '^deterministic:' > "$tdir/xd1"
+cargo run -q --release -p zfgan -- trace --check "$tdir/x4.json" | grep '^deterministic:' > "$tdir/xd4"
+diff "$tdir/xd1" "$tdir/xd4"
+echo "executor trace is byte-identical across pool widths"
 
 echo "=== pooled sweep byte-identity ==="
 # The same seed must produce byte-identical sweep output no matter how

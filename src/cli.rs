@@ -320,7 +320,7 @@ fn trace_cmd(flags: &Flags<'_>) -> Result<String, String> {
             ));
             tracks.push((
                 (*name).to_string(),
-                buf.iter().map(|&(c, e)| (c, e.to_string())).collect(),
+                buf.iter().map(|(c, e)| (c, e.to_string())).collect(),
             ));
         }
     }

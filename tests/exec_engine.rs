@@ -1,0 +1,216 @@
+//! The fast executor engine against its scalar oracle, adversarially.
+//!
+//! Every one of the nine cycle-accurate executors in
+//! `zfgan::dataflow::exec` is the fast twin of a deliberately simple
+//! scalar loop in `zfgan::dataflow::exec::scalar`. The engine's claim is
+//! not "numerically close" — it is **bit-identical**: same output tensor
+//! bytes, same cycle count, same access counters, and the same expanded
+//! trace event stream. These proptests drive both implementations over
+//! adversarial geometries — stride 1 and 2, asymmetric SAME-style
+//! padding, 1×1 / 4×4 / 5×5 kernels, unrolling factors that leave partial
+//! edge tiles in both spatial dimensions, and `p_of` larger than the
+//! channel count (fold > 1) — and require exact equality everywhere.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use zfgan::dataflow::exec::{self, scalar};
+use zfgan::dataflow::{Nlr, Ost, Wst, Zfost, Zfwst};
+use zfgan::sim::trace::{TraceBuffer, TraceEvent};
+use zfgan::sim::{ConvKind, ConvShape};
+use zfgan::tensor::{ConvGeom, Fmaps, Kernels};
+
+/// Retain everything: large enough that no adversarial geometry here ever
+/// evicts, so stream comparison covers the full execution.
+const CAP: usize = 1 << 22;
+
+/// One adversarial setup: geometry, channel counts, unroll factors, seed.
+#[derive(Debug, Clone)]
+struct Setup {
+    geom: ConvGeom,
+    small: usize,
+    large: usize,
+    lh: usize,
+    lw: usize,
+    f: (usize, usize, usize),
+    seed: u64,
+}
+
+fn arb_setup() -> impl Strategy<Value = Setup> {
+    (
+        // kernel selector (1×1, 4×4, 5×5), stride, out_h, out_w
+        // (out_h ≠ out_w → partial edge tiles in both dimensions)
+        (0usize..=2, 1usize..=2, 3usize..=7, 3usize..=7),
+        // total pad y/x, clamped below the kernel — odd totals split
+        // asymmetrically (SAME-style: extra unit on the bottom/right)
+        (0usize..=4, 0usize..=4),
+        // small/large channel counts
+        (1usize..=3, 1usize..=3),
+        // unroll factors (p_of > channels → fold > 1)
+        (1usize..=5, 1usize..=5, 1usize..=5),
+        any::<u64>(),
+    )
+        .prop_map(|((ksel, s, oh, ow), (py, px), (small, large), f, seed)| {
+            let k = [1usize, 4, 5][ksel];
+            let (py, px) = (py.min(k - 1), px.min(k - 1));
+            let lh = (oh - 1) * s + k - py;
+            let lw = (ow - 1) * s + k - px;
+            let geom = ConvGeom::down(lh, lw, k, k, s, oh, ow).expect("padding below kernel");
+            Setup {
+                geom,
+                small,
+                large,
+                lh,
+                lw,
+                f,
+                seed,
+            }
+        })
+}
+
+fn events(t: &TraceBuffer) -> Vec<(u64, TraceEvent)> {
+    t.iter().collect()
+}
+
+/// S-side operands: `large`-channel input on the large side plus kernels.
+fn s_operands(su: &Setup) -> (Fmaps<f64>, Kernels<f64>) {
+    let mut rng = SmallRng::seed_from_u64(su.seed);
+    let x = Fmaps::random(su.large, su.lh, su.lw, 1.0, &mut rng);
+    let k = Kernels::random(
+        su.small,
+        su.large,
+        su.geom.kh(),
+        su.geom.kw(),
+        1.0,
+        &mut rng,
+    );
+    (x, k)
+}
+
+/// T-side operands: `small`-channel input on the small side plus kernels.
+fn t_operands(su: &Setup) -> (Fmaps<f64>, Kernels<f64>) {
+    let mut rng = SmallRng::seed_from_u64(su.seed);
+    let (sh, sw) = su.geom.down_out(su.lh, su.lw);
+    let x = Fmaps::random(su.small, sh, sw, 1.0, &mut rng);
+    let k = Kernels::random(
+        su.small,
+        su.large,
+        su.geom.kh(),
+        su.geom.kw(),
+        1.0,
+        &mut rng,
+    );
+    (x, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn zfost_s_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::S, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = s_operands(&su);
+        let zf = Zfost::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfost_s_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        let (slow, st) = scalar::zfost_s_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn zfost_t_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::T, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = t_operands(&su);
+        let zf = Zfost::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfost_t_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        let (slow, st) = scalar::zfost_t_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn zfwst_wgrad_s_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::WGradS, su.geom, su.small, su.large, su.lh, su.lw);
+        let mut rng = SmallRng::seed_from_u64(su.seed);
+        let (sh, sw) = su.geom.down_out(su.lh, su.lw);
+        let data: Fmaps<f64> = Fmaps::random(su.large, su.lh, su.lw, 1.0, &mut rng);
+        let err: Fmaps<f64> = Fmaps::random(su.small, sh, sw, 1.0, &mut rng);
+        let zf = Zfwst::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfwst_wgrad_s_traced(&zf, &phase, &data, &err, CAP).unwrap();
+        let (slow, st) = scalar::zfwst_wgrad_s_traced(&zf, &phase, &data, &err, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn zfwst_wgrad_t_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::WGradT, su.geom, su.small, su.large, su.lh, su.lw);
+        let mut rng = SmallRng::seed_from_u64(su.seed);
+        let (sh, sw) = su.geom.down_out(su.lh, su.lw);
+        let data: Fmaps<f64> = Fmaps::random(su.small, sh, sw, 1.0, &mut rng);
+        let err: Fmaps<f64> = Fmaps::random(su.large, su.lh, su.lw, 1.0, &mut rng);
+        let zf = Zfwst::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfwst_wgrad_t_traced(&zf, &phase, &data, &err, CAP).unwrap();
+        let (slow, st) = scalar::zfwst_wgrad_t_traced(&zf, &phase, &data, &err, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn ost_t_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::T, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = t_operands(&su);
+        let ost = Ost::new(su.f.0, su.f.1, su.f.2);
+        let ((fast, fc), ft) = exec::ost_t_conv_traced(&ost, &phase, &x, &k, CAP).unwrap();
+        let ((slow, sc), st) = scalar::ost_t_conv_traced(&ost, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fc, sc, "effectual/ineffectual census diverged");
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn wst_s_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::S, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = s_operands(&su);
+        let wst = Wst::new(su.f.0, su.f.1, su.f.2);
+        let ((fast, fc), ft) = exec::wst_s_conv_traced(&wst, &phase, &x, &k, CAP).unwrap();
+        let ((slow, sc), st) = scalar::wst_s_conv_traced(&wst, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fc, sc, "psum read/write census diverged");
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn nlr_s_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::S, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = s_operands(&su);
+        let nlr = Nlr::new(su.f.0, su.f.2);
+        let ((fast, fc), ft) = exec::nlr_s_conv_traced(&nlr, &phase, &x, &k, CAP).unwrap();
+        let ((slow, sc), st) = scalar::nlr_s_conv_traced(&nlr, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fc, sc, "weight-fetch census diverged");
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn zfwst_s_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::S, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = s_operands(&su);
+        let zf = Zfwst::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfwst_s_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        let (slow, st) = scalar::zfwst_s_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+
+    #[test]
+    fn zfwst_t_is_bit_identical(su in arb_setup()) {
+        let phase = ConvShape::new(ConvKind::T, su.geom, su.small, su.large, su.lh, su.lw);
+        let (x, k) = t_operands(&su);
+        let zf = Zfwst::new(su.f.0, su.f.1, su.f.2);
+        let (fast, ft) = exec::zfwst_t_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        let (slow, st) = scalar::zfwst_t_conv_traced(&zf, &phase, &x, &k, CAP).unwrap();
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(events(&ft), events(&st));
+    }
+}
