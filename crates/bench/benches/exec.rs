@@ -6,13 +6,14 @@
 //! (`tests/exec_engine.rs` proves it property-wise), so the ratios here
 //! are pure speed: what the interior/edge tile split plus the pooled
 //! channel-group fan-out buy over the guarded per-element loops. Emits
-//! `results/BENCH_exec.json` via [`zfgan_bench::emit`] and gates the
-//! headline forward/transposed executors (ZFOST both directions plus
-//! WST) at ≥3× even single-threaded. The W-CONV gradient pair is
-//! measured and emitted but not gated: its per-element semantics are a
-//! single serial accumulator flushed every `grid` positions — a float
-//! dependency chain the oracle shares — so overhead removal alone tops
-//! out around 2× there.
+//! `results/BENCH_exec.json` via [`zfgan_bench::emit`] with min/mean/stddev
+//! per row (noisy shared host — `min_ns` carries the stable signal) plus
+//! thread-count and SIMD-level metadata, and gates the headline
+//! forward/transposed executors (ZFOST both directions plus WST) at ≥3×
+//! even single-threaded. The W-CONV gradient pair is gated at the softer
+//! ≥1.5×: its per-element semantics are a single serial accumulator
+//! flushed every `grid` positions — a float dependency chain the oracle
+//! shares — so overhead removal alone tops out around 2× there.
 
 use std::time::Duration;
 
@@ -24,13 +25,21 @@ use zfgan_bench::{emit, fmt_x, TextTable};
 use zfgan_dataflow::exec::{self, scalar};
 use zfgan_dataflow::{ExecWorkspace, Nlr, Ost, Wst, Zfost, Zfwst};
 use zfgan_sim::{ConvKind, ConvShape};
+use zfgan_tensor::microkernel::simd_label;
 use zfgan_tensor::{ConvGeom, Fmaps, Kernels};
 
 #[derive(Serialize)]
 struct Row {
     id: String,
     mean_ns: f64,
+    min_ns: f64,
+    stddev_ns: f64,
     iters: u64,
+    /// Worker threads the side runs on: the engine fans channel groups
+    /// across the `zfgan-pool` workers, the scalar oracle is serial.
+    threads: usize,
+    /// Active SIMD kernel: `"avx2"` or `"scalar"` (`ZFGAN_NO_SIMD=1`).
+    simd: &'static str,
     /// Engine speedup over the scalar oracle for the same executor
     /// (1.0 for the oracle rows themselves).
     speedup: f64,
@@ -168,7 +177,15 @@ fn main() {
             Row {
                 id: m.id.clone(),
                 mean_ns: m.mean_ns,
+                min_ns: m.min_ns,
+                stddev_ns: m.stddev_ns,
                 iters: m.iters,
+                threads: if m.id.ends_with("/engine") {
+                    zfgan_pool::pool_threads()
+                } else {
+                    1
+                },
+                simd: simd_label(),
                 speedup: mean(&format!("exec/{exec_name}/scalar")) / m.mean_ns,
             }
         })
@@ -190,11 +207,30 @@ fn main() {
         let s = mean(&format!("exec/{name}/scalar")) / mean(&format!("exec/{name}/engine"));
         println!("{name}: engine {} vs scalar", fmt_x(s));
         // Regression gate: the forward/transposed executors must hold ≥3×
-        // even single-threaded. The wgrad pair is chain-limited (see the
-        // module docs) and reported unguarded above.
+        // even single-threaded.
         assert!(
             s >= 3.0,
             "{name} engine speedup {} fell below the 3x gate",
+            fmt_x(s)
+        );
+    }
+
+    // The wgrad pair is chain-limited (see the module docs), so it gets a
+    // softer gate on the fastest-sample ratio — the mean wanders with
+    // host noise, the minimum tracks the engine.
+    let min = |id: &str| {
+        measurements
+            .iter()
+            .find(|m| m.id == id)
+            .unwrap_or_else(|| panic!("missing measurement {id}"))
+            .min_ns
+    };
+    for name in ["wgrad_s", "wgrad_t"] {
+        let s = min(&format!("exec/{name}/scalar")) / min(&format!("exec/{name}/engine"));
+        println!("{name}: engine {} vs scalar (min-based)", fmt_x(s));
+        assert!(
+            s >= 1.5,
+            "{name} engine speedup {} fell below the 1.5x gate",
             fmt_x(s)
         );
     }

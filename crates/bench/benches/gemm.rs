@@ -6,8 +6,15 @@
 //! recorded measurements, compute speedups against each group's baseline,
 //! and emit the machine-readable summary `results/BENCH_gemm.json` via
 //! [`zfgan_bench::emit`] — the perf trajectory the fast path is tracked
-//! by. All compared variants are bit-identical by construction (pinned by
-//! `tests/fast_conv.rs`), so every ratio here is pure speed.
+//! by. The compared variants agree numerically per the family contracts
+//! pinned by `tests/fast_conv.rs` (scalar kernels bit-identical to naive;
+//! packed kernels mutually bit-identical and within the fused
+//! accumulation bound; Q8.8 bit-identical everywhere), so every ratio
+//! here is pure speed. Gates the packed single-threaded microkernel at
+//! ≥4× over the naive triple loop on the batch-lowered dense matmul, and
+//! at ≥2× on the ReLU-sparse and Q8.8 variants (where the naive loop's
+//! per-word zero skip halves its own work, or the saturating i16 chain
+//! caps the vector win), when SIMD is active.
 
 use std::time::Duration;
 
@@ -20,15 +27,22 @@ use zfgan_nn::{GanTrainer, TrainerConfig};
 use zfgan_tensor::gemm::MatmulKind;
 use zfgan_tensor::im2col::t_conv_via_gemm;
 use zfgan_tensor::im2col::{im2col_s, weights_as_matrix_s, Matrix};
+use zfgan_tensor::microkernel::simd_label;
 use zfgan_tensor::zero_free::t_conv_zero_free;
-use zfgan_tensor::{t_conv, ConvBackend, ConvGeom, Fmaps, Kernels};
+use zfgan_tensor::{t_conv, ConvBackend, ConvGeom, Fmaps, Fx, Kernels};
 use zfgan_workloads::GanSpec;
 
 #[derive(Serialize)]
 struct Row {
     id: String,
     mean_ns: f64,
+    min_ns: f64,
+    stddev_ns: f64,
     iters: u64,
+    /// Worker threads the variant runs on (1 for sequential kernels).
+    threads: usize,
+    /// Active SIMD kernel: `"avx2"` or `"scalar"` (`ZFGAN_NO_SIMD=1`).
+    simd: &'static str,
     /// Speedup over this group's baseline variant (1.0 for the baseline).
     speedup: f64,
 }
@@ -56,12 +70,58 @@ fn bench_matmul_kinds(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     for (name, kind) in [
         ("naive", MatmulKind::Naive),
+        ("blocked_scalar", MatmulKind::BlockedScalar),
         ("blocked", MatmulKind::Blocked),
         ("parallel2", MatmulKind::Parallel(2)),
         ("parallel4", MatmulKind::Parallel(4)),
     ] {
         group.bench_function(name, |bch| {
             bch.iter(|| kind.run(&a, &b).expect("conforming operands"))
+        });
+    }
+    group.finish();
+
+    // Batch-4 dense activations (pre-ReLU / post-BatchNorm maps carry no
+    // structural zeros): the naive loop's per-word zero skip buys nothing
+    // here, so this group isolates raw kernel throughput on a batch-
+    // lowered 196×1600 patch matrix — the shape the tentpole gate holds.
+    let mut data = Vec::new();
+    for _ in 0..4 {
+        let dense = Fmaps::random(64, 14, 14, 1.0, &mut rng);
+        data.extend_from_slice(im2col_s(&dense, &geom).patches.as_slice());
+    }
+    let rows = data.len() / a.cols();
+    let ab: Matrix<f32> = Matrix::from_vec(rows, a.cols(), data);
+    let mut group = c.benchmark_group("matmul_batch");
+    for (name, kind) in [
+        ("naive", MatmulKind::Naive),
+        ("blocked", MatmulKind::Blocked),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| kind.run(&ab, &b).expect("conforming operands"))
+        });
+    }
+    group.finish();
+
+    // The same shape in Q8.8: the vectorized fixed-point kernel against
+    // the naive triple loop (bit-identical by contract, so pure speed).
+    let afx = Matrix::from_vec(
+        a.rows(),
+        a.cols(),
+        a.as_slice().iter().map(|v| Fx::from_f32(*v)).collect(),
+    );
+    let bfx = Matrix::from_vec(
+        b.rows(),
+        b.cols(),
+        b.as_slice().iter().map(|v| Fx::from_f32(*v)).collect(),
+    );
+    let mut group = c.benchmark_group("matmul_fx");
+    for (name, kind) in [
+        ("naive", MatmulKind::Naive),
+        ("blocked", MatmulKind::Blocked),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| kind.run(&afx, &bfx).expect("conforming operands"))
         });
     }
     group.finish();
@@ -119,13 +179,25 @@ fn bench_trainer_backends(c: &mut Criterion) {
 
 /// Baseline id within each group: ratios are reported against it.
 fn baseline_of(id: &str) -> &'static str {
-    if id.starts_with("matmul/") {
+    if id.starts_with("matmul_fx/") {
+        "matmul_fx/naive"
+    } else if id.starts_with("matmul_batch/") {
+        "matmul_batch/naive"
+    } else if id.starts_with("matmul/") {
         "matmul/naive"
     } else if id.starts_with("t_conv/") {
         "t_conv/golden"
     } else {
         "trainer/golden_direct"
     }
+}
+
+/// Worker threads a benchmark variant uses (from its id suffix).
+fn threads_of(id: &str) -> usize {
+    id.rsplit("parallel")
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Per-benchmark measurement window: `ZFGAN_BENCH_MS` overrides the
@@ -160,7 +232,11 @@ fn main() {
             Row {
                 id: m.id.clone(),
                 mean_ns: m.mean_ns,
+                min_ns: m.min_ns,
+                stddev_ns: m.stddev_ns,
                 iters: m.iters,
+                threads: threads_of(&m.id),
+                simd: simd_label(),
                 speedup: base.mean_ns / m.mean_ns,
             }
         })
@@ -193,6 +269,49 @@ fn main() {
         assert!(
             s >= 1.0,
             "pooled GEMM regressed below the sequential baseline: {id} = {}",
+            fmt_x(s)
+        );
+    }
+
+    // Speedup of a variant over its group baseline on the fastest samples
+    // (`min_ns`): the host is a shared single core whose mean timings
+    // swing by double-digit percentages between runs, while each side's
+    // fastest-of-5 sample tracks the true cost far more tightly.
+    let headline_min = |id: &str| {
+        rows.iter().find(|r| r.id == id).map_or(0.0, |r| {
+            let base = rows
+                .iter()
+                .find(|b| b.id == baseline_of(id))
+                .expect("baseline row exists");
+            base.min_ns / r.min_ns
+        })
+    };
+
+    // Tentpole gates (SIMD on; the scalar fallback is exempt — it exists
+    // for determinism checks, not speed):
+    //
+    // * >=4x on the batch-lowered dense matmul, where naive's per-word
+    //   zero skip buys nothing and the comparison is raw kernel speed.
+    // * >=2x on the single-image ReLU-sparse matmul — the naive loop
+    //   skips ~half its work there (the operand is ~50% exact zeros), so
+    //   the packed kernel's margin is structurally halved; it must still
+    //   win by 2x while doing twice the arithmetic.
+    // * >=2x on the Q8.8 matmul (the vectorized saturating i16 path).
+    let gates = [
+        ("matmul_batch/blocked", 4.0),
+        ("matmul/blocked", 2.0),
+        ("matmul_fx/blocked", 2.0),
+    ];
+    for (id, need) in gates {
+        let s = headline_min(id);
+        println!(
+            "Packed microkernel gate {id}: {} vs >={need}x (simd: {})",
+            fmt_x(s),
+            simd_label()
+        );
+        assert!(
+            simd_label() != "avx2" || s >= need,
+            "packed GEMM speedup {} fell below the {need}x gate for {id}",
             fmt_x(s)
         );
     }

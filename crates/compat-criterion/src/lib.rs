@@ -4,11 +4,13 @@
 //! `criterion_group!`/`criterion_main!` macros.
 //!
 //! The measurement model is deliberately simple: a short calibration run
-//! sizes the iteration count to a fixed measurement window, then the mean
-//! wall-clock time per iteration is reported on stdout. There are no HTML
-//! reports and no statistical machinery — the workspace's benches compare
-//! alternatives within one process, where a mean over a fixed window is
-//! enough signal.
+//! sizes the iteration count to a fixed measurement window, a warm-up
+//! pass primes caches/branch predictors/lazy init, then the window is
+//! split into several timed samples so each measurement carries a mean,
+//! a min (the least-noisy point estimate on a busy machine) and a
+//! standard deviation across samples. There are no HTML reports — the
+//! workspace's benches compare alternatives within one process, where
+//! these summary statistics are enough signal.
 //!
 //! Results are also recorded in-process so callers (e.g. the gemm bench)
 //! can read back timings via [`Criterion::take_results`] and emit their
@@ -31,14 +33,19 @@ pub enum BatchSize {
     PerIteration,
 }
 
-/// One recorded measurement: benchmark id → mean nanoseconds per iteration.
+/// One recorded measurement: benchmark id → per-iteration time statistics
+/// over the sampled measurement window.
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// `group/function` identifier.
     pub id: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Mean wall-clock nanoseconds per iteration, over all samples.
     pub mean_ns: f64,
-    /// Iterations measured.
+    /// Fastest sample's nanoseconds per iteration (least scheduler noise).
+    pub min_ns: f64,
+    /// Standard deviation of the per-sample means, in nanoseconds.
+    pub stddev_ns: f64,
+    /// Total iterations measured across every sample.
     pub iters: u64,
 }
 
@@ -116,6 +123,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Timed samples per benchmark; the measurement window is split evenly
+/// across them so mean/min/stddev come from independent timings.
+const SAMPLES: u32 = 5;
+
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, window: Duration, f: &mut F) -> Measurement {
     let mut b = Bencher {
         mode: Mode::Calibrate,
@@ -125,18 +136,38 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, window: Duration, f: &mut F) -> M
     };
     // Calibration pass: run once to find the per-iteration cost…
     f(&mut b);
-    // …then the measurement pass with an iteration count sized to the
-    // window.
-    b.mode = Mode::Measure;
+    // …then a warm-up pass (caches, branch predictors, lazy init, pool
+    // spin-up) whose timing is discarded…
+    b.mode = Mode::Warmup;
     f(&mut b);
+    // …then the timed samples, each sized to an equal share of the
+    // measurement window (the calibration estimate is refreshed from the
+    // latest sample, so later samples track the warmed-up cost).
+    b.mode = Mode::Measure;
+    let mut sample_means = Vec::with_capacity(SAMPLES as usize);
+    let mut total_iters = 0u64;
+    for _ in 0..SAMPLES {
+        f(&mut b);
+        sample_means.push(b.per_iter_ns);
+        total_iters += b.iters_done;
+    }
+    let mean_ns = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+    let min_ns = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+    let var = sample_means
+        .iter()
+        .map(|s| (s - mean_ns).powi(2))
+        .sum::<f64>()
+        / sample_means.len() as f64;
     let m = Measurement {
         id: id.to_string(),
-        mean_ns: b.per_iter_ns,
-        iters: b.iters_done,
+        mean_ns,
+        min_ns,
+        stddev_ns: var.sqrt(),
+        iters: total_iters,
     };
     println!(
-        "bench {id:<48} {:>14.1} ns/iter ({} iters)",
-        m.mean_ns, m.iters
+        "bench {id:<48} {:>14.1} ns/iter (min {:.1}, sd {:.1}, {} iters)",
+        m.mean_ns, m.min_ns, m.stddev_ns, m.iters
     );
     m
 }
@@ -144,6 +175,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, window: Duration, f: &mut F) -> M
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Calibrate,
+    Warmup,
     Measure,
 }
 
@@ -162,8 +194,10 @@ impl Bencher {
         if self.mode == Mode::Calibrate {
             return 1;
         }
+        // Warm-up runs one sample's worth of iterations, discarded.
         let per_iter = self.per_iter_ns.max(1.0);
-        ((self.window.as_nanos() as f64 / per_iter).ceil() as u64).clamp(1, 1_000_000)
+        let sample_ns = self.window.as_nanos() as f64 / f64::from(SAMPLES);
+        ((sample_ns / per_iter).ceil() as u64).clamp(1, 1_000_000)
     }
 
     /// Times `routine` over an adaptively-chosen number of iterations.

@@ -1,10 +1,17 @@
 //! Backend selection for the three convolution families.
 //!
 //! [`ConvBackend`] picks how a convolution is *computed* without changing
-//! what it computes: every backend is bit-identical to the golden loop
-//! nests in [`crate::conv`] (see [`crate::gemm`] for why blocking and
-//! threading preserve bits, and [`crate::zero_free`] for why skipping the
-//! inserted zeros does). The golden nests stay the oracle the dataflow
+//! what it computes. [`ConvBackend::GoldenDirect`] and
+//! [`ConvBackend::ScalarRef`] are bit-identical to the golden loop nests
+//! in [`crate::conv`] for every element type (see [`crate::gemm`] for why
+//! scalar blocking preserves bits, and [`crate::zero_free`] for why
+//! skipping the inserted zeros does). The packed-microkernel backends
+//! ([`ConvBackend::LoweredGemm`], [`ConvBackend::LoweredZeroFree`],
+//! [`ConvBackend::Parallel`]) are bit-identical to *each other* for every
+//! thread count and SIMD level, bit-identical to golden for `Fx` and
+//! `f64`, and within the fused-accumulation error bound of golden for
+//! `f32` — the packed f32 kernel owns its accumulation order (see
+//! [`crate::microkernel`]). The golden nests stay the oracle the dataflow
 //! executors validate against; the lowered backends are what training
 //! actually runs.
 
@@ -14,8 +21,7 @@ use crate::error::TensorResult;
 use crate::fmaps::Fmaps;
 use crate::gemm::MatmulKind;
 use crate::im2col::{
-    im2col_s, im2col_t, im2col_t_with_output_size, s_conv_via_gemm_ws, weights_as_matrix_s,
-    weights_as_matrix_t,
+    im2col_s, im2col_t, im2col_t_with_output_size, s_conv_via_gemm_ws, weights_as_matrix_t,
 };
 use crate::kernels::Kernels;
 use crate::num::Num;
@@ -26,20 +32,27 @@ use crate::{conv, ShapeError};
 
 /// How a convolution layer executes its forward and backward passes.
 ///
-/// All variants produce bit-identical results; they differ in speed and
-/// in whether the zero-inserting transformations are materialised.
+/// See the module docs for which variants are bit-identical to which;
+/// they differ in speed and in whether the zero-inserting transformations
+/// are materialised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ConvBackend {
     /// The golden loop nests — the slow, obviously-correct oracle.
     GoldenDirect,
-    /// `im2col + blocked GEMM`, materialising inserted zeros the way
+    /// Zero-free lowering + the retained cache-blocked *scalar* GEMM —
+    /// bit-identical to [`ConvBackend::GoldenDirect`] for every element
+    /// type, and the honest scalar baseline the packed-microkernel
+    /// speedup gates measure against.
+    ScalarRef,
+    /// `im2col + packed GEMM`, materialising inserted zeros the way
     /// Caffe's deconvolution path does (the paper's software baseline).
     LoweredGemm,
-    /// Compact zero-free lowering + blocked GEMM: inserted zeros are
-    /// never built — the software mirror of ZFOST/ZFWST.
+    /// Compact zero-free lowering + packed SIMD microkernel GEMM:
+    /// inserted zeros are never built — the software mirror of
+    /// ZFOST/ZFWST.
     LoweredZeroFree,
     /// [`ConvBackend::LoweredZeroFree`] with the GEMM split over this
-    /// many scoped threads (clamped to the available rows; deterministic
+    /// many pooled threads (clamped to the available rows; deterministic
     /// for every thread count).
     Parallel(usize),
 }
@@ -59,6 +72,7 @@ impl ConvBackend {
             // Unused for GoldenDirect; the naive kernel is the honest
             // stand-in.
             ConvBackend::GoldenDirect => MatmulKind::Naive,
+            ConvBackend::ScalarRef => MatmulKind::BlockedScalar,
             ConvBackend::LoweredGemm | ConvBackend::LoweredZeroFree => MatmulKind::Blocked,
             ConvBackend::Parallel(n) => MatmulKind::Parallel(n),
         }
@@ -82,7 +96,9 @@ impl ConvBackend {
                     return Err(ShapeError::new("kernel/input channel mismatch"));
                 }
                 let lowered = im2col_s(input, geom);
-                let product = self.mm().run(&lowered.patches, &weights_as_matrix_s(k))?;
+                let mut wmat = crate::im2col::Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+                crate::im2col::fill_weights_as_matrix_s_for(&mut wmat, k, self.mm());
+                let product = self.mm().run(&lowered.patches, &wmat)?;
                 let (oh, ow) = lowered.out_hw;
                 let mut out = Fmaps::zeros(k.n_of(), oh, ow);
                 for of in 0..k.n_of() {
@@ -127,7 +143,7 @@ impl ConvBackend {
                 }
                 Ok(out)
             }
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::t_conv_zero_free(input, k, geom, self.mm())
             }
         }
@@ -165,7 +181,7 @@ impl ConvBackend {
                 }
                 Ok(out)
             }
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::t_conv_zero_free_sized(delta_out, k, geom, in_h, in_w, self.mm())
             }
         }
@@ -227,7 +243,7 @@ impl ConvBackend {
             ConvBackend::LoweredGemm => {
                 zero_free::w_conv_t_via_zero_insert_gemm(input, delta_out, geom, self.mm())
             }
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::w_conv_t_zero_free(input, delta_out, geom, self.mm())
             }
         }
@@ -273,7 +289,7 @@ impl ConvBackend {
     ) -> TensorResult<Fmaps<T>> {
         match self {
             ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => self.t_conv(input, k, geom),
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::t_conv_zero_free_ws(input, k, geom, self.mm(), ws)
             }
         }
@@ -298,7 +314,7 @@ impl ConvBackend {
             ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => {
                 self.s_conv_input_grad(delta_out, k, geom, in_h, in_w)
             }
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::t_conv_zero_free_sized_ws(delta_out, k, geom, in_h, in_w, self.mm(), ws)
             }
         }
@@ -359,7 +375,7 @@ impl ConvBackend {
             ConvBackend::GoldenDirect | ConvBackend::LoweredGemm => {
                 self.w_conv_for_t_layer(input, delta_out, geom)
             }
-            ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
+            ConvBackend::ScalarRef | ConvBackend::LoweredZeroFree | ConvBackend::Parallel(_) => {
                 zero_free::w_conv_t_zero_free_ws(input, delta_out, geom, self.mm(), ws)
             }
         }
@@ -372,8 +388,17 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    const ALL: [ConvBackend; 4] = [
+    const ALL: [ConvBackend; 5] = [
         ConvBackend::GoldenDirect,
+        ConvBackend::ScalarRef,
+        ConvBackend::LoweredGemm,
+        ConvBackend::LoweredZeroFree,
+        ConvBackend::Parallel(4),
+    ];
+
+    /// The packed-microkernel family: bit-identical to each other, within
+    /// the fused-accumulation bound of golden for f32.
+    const PACKED: [ConvBackend; 3] = [
         ConvBackend::LoweredGemm,
         ConvBackend::LoweredZeroFree,
         ConvBackend::Parallel(4),
@@ -382,6 +407,10 @@ mod tests {
     fn geom() -> ConvGeom {
         ConvGeom::down(10, 10, 4, 4, 2, 5, 5).unwrap()
     }
+
+    /// Loose fused-vs-unfused accumulation bound for these unit-magnitude
+    /// operands and short (≤ 48-term) reductions.
+    const ACC_BOUND: f64 = 1e-4;
 
     #[test]
     fn every_backend_matches_golden_on_every_family() {
@@ -392,34 +421,83 @@ mod tests {
         let y = ConvBackend::GoldenDirect.s_conv(&x, &k, &g).unwrap();
         let z: Fmaps<f32> = Fmaps::random(4, 5, 5, 1.0, &mut rng);
         let up = ConvBackend::GoldenDirect.t_conv(&z, &k, &g).unwrap();
-        for b in ALL {
-            assert_eq!(y, b.s_conv(&x, &k, &g).unwrap(), "{b:?} s_conv");
-            assert_eq!(up, b.t_conv(&z, &k, &g).unwrap(), "{b:?} t_conv");
+        let sig = ConvBackend::GoldenDirect
+            .s_conv_input_grad(&y, &k, &g, 10, 10)
+            .unwrap();
+        let tig = ConvBackend::GoldenDirect
+            .t_conv_input_grad(&up, &k, &g)
+            .unwrap();
+        let ws = ConvBackend::GoldenDirect
+            .w_conv_for_s_layer(&x, &y, &g)
+            .unwrap();
+        let wt = ConvBackend::GoldenDirect
+            .w_conv_for_t_layer(&z, &up, &g)
+            .unwrap();
+
+        // The scalar reference backend reproduces golden bit for bit.
+        let b = ConvBackend::ScalarRef;
+        assert_eq!(y, b.s_conv(&x, &k, &g).unwrap(), "{b:?} s_conv");
+        assert_eq!(up, b.t_conv(&z, &k, &g).unwrap(), "{b:?} t_conv");
+        assert_eq!(
+            sig,
+            b.s_conv_input_grad(&y, &k, &g, 10, 10).unwrap(),
+            "{b:?} s_conv_input_grad"
+        );
+        assert_eq!(
+            tig,
+            b.t_conv_input_grad(&up, &k, &g).unwrap(),
+            "{b:?} t_conv_input_grad"
+        );
+        assert_eq!(
+            ws,
+            b.w_conv_for_s_layer(&x, &y, &g).unwrap(),
+            "{b:?} w_conv_for_s_layer"
+        );
+        assert_eq!(
+            wt,
+            b.w_conv_for_t_layer(&z, &up, &g).unwrap(),
+            "{b:?} w_conv_for_t_layer"
+        );
+
+        // The packed backends agree with each other bit for bit (the
+        // single fused accumulation order) and with golden within the
+        // accumulation bound.
+        let ref_b = ConvBackend::LoweredZeroFree;
+        let py = ref_b.s_conv(&x, &k, &g).unwrap();
+        let pup = ref_b.t_conv(&z, &k, &g).unwrap();
+        let psig = ref_b.s_conv_input_grad(&y, &k, &g, 10, 10).unwrap();
+        let ptig = ref_b.t_conv_input_grad(&up, &k, &g).unwrap();
+        let pws = ref_b.w_conv_for_s_layer(&x, &y, &g).unwrap();
+        let pwt = ref_b.w_conv_for_t_layer(&z, &up, &g).unwrap();
+        assert!(y.max_abs_diff(&py) <= ACC_BOUND, "packed s_conv vs golden");
+        assert!(
+            up.max_abs_diff(&pup) <= ACC_BOUND,
+            "packed t_conv vs golden"
+        );
+        assert!(sig.max_abs_diff(&psig) <= ACC_BOUND, "packed sig vs golden");
+        assert!(tig.max_abs_diff(&ptig) <= ACC_BOUND, "packed tig vs golden");
+        assert!(ws.max_abs_diff(&pws) <= ACC_BOUND, "packed ws vs golden");
+        assert!(wt.max_abs_diff(&pwt) <= ACC_BOUND, "packed wt vs golden");
+        for b in PACKED {
+            assert_eq!(py, b.s_conv(&x, &k, &g).unwrap(), "{b:?} s_conv");
+            assert_eq!(pup, b.t_conv(&z, &k, &g).unwrap(), "{b:?} t_conv");
             assert_eq!(
-                ConvBackend::GoldenDirect
-                    .s_conv_input_grad(&y, &k, &g, 10, 10)
-                    .unwrap(),
+                psig,
                 b.s_conv_input_grad(&y, &k, &g, 10, 10).unwrap(),
                 "{b:?} s_conv_input_grad"
             );
             assert_eq!(
-                ConvBackend::GoldenDirect
-                    .t_conv_input_grad(&up, &k, &g)
-                    .unwrap(),
+                ptig,
                 b.t_conv_input_grad(&up, &k, &g).unwrap(),
                 "{b:?} t_conv_input_grad"
             );
             assert_eq!(
-                ConvBackend::GoldenDirect
-                    .w_conv_for_s_layer(&x, &y, &g)
-                    .unwrap(),
+                pws,
                 b.w_conv_for_s_layer(&x, &y, &g).unwrap(),
                 "{b:?} w_conv_for_s_layer"
             );
             assert_eq!(
-                ConvBackend::GoldenDirect
-                    .w_conv_for_t_layer(&z, &up, &g)
-                    .unwrap(),
+                pwt,
                 b.w_conv_for_t_layer(&z, &up, &g).unwrap(),
                 "{b:?} w_conv_for_t_layer"
             );

@@ -1,56 +1,115 @@
-//! Cache-blocked and multithreaded GEMM kernels for the lowered
-//! convolution fast path.
+//! GEMM kernels for the lowered convolution fast path.
 //!
-//! Both kernels here are **bit-identical** to [`Matrix::matmul`]: blocking
-//! tiles only the `i`/`j` (output) dimensions, while the `k` reduction for
-//! each output element stays sequential in ascending order with the same
-//! `a.is_zero()` operand skip. Every output element therefore sees the
-//! exact same sequence of floating-point operations as the naive triple
-//! loop, so speed never changes results — the invariant the proptest suite
-//! (`tests/fast_conv.rs`) pins down.
+//! Three tiers share one dispatch enum:
 //!
-//! The parallel variant splits the *output rows* into contiguous chunks,
-//! one persistent-pool task per chunk (`zfgan-pool`). Each output element
-//! is still produced by exactly one executor running the same per-element
-//! reduction, so the result is deterministic and identical for every
-//! thread count and every pool schedule.
+//! * [`MatmulKind::Naive`] — the plain triple loop ([`Matrix::matmul`]),
+//!   the golden oracle.
+//! * [`MatmulKind::BlockedScalar`] — the retained cache-blocked scalar
+//!   kernel. **Bit-identical** to the naive loop: blocking tiles only the
+//!   `i`/`j` (output) dimensions while each element's `k` reduction stays
+//!   sequential in ascending order with the same `a.is_zero()` operand
+//!   skip. This is the scalar oracle the packed kernels are measured
+//!   against, and the honest baseline for the microkernel speedup gates.
+//! * [`MatmulKind::Blocked`] / [`MatmulKind::Parallel`] — the **packed
+//!   SIMD microkernel** ([`crate::microkernel`]) for `f32` and [`Fx`]
+//!   operands; other element types (the `f64` validation paths) fall back
+//!   to the scalar blocked kernel and keep its naive bit-identity.
+//!
+//! # Packed-kernel semantics
+//!
+//! The packed f32 kernel defines its *own* fixed accumulation order — per
+//! output element a single fused-multiply-add chain over `k` ascending —
+//! rather than reproducing the naive two-rounding sum. That order is
+//! deterministic and invariant across thread counts, `ZFGAN_NO_SIMD`, and
+//! AVX2-vs-scalar dispatch (the scalar fallback uses the correctly-rounded
+//! [`f32::mul_add`], the same operation as one `vfmadd` lane), and it
+//! matches the naive oracle within the standard accumulation-error bound.
+//! The packed Q8.8 kernel is **bit-identical** to the naive [`Fx`] chain:
+//! saturating multiply and add are reproduced exactly, lane for lane.
+//!
+//! Zero-operand skipping is bit-neutral at *any* granularity under both
+//! packed kernels — `fma(0, b, acc) = acc` exactly for finite operands,
+//! and the Q8.8 term of a zero operand is exactly zero — so the per-panel
+//! structural-zero masks (the paper's zero-free scheduling composed with
+//! SIMD) are pure performance freedom, never a semantics choice.
+//!
+//! The parallel variant packs once on the calling thread, then splits the
+//! *output rows* into contiguous chunks, one persistent-pool task per
+//! chunk (`zfgan-pool`). Panels run along `k` within a row, so any row
+//! partition trivially preserves bits for every thread count and pool
+//! schedule.
 //!
 //! Caveat: the "skipping a zero operand is bit-neutral" argument assumes
 //! finite values. A zero activation times an infinite/NaN weight would
 //! produce NaN where the skipping path produces 0 — GAN training here
 //! never manufactures non-finite weights (WGAN weight clipping bounds
 //! them), and the golden nests skip zeros the same way.
+//!
+//! [`Fx`]: crate::Fx
+
+use std::cell::RefCell;
 
 use crate::error::{ShapeError, TensorResult};
 use crate::fault::{FaultLog, FaultPlan, FaultSite};
 use crate::im2col::Matrix;
+use crate::microkernel::{self, PackScratch};
 use crate::num::Num;
 use crate::workspace::ConvWorkspace;
 
-/// Row-block height: output rows processed per cache tile.
+/// Row-block height of the scalar blocked kernel: output rows processed
+/// per cache tile.
 const ROW_BLOCK: usize = 16;
-/// Column-block width: output columns accumulated in registers per tile.
-/// Sized to cover the widest lowered-GAN output-feature count (128) in a
-/// single tile: every extra tile re-walks the sparse `a` row, and on the
-/// ~50%-zero activations the repeated `is_zero` branches cost more than
-/// the tile buys.
+/// Column-block width of the scalar blocked kernel: output columns
+/// accumulated in registers per tile. Sized to cover the widest
+/// lowered-GAN output-feature count (128) in a single tile: every extra
+/// tile re-walks the sparse `a` row, and on the ~50%-zero activations the
+/// repeated `is_zero` branches cost more than the tile buys.
 const COL_BLOCK: usize = 128;
+
+thread_local! {
+    // Packed-kernel scratch for the allocating (non-workspace) entry
+    // points: steady-state packing reuse without threading a workspace
+    // through every call site. Workspace callers use the workspace's own
+    // scratch instead (`ConvWorkspace::pack_scratch`).
+    static PACK_TLS: RefCell<PackScratch> = RefCell::new(PackScratch::new());
+}
 
 /// How a lowered convolution multiplies its patch and weight matrices.
 ///
-/// All three choices produce bit-identical results (see the module docs);
-/// they differ only in speed.
+/// `Naive` and `BlockedScalar` are bit-identical to each other for every
+/// element type; `Blocked` and `Parallel` run the packed microkernel for
+/// `f32`/`Fx` (bit-identical to *each other* for every thread count and
+/// SIMD level, bit-identical to the scalar pair for `Fx`, and within the
+/// accumulation-error bound of it for `f32`) — see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatmulKind {
     /// The plain triple loop ([`Matrix::matmul`]).
     Naive,
-    /// Cache-blocked, register-tiled single-threaded kernel.
+    /// Cache-blocked, register-tiled single-threaded scalar kernel,
+    /// bit-identical to [`MatmulKind::Naive`] — the retained scalar
+    /// oracle.
+    BlockedScalar,
+    /// The packed SIMD microkernel, single-threaded (scalar blocked
+    /// fallback for element types without a packed kernel).
     Blocked,
-    /// Blocked kernel over row chunks on this many scoped threads.
+    /// The packed SIMD microkernel over row chunks on this many pooled
+    /// threads.
     Parallel(usize),
 }
 
 impl MatmulKind {
+    /// Whether this kind belongs to the reference family (`Naive`,
+    /// `BlockedScalar`). The lowering drivers route reference kinds
+    /// through the specification fill/reshape loops instead of the
+    /// cache-tuned ones, so a reference-backend run keeps the cost model
+    /// of the pre-microkernel engine end to end — the baseline the
+    /// packed engine's train-step gate measures from. Both fill families
+    /// produce bit-identical matrices (pinned by tests); only their
+    /// memory-access patterns differ.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, MatmulKind::Naive | MatmulKind::BlockedScalar)
+    }
+
     /// Runs the selected kernel on `a × b`.
     ///
     /// # Errors
@@ -62,14 +121,16 @@ impl MatmulKind {
                 zfgan_telemetry::count("gemm_calls", &[("backend", "naive")], 1);
                 a.matmul(b)
             }
+            MatmulKind::BlockedScalar => matmul_blocked_scalar(a, b),
             MatmulKind::Blocked => matmul_blocked(a, b),
             MatmulKind::Parallel(n) => matmul_parallel(a, b, n),
         }
     }
 
     /// Runs the selected kernel on `a × b` with the product drawn from the
-    /// workspace instead of allocated. Bit-identical to [`MatmulKind::run`]
-    /// for every variant; return the product via
+    /// workspace instead of allocated — and, for the packed kernels, the
+    /// packing scratch reused from the workspace too. Bit-identical to
+    /// [`MatmulKind::run`] for every variant; return the product via
     /// [`ConvWorkspace::give_matrix`] when done.
     ///
     /// # Errors
@@ -88,8 +149,11 @@ impl MatmulKind {
                 zfgan_telemetry::count("gemm_calls", &[("backend", "naive")], 1);
                 a.matmul_into(b, &mut out)
             }
-            MatmulKind::Blocked => matmul_blocked_into(a, b, &mut out),
-            MatmulKind::Parallel(n) => matmul_parallel_into(a, b, n, &mut out),
+            MatmulKind::BlockedScalar => matmul_blocked_scalar_into(a, b, &mut out),
+            MatmulKind::Blocked => matmul_blocked_into_scratch(a, b, &mut out, ws.pack_scratch()),
+            MatmulKind::Parallel(n) => {
+                matmul_parallel_into_scratch(a, b, n, &mut out, ws.pack_scratch())
+            }
         };
         match result {
             Ok(()) => Ok(out),
@@ -102,8 +166,10 @@ impl MatmulKind {
 }
 
 /// Publish one kernel invocation's deterministic telemetry: call/tile
-/// counts plus the operand-word traffic and how much of it the
-/// `a.is_zero()` skip elided (the zero-skip ratio numerator).
+/// counts plus the operand-word traffic and how much of it zero skipping
+/// elided. For the packed kernels both counts are pure functions of the
+/// `a` operand and the shape (panel-mask words), so they are identical
+/// for every thread count and SIMD level.
 fn record_gemm(backend: &'static str, m: usize, n: usize, skipped: u64, visited: u64) {
     if !zfgan_telemetry::enabled() {
         return;
@@ -116,11 +182,12 @@ fn record_gemm(backend: &'static str, m: usize, n: usize, skipped: u64, visited:
     zfgan_telemetry::count("gemm_zero_skipped_words", labels, skipped);
 }
 
-/// The blocked kernel over a row range of the output.
+/// The scalar blocked kernel over a row range of the output.
 ///
 /// `a` holds `m_local` rows of length `kk`; `out` holds the matching
 /// `m_local × n` output rows. Per element the reduction is `k`-ascending
-/// with the naive path's `a.is_zero()` skip — see the module docs.
+/// with the naive path's `a.is_zero()` skip — bit-identical to
+/// [`Matrix::matmul`].
 ///
 /// Returns `(skipped, visited)` operand-word counts: how many `a` words the
 /// zero skip elided versus how many were walked in total, feeding the
@@ -184,8 +251,42 @@ fn check_matmul_shapes<T: Num>(a: &Matrix<T>, b: &Matrix<T>, out: &Matrix<T>) ->
     Ok(())
 }
 
-/// Cache-blocked, register-tiled GEMM: `a × b`, bit-identical to
-/// [`Matrix::matmul`].
+/// The retained cache-blocked scalar GEMM: `a × b`, bit-identical to
+/// [`Matrix::matmul`]. The scalar oracle the packed microkernel is gated
+/// against.
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree.
+pub fn matmul_blocked_scalar<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matrix<T>> {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_blocked_scalar_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_blocked_scalar`] into a caller-provided output matrix (every
+/// element is overwritten; no pre-zeroing required).
+///
+/// # Errors
+///
+/// Returns an error if the inner dimensions disagree or `out` has the wrong
+/// shape.
+pub fn matmul_blocked_scalar_into<T: Num>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    out: &mut Matrix<T>,
+) -> TensorResult<()> {
+    check_matmul_shapes(a, b, out)?;
+    let (kk, n) = (a.cols(), b.cols());
+    let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
+    record_gemm("blocked_scalar", a.rows(), n, skipped, visited);
+    Ok(())
+}
+
+/// Packed SIMD microkernel GEMM: `a × b` through [`crate::microkernel`]
+/// for `f32`/[`Fx`](crate::Fx) operands (scalar blocked fallback for
+/// other element types). Deterministic for every SIMD level; see the
+/// module docs for how it relates to the naive oracle.
 ///
 /// # Errors
 ///
@@ -197,8 +298,8 @@ pub fn matmul_blocked<T: Num>(a: &Matrix<T>, b: &Matrix<T>) -> TensorResult<Matr
 }
 
 /// [`matmul_blocked`] into a caller-provided output matrix (every element
-/// is overwritten; no pre-zeroing required). The allocation-free form the
-/// workspace conv path uses.
+/// is overwritten; no pre-zeroing required), packing into thread-local
+/// scratch. The workspace conv path uses the `_scratch` variant instead.
 ///
 /// # Errors
 ///
@@ -209,16 +310,36 @@ pub fn matmul_blocked_into<T: Num>(
     b: &Matrix<T>,
     out: &mut Matrix<T>,
 ) -> TensorResult<()> {
+    PACK_TLS.with(|s| matmul_blocked_into_scratch(a, b, out, &mut s.borrow_mut()))
+}
+
+/// [`matmul_blocked_into`] with caller-owned packing scratch (the
+/// workspace hot path: zero allocations once the scratch is warm).
+pub(crate) fn matmul_blocked_into_scratch<T: Num>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    out: &mut Matrix<T>,
+    scratch: &mut PackScratch,
+) -> TensorResult<()> {
     check_matmul_shapes(a, b, out)?;
-    let (kk, n) = (a.cols(), b.cols());
-    let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
-    record_gemm("blocked", a.rows(), n, skipped, visited);
+    let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+    let (skipped, visited) = match microkernel::packed_kind::<T>() {
+        Some(kind) => {
+            let counts =
+                microkernel::pack_operands(a.as_slice(), b.as_slice(), m, kk, n, kind, scratch);
+            microkernel::packed_rows(a.as_slice(), scratch, out.as_mut_slice(), 0, kk, n, kind);
+            counts
+        }
+        None => gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n),
+    };
+    record_gemm("blocked", m, n, skipped, visited);
     Ok(())
 }
 
-/// Multithreaded blocked GEMM: contiguous row chunks of the output, one
-/// pool task each (on the persistent `zfgan-pool` workers), bit-identical
-/// to [`Matrix::matmul`] for every thread count.
+/// Multithreaded packed GEMM: operands packed once on the calling thread,
+/// then contiguous row chunks of the output, one pool task each (on the
+/// persistent `zfgan-pool` workers). Bit-identical to [`matmul_blocked`]
+/// for every thread count.
 ///
 /// `n_threads` is clamped to `[1, a.rows()]`; with one thread this is
 /// exactly [`matmul_blocked`].
@@ -237,12 +358,13 @@ pub fn matmul_parallel<T: Num>(
 }
 
 /// [`matmul_parallel`] into a caller-provided output matrix (every element
-/// is overwritten; no pre-zeroing required).
+/// is overwritten; no pre-zeroing required), packing into thread-local
+/// scratch.
 ///
 /// The row chunking is a pure function of `(rows, n_threads)` — identical
-/// to the pre-pool scoped-thread split — and each chunk's per-element
-/// reduction is the sequential reference's, so results stay bit-identical
-/// regardless of which pool worker runs which chunk.
+/// to the pre-pool scoped-thread split — and the packed kernel's panels
+/// run along `k` *within* a row, so results stay bit-identical regardless
+/// of which pool worker runs which chunk.
 ///
 /// # Errors
 ///
@@ -254,6 +376,18 @@ pub fn matmul_parallel_into<T: Num>(
     n_threads: usize,
     out: &mut Matrix<T>,
 ) -> TensorResult<()> {
+    PACK_TLS.with(|s| matmul_parallel_into_scratch(a, b, n_threads, out, &mut s.borrow_mut()))
+}
+
+/// [`matmul_parallel_into`] with caller-owned packing scratch (the
+/// workspace hot path).
+pub(crate) fn matmul_parallel_into_scratch<T: Num>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    n_threads: usize,
+    out: &mut Matrix<T>,
+    scratch: &mut PackScratch,
+) -> TensorResult<()> {
     check_matmul_shapes(a, b, out)?;
     let (m, kk, n) = (a.rows(), a.cols(), b.cols());
     // Splitting wider than the pool only adds dispatch overhead (the
@@ -262,28 +396,56 @@ pub fn matmul_parallel_into<T: Num>(
     // synchronisation. Results are bit-identical for every width.
     let threads = n_threads.clamp(1, m).min(zfgan_pool::pool_threads());
     if threads == 1 {
-        return matmul_blocked_into(a, b, out);
+        return matmul_blocked_into_scratch(a, b, out, scratch);
     }
     let rows_per = m.div_ceil(threads);
     let (a_flat, b_flat) = (a.as_slice(), b.as_slice());
-    // Per-chunk (skipped, visited) counts come back in chunk order; the
-    // calling thread aggregates and records them (pool workers don't see
-    // the caller's thread-local telemetry scope).
-    let counts = zfgan_pool::parallel_chunks_mut(
-        out.as_mut_slice(),
-        rows_per * n,
-        |chunk_idx, out_chunk| {
-            let row0 = chunk_idx * rows_per;
-            let rows_here = out_chunk.len() / n;
-            let a_chunk = &a_flat[row0 * kk..(row0 + rows_here) * kk];
-            gemm_rows(a_chunk, b_flat, out_chunk, kk, n)
-        },
-    )
-    .expect("matmul worker panicked");
-    let (skipped, visited) = counts
-        .iter()
-        .fold((0, 0), |(s, v), (cs, cv)| (s + cs, v + cv));
-    record_gemm("parallel", m, n, skipped, visited);
+    match microkernel::packed_kind::<T>() {
+        Some(kind) => {
+            // Pack B and the A panel masks once; the workers only read.
+            let (skipped, visited) =
+                microkernel::pack_operands(a_flat, b_flat, m, kk, n, kind, scratch);
+            let shared: &PackScratch = scratch;
+            zfgan_pool::parallel_chunks_mut(
+                out.as_mut_slice(),
+                rows_per * n,
+                |chunk_idx, out_chunk| {
+                    microkernel::packed_rows(
+                        a_flat,
+                        shared,
+                        out_chunk,
+                        chunk_idx * rows_per,
+                        kk,
+                        n,
+                        kind,
+                    );
+                },
+            )
+            .expect("matmul worker panicked");
+            record_gemm("parallel", m, n, skipped, visited);
+        }
+        None => {
+            // Per-chunk (skipped, visited) counts come back in chunk
+            // order; the calling thread aggregates and records them (pool
+            // workers don't see the caller's thread-local telemetry
+            // scope).
+            let counts = zfgan_pool::parallel_chunks_mut(
+                out.as_mut_slice(),
+                rows_per * n,
+                |chunk_idx, out_chunk| {
+                    let row0 = chunk_idx * rows_per;
+                    let rows_here = out_chunk.len() / n;
+                    let a_chunk = &a_flat[row0 * kk..(row0 + rows_here) * kk];
+                    gemm_rows(a_chunk, b_flat, out_chunk, kk, n)
+                },
+            )
+            .expect("matmul worker panicked");
+            let (skipped, visited) = counts
+                .iter()
+                .fold((0, 0), |(s, v), (cs, cv)| (s + cs, v + cv));
+            record_gemm("parallel", m, n, skipped, visited);
+        }
+    }
     Ok(())
 }
 
@@ -293,8 +455,9 @@ pub fn matmul_parallel_into<T: Num>(
 ///
 /// Output element `(i, j)` is word `base + i·n + j` of the
 /// [`FaultSite::GemmAccumulator`] index space, so injection is positional:
-/// the same plan corrupts the same elements for every [`MatmulKind`] and
-/// thread count, keeping campaigns bit-reproducible.
+/// the same plan fires on the same elements for every [`MatmulKind`] and
+/// thread count, keeping campaigns bit-reproducible within a kernel
+/// family.
 ///
 /// # Errors
 ///
@@ -316,6 +479,7 @@ pub fn matmul_with_faults(
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
+    use crate::fixed::Fx;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -332,27 +496,94 @@ mod tests {
         Matrix::from_vec(rows, cols, data)
     }
 
+    /// Standard accumulation-error bound between the fused `k`-chain and
+    /// the naive two-rounding chain: `2·γ_kk·Σ|a·b| ≤ 2·kk²·ε` for the
+    /// unit-magnitude test operands.
+    fn assert_within_accumulation_bound(naive: &Matrix<f32>, packed: &Matrix<f32>, kk: usize) {
+        let bound = (2.0 * (kk as f32) * (kk as f32) * f32::EPSILON).max(1e-6);
+        for (i, (x, y)) in naive.as_slice().iter().zip(packed.as_slice()).enumerate() {
+            assert!(
+                (x - y).abs() <= bound,
+                "element {i}: naive {x} vs packed {y} exceeds bound {bound}"
+            );
+        }
+    }
+
     #[test]
-    fn blocked_is_bit_identical_to_naive() {
+    fn blocked_scalar_is_bit_identical_to_naive() {
         let mut rng = SmallRng::seed_from_u64(10);
         for (m, k, n) in [(1, 1, 1), (3, 7, 5), (17, 33, 65), (40, 100, 130)] {
             let a = random_matrix(m, k, 0.4, &mut rng);
             let b = random_matrix(k, n, 0.1, &mut rng);
             let naive = a.matmul(&b).unwrap();
-            let blocked = matmul_blocked(&a, &b).unwrap();
+            let blocked = matmul_blocked_scalar(&a, &b).unwrap();
             assert_eq!(naive, blocked, "{m}×{k}×{n}");
         }
     }
 
     #[test]
-    fn parallel_is_bit_identical_for_every_thread_count() {
+    fn packed_f32_matches_naive_within_the_accumulation_bound() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (17, 33, 65), (40, 100, 130)] {
+            let a = random_matrix(m, k, 0.4, &mut rng);
+            let b = random_matrix(k, n, 0.1, &mut rng);
+            let naive = a.matmul(&b).unwrap();
+            let packed = matmul_blocked(&a, &b).unwrap();
+            assert_within_accumulation_bound(&naive, &packed, k);
+        }
+    }
+
+    #[test]
+    fn packed_fx_is_bit_identical_to_naive_fx() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        for (m, k, n) in [(1, 1, 1), (5, 9, 7), (19, 40, 33)] {
+            let draw = |rows: usize, cols: usize, rng: &mut SmallRng| {
+                let data = (0..rows * cols)
+                    .map(|_| {
+                        if rng.gen_range(0.0..1.0) < 0.4 {
+                            Fx::ZERO
+                        } else {
+                            Fx::from_f32(rng.gen_range(-4.0f32..4.0))
+                        }
+                    })
+                    .collect();
+                Matrix::from_vec(rows, cols, data)
+            };
+            let a = draw(m, k, &mut rng);
+            let b = draw(k, n, &mut rng);
+            let naive = a.matmul(&b).unwrap();
+            assert_eq!(naive, matmul_blocked(&a, &b).unwrap(), "{m}×{k}×{n}");
+            assert_eq!(naive, matmul_blocked_scalar(&a, &b).unwrap(), "{m}×{k}×{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_blocked_for_every_thread_count() {
         let mut rng = SmallRng::seed_from_u64(11);
         let a = random_matrix(37, 50, 0.5, &mut rng);
         let b = random_matrix(50, 23, 0.0, &mut rng);
-        let reference = a.matmul(&b).unwrap();
+        let reference = matmul_blocked(&a, &b).unwrap();
         for threads in [1, 2, 3, 5, 8, 64] {
             let par = matmul_parallel(&a, &b, threads).unwrap();
             assert_eq!(reference, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn f64_keeps_the_naive_bit_identity_on_every_kind() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let data = |len: usize, rng: &mut SmallRng| -> Vec<f64> {
+            (0..len).map(|_| rng.gen_range(-1.0f64..1.0)).collect()
+        };
+        let a = Matrix::from_vec(13, 21, data(13 * 21, &mut rng));
+        let b = Matrix::from_vec(21, 9, data(21 * 9, &mut rng));
+        let naive = a.matmul(&b).unwrap();
+        for kind in [
+            MatmulKind::BlockedScalar,
+            MatmulKind::Blocked,
+            MatmulKind::Parallel(4),
+        ] {
+            assert_eq!(naive, kind.run(&a, &b).unwrap(), "{kind:?}");
         }
     }
 
@@ -361,7 +592,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(12);
         let a = random_matrix(4, 6, 0.0, &mut rng);
         let b = random_matrix(6, 3, 0.0, &mut rng);
-        assert_eq!(a.matmul(&b).unwrap(), matmul_parallel(&a, &b, 0).unwrap());
+        assert_eq!(
+            matmul_blocked(&a, &b).unwrap(),
+            matmul_parallel(&a, &b, 0).unwrap()
+        );
     }
 
     #[test]
@@ -369,6 +603,7 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(2, 3);
         let b: Matrix<f32> = Matrix::zeros(2, 3);
         assert!(matmul_blocked(&a, &b).is_err());
+        assert!(matmul_blocked_scalar(&a, &b).is_err());
         assert!(matmul_parallel(&a, &b, 4).is_err());
     }
 
@@ -386,21 +621,30 @@ mod tests {
         .unwrap();
         let mut reference_log = FaultLog::default();
         let reference =
-            matmul_with_faults(MatmulKind::Naive, &a, &b, &plan, 100, &mut reference_log).unwrap();
+            matmul_with_faults(MatmulKind::Blocked, &a, &b, &plan, 100, &mut reference_log)
+                .unwrap();
         assert!(reference_log.fired > 0, "plan should fire in 399 elements");
-        for kind in [MatmulKind::Blocked, MatmulKind::Parallel(4)] {
+        // Within the packed family the faulted outputs are bit-identical;
+        // across families the fault *sites* (positions) still agree.
+        for (kind, bitwise) in [
+            (MatmulKind::Parallel(4), true),
+            (MatmulKind::Naive, false),
+            (MatmulKind::BlockedScalar, false),
+        ] {
             let mut log = FaultLog::default();
             let c = matmul_with_faults(kind, &a, &b, &plan, 100, &mut log).unwrap();
-            // Bitwise comparison: injected faults can produce NaN, which
-            // PartialEq would treat as unequal to itself.
-            assert!(
-                reference
-                    .as_slice()
-                    .iter()
-                    .zip(c.as_slice())
-                    .all(|(x, y)| x.to_bits() == y.to_bits()),
-                "{kind:?}"
-            );
+            if bitwise {
+                // Bitwise comparison: injected faults can produce NaN,
+                // which PartialEq would treat as unequal to itself.
+                assert!(
+                    reference
+                        .as_slice()
+                        .iter()
+                        .zip(c.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{kind:?}"
+                );
+            }
             assert_eq!(log.attempts, reference_log.attempts, "{kind:?}");
             assert_eq!(log.fired, reference_log.fired, "{kind:?}");
             assert_eq!(
@@ -415,8 +659,8 @@ mod tests {
         }
         // A different base shifts the fault pattern: same plan, new words.
         let mut other_log = FaultLog::default();
-        let other =
-            matmul_with_faults(MatmulKind::Naive, &a, &b, &plan, 100_000, &mut other_log).unwrap();
+        let other = matmul_with_faults(MatmulKind::Blocked, &a, &b, &plan, 100_000, &mut other_log)
+            .unwrap();
         assert_ne!(
             reference_log
                 .records
@@ -431,5 +675,22 @@ mod tests {
             "base offset must move the fault sites"
         );
         let _ = other;
+    }
+
+    #[test]
+    fn workspace_scratch_matches_thread_local_scratch() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let a = random_matrix(12, 40, 0.5, &mut rng);
+        let b = random_matrix(40, 17, 0.0, &mut rng);
+        let mut ws: ConvWorkspace<f32> = ConvWorkspace::new();
+        for kind in [MatmulKind::Blocked, MatmulKind::Parallel(3)] {
+            let plain = kind.run(&a, &b).unwrap();
+            // Twice: the second call runs on warm (dirty) scratch.
+            for round in 0..2 {
+                let ws_out = kind.run_ws(&a, &b, &mut ws).unwrap();
+                assert_eq!(plain, ws_out, "{kind:?} round {round}");
+                ws.give_matrix(ws_out);
+            }
+        }
     }
 }

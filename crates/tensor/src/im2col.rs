@@ -113,6 +113,28 @@ impl<T: Num> Matrix<T> {
         &mut self.data
     }
 
+    /// Borrow row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Fraction of elements that are exactly zero.
     pub fn zero_fraction(&self) -> f64 {
         self.data.iter().filter(|v| v.is_zero()).count() as f64 / self.data.len() as f64
@@ -289,6 +311,33 @@ pub fn im2col_t_with_output_size<T: Num>(
 /// The `S-CONV` weight-matrix fill, shared by the allocating and workspace
 /// reshapes. Writes every cell of `m`.
 pub(crate) fn fill_weights_as_matrix_s<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
+    // Row-major traversal: contiguous writes per output row; for a fixed
+    // `if_` the strided reads revisit the same few cache lines of every
+    // `of` block across the `(ky, kx)` sweep, so the kernel tensor
+    // streams through cache once instead of once per output column.
+    let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
+    let kdata = k.as_slice();
+    let mut row = 0;
+    for if_ in 0..n_if {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let off = (if_ * kh + ky) * kw + kx;
+                let dst = m.row_mut(row);
+                for (of, d) in dst.iter_mut().enumerate() {
+                    *d = kdata[of * n_if * kh * kw + off];
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Specification form of [`fill_weights_as_matrix_s`]: column-major
+/// traversal through the kernel accessor, as the reshape is defined. The
+/// reference engines run this loop (see
+/// [`crate::gemm::MatmulKind::is_reference`]); tests pin it bit-identical
+/// to the row-major fill.
+pub(crate) fn fill_weights_as_matrix_s_ref<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
     for of in 0..k.n_of() {
         let mut row = 0;
         for if_ in 0..k.n_if() {
@@ -299,6 +348,19 @@ pub(crate) fn fill_weights_as_matrix_s<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>
                 }
             }
         }
+    }
+}
+
+/// Picks the specification or cache-tuned weight fill by GEMM family.
+pub(crate) fn fill_weights_as_matrix_s_for<T: Num>(
+    m: &mut Matrix<T>,
+    k: &Kernels<T>,
+    mm: crate::gemm::MatmulKind,
+) {
+    if mm.is_reference() {
+        fill_weights_as_matrix_s_ref(m, k);
+    } else {
+        fill_weights_as_matrix_s(m, k);
     }
 }
 
@@ -320,16 +382,23 @@ pub fn weights_as_matrix_s_ws<T: Num>(k: &Kernels<T>, ws: &mut ConvWorkspace<T>)
 /// Reshapes a (down-layout) weight tensor for the `T-CONV` GEMM: the
 /// flipped kernels, indexed by the transposed channel roles.
 pub fn weights_as_matrix_t<T: Num>(k: &Kernels<T>) -> Matrix<T> {
-    let (kh, kw) = (k.kh(), k.kw());
-    let mut m = Matrix::zeros(k.n_of() * kh * kw, k.n_if());
-    for lf in 0..k.n_if() {
-        let mut row = 0;
-        for sf in 0..k.n_of() {
-            for ky in 0..kh {
-                for kx in 0..kw {
-                    *m.at_mut(row, lf) = *k.at(sf, lf, kh - 1 - ky, kw - 1 - kx);
-                    row += 1;
+    // Row-major traversal for the same cache-behaviour reason as
+    // [`fill_weights_as_matrix_s`]: contiguous writes, reads confined to
+    // one `sf` block per row group.
+    let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
+    let mut m = Matrix::zeros(k.n_of() * kh * kw, n_if);
+    let kdata = k.as_slice();
+    let mut row = 0;
+    for sf in 0..k.n_of() {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let tap = (kh - 1 - ky) * kw + (kw - 1 - kx);
+                let base = sf * n_if * kh * kw + tap;
+                let dst = m.row_mut(row);
+                for (lf, d) in dst.iter_mut().enumerate() {
+                    *d = kdata[base + lf * kh * kw];
                 }
+                row += 1;
             }
         }
     }
@@ -384,7 +453,8 @@ pub fn s_conv_via_gemm_ws<T: Num>(
         return Err(ShapeError::new("kernel/input channel mismatch"));
     }
     let lowered = im2col_s_ws(input, geom, ws);
-    let wmat = weights_as_matrix_s_ws(k, ws);
+    let mut wmat = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s_for(&mut wmat, k, mm);
     let product = mm.run_ws(&lowered.patches, &wmat, ws)?;
     ws.give_matrix(lowered.patches);
     ws.give_matrix(wmat);
@@ -457,6 +527,21 @@ mod tests {
         let a: Matrix<f64> = Matrix::zeros(2, 3);
         let b: Matrix<f64> = Matrix::zeros(2, 3);
         assert!(a.matmul(&b).is_err());
+    }
+
+    /// The specification fill and the cache-tuned fill are the same
+    /// reshape in different traversal orders — bit-identical results.
+    #[test]
+    fn weight_fill_families_are_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for (n_of, n_if, kh, kw) in [(5, 3, 4, 4), (1, 7, 5, 5), (8, 1, 7, 7), (2, 2, 1, 1)] {
+            let k: Kernels<f32> = Kernels::random(n_of, n_if, kh, kw, 1.0, &mut rng);
+            let mut tuned = Matrix::zeros(n_if * kh * kw, n_of);
+            fill_weights_as_matrix_s(&mut tuned, &k);
+            let mut reference = Matrix::zeros(n_if * kh * kw, n_of);
+            fill_weights_as_matrix_s_ref(&mut reference, &k);
+            assert_eq!(tuned, reference, "{n_of}x{n_if}x{kh}x{kw}");
+        }
     }
 
     #[test]

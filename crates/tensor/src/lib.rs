@@ -56,6 +56,7 @@ mod fmaps;
 pub mod gemm;
 pub mod im2col;
 mod kernels;
+pub mod microkernel;
 mod num;
 mod shape;
 mod workspace;
@@ -68,7 +69,7 @@ pub use conv::{
     w_conv_for_s_layer, w_conv_for_t_layer,
 };
 pub use error::{ShapeError, TensorResult};
-pub use fixed::Fx;
+pub use fixed::{Fx, FRAC_BITS};
 pub use fmaps::Fmaps;
 pub use kernels::Kernels;
 pub use num::Num;

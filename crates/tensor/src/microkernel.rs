@@ -1,0 +1,1067 @@
+//! Packed SIMD microkernel GEMM — the software analogue of the paper's
+//! dense 16-bit MAC datapath.
+//!
+//! The scalar blocked kernel ([`crate::gemm`]'s `BlockedScalar`) walks the
+//! sparse `A` operand element by element with a branch per word. That shape
+//! is exactly what defeats wide SIMD lanes, so this module restructures the
+//! multiply the way a BLIS-style microkernel (and the paper's PE array)
+//! does:
+//!
+//! * **`B` is packed** into contiguous column panels of [`NR_F32`] /
+//!   [`NR_FX`] lanes (zero-padded tails), so the inner loop issues nothing
+//!   but sequential full-width loads.
+//! * **`A` is scanned once** into per-row *k-panel structural-zero masks*
+//!   ([`KP`] words per panel, one bit per panel): the zero-free lowerings
+//!   produce patch matrices whose residual (boundary) zeros cluster, and a
+//!   masked panel is skipped without any per-element branch in the vector
+//!   loop — the paper's zero-free scheduling composed with SIMD instead of
+//!   defeated by it.
+//! * The **inner kernel** is explicit `std::arch` AVX2/FMA (f32: an
+//!   [`MR_F32`]`×`[`NR_F32`] register tile — 6 rows of `A` share every
+//!   8-lane `B` load, feeding 12 independent fused multiply–add chains;
+//!   Q8.8: 16-lane `i16` multiply with exact widened-`i32` rounding and
+//!   saturating accumulate) with a portable scalar fallback. The
+//!   implementation is
+//!   chosen **once** per process through a [`OnceLock`] kernel table:
+//!   `ZFGAN_NO_SIMD=1` forces the fallback, otherwise
+//!   `is_x86_feature_detected!` picks AVX2+FMA when the host has both.
+//!
+//! # Determinism
+//!
+//! The packed f32 kernel defines its **own fixed accumulation order**: per
+//! output element a single fused-multiply-add chain over `k` ascending.
+//! The scalar fallback uses [`f32::mul_add`] — IEEE-754 correctly-rounded,
+//! the same operation as one AVX2 `vfmadd` lane — so SIMD and no-SIMD
+//! produce **bit-identical** results by construction, and any zero term
+//! may be skipped at any granularity without changing bits
+//! (`fma(0, b, acc) = acc` exactly for finite `b`). Row partitioning for
+//! the pooled kernel therefore cannot change results either: panels run
+//! along `k`, never across rows. The retained scalar oracle
+//! (`MatmulKind::Naive` / `BlockedScalar`) differs only by the usual
+//! fused-vs-separate rounding, bounded by the standard accumulation error
+//! bound (pinned by `tests/fast_conv.rs`).
+//!
+//! The Q8.8 kernel is **bit-identical** to scalar [`Fx`] semantics, not
+//! merely close: each term is widened to `i32`, rounded to nearest (ties
+//! toward +∞) and saturated exactly as [`Fx`]'s `Mul`, then accumulated
+//! with [`Fx`]'s saturating `Add`, in `k`-ascending order
+//! (`crates/tensor/tests/fx_semantics.rs` pins the contract).
+//!
+//! [`Fx`]: crate::Fx
+
+use std::sync::OnceLock;
+
+use crate::fixed::{Fx, FRAC_BITS};
+use crate::num::Num;
+
+/// `k`-panel width: the granularity of the structural-zero masks. One mask
+/// bit covers [`KP`] consecutive `A` words of one row.
+pub const KP: usize = 8;
+
+/// f32 column-panel width: 8 AVX2 lanes × 2 accumulator vectors per row
+/// of the register tile.
+pub const NR_F32: usize = 16;
+
+/// f32 register-tile height: [`MR_F32`] rows of `A` share every packed-`B`
+/// load, giving `MR_F32 × 2` = 12 independent FMA chains (comfortably
+/// past the ~8–10 needed to hide fused-add latency on two FMA ports) from
+/// just 2 loads + 6 broadcasts per `k`-step. With the 2 `B` vectors and
+/// the broadcast register that is 15 of the 16 ymm registers.
+pub const MR_F32: usize = 6;
+
+/// Q8.8 column-panel width: 16 `i16` lanes × 2 saturating accumulator
+/// vectors (the widened-`i32` rounding runs in registers between them).
+pub const NR_FX: usize = 32;
+
+/// `k`-chunk depth (a multiple of [`KP`]): the row-tile loop runs inside
+/// each `KC × NR` block of packed `B`, so the block stays cache-resident
+/// and is streamed from memory once per GEMM instead of once per row tile
+/// (f32: `512 × 16 × 4 B` = 32 KB, innermost-cache-resident). Chunking is
+/// bit-neutral: the per-element accumulator is stored to `out` between
+/// chunks and reloaded exactly (an f32 register↔memory round trip is
+/// exact, and the Q8.8 accumulator is saturated back into `i16` range
+/// after every step), so the operation chain per element is identical to a
+/// single pass.
+pub const KC: usize = 512;
+
+const _: () = assert!(
+    KC.is_multiple_of(KP),
+    "chunks must start on a mask-panel boundary"
+);
+
+/// Which inner kernel the process selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Explicit AVX2 + FMA `std::arch` kernels.
+    Avx2Fma,
+    /// Portable scalar fallback (`f32::mul_add` / scalar `i32` lanes) —
+    /// bit-identical to the SIMD kernels by construction.
+    Scalar,
+}
+
+/// Inner-kernel signatures. f32 runs an [`MR_F32`]-row register tile
+/// (see [`F32Tile`]); Q8.8 runs one row's `k`-chunk at a time:
+/// `(a_chunk, masks_row, panel0, packed_chunk, out, w, accumulate)`,
+/// continuing the accumulation already in `out` when `accumulate` is set.
+/// The pointers are `unsafe fn` because the AVX2 entries require the
+/// features the table verified at selection time; the scalar entries
+/// coerce in safely.
+type F32TileFn = unsafe fn(&F32Tile, &mut [f32]);
+type FxPanelFn = unsafe fn(&[i16], &[u64], usize, &[i16], &mut [i16], usize, bool);
+
+/// The kernel table: the selected level and its bench label, fixed once
+/// per process, then only read. [`f32_tile_for`] / [`fx_panel_for`] map
+/// the level onto the inner-kernel pointers.
+#[derive(Debug)]
+struct KernelTable {
+    level: SimdLevel,
+    label: &'static str,
+}
+
+static KERNELS: OnceLock<KernelTable> = OnceLock::new();
+
+fn kernel_table() -> &'static KernelTable {
+    KERNELS.get_or_init(|| {
+        let forced_off = std::env::var("ZFGAN_NO_SIMD")
+            .map(|v| !v.trim().is_empty() && v.trim() != "0")
+            .unwrap_or(false);
+        let level = if forced_off {
+            SimdLevel::Scalar
+        } else {
+            detect_level()
+        };
+        let label = match level {
+            SimdLevel::Avx2Fma => "avx2",
+            SimdLevel::Scalar => "scalar",
+        };
+        KernelTable { level, label }
+    })
+}
+
+/// Resolves the f32 tile kernel for a level. The process-selected level
+/// always resolves to a kernel whose feature requirements were verified
+/// by [`kernel_table`].
+fn f32_tile_for(level: SimdLevel) -> F32TileFn {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => f32_tile_avx2,
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => f32_tile_scalar,
+        SimdLevel::Scalar => f32_tile_scalar,
+    }
+}
+
+/// Resolves the Q8.8 row-panel kernel for a level (see [`f32_tile_for`]).
+fn fx_panel_for(level: SimdLevel) -> FxPanelFn {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => fx_row_panel_avx2,
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => fx_row_panel_scalar,
+        SimdLevel::Scalar => fx_row_panel_scalar,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_level() -> SimdLevel {
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        SimdLevel::Avx2Fma
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_level() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// The inner-kernel implementation this process selected (respecting
+/// `ZFGAN_NO_SIMD=1` and runtime feature detection), fixed for the
+/// process lifetime.
+pub fn simd_level() -> SimdLevel {
+    kernel_table().level
+}
+
+/// `"avx2"` or `"scalar"` — the feature tag the bench JSON records carry.
+pub fn simd_label() -> &'static str {
+    kernel_table().label
+}
+
+/// Element types the packed microkernel accelerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedKind {
+    /// 32-bit float: AVX2/FMA f32x8 panels.
+    F32,
+    /// Q8.8 fixed point: widened-i32 8-lane panels.
+    Fx,
+}
+
+/// Whether `T` has a packed kernel (`f32` and [`crate::Fx`] do; `f64` and
+/// other [`Num`] types keep the scalar blocked path).
+pub fn packed_kind<T: 'static>() -> Option<PackedKind> {
+    use std::any::TypeId;
+    let t = TypeId::of::<T>();
+    if t == TypeId::of::<f32>() {
+        Some(PackedKind::F32)
+    } else if t == TypeId::of::<Fx>() {
+        Some(PackedKind::Fx)
+    } else {
+        None
+    }
+}
+
+/// Reusable packing scratch: the packed `B` panels and the per-row `A`
+/// panel masks. Owned by a [`crate::ConvWorkspace`] on the workspace hot
+/// path (steady-state zero allocation) and by a thread-local for the
+/// allocating entry points.
+#[derive(Debug, Default)]
+pub struct PackScratch {
+    /// Packed f32 `B` panels, `[panel][k][lane]`, tails zero-padded.
+    bf32: Vec<f32>,
+    /// Packed Q8.8 raw-`i16` `B` panels, same layout.
+    bi16: Vec<i16>,
+    /// Per-row panel masks, `words_per_row` `u64`s per row; a set bit
+    /// marks an all-zero `A` panel.
+    masks: Vec<u64>,
+}
+
+impl PackScratch {
+    /// Creates empty scratch (buffers grow on first use and are reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Panel-mask geometry for a `m × kk` operand.
+#[inline]
+fn mask_geometry(kk: usize) -> (usize, usize) {
+    let n_panels = kk.div_ceil(KP);
+    (n_panels, n_panels.div_ceil(64))
+}
+
+/// Scans `A` into per-row panel masks. Returns the number of operand
+/// words the masked panels elide — a pure function of `A` and its shape,
+/// so the derived telemetry is identical for every thread count and SIMD
+/// level.
+fn build_masks<T: Num>(a: &[T], m: usize, kk: usize, masks: &mut Vec<u64>) -> u64 {
+    let (n_panels, words_per_row) = mask_geometry(kk);
+    masks.clear();
+    masks.resize(m * words_per_row, 0);
+    let mut skipped = 0u64;
+    for i in 0..m {
+        let row = &a[i * kk..(i + 1) * kk];
+        let mrow = &mut masks[i * words_per_row..(i + 1) * words_per_row];
+        for p in 0..n_panels {
+            let k0 = p * KP;
+            let k1 = (k0 + KP).min(kk);
+            if row[k0..k1].iter().all(|v| v.is_zero()) {
+                mrow[p / 64] |= 1u64 << (p % 64);
+                skipped += (k1 - k0) as u64;
+            }
+        }
+    }
+    skipped
+}
+
+#[inline]
+fn mask_hit(masks_row: &[u64], panel: usize) -> bool {
+    masks_row[panel / 64] & (1u64 << (panel % 64)) != 0
+}
+
+/// Packs `B` (`kk × n`, row-major) into `nr`-wide column panels,
+/// `[panel][k][lane]`, zero-padding the tail panel so the kernels always
+/// run full width.
+fn pack_b<T: Num, const NR: usize>(b: &[T], kk: usize, n: usize, out: &mut Vec<T>) {
+    let n_jp = n.div_ceil(NR);
+    // Resize without a clear: every full lane is overwritten below and only
+    // the tail panel's padding needs explicit zeros, so the buffer is never
+    // bulk-zeroed first (that pre-pass used to double the write traffic).
+    out.resize(n_jp * kk * NR, T::zero());
+    for jp in 0..n_jp {
+        let j0 = jp * NR;
+        let w = (n - j0).min(NR);
+        let panel = &mut out[jp * kk * NR..(jp + 1) * kk * NR];
+        if w == NR {
+            // Full-width panels are the hot path: a compile-time-sized
+            // array copy per `k` row compiles to straight vector moves
+            // instead of a runtime-length memcpy call.
+            for k in 0..kk {
+                let dst: &mut [T; NR] = (&mut panel[k * NR..(k + 1) * NR])
+                    .try_into()
+                    .expect("chunk is exactly NR wide");
+                let src: &[T; NR] = b[k * n + j0..k * n + j0 + NR]
+                    .try_into()
+                    .expect("chunk is exactly NR wide");
+                *dst = *src;
+            }
+        } else {
+            for k in 0..kk {
+                let dst = &mut panel[k * NR..(k + 1) * NR];
+                dst[..w].copy_from_slice(&b[k * n + j0..k * n + j0 + w]);
+                for pad in &mut dst[w..] {
+                    *pad = T::zero();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels
+// ---------------------------------------------------------------------------
+
+/// One f32 register-tile task: up to [`MR_F32`] consecutive rows of `A`
+/// against one `klen × `[`NR_F32`] packed-`B` chunk, continuing the
+/// accumulation already in the output when `accumulate` is set.
+///
+/// `a_rows`, `masks` and the output slice all cover the same row range
+/// (`i0` is relative to it); `kc0`/`klen` select the `k`-chunk and
+/// `panel0` is the absolute mask-panel index of its first (KP-aligned)
+/// panel.
+struct F32Tile<'a> {
+    a_rows: &'a [f32],
+    masks: &'a [u64],
+    bchunk: &'a [f32],
+    kk: usize,
+    wpr: usize,
+    i0: usize,
+    rows: usize,
+    kc0: usize,
+    klen: usize,
+    panel0: usize,
+    n: usize,
+    j0: usize,
+    w: usize,
+    accumulate: bool,
+}
+
+/// Portable f32 tile kernel: per output element a single `mul_add` chain
+/// over `k` ascending (resumed from the output across chunks), panels
+/// masked in every tile row and zero `A` words skipped (all bit-neutral —
+/// see the module docs). The row grouping cannot change bits either: each
+/// element's chain never crosses rows.
+fn f32_tile_scalar(t: &F32Tile, out_rows: &mut [f32]) {
+    let mut acc = [[0.0f32; NR_F32]; MR_F32];
+    if t.accumulate {
+        for (r, acc_r) in acc.iter_mut().enumerate().take(t.rows) {
+            let o = &out_rows[(t.i0 + r) * t.n + t.j0..][..t.w];
+            acc_r[..t.w].copy_from_slice(o);
+        }
+    }
+    let n_panels = t.klen.div_ceil(KP);
+    for p in 0..n_panels {
+        let live = (0..t.rows).any(|r| !mask_hit(&t.masks[(t.i0 + r) * t.wpr..], t.panel0 + p));
+        if !live {
+            continue;
+        }
+        let k0 = p * KP;
+        let k1 = (k0 + KP).min(t.klen);
+        for k in k0..k1 {
+            let b_row = &t.bchunk[k * NR_F32..k * NR_F32 + t.w];
+            for (r, acc_r) in acc.iter_mut().enumerate().take(t.rows) {
+                let av = t.a_rows[(t.i0 + r) * t.kk + t.kc0 + k];
+                if av == 0.0 {
+                    continue;
+                }
+                for (acc_v, &bv) in acc_r[..t.w].iter_mut().zip(b_row) {
+                    *acc_v = <f32 as Num>::fused_mul_add(*acc_v, av, bv);
+                }
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate().take(t.rows) {
+        out_rows[(t.i0 + r) * t.n + t.j0..][..t.w].copy_from_slice(&acc_r[..t.w]);
+    }
+}
+
+/// AVX2/FMA f32 tile kernel: dispatches on the tile's row count so each
+/// variant keeps its `R × 2` accumulator vectors in registers.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` and `fma` are available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn f32_tile_avx2(t: &F32Tile, out_rows: &mut [f32]) {
+    match t.rows {
+        6 => f32_tile_avx2_rows::<6>(t, out_rows),
+        5 => f32_tile_avx2_rows::<5>(t, out_rows),
+        4 => f32_tile_avx2_rows::<4>(t, out_rows),
+        3 => f32_tile_avx2_rows::<3>(t, out_rows),
+        2 => f32_tile_avx2_rows::<2>(t, out_rows),
+        _ => f32_tile_avx2_rows::<1>(t, out_rows),
+    }
+}
+
+/// The `R`-row AVX2/FMA tile body: every `k`-step loads the two `B`
+/// vectors once and feeds `R` broadcast `vfmadd`s — `2·R` independent
+/// chains, `k` ascending. Lane-for-lane the same operation sequence as
+/// [`f32_tile_scalar`] minus its (bit-neutral) per-element zero skip: a
+/// row whose word is zero contributes `fma(0, b, acc) = acc` exactly.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` and `fma` are available, and `R` must
+/// not exceed the tile's row count.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn f32_tile_avx2_rows<const R: usize>(t: &F32Tile, out_rows: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); NR_F32 / 8]; R];
+    if t.accumulate {
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let o = out_rows.as_ptr().add((t.i0 + r) * t.n + t.j0);
+            if t.w == NR_F32 {
+                acc_r[0] = _mm256_loadu_ps(o);
+                acc_r[1] = _mm256_loadu_ps(o.add(8));
+            } else {
+                let mut tmp = [0.0f32; NR_F32];
+                tmp[..t.w].copy_from_slice(std::slice::from_raw_parts(o, t.w));
+                acc_r[0] = _mm256_loadu_ps(tmp.as_ptr());
+                acc_r[1] = _mm256_loadu_ps(tmp.as_ptr().add(8));
+            }
+        }
+    }
+    // Hoist the per-row `A` chunk base pointers and mask-row slices out of
+    // the k loop.
+    let arow: [*const f32; R] =
+        std::array::from_fn(|r| t.a_rows.as_ptr().add((t.i0 + r) * t.kk + t.kc0));
+    let mrow: [&[u64]; R] = std::array::from_fn(|r| &t.masks[(t.i0 + r) * t.wpr..]);
+    let n_panels = t.klen.div_ceil(KP);
+    for p in 0..n_panels {
+        let mut all_masked = true;
+        for mr in &mrow {
+            all_masked &= mask_hit(mr, t.panel0 + p);
+        }
+        if all_masked {
+            continue;
+        }
+        let k0 = p * KP;
+        let k1 = (k0 + KP).min(t.klen);
+        for k in k0..k1 {
+            let base = t.bchunk.as_ptr().add(k * NR_F32);
+            let b0 = _mm256_loadu_ps(base);
+            let b1 = _mm256_loadu_ps(base.add(8));
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*arow[r].add(k));
+                acc_r[0] = _mm256_fmadd_ps(av, b0, acc_r[0]);
+                acc_r[1] = _mm256_fmadd_ps(av, b1, acc_r[1]);
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = out_rows.as_mut_ptr().add((t.i0 + r) * t.n + t.j0);
+        if t.w == NR_F32 {
+            _mm256_storeu_ps(o, acc_r[0]);
+            _mm256_storeu_ps(o.add(8), acc_r[1]);
+        } else {
+            let mut tmp = [0.0f32; NR_F32];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), acc_r[0]);
+            _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc_r[1]);
+            std::slice::from_raw_parts_mut(o, t.w).copy_from_slice(&tmp[..t.w]);
+        }
+    }
+}
+
+/// Row-block height for the cache loop: inside one `k`-chunk, [`MC`] rows
+/// of `A` (≤ `MC × KC × 4 B` = 72 KB, L2-resident) are run against every
+/// column panel before the next block, so neither operand re-streams from
+/// memory as `m` grows. Like all blocking here it is bit-neutral: loop
+/// order over (row, column-panel) never touches a per-element chain.
+pub const MC: usize = 72;
+
+/// Packed f32 GEMM over a contiguous row range: `a_rows` holds the rows'
+/// `A` data, `masks` their panel masks, `packed_b` the full packed `B`.
+/// Writes every element of `out_rows`. Loop nest (outer→inner):
+/// [`KC`] `k`-chunks → [`MC`] row blocks → column panels → [`MR_F32`]
+/// row tiles, so the packed-`B` chunk (16 KB) stays L1-resident across
+/// the row tiles and the `A` row block stays L2-resident across the
+/// column panels. Bit-identical for every [`SimdLevel`].
+pub fn f32_rows(
+    level: SimdLevel,
+    a_rows: &[f32],
+    masks: &[u64],
+    packed_b: &[f32],
+    out_rows: &mut [f32],
+    kk: usize,
+    n: usize,
+) {
+    let m = a_rows.len().checked_div(kk).unwrap_or(0);
+    debug_assert_eq!(out_rows.len(), m * n);
+    let (_, wpr) = mask_geometry(kk);
+    let kernel = f32_tile_for(level);
+    let n_jp = n.div_ceil(NR_F32);
+    let mut kc0 = 0;
+    while kc0 < kk {
+        let kc1 = (kc0 + KC).min(kk);
+        let mut ib0 = 0;
+        while ib0 < m {
+            let ib1 = (ib0 + MC).min(m);
+            for jp in 0..n_jp {
+                let j0 = jp * NR_F32;
+                let w = (n - j0).min(NR_F32);
+                let base = jp * kk * NR_F32;
+                let bchunk = &packed_b[base + kc0 * NR_F32..base + kc1 * NR_F32];
+                let mut i0 = ib0;
+                while i0 < ib1 {
+                    let rows = (ib1 - i0).min(MR_F32);
+                    let tile = F32Tile {
+                        a_rows,
+                        masks,
+                        bchunk,
+                        kk,
+                        wpr,
+                        i0,
+                        rows,
+                        kc0,
+                        klen: kc1 - kc0,
+                        panel0: kc0 / KP,
+                        n,
+                        j0,
+                        w,
+                        accumulate: kc0 > 0,
+                    };
+                    // SAFETY: `f32_tile_for` only returns a feature-gated
+                    // kernel for `Avx2Fma`, which is only selected (or
+                    // passed by tests) after `is_x86_feature_detected!`
+                    // verified avx2+fma.
+                    unsafe { kernel(&tile, out_rows) };
+                    i0 += rows;
+                }
+            }
+            ib0 = ib1;
+        }
+        kc0 = kc1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Q8.8 kernels
+// ---------------------------------------------------------------------------
+
+const FX_HALF: i32 = 1 << (FRAC_BITS - 1);
+const FX_MAX: i32 = i16::MAX as i32;
+const FX_MIN: i32 = i16::MIN as i32;
+
+#[inline]
+fn fx_clamp(v: i32) -> i32 {
+    v.clamp(FX_MIN, FX_MAX)
+}
+
+/// One scalar Q8.8 term + saturating accumulate — exactly [`Fx`]'s
+/// `Mul` (widen, round to nearest with ties toward +∞, saturate) followed
+/// by [`Fx`]'s saturating `Add`.
+#[inline]
+fn fx_mac(acc: i32, a: i16, b: i16) -> i32 {
+    let term = fx_clamp((i32::from(a) * i32::from(b) + FX_HALF) >> FRAC_BITS);
+    fx_clamp(acc + term)
+}
+
+/// Portable Q8.8 row kernel over one `k`-chunk of one packed column
+/// panel, bit-identical to a `k`-ascending chain of scalar [`Fx`]
+/// multiply–adds (resumed from `out` across chunks — exact, because the
+/// saturated accumulator always fits `i16`).
+#[allow(clippy::too_many_arguments)]
+fn fx_row_panel_scalar(
+    a_chunk: &[i16],
+    masks_row: &[u64],
+    panel0: usize,
+    bchunk: &[i16],
+    out: &mut [i16],
+    w: usize,
+    accumulate: bool,
+) {
+    let klen = a_chunk.len();
+    let mut acc = [0i32; NR_FX];
+    if accumulate {
+        for (t, &o) in acc[..w].iter_mut().zip(&out[..w]) {
+            *t = i32::from(o);
+        }
+    }
+    let n_panels = klen.div_ceil(KP);
+    for p in 0..n_panels {
+        if mask_hit(masks_row, panel0 + p) {
+            continue;
+        }
+        let k0 = p * KP;
+        let k1 = (k0 + KP).min(klen);
+        for k in k0..k1 {
+            let av = a_chunk[k];
+            if av == 0 {
+                // A zero operand's term is (0 + half) >> 8 = 0, and a
+                // saturating add of 0 is the identity: the skip is exact.
+                continue;
+            }
+            let b_row = &bchunk[k * NR_FX..k * NR_FX + w];
+            for (t, &bv) in acc[..w].iter_mut().zip(b_row) {
+                *t = fx_mac(*t, av, bv);
+            }
+        }
+    }
+    for (o, &v) in out[..w].iter_mut().zip(&acc[..w]) {
+        *o = v as i16;
+    }
+}
+
+/// AVX2 Q8.8 row kernel: 16 `i16` lanes per vector, 2 saturating
+/// accumulator vectors. Each lane performs exactly the scalar [`Fx`]
+/// operation chain, with the i16-native instruction mix:
+///
+/// * `vpmullw`/`vpmulhw` + interleave reconstruct the exact widened
+///   `i32` products (16 at a time, no slow `vpmulld`),
+/// * add-half + `vpsrad` is [`Fx`]'s round-to-nearest (ties toward +∞),
+/// * `vpackssdw` narrows with **saturation** — exactly the `Mul` clamp —
+///   and restores lane order (unpack lo/hi then pack is order-preserving
+///   within each 128-bit half),
+/// * `vpaddsw` is exactly [`Fx`]'s saturating `Add`, so the accumulator
+///   itself stays in i16 lanes (resuming from `out` across `k`-chunks is
+///   a plain load).
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn fx_row_panel_avx2(
+    a_chunk: &[i16],
+    masks_row: &[u64],
+    panel0: usize,
+    bchunk: &[i16],
+    out: &mut [i16],
+    w: usize,
+    accumulate: bool,
+) {
+    use std::arch::x86_64::*;
+    let klen = a_chunk.len();
+    let half = _mm256_set1_epi32(FX_HALF);
+    let mut acc = [_mm256_setzero_si256(); NR_FX / 16];
+    if accumulate {
+        if w == NR_FX {
+            for (v, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_loadu_si256(out.as_ptr().add(v * 16) as *const __m256i);
+            }
+        } else {
+            let mut tmp = [0i16; NR_FX];
+            tmp[..w].copy_from_slice(&out[..w]);
+            for (v, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_loadu_si256(tmp.as_ptr().add(v * 16) as *const __m256i);
+            }
+        }
+    }
+    let n_panels = klen.div_ceil(KP);
+    for p in 0..n_panels {
+        if mask_hit(masks_row, panel0 + p) {
+            continue;
+        }
+        let k0 = p * KP;
+        let k1 = (k0 + KP).min(klen);
+        for k in k0..k1 {
+            // No per-element zero skip here (unlike the scalar kernel):
+            // a zero word's term is exactly 0 either way, and a
+            // data-dependent branch per `k` costs more in mispredictions
+            // than the saved arithmetic on the vector path. Structural
+            // zeros are handled at panel granularity by the masks.
+            let av = _mm256_set1_epi16(*a_chunk.get_unchecked(k));
+            let base = bchunk.as_ptr().add(k * NR_FX);
+            for (v, a) in acc.iter_mut().enumerate() {
+                let bv = _mm256_loadu_si256(base.add(v * 16) as *const __m256i);
+                let lo = _mm256_mullo_epi16(av, bv);
+                let hi = _mm256_mulhi_epi16(av, bv);
+                // Exact i32 products: lanes 0–3/8–11 and 4–7/12–15.
+                let p0 = _mm256_unpacklo_epi16(lo, hi);
+                let p1 = _mm256_unpackhi_epi16(lo, hi);
+                let t0 = _mm256_srai_epi32::<{ FRAC_BITS as i32 }>(_mm256_add_epi32(p0, half));
+                let t1 = _mm256_srai_epi32::<{ FRAC_BITS as i32 }>(_mm256_add_epi32(p1, half));
+                let term = _mm256_packs_epi32(t0, t1);
+                *a = _mm256_adds_epi16(*a, term);
+            }
+        }
+    }
+    if w == NR_FX {
+        for (v, a) in acc.iter().enumerate() {
+            _mm256_storeu_si256(out.as_mut_ptr().add(v * 16) as *mut __m256i, *a);
+        }
+    } else {
+        let mut tmp = [0i16; NR_FX];
+        for (v, a) in acc.iter().enumerate() {
+            _mm256_storeu_si256(tmp.as_mut_ptr().add(v * 16) as *mut __m256i, *a);
+        }
+        out[..w].copy_from_slice(&tmp[..w]);
+    }
+}
+
+/// Packed Q8.8 GEMM over a contiguous row range (raw-`i16` views of
+/// [`Fx`] data), with the same [`KC`]-chunked row loop as [`f32_rows`].
+/// Bit-identical to scalar [`Fx`] semantics for every [`SimdLevel`].
+pub fn fx_rows(
+    level: SimdLevel,
+    a_rows: &[i16],
+    masks: &[u64],
+    packed_b: &[i16],
+    out_rows: &mut [i16],
+    kk: usize,
+    n: usize,
+) {
+    let m = a_rows.len().checked_div(kk).unwrap_or(0);
+    debug_assert_eq!(out_rows.len(), m * n);
+    let (_, words_per_row) = mask_geometry(kk);
+    let kernel = fx_panel_for(level);
+    let n_jp = n.div_ceil(NR_FX);
+    let mut kc0 = 0;
+    while kc0 < kk {
+        let kc1 = (kc0 + KC).min(kk);
+        let panel0 = kc0 / KP;
+        let mut ib0 = 0;
+        while ib0 < m {
+            // Same [`MC`] row blocking as [`f32_rows`] (i16 halves the
+            // bytes, so the block is even smaller in cache).
+            let ib1 = (ib0 + MC).min(m);
+            for jp in 0..n_jp {
+                let j0 = jp * NR_FX;
+                let w = (n - j0).min(NR_FX);
+                let base = jp * kk * NR_FX;
+                let bchunk = &packed_b[base + kc0 * NR_FX..base + kc1 * NR_FX];
+                for i in ib0..ib1 {
+                    let a_chunk = &a_rows[i * kk + kc0..i * kk + kc1];
+                    let masks_row = &masks[i * words_per_row..(i + 1) * words_per_row];
+                    let out = &mut out_rows[i * n + j0..i * n + j0 + w];
+                    // SAFETY: as in `f32_rows` — feature-gated kernels are
+                    // only resolved for levels whose features were
+                    // detected.
+                    unsafe { kernel(a_chunk, masks_row, panel0, bchunk, out, w, kc0 > 0) };
+                }
+            }
+            ib0 = ib1;
+        }
+        kc0 = kc1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-matrix drivers
+// ---------------------------------------------------------------------------
+
+/// Packs both operands and runs the packed f32 kernel at `level`.
+/// Returns `(skipped, visited)` operand-word counts — pure functions of
+/// `a` and the shape (thread- and SIMD-invariant).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_f32_at(
+    level: SimdLevel,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    let skipped = build_masks(a, m, kk, &mut scratch.masks);
+    pack_b::<_, NR_F32>(b, kk, n, &mut scratch.bf32);
+    f32_rows(level, a, &scratch.masks, &scratch.bf32, out, kk, n);
+    (skipped, (m * kk) as u64)
+}
+
+/// [`matmul_f32_at`] at the process-selected [`simd_level`].
+pub fn matmul_f32(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    matmul_f32_at(simd_level(), a, b, out, m, kk, n, scratch)
+}
+
+/// Packs both operands and runs the packed Q8.8 kernel at `level` on
+/// raw-`i16` views. Returns `(skipped, visited)` as [`matmul_f32_at`].
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_fx_at(
+    level: SimdLevel,
+    a: &[i16],
+    b: &[i16],
+    out: &mut [i16],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    let a_fx: &[Fx] = fx_view(a);
+    let skipped = build_masks(a_fx, m, kk, &mut scratch.masks);
+    pack_b_i16(b, kk, n, &mut scratch.bi16);
+    fx_rows(level, a, &scratch.masks, &scratch.bi16, out, kk, n);
+    (skipped, (m * kk) as u64)
+}
+
+/// [`matmul_fx_at`] at the process-selected [`simd_level`].
+pub fn matmul_fx(
+    a: &[i16],
+    b: &[i16],
+    out: &mut [i16],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    matmul_fx_at(simd_level(), a, b, out, m, kk, n, scratch)
+}
+
+/// Reinterprets a raw-`i16` slice as [`Fx`] (`repr(transparent)`).
+fn fx_view(raw: &[i16]) -> &[Fx] {
+    // SAFETY: `Fx` is `#[repr(transparent)]` over `i16`.
+    unsafe { std::slice::from_raw_parts(raw.as_ptr() as *const Fx, raw.len()) }
+}
+
+/// Packs a raw-`i16` `B` into [`NR_FX`]-wide panels (monomorphic helper;
+/// layout identical to the generic [`pack_b`]).
+fn pack_b_i16(b: &[i16], kk: usize, n: usize, out: &mut Vec<i16>) {
+    let n_jp = n.div_ceil(NR_FX);
+    // Same no-pre-zero strategy and full-width fast path as [`pack_b`].
+    out.resize(n_jp * kk * NR_FX, 0);
+    for jp in 0..n_jp {
+        let j0 = jp * NR_FX;
+        let w = (n - j0).min(NR_FX);
+        let panel = &mut out[jp * kk * NR_FX..(jp + 1) * kk * NR_FX];
+        if w == NR_FX {
+            for k in 0..kk {
+                let dst: &mut [i16; NR_FX] = (&mut panel[k * NR_FX..(k + 1) * NR_FX])
+                    .try_into()
+                    .expect("chunk is exactly NR_FX wide");
+                let src: &[i16; NR_FX] = b[k * n + j0..k * n + j0 + NR_FX]
+                    .try_into()
+                    .expect("chunk is exactly NR_FX wide");
+                *dst = *src;
+            }
+        } else {
+            for k in 0..kk {
+                let dst = &mut panel[k * NR_FX..(k + 1) * NR_FX];
+                dst[..w].copy_from_slice(&b[k * n + j0..k * n + j0 + w]);
+                dst[w..].fill(0);
+            }
+        }
+    }
+}
+
+/// Shared packing for the pooled kernel: builds masks and packs `B` once
+/// on the calling thread; the pool workers then run [`f32_rows`] /
+/// [`fx_rows`] over disjoint row chunks against the shared panels.
+/// Returns the `(skipped, visited)` counters.
+pub fn pack_operands<T: Num>(
+    a: &[T],
+    b: &[T],
+    m: usize,
+    kk: usize,
+    n: usize,
+    kind: PackedKind,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    let skipped = build_masks(a, m, kk, &mut scratch.masks);
+    match kind {
+        PackedKind::F32 => {
+            // SAFETY: `kind` is only `F32` when `T == f32` (TypeId-checked
+            // by `packed_kind`).
+            let bf: &[f32] =
+                unsafe { std::slice::from_raw_parts(b.as_ptr() as *const f32, b.len()) };
+            pack_b::<_, NR_F32>(bf, kk, n, &mut scratch.bf32);
+        }
+        PackedKind::Fx => {
+            // SAFETY: `kind` is only `Fx` when `T == Fx` (repr(transparent)
+            // over i16).
+            let bi: &[i16] =
+                unsafe { std::slice::from_raw_parts(b.as_ptr() as *const i16, b.len()) };
+            pack_b_i16(bi, kk, n, &mut scratch.bi16);
+        }
+    }
+    (skipped, (m * kk) as u64)
+}
+
+/// Runs the packed kernel at the process-selected level over a contiguous
+/// row chunk of pre-packed operands (see [`pack_operands`]). `row0` is the
+/// absolute first row of the chunk.
+pub fn packed_rows<T: Num>(
+    a: &[T],
+    scratch: &PackScratch,
+    out_chunk: &mut [T],
+    row0: usize,
+    kk: usize,
+    n: usize,
+    kind: PackedKind,
+) {
+    let rows_here = out_chunk.len().checked_div(n).unwrap_or(0);
+    let (_, wpr) = mask_geometry(kk);
+    let masks = &scratch.masks[row0 * wpr..(row0 + rows_here) * wpr];
+    match kind {
+        PackedKind::F32 => {
+            // SAFETY: `kind` proves `T == f32` (see `pack_operands`).
+            let (af, of) = unsafe {
+                (
+                    std::slice::from_raw_parts(a.as_ptr() as *const f32, a.len()),
+                    std::slice::from_raw_parts_mut(
+                        out_chunk.as_mut_ptr() as *mut f32,
+                        out_chunk.len(),
+                    ),
+                )
+            };
+            let a_rows = &af[row0 * kk..(row0 + rows_here) * kk];
+            f32_rows(simd_level(), a_rows, masks, &scratch.bf32, of, kk, n);
+        }
+        PackedKind::Fx => {
+            // SAFETY: `kind` proves `T == Fx`, `repr(transparent)` over i16.
+            let (ai, oi) = unsafe {
+                (
+                    std::slice::from_raw_parts(a.as_ptr() as *const i16, a.len()),
+                    std::slice::from_raw_parts_mut(
+                        out_chunk.as_mut_ptr() as *mut i16,
+                        out_chunk.len(),
+                    ),
+                )
+            };
+            let a_rows = &ai[row0 * kk..(row0 + rows_here) * kk];
+            fx_rows(simd_level(), a_rows, masks, &scratch.bi16, oi, kk, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_f32(len: usize, zero_frac: f64, rng: &mut SmallRng) -> Vec<f32> {
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < zero_frac {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0f32..1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Naive fused reference: one `mul_add` chain per element, `k`
+    /// ascending — the semantics both levels must hit bit-for-bit.
+    fn fused_reference(a: &[f32], b: &[f32], m: usize, kk: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..kk {
+                    acc = a[i * kk + k].mul_add(b[k * n + j], acc);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn f32_levels_are_bit_identical_and_match_the_fused_chain() {
+        let mut rng = SmallRng::seed_from_u64(91);
+        for (m, kk, n) in [
+            (1, 1, 1),
+            (3, 9, 5),
+            (17, 70, 65),
+            (5, 8, 64),
+            (7, 129, 67),
+            (3, 700, 70),
+        ] {
+            let a = random_f32(m * kk, 0.5, &mut rng);
+            let b = random_f32(kk * n, 0.1, &mut rng);
+            let reference = fused_reference(&a, &b, m, kk, n);
+            let mut scratch = PackScratch::new();
+            let mut out_s = vec![0.0f32; m * n];
+            matmul_f32_at(
+                SimdLevel::Scalar,
+                &a,
+                &b,
+                &mut out_s,
+                m,
+                kk,
+                n,
+                &mut scratch,
+            );
+            assert_eq!(reference, out_s, "scalar {m}x{kk}x{n}");
+            if detect_level() == SimdLevel::Avx2Fma {
+                let mut out_v = vec![0.0f32; m * n];
+                matmul_f32_at(
+                    SimdLevel::Avx2Fma,
+                    &a,
+                    &b,
+                    &mut out_v,
+                    m,
+                    kk,
+                    n,
+                    &mut scratch,
+                );
+                let same = out_s
+                    .iter()
+                    .zip(&out_v)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "avx2 diverged from scalar on {m}x{kk}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fx_levels_match_scalar_fx_semantics_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(92);
+        for (m, kk, n) in [(1, 1, 1), (4, 9, 5), (9, 33, 40), (3, 8, 32), (2, 300, 33)] {
+            // Large magnitudes so saturation actually fires.
+            let a: Vec<i16> = (0..m * kk)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        0
+                    } else {
+                        rng.gen_range(i16::MIN..=i16::MAX)
+                    }
+                })
+                .collect();
+            let b: Vec<i16> = (0..kk * n)
+                .map(|_| rng.gen_range(i16::MIN..=i16::MAX))
+                .collect();
+            // Scalar Fx oracle: k-ascending saturating multiply-add chain.
+            let mut reference = vec![0i16; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = Fx::ZERO;
+                    for k in 0..kk {
+                        acc += Fx::from_raw(a[i * kk + k]) * Fx::from_raw(b[k * n + j]);
+                    }
+                    reference[i * n + j] = acc.raw();
+                }
+            }
+            let mut scratch = PackScratch::new();
+            for level in [SimdLevel::Scalar, detect_level()] {
+                let mut out = vec![0i16; m * n];
+                matmul_fx_at(level, &a, &b, &mut out, m, kk, n, &mut scratch);
+                assert_eq!(reference, out, "{level:?} {m}x{kk}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_count_elided_words_exactly() {
+        // Row of 10 words, KP=8: panel 0 = words 0..8, panel 1 = words 8..10.
+        let mut a = vec![0.0f32; 10];
+        a[9] = 1.0; // panel 1 live, panel 0 all-zero
+        let mut masks = Vec::new();
+        let skipped = build_masks(&a, 1, 10, &mut masks);
+        assert_eq!(skipped, 8);
+        assert!(mask_hit(&masks, 0));
+        assert!(!mask_hit(&masks, 1));
+    }
+
+    #[test]
+    fn simd_label_matches_level() {
+        let label = simd_label();
+        match simd_level() {
+            SimdLevel::Avx2Fma => assert_eq!(label, "avx2"),
+            SimdLevel::Scalar => assert_eq!(label, "scalar"),
+        }
+    }
+}

@@ -46,6 +46,19 @@ pub trait Num:
     fn mul_add_assign(&mut self, a: Self, b: Self) {
         *self += a * b;
     }
+
+    /// Fused multiply-add with a **single rounding**: `self + a * b`.
+    ///
+    /// For floats this is the IEEE-754 correctly-rounded `mul_add` — the
+    /// same operation an x86 `vfmadd` lane performs — which is what makes
+    /// the packed microkernel's scalar fallback bit-identical to its SIMD
+    /// kernel. Types without a fused form (like [`Fx`]) keep the
+    /// two-rounding default.
+    ///
+    /// [`Fx`]: crate::Fx
+    fn fused_mul_add(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
 }
 
 impl Num for f32 {
@@ -64,6 +77,10 @@ impl Num for f32 {
     fn to_f64(self) -> f64 {
         f64::from(self)
     }
+
+    fn fused_mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
+    }
 }
 
 impl Num for f64 {
@@ -81,6 +98,10 @@ impl Num for f64 {
 
     fn to_f64(self) -> f64 {
         self
+    }
+
+    fn fused_mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
     }
 }
 

@@ -32,6 +32,7 @@
 use crate::fmaps::Fmaps;
 use crate::im2col::Matrix;
 use crate::kernels::Kernels;
+use crate::microkernel::PackScratch;
 use crate::num::Num;
 use crate::zero_free::PhaseCache;
 
@@ -46,6 +47,10 @@ pub struct ConvWorkspace<T> {
     /// lowering (shape-keyed; shared out as `Arc` clones so the hot path
     /// never recomputes or reallocates them).
     pub(crate) phases: PhaseCache,
+    /// Packed-microkernel scratch (packed `B` panels + `A` zero masks),
+    /// reused across GEMMs so the packed fast path stays allocation-free
+    /// once warm.
+    pack: PackScratch,
 }
 
 impl<T> Default for ConvWorkspace<T> {
@@ -61,7 +66,18 @@ impl<T> ConvWorkspace<T> {
             free: Vec::new(),
             reuse: true,
             phases: PhaseCache::default(),
+            pack: PackScratch::new(),
         }
+    }
+
+    /// The packed-microkernel scratch. With reuse off the previous scratch
+    /// is dropped first, so every GEMM packs into fresh buffers — the same
+    /// honest allocating-baseline behaviour as [`ConvWorkspace::take`].
+    pub(crate) fn pack_scratch(&mut self) -> &mut PackScratch {
+        if !self.reuse {
+            self.pack = PackScratch::new();
+        }
+        &mut self.pack
     }
 
     /// Whether buffers are recycled (the default) or freshly allocated per
@@ -78,6 +94,7 @@ impl<T> ConvWorkspace<T> {
         if !reuse {
             self.free.clear();
             self.phases = PhaseCache::default();
+            self.pack = PackScratch::new();
         }
     }
 

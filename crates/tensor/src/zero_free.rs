@@ -26,11 +26,18 @@
 //! "zero-inserting in input" elimination. For `W-CONV` of an S-CONV layer
 //! the dilated-error operand is likewise never built.
 //!
-//! Every function here is **bit-identical** to its golden loop nest in
-//! [`crate::conv`]: per output element the multiply–add sequence is the
-//! same terms in the same order, with only exact-zero terms (which cannot
-//! change a finite accumulation) skipped. `tests/fast_conv.rs` asserts
-//! exact equality over random geometries.
+//! The *lowering* itself never changes results: per output element the
+//! compact operands carry the same terms in the same order as the golden
+//! loop nests, with only exact-zero terms (which cannot change a finite
+//! accumulation) skipped. Run with a scalar GEMM
+//! ([`MatmulKind::Naive`]/[`MatmulKind::BlockedScalar`]), every function
+//! here is therefore **bit-identical** to its golden nest in
+//! [`crate::conv`]. Run with the packed microkernel
+//! ([`MatmulKind::Blocked`]/[`MatmulKind::Parallel`]), the f32 results
+//! follow the kernel's own fused accumulation order instead (still
+//! deterministic; see [`crate::microkernel`]), while `Fx` and `f64` stay
+//! bit-identical to golden. `tests/fast_conv.rs` pins both contracts over
+//! random geometries.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -140,6 +147,57 @@ fn fill_t_phase_patches<T: Num>(
     phase: &TPhase,
 ) {
     let s = geom.stride() as isize;
+    let su = geom.stride();
+    let (pt, _, pl, _) = geom.t_conv_pads();
+    let (ih, iw) = (input.height() as isize, input.width() as isize);
+    let iw_s = iw * s;
+    let (nky, nkx) = (phase.kys.len(), phase.kxs.len());
+    let data = input.as_slice();
+    let ch_stride = (ih * iw) as usize;
+    // zy/zx ≡ 0 (mod s) by construction of the kept taps; a tap is a real
+    // source pixel iff it lands inside the map. Row-major traversal with
+    // flat-slice writes: each output row is written contiguously, the
+    // y-axis division is hoisted out of the inner tap loop, and the
+    // strided reads stay inside one `sf` channel block per row group —
+    // small enough to sit in cache. No scratch is allocated (the conv hot
+    // path is zero-allocation in steady state, `tests/zero_alloc.rs`).
+    for (ri, &oy) in phase.oys.iter().enumerate() {
+        for (rj, &ox) in phase.oxs.iter().enumerate() {
+            let row = ri * phase.oxs.len() + rj;
+            let dst = patches.row_mut(row);
+            for (sf, dchunk) in dst.chunks_exact_mut(nky * nkx).enumerate() {
+                let cbase = sf * ch_stride;
+                for (kyi, &ky) in phase.kys.iter().enumerate() {
+                    let zy = oy as isize + ky as isize - pt as isize;
+                    if zy < 0 || zy / s >= ih {
+                        continue;
+                    }
+                    let src = cbase + (zy / s) as usize * iw as usize;
+                    let db = kyi * nkx;
+                    for (kxi, &kx) in phase.kxs.iter().enumerate() {
+                        let zx = ox as isize + kx as isize - pl as isize;
+                        if zx >= 0 && zx < iw_s {
+                            dchunk[db + kxi] = data[src + zx as usize / su];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Specification form of [`fill_t_phase_patches`]: one bounds check and
+/// stride division per matrix entry, written exactly as the lowering is
+/// defined. The reference engines ([`MatmulKind::is_reference`]) run this
+/// loop so their cost model stays that of the pre-microkernel engine;
+/// tests pin it bit-identical to the table-driven fill.
+fn fill_t_phase_patches_ref<T: Num>(
+    patches: &mut Matrix<T>,
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    phase: &TPhase,
+) {
+    let s = geom.stride() as isize;
     let (pt, _, pl, _) = geom.t_conv_pads();
     let (ih, iw) = (input.height() as isize, input.width() as isize);
     for (ri, &oy) in phase.oys.iter().enumerate() {
@@ -165,6 +223,21 @@ fn fill_t_phase_patches<T: Num>(
     }
 }
 
+/// Picks the specification or table-driven patch fill by GEMM family.
+fn fill_t_phase_patches_for<T: Num>(
+    m: &mut Matrix<T>,
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    phase: &TPhase,
+    mm: MatmulKind,
+) {
+    if mm.is_reference() {
+        fill_t_phase_patches_ref(m, input, geom, phase);
+    } else {
+        fill_t_phase_patches(m, input, geom, phase);
+    }
+}
+
 /// Builds one phase's compact patch matrix. Rows enumerate the phase's
 /// output pixels (row-major); columns enumerate `(sf, ky′, kx′)` over the
 /// kept taps. Entries outside the real input (boundary, not inserted) are
@@ -179,6 +252,34 @@ fn t_phase_patches<T: Num>(input: &Fmaps<T>, geom: &ConvGeom, phase: &TPhase) ->
 /// The weight fill loop of [`t_phase_weights`], shared by the allocating
 /// and workspace reshapes. Writes every cell of `m`.
 fn fill_t_phase_weights<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, phase: &TPhase) {
+    // Row-major traversal: each output row is written contiguously, and
+    // the strided kernel reads stay inside one `sf` block (`n_if·kh·kw`
+    // elements) that is revisited for every kept tap — small enough to
+    // sit in cache. The column-major variant (outer `lf`) walks the whole
+    // matrix once per column and is memory-bound on the writes.
+    let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
+    let kdata = k.as_slice();
+    let mut row = 0;
+    for sf in 0..k.n_of() {
+        for &ky in &phase.kys {
+            for &kx in &phase.kxs {
+                let tap = (kh - 1 - ky) * kw + (kw - 1 - kx);
+                let base = sf * n_if * kh * kw + tap;
+                let dst = m.row_mut(row);
+                for (lf, d) in dst.iter_mut().enumerate() {
+                    *d = kdata[base + lf * kh * kw];
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Specification form of [`fill_t_phase_weights`]: column-major traversal
+/// through the kernel accessor, written exactly as the reshape is defined.
+/// The reference engines run this loop (see [`MatmulKind::is_reference`]);
+/// tests pin it bit-identical to the row-major fill.
+fn fill_t_phase_weights_ref<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, phase: &TPhase) {
     let (kh, kw) = (k.kh(), k.kw());
     for lf in 0..k.n_if() {
         let mut row = 0;
@@ -190,6 +291,20 @@ fn fill_t_phase_weights<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, phase: &TPhas
                 }
             }
         }
+    }
+}
+
+/// Picks the specification or cache-tuned weight fill by GEMM family.
+fn fill_t_phase_weights_for<T: Num>(
+    m: &mut Matrix<T>,
+    k: &Kernels<T>,
+    phase: &TPhase,
+    mm: MatmulKind,
+) {
+    if mm.is_reference() {
+        fill_t_phase_weights_ref(m, k, phase);
+    } else {
+        fill_t_phase_weights(m, k, phase);
     }
 }
 
@@ -295,8 +410,11 @@ pub fn t_conv_zero_free_sized<T: Num>(
             // exactly as the golden scatter leaves them.
             continue;
         }
-        let patches = t_phase_patches(input, geom, &phase);
-        let weights = t_phase_weights(k, &phase);
+        let cols = input.channels() * phase.kys.len() * phase.kxs.len();
+        let mut patches = Matrix::zeros(phase.oys.len() * phase.oxs.len(), cols);
+        fill_t_phase_patches_for(&mut patches, input, geom, &phase, mm);
+        let mut weights = Matrix::zeros(k.n_of() * phase.kys.len() * phase.kxs.len(), k.n_if());
+        fill_t_phase_weights_for(&mut weights, k, &phase, mm);
         let product = mm.run(&patches, &weights)?;
         for lf in 0..k.n_if() {
             for (ri, &oy) in phase.oys.iter().enumerate() {
@@ -362,9 +480,9 @@ pub fn t_conv_zero_free_sized_ws<T: Num>(
         // take_matrix zero-fills — required: the patch fill writes only
         // in-bounds entries.
         let mut patches = ws.take_matrix(phase.oys.len() * phase.oxs.len(), cols);
-        fill_t_phase_patches(&mut patches, input, geom, phase);
+        fill_t_phase_patches_for(&mut patches, input, geom, phase, mm);
         let mut weights = ws.take_matrix(k.n_of() * phase.kys.len() * phase.kxs.len(), k.n_if());
-        fill_t_phase_weights(&mut weights, k, phase);
+        fill_t_phase_weights_for(&mut weights, k, phase, mm);
         let product = mm.run_ws(&patches, &weights, ws)?;
         ws.give_matrix(patches);
         ws.give_matrix(weights);
@@ -392,6 +510,34 @@ pub fn weights_as_matrix_s_swapped<T: Num>(k: &Kernels<T>) -> Matrix<T> {
 /// Fills a `(n_if·kh·kw) × n_of` matrix with the channel-swapped weight
 /// layout of [`weights_as_matrix_s_swapped`]. Writes every cell.
 fn fill_weights_as_matrix_s_swapped<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
+    // Row-major traversal: each output row is written contiguously, and
+    // for a fixed `lf` the strided reads revisit the same few cache lines
+    // of every `sf` block across the `(ky, kx)` sweep. The column-major
+    // variant (outer `sf`) re-walks the whole matrix once per column and
+    // is memory-bound on the writes.
+    let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
+    let kdata = k.as_slice();
+    let mut row = 0;
+    for lf in 0..n_if {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let off = (lf * kh + ky) * kw + kx;
+                let dst = m.row_mut(row);
+                for (sf, d) in dst.iter_mut().enumerate() {
+                    *d = kdata[sf * n_if * kh * kw + off];
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Specification form of [`fill_weights_as_matrix_s_swapped`]:
+/// column-major traversal through the kernel accessor, as the reshape is
+/// defined. The reference engines run this loop (see
+/// [`MatmulKind::is_reference`]); tests pin it bit-identical to the
+/// row-major fill.
+fn fill_weights_as_matrix_s_swapped_ref<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
     for sf in 0..k.n_of() {
         let mut row = 0;
         for lf in 0..k.n_if() {
@@ -402,6 +548,16 @@ fn fill_weights_as_matrix_s_swapped<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>) {
                 }
             }
         }
+    }
+}
+
+/// Picks the specification or cache-tuned swapped-weight fill by GEMM
+/// family.
+fn fill_weights_as_matrix_s_swapped_for<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, mm: MatmulKind) {
+    if mm.is_reference() {
+        fill_weights_as_matrix_s_swapped_ref(m, k);
+    } else {
+        fill_weights_as_matrix_s_swapped(m, k);
     }
 }
 
@@ -427,7 +583,9 @@ pub fn t_conv_input_grad_via_gemm<T: Num>(
         )));
     }
     let lowered = im2col_s(delta_out, geom);
-    let product = mm.run(&lowered.patches, &weights_as_matrix_s_swapped(k))?;
+    let mut swapped = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+    fill_weights_as_matrix_s_swapped_for(&mut swapped, k, mm);
+    let product = mm.run(&lowered.patches, &swapped)?;
     let (oh, ow) = lowered.out_hw;
     let mut out = Fmaps::zeros(k.n_of(), oh, ow);
     for sf in 0..k.n_of() {
@@ -462,7 +620,7 @@ pub fn t_conv_input_grad_via_gemm_ws<T: Num>(
     }
     let lowered = im2col_s_ws(delta_out, geom, ws);
     let mut swapped = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
-    fill_weights_as_matrix_s_swapped(&mut swapped, k);
+    fill_weights_as_matrix_s_swapped_for(&mut swapped, k, mm);
     let product = mm.run_ws(&lowered.patches, &swapped, ws)?;
     let (oh, ow) = lowered.out_hw;
     ws.give_matrix(lowered.patches);
@@ -511,18 +669,10 @@ pub fn w_conv_s_via_gemm<T: Num>(
     let delta_mat = Matrix::from_vec(delta_out.channels(), oh * ow, delta_out.as_slice().to_vec());
     let lowered = im2col_s(input, geom);
     let product = mm.run(&delta_mat, &lowered.patches)?;
+    // The product's `of × (if·ky·kx)` row-major layout is exactly the
+    // kernel tensor's flat layout — reshape by bulk copy.
     let mut grad = Kernels::zeros(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
-    for of in 0..delta_out.channels() {
-        let mut col = 0;
-        for if_ in 0..input.channels() {
-            for ky in 0..geom.kh() {
-                for kx in 0..geom.kw() {
-                    *grad.at_mut(of, if_, ky, kx) = *product.at(of, col);
-                    col += 1;
-                }
-            }
-        }
-    }
+    grad.as_mut_slice().copy_from_slice(product.as_slice());
     Ok(grad)
 }
 
@@ -559,17 +709,8 @@ pub fn w_conv_s_via_gemm_ws<T: Num>(
     ws.give_matrix(delta_mat);
     ws.give_matrix(lowered.patches);
     let mut grad = ws.take_kernels(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
-    for of in 0..delta_out.channels() {
-        let mut col = 0;
-        for if_ in 0..input.channels() {
-            for ky in 0..geom.kh() {
-                for kx in 0..geom.kw() {
-                    *grad.at_mut(of, if_, ky, kx) = *product.at(of, col);
-                    col += 1;
-                }
-            }
-        }
-    }
+    // Same flat layout on both sides (see `w_conv_s_via_gemm`).
+    grad.as_mut_slice().copy_from_slice(product.as_slice());
     ws.give_matrix(product);
     Ok(grad)
 }
@@ -649,18 +790,10 @@ pub fn w_conv_t_zero_free<T: Num>(
     let input_mat = Matrix::from_vec(input.channels(), ih * iw, input.as_slice().to_vec());
     let patches = im2col_wgrad_t(delta_out, geom, ih, iw);
     let product = mm.run(&input_mat, &patches)?;
+    // The product's `sf × (lf·ky·kx)` row-major layout is exactly the
+    // kernel tensor's flat layout — reshape by bulk copy.
     let mut grad = Kernels::zeros(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
-    for sf in 0..input.channels() {
-        let mut col = 0;
-        for lf in 0..delta_out.channels() {
-            for ky in 0..geom.kh() {
-                for kx in 0..geom.kw() {
-                    *grad.at_mut(sf, lf, ky, kx) = *product.at(sf, col);
-                    col += 1;
-                }
-            }
-        }
-    }
+    grad.as_mut_slice().copy_from_slice(product.as_slice());
     Ok(grad)
 }
 
@@ -699,17 +832,8 @@ pub fn w_conv_t_zero_free_ws<T: Num>(
     ws.give_matrix(input_mat);
     ws.give_matrix(patches);
     let mut grad = ws.take_kernels(input.channels(), delta_out.channels(), geom.kh(), geom.kw());
-    for sf in 0..input.channels() {
-        let mut col = 0;
-        for lf in 0..delta_out.channels() {
-            for ky in 0..geom.kh() {
-                for kx in 0..geom.kw() {
-                    *grad.at_mut(sf, lf, ky, kx) = *product.at(sf, col);
-                    col += 1;
-                }
-            }
-        }
-    }
+    // Same flat layout on both sides (see `w_conv_t_zero_free`).
+    grad.as_mut_slice().copy_from_slice(product.as_slice());
     ws.give_matrix(product);
     Ok(grad)
 }
@@ -800,11 +924,7 @@ mod tests {
         let x: Fmaps<f32> = Fmaps::random(5, 6, 6, 1.0, &mut rng);
         let k: Kernels<f32> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
         let golden = t_conv(&x, &k, &geom()).unwrap();
-        for mm in [
-            MatmulKind::Naive,
-            MatmulKind::Blocked,
-            MatmulKind::Parallel(3),
-        ] {
+        for mm in [MatmulKind::Naive, MatmulKind::BlockedScalar] {
             let fast = t_conv_zero_free(&x, &k, &geom(), mm).unwrap();
             assert_eq!(golden, fast, "{mm:?}");
         }
@@ -847,7 +967,7 @@ mod tests {
         let golden_s = w_conv_for_s_layer(&x, &d, &g).unwrap();
         assert_eq!(
             golden_s,
-            w_conv_s_via_gemm(&x, &d, &g, MatmulKind::Blocked).unwrap()
+            w_conv_s_via_gemm(&x, &d, &g, MatmulKind::BlockedScalar).unwrap()
         );
         // T layer: input 6×6 → delta 12×12.
         let xt: Fmaps<f32> = Fmaps::random(4, 6, 6, 1.0, &mut rng);
@@ -855,11 +975,11 @@ mod tests {
         let golden_t = w_conv_for_t_layer(&xt, &dt, &g).unwrap();
         assert_eq!(
             golden_t,
-            w_conv_t_zero_free(&xt, &dt, &g, MatmulKind::Blocked).unwrap()
+            w_conv_t_zero_free(&xt, &dt, &g, MatmulKind::BlockedScalar).unwrap()
         );
         assert_eq!(
             golden_t,
-            w_conv_t_via_zero_insert_gemm(&xt, &dt, &g, MatmulKind::Blocked).unwrap()
+            w_conv_t_via_zero_insert_gemm(&xt, &dt, &g, MatmulKind::BlockedScalar).unwrap()
         );
     }
 
@@ -870,7 +990,7 @@ mod tests {
         let d: Fmaps<f32> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
         let k: Kernels<f32> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
         let golden = t_conv_input_grad(&d, &k, &g).unwrap();
-        let fast = t_conv_input_grad_via_gemm(&d, &k, &g, MatmulKind::Blocked).unwrap();
+        let fast = t_conv_input_grad_via_gemm(&d, &k, &g, MatmulKind::BlockedScalar).unwrap();
         assert_eq!(golden, fast);
     }
 
@@ -889,6 +1009,51 @@ mod tests {
         }
         let bad: Fmaps<f32> = Fmaps::zeros(2, 6, 6);
         assert!(t_zero_free_gemm_operands(&bad, &k, &geom()).is_err());
+    }
+
+    /// The reference (specification) fills and the cache-tuned fills must
+    /// produce bit-identical matrices — they are the same reshape, only
+    /// the traversal order differs. Covers boundary-heavy geometries
+    /// where the patch fill's bounds checks matter.
+    #[test]
+    fn reference_and_tuned_fills_are_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(25);
+        let geoms = [
+            (ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap(), 6, 6),
+            (ConvGeom::down(14, 14, 5, 5, 2, 7, 7).unwrap(), 7, 7),
+            (ConvGeom::down(7, 7, 3, 3, 3, 3, 3).unwrap(), 3, 3),
+            (ConvGeom::new(7, 7, 1, 0, 0, 0, 0).unwrap(), 1, 1),
+        ];
+        for (g, ih, iw) in &geoms {
+            let (ih, iw) = (*ih, *iw);
+            let x: Fmaps<f32> = Fmaps::random(3, ih, iw, 1.0, &mut rng);
+            let k: Kernels<f32> = Kernels::random(3, 4, g.kh(), g.kw(), 1.0, &mut rng);
+            let (oh, ow) = g.up_out(ih, iw);
+            for phase in t_phases(g, oh, ow) {
+                if phase.kys.is_empty() || phase.kxs.is_empty() {
+                    continue;
+                }
+                let cols = x.channels() * phase.kys.len() * phase.kxs.len();
+                let rows = phase.oys.len() * phase.oxs.len();
+                let mut tuned = Matrix::zeros(rows, cols);
+                fill_t_phase_patches(&mut tuned, &x, g, &phase);
+                let mut reference = Matrix::zeros(rows, cols);
+                fill_t_phase_patches_ref(&mut reference, &x, g, &phase);
+                assert_eq!(tuned, reference, "patches, {g:?}");
+
+                let wrows = k.n_of() * phase.kys.len() * phase.kxs.len();
+                let mut tuned = Matrix::zeros(wrows, k.n_if());
+                fill_t_phase_weights(&mut tuned, &k, &phase);
+                let mut reference = Matrix::zeros(wrows, k.n_if());
+                fill_t_phase_weights_ref(&mut reference, &k, &phase);
+                assert_eq!(tuned, reference, "weights, {g:?}");
+            }
+            let mut tuned = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+            fill_weights_as_matrix_s_swapped(&mut tuned, &k);
+            let mut reference = Matrix::zeros(k.n_if() * k.kh() * k.kw(), k.n_of());
+            fill_weights_as_matrix_s_swapped_ref(&mut reference, &k);
+            assert_eq!(tuned, reference, "swapped weights, {g:?}");
+        }
     }
 
     #[test]

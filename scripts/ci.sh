@@ -15,6 +15,12 @@ cargo build --release
 echo "=== cargo test ==="
 cargo test -q
 
+echo "=== tensor suite under ZFGAN_NO_SIMD=1 ==="
+# The portable scalar kernels must pass the same suite as the runtime-
+# detected SIMD kernels — the microkernel dispatch table's fallback
+# contract.
+ZFGAN_NO_SIMD=1 cargo test -q -p zfgan-tensor
+
 echo "=== fault-injection smoke campaign ==="
 # Fixed seed; the binary exits non-zero if any resilience invariant is
 # violated (no detections, silent accumulator corruptions, training
@@ -40,11 +46,22 @@ cargo run -q --release -p zfgan -- trace --check "$tdir/s2.json" | grep '^determ
 diff "$tdir/sd1" "$tdir/sd2"
 echo "telemetry deterministic sections are byte-identical"
 
-echo "=== bench smoke (pool + workspace regression gates) ==="
-# Short measurement windows; each harness asserts its own gate (pooled
-# GEMM >= 1.0x vs naive, workspace+pool training step > 1.0x vs the
-# allocating baseline). ZFGAN_RESULTS_DIR keeps the quick numbers out of
-# the tracked results/ sidecars.
+echo "=== Q8.8 SIMD byte-identity sweep ==="
+# The vectorized fixed-point microkernel must reproduce the scalar Fx
+# semantics bit-for-bit: the deterministic Q8.8 conv sweep's transcript
+# (digests of every result's raw i16 payload) is diffed between a
+# SIMD-dispatched run and a ZFGAN_NO_SIMD=1 run.
+cargo run -q --release -p zfgan-bench --bin fxsweep > "$tdir/fx_simd.txt"
+ZFGAN_NO_SIMD=1 cargo run -q --release -p zfgan-bench --bin fxsweep > "$tdir/fx_scalar.txt"
+diff "$tdir/fx_simd.txt" "$tdir/fx_scalar.txt"
+echo "Q8.8 sweep transcripts are byte-identical"
+
+echo "=== bench smoke (pool + workspace + microkernel regression gates) ==="
+# Short measurement windows; each harness asserts its own gate (packed
+# GEMM >= 4x vs naive, packed train step >= 2x vs the reference engine,
+# exec engine >= 3x headline / >= 1.5x wgrad vs the scalar oracle).
+# ZFGAN_RESULTS_DIR keeps the quick numbers out of the tracked results/
+# sidecars.
 ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
     cargo bench -q -p zfgan-bench --bench gemm > /dev/null
 ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \

@@ -1,8 +1,17 @@
-//! Bit-identity of the fast convolution backends: over randomly drawn
-//! geometries and operands, every [`ConvBackend`] must produce *exactly*
-//! the same bits as the golden loop nests, for every family the layers
-//! dispatch (S-CONV, T-CONV, both input-gradient passes, both W-CONVs),
-//! and the parallel GEMM must be bit-identical for every thread count.
+//! Bit-identity contracts of the fast convolution backends, split by
+//! kernel family (see `zfgan_tensor::gemm` module docs):
+//!
+//! * **Scalar family** — [`ConvBackend::ScalarRef`] reproduces the golden
+//!   loop nests *bit for bit*, for every family the layers dispatch
+//!   (S-CONV, T-CONV, both input-gradient passes, both W-CONVs).
+//! * **Packed family** — every packed-microkernel backend (dense- or
+//!   zero-free-lowered, single-threaded or pooled at any thread count)
+//!   produces *one* identical result: the packed f32 kernel's fused
+//!   accumulation order is deterministic, and it stays within the fused
+//!   accumulation-error bound of the golden nests.
+//! * **Fixed point** — with [`Fx`] (Q8.8) operands the packed kernel is
+//!   bit-identical to the scalar semantics, so *every* backend matches
+//!   golden exactly.
 //!
 //! This is the contract that lets training default to the zero-free path
 //! while the golden nests stay the validation oracle.
@@ -12,15 +21,21 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use zfgan::tensor::gemm::{matmul_parallel, MatmulKind};
 use zfgan::tensor::im2col::Matrix;
-use zfgan::tensor::{ConvBackend, ConvGeom, Fmaps, Kernels};
+use zfgan::tensor::{ConvBackend, ConvGeom, Fmaps, Fx, Kernels};
 
-const BACKENDS: [ConvBackend; 5] = [
-    ConvBackend::GoldenDirect,
+/// The packed-microkernel backends: mutually bit-identical for every
+/// element type, and bit-identical to golden for `Fx`.
+const PACKED: [ConvBackend; 4] = [
     ConvBackend::LoweredGemm,
     ConvBackend::LoweredZeroFree,
     ConvBackend::Parallel(2),
     ConvBackend::Parallel(7),
 ];
+
+/// Allowed f32 drift between the packed fused accumulation order and the
+/// golden nests on these tiny layers (reductions of at most a few hundred
+/// unit-scale terms; the worst observed drift is orders below this).
+const ACC_BOUND: f64 = 1e-4;
 
 /// A randomly drawn layer: geometry plus channel counts, with the input
 /// size chosen as an exact multiple of the stride so both directions of
@@ -67,57 +82,89 @@ fn sparse(c: usize, h: usize, w: usize, rng: &mut SmallRng) -> Fmaps<f32> {
     Fmaps::random(c, h, w, 1.0, rng).map(|v| if v > 0.0 { v } else { 0.0 })
 }
 
+/// The six convolution passes the layers dispatch, evaluated on one
+/// backend, as a uniform list for family-wise comparison.
+fn six_passes<T: zfgan::tensor::Num>(
+    b: ConvBackend,
+    x: &Fmaps<T>,
+    z: &Fmaps<T>,
+    k: &Kernels<T>,
+    g: &ConvGeom,
+    in_hw: usize,
+) -> (Vec<Fmaps<T>>, Vec<Kernels<T>>) {
+    let y = b.s_conv(x, k, g).unwrap();
+    let up = b.t_conv(z, k, g).unwrap();
+    let sig = b.s_conv_input_grad(&y, k, g, in_hw, in_hw).unwrap();
+    let tig = b.t_conv_input_grad(&up, k, g).unwrap();
+    let ws = b.w_conv_for_s_layer(x, &y, g).unwrap();
+    let wt = b.w_conv_for_t_layer(z, &up, g).unwrap();
+    (vec![y, up, sig, tig], vec![ws, wt])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Every backend reproduces the golden nests bit for bit on all six
-    /// dispatched convolution passes.
+    /// Family-wise backend contract on all six dispatched convolution
+    /// passes: ScalarRef is bit-identical to golden; the packed backends
+    /// are bit-identical to each other and within the accumulation bound
+    /// of golden.
     #[test]
-    fn backends_are_bit_identical_to_golden(layer in arb_layer()) {
+    fn backends_are_bit_identical_within_their_family(layer in arb_layer()) {
         let mut rng = SmallRng::seed_from_u64(layer.seed);
         let g = &layer.geom;
         let x = sparse(layer.large_c, layer.in_hw, layer.in_hw, &mut rng);
         let z = sparse(layer.small_c, layer.out_hw, layer.out_hw, &mut rng);
         let k = Kernels::random(layer.small_c, layer.large_c, g.kh(), g.kw(), 0.5, &mut rng);
 
-        let golden = ConvBackend::GoldenDirect;
-        let y = golden.s_conv(&x, &k, g).unwrap();
-        let up = golden.t_conv(&z, &k, g).unwrap();
-        let sig = golden.s_conv_input_grad(&y, &k, g, layer.in_hw, layer.in_hw).unwrap();
-        let tig = golden.t_conv_input_grad(&up, &k, g).unwrap();
-        let ws = golden.w_conv_for_s_layer(&x, &y, g).unwrap();
-        let wt = golden.w_conv_for_t_layer(&z, &up, g).unwrap();
+        let (gf, gk) = six_passes(ConvBackend::GoldenDirect, &x, &z, &k, g, layer.in_hw);
 
-        for b in BACKENDS {
-            prop_assert_eq!(&y, &b.s_conv(&x, &k, g).unwrap(), "{:?} s_conv", b);
-            prop_assert_eq!(&up, &b.t_conv(&z, &k, g).unwrap(), "{:?} t_conv", b);
-            prop_assert_eq!(
-                &sig,
-                &b.s_conv_input_grad(&y, &k, g, layer.in_hw, layer.in_hw).unwrap(),
-                "{:?} s_conv_input_grad", b
-            );
-            prop_assert_eq!(
-                &tig,
-                &b.t_conv_input_grad(&up, &k, g).unwrap(),
-                "{:?} t_conv_input_grad", b
-            );
-            prop_assert_eq!(
-                &ws,
-                &b.w_conv_for_s_layer(&x, &y, g).unwrap(),
-                "{:?} w_conv_for_s_layer", b
-            );
-            prop_assert_eq!(
-                &wt,
-                &b.w_conv_for_t_layer(&z, &up, g).unwrap(),
-                "{:?} w_conv_for_t_layer", b
-            );
+        // Scalar family: exact golden reproduction.
+        let (sf, sk) = six_passes(ConvBackend::ScalarRef, &x, &z, &k, g, layer.in_hw);
+        prop_assert_eq!(&gf, &sf, "ScalarRef fmaps passes diverged from golden");
+        prop_assert_eq!(&gk, &sk, "ScalarRef w-conv passes diverged from golden");
+
+        // Packed family: one deterministic result, near golden.
+        let (pf, pk) = six_passes(PACKED[0], &x, &z, &k, g, layer.in_hw);
+        for (gold, packed) in gf.iter().zip(&pf) {
+            prop_assert!(gold.max_abs_diff(packed) <= ACC_BOUND, "packed fmaps pass drifted");
+        }
+        for (gold, packed) in gk.iter().zip(&pk) {
+            prop_assert!(gold.max_abs_diff(packed) <= ACC_BOUND, "packed w-conv pass drifted");
+        }
+        for b in &PACKED[1..] {
+            let (bf, bk) = six_passes(*b, &x, &z, &k, g, layer.in_hw);
+            prop_assert_eq!(&pf, &bf, "{:?} fmaps passes diverged from packed family", b);
+            prop_assert_eq!(&pk, &bk, "{:?} w-conv passes diverged from packed family", b);
         }
     }
 
-    /// The blocked and parallel GEMM kernels match the naive triple loop
-    /// bit for bit, for any shape, sparsity and thread count.
+    /// With Q8.8 fixed-point operands the packed kernel replicates the
+    /// scalar saturating chain exactly, so every backend — scalar or
+    /// packed, any thread count — is bit-identical to golden.
     #[test]
-    fn gemm_kernels_are_bit_identical(
+    fn fx_backends_are_bit_identical_to_golden(layer in arb_layer()) {
+        let mut rng = SmallRng::seed_from_u64(layer.seed ^ 0x5eed);
+        let g = &layer.geom;
+        let x = sparse(layer.large_c, layer.in_hw, layer.in_hw, &mut rng).map(Fx::from_f32);
+        let z = sparse(layer.small_c, layer.out_hw, layer.out_hw, &mut rng).map(Fx::from_f32);
+        let k = Kernels::random(layer.small_c, layer.large_c, g.kh(), g.kw(), 0.5, &mut rng)
+            .map(Fx::from_f32);
+
+        let golden = six_passes(ConvBackend::GoldenDirect, &x, &z, &k, g, layer.in_hw);
+        let backends = [ConvBackend::ScalarRef, PACKED[0], PACKED[1], PACKED[2], PACKED[3]];
+        for b in backends {
+            let got = six_passes(b, &x, &z, &k, g, layer.in_hw);
+            prop_assert_eq!(&golden, &got, "{:?} diverged from golden on Fx", b);
+        }
+    }
+
+    /// GEMM kernel contracts, for any shape, sparsity and thread count:
+    /// the retained scalar kernel matches the naive triple loop bit for
+    /// bit; the packed blocked and parallel kernels match *each other*
+    /// bit for bit and stay within the fused accumulation-error bound of
+    /// naive; Q8.8 is bit-identical across all kernels.
+    #[test]
+    fn gemm_kernels_honor_their_family_contracts(
         m in 1usize..=40,
         kk in 1usize..=48,
         n in 1usize..=70,
@@ -141,7 +188,25 @@ proptest! {
         let a = draw(m, kk);
         let b = draw(kk, n);
         let naive = MatmulKind::Naive.run(&a, &b).unwrap();
-        prop_assert_eq!(&naive, &MatmulKind::Blocked.run(&a, &b).unwrap());
-        prop_assert_eq!(&naive, &matmul_parallel(&a, &b, threads).unwrap());
+        prop_assert_eq!(&naive, &MatmulKind::BlockedScalar.run(&a, &b).unwrap());
+
+        let blocked = MatmulKind::Blocked.run(&a, &b).unwrap();
+        prop_assert_eq!(&blocked, &matmul_parallel(&a, &b, threads).unwrap());
+        // Operands are in [-1, 1], so each output element is a reduction
+        // of kk unit-scale terms: |fused - naive| <= 2 * kk^2 * eps.
+        let bound = f64::from(2.0 * (kk * kk) as f32 * f32::EPSILON).max(1e-6);
+        for (nv, bv) in naive.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert!(
+                (f64::from(*nv) - f64::from(*bv)).abs() <= bound,
+                "packed f32 strayed beyond the accumulation bound"
+            );
+        }
+
+        let afx = Matrix::from_vec(m, kk, a.as_slice().iter().map(|v| Fx::from_f32(*v)).collect());
+        let bfx = Matrix::from_vec(kk, n, b.as_slice().iter().map(|v| Fx::from_f32(*v)).collect());
+        let naive_fx = MatmulKind::Naive.run(&afx, &bfx).unwrap();
+        prop_assert_eq!(&naive_fx, &MatmulKind::BlockedScalar.run(&afx, &bfx).unwrap());
+        prop_assert_eq!(&naive_fx, &MatmulKind::Blocked.run(&afx, &bfx).unwrap());
+        prop_assert_eq!(&naive_fx, &matmul_parallel(&afx, &bfx, threads).unwrap());
     }
 }
