@@ -2,13 +2,13 @@
 //! phases (`D̄/Ḡ`, `Ḡ/D̄`, `D̄w`, `Ḡw`), normalized to improved NLR,
 //! at equal PE budgets (ST phases: 1200 PEs, W phases: 480 PEs).
 
-use serde::Serialize;
-use zfgan_bench::{emit, fmt_x, par_map, TextTable};
+use serde::{Deserialize, Serialize};
+use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
 use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
 use zfgan_sim::{ConvKind, ConvShape};
 use zfgan_workloads::GanSpec;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     gan: String,
     phase: &'static str,
@@ -35,28 +35,33 @@ fn main() {
             points.push((spec.clone(), label, kind, budget));
         }
     }
-    let rows: Vec<Row> = par_map(&points, |(spec, label, kind, budget)| {
-        let phases: Vec<ConvShape> = spec.phase_set(*kind);
-        let nlr_cycles = {
-            let tuned = PhaseTuned::tune(ArchKind::Nlr, *budget, &phases);
-            tuned.schedule_all(&phases).cycles
-        };
-        ArchKind::ALL
-            .into_iter()
-            .map(|arch| {
-                let tuned = PhaseTuned::tune(arch, *budget, &phases);
-                let stats = tuned.schedule_all(&phases);
-                Row {
-                    gan: spec.name().to_string(),
-                    phase: label,
-                    arch: arch.name(),
-                    cycles: stats.cycles,
-                    speedup_vs_nlr: nlr_cycles as f64 / stats.cycles as f64,
-                    utilization: stats.utilization(),
-                }
-            })
-            .collect::<Vec<Row>>()
-    })
+    let rows: Vec<Row> = par_map_cached(
+        "fig15",
+        &points,
+        |(spec, label, _, budget)| format!("{}|{label}|{budget}", spec.name()),
+        |(spec, label, kind, budget)| {
+            let phases: Vec<ConvShape> = spec.phase_set(*kind);
+            let nlr_cycles = {
+                let tuned = PhaseTuned::tune(ArchKind::Nlr, *budget, &phases);
+                tuned.schedule_all(&phases).cycles
+            };
+            ArchKind::ALL
+                .into_iter()
+                .map(|arch| {
+                    let tuned = PhaseTuned::tune(arch, *budget, &phases);
+                    let stats = tuned.schedule_all(&phases);
+                    Row {
+                        gan: spec.name().to_string(),
+                        phase: label,
+                        arch: arch.name(),
+                        cycles: stats.cycles,
+                        speedup_vs_nlr: nlr_cycles as f64 / stats.cycles as f64,
+                        utilization: stats.utilization(),
+                    }
+                })
+                .collect::<Vec<Row>>()
+        },
+    )
     .into_iter()
     .flatten()
     .collect();

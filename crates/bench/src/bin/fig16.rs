@@ -2,13 +2,13 @@
 //! input-neuron loads and output reads/writes per architecture and phase
 //! group (same tuned configurations as Fig. 15).
 
-use serde::Serialize;
-use zfgan_bench::{emit, par_map, TextTable};
+use serde::{Deserialize, Serialize};
+use zfgan_bench::{emit, par_map_cached, TextTable};
 use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
 use zfgan_sim::ConvKind;
 use zfgan_workloads::GanSpec;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     phase: &'static str,
     arch: &'static str,
@@ -28,24 +28,29 @@ fn main() {
     ];
     // Tune each phase group on its own worker; the ordered merge keeps the
     // row order identical to the sequential sweep.
-    let rows: Vec<Row> = par_map(&groups, |&(label, kind, budget)| {
-        let phases = spec.phase_set(kind);
-        ArchKind::ALL
-            .into_iter()
-            .map(|arch| {
-                let tuned = PhaseTuned::tune(arch, budget, &phases);
-                let s = tuned.schedule_all(&phases);
-                Row {
-                    phase: label,
-                    arch: arch.name(),
-                    weight_reads: s.access.weight_reads,
-                    input_reads: s.access.input_reads,
-                    output_rw: s.access.output_reads + s.access.output_writes,
-                    total: s.access.total(),
-                }
-            })
-            .collect::<Vec<Row>>()
-    })
+    let rows: Vec<Row> = par_map_cached(
+        "fig16",
+        &groups,
+        |(label, _, budget)| format!("{label}|{budget}"),
+        |&(label, kind, budget)| {
+            let phases = spec.phase_set(kind);
+            ArchKind::ALL
+                .into_iter()
+                .map(|arch| {
+                    let tuned = PhaseTuned::tune(arch, budget, &phases);
+                    let s = tuned.schedule_all(&phases);
+                    Row {
+                        phase: label,
+                        arch: arch.name(),
+                        weight_reads: s.access.weight_reads,
+                        input_reads: s.access.input_reads,
+                        output_rw: s.access.output_reads + s.access.output_writes,
+                        total: s.access.total(),
+                    }
+                })
+                .collect::<Vec<Row>>()
+        },
+    )
     .into_iter()
     .flatten()
     .collect();

@@ -3,14 +3,14 @@
 //! PEs. Normalized to unique OST under synchronization (the leftmost
 //! traditional bar).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, par_map, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
 use zfgan_workloads::{GanSpec, PhaseSeq};
 
 const PES: usize = 1680;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     gan: String,
     update: &'static str,
@@ -29,29 +29,34 @@ fn main() {
             points.push((spec.clone(), update, seq));
         }
     }
-    let rows: Vec<Row> = par_map(&points, |(spec, update, seq)| {
-        let baseline = Design::paper_designs()[0]
-            .evaluate(spec, *seq, SyncPolicy::Synchronized, PES)
-            .total_cycles;
-        let mut out = Vec::new();
-        for design in Design::paper_designs() {
-            for (pname, policy) in [
-                ("sync", SyncPolicy::Synchronized),
-                ("deferred", SyncPolicy::Deferred),
-            ] {
-                let r = design.evaluate(spec, *seq, policy, PES);
-                out.push(Row {
-                    gan: spec.name().to_string(),
-                    update,
-                    design: design.name(),
-                    policy: pname,
-                    cycles: r.total_cycles,
-                    speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
-                });
+    let rows: Vec<Row> = par_map_cached(
+        "fig17",
+        &points,
+        |(spec, update, _)| format!("{}|{update}|{PES}", spec.name()),
+        |(spec, update, seq)| {
+            let baseline = Design::paper_designs()[0]
+                .evaluate(spec, *seq, SyncPolicy::Synchronized, PES)
+                .total_cycles;
+            let mut out = Vec::new();
+            for design in Design::paper_designs() {
+                for (pname, policy) in [
+                    ("sync", SyncPolicy::Synchronized),
+                    ("deferred", SyncPolicy::Deferred),
+                ] {
+                    let r = design.evaluate(spec, *seq, policy, PES);
+                    out.push(Row {
+                        gan: spec.name().to_string(),
+                        update,
+                        design: design.name(),
+                        policy: pname,
+                        cycles: r.total_cycles,
+                        speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
+                    });
+                }
             }
-        }
-        out
-    })
+            out
+        },
+    )
     .into_iter()
     .flatten()
     .collect();

@@ -2,13 +2,13 @@
 //! ZFOST, ZFOST-ZFWST, all with deferred synchronization) as the PE count
 //! sweeps 512 → 2048, on a full DCGAN training iteration.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, par_map, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
 use zfgan_dataflow::ArchKind;
 use zfgan_workloads::GanSpec;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     design: String,
     pes: usize,
@@ -39,15 +39,20 @@ fn main() {
             points.push((design, pes));
         }
     }
-    let rows: Vec<Row> = par_map(&points, |&(design, pes)| {
-        let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
-        Row {
-            design: design.name(),
-            pes,
-            cycles_per_sample: cycles,
-            perf_vs_512_nlr_ost: baseline / cycles as f64,
-        }
-    });
+    let rows: Vec<Row> = par_map_cached(
+        "fig18",
+        &points,
+        |(design, pes)| format!("{}|{pes}", design.name()),
+        |&(design, pes)| {
+            let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
+            Row {
+                design: design.name(),
+                pes,
+                cycles_per_sample: cycles,
+                perf_vs_512_nlr_ost: baseline / cycles as f64,
+            }
+        },
+    );
     let mut table = TextTable::new(["Design", "PEs", "Cycles/sample", "Perf vs NLR-OST@512"]);
     for r in &rows {
         table.row([

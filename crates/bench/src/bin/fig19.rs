@@ -2,13 +2,13 @@
 //! accelerator against CPU and GPU platforms on full GAN training
 //! iterations, plus a measured single-thread Rust CPU data point.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use zfgan_accel::{AccelConfig, GanAccelerator};
-use zfgan_bench::{emit, fmt_x, par_map, TextTable};
+use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
 use zfgan_platforms::{measured, Platform};
 use zfgan_workloads::GanSpec;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     gan: String,
     platform: String,
@@ -22,32 +22,37 @@ fn main() {
     // sequential row order); the measured wall-clock point below must stay
     // on one thread to remain a meaningful single-thread sample.
     let specs = GanSpec::all_paper_gans();
-    let mut rows: Vec<Row> = par_map(&specs, |spec| {
-        let phases = spec.iteration_phases();
-        let mut out = Vec::new();
-        // Our accelerator.
-        let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
-        let r = accel.iteration_report(64);
-        out.push(Row {
-            gan: spec.name().to_string(),
-            platform: "FPGA (ours)".to_string(),
-            gops: r.gops,
-            watts: r.watts,
-            gops_per_watt: r.gops_per_watt,
-        });
-        // Analytical platforms.
-        for p in Platform::all_paper_platforms() {
-            let pr = p.run(&phases);
+    let mut rows: Vec<Row> = par_map_cached(
+        "fig19",
+        &specs,
+        |spec| spec.name().to_string(),
+        |spec| {
+            let phases = spec.iteration_phases();
+            let mut out = Vec::new();
+            // Our accelerator.
+            let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
+            let r = accel.iteration_report(64);
             out.push(Row {
                 gan: spec.name().to_string(),
-                platform: p.name().to_string(),
-                gops: pr.gops,
-                watts: p.power_watts(),
-                gops_per_watt: pr.gops_per_watt,
+                platform: "FPGA (ours)".to_string(),
+                gops: r.gops,
+                watts: r.watts,
+                gops_per_watt: r.gops_per_watt,
             });
-        }
-        out
-    })
+            // Analytical platforms.
+            for p in Platform::all_paper_platforms() {
+                let pr = p.run(&phases);
+                out.push(Row {
+                    gan: spec.name().to_string(),
+                    platform: p.name().to_string(),
+                    gops: pr.gops,
+                    watts: p.power_watts(),
+                    gops_per_watt: pr.gops_per_watt,
+                });
+            }
+            out
+        },
+    )
     .into_iter()
     .flatten()
     .collect();

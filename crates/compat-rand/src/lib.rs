@@ -205,6 +205,26 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The generator's raw xoshiro256++ state words — everything
+        /// needed to resume the stream bit-for-bit (checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`SmallRng::state`]. The resumed stream continues exactly
+        /// where the captured one left off.
+        ///
+        /// The all-zero state is xoshiro's degenerate fixed point (the
+        /// stream would be constant zero); callers restoring untrusted
+        /// state should reject it — [`SmallRng::state`] never returns it
+        /// for a generator seeded via `seed_from_u64`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *state;

@@ -45,6 +45,7 @@
 mod activation;
 pub mod batchnorm;
 mod checkpoint;
+pub mod durable;
 pub mod history;
 mod layer;
 pub mod metrics;
@@ -57,7 +58,8 @@ pub mod wgan;
 
 pub use activation::Activation;
 pub use batchnorm::{BatchNorm, BnCache};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use durable::{DurableCheckpointer, DurableSnapshot, TrainRecord};
 pub use history::{fit, IterationRecord, TrainingHistory};
 pub use layer::{ConvLayer, Direction, LayerGrads};
 pub use network::{ConvNet, Trace};

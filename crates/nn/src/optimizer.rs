@@ -66,7 +66,7 @@ impl OptimizerKind {
 /// let mut opt = Optimizer::new(OptimizerKind::Sgd, 5e-4, pair.discriminator());
 /// # let _ = opt;
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Optimizer {
     kind: OptimizerKind,
     learning_rate: f32,
@@ -114,6 +114,68 @@ impl Optimizer {
     /// The learning rate.
     pub fn learning_rate(&self) -> f32 {
         self.learning_rate
+    }
+
+    /// Update steps applied so far (drives Adam's bias correction — part
+    /// of the state a bit-identical resume must restore).
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Checks that this optimizer's moment accumulators are shaped for
+    /// `net` — the guard a deserialised optimizer must pass before a
+    /// resumed training run may use it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first mismatch (layer count,
+    /// weight-moment shape, or bias-moment length).
+    pub fn validate_for(&self, net: &ConvNet) -> Result<(), String> {
+        let layers = net.layers();
+        for (name, ks) in [("weight_v", &self.weight_v), ("weight_m", &self.weight_m)] {
+            if ks.len() != layers.len() {
+                return Err(format!(
+                    "{name} has {} layers, network has {}",
+                    ks.len(),
+                    layers.len()
+                ));
+            }
+            for (l, (k, layer)) in ks.iter().zip(layers).enumerate() {
+                let w = layer.weights();
+                let want = (w.n_of(), w.n_if(), w.kh(), w.kw());
+                let got = (k.n_of(), k.n_if(), k.kh(), k.kw());
+                if got != want {
+                    return Err(format!(
+                        "{name}[{l}] is {got:?}, layer weights are {want:?}"
+                    ));
+                }
+            }
+        }
+        for (name, bs) in [("bias_v", &self.bias_v), ("bias_m", &self.bias_m)] {
+            if bs.len() != layers.len() {
+                return Err(format!(
+                    "{name} has {} layers, network has {}",
+                    bs.len(),
+                    layers.len()
+                ));
+            }
+            for (l, (b, layer)) in bs.iter().zip(layers).enumerate() {
+                if b.len() != layer.out_shape().0 {
+                    return Err(format!(
+                        "{name}[{l}] has {} entries, layer has {} output channels",
+                        b.len(),
+                        layer.out_shape().0
+                    ));
+                }
+            }
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(format!(
+                "learning_rate must be positive and finite, got {}",
+                self.learning_rate
+            ));
+        }
+        Ok(())
     }
 
     /// Applies one step of averaged gradients to `net`.

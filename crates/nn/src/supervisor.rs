@@ -34,6 +34,8 @@ use serde::{Deserialize, Serialize};
 use zfgan_tensor::fault::{FaultPlan, FaultSite};
 use zfgan_tensor::ConvBackend;
 
+use crate::checkpoint::CheckpointError;
+use crate::durable::{DurableCheckpointer, DurableSnapshot, TrainRecord};
 use crate::trainer::{ConfigError, DisStepReport, GanTrainer, GenStepReport, TrainerState};
 
 /// Configuration of a [`SupervisedTrainer`]'s watchdogs.
@@ -196,6 +198,7 @@ pub struct SupervisedTrainer {
     /// injection is deterministic across retries and runs.
     attempts: u64,
     stats: SupervisorStats,
+    checkpointer: Option<DurableCheckpointer>,
 }
 
 impl SupervisedTrainer {
@@ -215,12 +218,61 @@ impl SupervisedTrainer {
             backend: ConvBackend::default(),
             attempts: 0,
             stats: SupervisorStats::default(),
+            checkpointer: None,
         })
     }
 
     /// The wrapped trainer.
     pub fn trainer(&self) -> &GanTrainer {
         &self.trainer
+    }
+
+    /// Attaches a durable checkpointer: [`maybe_publish`] will persist the
+    /// last-good state to its store at the checkpointer's cadence.
+    ///
+    /// [`maybe_publish`]: SupervisedTrainer::maybe_publish
+    pub fn set_checkpointer(&mut self, checkpointer: DurableCheckpointer) {
+        self.checkpointer = Some(checkpointer);
+    }
+
+    /// The attached checkpointer, if any (crash hooks, corruption
+    /// campaigns, direct store access).
+    pub fn checkpointer_mut(&mut self) -> Option<&mut DurableCheckpointer> {
+        self.checkpointer.as_mut()
+    }
+
+    /// Publishes the **last-good** state as a durable snapshot if a
+    /// checkpointer is attached and `iteration` is one of its publication
+    /// points. Returns the published generation, or `None` when not due
+    /// (or no checkpointer is attached).
+    ///
+    /// The snapshot captures the supervisor's rollback checkpoint — the
+    /// state every retry path converges to — plus the step RNG and the
+    /// run's loss records, so a resume replays the exact trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates durability-layer failures as [`CheckpointError`].
+    pub fn maybe_publish(
+        &mut self,
+        iteration: u64,
+        rng: &rand::rngs::SmallRng,
+        records: &[TrainRecord],
+    ) -> Result<Option<u64>, CheckpointError> {
+        let Some(cp) = self.checkpointer.as_mut() else {
+            return Ok(None);
+        };
+        if !cp.is_due(iteration) {
+            return Ok(None);
+        }
+        let snapshot = DurableSnapshot::capture(
+            &self.last_good,
+            self.trainer.config(),
+            rng,
+            iteration,
+            records,
+        );
+        cp.publish(&snapshot).map(Some)
     }
 
     /// The supervision counters so far.

@@ -364,6 +364,18 @@ pub struct TrainerState {
     opt_d: Optimizer,
 }
 
+impl TrainerState {
+    /// The snapshotted GAN pair.
+    pub fn gan(&self) -> &GanPair {
+        &self.gan
+    }
+
+    /// The snapshotted `(generator, discriminator)` optimizers.
+    pub fn optimizers(&self) -> (&Optimizer, &Optimizer) {
+        (&self.opt_g, &self.opt_d)
+    }
+}
+
 /// Drives WGAN training of a [`GanPair`] under a chosen [`SyncMode`].
 ///
 /// The trainer owns a [`ConvWorkspace`] through which every step's conv
@@ -405,6 +417,38 @@ impl GanTrainer {
         config.validate()?;
         let opt_g = Optimizer::new(config.optimizer, config.learning_rate, gan.generator());
         let opt_d = Optimizer::new(config.optimizer, config.learning_rate, gan.discriminator());
+        Ok(Self {
+            gan,
+            config,
+            opt_g,
+            opt_d,
+            workspace: ConvWorkspace::new(),
+        })
+    }
+
+    /// Rebuilds a trainer from restored state — networks **and** optimizer
+    /// moments — so training resumed from a durable snapshot continues the
+    /// exact trajectory (same updates, bit for bit) the interrupted run
+    /// would have taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid or either
+    /// optimizer's accumulators are not shaped for its network (a durable
+    /// snapshot assembled from mismatched generations).
+    pub fn from_parts(
+        gan: GanPair,
+        config: TrainerConfig,
+        opt_g: Optimizer,
+        opt_d: Optimizer,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        opt_g
+            .validate_for(gan.generator())
+            .map_err(|e| ConfigError::new(format!("generator optimizer: {e}")))?;
+        opt_d
+            .validate_for(gan.discriminator())
+            .map_err(|e| ConfigError::new(format!("discriminator optimizer: {e}")))?;
         Ok(Self {
             gan,
             config,

@@ -1,0 +1,1036 @@
+//! Crash-consistent on-disk artifact store.
+//!
+//! The store holds *generations* of a keyed artifact (a checkpoint, a sweep
+//! cell, …) as individual files under `<root>/<key>/gen-<n>.zfc`. Every file
+//! is a self-validating binary envelope (magic, format version, canonical
+//! config hash, payload length, CRC32 of the payload, CRC32 of the header
+//! itself), so a reader can always tell a complete artifact from a torn,
+//! truncated or bit-rotted one — there is no state in which a load silently
+//! returns wrong bytes.
+//!
+//! Durability protocol (per publish):
+//!
+//! 1. write the full envelope to `<key>/.tmp-<n>` and `fsync` the file;
+//! 2. atomically `rename` the temp file onto `gen-<n>.zfc`;
+//! 3. `fsync` the key directory so the rename itself is durable;
+//! 4. prune generations older than the retention window.
+//!
+//! A crash before (2) leaves only a temp file, which readers never look at
+//! and the next publish sweeps away. A crash after (2) leaves a complete
+//! generation. The envelope CRCs cover the remaining failure mode — a torn
+//! rename target on a non-atomic filesystem — by demoting it to "corrupt
+//! generation", which loads skip, falling back to the newest valid prior
+//! generation.
+//!
+//! Transient I/O errors (`Interrupted`, `WouldBlock`, `TimedOut`) are
+//! retried a bounded number of times with deterministic exponential
+//! backoff. Everything observable is counted through `zfgan-telemetry`
+//! wall-clock counters (`store_*_total`), which keeps the deterministic
+//! export section byte-stable across crash/resume and cache hit/miss.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Envelope magic: "ZFCK" (zero-free checkpoint).
+pub const MAGIC: [u8; 4] = *b"ZFCK";
+/// Current envelope format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed envelope header length in bytes.
+pub const HEADER_LEN: usize = 32;
+
+const TMP_PREFIX: &str = ".tmp-";
+const GEN_PREFIX: &str = "gen-";
+const GEN_SUFFIX: &str = ".zfc";
+
+// ---------------------------------------------------------------------------
+// Hashing primitives (dependency-free)
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit hash of `bytes` — the workspace's canonical config hash.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash with a caller-supplied salt folded in first (used
+/// where two independent hashes of the same bytes are wanted).
+#[must_use]
+pub fn fnv64_salted(salt: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a stored envelope failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// The file is shorter than expected (header or payload cut off).
+    Truncated {
+        /// Bytes required for a complete envelope (or header).
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// The header CRC does not match — the header itself is corrupt.
+    HeaderCorrupt,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file is longer than `HEADER_LEN + payload_len`.
+    TrailingGarbage {
+        /// Bytes beyond the declared envelope end.
+        extra: usize,
+    },
+    /// The payload CRC does not match the header's payload CRC.
+    PayloadCorrupt,
+    /// The stored config hash does not match the caller's expectation.
+    ConfigHashMismatch {
+        /// Hash the caller expected.
+        expected: u64,
+        /// Hash stored in the envelope.
+        got: u64,
+    },
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::Truncated { expected, got } => {
+                write!(f, "truncated envelope: need {expected} bytes, have {got}")
+            }
+            EnvelopeError::BadMagic => write!(f, "bad magic (not a zfgan-store envelope)"),
+            EnvelopeError::HeaderCorrupt => write!(f, "header CRC mismatch"),
+            EnvelopeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported format version {v} (max {FORMAT_VERSION})")
+            }
+            EnvelopeError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes beyond declared payload")
+            }
+            EnvelopeError::PayloadCorrupt => write!(f, "payload CRC mismatch"),
+            EnvelopeError::ConfigHashMismatch { expected, got } => {
+                write!(
+                    f,
+                    "config hash {got:#018x} does not match expected {expected:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// A store operation failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed (after exhausting any retries).
+    Io {
+        /// What the store was doing ("create-dir", "write", "rename", …).
+        op: &'static str,
+        /// Path the operation targeted.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// A generation file exists but its envelope failed validation.
+    Corrupt {
+        /// Generation number of the offending file.
+        generation: u64,
+        /// Validation failure.
+        source: EnvelopeError,
+    },
+    /// A generation decoded cleanly but the caller's semantic validator
+    /// rejected its payload.
+    Rejected {
+        /// Generation number of the offending file.
+        generation: u64,
+        /// Validator's one-line reason.
+        reason: String,
+    },
+    /// Generations exist for the key but none survived validation.
+    NoValidGeneration {
+        /// The key that was loaded.
+        key: String,
+        /// Every generation that was tried, newest first, with its failure.
+        skipped: Vec<(u64, String)>,
+    },
+    /// The key contains characters outside `[A-Za-z0-9._-]`.
+    InvalidKey(String),
+    /// The store configuration is invalid (e.g. `keep == 0`).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} failed for {}: {source}", path.display())
+            }
+            StoreError::Corrupt { generation, source } => {
+                write!(f, "generation {generation} corrupt: {source}")
+            }
+            StoreError::Rejected { generation, reason } => {
+                write!(f, "generation {generation} rejected: {reason}")
+            }
+            StoreError::NoValidGeneration { key, skipped } => {
+                write!(
+                    f,
+                    "no valid generation for key '{key}' ({} tried)",
+                    skipped.len()
+                )
+            }
+            StoreError::InvalidKey(k) => {
+                write!(f, "invalid store key '{k}' (allowed: [A-Za-z0-9._-])")
+            }
+            StoreError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope encode / decode
+// ---------------------------------------------------------------------------
+
+/// Builds a complete envelope (header + payload) around `payload`.
+///
+/// Header layout (little-endian):
+///
+/// | bytes  | field                         |
+/// |--------|-------------------------------|
+/// | 0..4   | magic `"ZFCK"`                |
+/// | 4..8   | format version (u32)          |
+/// | 8..16  | canonical config hash (u64)   |
+/// | 16..24 | payload length (u64)          |
+/// | 24..28 | payload CRC32 (u32)           |
+/// | 28..32 | header CRC32 over bytes 0..28 |
+#[must_use]
+pub fn encode_envelope(config_hash: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&config_hash.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    let header_crc = crc32(&out[..28]);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A validated envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Canonical config hash stored by the writer.
+    pub config_hash: u64,
+    /// The validated payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Validates and decodes an envelope produced by [`encode_envelope`].
+///
+/// # Errors
+///
+/// Returns an [`EnvelopeError`] describing exactly which invariant failed
+/// (truncation, bad magic, header corruption, version skew, trailing bytes,
+/// payload corruption). Any single bit flip or truncation of the stored
+/// bytes is detected.
+pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, EnvelopeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(EnvelopeError::Truncated {
+            expected: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let header_crc = u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]);
+    if crc32(&bytes[..28]) != header_crc {
+        // A corrupted magic/version/length/CRC field all land here; check
+        // magic first so a "not our file at all" case reads better.
+        if bytes[..4] != MAGIC {
+            return Err(EnvelopeError::BadMagic);
+        }
+        return Err(EnvelopeError::HeaderCorrupt);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(EnvelopeError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(EnvelopeError::UnsupportedVersion(version));
+    }
+    let u64le = |off: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[off..off + 8]);
+        u64::from_le_bytes(b)
+    };
+    let config_hash = u64le(8);
+    let payload_len = u64le(16) as usize;
+    let total = HEADER_LEN
+        .checked_add(payload_len)
+        .ok_or(EnvelopeError::HeaderCorrupt)?;
+    if bytes.len() < total {
+        return Err(EnvelopeError::Truncated {
+            expected: total,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > total {
+        return Err(EnvelopeError::TrailingGarbage {
+            extra: bytes.len() - total,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..total];
+    let payload_crc = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
+    if crc32(payload) != payload_crc {
+        return Err(EnvelopeError::PayloadCorrupt);
+    }
+    Ok(Envelope {
+        config_hash,
+        payload: payload.to_vec(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Generations retained per key (older ones are pruned). Must be >= 1.
+    pub keep: usize,
+    /// Retries per I/O operation on transient errors.
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` sleeps `base << n` (deterministic ladder).
+    pub backoff_base: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            keep: 4,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Crash injected into the next publish, for crash-consistency testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCrash {
+    /// Write only the first `n` envelope bytes to the temp file, fsync
+    /// them so the torn prefix is really on disk, then abort the process
+    /// before the rename — simulating power loss mid-write.
+    TruncateAt(usize),
+}
+
+/// Deterministic I/O fault hook: given the operation name, return
+/// `Some(kind)` to make the next attempt of that operation fail with an
+/// injected error of that kind (used to exercise the retry ladder).
+pub type IoFaultHook = Box<dyn FnMut(&'static str) -> Option<io::ErrorKind> + Send>;
+
+/// Result of a successful [`Store::load_latest`].
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    /// Generation the payload came from.
+    pub generation: u64,
+    /// Config hash stored alongside the payload.
+    pub config_hash: u64,
+    /// The validated payload.
+    pub payload: Vec<u8>,
+    /// Newer generations that were skipped as corrupt/rejected, newest
+    /// first, with one-line reasons.
+    pub skipped: Vec<(u64, String)>,
+}
+
+/// A crash-consistent, generation-retained artifact store rooted at a
+/// directory.
+pub struct Store {
+    root: PathBuf,
+    cfg: StoreConfig,
+    crash: Option<WriteCrash>,
+    io_fault: Option<IoFaultHook>,
+    /// Sleep function — swapped out in tests so backoff is instant.
+    sleep: fn(Duration),
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("root", &self.root)
+            .field("cfg", &self.cfg)
+            .field("crash", &self.crash)
+            .field("io_fault", &self.io_fault.is_some())
+            .finish()
+    }
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= 128
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        && !key.starts_with('.')
+}
+
+fn transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidConfig`] if `cfg.keep == 0`, or an I/O
+    /// error if the root directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>, cfg: StoreConfig) -> Result<Self, StoreError> {
+        if cfg.keep == 0 {
+            return Err(StoreError::InvalidConfig("keep must be >= 1".into()));
+        }
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|source| StoreError::Io {
+            op: "create-dir",
+            path: root.clone(),
+            source,
+        })?;
+        Ok(Store {
+            root,
+            cfg,
+            crash: None,
+            io_fault: None,
+            sleep: std::thread::sleep,
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Arms a crash to be injected into the next [`Store::publish`].
+    pub fn set_crash_on_next_publish(&mut self, crash: Option<WriteCrash>) {
+        self.crash = crash;
+    }
+
+    /// Installs a deterministic I/O fault hook (see [`IoFaultHook`]).
+    pub fn set_io_fault(&mut self, hook: Option<IoFaultHook>) {
+        self.io_fault = hook;
+    }
+
+    /// Replaces the backoff sleep function (tests use a no-op).
+    pub fn set_sleep(&mut self, sleep: fn(Duration)) {
+        self.sleep = sleep;
+    }
+
+    fn key_dir(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    /// Path of generation `generation` under `key` (exists only if
+    /// published and not yet pruned).
+    #[must_use]
+    pub fn generation_path(&self, key: &str, generation: u64) -> PathBuf {
+        self.key_dir(key)
+            .join(format!("{GEN_PREFIX}{generation:08}{GEN_SUFFIX}"))
+    }
+
+    /// Runs `f` with bounded retry on transient I/O errors, deterministic
+    /// exponential backoff between attempts.
+    fn with_retry<T>(
+        &mut self,
+        op: &'static str,
+        path: &Path,
+        mut f: impl FnMut() -> io::Result<T>,
+    ) -> Result<T, StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            let injected = self
+                .io_fault
+                .as_mut()
+                .and_then(|hook| hook(op))
+                .map(|kind| io::Error::new(kind, format!("injected {op} fault")));
+            let result = match injected {
+                Some(err) => Err(err),
+                None => f(),
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(source) => {
+                    if attempt < self.cfg.max_retries && transient(source.kind()) {
+                        zfgan_telemetry::count_wall("store_retries_total", &[("op", op)], 1);
+                        (self.sleep)(self.cfg.backoff_base.saturating_mul(1 << attempt.min(16)));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(StoreError::Io {
+                        op,
+                        path: path.to_path_buf(),
+                        source,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Generation numbers present for `key`, ascending. Missing key
+    /// directory means no generations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the key is invalid or the directory cannot
+    /// be read.
+    pub fn generations(&mut self, key: &str) -> Result<Vec<u64>, StoreError> {
+        if !valid_key(key) {
+            return Err(StoreError::InvalidKey(key.to_string()));
+        }
+        let dir = self.key_dir(key);
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(source) => {
+                return Err(StoreError::Io {
+                    op: "read-dir",
+                    path: dir,
+                    source,
+                })
+            }
+        };
+        let mut gens: Vec<u64> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let stem = name.strip_prefix(GEN_PREFIX)?.strip_suffix(GEN_SUFFIX)?;
+                stem.parse::<u64>().ok()
+            })
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        Ok(gens)
+    }
+
+    /// Publishes `payload` as the next generation of `key`, returning the
+    /// new generation number. Atomic: a crash at any point leaves either
+    /// the previous latest generation or the new one, never a half-visible
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid keys or when an I/O operation fails
+    /// after exhausting retries.
+    pub fn publish(
+        &mut self,
+        key: &str,
+        config_hash: u64,
+        payload: &[u8],
+    ) -> Result<u64, StoreError> {
+        if !valid_key(key) {
+            return Err(StoreError::InvalidKey(key.to_string()));
+        }
+        let dir = self.key_dir(key);
+        self.with_retry("create-dir", &dir.clone(), || fs::create_dir_all(&dir))?;
+        self.sweep_stale_temps(&dir);
+
+        let generation = self.generations(key)?.last().copied().map_or(1, |g| g + 1);
+        let tmp = dir.join(format!("{TMP_PREFIX}{generation:08}"));
+        let dest = self.generation_path(key, generation);
+        let bytes = encode_envelope(config_hash, payload);
+
+        let crash = self.crash.take();
+        self.with_retry("write", &tmp.clone(), || {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            match crash {
+                Some(WriteCrash::TruncateAt(n)) => {
+                    // Torn write: flush a prefix to real disk, then die
+                    // before the rename. The truncated temp file is all a
+                    // resumer will find of this generation.
+                    f.write_all(&bytes[..n.min(bytes.len())])?;
+                    f.sync_all()?;
+                    zfgan_telemetry::count_wall("store_fsyncs_total", &[], 1);
+                    std::process::abort();
+                }
+                None => {
+                    f.write_all(&bytes)?;
+                    f.sync_all()
+                }
+            }
+        })?;
+        zfgan_telemetry::count_wall("store_fsyncs_total", &[], 1);
+
+        self.with_retry("rename", &dest.clone(), || fs::rename(&tmp, &dest))?;
+        // Make the rename durable: fsync the containing directory.
+        self.with_retry("fsync-dir", &dir.clone(), || {
+            File::open(&dir).and_then(|d| d.sync_all())
+        })?;
+        zfgan_telemetry::count_wall("store_fsyncs_total", &[], 1);
+        zfgan_telemetry::count_wall("store_publishes_total", &[], 1);
+
+        self.prune(key)?;
+        Ok(generation)
+    }
+
+    /// Removes generations beyond the retention window (best effort per
+    /// file; the newest `keep` always survive).
+    fn prune(&mut self, key: &str) -> Result<(), StoreError> {
+        let gens = self.generations(key)?;
+        if gens.len() <= self.cfg.keep {
+            return Ok(());
+        }
+        let cutoff = gens.len() - self.cfg.keep;
+        for &g in &gens[..cutoff] {
+            let path = self.generation_path(key, g);
+            if fs::remove_file(&path).is_ok() {
+                zfgan_telemetry::count_wall("store_prunes_total", &[], 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes leftover temp files from crashed publishes.
+    fn sweep_stale_temps(&self, dir: &Path) {
+        if let Ok(entries) = fs::read_dir(dir) {
+            for e in entries.filter_map(Result::ok) {
+                if e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with(TMP_PREFIX))
+                {
+                    let _ = fs::remove_file(e.path());
+                }
+            }
+        }
+    }
+
+    /// Loads the newest valid generation of `key`.
+    ///
+    /// Walks generations newest-first; corrupt envelopes are recorded in
+    /// [`Loaded::skipped`] and the walk falls back to the next older
+    /// generation. `Ok(None)` means the key has no generations at all.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoValidGeneration`] if generations exist but every
+    /// one failed validation; I/O errors if a file cannot be read after
+    /// retries.
+    pub fn load_latest(&mut self, key: &str) -> Result<Option<Loaded>, StoreError> {
+        self.load_latest_where(key, |_| Ok(()))
+    }
+
+    /// Like [`Store::load_latest`], but also requires the stored config
+    /// hash to equal `expected_hash` (mismatches are skipped like corrupt
+    /// generations — they belong to a different configuration).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::load_latest`].
+    pub fn load_latest_for(
+        &mut self,
+        key: &str,
+        expected_hash: u64,
+    ) -> Result<Option<Loaded>, StoreError> {
+        self.load_latest_where(key, |env| {
+            if env.config_hash == expected_hash {
+                Ok(())
+            } else {
+                Err(EnvelopeError::ConfigHashMismatch {
+                    expected: expected_hash,
+                    got: env.config_hash,
+                }
+                .to_string())
+            }
+        })
+    }
+
+    /// The general fallback-ladder load: walks generations newest-first,
+    /// skipping any whose envelope fails validation **or** whose decoded
+    /// payload `accept` rejects (semantic validation — e.g. a checkpoint
+    /// that parses but fails shape checks falls back too).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::load_latest`].
+    pub fn load_latest_where(
+        &mut self,
+        key: &str,
+        mut accept: impl FnMut(&Envelope) -> Result<(), String>,
+    ) -> Result<Option<Loaded>, StoreError> {
+        let gens = self.generations(key)?;
+        if gens.is_empty() {
+            return Ok(None);
+        }
+        let mut skipped: Vec<(u64, String)> = Vec::new();
+        for &generation in gens.iter().rev() {
+            let path = self.generation_path(key, generation);
+            let bytes = self.with_retry("read", &path.clone(), || {
+                let mut f = File::open(&path)?;
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(buf)
+            })?;
+            let reason = match decode_envelope(&bytes) {
+                Ok(env) => match accept(&env) {
+                    Ok(()) => {
+                        zfgan_telemetry::count_wall("store_loads_total", &[], 1);
+                        if !skipped.is_empty() {
+                            zfgan_telemetry::count_wall(
+                                "store_fallbacks_total",
+                                &[],
+                                skipped.len() as u64,
+                            );
+                        }
+                        return Ok(Some(Loaded {
+                            generation,
+                            config_hash: env.config_hash,
+                            payload: env.payload,
+                            skipped,
+                        }));
+                    }
+                    Err(reason) => reason,
+                },
+                Err(err) => err.to_string(),
+            };
+            zfgan_telemetry::count_wall("store_corrupt_detected_total", &[], 1);
+            skipped.push((generation, reason));
+        }
+        zfgan_telemetry::count_wall("store_fallbacks_total", &[], skipped.len() as u64);
+        Err(StoreError::NoValidGeneration {
+            key: key.to_string(),
+            skipped,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("zfgan-store-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(tag: &str) -> Store {
+        match Store::open(temp_root(tag), StoreConfig::default()) {
+            Ok(mut s) => {
+                s.set_sleep(|_| {});
+                s
+            }
+            Err(e) => panic!("open store: {e}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_single_generation() {
+        let mut s = open("roundtrip");
+        let payload = b"hello durable world".to_vec();
+        let gen = s
+            .publish("ckpt", 0xabcd, &payload)
+            .map_err(|e| e.to_string());
+        assert_eq!(gen, Ok(1));
+        let loaded = s.load_latest("ckpt").ok().flatten();
+        let loaded = match loaded {
+            Some(l) => l,
+            None => panic!("expected a generation"),
+        };
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.config_hash, 0xabcd);
+        assert_eq!(loaded.payload, payload);
+        assert!(loaded.skipped.is_empty());
+    }
+
+    #[test]
+    fn generations_increment_and_prune() {
+        let mut s = open("prune");
+        for i in 0..7u8 {
+            if let Err(e) = s.publish("k", 1, &[i]) {
+                panic!("publish {i}: {e}");
+            }
+        }
+        let gens = s.generations("k").unwrap_or_default();
+        // keep = 4 (default): generations 4..=7 survive.
+        assert_eq!(gens, vec![4, 5, 6, 7]);
+        let l = s.load_latest("k").ok().flatten();
+        assert_eq!(l.map(|l| l.payload), Some(vec![6u8]));
+    }
+
+    #[test]
+    fn load_missing_key_is_none() {
+        let mut s = open("missing");
+        assert!(matches!(s.load_latest("nothing"), Ok(None)));
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_prior() {
+        let mut s = open("fallback");
+        let _ = s.publish("k", 7, b"old-good");
+        let _ = s.publish("k", 7, b"new-corrupt");
+        let path = s.generation_path("k", 2);
+        let mut bytes = fs::read(&path).unwrap_or_default();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).ok();
+        let l = match s.load_latest("k") {
+            Ok(Some(l)) => l,
+            other => panic!("expected fallback load, got {other:?}"),
+        };
+        assert_eq!(l.generation, 1);
+        assert_eq!(l.payload, b"old-good");
+        assert_eq!(l.skipped.len(), 1);
+        assert_eq!(l.skipped[0].0, 2);
+    }
+
+    #[test]
+    fn all_corrupt_is_no_valid_generation() {
+        let mut s = open("allcorrupt");
+        let _ = s.publish("k", 7, b"a");
+        let _ = s.publish("k", 7, b"b");
+        for g in [1u64, 2] {
+            let path = s.generation_path("k", g);
+            fs::write(&path, b"garbage").ok();
+        }
+        match s.load_latest("k") {
+            Err(StoreError::NoValidGeneration { skipped, .. }) => {
+                assert_eq!(skipped.len(), 2)
+            }
+            other => panic!("expected NoValidGeneration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_hash_mismatch_skips_generation() {
+        let mut s = open("hashmatch");
+        let _ = s.publish("k", 0x1111, b"old-config");
+        let _ = s.publish("k", 0x2222, b"new-config");
+        let l = s.load_latest_for("k", 0x1111).ok().flatten();
+        let l = match l {
+            Some(l) => l,
+            None => panic!("expected fallback to matching hash"),
+        };
+        assert_eq!(l.generation, 1);
+        assert_eq!(l.payload, b"old-config");
+        assert_eq!(l.skipped.len(), 1);
+    }
+
+    #[test]
+    fn semantic_reject_falls_back() {
+        let mut s = open("semantic");
+        let _ = s.publish("k", 1, b"valid-json");
+        let _ = s.publish("k", 1, b"parses-but-bad");
+        let l = s.load_latest_where("k", |env| {
+            if env.payload == b"parses-but-bad" {
+                Err("shape mismatch".into())
+            } else {
+                Ok(())
+            }
+        });
+        let l = match l {
+            Ok(Some(l)) => l,
+            other => panic!("expected semantic fallback, got {other:?}"),
+        };
+        assert_eq!(l.payload, b"valid-json");
+        assert_eq!(l.skipped[0].1, "shape mismatch");
+    }
+
+    #[test]
+    fn transient_io_errors_are_retried() {
+        let mut s = open("retry");
+        let mut budget = 2u32;
+        s.set_io_fault(Some(Box::new(move |op| {
+            if op == "write" && budget > 0 {
+                budget -= 1;
+                Some(io::ErrorKind::Interrupted)
+            } else {
+                None
+            }
+        })));
+        assert!(s.publish("k", 1, b"eventually").is_ok());
+        let l = s.load_latest("k").ok().flatten();
+        assert_eq!(l.map(|l| l.payload), Some(b"eventually".to_vec()));
+    }
+
+    #[test]
+    fn persistent_io_error_exhausts_retries() {
+        let mut s = open("exhaust");
+        s.set_io_fault(Some(Box::new(|op| {
+            (op == "write").then_some(io::ErrorKind::Interrupted)
+        })));
+        match s.publish("k", 1, b"never") {
+            Err(StoreError::Io { op: "write", .. }) => {}
+            other => panic!("expected write Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_transient_error_fails_immediately() {
+        let mut s = open("hard");
+        let mut calls = 0u32;
+        s.set_io_fault(Some(Box::new(move |op| {
+            if op == "write" {
+                calls += 1;
+                assert_eq!(calls, 1, "non-transient errors must not retry");
+                Some(io::ErrorKind::PermissionDenied)
+            } else {
+                None
+            }
+        })));
+        assert!(matches!(
+            s.publish("k", 1, b"x"),
+            Err(StoreError::Io { op: "write", .. })
+        ));
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept() {
+        let mut s = open("sweep");
+        let _ = s.publish("k", 1, b"one");
+        let stale = s.key_dir("k").join(format!("{TMP_PREFIX}00000099"));
+        fs::write(&stale, b"torn").ok();
+        let _ = s.publish("k", 1, b"two");
+        assert!(!stale.exists(), "stale temp should be swept on publish");
+    }
+
+    #[test]
+    fn invalid_keys_rejected() {
+        let mut s = open("keys");
+        for bad in ["", "a/b", "..", ".hidden", "sp ace", "x\u{e9}"] {
+            assert!(
+                matches!(s.publish(bad, 0, b"x"), Err(StoreError::InvalidKey(_))),
+                "key {bad:?} should be rejected"
+            );
+        }
+        assert!(s.publish("Ok-key_1.v2", 0, b"x").is_ok());
+    }
+
+    #[test]
+    fn envelope_detects_every_truncation_length() {
+        let bytes = encode_envelope(42, b"some payload bytes");
+        for len in 0..bytes.len() {
+            assert!(
+                decode_envelope(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not decode"
+            );
+        }
+        assert!(decode_envelope(&bytes).is_ok());
+    }
+
+    #[test]
+    fn envelope_detects_trailing_garbage() {
+        let mut bytes = encode_envelope(42, b"payload");
+        bytes.push(0);
+        assert_eq!(
+            decode_envelope(&bytes),
+            Err(EnvelopeError::TrailingGarbage { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn envelope_reports_bad_magic_and_version() {
+        let good = encode_envelope(1, b"p");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_envelope(&bad_magic), Err(EnvelopeError::BadMagic));
+
+        // A re-encoded envelope with a bumped version decodes the header
+        // fine but must be refused as unsupported.
+        let mut v2 = good;
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let hdr = crc32(&v2[..28]);
+        v2[28..32].copy_from_slice(&hdr.to_le_bytes());
+        assert_eq!(
+            decode_envelope(&v2),
+            Err(EnvelopeError::UnsupportedVersion(2))
+        );
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv64_known_vector() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64_salted(1, b"a"));
+    }
+}

@@ -303,9 +303,21 @@ fn class_tag(class: Class) -> &'static str {
     }
 }
 
+/// Sum of every wall-clock-class counter whose metric name is `name`
+/// (across all label sets). Zero when the counter never fired — handy
+/// for asserting store/cache activity without parsing an export.
+pub fn counter_total(reg: &Registry, name: &str) -> u64 {
+    reg.snapshot()
+        .counters
+        .iter()
+        .filter(|(key, _, _)| key.name == name)
+        .map(|(_, _, v)| *v)
+        .sum()
+}
+
 /// Machine-readable JSON for bench bins (`results/telemetry_*.json`):
-/// the deterministic section plus a `wallclock` object with span timings
-/// and wall-class histograms for cross-PR perf trajectory.
+/// the deterministic section plus a `wallclock` object with counters,
+/// span timings and wall-class histograms for cross-PR perf trajectory.
 pub fn telemetry_json(reg: &Registry) -> String {
     let snap = reg.snapshot();
     let mut spans = reg.spans();
@@ -334,9 +346,16 @@ pub fn telemetry_json(reg: &Registry) -> String {
             )
         })
         .collect();
+    let wall_counters: Vec<String> = snap
+        .counters
+        .iter()
+        .filter(|(_, class, _)| *class == Class::WallClock)
+        .map(|(key, _, v)| format!("\"{}\":{}", escape(&key.render()), v))
+        .collect();
     format!(
-        "{{\"deterministic\":{},\n\"wallclock\":{{\"spans\":[{}],\"histograms\":{{{}}}}}}}\n",
+        "{{\"deterministic\":{},\n\"wallclock\":{{\"counters\":{{{}}},\"spans\":[{}],\"histograms\":{{{}}}}}}}\n",
         deterministic_section(reg),
+        wall_counters.join(","),
         span_objs.join(","),
         wall_hists.join(",")
     )

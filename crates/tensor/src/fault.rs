@@ -41,6 +41,11 @@ pub enum FaultSite {
     /// A parameter word corrupted during one trainer step (the
     /// end-to-end site the `SupervisedTrainer` watchdogs).
     TrainerStep,
+    /// A byte of a checkpoint envelope corrupted between write and
+    /// re-read (torn rename target, media rot) — campaigns use this
+    /// site's fires/pick streams to choose which stored byte/bit to
+    /// flip or where to truncate.
+    CheckpointWrite,
 }
 
 impl FaultSite {
@@ -52,6 +57,7 @@ impl FaultSite {
             FaultSite::BufferRead => 0x9e37_79b9_0000_0002,
             FaultSite::DramBurst => 0x9e37_79b9_0000_0003,
             FaultSite::TrainerStep => 0x9e37_79b9_0000_0004,
+            FaultSite::CheckpointWrite => 0x9e37_79b9_0000_0005,
         }
     }
 
@@ -62,6 +68,7 @@ impl FaultSite {
             FaultSite::BufferRead => "buffer-read",
             FaultSite::DramBurst => "dram-burst",
             FaultSite::TrainerStep => "trainer-step",
+            FaultSite::CheckpointWrite => "checkpoint-write",
         }
     }
 }

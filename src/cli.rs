@@ -13,12 +13,14 @@
 use std::sync::Arc;
 
 use crate::accel::{datasheet, AccelConfig, GanAccelerator, MemoryAnalysis};
+use crate::crashtest;
 use crate::dataflow::{exec, Nlr, Ost, Wst, Zfost, Zfwst};
 use crate::faults::{self, CampaignConfig};
 use crate::sim::trace::TraceBuffer;
 use crate::sim::{ConvKind, ConvShape};
 use crate::telemetry::{export, Registry};
 use crate::tensor::{ConvGeom, Fmaps, Kernels};
+use crate::train::{CrashPhase, CrashSpec, TrainArgs};
 use crate::workloads::GanSpec;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -79,6 +81,37 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             faults_cmd(&flags)
         }
+        Some((&"train", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--seed", true),
+                    ("--iters", true),
+                    ("--batch", true),
+                    ("--dir", true),
+                    ("--every", true),
+                    ("--keep", true),
+                    ("--resume", false),
+                    ("--crash-iter", true),
+                    ("--crash-phase", true),
+                    ("--crash-bytes", true),
+                ],
+            )?;
+            train_cmd(&flags)
+        }
+        Some((&"crashtest", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--seed", true),
+                    ("--iters", true),
+                    ("--points", true),
+                    ("--trials", true),
+                    ("--dir", true),
+                ],
+            )?;
+            crashtest_cmd(&flags)
+        }
         Some((&"trace", rest)) => {
             let flags = parse_flags(
                 rest,
@@ -112,6 +145,15 @@ fn usage() -> String {
      \x20                            run the cycle-accurate executors and export a\n\
      \x20                            Chrome-trace / Perfetto JSON timeline\n\
      \x20 trace --check PATH         validate a trace file; print its deterministic section\n\
+     \x20 train [--seed N] [--iters N] [--batch N] [--dir PATH] [--every N]\n\
+     \x20       [--keep K] [--resume]\n\
+     \x20                            deterministic supervised training with durable,\n\
+     \x20                            crash-consistent checkpoints; --resume continues\n\
+     \x20                            bit-identically from the newest valid snapshot\n\
+     \x20 crashtest [--seed N] [--iters N] [--points N] [--trials N] [--dir PATH]\n\
+     \x20                            crash-injection campaign: kill training children at\n\
+     \x20                            seeded points (incl. torn mid-write), corrupt stored\n\
+     \x20                            checkpoints, prove resume is byte-identical\n\
      \x20 help                       this text\n\
      \n\
      <gan> is one of: mnist, dcgan, cgan (or a case-insensitive prefix).\n\
@@ -501,6 +543,80 @@ fn faults_cmd(flags: &Flags<'_>) -> Result<String, String> {
     }
 }
 
+/// `zfgan train`: parse flags into [`TrainArgs`] and run the durable
+/// training loop.
+fn train_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    let mut args = TrainArgs::default();
+    if let Some(seed) = flag_num(flags, "--seed")? {
+        args.seed = seed as u64;
+    }
+    if let Some(iters) = flag_num(flags, "--iters")? {
+        args.iters = iters as u64;
+    }
+    if let Some(batch) = flag_num(flags, "--batch")? {
+        args.batch = batch;
+    }
+    if let Some(every) = flag_num(flags, "--every")? {
+        args.every = every as u64;
+    }
+    if let Some(keep) = flag_num(flags, "--keep")? {
+        args.keep = keep;
+    }
+    args.dir = flag_str(flags, "--dir").map(std::path::PathBuf::from);
+    args.resume = flag_set(flags, "--resume");
+    if let Some(iter) = flag_num(flags, "--crash-iter")? {
+        let phase = match flag_str(flags, "--crash-phase") {
+            Some(s) => CrashPhase::parse(s)?,
+            None => return Err("--crash-iter needs --crash-phase".to_string()),
+        };
+        args.crash = Some(CrashSpec {
+            iteration: iter as u64,
+            phase,
+            bytes: flag_num(flags, "--crash-bytes")?.unwrap_or(0),
+        });
+    } else if flag_str(flags, "--crash-phase").is_some() {
+        return Err("--crash-phase needs --crash-iter".to_string());
+    }
+    crate::train::run_train(&args)
+}
+
+/// `zfgan crashtest`: run the crash-injection campaign with real child
+/// processes, failing (non-zero exit) when any durability invariant is
+/// violated.
+fn crashtest_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    let seed = flag_num(flags, "--seed")?.unwrap_or(2024) as u64;
+    let mut cfg = crashtest::CrashtestConfig::smoke(seed);
+    if let Some(iters) = flag_num(flags, "--iters")? {
+        cfg.iters = iters as u64;
+    }
+    if let Some(points) = flag_num(flags, "--points")? {
+        cfg.points = points;
+    }
+    if let Some(trials) = flag_num(flags, "--trials")? {
+        cfg.trials = trials;
+    }
+    let dir = match flag_str(flags, "--dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("zfgan-crashtest-{}", std::process::id())),
+    };
+    let result = crashtest::run_campaign(&cfg, &crashtest::ExeRunner, &dir)
+        .map_err(|e| format!("campaign failed: {e}"))?;
+    let summary = crashtest::render_summary(&result);
+    let violations = crashtest::violations(&result);
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(format!(
+            "{summary}\nDURABILITY INVARIANTS VIOLATED:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +677,33 @@ mod tests {
         assert!(out.contains("gemm-accumulator"), "{out}");
         assert!(out.contains("Supervised training"), "{out}");
         assert!(out.contains("completed: true"), "{out}");
+    }
+
+    #[test]
+    fn train_runs_and_prints_a_deterministic_line() {
+        let out = run(&args(&["train", "--iters", "2"])).unwrap();
+        assert!(out.contains("deterministic:{\"seed\":2024"), "{out}");
+        let again = run(&args(&["train", "--iters", "2"])).unwrap();
+        assert_eq!(out, again, "same flags must reproduce the same output");
+    }
+
+    #[test]
+    fn train_flag_validation() {
+        let err = run(&args(&["train", "--resume"])).unwrap_err();
+        assert_eq!(err, "--resume requires --dir");
+        let err = run(&args(&["train", "--crash-iter", "1"])).unwrap_err();
+        assert_eq!(err, "--crash-iter needs --crash-phase");
+        let err = run(&args(&["train", "--crash-phase", "mid-write"])).unwrap_err();
+        assert_eq!(err, "--crash-phase needs --crash-iter");
+        let err = run(&args(&[
+            "train",
+            "--crash-iter",
+            "1",
+            "--crash-phase",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("before-publish"), "{err}");
     }
 
     #[test]

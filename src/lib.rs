@@ -18,6 +18,9 @@
 //! * [`pool`] — the persistent work-stealing thread pool behind every
 //!   parallel execution path (deterministic, panic-safe, zero spawns in
 //!   steady state).
+//! * [`store`] — the crash-consistent checkpoint store (atomic
+//!   checksummed generations) behind `zfgan train --resume` and the
+//!   `zfgan crashtest` crash-injection campaign.
 //!
 //! # Quickstart
 //!
@@ -25,7 +28,9 @@
 //! `cargo run --release --example quickstart`.
 
 pub mod cli;
+pub mod crashtest;
 pub mod faults;
+pub mod train;
 
 pub use zfgan_accel as accel;
 pub use zfgan_dataflow as dataflow;
@@ -33,6 +38,7 @@ pub use zfgan_nn as nn;
 pub use zfgan_platforms as platforms;
 pub use zfgan_pool as pool;
 pub use zfgan_sim as sim;
+pub use zfgan_store as store;
 pub use zfgan_telemetry as telemetry;
 pub use zfgan_tensor as tensor;
 pub use zfgan_workloads as workloads;

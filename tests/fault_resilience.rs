@@ -168,3 +168,127 @@ fn nan_injection_rolls_back_and_training_finishes_finite() {
         }
     }
 }
+
+/// Store round-trip + resume preserves the RNG stream bit-for-bit: the
+/// resumed trainer, optimizers and step RNG continue the exact trajectory
+/// of the uninterrupted run.
+#[test]
+fn store_round_trip_resume_preserves_rng_streams_bit_for_bit() {
+    use zfgan::nn::durable::run_config_hash;
+    use zfgan::nn::{DurableCheckpointer, DurableSnapshot, TrainRecord};
+
+    let dir = std::env::temp_dir().join(format!("zfgan-resilience-rng-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = TrainerConfig {
+        n_critic: 1,
+        ..TrainerConfig::default()
+    };
+    let mut init_rng = SmallRng::seed_from_u64(77);
+    let mut trainer = GanTrainer::new(GanPair::tiny(&mut init_rng), config);
+    let mut rng = SmallRng::seed_from_u64(78);
+
+    // Train 3 iterations, snapshot through the store, train 3 more.
+    let mut records = Vec::new();
+    for i in 1..=3u64 {
+        let (d, g) = trainer.train_iteration(2, &mut rng);
+        records.push(TrainRecord {
+            iteration: i,
+            dis_loss: d.dis_loss,
+            gen_loss: g.gen_loss,
+            wasserstein: d.wasserstein_estimate,
+        });
+    }
+    let hash = run_config_hash(trainer.config(), 77, 2);
+    let mut cp = DurableCheckpointer::open_dir(&dir, "rng", hash, 1, 4).unwrap();
+    let snap = DurableSnapshot::capture(&trainer.snapshot(), trainer.config(), &rng, 3, &records);
+    cp.publish(&snap).unwrap();
+
+    // Resume from disk into a *fresh* trainer/RNG.
+    let (_, loaded, skipped) = cp.load_latest().unwrap().unwrap();
+    assert!(skipped.is_empty());
+    let (mut resumed, mut resumed_rng, iter, _) = loaded.resume().unwrap();
+    assert_eq!(iter, 3);
+    assert_eq!(
+        rng.state(),
+        resumed_rng.state(),
+        "restored RNG must carry the exact xoshiro state words"
+    );
+
+    // Both trajectories must stay bit-identical — losses AND RNG words.
+    for _ in 0..3 {
+        let (d1, g1) = trainer.train_iteration(2, &mut rng);
+        let (d2, g2) = resumed.train_iteration(2, &mut resumed_rng);
+        assert_eq!(d1, d2);
+        assert_eq!(g1, g2);
+        assert_eq!(rng.state(), resumed_rng.state(), "RNG streams diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The supervisor's periodic durable publish persists exactly its
+/// last-good state: what `maybe_publish` wrote equals what `capture` on
+/// the live state produces, and corrupting the newest generation falls
+/// back to the previous publish instead of loading garbage.
+#[test]
+fn supervisor_durable_publish_persists_last_good_state() {
+    use zfgan::nn::durable::run_config_hash;
+    use zfgan::nn::{DurableCheckpointer, DurableSnapshot, TrainRecord};
+
+    let dir = std::env::temp_dir().join(format!("zfgan-resilience-publish-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = TrainerConfig {
+        n_critic: 1,
+        ..TrainerConfig::default()
+    };
+    let mut init_rng = SmallRng::seed_from_u64(90);
+    let trainer = GanTrainer::new(GanPair::tiny(&mut init_rng), config);
+    let hash = run_config_hash(&config, 90, 2);
+    let mut sup = SupervisedTrainer::new(trainer, SupervisorConfig::default()).unwrap();
+    sup.set_checkpointer(DurableCheckpointer::open_dir(&dir, "train", hash, 1, 4).unwrap());
+
+    let mut rng = SmallRng::seed_from_u64(91);
+    let mut records: Vec<TrainRecord> = Vec::new();
+    let mut generations = Vec::new();
+    for i in 1..=3u64 {
+        let (d, g) = sup.train_iteration(2, &mut rng).unwrap();
+        records.push(TrainRecord {
+            iteration: i,
+            dis_loss: d.dis_loss,
+            gen_loss: g.gen_loss,
+            wasserstein: d.wasserstein_estimate,
+        });
+        generations.push(sup.maybe_publish(i, &rng, &records).unwrap().unwrap());
+    }
+    assert_eq!(generations, vec![1, 2, 3]);
+
+    // What landed on disk is exactly the live last-good state.
+    let expected = DurableSnapshot::capture(
+        &sup.trainer().snapshot(),
+        sup.trainer().config(),
+        &rng,
+        3,
+        &records,
+    );
+    let cp = sup.checkpointer_mut().unwrap();
+    let (generation, loaded, _) = cp.load_latest().unwrap().unwrap();
+    assert_eq!(generation, 3);
+    assert_eq!(loaded.to_json(), expected.to_json());
+
+    // Flip one byte of the newest generation: load must fall back to
+    // generation 2 — iteration 2's state — never load the corrupt bytes.
+    let path = cp.store_mut().generation_path("train", 3);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let (generation, fallback, skipped) = cp.load_latest().unwrap().unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(fallback.iteration, 2);
+    assert!(
+        !skipped.is_empty(),
+        "the skipped corrupt generation must be reported"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
