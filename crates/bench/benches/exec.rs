@@ -20,30 +20,12 @@ use std::time::Duration;
 use criterion::Criterion;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit_bench, fmt_x, BenchRow, TextTable};
 use zfgan_dataflow::exec::{self, scalar};
 use zfgan_dataflow::{ExecWorkspace, Nlr, Ost, Wst, Zfost, Zfwst};
 use zfgan_sim::{ConvKind, ConvShape};
 use zfgan_tensor::microkernel::simd_label;
 use zfgan_tensor::{ConvGeom, Fmaps, Kernels};
-
-#[derive(Serialize)]
-struct Row {
-    id: String,
-    mean_ns: f64,
-    min_ns: f64,
-    stddev_ns: f64,
-    iters: u64,
-    /// Worker threads the side runs on: the engine fans channel groups
-    /// across the `zfgan-pool` workers, the scalar oracle is serial.
-    threads: usize,
-    /// Active SIMD kernel: `"avx2"` or `"scalar"` (`ZFGAN_NO_SIMD=1`).
-    simd: &'static str,
-    /// Engine speedup over the scalar oracle for the same executor
-    /// (1.0 for the oracle rows themselves).
-    speedup: f64,
-}
 
 fn measurement_ms() -> u64 {
     std::env::var("ZFGAN_BENCH_MS")
@@ -170,23 +152,29 @@ fn main() {
             .unwrap_or_else(|| panic!("missing measurement {id}"))
             .mean_ns
     };
-    let rows: Vec<Row> = measurements
+    let mut rows: Vec<BenchRow> = measurements
         .iter()
         .map(|m| {
             let exec_name = m.id.split('/').nth(1).expect("exec/<name>/<side> ids");
-            Row {
+            BenchRow {
+                bench: "exec".to_string(),
                 id: m.id.clone(),
                 mean_ns: m.mean_ns,
                 min_ns: m.min_ns,
                 stddev_ns: m.stddev_ns,
                 iters: m.iters,
+                // Threads the side runs on: the engine fans channel groups
+                // across the `zfgan-pool` workers, the oracle is serial.
                 threads: if m.id.ends_with("/engine") {
                     zfgan_pool::pool_threads()
                 } else {
                     1
                 },
-                simd: simd_label(),
+                simd: simd_label().to_string(),
                 speedup: mean(&format!("exec/{exec_name}/scalar")) / m.mean_ns,
+                git_sha: String::new(),
+                host: String::new(),
+                run_id: 0,
             }
         })
         .collect();
@@ -195,11 +183,11 @@ fn main() {
     for r in &rows {
         table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
     }
-    emit(
+    emit_bench(
         "BENCH_exec",
         "Fast executor engine vs scalar oracle, DCGAN-shaped phase, all nine executors",
         &table,
-        &rows,
+        &mut rows,
     );
 
     let headline = ["zfost_s", "zfost_t", "wst_s"];

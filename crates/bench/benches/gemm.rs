@@ -21,8 +21,7 @@ use std::time::Duration;
 use criterion::Criterion;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit_bench, fmt_x, BenchRow, TextTable};
 use zfgan_nn::{GanTrainer, TrainerConfig};
 use zfgan_tensor::gemm::MatmulKind;
 use zfgan_tensor::im2col::t_conv_via_gemm;
@@ -31,21 +30,6 @@ use zfgan_tensor::microkernel::simd_label;
 use zfgan_tensor::zero_free::t_conv_zero_free;
 use zfgan_tensor::{t_conv, ConvBackend, ConvGeom, Fmaps, Fx, Kernels};
 use zfgan_workloads::GanSpec;
-
-#[derive(Serialize)]
-struct Row {
-    id: String,
-    mean_ns: f64,
-    min_ns: f64,
-    stddev_ns: f64,
-    iters: u64,
-    /// Worker threads the variant runs on (1 for sequential kernels).
-    threads: usize,
-    /// Active SIMD kernel: `"avx2"` or `"scalar"` (`ZFGAN_NO_SIMD=1`).
-    simd: &'static str,
-    /// Speedup over this group's baseline variant (1.0 for the baseline).
-    speedup: f64,
-}
 
 /// MNIST-GAN layer 2 (Table IV): 64 → 128 maps, 14×14 → 7×7, 5×5, stride 2.
 fn mnist_layer2() -> ConvGeom {
@@ -222,22 +206,26 @@ fn main() {
     bench_trainer_backends(&mut c);
 
     let measurements = c.take_results();
-    let rows: Vec<Row> = measurements
+    let mut rows: Vec<BenchRow> = measurements
         .iter()
         .map(|m| {
             let base = measurements
                 .iter()
                 .find(|b| b.id == baseline_of(&m.id))
                 .expect("baseline benches run first in each group");
-            Row {
+            BenchRow {
+                bench: "gemm".to_string(),
                 id: m.id.clone(),
                 mean_ns: m.mean_ns,
                 min_ns: m.min_ns,
                 stddev_ns: m.stddev_ns,
                 iters: m.iters,
                 threads: threads_of(&m.id),
-                simd: simd_label(),
+                simd: simd_label().to_string(),
                 speedup: base.mean_ns / m.mean_ns,
+                git_sha: String::new(),
+                host: String::new(),
+                run_id: 0,
             }
         })
         .collect();
@@ -246,11 +234,11 @@ fn main() {
     for r in &rows {
         table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
     }
-    emit(
+    emit_bench(
         "BENCH_gemm",
         "GEMM fast path: kernels, lowering, and trainer backends",
         &table,
-        &rows,
+        &mut rows,
     );
 
     let headline = |id: &str| rows.iter().find(|r| r.id == id).map_or(0.0, |r| r.speedup);

@@ -20,27 +20,11 @@ use std::time::Duration;
 use criterion::Criterion;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
-use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_bench::{emit_bench, fmt_x, BenchRow, TextTable};
 use zfgan_nn::{GanTrainer, TrainerConfig};
 use zfgan_tensor::microkernel::simd_label;
 use zfgan_tensor::ConvBackend;
 use zfgan_workloads::GanSpec;
-
-#[derive(Serialize)]
-struct Row {
-    id: String,
-    mean_ns: f64,
-    min_ns: f64,
-    stddev_ns: f64,
-    iters: u64,
-    /// Worker threads the variant runs on (1 for sequential kernels).
-    threads: usize,
-    /// Active SIMD kernel: `"avx2"` or `"scalar"` (`ZFGAN_NO_SIMD=1`).
-    simd: &'static str,
-    /// Speedup over the allocating sequential baseline (1.0 for it).
-    speedup: f64,
-}
 
 /// Per-benchmark measurement window: `ZFGAN_BENCH_MS` overrides the
 /// 400 ms default (CI smoke runs use a small value; the full train step
@@ -93,17 +77,21 @@ fn main() {
         .expect("baseline bench runs first")
         .mean_ns;
     let threads_of = |id: &str| if id.ends_with("pool2") { 2 } else { 1 };
-    let rows: Vec<Row> = measurements
+    let mut rows: Vec<BenchRow> = measurements
         .iter()
-        .map(|m| Row {
+        .map(|m| BenchRow {
+            bench: "trainstep".to_string(),
             id: m.id.clone(),
             mean_ns: m.mean_ns,
             min_ns: m.min_ns,
             stddev_ns: m.stddev_ns,
             iters: m.iters,
             threads: threads_of(&m.id),
-            simd: simd_label(),
+            simd: simd_label().to_string(),
             speedup: base / m.mean_ns,
+            git_sha: String::new(),
+            host: String::new(),
+            run_id: 0,
         })
         .collect();
 
@@ -111,11 +99,11 @@ fn main() {
     for r in &rows {
         table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
     }
-    emit(
+    emit_bench(
         "BENCH_trainstep",
         "GAN training step: scalar vs packed SIMD, allocating vs workspace scratch, sequential vs pooled GEMM",
         &table,
-        &rows,
+        &mut rows,
     );
 
     let headline = |id: &str| rows.iter().find(|r| r.id == id).map_or(0.0, |r| r.speedup);

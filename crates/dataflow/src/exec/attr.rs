@@ -1,0 +1,180 @@
+//! Cycle attribution: fold a cycle-stamped executor trace into an exact
+//! partition of the run's total cycle count.
+//!
+//! Every cycle of an execution lands in exactly one component, so the
+//! components always sum to the engine's enumerated total — the invariant
+//! `zfgan report` builds its per-dataflow tables on. Classification is by
+//! what the cycle *did*, with a fixed priority when several event kinds
+//! share a stamp:
+//!
+//! 1. **mac** — at least one multiply-accumulate fired (a compute cycle,
+//!    even if operands also moved);
+//! 2. **dram** — no MAC, but a DRAM burst was in flight (a stall cycle);
+//! 3. **buffer** — only on-chip operand traffic (buffer reads/writes,
+//!    register shifts);
+//! 4. **idle** — no retained event (bubbles, phase boundaries);
+//! 5. **untraced** — cycles before the oldest retained event when the
+//!    bounded buffer evicted history, so truncation is never silently
+//!    folded into the other components.
+
+use zfgan_sim::trace::{TraceBuffer, TraceEvent};
+
+/// An exact partition of one executor run's cycles by activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// Cycles on which at least one MAC fired.
+    pub mac_cycles: u64,
+    /// MAC-free cycles with a DRAM burst in flight.
+    pub dram_cycles: u64,
+    /// MAC-free, DRAM-free cycles with on-chip operand traffic.
+    pub buffer_cycles: u64,
+    /// Cycles with no retained event at all.
+    pub idle_cycles: u64,
+    /// Cycles older than the oldest retained event (trace evicted).
+    pub untraced_cycles: u64,
+}
+
+impl CycleAttribution {
+    /// Sum of every component — equals the executor's total cycle count.
+    pub fn total(&self) -> u64 {
+        self.mac_cycles
+            + self.dram_cycles
+            + self.buffer_cycles
+            + self.idle_cycles
+            + self.untraced_cycles
+    }
+
+    /// `(name, cycles)` pairs in reporting order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("mac", self.mac_cycles),
+            ("dram", self.dram_cycles),
+            ("buffer", self.buffer_cycles),
+            ("idle", self.idle_cycles),
+            ("untraced", self.untraced_cycles),
+        ]
+    }
+}
+
+/// Partitions `total_cycles` of an execution by the events in `trace`.
+///
+/// The trace's cycle stamps are nondecreasing (the [`TraceBuffer`]
+/// producer contract), so one forward pass groups events per cycle. The
+/// result's [`CycleAttribution::total`] equals `total_cycles` exactly:
+/// idle cycles are derived as the remainder after the event-bearing and
+/// untraced cycles are counted.
+pub fn attribute_cycles(trace: &TraceBuffer, total_cycles: u64) -> CycleAttribution {
+    let mut attr = CycleAttribution::default();
+    if trace.is_empty() {
+        // Nothing retained: with eviction (or tracing off) every cycle is
+        // unaccounted-for; an empty trace of an enabled buffer means the
+        // run simply emitted nothing, which we report as idle.
+        if trace.evicted() > 0 || !trace.enabled() {
+            attr.untraced_cycles = total_cycles;
+        } else {
+            attr.idle_cycles = total_cycles;
+        }
+        return attr;
+    }
+
+    let mut first_cycle = u64::MAX;
+    let mut cur: Option<u64> = None;
+    let (mut has_mac, mut has_dram, mut has_buf) = (false, false, false);
+    let commit = |mac: bool, dram: bool, buf: bool, attr: &mut CycleAttribution| {
+        if mac {
+            attr.mac_cycles += 1;
+        } else if dram {
+            attr.dram_cycles += 1;
+        } else if buf {
+            attr.buffer_cycles += 1;
+        }
+        // A cycle bearing only phase markers stays in the idle remainder.
+    };
+    for (cycle, event) in trace.iter() {
+        first_cycle = first_cycle.min(cycle);
+        if cur != Some(cycle) {
+            if cur.is_some() {
+                commit(has_mac, has_dram, has_buf, &mut attr);
+            }
+            cur = Some(cycle);
+            (has_mac, has_dram, has_buf) = (false, false, false);
+        }
+        match event {
+            TraceEvent::Mac { .. } => has_mac = true,
+            TraceEvent::DramBurst { .. } => has_dram = true,
+            TraceEvent::BufferRead { .. }
+            | TraceEvent::BufferWrite { .. }
+            | TraceEvent::Shift { .. } => has_buf = true,
+            TraceEvent::PhaseStart { .. } => {}
+        }
+    }
+    commit(has_mac, has_dram, has_buf, &mut attr);
+
+    if trace.evicted() > 0 {
+        attr.untraced_cycles = first_cycle.min(total_cycles);
+    }
+    attr.idle_cycles = total_cycles
+        .saturating_sub(attr.untraced_cycles)
+        .saturating_sub(attr.mac_cycles + attr.dram_cycles + attr.buffer_cycles);
+    debug_assert_eq!(attr.total(), total_cycles);
+    attr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use crate::{Wst, Zfost};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use zfgan_sim::{ConvKind, ConvShape};
+    use zfgan_tensor::{ConvGeom, Fmaps, Kernels};
+
+    fn phase(kind: ConvKind) -> ConvShape {
+        let geom = ConvGeom::down(12, 12, 4, 4, 2, 6, 6).unwrap();
+        ConvShape::new(kind, geom, 5, 3, 12, 12)
+    }
+
+    #[test]
+    fn full_trace_partitions_exactly_with_macs_dominating() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let (out, trace) =
+            exec::zfost_s_conv_traced(&Zfost::new(4, 4, 2), &phase(ConvKind::S), &x, &k, 1 << 20)
+                .unwrap();
+        assert_eq!(trace.evicted(), 0);
+        let attr = attribute_cycles(&trace, out.cycles);
+        assert_eq!(attr.total(), out.cycles);
+        assert_eq!(attr.untraced_cycles, 0);
+        assert!(attr.mac_cycles > 0);
+        assert!(attr.mac_cycles <= out.cycles);
+    }
+
+    #[test]
+    fn evicted_prefix_is_reported_as_untraced_and_still_sums() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let (pair, trace) =
+            exec::wst_s_conv_traced(&Wst::new(4, 4, 2), &phase(ConvKind::S), &x, &k, 64).unwrap();
+        let (out, _psum) = pair;
+        assert!(trace.evicted() > 0);
+        let attr = attribute_cycles(&trace, out.cycles);
+        assert_eq!(attr.total(), out.cycles);
+        assert!(attr.untraced_cycles > 0);
+    }
+
+    #[test]
+    fn disabled_trace_attributes_everything_untraced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let x: Fmaps<f64> = Fmaps::random(3, 12, 12, 1.0, &mut rng);
+        let k: Kernels<f64> = Kernels::random(5, 3, 4, 4, 1.0, &mut rng);
+        let (out, trace) =
+            exec::zfost_s_conv_traced(&Zfost::new(4, 4, 2), &phase(ConvKind::S), &x, &k, 0)
+                .unwrap();
+        let attr = attribute_cycles(&trace, out.cycles);
+        assert_eq!(attr.untraced_cycles, out.cycles);
+        assert_eq!(attr.total(), out.cycles);
+    }
+}

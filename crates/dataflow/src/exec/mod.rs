@@ -50,9 +50,11 @@ use crate::wst::Wst;
 use crate::zfost::Zfost;
 use crate::zfwst::Zfwst;
 
+mod attr;
 mod engine;
 pub mod scalar;
 
+pub use attr::{attribute_cycles, CycleAttribution};
 pub use engine::ExecWorkspace;
 
 /// Result of a functional execution: the computed tensor plus the

@@ -163,27 +163,60 @@ pub fn chrome_trace(reg: &Registry, cycle_tracks: &[(String, Vec<(u64, String)>)
     )
 }
 
+/// Escape a Prometheus label *value*: the text exposition format requires
+/// `\` → `\\`, `"` → `\"` and newline → `\n` inside the double-quoted
+/// value (label names and metric names never need escaping).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `name{k="v",...}` with escaped label values; `extra` label pairs
+/// (e.g. `le`) are appended after the key's own sorted labels.
+fn prom_series(name: &str, labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
 /// Prometheus text exposition format (`# TYPE` lines, `_bucket`/`_sum`/
-/// `_count` histogram series with `le` labels).
+/// `_count` histogram series with `le` labels). Label values are escaped
+/// per the exposition-format rules (backslash, quote, newline).
 pub fn prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (key, _, v) in &snap.counters {
         out.push_str(&format!(
             "# TYPE {} counter\n{} {v}\n",
             key.name,
-            key.render()
+            prom_series(&key.name, &key.labels, &[])
         ));
     }
     for (key, _, v) in &snap.gauges {
         out.push_str(&format!(
             "# TYPE {} gauge\n{} {}\n",
             key.name,
-            key.render(),
+            prom_series(&key.name, &key.labels, &[]),
             fmt_f64(*v)
         ));
     }
     for (key, _, h) in &snap.histograms {
         out.push_str(&format!("# TYPE {} histogram\n", key.name));
+        let bucket_name = format!("{}_bucket", key.name);
         let mut cumulative = 0u64;
         for (i, bucket) in h.buckets.iter().enumerate() {
             cumulative += bucket;
@@ -192,30 +225,63 @@ pub fn prometheus(snap: &Snapshot) -> String {
             } else {
                 "+Inf".to_string()
             };
-            let mut labels: Vec<String> = key
-                .labels
-                .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
-                .collect();
-            labels.push(format!("le=\"{le}\""));
             out.push_str(&format!(
-                "{}_bucket{{{}}} {cumulative}\n",
-                key.name,
-                labels.join(",")
+                "{} {cumulative}\n",
+                prom_series(&bucket_name, &key.labels, &[("le", &le)])
             ));
         }
-        let base = key.render();
-        let (sum_key, count_key) = if key.labels.is_empty() {
-            (format!("{}_sum", key.name), format!("{}_count", key.name))
-        } else {
-            let tail = &base[key.name.len()..];
-            (
-                format!("{}_sum{tail}", key.name),
-                format!("{}_count{tail}", key.name),
-            )
-        };
-        out.push_str(&format!("{sum_key} {}\n", fmt_f64(h.sum)));
-        out.push_str(&format!("{count_key} {}\n", h.count));
+        out.push_str(&format!(
+            "{} {}\n",
+            prom_series(&format!("{}_sum", key.name), &key.labels, &[]),
+            fmt_f64(h.sum)
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            prom_series(&format!("{}_count", key.name), &key.labels, &[]),
+            h.count
+        ));
+    }
+    out
+}
+
+/// Collapsed-stack export of the span tree (`inferno` / speedscope /
+/// `flamegraph.pl` input): one line per distinct span path, semicolons
+/// joining the ancestry, the weight being the path's total *self* time in
+/// nanoseconds (duration minus the durations of direct children).
+///
+/// The tree is reconstructed from `(seq, depth)`: spans are creation-
+/// ordered, so a span's parent is the nearest earlier span one level
+/// shallower — exact for the single-threaded span stacks the CLI flows
+/// produce (a thread-local [`crate::scope`] never captures worker-thread
+/// spans). Lines are sorted by path, so the output is stable for a fixed
+/// span tree; weights are wall-clock and belong next to the other
+/// wall-clock exports, never in the deterministic section.
+pub fn collapsed_stacks(reg: &Registry) -> String {
+    let mut spans = reg.spans();
+    spans.sort_by_key(|s| s.seq);
+    // child_sum[i]: total duration of span i's direct children.
+    let mut child_sum = vec![0u64; spans.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..spans.len() {
+        while stack
+            .last()
+            .is_some_and(|&top| spans[top].depth >= spans[i].depth)
+        {
+            stack.pop();
+        }
+        if let Some(&parent) = stack.last() {
+            child_sum[parent] += spans[i].dur_ns;
+        }
+        stack.push(i);
+    }
+    let mut weights: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let self_ns = s.dur_ns.saturating_sub(child_sum[i]);
+        *weights.entry(s.path.replace('/', ";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (path, w) in &weights {
+        out.push_str(&format!("{path} {w}\n"));
     }
     out
 }

@@ -50,6 +50,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ("--pes", true),
                     ("--telemetry", false),
                     ("--trace-out", true),
+                    ("--flame-out", true),
                 ],
             )?;
             let pes = flag_num(&flags, "--pes")?;
@@ -65,7 +66,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 Some((&g, more)) if !g.starts_with("--") => (g, more),
                 _ => ("cgan", rest),
             };
-            let flags = parse_flags(rest, &[("--telemetry", false), ("--trace-out", true)])?;
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                    ("--flame-out", true),
+                ],
+            )?;
             with_telemetry(&flags, || sweep_cmd(gan))
         }
         Some((&"faults", rest)) => {
@@ -77,6 +85,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ("--full", false),
                     ("--telemetry", false),
                     ("--trace-out", true),
+                    ("--flame-out", true),
                 ],
             )?;
             faults_cmd(&flags)
@@ -95,9 +104,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ("--crash-iter", true),
                     ("--crash-phase", true),
                     ("--crash-bytes", true),
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                    ("--flame-out", true),
                 ],
             )?;
-            train_cmd(&flags)
+            with_telemetry(&flags, || train_cmd(&flags))
         }
         Some((&"crashtest", rest)) => {
             let flags = parse_flags(
@@ -108,9 +120,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ("--points", true),
                     ("--trials", true),
                     ("--dir", true),
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                    ("--flame-out", true),
                 ],
             )?;
-            crashtest_cmd(&flags)
+            with_telemetry(&flags, || crashtest_cmd(&flags))
         }
         Some((&"trace", rest)) => {
             let flags = parse_flags(
@@ -121,9 +136,53 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     ("--capacity", true),
                     ("--out", true),
                     ("--check", true),
+                    ("--flame-out", true),
                 ],
             )?;
             trace_cmd(&flags)
+        }
+        Some((&"report", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--arch", true),
+                    ("--seed", true),
+                    ("--capacity", true),
+                    ("--out", true),
+                    ("--flame-out", true),
+                ],
+            )?;
+            report_cmd(&flags)
+        }
+        Some((&"perf", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--check", false),
+                    ("--file", true),
+                    ("--window", true),
+                    ("--tolerance", true),
+                ],
+            )?;
+            let file = flag_str(&flags, "--file").map(std::path::Path::new);
+            crate::perf::run_perf(
+                file,
+                flag_set(&flags, "--check"),
+                flag_num(&flags, "--window")?.unwrap_or(crate::perf::DEFAULT_WINDOW),
+                flag_num(&flags, "--tolerance")?.unwrap_or(crate::perf::DEFAULT_TOLERANCE_PCT),
+            )
+        }
+        Some((&"serve-metrics", rest)) => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--addr", true),
+                    ("--max-requests", true),
+                    ("--scrape", true),
+                    ("--path", true),
+                ],
+            )?;
+            serve_cmd(&flags)
         }
         Some((&other, _)) => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -144,7 +203,20 @@ fn usage() -> String {
      \x20 trace [--arch A] [--seed N] [--capacity N] [--out PATH]\n\
      \x20                            run the cycle-accurate executors and export a\n\
      \x20                            Chrome-trace / Perfetto JSON timeline\n\
-     \x20 trace --check PATH         validate a trace file; print its deterministic section\n\
+     \x20 trace --check PATH         validate a trace or report file; print its\n\
+     \x20                            deterministic section\n\
+     \x20 report [--arch A] [--seed N] [--capacity N] [--out PATH]\n\
+     \x20                            per-dataflow cycle attribution (MAC / DRAM / buffer /\n\
+     \x20                            idle) with PE utilization and roofline position; the\n\
+     \x20                            components sum exactly to the engine's total cycles\n\
+     \x20 perf [--check] [--file PATH] [--window N] [--tolerance PCT]\n\
+     \x20                            render the results/bench_history.jsonl trajectory;\n\
+     \x20                            --check fails on regression vs the rolling baseline\n\
+     \x20                            beyond max(PCT %, 4 x cv); default tolerance 35 %\n\
+     \x20 serve-metrics [--addr A] [--max-requests N]\n\
+     \x20                            HTTP endpoint exposing /metrics (Prometheus text\n\
+     \x20                            format) and /health; --scrape ADDR [--path P] is the\n\
+     \x20                            matching one-shot client\n\
      \x20 train [--seed N] [--iters N] [--batch N] [--dir PATH] [--every N]\n\
      \x20       [--keep K] [--resume]\n\
      \x20                            deterministic supervised training with durable,\n\
@@ -157,8 +229,10 @@ fn usage() -> String {
      \x20 help                       this text\n\
      \n\
      <gan> is one of: mnist, dcgan, cgan (or a case-insensitive prefix).\n\
-     datasheet/sweep/faults also accept --telemetry (print a metrics summary)\n\
-     and --trace-out PATH (write a Chrome-trace JSON of the run).\n\
+     datasheet/sweep/faults/train/crashtest also accept --telemetry (print a\n\
+     metrics summary), --trace-out PATH (write a Chrome-trace JSON of the run)\n\
+     and --flame-out PATH (write a collapsed-stack flamegraph of the run's\n\
+     spans, loadable by inferno / speedscope).\n\
      The full per-figure evaluation lives in `cargo run -p zfgan-bench --bin <figN|tableN|...>`.\n"
         .to_string()
 }
@@ -234,16 +308,18 @@ fn flag_str<'a>(flags: &Flags<'a>, flag: &str) -> Option<&'a str> {
         .and_then(|(_, v)| *v)
 }
 
-/// Runs `body` under a fresh scoped telemetry registry when `--telemetry`
-/// or `--trace-out` is present, then appends the metrics summary and/or
-/// writes the Chrome-trace JSON. Without either flag, `body` runs bare.
+/// Runs `body` under a fresh scoped telemetry registry when `--telemetry`,
+/// `--trace-out` or `--flame-out` is present, then appends the metrics
+/// summary and/or writes the Chrome-trace JSON / collapsed-stack
+/// flamegraph. Without any of the flags, `body` runs bare.
 fn with_telemetry(
     flags: &Flags<'_>,
     body: impl FnOnce() -> Result<String, String>,
 ) -> Result<String, String> {
     let want_summary = flag_set(flags, "--telemetry");
     let trace_out = flag_str(flags, "--trace-out");
-    if !want_summary && trace_out.is_none() {
+    let flame_out = flag_str(flags, "--flame-out");
+    if !want_summary && trace_out.is_none() && flame_out.is_none() {
         return body();
     }
     let reg = Arc::new(Registry::new());
@@ -258,6 +334,14 @@ fn with_telemetry(
         out.push_str(&format!(
             "\ntrace written to {path} ({} bytes)\n",
             json.len()
+        ));
+    }
+    if let Some(path) = flame_out {
+        let folded = export::collapsed_stacks(&reg);
+        std::fs::write(path, &folded).map_err(|e| format!("--flame-out {path}: {e}"))?;
+        out.push_str(&format!(
+            "\nflamegraph (collapsed stacks) written to {path} ({} lines)\n",
+            folded.lines().count()
         ));
     }
     if want_summary {
@@ -381,22 +465,38 @@ fn trace_cmd(flags: &Flags<'_>) -> Result<String, String> {
             out.push_str(&export::summary(&reg));
         }
     }
+    if let Some(path) = flag_str(flags, "--flame-out") {
+        let folded = export::collapsed_stacks(&reg);
+        std::fs::write(path, &folded).map_err(|e| format!("--flame-out {path}: {e}"))?;
+        out.push_str(&format!(
+            "flamegraph (collapsed stacks) written to {path} ({} lines)\n",
+            folded.lines().count()
+        ));
+    }
     Ok(out)
 }
 
-/// `zfgan trace --check PATH`: parse a trace file, verify it is a valid
-/// Chrome-trace object, and print its canonicalised deterministic section
-/// (what the CI gate diffs between two same-seed runs).
+/// `zfgan trace --check PATH`: the shared artifact validator. Accepts
+/// both Chrome-trace files (a `traceEvents` array) and `zfgan report`
+/// files (an `attribution` array); either way the file must carry a valid
+/// `deterministic` object, which is printed in canonical form — the line
+/// the CI gate diffs between two same-seed runs. One code path, one error
+/// vocabulary, for both artifact kinds.
 fn trace_check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("--check {path}: {e}"))?;
     let v: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let obj = v
         .as_object()
         .ok_or_else(|| format!("{path}: top level is not a JSON object"))?;
-    let events = obj
-        .get("traceEvents")
-        .and_then(Value::as_array)
-        .ok_or_else(|| format!("{path}: missing 'traceEvents' array"))?;
+    let (kind, what, n) = if let Some(events) = obj.get("traceEvents").and_then(Value::as_array) {
+        ("Chrome trace", "events", events.len())
+    } else if let Some(rows) = obj.get("attribution").and_then(Value::as_array) {
+        ("attribution report", "executors", rows.len())
+    } else {
+        return Err(format!(
+            "{path}: missing 'traceEvents' (trace) or 'attribution' (report) array"
+        ));
+    };
     let det = obj
         .get("deterministic")
         .ok_or_else(|| format!("{path}: missing 'deterministic' section"))?;
@@ -404,9 +504,49 @@ fn trace_check(path: &str) -> Result<String, String> {
         return Err(format!("{path}: 'deterministic' is not an object"));
     }
     Ok(format!(
-        "{path}: valid Chrome trace, {} events\ndeterministic:{det}\n",
-        events.len()
+        "{path}: valid {kind}, {n} {what}\ndeterministic:{det}\n"
     ))
+}
+
+/// `zfgan report`: build the per-dataflow cycle-attribution report and
+/// optionally write the byte-stable JSON (`--out`) and the
+/// collapsed-stack flamegraph (`--flame-out`).
+fn report_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    let seed = flag_num(flags, "--seed")?.unwrap_or(crate::report::DEFAULT_SEED as usize) as u64;
+    let capacity = flag_num(flags, "--capacity")?.unwrap_or(crate::report::DEFAULT_CAPACITY);
+    let report = crate::report::build_report(flag_str(flags, "--arch"), seed, capacity)?;
+    let mut out = report.render();
+    if let Some(path) = flag_str(flags, "--out") {
+        let json = report.to_json();
+        std::fs::write(path, &json).map_err(|e| format!("--out {path}: {e}"))?;
+        out.push_str(&format!(
+            "report written to {path} ({} bytes)\n",
+            json.len()
+        ));
+    }
+    if let Some(path) = flag_str(flags, "--flame-out") {
+        std::fs::write(path, &report.collapsed).map_err(|e| format!("--flame-out {path}: {e}"))?;
+        out.push_str(&format!(
+            "flamegraph (collapsed stacks) written to {path} ({} lines)\n",
+            report.collapsed.lines().count()
+        ));
+    }
+    Ok(out)
+}
+
+/// `zfgan serve-metrics`: either serve the process-global registry over
+/// HTTP, or (with `--scrape`) act as the matching one-shot client.
+fn serve_cmd(flags: &Flags<'_>) -> Result<String, String> {
+    if let Some(addr) = flag_str(flags, "--scrape") {
+        let path = flag_str(flags, "--path").unwrap_or("/metrics");
+        return crate::serve::scrape(addr, path);
+    }
+    if flag_str(flags, "--path").is_some() {
+        return Err("--path needs --scrape".to_string());
+    }
+    let addr = flag_str(flags, "--addr").unwrap_or("127.0.0.1:9898");
+    let max = flag_num(flags, "--max-requests")?.map(|n| n as u64);
+    crate::serve::run_serve(addr, max)
 }
 
 fn lookup(gan: &str) -> Result<GanSpec, String> {
@@ -522,6 +662,14 @@ fn faults_cmd(flags: &Flags<'_>) -> Result<String, String> {
         summary.push_str(&format!(
             "\ntrace written to {path} ({} bytes)\n",
             json.len()
+        ));
+    }
+    if let Some(path) = flag_str(flags, "--flame-out") {
+        let folded = export::collapsed_stacks(&reg);
+        std::fs::write(path, &folded).map_err(|e| format!("--flame-out {path}: {e}"))?;
+        summary.push_str(&format!(
+            "\nflamegraph (collapsed stacks) written to {path} ({} lines)\n",
+            folded.lines().count()
         ));
     }
     if flag_set(flags, "--telemetry") {
@@ -704,6 +852,50 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("before-publish"), "{err}");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_names_the_selected_executors() {
+        let out = run(&args(&["report", "--arch", "zfost"])).unwrap();
+        assert!(out.contains("zfost/s_conv"), "{out}");
+        assert!(out.contains("zfost/t_conv"), "{out}");
+        let again = run(&args(&["report", "--arch", "zfost"])).unwrap();
+        assert_eq!(out, again, "same-seed reports must be byte-identical");
+    }
+
+    #[test]
+    fn trace_check_validates_report_files_through_the_shared_path() {
+        let dir = std::env::temp_dir().join(format!("zfgan-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let p = path.to_str().unwrap();
+        run(&args(&["report", "--arch", "nlr", "--out", p])).unwrap();
+        let out = run(&args(&["trace", "--check", p])).unwrap();
+        assert!(
+            out.contains("valid attribution report, 1 executors"),
+            "{out}"
+        );
+        assert!(out.contains("deterministic:{"), "{out}");
+        // A file with neither array is rejected with the shared error.
+        std::fs::write(&path, "{\"deterministic\":{}}").unwrap();
+        let err = run(&args(&["trace", "--check", p])).unwrap_err();
+        assert!(
+            err.contains("'traceEvents' (trace) or 'attribution' (report)"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_and_serve_flag_validation() {
+        let err = run(&args(&["perf", "--file", "/nonexistent/ledger.jsonl"])).unwrap_err();
+        assert!(err.contains("--file /nonexistent/ledger.jsonl"), "{err}");
+        let err = run(&args(&["perf", "--window", "0"])).unwrap_err();
+        assert_eq!(err, "--window must be non-zero");
+        let err = run(&args(&["serve-metrics", "--path", "/health"])).unwrap_err();
+        assert_eq!(err, "--path needs --scrape");
+        let err = run(&args(&["serve-metrics", "--scrape", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
     }
 
     #[test]

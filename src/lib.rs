@@ -30,6 +30,9 @@
 pub mod cli;
 pub mod crashtest;
 pub mod faults;
+pub mod perf;
+pub mod report;
+pub mod serve;
 pub mod train;
 
 pub use zfgan_accel as accel;

@@ -1,0 +1,449 @@
+//! `zfgan perf` — the bench-history trajectory: render what
+//! `results/bench_history.jsonl` has accumulated and gate the latest run
+//! against a noise-aware rolling baseline.
+//!
+//! The ledger is append-only JSONL written by the `gemm` / `trainstep` /
+//! `exec` harnesses via `zfgan_bench::emit_bench`: one object per measured
+//! row, stamped with a monotonically increasing `run_id`, the commit sha
+//! and a host fingerprint. The loader is schema-tolerant — rows written
+//! before the metadata existed (the old `results/BENCH_*.json` shape) load
+//! with defaults, and when no ledger exists yet the snapshot files
+//! themselves are read as a single-run trajectory.
+//!
+//! The `--check` gate is **min-based and stddev-tolerant**: for each
+//! series the latest run's `min_ns` is compared against the minimum
+//! `min_ns` over the previous `--window` runs, and only a slowdown beyond
+//! `max(tolerance floor, 4 × cv)` (cv = the latest row's relative
+//! standard deviation) fails. The fastest-sample statistic is what
+//! survives a noisy shared host; the floor absorbs the residual jitter
+//! between separate runs, while real regressions land far above it. The
+//! floor defaults to 35 % and is tunable per call site (`--tolerance`):
+//! CI's short smoke windows need a wide one, long local windows can
+//! tighten it.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+/// Default relative-slowdown floor (percent) below which a series is
+/// never flagged, see `--tolerance`.
+pub const DEFAULT_TOLERANCE_PCT: usize = 35;
+/// Stddev multiplier widening the tolerance for noisy series.
+const TOLERANCE_CV_FACTOR: f64 = 4.0;
+/// Default rolling-baseline window (prior runs considered), see `--window`.
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// One ledger row (shared schema with `results/BENCH_*.json` snapshots).
+#[derive(Debug, Clone)]
+struct LedgerRow {
+    bench: String,
+    id: String,
+    run_id: u64,
+    git_sha: String,
+    mean_ns: f64,
+    min_ns: f64,
+    stddev_ns: f64,
+}
+
+fn field_str(obj: &Value, key: &str, default: &str) -> String {
+    obj.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
+fn field_f64(obj: &Value, key: &str) -> f64 {
+    obj.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn field_u64(obj: &Value, key: &str) -> u64 {
+    obj.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Parse one row object; old-schema rows (no bench/run_id/git_sha) get
+/// defaults so pre-ledger files stay loadable.
+fn parse_row(v: &Value, default_bench: &str, default_run: u64) -> Option<LedgerRow> {
+    let id = field_str(v, "id", "");
+    if id.is_empty() {
+        return None;
+    }
+    let bench = field_str(v, "bench", default_bench);
+    let run_id = match field_u64(v, "run_id") {
+        0 => default_run,
+        n => n,
+    };
+    Some(LedgerRow {
+        bench,
+        id,
+        run_id,
+        git_sha: field_str(v, "git_sha", "unknown"),
+        mean_ns: field_f64(v, "mean_ns"),
+        min_ns: field_f64(v, "min_ns"),
+        stddev_ns: field_f64(v, "stddev_ns"),
+    })
+}
+
+/// Mirror of `zfgan_bench`'s results-dir resolution (`ZFGAN_RESULTS_DIR`
+/// else `results/`), so `zfgan perf` reads where the harnesses wrote.
+fn results_dir() -> PathBuf {
+    std::env::var_os("ZFGAN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Load the ledger, or fall back to the `BENCH_*.json` snapshots as a
+/// single-run trajectory. Returns the rows and a description of the
+/// source for the report header.
+fn load_rows(file: Option<&Path>) -> Result<(Vec<LedgerRow>, String), String> {
+    let ledger = file
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| results_dir().join("bench_history.jsonl"));
+    if let Some(path) = file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("--file {}: {e}", path.display()))?;
+        return Ok((parse_ledger(&text), path.display().to_string()));
+    }
+    if let Ok(text) = std::fs::read_to_string(&ledger) {
+        return Ok((parse_ledger(&text), ledger.display().to_string()));
+    }
+    // No ledger yet: read the snapshot sidecars (old or new schema).
+    let dir = results_dir();
+    let mut rows = Vec::new();
+    let mut sources = 0usize;
+    let entries = std::fs::read_dir(&dir).map_err(|e| {
+        format!(
+            "no ledger at {} and {}: {e}",
+            ledger.display(),
+            dir.display()
+        )
+    })?;
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(v) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
+        let bench = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(|n| n.trim_start_matches("BENCH_").trim_end_matches(".json"))
+            .unwrap_or("bench")
+            .to_string();
+        if let Some(arr) = v.as_array() {
+            sources += 1;
+            rows.extend(arr.iter().filter_map(|r| parse_row(r, &bench, 1)));
+        }
+    }
+    if sources == 0 {
+        return Err(format!(
+            "no ledger at {} and no BENCH_*.json snapshots in {}",
+            ledger.display(),
+            dir.display()
+        ));
+    }
+    Ok((rows, format!("{} (snapshot fallback)", dir.display())))
+}
+
+fn parse_ledger(text: &str) -> Vec<LedgerRow> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|line| serde_json::from_str::<Value>(line).ok())
+        .filter_map(|v| parse_row(&v, "bench", 1))
+        .collect()
+}
+
+/// One series' verdict against its rolling baseline.
+#[derive(Debug)]
+struct SeriesReport {
+    key: String,
+    runs: usize,
+    best_min_ns: f64,
+    latest: LedgerRow,
+    /// `None` when there is no prior run to compare against.
+    baseline_min_ns: Option<f64>,
+    tolerance: f64,
+    regressed: bool,
+}
+
+fn analyse(rows: &[LedgerRow], window: usize, floor: f64) -> Vec<SeriesReport> {
+    let mut series: BTreeMap<String, Vec<&LedgerRow>> = BTreeMap::new();
+    for row in rows {
+        series
+            .entry(format!("{}:{}", row.bench, row.id))
+            .or_default()
+            .push(row);
+    }
+    let mut out = Vec::new();
+    for (key, mut members) in series {
+        members.sort_by_key(|r| r.run_id);
+        let latest = (*members.last().expect("non-empty series")).clone();
+        let prior: Vec<&&LedgerRow> = members
+            .iter()
+            .filter(|r| r.run_id < latest.run_id)
+            .collect();
+        let prior = &prior[prior.len().saturating_sub(window)..];
+        let baseline_min_ns = prior
+            .iter()
+            .map(|r| r.min_ns)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            });
+        let cv = if latest.mean_ns > 0.0 {
+            latest.stddev_ns / latest.mean_ns
+        } else {
+            0.0
+        };
+        let tolerance = floor.max(TOLERANCE_CV_FACTOR * cv);
+        let regressed = baseline_min_ns
+            .is_some_and(|base| base > 0.0 && latest.min_ns > base * (1.0 + tolerance));
+        out.push(SeriesReport {
+            key,
+            runs: members.len(),
+            best_min_ns: members
+                .iter()
+                .map(|r| r.min_ns)
+                .fold(f64::INFINITY, f64::min),
+            latest,
+            baseline_min_ns,
+            tolerance,
+            regressed,
+        });
+    }
+    out
+}
+
+fn fmt_ns(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// `zfgan perf [--check] [--file PATH] [--window N] [--tolerance PCT]`:
+/// render the bench trajectory per series; with `check`, fail on any
+/// series whose latest `min_ns` regressed beyond the rolling baseline's
+/// tolerance (`max(PCT %, 4 × cv)`).
+///
+/// # Errors
+///
+/// Returns an error when neither a ledger nor snapshot files exist, or —
+/// under `check` — when at least one series regressed.
+pub fn run_perf(
+    file: Option<&Path>,
+    check: bool,
+    window: usize,
+    tolerance_pct: usize,
+) -> Result<String, String> {
+    if window == 0 {
+        return Err("--window must be non-zero".to_string());
+    }
+    if tolerance_pct == 0 {
+        return Err("--tolerance must be non-zero".to_string());
+    }
+    let (rows, source) = load_rows(file)?;
+    if rows.is_empty() {
+        return Err(format!("{source}: no parseable bench rows"));
+    }
+    let reports = analyse(&rows, window, tolerance_pct as f64 / 100.0);
+    let runs: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.run_id).collect();
+    let latest_sha = reports
+        .iter()
+        .map(|r| r.latest.git_sha.as_str())
+        .next_back()
+        .unwrap_or("unknown");
+
+    let mut out = format!(
+        "perf ledger: {source}\n{} rows, {} series, {} runs; latest sha {}\n\n",
+        rows.len(),
+        reports.len(),
+        runs.len(),
+        latest_sha
+    );
+    let key_w = reports
+        .iter()
+        .map(|r| r.key.len())
+        .max()
+        .unwrap_or(6)
+        .max("series".len());
+    out.push_str(&format!(
+        "{:<key_w$}  runs  best(ns)    latest(ns)  vs-baseline\n",
+        "series"
+    ));
+    let mut regressions = Vec::new();
+    for r in &reports {
+        let verdict = match r.baseline_min_ns {
+            None => "n/a (first run)".to_string(),
+            Some(base) if base <= 0.0 => "n/a (zero baseline)".to_string(),
+            Some(base) => {
+                let delta = (r.latest.min_ns - base) / base * 100.0;
+                let mark = if r.regressed { "  REGRESSED" } else { "" };
+                format!("{delta:+.1}% (tol {:.0}%){mark}", r.tolerance * 100.0)
+            }
+        };
+        out.push_str(&format!(
+            "{:<key_w$}  {:>4}  {:>10}  {:>10}  {verdict}\n",
+            r.key,
+            r.runs,
+            fmt_ns(r.best_min_ns),
+            fmt_ns(r.latest.min_ns),
+        ));
+        if r.regressed {
+            regressions.push(format!(
+                "{}: latest min {} ns vs baseline {} ns (tolerance {:.0}%)",
+                r.key,
+                fmt_ns(r.latest.min_ns),
+                fmt_ns(r.baseline_min_ns.unwrap_or(0.0)),
+                r.tolerance * 100.0
+            ));
+        }
+    }
+    if check {
+        if regressions.is_empty() {
+            out.push_str("\nperf check: OK (no series regressed beyond tolerance)\n");
+        } else {
+            return Err(format!(
+                "{out}\nPERF REGRESSIONS DETECTED:\n{}",
+                regressions
+                    .iter()
+                    .map(|r| format!("  - {r}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &str, id: &str, run_id: u64, min_ns: f64) -> String {
+        format!(
+            "{{\"bench\":\"{bench}\",\"id\":\"{id}\",\"run_id\":{run_id},\
+             \"mean_ns\":{m},\"min_ns\":{min_ns},\"stddev_ns\":1.0,\"iters\":10,\
+             \"threads\":1,\"simd\":\"avx2\",\"speedup\":1.0,\
+             \"git_sha\":\"abc\",\"host\":\"h/x-y\"}}",
+            m = min_ns * 1.1
+        )
+    }
+
+    fn write_ledger(lines: &[String]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "zfgan-perf-test-{}-{:p}",
+            std::process::id(),
+            lines.as_ptr()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_history.jsonl");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        path
+    }
+
+    #[test]
+    fn identical_runs_pass_the_check() {
+        let path = write_ledger(&[
+            row("gemm", "matmul/naive", 1, 1000.0),
+            row("gemm", "matmul/naive", 2, 1000.0),
+        ]);
+        let out = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("perf check: OK"), "{out}");
+        assert!(out.contains("gemm:matmul/naive"), "{out}");
+    }
+
+    #[test]
+    fn a_large_slowdown_fails_the_check_but_not_the_render() {
+        let path = write_ledger(&[
+            row("exec", "exec/zfost_s/engine", 1, 1000.0),
+            row("exec", "exec/zfost_s/engine", 2, 2500.0),
+        ]);
+        let err = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap_err();
+        assert!(err.contains("PERF REGRESSIONS DETECTED"), "{err}");
+        assert!(err.contains("exec:exec/zfost_s/engine"), "{err}");
+        // Rendering without --check reports but does not fail.
+        let out = run_perf(Some(&path), false, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("REGRESSED"), "{out}");
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let path = write_ledger(&[
+            row("gemm", "matmul/blocked", 1, 1000.0),
+            row("gemm", "matmul/blocked", 2, 1200.0),
+        ]);
+        let out = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("perf check: OK"), "{out}");
+    }
+
+    #[test]
+    fn a_wide_tolerance_admits_a_slowdown_the_default_rejects() {
+        // Short smoke windows (CI) are noisy; `--tolerance 200` lets a
+        // 2.5x slowdown pass that the 35 % default flags.
+        let path = write_ledger(&[
+            row("exec", "exec/nlr_s/engine", 1, 1000.0),
+            row("exec", "exec/nlr_s/engine", 2, 2500.0),
+        ]);
+        let err = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap_err();
+        assert!(err.contains("PERF REGRESSIONS DETECTED"), "{err}");
+        let out = run_perf(Some(&path), true, DEFAULT_WINDOW, 200).unwrap();
+        assert!(out.contains("perf check: OK"), "{out}");
+        // A zero tolerance is a flag-usage error, not a silent pass.
+        let err = run_perf(Some(&path), true, DEFAULT_WINDOW, 0).unwrap_err();
+        assert!(err.contains("--tolerance must be non-zero"), "{err}");
+    }
+
+    #[test]
+    fn first_run_has_no_baseline_and_passes() {
+        let path = write_ledger(&[row("gemm", "matmul/naive", 1, 1000.0)]);
+        let out = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("n/a (first run)"), "{out}");
+        assert!(out.contains("perf check: OK"), "{out}");
+    }
+
+    #[test]
+    fn old_schema_rows_load_with_defaults() {
+        // Pre-ledger snapshot shape: no bench/run_id/git_sha/host fields.
+        let line = "{\"id\":\"matmul/naive\",\"mean_ns\":1100.0,\"min_ns\":1000.0,\
+                    \"stddev_ns\":5.0,\"iters\":3,\"threads\":1,\"simd\":\"avx2\",\
+                    \"speedup\":1.0}"
+            .to_string();
+        let path = write_ledger(&[line]);
+        let out = run_perf(Some(&path), true, DEFAULT_WINDOW, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("bench:matmul/naive"), "{out}");
+        assert!(out.contains("perf check: OK"), "{out}");
+    }
+
+    #[test]
+    fn rolling_window_limits_the_baseline() {
+        // An ancient fast run outside the window must not define the
+        // baseline: runs 1 (fast) then 2..=9 slow, window 4 → baseline
+        // comes from runs 6..=9 and run 10 passes.
+        let mut lines = vec![row("gemm", "g/x", 1, 100.0)];
+        for run in 2..=9 {
+            lines.push(row("gemm", "g/x", run, 1000.0));
+        }
+        lines.push(row("gemm", "g/x", 10, 1100.0));
+        let path = write_ledger(&lines);
+        let out = run_perf(Some(&path), true, 4, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert!(out.contains("perf check: OK"), "{out}");
+        // With a window big enough to reach run 1, the same data fails.
+        let err = run_perf(Some(&path), true, 16, DEFAULT_TOLERANCE_PCT).unwrap_err();
+        assert!(err.contains("PERF REGRESSIONS DETECTED"), "{err}");
+    }
+}
