@@ -20,13 +20,15 @@ use std::time::Duration;
 
 use criterion::Criterion;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use zfgan_bench::{emit_bench, fmt_x, BenchRow, TextTable};
 use zfgan_nn::{GanTrainer, TrainerConfig};
 use zfgan_tensor::gemm::MatmulKind;
 use zfgan_tensor::im2col::t_conv_via_gemm;
 use zfgan_tensor::im2col::{im2col_s, weights_as_matrix_s, Matrix};
-use zfgan_tensor::microkernel::simd_label;
+use zfgan_tensor::microkernel::{
+    choose_path, matmul_f32_path, simd_label, simd_level, GemmPath, PackScratch,
+};
 use zfgan_tensor::zero_free::t_conv_zero_free;
 use zfgan_tensor::{t_conv, ConvBackend, ConvGeom, Fmaps, Fx, Kernels};
 use zfgan_workloads::GanSpec;
@@ -111,6 +113,100 @@ fn bench_matmul_kinds(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shapes the dispatcher exists for (ROADMAP open item 1), each run
+/// through the packed panel path and through the engine the dispatcher
+/// actually picks, via the explicit-path entries:
+///
+/// * the MNIST-GAN projection GEMM — 49×4900×128 at ~2% density whose
+///   live columns recur at stride 49 (one pixel per source channel), so
+///   every KP=8 panel straddles a nonzero and the packed kernel's masks
+///   skip nothing → broadcast-FMA `ikj`, which skips element-wise and
+///   never packs `B`;
+/// * the `m = 1` input-grad GEMM — 1×6272×100 on a ~50% ReLU-sparse
+///   row, where packing 627k words of `B` for one output row dwarfs the
+///   arithmetic → the small-`m` streaming engine.
+fn bench_dispatch_shapes(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(24);
+    let level = simd_level();
+    let mut scratch = PackScratch::new();
+
+    // Projection t-conv forward: row r is live only at columns ch·49 + r.
+    let (pm, pkk, pn) = (49usize, 4900usize, 128usize);
+    let mut a_proj = vec![0.0f32; pm * pkk];
+    for r in 0..pm {
+        for ch in 0..100 {
+            a_proj[r * pkk + ch * pm + r] = rng.gen_range(0.1f32..1.0);
+        }
+    }
+    let b_proj: Vec<f32> = (0..pkk * pn).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let proj_zeros = a_proj.iter().filter(|v| **v == 0.0).count() as u64;
+    assert_eq!(
+        choose_path(pm, pkk, pn, proj_zeros),
+        GemmPath::Ikj,
+        "dispatcher must route the projection shape to the ikj engine"
+    );
+    let mut out = vec![0.0f32; pm * pn];
+    let mut group = c.benchmark_group("dispatch_proj");
+    for (name, path) in [("packed", GemmPath::Packed), ("ikj", GemmPath::Ikj)] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                matmul_f32_path(
+                    level,
+                    path,
+                    &a_proj,
+                    &b_proj,
+                    &mut out,
+                    pm,
+                    pkk,
+                    pn,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // m = 1 input-grad: one ReLU-sparse error row against a wide B.
+    let (gm, gkk, gn) = (1usize, 6272usize, 100usize);
+    let a_grad: Vec<f32> = (0..gm * gkk)
+        .map(|_| {
+            let v: f32 = rng.gen_range(-1.0..1.0);
+            if v > 0.0 {
+                v
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let b_grad: Vec<f32> = (0..gkk * gn).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let grad_zeros = a_grad.iter().filter(|v| **v == 0.0).count() as u64;
+    assert_eq!(
+        choose_path(gm, gkk, gn, grad_zeros),
+        GemmPath::SmallM,
+        "dispatcher must route the m = 1 shape to the small-m engine"
+    );
+    let mut out = vec![0.0f32; gm * gn];
+    let mut group = c.benchmark_group("dispatch_m1");
+    for (name, path) in [("packed", GemmPath::Packed), ("smallm", GemmPath::SmallM)] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                matmul_f32_path(
+                    level,
+                    path,
+                    &a_grad,
+                    &b_grad,
+                    &mut out,
+                    gm,
+                    gkk,
+                    gn,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Golden nest vs dense zero-inserted lowering vs compact zero-free
 /// lowering on the MNIST-GAN Generator layer (128×7×7 → 64×14×14).
 fn bench_t_conv_lowering(c: &mut Criterion) {
@@ -165,6 +261,10 @@ fn bench_trainer_backends(c: &mut Criterion) {
 fn baseline_of(id: &str) -> &'static str {
     if id.starts_with("matmul_fx/") {
         "matmul_fx/naive"
+    } else if id.starts_with("dispatch_proj/") {
+        "dispatch_proj/packed"
+    } else if id.starts_with("dispatch_m1/") {
+        "dispatch_m1/packed"
     } else if id.starts_with("matmul_batch/") {
         "matmul_batch/naive"
     } else if id.starts_with("matmul/") {
@@ -202,6 +302,7 @@ fn main() {
 
     let mut c = Criterion::default().measurement_time(Duration::from_millis(measurement_ms()));
     bench_matmul_kinds(&mut c);
+    bench_dispatch_shapes(&mut c);
     bench_t_conv_lowering(&mut c);
     bench_trainer_backends(&mut c);
 
@@ -300,6 +401,24 @@ fn main() {
         assert!(
             simd_label() != "avx2" || s >= need,
             "packed GEMM speedup {} fell below the {need}x gate for {id}",
+            fmt_x(s)
+        );
+    }
+
+    // Dispatch gates (SIMD on): on the shapes the dispatcher exists for,
+    // the engine it picks must beat the packed panel path by >=2x — the
+    // pack bypass (ikj) and pack + fill bypass (small-m streaming) are
+    // the whole point of routing these shapes away from the panel kernel.
+    for (id, need) in [("dispatch_proj/ikj", 2.0), ("dispatch_m1/smallm", 2.0)] {
+        let s = headline_min(id);
+        println!(
+            "Dispatch gate {id}: {} vs >={need}x over the packed path (simd: {})",
+            fmt_x(s),
+            simd_label()
+        );
+        assert!(
+            simd_label() != "avx2" || s >= need,
+            "dispatched engine speedup {} fell below the {need}x gate for {id}",
             fmt_x(s)
         );
     }

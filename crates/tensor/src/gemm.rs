@@ -52,7 +52,7 @@ use std::cell::RefCell;
 use crate::error::{ShapeError, TensorResult};
 use crate::fault::{FaultLog, FaultPlan, FaultSite};
 use crate::im2col::Matrix;
-use crate::microkernel::{self, PackScratch};
+use crate::microkernel::{self, GemmPath, PackScratch, PackedKind};
 use crate::num::Num;
 use crate::workspace::ConvWorkspace;
 
@@ -169,8 +169,17 @@ impl MatmulKind {
 /// counts plus the operand-word traffic and how much of it zero skipping
 /// elided. For the packed kernels both counts are pure functions of the
 /// `a` operand and the shape (panel-mask words), so they are identical
-/// for every thread count and SIMD level.
-fn record_gemm(backend: &'static str, m: usize, n: usize, skipped: u64, visited: u64) {
+/// for every thread count and SIMD level — and so is `path`, the
+/// shape-dispatch decision recorded as the `gemm_dispatch{path}` series
+/// (`None` for kernels the dispatch layer doesn't route).
+fn record_gemm(
+    backend: &'static str,
+    m: usize,
+    n: usize,
+    skipped: u64,
+    visited: u64,
+    path: Option<GemmPath>,
+) {
     if !zfgan_telemetry::enabled() {
         return;
     }
@@ -180,6 +189,9 @@ fn record_gemm(backend: &'static str, m: usize, n: usize, skipped: u64, visited:
     zfgan_telemetry::count("gemm_blocks", labels, blocks);
     zfgan_telemetry::count("gemm_operand_words", labels, visited);
     zfgan_telemetry::count("gemm_zero_skipped_words", labels, skipped);
+    if let Some(p) = path {
+        zfgan_telemetry::count("gemm_dispatch", &[("path", p.label())], 1);
+    }
 }
 
 /// The scalar blocked kernel over a row range of the output.
@@ -279,7 +291,7 @@ pub fn matmul_blocked_scalar_into<T: Num>(
     check_matmul_shapes(a, b, out)?;
     let (kk, n) = (a.cols(), b.cols());
     let (skipped, visited) = gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
-    record_gemm("blocked_scalar", a.rows(), n, skipped, visited);
+    record_gemm("blocked_scalar", a.rows(), n, skipped, visited, None);
     Ok(())
 }
 
@@ -323,16 +335,28 @@ pub(crate) fn matmul_blocked_into_scratch<T: Num>(
 ) -> TensorResult<()> {
     check_matmul_shapes(a, b, out)?;
     let (m, kk, n) = (a.rows(), a.cols(), b.cols());
-    let (skipped, visited) = match microkernel::packed_kind::<T>() {
+    match microkernel::packed_kind::<T>() {
         Some(kind) => {
-            let counts =
-                microkernel::pack_operands(a.as_slice(), b.as_slice(), m, kk, n, kind, scratch);
-            microkernel::packed_rows(a.as_slice(), scratch, out.as_mut_slice(), 0, kk, n, kind);
-            counts
+            let plan = microkernel::plan_gemm(a.as_slice(), b.as_slice(), m, kk, n, kind, scratch);
+            microkernel::run_plan_rows(
+                plan.path,
+                a.as_slice(),
+                b.as_slice(),
+                scratch,
+                out.as_mut_slice(),
+                0,
+                kk,
+                n,
+                kind,
+            );
+            record_gemm("blocked", m, n, plan.skipped, plan.visited, Some(plan.path));
         }
-        None => gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n),
-    };
-    record_gemm("blocked", m, n, skipped, visited);
+        None => {
+            let (skipped, visited) =
+                gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), kk, n);
+            record_gemm("blocked", m, n, skipped, visited, None);
+        }
+    }
     Ok(())
 }
 
@@ -402,16 +426,21 @@ pub(crate) fn matmul_parallel_into_scratch<T: Num>(
     let (a_flat, b_flat) = (a.as_slice(), b.as_slice());
     match microkernel::packed_kind::<T>() {
         Some(kind) => {
-            // Pack B and the A panel masks once; the workers only read.
-            let (skipped, visited) =
-                microkernel::pack_operands(a_flat, b_flat, m, kk, n, kind, scratch);
+            // Scan A, pick the dispatch path and (for the packed engine)
+            // pack B once on the calling thread; the workers only read.
+            // One plan per GEMM means one telemetry record and an
+            // identical engine for every chunk — bit-neutral under any
+            // partition, since every engine's chains run along `k`.
+            let plan = microkernel::plan_gemm(a_flat, b_flat, m, kk, n, kind, scratch);
             let shared: &PackScratch = scratch;
             zfgan_pool::parallel_chunks_mut(
                 out.as_mut_slice(),
                 rows_per * n,
                 |chunk_idx, out_chunk| {
-                    microkernel::packed_rows(
+                    microkernel::run_plan_rows(
+                        plan.path,
                         a_flat,
+                        b_flat,
                         shared,
                         out_chunk,
                         chunk_idx * rows_per,
@@ -422,7 +451,14 @@ pub(crate) fn matmul_parallel_into_scratch<T: Num>(
                 },
             )
             .expect("matmul worker panicked");
-            record_gemm("parallel", m, n, skipped, visited);
+            record_gemm(
+                "parallel",
+                m,
+                n,
+                plan.skipped,
+                plan.visited,
+                Some(plan.path),
+            );
         }
         None => {
             // Per-chunk (skipped, visited) counts come back in chunk
@@ -443,10 +479,213 @@ pub(crate) fn matmul_parallel_into_scratch<T: Num>(
             let (skipped, visited) = counts
                 .iter()
                 .fold((0, 0), |(s, v), (cs, cv)| (s + cs, v + cv));
-            record_gemm("parallel", m, n, skipped, visited);
+            record_gemm("parallel", m, n, skipped, visited, None);
         }
     }
     Ok(())
+}
+
+/// GEMM with `B` produced on demand — the streamed-lowering entry for the
+/// workspace conv drivers. `fill_row(k, row)` must write every element of
+/// row `k` of the virtual `kk × n` operand `B` (the buffer it receives is
+/// reused across rows, so a partial write would leak a previous row).
+///
+/// The `A` scan runs **before** `B` exists: when the dispatch layer picks
+/// a broadcast path (small-`m` or ikj), `B` is never materialized — rows
+/// stream through a one-`k`-tile workspace buffer, `k` ascending, each
+/// live `(i, k)` pair applying one [`microkernel::axpy_packed`] update,
+/// and `B` rows whose `A` column is entirely zero are never even
+/// generated. That is the same per-element operation chain as every other
+/// engine (the f32 fused chain / the saturating Q8.8 chain, zero terms
+/// skipped), so the result is bit-identical to materializing `B` and
+/// calling [`MatmulKind::run_ws`] — which is exactly what the remaining
+/// paths (packed, non-packed element types) do here.
+///
+/// Reference kinds keep their specification fills at the call sites and
+/// never reach this entry.
+///
+/// # Errors
+///
+/// Returns an error if `a.cols() != kk`.
+pub(crate) fn matmul_streamed_ws<T: Num>(
+    kind: MatmulKind,
+    a: &Matrix<T>,
+    kk: usize,
+    n: usize,
+    fill_row: &mut dyn FnMut(usize, &mut [T]),
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Matrix<T>> {
+    let m = a.rows();
+    if a.cols() != kk {
+        return Err(ShapeError::new(format!(
+            "streamed matmul inner dimensions disagree: {}×{} vs {}×{}",
+            m,
+            a.cols(),
+            kk,
+            n
+        )));
+    }
+    if let Some(pkind) = microkernel::packed_kind::<T>() {
+        if !kind.is_reference() {
+            let plan = microkernel::scan_gemm(a.as_slice(), m, kk, n, ws.pack_scratch());
+            if matches!(plan.path, GemmPath::SmallM | GemmPath::Ikj) {
+                let mut out = ws.take_matrix(m, n);
+                // One k-tile of `B` rows — or fewer when the whole operand
+                // is shorter than a tile (`kk = 1` input-grad reshapes).
+                let mut rowbuf = ws.take(microkernel::IKJ_KB.min(kk) * n);
+                broadcast_streamed(
+                    pkind,
+                    a.as_slice(),
+                    ws.pack_scratch_ref().masks(),
+                    m,
+                    kk,
+                    n,
+                    out.as_mut_slice(),
+                    &mut rowbuf,
+                    fill_row,
+                );
+                ws.give(rowbuf);
+                record_gemm("blocked", m, n, plan.skipped, plan.visited, Some(plan.path));
+                return Ok(out);
+            }
+        }
+    }
+    // The packed path wants `B` whole (it packs it into column panels):
+    // materialize it row by row into workspace scratch — the same bytes
+    // the cache-tuned fills produce — and run the normal kernel. Non-
+    // packed element types and reference kinds land here too.
+    let mut b = ws.take_matrix(kk, n);
+    for k in 0..kk {
+        fill_row(k, b.row_mut(k));
+    }
+    let result = kind.run_ws(a, &b, ws);
+    ws.give_matrix(b);
+    result
+}
+
+/// The streamed broadcast engine behind both non-packed dispatch paths:
+/// the same [`microkernel::IKJ_KB`]-tiled `kb`/`i`/`k` nest as the ikj
+/// kernels, but over `B` rows generated on demand into a one-tile row
+/// buffer instead of a materialized operand. Per tile it scans column
+/// liveness through the panel masks (masked `A` panels are never read),
+/// fills only the live `B` rows — dead columns skip row generation
+/// entirely — then runs the *shared* fused tile kernel
+/// ([`microkernel::ikj_tile_packed`]) against the L1-hot buffer. Each
+/// output element's term chain still runs `k` ascending (tiles ascend,
+/// `k` ascends within a tile), so the result is bit-identical to the
+/// in-memory ikj kernels (exact round trips — see the microkernel module
+/// docs).
+#[allow(clippy::too_many_arguments)]
+fn broadcast_streamed<T: Num>(
+    kind: PackedKind,
+    a: &[T],
+    masks: &[u64],
+    m: usize,
+    kk: usize,
+    n: usize,
+    out: &mut [T],
+    rowbuf: &mut [T],
+    fill_row: &mut dyn FnMut(usize, &mut [T]),
+) {
+    const KP: usize = microkernel::KP;
+    const KB: usize = microkernel::IKJ_KB;
+    let wpr = microkernel::mask_geometry(kk).1;
+    debug_assert_eq!(masks.len(), m * wpr);
+    out.fill(T::zero());
+    for kb in (0..kk).step_by(KB) {
+        let kend = (kb + KB).min(kk);
+        // Column-liveness scan for this tile: walk each row's tile words
+        // panel-wise so masked panels cost one bit test, not `KP` loads.
+        let mut live = [false; KB];
+        for i in 0..m {
+            let mrow = &masks[i * wpr..(i + 1) * wpr];
+            let mut k = kb;
+            while k < kend {
+                let p = k / KP;
+                let pend = (p * KP + KP).min(kend);
+                if microkernel::mask_hit(mrow, p) {
+                    k = pend;
+                    continue;
+                }
+                while k < pend {
+                    if !a[i * kk + k].is_zero() {
+                        live[k - kb] = true;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        for (t, &is_live) in live[..kend - kb].iter().enumerate() {
+            if is_live {
+                fill_row(kb + t, &mut rowbuf[t * n..(t + 1) * n]);
+            }
+        }
+        microkernel::ikj_tile_packed(
+            kind,
+            a,
+            masks,
+            &rowbuf[..(kend - kb) * n],
+            out,
+            kk,
+            n,
+            kb,
+            kend,
+        );
+    }
+}
+
+/// GEMM against an in-memory `B` borrowed as a raw row-major slice — the
+/// entry for lowering fast paths whose `B` operand already exists inside
+/// another tensor (the `1×1`-input T-CONV reads the kernel tensor itself
+/// as its weight matrix, zero-copy). The dispatch layer decides exactly
+/// as the materialized entries would; when it picks the packed engine
+/// (forced or by shape), or the element type has no packed kernels, or
+/// `kind` is a reference kind, the call returns `Ok(None)` untouched and
+/// the caller falls back to its classic lowering — so a forced-packed
+/// run keeps the classic route's cost model, the baseline the dispatch
+/// gate measures against.
+///
+/// # Errors
+///
+/// Returns an error if `b` is not a `a.cols() × n` operand.
+pub(crate) fn matmul_inline_b_ws<T: Num>(
+    kind: MatmulKind,
+    a: &Matrix<T>,
+    b: &[T],
+    n: usize,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Option<Matrix<T>>> {
+    let (m, kk) = (a.rows(), a.cols());
+    if b.len() != kk * n {
+        return Err(ShapeError::new(format!(
+            "inline-B matmul operand holds {} words, expected {kk}×{n}",
+            b.len()
+        )));
+    }
+    let Some(pkind) = microkernel::packed_kind::<T>() else {
+        return Ok(None);
+    };
+    if kind.is_reference() {
+        return Ok(None);
+    }
+    let plan = microkernel::scan_gemm(a.as_slice(), m, kk, n, ws.pack_scratch());
+    if plan.path == GemmPath::Packed {
+        return Ok(None);
+    }
+    let mut out = ws.take_matrix(m, n);
+    microkernel::run_plan_rows(
+        plan.path,
+        a.as_slice(),
+        b,
+        ws.pack_scratch_ref(),
+        out.as_mut_slice(),
+        0,
+        kk,
+        n,
+        pkind,
+    );
+    record_gemm("blocked", m, n, plan.skipped, plan.visited, Some(plan.path));
+    Ok(Some(out))
 }
 
 /// GEMM with deterministic accumulator-fault injection: runs the selected

@@ -364,6 +364,46 @@ pub(crate) fn fill_weights_as_matrix_s_for<T: Num>(
     }
 }
 
+/// Fills one row `r` of the [`fill_weights_as_matrix_s`] reshape — the
+/// per-row form the streamed GEMM lowering pulls through
+/// [`crate::gemm`]'s row callback, so the full weight matrix need never
+/// be materialised. Row `r` is the linear `(if_, ky, kx)` index, which is
+/// exactly the kernel tensor's within-block offset. Writes every element
+/// of `row`.
+pub(crate) fn fill_weights_as_matrix_s_row<T: Num>(k: &Kernels<T>, r: usize, row: &mut [T]) {
+    let block = k.n_if() * k.kh() * k.kw();
+    let kdata = k.as_slice();
+    for (of, d) in row.iter_mut().enumerate() {
+        *d = kdata[of * block + r];
+    }
+}
+
+/// Fills one row `r` (output position `oy·ow + ox`) of the
+/// [`fill_im2col_s`] patch matrix — the per-row form for streamed GEMM
+/// lowering. Writes every element of `row`.
+pub(crate) fn fill_im2col_s_row<T: Num>(
+    input: &Fmaps<T>,
+    geom: &ConvGeom,
+    ow: usize,
+    r: usize,
+    row: &mut [T],
+) {
+    let stride = geom.stride() as isize;
+    let (pt, pl) = (geom.pad_top() as isize, geom.pad_left() as isize);
+    let (oy, ox) = (r / ow, r % ow);
+    let mut col = 0;
+    for c in 0..input.channels() {
+        for ky in 0..geom.kh() {
+            for kx in 0..geom.kw() {
+                let iy = stride * oy as isize + ky as isize - pt;
+                let ix = stride * ox as isize + kx as isize - pl;
+                row[col] = input.at_padded(c, iy, ix);
+                col += 1;
+            }
+        }
+    }
+}
+
 /// Reshapes an `S-CONV` weight tensor into the `(N_if·K_h·K_w) × N_of` GEMM
 /// operand.
 pub fn weights_as_matrix_s<T: Num>(k: &Kernels<T>) -> Matrix<T> {
@@ -453,11 +493,26 @@ pub fn s_conv_via_gemm_ws<T: Num>(
         return Err(ShapeError::new("kernel/input channel mismatch"));
     }
     let lowered = im2col_s_ws(input, geom, ws);
-    let mut wmat = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
-    fill_weights_as_matrix_s_for(&mut wmat, k, mm);
-    let product = mm.run_ws(&lowered.patches, &wmat, ws)?;
+    let product = if mm.is_reference() {
+        let mut wmat = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
+        fill_weights_as_matrix_s_for(&mut wmat, k, mm);
+        let product = mm.run_ws(&lowered.patches, &wmat, ws)?;
+        ws.give_matrix(wmat);
+        product
+    } else {
+        // Streamed lowering: weight-matrix rows are produced on demand, so
+        // when the dispatcher picks the small-m streamed engine, rows whose
+        // patch column is entirely zero are never built at all.
+        crate::gemm::matmul_streamed_ws(
+            mm,
+            &lowered.patches,
+            k.n_if() * k.kh() * k.kw(),
+            k.n_of(),
+            &mut |r, row| fill_weights_as_matrix_s_row(k, r, row),
+            ws,
+        )?
+    };
     ws.give_matrix(lowered.patches);
-    ws.give_matrix(wmat);
     let (oh, ow) = lowered.out_hw;
     let mut out = ws.take_fmaps(k.n_of(), oh, ow);
     for of in 0..k.n_of() {

@@ -26,6 +26,34 @@
 //!   `ZFGAN_NO_SIMD=1` forces the fallback, otherwise
 //!   `is_x86_feature_detected!` picks AVX2+FMA when the host has both.
 //!
+//! # Shape-aware dispatch
+//!
+//! Packing pays for itself only when enough rows of `A` reuse the packed
+//! panels and the panel masks actually elide work. Two GAN shapes break
+//! both assumptions: the projection GEMM (49×4900×128, ~2 % density with
+//! stride-49 nonzero columns) defeats the KP-panel masks because every
+//! row's few live words sit in distinct panels, and the `m = 1`
+//! input-grad GEMMs amortize a full `B` pack over a single output row.
+//! [`matmul_f32_at`] / [`matmul_fx_at`] therefore route each call through
+//! [`choose_path`] to one of three engines ([`GemmPath`]):
+//!
+//! * [`GemmPath::Packed`] — the packed panel kernel above (the default).
+//! * [`GemmPath::Ikj`] — a broadcast-FMA `ikj` kernel over **unpacked**
+//!   `B` rows: zero `A` words are skipped element-wise (no mask
+//!   granularity to defeat) and `B` is never packed.
+//! * [`GemmPath::SmallM`] — the same register tile as the packed kernel
+//!   run directly over unpacked `B` columns for `m ≤ `[`MR_F32`]: one
+//!   pass over `B`, no pack. The workspace lowering drivers additionally
+//!   stream `B` rows on the fly through this path
+//!   (`crate::gemm::matmul_streamed_ws`) so small-`m` sites skip the
+//!   materialized lowering fill entirely.
+//!
+//! The decision is a pure function of `(m, kk, n, zero-word count)` — all
+//! thread- and SIMD-invariant — and `ZFGAN_FORCE_KERNEL=packed|ikj|smallm`
+//! (or [`set_forced_path`]) pins it for testing. Every engine computes the
+//! same per-element operation chain (see below), so dispatch is never a
+//! semantics choice.
+//!
 //! # Determinism
 //!
 //! The packed f32 kernel defines its **own fixed accumulation order**: per
@@ -188,6 +216,129 @@ pub fn simd_label() -> &'static str {
     kernel_table().label
 }
 
+/// Which GEMM engine the shape/density dispatch selected for one call
+/// (see the module docs' dispatch section). All paths compute the same
+/// per-element operation chain; the choice is pure performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmPath {
+    /// The packed panel kernel: pack `B`, scan `A` into panel masks, run
+    /// the register tile over packed panels.
+    Packed,
+    /// Broadcast-FMA `ikj` over unpacked `B` rows with an element-wise
+    /// `a == 0` skip; bypasses the `B` pack entirely.
+    Ikj,
+    /// The register tile run directly over unpacked `B` columns — one
+    /// streamed pass over `B`, no pack. Chosen for `m ≤ `[`MR_F32`].
+    SmallM,
+}
+
+impl GemmPath {
+    /// The telemetry / bench / `ZFGAN_FORCE_KERNEL` tag for this path.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmPath::Packed => "packed",
+            GemmPath::Ikj => "ikj",
+            GemmPath::SmallM => "smallm",
+        }
+    }
+}
+
+/// Runtime forced-path override (bench harnesses): 0 = none, else
+/// `GemmPath` discriminant + 1. Takes precedence over the env override.
+static FORCED_RT: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// `ZFGAN_FORCE_KERNEL` parse, fixed once per process like the kernel
+/// table.
+static FORCED_ENV: OnceLock<Option<GemmPath>> = OnceLock::new();
+
+/// Forces every dispatch decision in this process to `path` (`None`
+/// restores normal dispatch). A bench/test knob — the trainstep harness
+/// uses it to measure the always-packed baseline in-process; concurrent
+/// GEMM callers see the change on their next dispatch.
+pub fn set_forced_path(path: Option<GemmPath>) {
+    let v = match path {
+        None => 0,
+        Some(GemmPath::Packed) => 1,
+        Some(GemmPath::Ikj) => 2,
+        Some(GemmPath::SmallM) => 3,
+    };
+    FORCED_RT.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The forced dispatch path, if any: [`set_forced_path`] wins over
+/// `ZFGAN_FORCE_KERNEL=packed|ikj|smallm` (unset/empty/unknown values
+/// force nothing).
+pub fn forced_path() -> Option<GemmPath> {
+    match FORCED_RT.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => return Some(GemmPath::Packed),
+        2 => return Some(GemmPath::Ikj),
+        3 => return Some(GemmPath::SmallM),
+        _ => {}
+    }
+    *FORCED_ENV.get_or_init(|| {
+        match std::env::var("ZFGAN_FORCE_KERNEL")
+            .unwrap_or_default()
+            .trim()
+        {
+            "packed" => Some(GemmPath::Packed),
+            "ikj" => Some(GemmPath::Ikj),
+            "smallm" => Some(GemmPath::SmallM),
+            _ => None,
+        }
+    })
+}
+
+/// `Ikj` is chosen when at least [`IKJ_ZERO_NUM`]`/`[`IKJ_ZERO_DEN`] of
+/// the `A` words are exactly zero. The threshold is deliberately high:
+/// measured on the MNIST-GAN shapes, the packed tile still wins at 85–90 %
+/// scattered zeros (its dense 6×16 FMA throughput beats the element skip),
+/// and the broadcast engine only pulls ahead near the structural ~98 %
+/// sparsity of the zero-free t-conv lowerings.
+const IKJ_ZERO_NUM: u64 = 15;
+const IKJ_ZERO_DEN: u64 = 16;
+
+/// Minimum output width for any broadcast engine: below half a register
+/// tile the per-live-element axpy overhead dominates and the packed tile
+/// wins even on 98 %-sparse or single-row operands (measured at `n = 1`:
+/// packed is 7–8× faster on the dense backward shapes).
+const BROADCAST_MIN_N: usize = NR_F32 / 2;
+
+/// Shape/density dispatch: a pure function of the GEMM shape and the
+/// exact zero-word count of `A` (as counted by the panel-mask scan), so
+/// the decision — and the `gemm_dispatch` telemetry derived from it — is
+/// identical for every thread count and SIMD level. Thresholds are from
+/// per-shape engine timings on the MNIST-GAN train step:
+///
+/// * `n ≥ 8` gates every broadcast route — narrower outputs can't
+///   amortize a broadcast axpy;
+/// * `m = 1`: packing `B` for one output row dwarfs the arithmetic →
+///   `SmallM` (and the streamed drivers skip materializing `B` at all);
+/// * `kk ≤ 2`: the pack writes ≥ `B`'s whole size for one or two axpys
+///   per output row → `Ikj`;
+/// * `A` ≥ 15/16 zero: element-wise skipping beats the dense tile →
+///   `Ikj`.
+pub fn choose_path(m: usize, kk: usize, n: usize, zero_words: u64) -> GemmPath {
+    if n >= BROADCAST_MIN_N {
+        if m == 1 {
+            return GemmPath::SmallM;
+        }
+        if kk <= 2 && kk > 0 {
+            return GemmPath::Ikj;
+        }
+        let total = (m * kk) as u64;
+        if total > 0 && IKJ_ZERO_DEN * zero_words >= IKJ_ZERO_NUM * total {
+            return GemmPath::Ikj;
+        }
+    }
+    GemmPath::Packed
+}
+
+/// [`choose_path`] with the forced override applied — the decision the
+/// drivers actually run.
+fn dispatch_path(m: usize, kk: usize, n: usize, zero_words: u64) -> GemmPath {
+    forced_path().unwrap_or_else(|| choose_path(m, kk, n, zero_words))
+}
+
 /// Element types the packed microkernel accelerates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackedKind {
@@ -231,41 +382,54 @@ impl PackScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The per-row panel masks built by the last [`scan_gemm`] /
+    /// [`plan_gemm`] call: `mask_geometry(kk).1` words per `A` row, a set
+    /// bit marking an all-zero panel. The streamed-lowering driver reads
+    /// these to skip dead `A` panels without touching the operand again.
+    pub(crate) fn masks(&self) -> &[u64] {
+        &self.masks
+    }
 }
 
 /// Panel-mask geometry for a `m × kk` operand.
 #[inline]
-fn mask_geometry(kk: usize) -> (usize, usize) {
+pub(crate) fn mask_geometry(kk: usize) -> (usize, usize) {
     let n_panels = kk.div_ceil(KP);
     (n_panels, n_panels.div_ceil(64))
 }
 
-/// Scans `A` into per-row panel masks. Returns the number of operand
-/// words the masked panels elide — a pure function of `A` and its shape,
-/// so the derived telemetry is identical for every thread count and SIMD
-/// level.
-fn build_masks<T: Num>(a: &[T], m: usize, kk: usize, masks: &mut Vec<u64>) -> u64 {
+/// Scans `A` into per-row panel masks. Returns `(skipped, zeros)`: how
+/// many operand words the masked panels elide, and how many words are
+/// exactly zero (the dispatch layer's density measurement — scattered
+/// zeros count here even when no whole panel is maskable). Both are pure
+/// functions of `A` and its shape, so the derived telemetry and the
+/// dispatch decision are identical for every thread count and SIMD level.
+fn build_masks<T: Num>(a: &[T], m: usize, kk: usize, masks: &mut Vec<u64>) -> (u64, u64) {
     let (n_panels, words_per_row) = mask_geometry(kk);
     masks.clear();
     masks.resize(m * words_per_row, 0);
     let mut skipped = 0u64;
+    let mut zeros = 0u64;
     for i in 0..m {
         let row = &a[i * kk..(i + 1) * kk];
         let mrow = &mut masks[i * words_per_row..(i + 1) * words_per_row];
         for p in 0..n_panels {
             let k0 = p * KP;
             let k1 = (k0 + KP).min(kk);
-            if row[k0..k1].iter().all(|v| v.is_zero()) {
+            let zc = row[k0..k1].iter().filter(|v| v.is_zero()).count();
+            zeros += zc as u64;
+            if zc == k1 - k0 {
                 mrow[p / 64] |= 1u64 << (p % 64);
                 skipped += (k1 - k0) as u64;
             }
         }
     }
-    skipped
+    (skipped, zeros)
 }
 
 #[inline]
-fn mask_hit(masks_row: &[u64], panel: usize) -> bool {
+pub(crate) fn mask_hit(masks_row: &[u64], panel: usize) -> bool {
     masks_row[panel / 64] & (1u64 << (panel % 64)) != 0
 }
 
@@ -312,17 +476,20 @@ fn pack_b<T: Num, const NR: usize>(b: &[T], kk: usize, n: usize, out: &mut Vec<T
 // ---------------------------------------------------------------------------
 
 /// One f32 register-tile task: up to [`MR_F32`] consecutive rows of `A`
-/// against one `klen × `[`NR_F32`] packed-`B` chunk, continuing the
+/// against one `klen`-deep, [`NR_F32`]-wide chunk of `B`, continuing the
 /// accumulation already in the output when `accumulate` is set.
 ///
 /// `a_rows`, `masks` and the output slice all cover the same row range
 /// (`i0` is relative to it); `kc0`/`klen` select the `k`-chunk and
 /// `panel0` is the absolute mask-panel index of its first (KP-aligned)
-/// panel.
+/// panel. `bstride` is the distance between consecutive `k` rows of
+/// `bchunk`: [`NR_F32`] for packed panels, the matrix row stride `n` when
+/// the small-`m` driver runs the tile over unpacked `B` directly.
 struct F32Tile<'a> {
     a_rows: &'a [f32],
     masks: &'a [u64],
     bchunk: &'a [f32],
+    bstride: usize,
     kk: usize,
     wpr: usize,
     i0: usize,
@@ -358,7 +525,7 @@ fn f32_tile_scalar(t: &F32Tile, out_rows: &mut [f32]) {
         let k0 = p * KP;
         let k1 = (k0 + KP).min(t.klen);
         for k in k0..k1 {
-            let b_row = &t.bchunk[k * NR_F32..k * NR_F32 + t.w];
+            let b_row = &t.bchunk[k * t.bstride..k * t.bstride + t.w];
             for (r, acc_r) in acc.iter_mut().enumerate().take(t.rows) {
                 let av = t.a_rows[(t.i0 + r) * t.kk + t.kc0 + k];
                 if av == 0.0 {
@@ -403,7 +570,11 @@ unsafe fn f32_tile_avx2(t: &F32Tile, out_rows: &mut [f32]) {
 /// # Safety
 ///
 /// Caller must have verified `avx2` and `fma` are available, and `R` must
-/// not exceed the tile's row count.
+/// not exceed the tile's row count. Every `k`-step loads [`NR_F32`] `B`
+/// lanes regardless of `t.w`, so `bchunk` must have `NR_F32` readable
+/// words at each `k·bstride` (packed panels pad their tails; the
+/// small-`m` driver routes partial-width strips of unpacked `B` to the
+/// scalar tile instead).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn f32_tile_avx2_rows<const R: usize>(t: &F32Tile, out_rows: &mut [f32]) {
@@ -440,7 +611,7 @@ unsafe fn f32_tile_avx2_rows<const R: usize>(t: &F32Tile, out_rows: &mut [f32]) 
         let k0 = p * KP;
         let k1 = (k0 + KP).min(t.klen);
         for k in k0..k1 {
-            let base = t.bchunk.as_ptr().add(k * NR_F32);
+            let base = t.bchunk.as_ptr().add(k * t.bstride);
             let b0 = _mm256_loadu_ps(base);
             let b1 = _mm256_loadu_ps(base.add(8));
             for (r, acc_r) in acc.iter_mut().enumerate() {
@@ -510,6 +681,7 @@ pub fn f32_rows(
                         a_rows,
                         masks,
                         bchunk,
+                        bstride: NR_F32,
                         kk,
                         wpr,
                         i0,
@@ -533,6 +705,289 @@ pub fn f32_rows(
             ib0 = ib1;
         }
         kc0 = kc1;
+    }
+}
+
+/// f32 axpy signature: `out_row += av · b_row`, one fused multiply–add
+/// per element. `unsafe fn` for the same feature-gating reason as
+/// [`F32TileFn`].
+type F32AxpyFn = unsafe fn(f32, &[f32], &mut [f32]);
+
+fn f32_axpy_for(level: SimdLevel) -> F32AxpyFn {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => f32_axpy_avx2,
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => f32_axpy_scalar,
+        SimdLevel::Scalar => f32_axpy_scalar,
+    }
+}
+
+/// Portable f32 axpy: `out[j] = fma(av, b[j], out[j])` — the same
+/// correctly-rounded operation as one `vfmadd` lane, so both levels are
+/// bit-identical.
+fn f32_axpy_scalar(av: f32, b_row: &[f32], out_row: &mut [f32]) {
+    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        *o = <f32 as Num>::fused_mul_add(*o, av, bv);
+    }
+}
+
+/// AVX2/FMA f32 axpy: broadcast `av` once, fused multiply–add over
+/// 8-lane groups with a `mul_add` scalar tail (the identical operation
+/// per lane — see [`f32_axpy_scalar`]).
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` and `fma` are available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn f32_axpy_avx2(av: f32, b_row: &[f32], out_row: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = out_row.len().min(b_row.len());
+    let avv = _mm256_set1_ps(av);
+    let bp = b_row.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut j = 0;
+    while j + 8 <= n {
+        let b = _mm256_loadu_ps(bp.add(j));
+        let o = _mm256_loadu_ps(op.add(j));
+        _mm256_storeu_ps(op.add(j), _mm256_fmadd_ps(avv, b, o));
+        j += 8;
+    }
+    while j < n {
+        *op.add(j) = av.mul_add(*bp.add(j), *op.add(j));
+        j += 1;
+    }
+}
+
+/// Broadcast-FMA `ikj`-chain f32 GEMM over a contiguous row range, on
+/// **unpacked** `B` (row-major, `kk × n`). Zero the output, then walk `k`
+/// outermost: each live `A` word contributes one axpy of its `B` row —
+/// exactly the packed kernel's per-element fused chain over `k` ascending
+/// (the loop interchange reorders only *between* output elements, never
+/// within one element's chain; bit-neutral, see the module docs), with
+/// the accumulator round-tripping through `out` between `k` steps
+/// (exact). Zero words skip element-wise, and a `B` row whose `A` column
+/// is entirely zero is never read at all. `k` outermost means `B` is
+/// streamed **sequentially, exactly once** — on the stride-49 projection
+/// shape the i-outer order re-walks `B` in page-sized jumps and is
+/// memory-latency-bound instead. The `k` loop is additionally tiled by
+/// [`IKJ_KB`] (one f32 cache line) with the row loop inside the tile, so
+/// each `A` line is loaded once and serves all [`IKJ_KB`] of its `k`
+/// values instead of missing per element on large-`kk` column walks, and
+/// the per-row [`KP`]-panel masks from the dispatch scan skip dead `A`
+/// panels without touching `A` at all — on a ~2%-dense projection matrix
+/// most of `A` is never re-read after the scan. Every output element
+/// still sees its contributions over `k` ascending (tile-outer,
+/// row-middle, `k`-inner), so the interchange stays bit-neutral.
+/// Bit-identical for every [`SimdLevel`].
+pub fn f32_ikj_rows(
+    level: SimdLevel,
+    a_rows: &[f32],
+    masks: &[u64],
+    b: &[f32],
+    out_rows: &mut [f32],
+    kk: usize,
+    n: usize,
+) {
+    let m = a_rows.len().checked_div(kk).unwrap_or(0);
+    let (_, wpr) = mask_geometry(kk);
+    debug_assert_eq!(out_rows.len(), m * n);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(masks.len(), m * wpr);
+    out_rows.fill(0.0);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the kernel table only selects Avx2Fma after verifying
+        // the features (see `f32_rows`); lengths were just asserted.
+        SimdLevel::Avx2Fma => unsafe {
+            f32_ikj_rows_avx2(a_rows, masks, wpr, b, out_rows, m, kk, n)
+        },
+        _ => {
+            for kb in (0..kk).step_by(IKJ_KB) {
+                let kend = (kb + IKJ_KB).min(kk);
+                f32_ikj_tile_scalar(
+                    a_rows,
+                    masks,
+                    wpr,
+                    &b[kb * n..kend * n],
+                    out_rows,
+                    m,
+                    kk,
+                    n,
+                    kb,
+                    kend,
+                );
+            }
+        }
+    }
+}
+
+/// One `k`-tile of [`f32_ikj_rows`]'s portable nest: `btile` holds rows
+/// `kb..kend` of the (possibly virtual) `B` operand, row `k` at offset
+/// `(k − kb)·n` — the streamed-lowering driver points this at its
+/// on-demand row buffer. Accumulates into `out_rows` without zeroing;
+/// callers zero once before the first tile.
+#[allow(clippy::too_many_arguments)]
+fn f32_ikj_tile_scalar(
+    a_rows: &[f32],
+    masks: &[u64],
+    wpr: usize,
+    btile: &[f32],
+    out_rows: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    kb: usize,
+    kend: usize,
+) {
+    for i in 0..m {
+        let mrow = &masks[i * wpr..(i + 1) * wpr];
+        let mut k = kb;
+        while k < kend {
+            let p = k / KP;
+            let pend = (p * KP + KP).min(kend);
+            if mask_hit(mrow, p) {
+                k = pend;
+                continue;
+            }
+            while k < pend {
+                let av = a_rows[i * kk + k];
+                if av != 0.0 {
+                    let b_row = &btile[(k - kb) * n..(k - kb + 1) * n];
+                    f32_axpy_scalar(av, b_row, &mut out_rows[i * n..(i + 1) * n]);
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// `k`-tile width for the ikj kernels: 16 f32 / 32 `Fx` words — one
+/// 64-byte cache line of `A` per row per tile for f32, and a whole number
+/// of [`KP`]-panels so mask skips never straddle a tile. Shared with the
+/// streamed-lowering driver (`gemm::broadcast_streamed`) so its on-demand
+/// `B` row buffer covers exactly one tile.
+pub(crate) const IKJ_KB: usize = 16;
+
+/// The fused AVX2/FMA form of [`f32_ikj_rows`]'s loop nest: the axpy
+/// body inlined into the tiled `k`/`i` walk, so the hot path pays no
+/// per-live-element indirect call or slice construction. Same operations
+/// in the same order as the scalar nest — bit-identical.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` and `fma` are available, and that
+/// `a_rows.len() == m·kk`, `b.len() == kk·n`, `out_rows.len() == m·n`,
+/// `masks.len() == m·wpr` with `wpr = mask_geometry(kk).1`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn f32_ikj_rows_avx2(
+    a_rows: &[f32],
+    masks: &[u64],
+    wpr: usize,
+    b: &[f32],
+    out_rows: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < kk {
+        let kend = (kb + IKJ_KB).min(kk);
+        f32_ikj_tile_avx2(
+            a_rows,
+            masks,
+            wpr,
+            &b[kb * n..kend * n],
+            out_rows,
+            m,
+            kk,
+            n,
+            kb,
+            kend,
+        );
+        kb = kend;
+    }
+}
+
+/// The fused AVX2/FMA form of [`f32_ikj_tile_scalar`]: one `k`-tile over
+/// `btile` (row `k` at offset `(k − kb)·n`), the axpy body inlined so the
+/// hot path pays no per-live-element indirect call or slice construction.
+/// Same operations in the same order as the scalar tile — bit-identical.
+/// Accumulates; callers zero `out_rows` once before the first tile.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` and `fma` are available, and that
+/// `a_rows.len() == m·kk`, `btile.len() == (kend − kb)·n`,
+/// `out_rows.len() == m·n`, `masks.len() == m·wpr` with
+/// `wpr = mask_geometry(kk).1`, `kb ≤ kend ≤ kk`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn f32_ikj_tile_avx2(
+    a_rows: &[f32],
+    masks: &[u64],
+    wpr: usize,
+    btile: &[f32],
+    out_rows: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    kb: usize,
+    kend: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = a_rows.as_ptr();
+    let op0 = out_rows.as_mut_ptr();
+    for i in 0..m {
+        let mrow = &masks[i * wpr..(i + 1) * wpr];
+        let arow = ap.add(i * kk);
+        let op = op0.add(i * n);
+        // Liveness-aware prefetch: live `A` panels land scattered (the
+        // column-order walk defeats the hardware prefetcher), so pull
+        // the *next* tile's line for this row now — but only when its
+        // panels are live; prefetching dead lines would re-create the
+        // traffic the mask skip exists to avoid.
+        if kend < kk {
+            let pn = kend / KP;
+            if !mask_hit(mrow, pn)
+                || (pn + 1 < wpr * 64 && (pn + 1) * KP < kk && !mask_hit(mrow, pn + 1))
+            {
+                _mm_prefetch(arow.add(kend) as *const i8, _MM_HINT_T0);
+            }
+        }
+        let mut k = kb;
+        while k < kend {
+            let p = k / KP;
+            let pend = (p * KP + KP).min(kend);
+            if mask_hit(mrow, p) {
+                k = pend;
+                continue;
+            }
+            while k < pend {
+                let av = *arow.add(k);
+                k += 1;
+                if av == 0.0 {
+                    continue;
+                }
+                let bp = btile.as_ptr().add((k - 1 - kb) * n);
+                let avv = _mm256_set1_ps(av);
+                let mut j = 0;
+                while j + 8 <= n {
+                    let bv = _mm256_loadu_ps(bp.add(j));
+                    let o = _mm256_loadu_ps(op.add(j));
+                    _mm256_storeu_ps(op.add(j), _mm256_fmadd_ps(avv, bv, o));
+                    j += 8;
+                }
+                while j < n {
+                    *op.add(j) = av.mul_add(*bp.add(j), *op.add(j));
+                    j += 1;
+                }
+            }
+        }
     }
 }
 
@@ -739,13 +1194,260 @@ pub fn fx_rows(
     }
 }
 
+/// Q8.8 axpy signature (raw `i16`): `out_row = sat(out_row + round(av ·
+/// b_row))` per element — one scalar [`Fx`] multiply–add step.
+type FxAxpyFn = unsafe fn(i16, &[i16], &mut [i16]);
+
+fn fx_axpy_for(level: SimdLevel) -> FxAxpyFn {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => fx_axpy_avx2,
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => fx_axpy_scalar,
+        SimdLevel::Scalar => fx_axpy_scalar,
+    }
+}
+
+/// Portable Q8.8 axpy: one [`fx_mac`] per element, the accumulator
+/// saturated back into `i16` each step (so resuming from memory between
+/// `k` steps is exact — the same argument as the packed kernel's chunk
+/// round trips).
+fn fx_axpy_scalar(av: i16, b_row: &[i16], out_row: &mut [i16]) {
+    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        *o = fx_mac(i32::from(*o), av, bv) as i16;
+    }
+}
+
+/// AVX2 Q8.8 axpy: the identical instruction mix as [`fx_row_panel_avx2`]
+/// — `vpmullw`/`vpmulhw` exact widened products, add-half + `vpsrad`
+/// rounding, `vpackssdw` saturating narrow, `vpaddsw` saturating
+/// accumulate — applied to one unpacked `B` row, with an [`fx_mac`]
+/// scalar tail (the same operation per lane).
+///
+/// # Safety
+///
+/// Caller must have verified `avx2` is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fx_axpy_avx2(av: i16, b_row: &[i16], out_row: &mut [i16]) {
+    use std::arch::x86_64::*;
+    let n = out_row.len().min(b_row.len());
+    let half = _mm256_set1_epi32(FX_HALF);
+    let avv = _mm256_set1_epi16(av);
+    let bp = b_row.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut j = 0;
+    while j + 16 <= n {
+        let bv = _mm256_loadu_si256(bp.add(j) as *const __m256i);
+        let acc = _mm256_loadu_si256(op.add(j) as *const __m256i);
+        let lo = _mm256_mullo_epi16(avv, bv);
+        let hi = _mm256_mulhi_epi16(avv, bv);
+        let p0 = _mm256_unpacklo_epi16(lo, hi);
+        let p1 = _mm256_unpackhi_epi16(lo, hi);
+        let t0 = _mm256_srai_epi32::<{ FRAC_BITS as i32 }>(_mm256_add_epi32(p0, half));
+        let t1 = _mm256_srai_epi32::<{ FRAC_BITS as i32 }>(_mm256_add_epi32(p1, half));
+        let term = _mm256_packs_epi32(t0, t1);
+        _mm256_storeu_si256(op.add(j) as *mut __m256i, _mm256_adds_epi16(acc, term));
+        j += 16;
+    }
+    while j < n {
+        *op.add(j) = fx_mac(i32::from(*op.add(j)), av, *bp.add(j)) as i16;
+        j += 1;
+    }
+}
+
+/// Broadcast `ikj`-chain Q8.8 GEMM over a contiguous row range on
+/// unpacked `B` (raw-`i16`, row-major `kk × n`): the non-packed
+/// counterpart of [`fx_rows`], serving both the [`GemmPath::Ikj`] and
+/// [`GemmPath::SmallM`] dispatch paths (byte-identity to scalar [`Fx`]
+/// semantics is the only Q8.8 contract, and every order here is the same
+/// `k`-ascending saturating chain per output element). `k` outermost
+/// streams `B` sequentially exactly once, as in [`f32_ikj_rows`], with
+/// the same [`IKJ_KB`]-tiled walk and [`KP`]-panel mask skips so dead `A`
+/// panels are never re-read after the dispatch scan; zero `A` words skip
+/// element-wise — exact, since a zero operand's term is exactly zero.
+pub fn fx_ikj_rows(
+    level: SimdLevel,
+    a_rows: &[i16],
+    masks: &[u64],
+    b: &[i16],
+    out_rows: &mut [i16],
+    kk: usize,
+    n: usize,
+) {
+    let m = a_rows.len().checked_div(kk).unwrap_or(0);
+    let (_, wpr) = mask_geometry(kk);
+    debug_assert_eq!(out_rows.len(), m * n);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(masks.len(), m * wpr);
+    let axpy = fx_axpy_for(level);
+    out_rows.fill(0);
+    for kb in (0..kk).step_by(IKJ_KB) {
+        let kend = (kb + IKJ_KB).min(kk);
+        fx_ikj_tile(
+            axpy,
+            a_rows,
+            masks,
+            wpr,
+            &b[kb * n..kend * n],
+            out_rows,
+            m,
+            kk,
+            n,
+            kb,
+            kend,
+        );
+    }
+}
+
+/// One `k`-tile of [`fx_ikj_rows`]'s nest over `btile` (row `k` at offset
+/// `(k − kb)·n`) — the Q8.8 counterpart of [`f32_ikj_tile_scalar`],
+/// applying the level-resolved axpy per live `A` word. Accumulates;
+/// callers zero `out_rows` once before the first tile.
+#[allow(clippy::too_many_arguments)]
+fn fx_ikj_tile(
+    axpy: FxAxpyFn,
+    a_rows: &[i16],
+    masks: &[u64],
+    wpr: usize,
+    btile: &[i16],
+    out_rows: &mut [i16],
+    m: usize,
+    kk: usize,
+    n: usize,
+    kb: usize,
+    kend: usize,
+) {
+    for i in 0..m {
+        let mrow = &masks[i * wpr..(i + 1) * wpr];
+        let mut k = kb;
+        while k < kend {
+            let p = k / KP;
+            let pend = (p * KP + KP).min(kend);
+            if mask_hit(mrow, p) {
+                k = pend;
+                continue;
+            }
+            while k < pend {
+                let av = a_rows[i * kk + k];
+                k += 1;
+                if av == 0 {
+                    continue;
+                }
+                let b_row = &btile[(k - 1 - kb) * n..(k - kb) * n];
+                // SAFETY: feature-gated kernels are only resolved for levels
+                // whose features were detected (see `fx_rows`).
+                unsafe { axpy(av, b_row, &mut out_rows[i * n..(i + 1) * n]) };
+            }
+        }
+    }
+}
+
+/// One `k`-tile of the broadcast engines for the streamed-lowering driver
+/// in [`crate::gemm`]: `btile` is its on-demand row buffer holding rows
+/// `kb..kend` of the virtual `B` operand (row `k` at offset `(k − kb)·n`).
+/// Dispatches to the same fused/level-resolved tile kernels the in-memory
+/// ikj engines run, so streaming changes *where `B` rows come from*, never
+/// the per-element operation chain — bit-identity (f32) and byte-identity
+/// (Q8.8) with the materialized paths follow from the tile kernels being
+/// literally shared. Accumulates; zero `out` before the first tile.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ikj_tile_packed<T: Num>(
+    kind: PackedKind,
+    a: &[T],
+    masks: &[u64],
+    btile: &[T],
+    out: &mut [T],
+    kk: usize,
+    n: usize,
+    kb: usize,
+    kend: usize,
+) {
+    let m = a.len().checked_div(kk).unwrap_or(0);
+    let (_, wpr) = mask_geometry(kk);
+    debug_assert_eq!(masks.len(), m * wpr);
+    debug_assert_eq!(btile.len(), (kend - kb) * n);
+    debug_assert_eq!(out.len(), m * n);
+    match kind {
+        PackedKind::F32 => {
+            // SAFETY: `kind` proves `T == f32` (see `plan_gemm`).
+            let (af, bf, of) = unsafe {
+                (
+                    std::slice::from_raw_parts(a.as_ptr() as *const f32, a.len()),
+                    std::slice::from_raw_parts(btile.as_ptr() as *const f32, btile.len()),
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f32, out.len()),
+                )
+            };
+            match simd_level() {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: the level is only Avx2Fma after feature detection.
+                SimdLevel::Avx2Fma => unsafe {
+                    f32_ikj_tile_avx2(af, masks, wpr, bf, of, m, kk, n, kb, kend)
+                },
+                _ => f32_ikj_tile_scalar(af, masks, wpr, bf, of, m, kk, n, kb, kend),
+            }
+        }
+        PackedKind::Fx => {
+            // SAFETY: `kind` proves `T == Fx`, `repr(transparent)` over i16.
+            let (ai, bi, oi) = unsafe {
+                (
+                    std::slice::from_raw_parts(a.as_ptr() as *const i16, a.len()),
+                    std::slice::from_raw_parts(btile.as_ptr() as *const i16, btile.len()),
+                    std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut i16, out.len()),
+                )
+            };
+            fx_ikj_tile(
+                fx_axpy_for(simd_level()),
+                ai,
+                masks,
+                wpr,
+                bi,
+                oi,
+                m,
+                kk,
+                n,
+                kb,
+                kend,
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Whole-matrix drivers
 // ---------------------------------------------------------------------------
 
-/// Packs both operands and runs the packed f32 kernel at `level`.
-/// Returns `(skipped, visited)` operand-word counts — pure functions of
-/// `a` and the shape (thread- and SIMD-invariant).
+/// Runs one dispatch path's f32 engine. Assumes `scratch.masks` was just
+/// built for `a`; packs `B` if (and only if) the path needs it.
+#[allow(clippy::too_many_arguments)]
+fn run_f32_path(
+    level: SimdLevel,
+    path: GemmPath,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) {
+    match path {
+        GemmPath::Packed => {
+            pack_b::<_, NR_F32>(b, kk, n, &mut scratch.bf32);
+            f32_rows(level, a, &scratch.masks, &scratch.bf32, out, kk, n);
+        }
+        // On materialized `B` the small-`m` path shares the ikj engine (one
+        // streamed pass over `B`, no pack — the register tile re-walks `B`
+        // once per column strip and loses); SmallM stays a distinct path
+        // because the streamed driver in `crate::gemm` keys the
+        // fill-row-on-demand lowering off it.
+        GemmPath::Ikj | GemmPath::SmallM => f32_ikj_rows(level, a, &scratch.masks, b, out, kk, n),
+    }
+}
+
+/// Dispatch-routed f32 GEMM at `level`: scans `A`, picks the engine via
+/// [`choose_path`] (or the forced override) and runs it. Returns
+/// `(skipped, visited)` operand-word counts — pure functions of `a` and
+/// the shape (thread- and SIMD-invariant).
 #[allow(clippy::too_many_arguments)]
 pub fn matmul_f32_at(
     level: SimdLevel,
@@ -757,9 +1459,30 @@ pub fn matmul_f32_at(
     n: usize,
     scratch: &mut PackScratch,
 ) -> (u64, u64) {
-    let skipped = build_masks(a, m, kk, &mut scratch.masks);
-    pack_b::<_, NR_F32>(b, kk, n, &mut scratch.bf32);
-    f32_rows(level, a, &scratch.masks, &scratch.bf32, out, kk, n);
+    let (skipped, zeros) = build_masks(a, m, kk, &mut scratch.masks);
+    let path = dispatch_path(m, kk, n, zeros);
+    run_f32_path(level, path, a, b, out, kk, n, scratch);
+    (skipped, (m * kk) as u64)
+}
+
+/// f32 GEMM through one **explicit** dispatch path (ignores both
+/// [`choose_path`] and the forced override) — the bit-equality proptests
+/// and the shape benches pin each engine against the others through this
+/// entry. Every path is correct for every shape.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_f32_path(
+    level: SimdLevel,
+    path: GemmPath,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    let (skipped, _) = build_masks(a, m, kk, &mut scratch.masks);
+    run_f32_path(level, path, a, b, out, kk, n, scratch);
     (skipped, (m * kk) as u64)
 }
 
@@ -776,8 +1499,31 @@ pub fn matmul_f32(
     matmul_f32_at(simd_level(), a, b, out, m, kk, n, scratch)
 }
 
-/// Packs both operands and runs the packed Q8.8 kernel at `level` on
-/// raw-`i16` views. Returns `(skipped, visited)` as [`matmul_f32_at`].
+/// Runs one dispatch path's Q8.8 engine (see [`run_f32_path`]). The two
+/// non-packed paths share [`fx_ikj_rows`]: byte-identity to scalar [`Fx`]
+/// semantics is the only Q8.8 contract, and both satisfy it.
+#[allow(clippy::too_many_arguments)]
+fn run_fx_path(
+    level: SimdLevel,
+    path: GemmPath,
+    a: &[i16],
+    b: &[i16],
+    out: &mut [i16],
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) {
+    match path {
+        GemmPath::Packed => {
+            pack_b_i16(b, kk, n, &mut scratch.bi16);
+            fx_rows(level, a, &scratch.masks, &scratch.bi16, out, kk, n);
+        }
+        GemmPath::Ikj | GemmPath::SmallM => fx_ikj_rows(level, a, &scratch.masks, b, out, kk, n),
+    }
+}
+
+/// Dispatch-routed Q8.8 GEMM at `level` on raw-`i16` views. Returns
+/// `(skipped, visited)` as [`matmul_f32_at`].
 #[allow(clippy::too_many_arguments)]
 pub fn matmul_fx_at(
     level: SimdLevel,
@@ -790,9 +1536,29 @@ pub fn matmul_fx_at(
     scratch: &mut PackScratch,
 ) -> (u64, u64) {
     let a_fx: &[Fx] = fx_view(a);
-    let skipped = build_masks(a_fx, m, kk, &mut scratch.masks);
-    pack_b_i16(b, kk, n, &mut scratch.bi16);
-    fx_rows(level, a, &scratch.masks, &scratch.bi16, out, kk, n);
+    let (skipped, zeros) = build_masks(a_fx, m, kk, &mut scratch.masks);
+    let path = dispatch_path(m, kk, n, zeros);
+    run_fx_path(level, path, a, b, out, kk, n, scratch);
+    (skipped, (m * kk) as u64)
+}
+
+/// Q8.8 GEMM through one explicit dispatch path (see
+/// [`matmul_f32_path`]).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_fx_path(
+    level: SimdLevel,
+    path: GemmPath,
+    a: &[i16],
+    b: &[i16],
+    out: &mut [i16],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> (u64, u64) {
+    let a_fx: &[Fx] = fx_view(a);
+    let (skipped, _) = build_masks(a_fx, m, kk, &mut scratch.masks);
+    run_fx_path(level, path, a, b, out, kk, n, scratch);
     (skipped, (m * kk) as u64)
 }
 
@@ -845,11 +1611,46 @@ fn pack_b_i16(b: &[i16], kk: usize, n: usize, out: &mut Vec<i16>) {
     }
 }
 
-/// Shared packing for the pooled kernel: builds masks and packs `B` once
-/// on the calling thread; the pool workers then run [`f32_rows`] /
-/// [`fx_rows`] over disjoint row chunks against the shared panels.
-/// Returns the `(skipped, visited)` counters.
-pub fn pack_operands<T: Num>(
+/// One GEMM's dispatch decision plus the zero-scan statistics it was
+/// derived from — everything the caller needs to run row chunks and
+/// record telemetry. All fields are pure functions of `A`, the shape and
+/// the forced override, so a plan is identical for every thread count and
+/// SIMD level.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmPlan {
+    /// The engine every row chunk of this GEMM must run.
+    pub path: GemmPath,
+    /// Operand words the panel masks elide (the structural-zero
+    /// statistic, reported for every path).
+    pub skipped: u64,
+    /// Total `A` operand words (`m · kk`).
+    pub visited: u64,
+}
+
+/// Scans `A` into the scratch panel masks and picks the dispatch path —
+/// without touching `B` (the streamed lowering driver decides whether `B`
+/// needs to be materialized at all based on the returned path). Follow
+/// with [`plan_gemm`]-style packing or [`run_plan_rows`] as appropriate.
+pub fn scan_gemm<T: Num>(
+    a: &[T],
+    m: usize,
+    kk: usize,
+    n: usize,
+    scratch: &mut PackScratch,
+) -> GemmPlan {
+    let (skipped, zeros) = build_masks(a, m, kk, &mut scratch.masks);
+    GemmPlan {
+        path: dispatch_path(m, kk, n, zeros),
+        skipped,
+        visited: (m * kk) as u64,
+    }
+}
+
+/// Shared planning for the blocked/pooled drivers: scans `A`, picks the
+/// path and — only when the packed engine won — packs `B` once on the
+/// calling thread. The pool workers then run [`run_plan_rows`] over
+/// disjoint row chunks against the shared scratch.
+pub fn plan_gemm<T: Num>(
     a: &[T],
     b: &[T],
     m: usize,
@@ -857,32 +1658,40 @@ pub fn pack_operands<T: Num>(
     n: usize,
     kind: PackedKind,
     scratch: &mut PackScratch,
-) -> (u64, u64) {
-    let skipped = build_masks(a, m, kk, &mut scratch.masks);
-    match kind {
-        PackedKind::F32 => {
-            // SAFETY: `kind` is only `F32` when `T == f32` (TypeId-checked
-            // by `packed_kind`).
-            let bf: &[f32] =
-                unsafe { std::slice::from_raw_parts(b.as_ptr() as *const f32, b.len()) };
-            pack_b::<_, NR_F32>(bf, kk, n, &mut scratch.bf32);
-        }
-        PackedKind::Fx => {
-            // SAFETY: `kind` is only `Fx` when `T == Fx` (repr(transparent)
-            // over i16).
-            let bi: &[i16] =
-                unsafe { std::slice::from_raw_parts(b.as_ptr() as *const i16, b.len()) };
-            pack_b_i16(bi, kk, n, &mut scratch.bi16);
+) -> GemmPlan {
+    let plan = scan_gemm(a, m, kk, n, scratch);
+    if plan.path == GemmPath::Packed {
+        match kind {
+            PackedKind::F32 => {
+                // SAFETY: `kind` is only `F32` when `T == f32`
+                // (TypeId-checked by `packed_kind`).
+                let bf: &[f32] =
+                    unsafe { std::slice::from_raw_parts(b.as_ptr() as *const f32, b.len()) };
+                pack_b::<_, NR_F32>(bf, kk, n, &mut scratch.bf32);
+            }
+            PackedKind::Fx => {
+                // SAFETY: `kind` is only `Fx` when `T == Fx`
+                // (repr(transparent) over i16).
+                let bi: &[i16] =
+                    unsafe { std::slice::from_raw_parts(b.as_ptr() as *const i16, b.len()) };
+                pack_b_i16(bi, kk, n, &mut scratch.bi16);
+            }
         }
     }
-    (skipped, (m * kk) as u64)
+    plan
 }
 
-/// Runs the packed kernel at the process-selected level over a contiguous
-/// row chunk of pre-packed operands (see [`pack_operands`]). `row0` is the
-/// absolute first row of the chunk.
-pub fn packed_rows<T: Num>(
+/// Runs one planned GEMM's engine at the process-selected level over a
+/// contiguous row chunk. `row0` is the absolute first row of the chunk;
+/// `b` is the **unpacked** `B` (the packed path reads the panels packed
+/// into `scratch` by [`plan_gemm`] instead). Bit-neutral under any row
+/// partition: every engine's per-element chain runs along `k`, never
+/// across rows.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_rows<T: Num>(
+    path: GemmPath,
     a: &[T],
+    b: &[T],
     scratch: &PackScratch,
     out_chunk: &mut [T],
     row0: usize,
@@ -895,10 +1704,11 @@ pub fn packed_rows<T: Num>(
     let masks = &scratch.masks[row0 * wpr..(row0 + rows_here) * wpr];
     match kind {
         PackedKind::F32 => {
-            // SAFETY: `kind` proves `T == f32` (see `pack_operands`).
-            let (af, of) = unsafe {
+            // SAFETY: `kind` proves `T == f32` (see `plan_gemm`).
+            let (af, bf, of) = unsafe {
                 (
                     std::slice::from_raw_parts(a.as_ptr() as *const f32, a.len()),
+                    std::slice::from_raw_parts(b.as_ptr() as *const f32, b.len()),
                     std::slice::from_raw_parts_mut(
                         out_chunk.as_mut_ptr() as *mut f32,
                         out_chunk.len(),
@@ -906,13 +1716,21 @@ pub fn packed_rows<T: Num>(
                 )
             };
             let a_rows = &af[row0 * kk..(row0 + rows_here) * kk];
-            f32_rows(simd_level(), a_rows, masks, &scratch.bf32, of, kk, n);
+            match path {
+                GemmPath::Packed => {
+                    f32_rows(simd_level(), a_rows, masks, &scratch.bf32, of, kk, n);
+                }
+                GemmPath::Ikj | GemmPath::SmallM => {
+                    f32_ikj_rows(simd_level(), a_rows, masks, bf, of, kk, n);
+                }
+            }
         }
         PackedKind::Fx => {
             // SAFETY: `kind` proves `T == Fx`, `repr(transparent)` over i16.
-            let (ai, oi) = unsafe {
+            let (ai, bi, oi) = unsafe {
                 (
                     std::slice::from_raw_parts(a.as_ptr() as *const i16, a.len()),
+                    std::slice::from_raw_parts(b.as_ptr() as *const i16, b.len()),
                     std::slice::from_raw_parts_mut(
                         out_chunk.as_mut_ptr() as *mut i16,
                         out_chunk.len(),
@@ -920,7 +1738,51 @@ pub fn packed_rows<T: Num>(
                 )
             };
             let a_rows = &ai[row0 * kk..(row0 + rows_here) * kk];
-            fx_rows(simd_level(), a_rows, masks, &scratch.bi16, oi, kk, n);
+            match path {
+                GemmPath::Packed => {
+                    fx_rows(simd_level(), a_rows, masks, &scratch.bi16, oi, kk, n);
+                }
+                GemmPath::Ikj | GemmPath::SmallM => {
+                    fx_ikj_rows(simd_level(), a_rows, masks, bi, oi, kk, n);
+                }
+            }
+        }
+    }
+}
+
+/// `out_row += av · b_row` with the packed family's exact per-element
+/// semantics (one fused f32 step / one saturating Q8.8 step per element)
+/// at the process-selected level — the inner update of the streamed
+/// broadcast driver in [`crate::gemm`], which runs the same `k`-ascending
+/// chain as every other engine with `B` rows produced on the fly.
+pub fn axpy_packed<T: Num>(kind: PackedKind, av: T, b_row: &[T], out_row: &mut [T]) {
+    match kind {
+        PackedKind::F32 => {
+            // SAFETY: `kind` proves `T == f32` (see `plan_gemm`).
+            let (avf, bf, of) = unsafe {
+                (
+                    std::mem::transmute_copy::<T, f32>(&av),
+                    std::slice::from_raw_parts(b_row.as_ptr() as *const f32, b_row.len()),
+                    std::slice::from_raw_parts_mut(out_row.as_mut_ptr() as *mut f32, out_row.len()),
+                )
+            };
+            let axpy = f32_axpy_for(simd_level());
+            // SAFETY: feature-gated kernels are only resolved for levels
+            // whose features were detected.
+            unsafe { axpy(avf, bf, of) };
+        }
+        PackedKind::Fx => {
+            // SAFETY: `kind` proves `T == Fx`, `repr(transparent)` over i16.
+            let (avi, bi, oi) = unsafe {
+                (
+                    std::mem::transmute_copy::<T, i16>(&av),
+                    std::slice::from_raw_parts(b_row.as_ptr() as *const i16, b_row.len()),
+                    std::slice::from_raw_parts_mut(out_row.as_mut_ptr() as *mut i16, out_row.len()),
+                )
+            };
+            let axpy = fx_axpy_for(simd_level());
+            // SAFETY: as above.
+            unsafe { axpy(avi, bi, oi) };
         }
     }
 }
@@ -1045,15 +1907,113 @@ mod tests {
     }
 
     #[test]
-    fn masks_count_elided_words_exactly() {
+    fn masks_count_elided_and_zero_words_exactly() {
         // Row of 10 words, KP=8: panel 0 = words 0..8, panel 1 = words 8..10.
         let mut a = vec![0.0f32; 10];
         a[9] = 1.0; // panel 1 live, panel 0 all-zero
         let mut masks = Vec::new();
-        let skipped = build_masks(&a, 1, 10, &mut masks);
-        assert_eq!(skipped, 8);
+        let (skipped, zeros) = build_masks(&a, 1, 10, &mut masks);
+        assert_eq!(skipped, 8, "only the all-zero panel is elidable");
+        assert_eq!(zeros, 9, "every zero word counts toward density");
         assert!(mask_hit(&masks, 0));
         assert!(!mask_hit(&masks, 1));
+    }
+
+    #[test]
+    fn choose_path_keys_on_shape_and_density() {
+        // A single output row with a wide-enough output streams B.
+        assert_eq!(choose_path(1, 6272, 100, 0), GemmPath::SmallM);
+        // Multi-row dense shapes keep the packed engine even below one
+        // register tile of rows — the dense 6×16 tile wins from m = 2 up.
+        assert_eq!(choose_path(MR_F32, 100, 128, 0), GemmPath::Packed);
+        assert_eq!(choose_path(49, 1600, 128, 0), GemmPath::Packed);
+        // Degenerate-kk shapes dodge the pack entirely.
+        assert_eq!(choose_path(100, 1, 6272, 0), GemmPath::Ikj);
+        assert_eq!(choose_path(100, 3, 6272, 0), GemmPath::Packed);
+        // The projection shape: ~98% zeros scattered across panels.
+        let total = 49u64 * 4900;
+        assert_eq!(
+            choose_path(49, 4900, 128, total - 49 * 100),
+            GemmPath::Ikj,
+            "sparse-A shapes take the element-skipping path"
+        );
+        // Exactly at the 15/16 threshold the ikj path still wins.
+        assert_eq!(choose_path(8, 100, 128, 750), GemmPath::Ikj);
+        assert_eq!(choose_path(8, 100, 128, 749), GemmPath::Packed);
+        // Narrow outputs can't amortize a broadcast axpy: everything
+        // below n = 8 stays packed no matter the shape or density.
+        assert_eq!(choose_path(49, 6272, 1, 49 * 6272 - 49), GemmPath::Packed);
+        assert_eq!(choose_path(1, 6272, 7, 0), GemmPath::Packed);
+        assert_eq!(choose_path(1, 6272, 8, 0), GemmPath::SmallM);
+    }
+
+    const ALL_PATHS: [GemmPath; 3] = [GemmPath::Packed, GemmPath::Ikj, GemmPath::SmallM];
+
+    #[test]
+    fn f32_paths_are_bit_identical_on_every_level() {
+        let mut rng = SmallRng::seed_from_u64(93);
+        // Degenerate shapes on purpose: m = 1, m > MR, n < NR, long k.
+        for (m, kk, n, zf) in [
+            (1, 1, 1, 0.0),
+            (1, 700, 100, 0.5),
+            (3, 40, 7, 0.9),
+            (17, 70, 65, 0.98),
+            (7, 129, 67, 0.0),
+            (40, 50, 3, 0.3),
+        ] {
+            let a = random_f32(m * kk, zf, &mut rng);
+            let b = random_f32(kk * n, 0.1, &mut rng);
+            let reference = fused_reference(&a, &b, m, kk, n);
+            let mut scratch = PackScratch::new();
+            for path in ALL_PATHS {
+                for level in [SimdLevel::Scalar, detect_level()] {
+                    let mut out = vec![0.0f32; m * n];
+                    matmul_f32_path(level, path, &a, &b, &mut out, m, kk, n, &mut scratch);
+                    let same = reference
+                        .iter()
+                        .zip(&out)
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "{path:?} {level:?} diverged on {m}x{kk}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fx_paths_match_scalar_fx_semantics_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(94);
+        for (m, kk, n) in [(1, 1, 1), (1, 300, 33), (4, 9, 5), (9, 33, 40), (8, 40, 3)] {
+            let a: Vec<i16> = (0..m * kk)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.6 {
+                        0
+                    } else {
+                        rng.gen_range(i16::MIN..=i16::MAX)
+                    }
+                })
+                .collect();
+            let b: Vec<i16> = (0..kk * n)
+                .map(|_| rng.gen_range(i16::MIN..=i16::MAX))
+                .collect();
+            let mut reference = vec![0i16; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = Fx::ZERO;
+                    for k in 0..kk {
+                        acc += Fx::from_raw(a[i * kk + k]) * Fx::from_raw(b[k * n + j]);
+                    }
+                    reference[i * n + j] = acc.raw();
+                }
+            }
+            let mut scratch = PackScratch::new();
+            for path in ALL_PATHS {
+                for level in [SimdLevel::Scalar, detect_level()] {
+                    let mut out = vec![0i16; m * n];
+                    matmul_fx_path(level, path, &a, &b, &mut out, m, kk, n, &mut scratch);
+                    assert_eq!(reference, out, "{path:?} {level:?} {m}x{kk}x{n}");
+                }
+            }
+        }
     }
 
     #[test]

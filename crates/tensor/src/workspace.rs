@@ -80,6 +80,13 @@ impl<T> ConvWorkspace<T> {
         &mut self.pack
     }
 
+    /// Read-only view of the scratch as the last [`Self::pack_scratch`]
+    /// caller left it — no allocating-baseline reset, so the `A` masks a
+    /// just-run scan built stay readable even with reuse off.
+    pub(crate) fn pack_scratch_ref(&self) -> &PackScratch {
+        &self.pack
+    }
+
     /// Whether buffers are recycled (the default) or freshly allocated per
     /// `take` (the honest allocating baseline for benchmarks).
     pub fn reuse(&self) -> bool {

@@ -45,7 +45,7 @@ use std::sync::Arc;
 use crate::error::{ShapeError, TensorResult};
 use crate::fmaps::Fmaps;
 use crate::gemm::MatmulKind;
-use crate::im2col::{im2col_s, im2col_s_ws, Lowered, Matrix};
+use crate::im2col::{fill_im2col_s_row, im2col_s, im2col_s_ws, Lowered, Matrix};
 use crate::kernels::Kernels;
 use crate::num::Num;
 use crate::shape::ConvGeom;
@@ -257,21 +257,27 @@ fn fill_t_phase_weights<T: Num>(m: &mut Matrix<T>, k: &Kernels<T>, phase: &TPhas
     // elements) that is revisited for every kept tap — small enough to
     // sit in cache. The column-major variant (outer `lf`) walks the whole
     // matrix once per column and is memory-bound on the writes.
+    for row in 0..m.rows() {
+        fill_t_phase_weights_row(m.row_mut(row), k, phase, row);
+    }
+}
+
+/// One row of [`fill_t_phase_weights`]: row `(sf, ky′, kx′)` of the phase
+/// weight matrix, written contiguously across the `lf` columns. The
+/// streamed-lowering fill for the phase GEMM — live rows are generated
+/// straight into the driver's hot row buffer, so phases the dispatch
+/// layer routes off the packed path never materialize the weight matrix.
+fn fill_t_phase_weights_row<T: Num>(dst: &mut [T], k: &Kernels<T>, phase: &TPhase, row: usize) {
     let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
     let kdata = k.as_slice();
-    let mut row = 0;
-    for sf in 0..k.n_of() {
-        for &ky in &phase.kys {
-            for &kx in &phase.kxs {
-                let tap = (kh - 1 - ky) * kw + (kw - 1 - kx);
-                let base = sf * n_if * kh * kw + tap;
-                let dst = m.row_mut(row);
-                for (lf, d) in dst.iter_mut().enumerate() {
-                    *d = kdata[base + lf * kh * kw];
-                }
-                row += 1;
-            }
-        }
+    let kxi = row % phase.kxs.len();
+    let rest = row / phase.kxs.len();
+    let kyi = rest % phase.kys.len();
+    let sf = rest / phase.kys.len();
+    let tap = (kh - 1 - phase.kys[kyi]) * kw + (kw - 1 - phase.kxs[kxi]);
+    let base = sf * n_if * kh * kw + tap;
+    for (lf, d) in dst.iter_mut().enumerate() {
+        *d = kdata[base + lf * kh * kw];
     }
 }
 
@@ -468,6 +474,11 @@ pub fn t_conv_zero_free_sized_ws<T: Num>(
             input.channels()
         )));
     }
+    if input.height() == 1 && input.width() == 1 {
+        if let Some(out) = t_conv_one_by_one_ws(input, k, geom, oh, ow, mm, ws)? {
+            return Ok(out);
+        }
+    }
     let phases = phases_for(ws, geom, oh, ow);
     // take_fmaps zero-fills: phases without reachable taps leave their
     // outputs zero, exactly as the golden scatter does.
@@ -481,11 +492,30 @@ pub fn t_conv_zero_free_sized_ws<T: Num>(
         // in-bounds entries.
         let mut patches = ws.take_matrix(phase.oys.len() * phase.oxs.len(), cols);
         fill_t_phase_patches_for(&mut patches, input, geom, phase, mm);
-        let mut weights = ws.take_matrix(k.n_of() * phase.kys.len() * phase.kxs.len(), k.n_if());
-        fill_t_phase_weights_for(&mut weights, k, phase, mm);
-        let product = mm.run_ws(&patches, &weights, ws)?;
+        let wrows = k.n_of() * phase.kys.len() * phase.kxs.len();
+        let product = if mm.is_reference() {
+            // Reference kinds keep the specification reshape loop and the
+            // materialized operand.
+            let mut weights = ws.take_matrix(wrows, k.n_if());
+            fill_t_phase_weights_ref(&mut weights, k, phase);
+            let product = mm.run_ws(&patches, &weights, ws)?;
+            ws.give_matrix(weights);
+            product
+        } else {
+            // Streamed lowering: the highly sparse phases (the generator
+            // projection in particular) dispatch off the packed path, and
+            // there the weight matrix is never materialized — rows are
+            // generated on demand into the driver's hot tile buffer.
+            crate::gemm::matmul_streamed_ws(
+                mm,
+                &patches,
+                wrows,
+                k.n_if(),
+                &mut |row, dst| fill_t_phase_weights_row(dst, k, phase, row),
+                ws,
+            )?
+        };
         ws.give_matrix(patches);
-        ws.give_matrix(weights);
         for lf in 0..k.n_if() {
             for (ri, &oy) in phase.oys.iter().enumerate() {
                 for (rj, &ox) in phase.oxs.iter().enumerate() {
@@ -496,6 +526,70 @@ pub fn t_conv_zero_free_sized_ws<T: Num>(
         ws.give_matrix(product);
     }
     Ok(out)
+}
+
+/// Collapsed lowering for a `1×1` input map (the generator's latent
+/// projection): every live patch entry is just `z[sf]` — the single input
+/// pixel — so the whole phase decomposition collapses to **one**
+/// `1 × n_of` GEMM against the kernel tensor itself, read zero-copy as
+/// the `n_of × (n_if·kh·kw)` row-major matrix it already is. No patch
+/// matrix, no `m·kk`-word `A` scan, no weight reshape: the only remaining
+/// traffic is one streamed pass over the weights.
+///
+/// Bit-identity: in the classic phase GEMM each channel `sf` contributes
+/// exactly one live tap per output pixel, so the per-element chain is
+/// `Σ_sf z[sf]·k[sf][lf][ky][kx]` with `sf` ascending — precisely element
+/// `(lf, ky, kx)` of the collapsed GEMM, the same fused (f32) /
+/// saturating (Q8.8) chain in the same order. Output pixels no tap
+/// reaches stay zero under every engine.
+///
+/// Returns `None` when the dispatch layer routes the collapsed GEMM to
+/// the packed engine (forced-packed runs), the kind is a reference kind,
+/// or the element type has no packed kernels: the caller then takes the
+/// classic phase route, so a forced-packed baseline keeps the PR-8 cost
+/// model unchanged.
+fn t_conv_one_by_one_ws<T: Num>(
+    input: &Fmaps<T>,
+    k: &Kernels<T>,
+    geom: &ConvGeom,
+    oh: usize,
+    ow: usize,
+    mm: MatmulKind,
+    ws: &mut ConvWorkspace<T>,
+) -> TensorResult<Option<Fmaps<T>>> {
+    let (n_if, kh, kw) = (k.n_if(), k.kh(), k.kw());
+    let mut z = ws.take_matrix(1, k.n_of());
+    z.as_mut_slice().copy_from_slice(input.as_slice());
+    let product = crate::gemm::matmul_inline_b_ws(mm, &z, k.as_slice(), n_if * kh * kw, ws)?;
+    ws.give_matrix(z);
+    let Some(product) = product else {
+        return Ok(None);
+    };
+    // Scatter: kernel tap `(ky, kx)` — flipped index `(kh−1−ky, kw−1−kx)`
+    // — reaches exactly the output pixel whose source lands on the single
+    // input pixel: `oy = pt − (kh−1−ky)`, `ox = pl − (kw−1−kx)`. Taps
+    // mapping outside the output grid are boundary-cropped; pixels no tap
+    // reaches stay zero (take_fmaps zero-fills).
+    let (pt, _, pl, _) = geom.t_conv_pads();
+    let mut out = ws.take_fmaps(n_if, oh, ow);
+    let p = product.as_slice();
+    for lf in 0..n_if {
+        for ky in 0..kh {
+            let oy = pt as isize - (kh - 1 - ky) as isize;
+            if oy < 0 || oy as usize >= oh {
+                continue;
+            }
+            for kx in 0..kw {
+                let ox = pl as isize - (kw - 1 - kx) as isize;
+                if ox < 0 || ox as usize >= ow {
+                    continue;
+                }
+                *out.at_mut(lf, oy as usize, ox as usize) = p[(lf * kh + ky) * kw + kx];
+            }
+        }
+    }
+    ws.give_matrix(product);
+    Ok(Some(out))
 }
 
 /// Reshapes a (down-layout) weight tensor for the backward error pass of a
@@ -548,6 +642,19 @@ fn fill_weights_as_matrix_s_swapped_ref<T: Num>(m: &mut Matrix<T>, k: &Kernels<T
                 }
             }
         }
+    }
+}
+
+/// Fills one row `r` of the [`fill_weights_as_matrix_s_swapped`] reshape —
+/// the per-row form the streamed GEMM lowering pulls through
+/// [`crate::gemm`]'s row callback. Row `r` is the linear `(lf, ky, kx)`
+/// index, which is exactly the kernel tensor's within-block offset. Writes
+/// every element of `row`.
+fn fill_weights_as_matrix_s_swapped_row<T: Num>(k: &Kernels<T>, r: usize, row: &mut [T]) {
+    let block = k.n_if() * k.kh() * k.kw();
+    let kdata = k.as_slice();
+    for (sf, d) in row.iter_mut().enumerate() {
+        *d = kdata[sf * block + r];
     }
 }
 
@@ -619,12 +726,27 @@ pub fn t_conv_input_grad_via_gemm_ws<T: Num>(
         )));
     }
     let lowered = im2col_s_ws(delta_out, geom, ws);
-    let mut swapped = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
-    fill_weights_as_matrix_s_swapped_for(&mut swapped, k, mm);
-    let product = mm.run_ws(&lowered.patches, &swapped, ws)?;
+    let product = if mm.is_reference() {
+        let mut swapped = ws.take_matrix(k.n_if() * k.kh() * k.kw(), k.n_of());
+        fill_weights_as_matrix_s_swapped_for(&mut swapped, k, mm);
+        let product = mm.run_ws(&lowered.patches, &swapped, ws)?;
+        ws.give_matrix(swapped);
+        product
+    } else {
+        // Streamed lowering: swapped-weight rows are produced on demand, so
+        // the `m = 1` projection-layer input grad never materialises the
+        // weight matrix — dead patch columns skip their row fill entirely.
+        crate::gemm::matmul_streamed_ws(
+            mm,
+            &lowered.patches,
+            k.n_if() * k.kh() * k.kw(),
+            k.n_of(),
+            &mut |r, row| fill_weights_as_matrix_s_swapped_row(k, r, row),
+            ws,
+        )?
+    };
     let (oh, ow) = lowered.out_hw;
     ws.give_matrix(lowered.patches);
-    ws.give_matrix(swapped);
     let mut out = ws.take_fmaps(k.n_of(), oh, ow);
     for sf in 0..k.n_of() {
         for oy in 0..oh {
@@ -704,10 +826,26 @@ pub fn w_conv_s_via_gemm_ws<T: Num>(
     let mut delta_buf = ws.take(delta_out.len());
     delta_buf.copy_from_slice(delta_out.as_slice());
     let delta_mat = Matrix::from_vec(delta_out.channels(), oh * ow, delta_buf);
-    let lowered = im2col_s_ws(input, geom, ws);
-    let product = mm.run_ws(&delta_mat, &lowered.patches, ws)?;
+    let product = if mm.is_reference() {
+        let lowered = im2col_s_ws(input, geom, ws);
+        let product = mm.run_ws(&delta_mat, &lowered.patches, ws)?;
+        ws.give_matrix(lowered.patches);
+        product
+    } else {
+        // Streamed lowering: patch rows of the forward input are produced
+        // on demand, so for few-channel error maps (the critic head) the
+        // small-m streamed engine skips the whole `im2col` fill for every
+        // patch position whose error column is zero.
+        crate::gemm::matmul_streamed_ws(
+            mm,
+            &delta_mat,
+            oh * ow,
+            input.channels() * geom.kh() * geom.kw(),
+            &mut |r, row| fill_im2col_s_row(input, geom, ow, r, row),
+            ws,
+        )?
+    };
     ws.give_matrix(delta_mat);
-    ws.give_matrix(lowered.patches);
     let mut grad = ws.take_kernels(delta_out.channels(), input.channels(), geom.kh(), geom.kw());
     // Same flat layout on both sides (see `w_conv_s_via_gemm`).
     grad.as_mut_slice().copy_from_slice(product.as_slice());

@@ -8,7 +8,9 @@
 //! at every SIMD level.
 
 use proptest::prelude::*;
-use zfgan_tensor::microkernel::{matmul_fx_at, simd_level, PackScratch, SimdLevel};
+use zfgan_tensor::microkernel::{
+    matmul_fx_at, matmul_fx_path, simd_level, GemmPath, PackScratch, SimdLevel,
+};
 use zfgan_tensor::{Fx, FRAC_BITS};
 
 /// The scalar reference for one multiply: widen to i32, add the rounding
@@ -146,6 +148,56 @@ proptest! {
             let mut out = vec![0i16; m * n];
             matmul_fx_at(level, &a, &b, &mut out, m, kk, n, &mut scratch);
             prop_assert_eq!(&out, &expect, "level {:?} broke the Q8.8 chain", level);
+        }
+    }
+
+    /// Every dispatch engine of the Q8.8 GEMM — packed panel, broadcast
+    /// `ikj` over unpacked rows, and the small-`m` streaming variant —
+    /// reproduces the per-step saturating scalar chain byte for byte at
+    /// every SIMD level, including degenerate shapes (`m = 1`, all-zero
+    /// rows, `n` below one register tile). This is what makes the shape
+    /// dispatcher free to choose by cost alone.
+    #[test]
+    fn every_fx_dispatch_path_matches_the_stepwise_chain(
+        m in 1usize..=9,
+        kk in 1usize..=40,
+        n in 1usize..=70,
+        zero_rows in 0usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 5 == 0 { 0i16 } else { (state >> 16) as i16 }
+        };
+        let mut a: Vec<i16> = (0..m * kk).map(|_| next()).collect();
+        let b: Vec<i16> = (0..kk * n).map(|_| next()).collect();
+        // Whole zero rows so the element- and panel-skip branches engage.
+        for r in 0..zero_rows.min(m) {
+            a[r * kk..(r + 1) * kk].fill(0);
+        }
+
+        let mut expect = vec![0i16; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let row = &a[i * kk..(i + 1) * kk];
+                let col: Vec<i16> = (0..kk).map(|k| b[k * n + j]).collect();
+                expect[i * n + j] = ref_dot(row, &col);
+            }
+        }
+
+        let mut scratch = PackScratch::new();
+        for level in [simd_level(), SimdLevel::Scalar] {
+            for path in [GemmPath::Packed, GemmPath::Ikj, GemmPath::SmallM] {
+                let mut out = vec![0i16; m * n];
+                matmul_fx_path(level, path, &a, &b, &mut out, m, kk, n, &mut scratch);
+                prop_assert_eq!(
+                    &out, &expect,
+                    "path {:?} at {:?} broke the Q8.8 chain", path, level
+                );
+            }
         }
     }
 }

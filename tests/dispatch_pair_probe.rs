@@ -1,0 +1,53 @@
+//! Paired measurement of the shape-dispatch win: alternate forced-packed
+//! and dispatched train iterations on the *same* trainer, so slow host
+//! drift cancels out of the ratio (each arm's iterations are adjacent in
+//! time and run from identical warm state). This is the ground-truth
+//! probe behind the `trainstep` bench's dispatch gate; ignored by default
+//! because it is a measurement, not an assertion.
+//!
+//! `cargo test -q --release --test dispatch_pair_probe -- --ignored --nocapture`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use zfgan::nn::{GanTrainer, TrainerConfig};
+use zfgan::tensor::microkernel::{set_forced_path, GemmPath};
+use zfgan::tensor::ConvBackend;
+use zfgan::workloads::GanSpec;
+
+#[test]
+#[ignore]
+fn paired_dispatch_ratio() {
+    let spec = GanSpec::mnist_gan();
+    let config = TrainerConfig {
+        n_critic: 1,
+        ..TrainerConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(29);
+    let mut pair = spec.build_pair(0.05, &mut rng).unwrap();
+    pair.set_backend(ConvBackend::Parallel(2));
+    let mut trainer = GanTrainer::new(pair, config);
+    trainer.set_workspace_reuse(true);
+    // warmup
+    for _ in 0..3 {
+        trainer.train_iteration(2, &mut rng);
+    }
+    let mut packed_min = f64::INFINITY;
+    let mut disp_min = f64::INFINITY;
+    for _ in 0..12 {
+        set_forced_path(Some(GemmPath::Packed));
+        let t = Instant::now();
+        trainer.train_iteration(2, &mut rng);
+        packed_min = packed_min.min(t.elapsed().as_secs_f64());
+        set_forced_path(None);
+        let t = Instant::now();
+        trainer.train_iteration(2, &mut rng);
+        disp_min = disp_min.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "paired: packed_min={:.1}ms dispatch_min={:.1}ms ratio={:.3}",
+        packed_min * 1e3,
+        disp_min * 1e3,
+        packed_min / disp_min
+    );
+}

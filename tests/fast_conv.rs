@@ -209,4 +209,117 @@ proptest! {
         prop_assert_eq!(&naive_fx, &MatmulKind::Blocked.run(&afx, &bfx).unwrap());
         prop_assert_eq!(&naive_fx, &matmul_parallel(&afx, &bfx, threads).unwrap());
     }
+
+    /// The three dispatch engines (packed panel, broadcast-FMA `ikj`,
+    /// small-`m` streaming) all compute one k-ascending fused chain per
+    /// output element, so forcing any engine at any SIMD level must
+    /// reproduce the dispatched result *bit for bit* — including the
+    /// degenerate shapes the dispatcher exists for (`m = 1`, all-zero
+    /// rows, `n` below one register tile).
+    #[test]
+    fn f32_dispatch_paths_are_bit_identical(
+        m in 1usize..=19,
+        kk in 1usize..=48,
+        n in 1usize..=70,
+        zero_frac in 0.0f64..1.0,
+        zero_rows in 0usize..=3,
+        seed in any::<u64>(),
+    ) {
+        use zfgan::tensor::microkernel::{
+            matmul_f32_at, matmul_f32_path, simd_level, GemmPath, PackScratch, SimdLevel,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a: Vec<f32> = (0..m * kk)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < zero_frac {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0f32..1.0)
+                }
+            })
+            .collect();
+        // Whole zero rows so the element- and panel-skip branches engage.
+        for r in 0..zero_rows.min(m) {
+            a[r * kk..(r + 1) * kk].fill(0.0);
+        }
+        let b: Vec<f32> = (0..kk * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        let mut scratch = PackScratch::new();
+        let mut dispatched = vec![0.0f32; m * n];
+        matmul_f32_at(simd_level(), &a, &b, &mut dispatched, m, kk, n, &mut scratch);
+        let want: Vec<u32> = dispatched.iter().map(|v| v.to_bits()).collect();
+        for level in [simd_level(), SimdLevel::Scalar] {
+            for path in [GemmPath::Packed, GemmPath::Ikj, GemmPath::SmallM] {
+                let mut out = vec![0.0f32; m * n];
+                matmul_f32_path(level, path, &a, &b, &mut out, m, kk, n, &mut scratch);
+                let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&want, &got, "path {:?} at {:?} diverged bitwise", path, level);
+            }
+        }
+    }
+}
+
+/// The generator's latent projection: a T-CONV whose input map is `1×1`.
+/// The workspace driver collapses it to a single `1 × n_of` GEMM against
+/// the kernel tensor read zero-copy; the allocating driver keeps the
+/// classic phase lowering. Pins the collapsed path bit-identical to the
+/// classic one for both element families — including a padded geometry
+/// whose scatter crops boundary taps — and every Fx backend to golden
+/// exactly. The scalar-reference backend must keep the specification cost
+/// model, so it lands on the classic route too (checked against golden).
+#[test]
+fn one_by_one_t_conv_collapses_bit_identically() {
+    use zfgan::tensor::ConvWorkspace;
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let geoms = [
+        // The MNIST-GAN projection: 1×1 → 7×7 through a 7×7 kernel.
+        ConvGeom::down(7, 7, 7, 7, 7, 1, 1).unwrap(),
+        // Padded: some taps map outside the 1×1-up output and are cropped.
+        ConvGeom::down(2, 2, 3, 3, 2, 1, 1).unwrap(),
+        // Degenerate 1×1 kernel.
+        ConvGeom::down(1, 1, 1, 1, 1, 1, 1).unwrap(),
+    ];
+    for g in &geoms {
+        for small_c in [1usize, 3, 100] {
+            let z = sparse(small_c, 1, 1, &mut rng);
+            let k = Kernels::random(small_c, 5, g.kh(), g.kw(), 0.5, &mut rng);
+            let zq = z.map(Fx::from_f32);
+            let kq = k.map(Fx::from_f32);
+            let golden_fx = ConvBackend::GoldenDirect.t_conv(&zq, &kq, g).unwrap();
+            for b in PACKED {
+                let classic = b.t_conv(&z, &k, g).unwrap();
+                let mut ws = ConvWorkspace::new();
+                let mut ws_fx = ConvWorkspace::new();
+                // Twice: once cold, once with a warm workspace.
+                for round in 0..2 {
+                    let fast = b.t_conv_ws(&z, &k, g, &mut ws).unwrap();
+                    assert_eq!(
+                        classic.as_slice(),
+                        fast.as_slice(),
+                        "collapsed 1×1 f32 T-CONV diverged from classic \
+                         ({b:?}, round {round})"
+                    );
+                    let fast_fx = b.t_conv_ws(&zq, &kq, g, &mut ws_fx).unwrap();
+                    assert_eq!(
+                        golden_fx.as_slice(),
+                        fast_fx.as_slice(),
+                        "collapsed 1×1 Fx T-CONV diverged from golden \
+                         ({b:?}, round {round})"
+                    );
+                    ws.give_fmaps(fast);
+                    ws_fx.give_fmaps(fast_fx);
+                }
+            }
+            let mut ws = ConvWorkspace::new();
+            let scalar = ConvBackend::ScalarRef
+                .t_conv_ws(&z, &k, g, &mut ws)
+                .unwrap();
+            let golden = ConvBackend::GoldenDirect.t_conv(&z, &k, g).unwrap();
+            assert_eq!(
+                golden.as_slice(),
+                scalar.as_slice(),
+                "ScalarRef 1×1 T-CONV diverged from golden"
+            );
+        }
+    }
 }
