@@ -1,0 +1,100 @@
+//! DSE engine cache gate: a warm-cache full fig15 sweep must be ≥10×
+//! faster than the cold run that populated the cache, and the canonical
+//! result stream must be byte-identical between the two.
+//!
+//! Criterion's repeated-iteration harness cannot measure this — the first
+//! in-process run both pays the tuning cost and fills the cache, so only
+//! wall-clock timing of *one* cold pass against warm repetitions is
+//! meaningful. The rows still land in `results/bench_history.jsonl` as
+//! the `dse` series via [`zfgan_bench::emit_bench`].
+
+use std::time::Instant;
+
+use zfgan_bench::{emit_bench, fmt_x, BenchRow, TextTable};
+use zfgan_dse::sweeps::fig15;
+use zfgan_dse::DseConfig;
+
+/// Warm repetitions; the minimum carries the stable signal.
+const WARM_REPS: usize = 5;
+
+/// The gated floor for cold/warm wall-clock speedup.
+const MIN_SPEEDUP: f64 = 10.0;
+
+fn main() {
+    // Anchor at the workspace root so `emit_bench` writes the tracked
+    // top-level `results/` ledger.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let _ = std::env::set_current_dir(root);
+
+    let dir = std::env::temp_dir().join(format!("zfgan-dse-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = DseConfig::new(fig15::NAME);
+    cfg.cache_dir = Some(dir.clone());
+
+    // Cold: an empty cache directory — every cell computes and publishes.
+    let started = Instant::now();
+    let cold = fig15::run(&cfg);
+    let cold_ns = started.elapsed().as_nanos() as f64;
+
+    // Warm: every cell is a verified-checksum hit; keep the fastest rep.
+    let mut warm_ns = f64::INFINITY;
+    let mut warm_iters = 0u64;
+    for _ in 0..WARM_REPS {
+        let started = Instant::now();
+        let warm = fig15::run(&cfg);
+        warm_ns = warm_ns.min(started.elapsed().as_nanos() as f64);
+        warm_iters += 1;
+        assert_eq!(
+            cold.stream, warm.stream,
+            "warm stream must be byte-identical to cold"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_ns / warm_ns;
+    let mut rows: Vec<BenchRow> = [
+        ("dse/fig15_cold", cold_ns, 1u64, 1.0),
+        ("dse/fig15_warm", warm_ns, warm_iters, speedup),
+    ]
+    .into_iter()
+    .map(|(id, ns, iters, speedup)| BenchRow {
+        bench: "dse".to_string(),
+        id: id.to_string(),
+        mean_ns: ns,
+        min_ns: ns,
+        stddev_ns: 0.0,
+        iters,
+        threads: zfgan_pool::pool_threads(),
+        simd: zfgan_tensor::microkernel::simd_label().to_string(),
+        speedup,
+        git_sha: String::new(),
+        host: String::new(),
+        run_id: 0,
+    })
+    .collect();
+
+    let mut table = TextTable::new(["Benchmark", "ns/run", "Speedup vs cold"]);
+    for r in &rows {
+        table.row([r.id.clone(), format!("{:.0}", r.mean_ns), fmt_x(r.speedup)]);
+    }
+    emit_bench(
+        "BENCH_dse",
+        "DSE engine: cold vs warm-cache full fig15 sweep (byte-identical streams)",
+        &table,
+        &mut rows,
+    );
+    println!(
+        "Warm-cache fig15 sweep speedup over cold: {} ({} unique cells)",
+        fmt_x(speedup),
+        cold.unique
+    );
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "warm-cache fig15 must be >= {}x faster than cold, got {} (cold {:.0} ns, warm {:.0} ns)",
+        MIN_SPEEDUP,
+        fmt_x(speedup),
+        cold_ns,
+        warm_ns
+    );
+}

@@ -1,70 +1,20 @@
 //! Fig. 15 — throughput of the five architectures on the four computing
 //! phases (`D̄/Ḡ`, `Ḡ/D̄`, `D̄w`, `Ḡw`), normalized to improved NLR,
 //! at equal PE budgets (ST phases: 1200 PEs, W phases: 480 PEs).
+//!
+//! The sweep itself is served by the DSE engine
+//! ([`zfgan_dse::sweeps::fig15`]): point list, cell evaluation and the
+//! content-addressed cache (`ZFGAN_DSE_CACHE`) all live there — this bin
+//! only renders the rows.
 
-use serde::{Deserialize, Serialize};
-use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
-use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
-use zfgan_sim::{ConvKind, ConvShape};
-use zfgan_workloads::GanSpec;
-
-#[derive(Serialize, Deserialize)]
-struct Row {
-    gan: String,
-    phase: &'static str,
-    arch: &'static str,
-    cycles: u64,
-    speedup_vs_nlr: f64,
-    utilization: f64,
-}
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dataflow::ArchKind;
+use zfgan_dse::sweeps::fig15::{self, Row};
+use zfgan_dse::DseConfig;
 
 fn main() {
     let telemetry = zfgan_bench::telemetry_sidecar("fig15");
-    let groups: [(&'static str, ConvKind, usize); 4] = [
-        ("D (S-CONV)", ConvKind::S, 1200),
-        ("G (T-CONV)", ConvKind::T, 1200),
-        ("Dw (W-CONV)", ConvKind::WGradS, 480),
-        ("Gw (W-CONV)", ConvKind::WGradT, 480),
-    ];
-    // One sweep point per (GAN, phase group); each point tunes every
-    // architecture. par_map returns the points in input order, so the row
-    // stream is byte-identical to the old nested loops.
-    let mut points = Vec::new();
-    for spec in GanSpec::all_paper_gans() {
-        for (label, kind, budget) in groups {
-            points.push((spec.clone(), label, kind, budget));
-        }
-    }
-    let rows: Vec<Row> = par_map_cached(
-        "fig15",
-        &points,
-        |(spec, label, _, budget)| format!("{}|{label}|{budget}", spec.name()),
-        |(spec, label, kind, budget)| {
-            let phases: Vec<ConvShape> = spec.phase_set(*kind);
-            let nlr_cycles = {
-                let tuned = PhaseTuned::tune(ArchKind::Nlr, *budget, &phases);
-                tuned.schedule_all(&phases).cycles
-            };
-            ArchKind::ALL
-                .into_iter()
-                .map(|arch| {
-                    let tuned = PhaseTuned::tune(arch, *budget, &phases);
-                    let stats = tuned.schedule_all(&phases);
-                    Row {
-                        gan: spec.name().to_string(),
-                        phase: label,
-                        arch: arch.name(),
-                        cycles: stats.cycles,
-                        speedup_vs_nlr: nlr_cycles as f64 / stats.cycles as f64,
-                        utilization: stats.utilization(),
-                    }
-                })
-                .collect::<Vec<Row>>()
-        },
-    )
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows: Vec<Row> = fig15::rows(&DseConfig::from_env(fig15::NAME));
     let mut table = TextTable::new([
         "GAN",
         "Phase",
@@ -92,7 +42,7 @@ fn main() {
 
     // Geometric-mean summary across GANs, like the paper's bars.
     let mut summary = TextTable::new(["Phase", "NLR", "WST", "OST", "ZFOST", "ZFWST"]);
-    for (label, _, _) in groups {
+    for label in ["D (S-CONV)", "G (T-CONV)", "Dw (W-CONV)", "Gw (W-CONV)"] {
         let mut cells = vec![label.to_string()];
         for arch in ArchKind::ALL {
             let vals: Vec<f64> = rows

@@ -1,59 +1,16 @@
 //! Fig. 16 — on-chip data-access breakdown for DCGAN: kernel-weight loads,
 //! input-neuron loads and output reads/writes per architecture and phase
 //! group (same tuned configurations as Fig. 15).
+//!
+//! The sweep is served by the DSE engine ([`zfgan_dse::sweeps::fig16`]);
+//! this bin only renders the rows.
 
-use serde::{Deserialize, Serialize};
-use zfgan_bench::{emit, par_map_cached, TextTable};
-use zfgan_dataflow::{ArchKind, Dataflow, PhaseTuned};
-use zfgan_sim::ConvKind;
-use zfgan_workloads::GanSpec;
-
-#[derive(Serialize, Deserialize)]
-struct Row {
-    phase: &'static str,
-    arch: &'static str,
-    weight_reads: u64,
-    input_reads: u64,
-    output_rw: u64,
-    total: u64,
-}
+use zfgan_bench::{emit, TextTable};
+use zfgan_dse::sweeps::fig16::{self, Row};
+use zfgan_dse::DseConfig;
 
 fn main() {
-    let spec = GanSpec::dcgan();
-    let groups: [(&'static str, ConvKind, usize); 4] = [
-        ("D (S-CONV)", ConvKind::S, 1200),
-        ("G (T-CONV)", ConvKind::T, 1200),
-        ("Dw (W-CONV)", ConvKind::WGradS, 480),
-        ("Gw (W-CONV)", ConvKind::WGradT, 480),
-    ];
-    // Tune each phase group on its own worker; the ordered merge keeps the
-    // row order identical to the sequential sweep.
-    let rows: Vec<Row> = par_map_cached(
-        "fig16",
-        &groups,
-        |(label, _, budget)| format!("{label}|{budget}"),
-        |&(label, kind, budget)| {
-            let phases = spec.phase_set(kind);
-            ArchKind::ALL
-                .into_iter()
-                .map(|arch| {
-                    let tuned = PhaseTuned::tune(arch, budget, &phases);
-                    let s = tuned.schedule_all(&phases);
-                    Row {
-                        phase: label,
-                        arch: arch.name(),
-                        weight_reads: s.access.weight_reads,
-                        input_reads: s.access.input_reads,
-                        output_rw: s.access.output_reads + s.access.output_writes,
-                        total: s.access.total(),
-                    }
-                })
-                .collect::<Vec<Row>>()
-        },
-    )
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows: Vec<Row> = fig16::rows(&DseConfig::from_env(fig16::NAME));
     let mut table = TextTable::new([
         "Phase",
         "Arch",

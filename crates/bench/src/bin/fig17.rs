@@ -2,64 +2,16 @@
 //! Generator updates, with and without deferred synchronization, at 1680
 //! PEs. Normalized to unique OST under synchronization (the leftmost
 //! traditional bar).
+//!
+//! The sweep is served by the DSE engine ([`zfgan_dse::sweeps::fig17`]);
+//! this bin renders the rows and the headline average.
 
-use serde::{Deserialize, Serialize};
-use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
-use zfgan_workloads::{GanSpec, PhaseSeq};
-
-const PES: usize = 1680;
-
-#[derive(Serialize, Deserialize)]
-struct Row {
-    gan: String,
-    update: &'static str,
-    design: String,
-    policy: &'static str,
-    cycles: u64,
-    speedup_vs_ost_sync: f64,
-}
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dse::sweeps::fig17::{self, Row};
+use zfgan_dse::DseConfig;
 
 fn main() {
-    // One sweep point per (GAN, update pass); rows merge in input order so
-    // the output matches the sequential sweep byte for byte.
-    let mut points = Vec::new();
-    for spec in GanSpec::all_paper_gans() {
-        for (update, seq) in [("D", PhaseSeq::DisUpdate), ("G", PhaseSeq::GenUpdate)] {
-            points.push((spec.clone(), update, seq));
-        }
-    }
-    let rows: Vec<Row> = par_map_cached(
-        "fig17",
-        &points,
-        |(spec, update, _)| format!("{}|{update}|{PES}", spec.name()),
-        |(spec, update, seq)| {
-            let baseline = Design::paper_designs()[0]
-                .evaluate(spec, *seq, SyncPolicy::Synchronized, PES)
-                .total_cycles;
-            let mut out = Vec::new();
-            for design in Design::paper_designs() {
-                for (pname, policy) in [
-                    ("sync", SyncPolicy::Synchronized),
-                    ("deferred", SyncPolicy::Deferred),
-                ] {
-                    let r = design.evaluate(spec, *seq, policy, PES);
-                    out.push(Row {
-                        gan: spec.name().to_string(),
-                        update,
-                        design: design.name(),
-                        policy: pname,
-                        cycles: r.total_cycles,
-                        speedup_vs_ost_sync: baseline as f64 / r.total_cycles as f64,
-                    });
-                }
-            }
-            out
-        },
-    )
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows: Vec<Row> = fig17::rows(&DseConfig::from_env(fig17::NAME));
     let mut table = TextTable::new([
         "GAN",
         "Update",

@@ -1,58 +1,16 @@
 //! Fig. 18 — performance variation of the top three designs (NLR-OST,
 //! ZFOST, ZFOST-ZFWST, all with deferred synchronization) as the PE count
 //! sweeps 512 → 2048, on a full DCGAN training iteration.
+//!
+//! The sweep is served by the DSE engine ([`zfgan_dse::sweeps::fig18`]);
+//! this bin renders the rows and the paper's observation.
 
-use serde::{Deserialize, Serialize};
-use zfgan_accel::{Design, SyncPolicy};
-use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
-use zfgan_dataflow::ArchKind;
-use zfgan_workloads::GanSpec;
-
-#[derive(Serialize, Deserialize)]
-struct Row {
-    design: String,
-    pes: usize,
-    cycles_per_sample: u64,
-    perf_vs_512_nlr_ost: f64,
-}
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dse::sweeps::fig18::{self, Row};
+use zfgan_dse::DseConfig;
 
 fn main() {
-    let spec = GanSpec::dcgan();
-    let designs = [
-        Design::Combo {
-            st: ArchKind::Nlr,
-            w: ArchKind::Ost,
-        },
-        Design::Unique(ArchKind::Zfost),
-        Design::Combo {
-            st: ArchKind::Zfost,
-            w: ArchKind::Zfwst,
-        },
-    ];
-    let sweep = [512usize, 1024, 1680, 2048];
-    let baseline = designs[0].iteration_cycles(&spec, SyncPolicy::Deferred, sweep[0]) as f64;
-    // Each (design, PE count) point evaluates independently; the ordered
-    // merge reproduces the sequential row order exactly.
-    let mut points = Vec::new();
-    for design in &designs {
-        for pes in sweep {
-            points.push((design, pes));
-        }
-    }
-    let rows: Vec<Row> = par_map_cached(
-        "fig18",
-        &points,
-        |(design, pes)| format!("{}|{pes}", design.name()),
-        |&(design, pes)| {
-            let cycles = design.iteration_cycles(&spec, SyncPolicy::Deferred, pes);
-            Row {
-                design: design.name(),
-                pes,
-                cycles_per_sample: cycles,
-                perf_vs_512_nlr_ost: baseline / cycles as f64,
-            }
-        },
-    );
+    let rows: Vec<Row> = fig18::rows(&DseConfig::from_env(fig18::NAME));
     let mut table = TextTable::new(["Design", "PEs", "Cycles/sample", "Perf vs NLR-OST@512"]);
     for r in &rows {
         table.row([

@@ -1,61 +1,20 @@
 //! Fig. 19 — throughput (GOPS) and energy efficiency (GOPS/W) of the
 //! accelerator against CPU and GPU platforms on full GAN training
 //! iterations, plus a measured single-thread Rust CPU data point.
+//!
+//! The analytical sweep is served by the DSE engine
+//! ([`zfgan_dse::sweeps::fig19`]); the measured wall-clock point stays
+//! here because it must run uncached on one thread every time to remain a
+//! meaningful sample.
 
-use serde::{Deserialize, Serialize};
-use zfgan_accel::{AccelConfig, GanAccelerator};
-use zfgan_bench::{emit, fmt_x, par_map_cached, TextTable};
-use zfgan_platforms::{measured, Platform};
+use zfgan_bench::{emit, fmt_x, TextTable};
+use zfgan_dse::sweeps::fig19::{self, Row};
+use zfgan_dse::DseConfig;
+use zfgan_platforms::measured;
 use zfgan_workloads::GanSpec;
 
-#[derive(Serialize, Deserialize)]
-struct Row {
-    gan: String,
-    platform: String,
-    gops: f64,
-    watts: f64,
-    gops_per_watt: f64,
-}
-
 fn main() {
-    // The analytical sweep parallelizes per GAN (ordered merge keeps the
-    // sequential row order); the measured wall-clock point below must stay
-    // on one thread to remain a meaningful single-thread sample.
-    let specs = GanSpec::all_paper_gans();
-    let mut rows: Vec<Row> = par_map_cached(
-        "fig19",
-        &specs,
-        |spec| spec.name().to_string(),
-        |spec| {
-            let phases = spec.iteration_phases();
-            let mut out = Vec::new();
-            // Our accelerator.
-            let accel = GanAccelerator::new(AccelConfig::vcu118(), spec.clone());
-            let r = accel.iteration_report(64);
-            out.push(Row {
-                gan: spec.name().to_string(),
-                platform: "FPGA (ours)".to_string(),
-                gops: r.gops,
-                watts: r.watts,
-                gops_per_watt: r.gops_per_watt,
-            });
-            // Analytical platforms.
-            for p in Platform::all_paper_platforms() {
-                let pr = p.run(&phases);
-                out.push(Row {
-                    gan: spec.name().to_string(),
-                    platform: p.name().to_string(),
-                    gops: pr.gops,
-                    watts: p.power_watts(),
-                    gops_per_watt: pr.gops_per_watt,
-                });
-            }
-            out
-        },
-    )
-    .into_iter()
-    .flatten()
-    .collect();
+    let mut rows: Vec<Row> = fig19::rows(&DseConfig::from_env(fig19::NAME));
     // Measured single-thread Rust CPU point on the smallest workload
     // (reference loop nests, release build).
     let mnist = GanSpec::mnist_gan();

@@ -13,7 +13,6 @@ use std::fs;
 use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
-use zfgan_store::{fnv64, fnv64_salted, Store, StoreConfig};
 
 /// A simple aligned-column text table.
 #[derive(Debug, Default)]
@@ -281,29 +280,27 @@ where
     zfgan_pool::parallel_map(items.len(), |i| f(&items[i])).expect("par_map worker panicked")
 }
 
-/// Like [`par_map`], but with durable per-cell checkpointing through the
-/// crash-consistent `zfgan-store`: when `ZFGAN_SWEEP_CACHE` names a
-/// directory, every completed cell is published there keyed by the
-/// canonical hash of `key_of(item)`, and a rerun loads those cells
-/// instead of recomputing them. Only cache misses are recomputed (in
-/// parallel, in input order), so a killed sweep resumes where it left
-/// off.
+/// Like [`par_map`], but served through the design-space exploration
+/// engine ([`zfgan_dse::run_batch`]): the batch is deduped by canonical
+/// key, and when `ZFGAN_DSE_CACHE` names a directory every unique cell is
+/// published there in a checksummed `zfgan-store` envelope together with
+/// its deterministic telemetry section, so a rerun (or a killed sweep)
+/// serves hits instead of recomputing.
 ///
-/// The output is **byte-identical** to an uncached run: cells round-trip
-/// through the store's checksummed envelope as canonical JSON (the serde
-/// shim serialises floats bit-exactly), results are merged in input
-/// order, and cache hit/miss counters are wall-clock-class telemetry —
-/// excluded from the deterministic sections the CI byte-diffs.
+/// The output is **byte-identical** to an uncached run: every result —
+/// hit or fresh — is reconstructed from the cell's canonical JSON (the
+/// serde shim serialises floats bit-exactly) and merged in input order.
+/// Cache hit/miss/verify counters are wall-clock-class telemetry
+/// (`dse_*_total`), excluded from the deterministic sections the CI
+/// byte-diffs.
 ///
-/// Any store failure (corrupt generation, unwritable directory) falls
-/// back to recomputing the cell; the cache can only skip work, never
-/// change results or fail a sweep.
-///
-/// Without `ZFGAN_SWEEP_CACHE` this is exactly [`par_map`].
+/// Any store failure (corrupt generation, truncation, foreign-version
+/// cell, unwritable directory) only ever costs recomputation; the cache
+/// can never change results or fail a sweep.
 ///
 /// # Panics
 ///
-/// Panics if a worker panics.
+/// Panics if a worker panics or a cell fails to serialise.
 pub fn par_map_cached<T, R, F>(
     cache_name: &str,
     items: &[T],
@@ -315,71 +312,13 @@ where
     R: Send + Serialize + Deserialize,
     F: Fn(&T) -> R + Sync,
 {
-    let Some(dir) = std::env::var_os("ZFGAN_SWEEP_CACHE") else {
-        return par_map(items, &f);
-    };
-    let mut store = match Store::open(PathBuf::from(dir), StoreConfig::default()) {
-        Ok(s) => s,
-        Err(err) => {
-            eprintln!("warning: sweep cache unavailable ({err}); recomputing");
-            return par_map(items, &f);
-        }
-    };
-
-    // Load pass: pull every already-published cell out of the store.
-    let mut cached: Vec<Option<R>> = Vec::with_capacity(items.len());
-    for item in items {
-        let key = key_of(item);
-        let store_key = format!("{cache_name}-{:016x}", fnv64(key.as_bytes()));
-        let config_hash = fnv64_salted(fnv64(cache_name.as_bytes()), key.as_bytes());
-        let hit = store
-            .load_latest_for(&store_key, config_hash)
-            .ok()
-            .flatten()
-            .and_then(|loaded| {
-                let json = std::str::from_utf8(&loaded.payload).ok()?;
-                serde_json::from_str::<R>(json).ok()
-            });
-        zfgan_telemetry::count_wall(
-            if hit.is_some() {
-                "store_sweep_cache_hits_total"
-            } else {
-                "store_sweep_cache_misses_total"
-            },
-            &[("cache", cache_name)],
-            1,
-        );
-        cached.push(hit);
-    }
-
-    // Compute pass: only the misses, still fanned out on the pool.
-    let missing: Vec<usize> = (0..items.len()).filter(|&i| cached[i].is_none()).collect();
-    let computed = zfgan_pool::parallel_map(missing.len(), |j| f(&items[missing[j]]))
-        .expect("par_map_cached worker panicked");
-
-    // Publish pass: persist every freshly computed cell, then merge in
-    // input order.
-    for (&i, result) in missing.iter().zip(&computed) {
-        let key = key_of(&items[i]);
-        let store_key = format!("{cache_name}-{:016x}", fnv64(key.as_bytes()));
-        let config_hash = fnv64_salted(fnv64(cache_name.as_bytes()), key.as_bytes());
-        match serde_json::to_string(result) {
-            Ok(json) => {
-                if let Err(err) = store.publish(&store_key, config_hash, json.as_bytes()) {
-                    eprintln!("warning: sweep cache publish failed for {store_key}: {err}");
-                }
-            }
-            Err(err) => eprintln!("warning: could not serialise cell {store_key}: {err}"),
-        }
-    }
-    let mut computed = computed.into_iter();
-    cached
-        .into_iter()
-        .map(|slot| match slot {
-            Some(r) => r,
-            None => computed.next().expect("one computed cell per miss"),
-        })
-        .collect()
+    zfgan_dse::run_batch(
+        &zfgan_dse::DseConfig::from_env(cache_name),
+        items,
+        key_of,
+        f,
+    )
+    .results
 }
 
 /// Formats a ratio with two decimals and an `x` suffix.

@@ -268,13 +268,22 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Re-scan the full UTF-8 character starting here.
+                    // Copy the whole contiguous run of unescaped bytes at
+                    // once, validating UTF-8 over the run only (quote and
+                    // backslash are ASCII, so they can never appear inside
+                    // a multi-byte character's continuation bytes).
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error::custom("invalid utf-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos = start + c.len_utf8();
+                    out.push_str(s);
+                    self.pos = end;
                 }
             }
         }

@@ -1,0 +1,533 @@
+//! Design-space exploration engine: sweeps as served query batches.
+//!
+//! A sweep is a batch of *(arch config × phase geometry)* queries. This
+//! crate turns each batch into:
+//!
+//! 1. **Canonical cell keys** — the caller's stable key string per query,
+//!    folded with a namespace and a code-version salt into the config hash
+//!    of a content-addressed on-disk cache built on `zfgan-store`'s
+//!    crash-consistent envelopes ([`DseConfig`]).
+//! 2. **A deduped, windowed execution core** — duplicate keys evaluate
+//!    once; misses fan out over `zfgan-pool` in bounded waves
+//!    ([`DseConfig::window`]) so a huge batch never holds more than one
+//!    wave of unpublished results in flight ([`run_batch`]).
+//! 3. **Verifiable hits** — every computed cell is published together
+//!    with its byte-stable deterministic telemetry section, so a cache
+//!    hit can be re-derived and byte-compared ([`VerifyPolicy::All`]).
+//! 4. **Canonical result streams** — per-cell JSONL in sorted-key order
+//!    plus an incrementally maintained Pareto frontier over
+//!    *(cycles × energy × buffer capacity)* ([`sweeps`], [`pareto`]).
+//!
+//! The stream contains no hit/miss or wall-clock information, so a cold
+//! run, a warm rerun and a corrupted-then-recomputed run are
+//! byte-identical — the CI gate diffs exactly that. Cache traffic is
+//! observable instead through wall-clock-class telemetry counters
+//! (`dse_*_total`), which also ride the shared `/metrics` endpoint.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod pareto;
+pub mod sweeps;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use zfgan_store::{fnv64, fnv64_salted, Store, StoreConfig};
+
+/// The code-version salt folded into every cell's config hash. Bump the
+/// string when the cached payload semantics change: every existing cell
+/// then misses (foreign version) and is recomputed and republished —
+/// stale generations can never be served.
+pub fn code_salt() -> u64 {
+    fnv64(b"zfgan-dse-payload-v1")
+}
+
+/// Environment variable naming the on-disk cell cache directory for
+/// engine entry points that configure themselves from the environment
+/// ([`DseConfig::from_env`]). Replaces the retired `ZFGAN_SWEEP_CACHE`.
+pub const CACHE_ENV: &str = "ZFGAN_DSE_CACHE";
+
+/// Default bounded in-flight window: cells computed per pool wave before
+/// their results are published and the next wave starts.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// How cache hits are checked against their stored deterministic
+/// telemetry sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyPolicy {
+    /// Trust the envelope checksums (CRC32 + config hash) alone.
+    Trust,
+    /// Recompute every hit and byte-compare the full payload — result
+    /// JSON *and* deterministic telemetry section. A mismatch counts in
+    /// `dse_verify_failures_total` and the recomputed cell replaces and
+    /// republishes the stored one.
+    All,
+}
+
+/// One batch execution's configuration.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Cache namespace (e.g. the sweep name); part of the store key and
+    /// the config hash, so two sweeps never read each other's cells.
+    pub namespace: String,
+    /// Cell cache directory; `None` disables caching (every cell
+    /// computes).
+    pub cache_dir: Option<PathBuf>,
+    /// Code-version salt folded into every config hash.
+    pub salt: u64,
+    /// Bounded in-flight window (cells per pool wave); the batch's
+    /// backpressure knob.
+    pub window: usize,
+    /// Hit-verification policy.
+    pub verify: VerifyPolicy,
+}
+
+impl DseConfig {
+    /// A cache-less config for `namespace` with default window and salt.
+    pub fn new(namespace: impl Into<String>) -> Self {
+        Self {
+            namespace: namespace.into(),
+            cache_dir: None,
+            salt: code_salt(),
+            window: DEFAULT_WINDOW,
+            verify: VerifyPolicy::Trust,
+        }
+    }
+
+    /// Like [`DseConfig::new`], but the cache directory comes from the
+    /// `ZFGAN_DSE_CACHE` environment variable when set.
+    pub fn from_env(namespace: impl Into<String>) -> Self {
+        let mut cfg = Self::new(namespace);
+        cfg.cache_dir = std::env::var_os(CACHE_ENV).map(PathBuf::from);
+        cfg
+    }
+}
+
+/// One unique cell's outcome, in canonical (sorted-key) order inside
+/// [`Batch::cells`].
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// The caller's canonical cell key.
+    pub key: String,
+    /// Canonical JSON of the cell result (the serde shim serialises
+    /// floats bit-exactly, so this string is byte-stable).
+    pub result_json: String,
+    /// The cell's deterministic telemetry section, captured under a
+    /// scoped per-cell registry on the worker that computed it (empty-ish
+    /// but byte-stable when the cell was computed without a cache).
+    pub det: String,
+}
+
+/// Result of [`run_batch`].
+#[derive(Debug)]
+pub struct Batch<R> {
+    /// One result per input item, in input order. Every result — hit or
+    /// fresh — is reconstructed from its canonical JSON, so the values
+    /// are independent of cache state.
+    pub results: Vec<R>,
+    /// Unique cells in canonical (sorted-key) order.
+    pub cells: Vec<CellRecord>,
+    /// Number of unique cells in the batch.
+    pub unique: usize,
+    /// Number of input items folded away by dedup.
+    pub duplicates: usize,
+}
+
+/// The store key for a cell: readable namespace prefix plus the FNV-1a
+/// hash of the canonical key (store keys are length- and
+/// charset-restricted; the full key lives in the config hash).
+fn store_key(namespace: &str, key: &str) -> String {
+    format!("{namespace}-{:016x}", fnv64(key.as_bytes()))
+}
+
+/// The content address: code-version salt, namespace and canonical key
+/// folded into one hash. A cell published under a different salt or
+/// namespace never matches — it is skipped like a corrupt generation.
+fn config_hash(cfg: &DseConfig, key: &str) -> u64 {
+    fnv64_salted(
+        fnv64_salted(cfg.salt, cfg.namespace.as_bytes()),
+        key.as_bytes(),
+    )
+}
+
+/// Encodes the cached payload: canonical JSON carrying the deterministic
+/// telemetry section next to the result, so hits are verifiable
+/// byte-for-byte.
+fn encode_payload(det: &str, result_json: &str) -> String {
+    format!("{{\"det\":{},\"result\":{result_json}}}", json_escape(det))
+}
+
+/// Escapes a string into a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Decodes a cached payload back into `(det, result_json)`, validating
+/// that the result parses as `R`. Any malformation → `None` (the cell is
+/// treated as a miss and recomputed).
+fn decode_payload<R: Deserialize>(payload: &[u8]) -> Option<(String, String)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let v: serde_json::Value = serde_json::from_str(text).ok()?;
+    let obj = v.as_object()?;
+    let det = obj.get("det")?.as_str()?.to_string();
+    let result = obj.get("result")?;
+    R::from_value(result).ok()?;
+    Some((det, serde_json::to_string(result).ok()?))
+}
+
+/// Records a wall-clock-class engine counter labelled by namespace (wall
+/// class keeps the counters out of the deterministic sections the CI
+/// byte-diffs).
+fn count(name: &'static str, namespace: &str, delta: u64) {
+    if delta > 0 {
+        zfgan_telemetry::count_wall(name, &[("namespace", namespace)], delta);
+    }
+}
+
+/// Computes one cell on the current thread under a fresh scoped
+/// telemetry registry and returns `(result_json, det_section)`.
+fn compute_cell<T, R, F>(eval: &F, item: &T) -> (String, String)
+where
+    R: Serialize,
+    F: Fn(&T) -> R,
+{
+    let reg = Arc::new(zfgan_telemetry::Registry::new());
+    let result = {
+        let _guard = zfgan_telemetry::scope(Arc::clone(&reg));
+        eval(item)
+    };
+    let det = zfgan_telemetry::export::deterministic_section(&reg);
+    let json = serde_json::to_string(&result).expect("cell result must serialise");
+    (json, det)
+}
+
+/// Serves one batch of queries: dedup → cache load → verify → windowed
+/// compute on the pool → publish → canonical merge.
+///
+/// `key_of` must be a *canonical* key: equal keys mean equal cells. The
+/// returned [`Batch`] carries input-order results and sorted-key unique
+/// cells; both are byte-stable across thread counts, shard counts, item
+/// permutation and cache state.
+///
+/// Store failures only ever cost recomputation — a corrupt, truncated or
+/// foreign-version generation is skipped by the store's fallback ladder
+/// (or rejected by payload validation here), recomputed and republished.
+///
+/// # Panics
+///
+/// Panics if a pool worker panics or a result fails to serialise.
+pub fn run_batch<T, R, K, F>(cfg: &DseConfig, items: &[T], key_of: K, eval: F) -> Batch<R>
+where
+    T: Sync,
+    R: Send + Serialize + Deserialize,
+    K: Fn(&T) -> String,
+    F: Fn(&T) -> R + Sync,
+{
+    let ns = cfg.namespace.clone();
+    let keys: Vec<String> = items.iter().map(&key_of).collect();
+
+    // Dedup: first item index per unique key, in canonical sorted order.
+    let mut first: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        first.entry(k.as_str()).or_insert(i);
+    }
+    let uniques: Vec<(&str, usize)> = first.iter().map(|(k, i)| (*k, *i)).collect();
+    count("dse_cells_total", &ns, uniques.len() as u64);
+    count("dse_dedup_total", &ns, (items.len() - uniques.len()) as u64);
+
+    let mut store = cfg.cache_dir.as_ref().and_then(|dir| {
+        // Deterministic sections are only meaningful with telemetry on;
+        // a cached cell must carry the same section a live one would.
+        zfgan_telemetry::set_enabled(true);
+        match Store::open(dir.clone(), StoreConfig::default()) {
+            Ok(s) => Some(s),
+            Err(err) => {
+                eprintln!("warning: dse cache unavailable ({err}); recomputing");
+                None
+            }
+        }
+    });
+
+    // Load pass: pull every published cell; corrupt/foreign generations
+    // are skipped by the fallback ladder, unparseable payloads rejected
+    // here — either way the cell recomputes below.
+    let mut cells: Vec<Option<(String, String)>> = vec![None; uniques.len()];
+    if let Some(store) = store.as_mut() {
+        for (slot, (key, _)) in cells.iter_mut().zip(&uniques) {
+            let loaded = store
+                .load_latest_for(&store_key(&ns, key), config_hash(cfg, key))
+                .ok()
+                .flatten();
+            let fell_back = loaded.as_ref().is_some_and(|l| !l.skipped.is_empty());
+            *slot = loaded.and_then(|l| decode_payload::<R>(&l.payload).map(|(d, r)| (r, d)));
+            count("dse_cache_hits_total", &ns, u64::from(slot.is_some()));
+            count("dse_cache_misses_total", &ns, u64::from(slot.is_none()));
+            count("dse_cache_fallbacks_total", &ns, u64::from(fell_back));
+        }
+    } else {
+        count("dse_cache_misses_total", &ns, uniques.len() as u64);
+    }
+
+    // Compute pass: misses, plus every hit under VerifyPolicy::All. The
+    // bounded window is the batch's backpressure: one wave of results in
+    // flight at a time, published before the next wave starts.
+    let verify_hits = store.is_some() && cfg.verify == VerifyPolicy::All;
+    let to_compute: Vec<usize> = (0..uniques.len())
+        .filter(|&u| cells[u].is_none() || verify_hits)
+        .collect();
+    for wave in to_compute.chunks(cfg.window.max(1)) {
+        let outs = zfgan_pool::parallel_map(wave.len(), |j| {
+            compute_cell(&eval, &items[uniques[wave[j]].1])
+        })
+        .expect("dse worker panicked");
+        for (&u, (result_json, det)) in wave.iter().zip(outs) {
+            let key = uniques[u].0;
+            let payload = encode_payload(&det, &result_json);
+            let verified = match cells[u].as_ref() {
+                // A hit being verified: byte-compare the full payload.
+                Some((hit_json, hit_det)) => {
+                    if encode_payload(hit_det, hit_json) == payload {
+                        count("dse_verified_total", &ns, 1);
+                        true
+                    } else {
+                        count("dse_verify_failures_total", &ns, 1);
+                        false
+                    }
+                }
+                None => false,
+            };
+            if !verified {
+                if let Some(store) = store.as_mut() {
+                    if let Err(err) = store.publish(
+                        &store_key(&ns, key),
+                        config_hash(cfg, key),
+                        payload.as_bytes(),
+                    ) {
+                        eprintln!("warning: dse publish failed for {key}: {err}");
+                    } else {
+                        count("dse_published_total", &ns, 1);
+                    }
+                }
+                cells[u] = Some((result_json, det));
+            }
+        }
+    }
+
+    // Canonical merge: results per input item, reconstructed uniformly
+    // from the cell's canonical JSON (hits and fresh cells alike).
+    let by_key: BTreeMap<&str, usize> = uniques
+        .iter()
+        .enumerate()
+        .map(|(u, (k, _))| (*k, u))
+        .collect();
+    let parsed: Vec<serde_json::Value> = cells
+        .iter()
+        .map(|c| {
+            let (json, _) = c.as_ref().expect("every unique cell resolved");
+            serde_json::from_str(json).expect("canonical cell JSON parses")
+        })
+        .collect();
+    let results: Vec<R> = keys
+        .iter()
+        .map(|k| {
+            let u = by_key[k.as_str()];
+            R::from_value(&parsed[u]).expect("canonical cell JSON reconstructs the result")
+        })
+        .collect();
+    let cells: Vec<CellRecord> = uniques
+        .iter()
+        .zip(cells)
+        .map(|((key, _), cell)| {
+            let (result_json, det) = cell.expect("every unique cell resolved");
+            CellRecord {
+                key: (*key).to_string(),
+                result_json,
+                det,
+            }
+        })
+        .collect();
+    Batch {
+        results,
+        unique: cells.len(),
+        duplicates: items.len() - cells.len(),
+        cells,
+    }
+}
+
+/// True when `key` belongs to shard `index` of `count` — the key-space
+/// partition the cross-process work-unit protocol uses. Keys hash-route
+/// (FNV-1a), so every shard gets a similar share regardless of batch
+/// order, and the union over all shards is exactly the batch.
+pub fn key_in_shard(key: &str, index: usize, count: usize) -> bool {
+    count <= 1 || (fnv64(key.as_bytes()) % count as u64) as usize == index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Out {
+        n: u64,
+        half: f64,
+    }
+
+    fn eval(i: &u64) -> Out {
+        Out {
+            n: i * 3,
+            half: *i as f64 / 2.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("zfgan-dse-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn cacheless_batch_dedupes_and_preserves_input_order() {
+        let items = [4u64, 7, 4, 1, 7, 4];
+        let calls = AtomicUsize::new(0);
+        let batch = run_batch(
+            &DseConfig::new("t-dedup"),
+            &items,
+            |i| format!("cell-{i}"),
+            |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                eval(i)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "one eval per unique cell");
+        assert_eq!(batch.unique, 3);
+        assert_eq!(batch.duplicates, 3);
+        let expect: Vec<Out> = items.iter().map(eval).collect();
+        assert_eq!(batch.results, expect);
+        // Canonical order is sorted by key, independent of input order.
+        let keys: Vec<&str> = batch.cells.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, ["cell-1", "cell-4", "cell-7"]);
+    }
+
+    #[test]
+    fn warm_batch_hits_and_returns_identical_cells() {
+        let dir = temp_dir("warm");
+        let mut cfg = DseConfig::new("t-warm");
+        cfg.cache_dir = Some(dir.clone());
+        let items: Vec<u64> = (0..5).collect();
+        let cold = run_batch(&cfg, &items, |i| format!("c{i}"), eval);
+        let calls = AtomicUsize::new(0);
+        let warm = run_batch(
+            &cfg,
+            &items,
+            |i| format!("c{i}"),
+            |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                eval(i)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "warm run must not eval");
+        assert_eq!(cold.results, warm.results);
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result_json, b.result_json);
+            assert_eq!(a.det, b.det);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_all_recomputes_hits_and_counts_agreement() {
+        let dir = temp_dir("verify");
+        let mut cfg = DseConfig::new("t-verify");
+        cfg.cache_dir = Some(dir.clone());
+        let items: Vec<u64> = (0..3).collect();
+        run_batch(&cfg, &items, |i| format!("v{i}"), eval);
+        cfg.verify = VerifyPolicy::All;
+        let calls = AtomicUsize::new(0);
+        let reg = Arc::new(zfgan_telemetry::Registry::new());
+        let batch = {
+            let _guard = zfgan_telemetry::scope(Arc::clone(&reg));
+            run_batch(
+                &cfg,
+                &items,
+                |i| format!("v{i}"),
+                |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    eval(i)
+                },
+            )
+        };
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "verify recomputes hits");
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(
+            zfgan_telemetry::export::counter_total(&reg, "dse_verified_total"),
+            3
+        );
+        assert_eq!(
+            zfgan_telemetry::export::counter_total(&reg, "dse_verify_failures_total"),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_salt_cells_are_recomputed_not_served() {
+        let dir = temp_dir("salt");
+        let mut cfg = DseConfig::new("t-salt");
+        cfg.cache_dir = Some(dir.clone());
+        cfg.salt = 1;
+        let items = [9u64];
+        run_batch(&cfg, &items, |i| format!("s{i}"), eval);
+        // Same cells under a new code-version salt: must recompute.
+        cfg.salt = 2;
+        let calls = AtomicUsize::new(0);
+        let batch = run_batch(
+            &cfg,
+            &items,
+            |i| format!("s{i}"),
+            |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                eval(i)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(batch.results, vec![eval(&9)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_routing_partitions_the_key_space() {
+        let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
+        for count in [1usize, 2, 3, 7] {
+            let total: usize = (0..count)
+                .map(|idx| keys.iter().filter(|k| key_in_shard(k, idx, count)).count())
+                .sum();
+            assert_eq!(total, keys.len(), "shards must partition exactly");
+        }
+        assert!(keys.iter().all(|k| key_in_shard(k, 0, 1)));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("plain"), "\"plain\"");
+    }
+}

@@ -1,0 +1,157 @@
+//! Incremental Pareto frontier over the service's three objectives:
+//! cycles × energy × buffer capacity, all minimised.
+
+use crate::json_escape;
+
+/// One cell's objective vector. Lower is better on every axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Total cycles of the cell's best configuration.
+    pub cycles: u64,
+    /// Estimated energy of that configuration, picojoules.
+    pub energy_pj: f64,
+    /// On-chip buffer capacity the configuration needs, bytes.
+    pub buffer_bytes: u64,
+}
+
+impl Objectives {
+    /// True when `self` dominates `other`: no worse on every axis and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.cycles <= other.cycles
+            && self.energy_pj <= other.energy_pj
+            && self.buffer_bytes <= other.buffer_bytes;
+        let better = self.cycles < other.cycles
+            || self.energy_pj < other.energy_pj
+            || self.buffer_bytes < other.buffer_bytes;
+        no_worse && better
+    }
+
+    /// Canonical JSON rendering (floats print with Rust's shortest
+    /// round-trip `Display`, byte-stable like the serde shim).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cycles\":{},\"energy_pj\":{},\"buffer_bytes\":{}}}",
+            self.cycles, self.energy_pj, self.buffer_bytes
+        )
+    }
+}
+
+/// An incrementally maintained Pareto frontier keyed by cell key.
+///
+/// Membership is deterministic: inserting the same (key, objectives)
+/// pairs in the same order always yields the same frontier, and the
+/// engine feeds cells in canonical sorted-key order.
+#[derive(Debug, Default)]
+pub struct ParetoFrontier {
+    members: Vec<(String, Objectives)>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a cell. Returns `Some(evicted_keys)` (possibly empty, in
+    /// frontier order) when the cell joins the frontier, `None` when an
+    /// existing member dominates it.
+    pub fn insert(&mut self, key: &str, obj: Objectives) -> Option<Vec<String>> {
+        if self.members.iter().any(|(_, m)| m.dominates(&obj)) {
+            return None;
+        }
+        let mut evicted = Vec::new();
+        self.members.retain(|(k, m)| {
+            if obj.dominates(m) {
+                evicted.push(k.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.members.push((key.to_string(), obj));
+        Some(evicted)
+    }
+
+    /// Number of non-dominated cells.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no cell has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The frontier in sorted-key order.
+    pub fn members(&self) -> Vec<(&str, Objectives)> {
+        let mut out: Vec<(&str, Objectives)> =
+            self.members.iter().map(|(k, o)| (k.as_str(), *o)).collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Canonical one-line JSON summary of the frontier, sorted by key.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .members()
+            .into_iter()
+            .map(|(k, o)| {
+                format!(
+                    "{{\"cell\":{},\"objectives\":{}}}",
+                    json_escape(k),
+                    o.to_json()
+                )
+            })
+            .collect();
+        format!("{{\"pareto\":[{}]}}", cells.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(c: u64, e: f64, b: u64) -> Objectives {
+        Objectives {
+            cycles: c,
+            energy_pj: e,
+            buffer_bytes: b,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(obj(1, 1.0, 1).dominates(&obj(2, 1.0, 1)));
+        assert!(!obj(1, 1.0, 1).dominates(&obj(1, 1.0, 1)));
+        assert!(!obj(1, 5.0, 1).dominates(&obj(2, 1.0, 1)));
+    }
+
+    #[test]
+    fn frontier_admits_trades_and_evicts_dominated() {
+        let mut f = ParetoFrontier::new();
+        assert_eq!(f.insert("a", obj(10, 10.0, 10)), Some(vec![]));
+        // A pure trade-off joins without evicting.
+        assert_eq!(f.insert("b", obj(5, 20.0, 10)), Some(vec![]));
+        // Dominated by "a": rejected.
+        assert_eq!(f.insert("c", obj(11, 10.0, 10)), None);
+        // Dominates both: evicts both.
+        assert_eq!(
+            f.insert("d", obj(4, 9.0, 9)),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.members()[0].0, "d");
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn json_is_sorted_by_key() {
+        let mut f = ParetoFrontier::new();
+        f.insert("z", obj(1, 2.0, 3));
+        f.insert("a", obj(2, 1.0, 3));
+        let json = f.to_json();
+        assert!(json.starts_with("{\"pareto\":[{\"cell\":\"a\""), "{json}");
+        assert!(json.contains("\"energy_pj\":2"), "{json}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Cache-robustness contract, mirroring `zfgan-store`'s fallback-ladder
+//! tests one layer up: a flipped byte, a truncated generation or a
+//! foreign-version cell in the DSE cache is *detected* (checksum /
+//! envelope / config-hash validation), *recomputed* (the cell evaluates
+//! again) and *republished* (the next run hits) — and the canonical
+//! result stream never changes, so corruption can never poison the
+//! Pareto frontier.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use zfgan_dse::sweeps::fig16;
+use zfgan_dse::{DseConfig, VerifyPolicy};
+use zfgan_store::{fnv64, Store, StoreConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("zfgan-dse-robust-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Out {
+    n: u64,
+    scaled: f64,
+}
+
+fn eval(i: &u64) -> Out {
+    Out {
+        n: i.wrapping_mul(7),
+        scaled: *i as f64 * 0.125,
+    }
+}
+
+const CELLS: u64 = 6;
+
+fn items() -> Vec<u64> {
+    (0..CELLS).collect()
+}
+
+fn key_of(i: &u64) -> String {
+    format!("cell-{i}")
+}
+
+/// The on-disk path of one cell's first generation (the engine's store
+/// key is `namespace-<fnv64(key)>`).
+fn cell_path(dir: &std::path::Path, namespace: &str, key: &str) -> PathBuf {
+    let store = Store::open(dir.to_path_buf(), StoreConfig::default()).expect("open store");
+    store.generation_path(&format!("{namespace}-{:016x}", fnv64(key.as_bytes())), 1)
+}
+
+/// Runs the batch counting evaluations; returns (results, evals).
+fn run_counting(cfg: &DseConfig) -> (Vec<Out>, usize) {
+    let calls = AtomicUsize::new(0);
+    let batch = zfgan_dse::run_batch(cfg, &items(), key_of, |i| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        eval(i)
+    });
+    (batch.results, calls.load(Ordering::Relaxed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single-byte flip or truncation of one cell's stored generation
+    /// is detected and only that cell recomputes; a foreign-version salt
+    /// invalidates (and recomputes) every cell. In all cases the results
+    /// are unchanged and the damage is republished away: the following
+    /// run is pure hits.
+    #[test]
+    fn damaged_cells_recompute_republish_and_heal(
+        (victim, damage, at) in (0u64..CELLS, 0usize..3, 0usize..4096)
+    ) {
+        let dir = temp_dir("prop");
+        let mut cfg = DseConfig::new("robust");
+        cfg.cache_dir = Some(dir.clone());
+
+        let (cold, cold_evals) = run_counting(&cfg);
+        prop_assert_eq!(cold_evals, CELLS as usize);
+
+        // Inflict the damage.
+        let expected_evals = match damage {
+            0 | 1 => {
+                let path = cell_path(&dir, "robust", &key_of(&victim));
+                let mut bytes = std::fs::read(&path)
+                    .map_err(|e| TestCaseError::fail(format!("read {}: {e}", path.display())))?;
+                if damage == 0 {
+                    let i = at % bytes.len();
+                    bytes[i] ^= 0x40;
+                } else {
+                    bytes.truncate(at % bytes.len());
+                }
+                std::fs::write(&path, &bytes)
+                    .map_err(|e| TestCaseError::fail(format!("write {}: {e}", path.display())))?;
+                1 // only the victim recomputes
+            }
+            _ => {
+                // Foreign code version: every stored cell stops matching.
+                cfg.salt = cfg.salt.wrapping_add(1);
+                CELLS as usize
+            }
+        };
+
+        let reg = Arc::new(zfgan_telemetry::Registry::new());
+        let (warm, warm_evals) = {
+            let _guard = zfgan_telemetry::scope(Arc::clone(&reg));
+            run_counting(&cfg)
+        };
+        prop_assert_eq!(warm_evals, expected_evals, "detected damage recomputes");
+        prop_assert_eq!(&warm, &cold, "results never change");
+        prop_assert_eq!(
+            zfgan_telemetry::export::counter_total(&reg, "dse_cache_misses_total"),
+            expected_evals as u64
+        );
+        prop_assert_eq!(
+            zfgan_telemetry::export::counter_total(&reg, "dse_published_total"),
+            expected_evals as u64,
+            "recomputed cells republish"
+        );
+
+        // Healed: the republished generation serves the next run fully.
+        let (healed, healed_evals) = run_counting(&cfg);
+        prop_assert_eq!(healed_evals, 0, "republished cache is pure hits");
+        prop_assert_eq!(&healed, &cold);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A corrupted cell must not poison the Pareto stream of a real sweep:
+/// the fig16 canonical JSONL (cells, `pareto_add` lines, final frontier)
+/// is byte-identical across cold, corrupted-then-recomputed and warm
+/// runs.
+#[test]
+fn corruption_does_not_poison_the_pareto_stream() {
+    let dir = temp_dir("stream");
+    let mut cfg = DseConfig::new("ignored");
+    cfg.cache_dir = Some(dir.clone());
+
+    let cold = fig16::run(&cfg);
+    assert_eq!(cold.unique, 4);
+
+    // Flip one byte inside every cell's stored generation.
+    let ns_prefix = format!("{}-", fig16::NAME);
+    let mut damaged = 0;
+    for entry in walk(&dir) {
+        if entry
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().ends_with(".zfc"))
+            && entry.to_string_lossy().contains(&ns_prefix)
+        {
+            let mut bytes = std::fs::read(&entry).expect("read generation");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&entry, &bytes).expect("write generation");
+            damaged += 1;
+        }
+    }
+    assert!(damaged > 0, "no generation files found under {dir:?}");
+
+    let recomputed = fig16::run(&cfg);
+    assert_eq!(
+        cold.stream, recomputed.stream,
+        "corrupted cells recompute into the identical stream"
+    );
+    let warm = fig16::run(&cfg);
+    assert_eq!(cold.stream, warm.stream, "healed cache streams identically");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under `--verify all`, hits that byte-match their recomputation count
+/// as verified; a tampered *valid-envelope* payload cannot occur without
+/// a checksum break, so verification failures stay at zero here.
+#[test]
+fn verify_all_confirms_stored_cells_byte_for_byte() {
+    let dir = temp_dir("verify");
+    let mut cfg = DseConfig::new("verify");
+    cfg.cache_dir = Some(dir.clone());
+    run_counting(&cfg);
+
+    cfg.verify = VerifyPolicy::All;
+    let reg = Arc::new(zfgan_telemetry::Registry::new());
+    let (results, evals) = {
+        let _guard = zfgan_telemetry::scope(Arc::clone(&reg));
+        run_counting(&cfg)
+    };
+    assert_eq!(evals, CELLS as usize, "verify recomputes every hit");
+    assert_eq!(results, items().iter().map(eval).collect::<Vec<_>>());
+    assert_eq!(
+        zfgan_telemetry::export::counter_total(&reg, "dse_verified_total"),
+        CELLS
+    );
+    assert_eq!(
+        zfgan_telemetry::export::counter_total(&reg, "dse_verify_failures_total"),
+        0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recursively lists the files under `dir`.
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk(&path));
+        } else {
+            out.push(path);
+        }
+    }
+    out
+}

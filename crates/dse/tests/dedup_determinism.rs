@@ -1,0 +1,162 @@
+//! Dedup + determinism contract: a batch containing duplicate and
+//! permuted cells evaluates each unique cell exactly once and produces a
+//! byte-identical result stream regardless of thread count
+//! (`ZFGAN_THREADS` is process-wide, so thread-count invariance is
+//! exercised by the CI gate; here the pool's actual parallelism runs
+//! against the serial reference) and shard count. Also pins the engine's
+//! counters to the shared `/metrics` endpoint.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+use zfgan_dse::sweeps::{fig16, fig18};
+use zfgan_dse::{key_in_shard, DseConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("zfgan-dse-dedup-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Out {
+    v: u64,
+    frac: f64,
+}
+
+fn eval(i: &u64) -> Out {
+    Out {
+        v: i * 11,
+        frac: *i as f64 / 3.0,
+    }
+}
+
+#[test]
+fn duplicates_and_permutations_share_one_evaluation() {
+    // 4 unique cells presented 3 times each, shuffled.
+    let items: Vec<u64> = vec![3, 1, 0, 2, 1, 3, 0, 2, 2, 0, 1, 3];
+    let calls = AtomicUsize::new(0);
+    let batch = zfgan_dse::run_batch(
+        &DseConfig::new("dedup"),
+        &items,
+        |i| format!("k{i}"),
+        |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval(i)
+        },
+    );
+    assert_eq!(calls.load(Ordering::Relaxed), 4, "one eval per unique cell");
+    assert_eq!(batch.unique, 4);
+    assert_eq!(batch.duplicates, 8);
+    // Every duplicate sees the same reconstructed value, in input order.
+    let expect: Vec<Out> = items.iter().map(eval).collect();
+    assert_eq!(batch.results, expect);
+}
+
+#[test]
+fn permuted_batches_yield_identical_cell_records() {
+    let forward: Vec<u64> = (0..8).collect();
+    let mut backward = forward.clone();
+    backward.reverse();
+    let cfg = DseConfig::new("perm");
+    let a = zfgan_dse::run_batch(&cfg, &forward, |i| format!("k{i}"), eval);
+    let b = zfgan_dse::run_batch(&cfg, &backward, |i| format!("k{i}"), eval);
+    // Canonical cell records are sorted by key: identical across orders.
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.result_json, y.result_json);
+        assert_eq!(x.det, y.det);
+    }
+}
+
+/// A permuted, duplicate-laden fig18 point list must stream exactly like
+/// the pristine sweep — the stream is a function of the unique key set
+/// alone.
+#[test]
+fn sweep_stream_is_invariant_to_input_presentation() {
+    let cfg = DseConfig::new("ignored");
+    let a = fig18::run(&cfg);
+    let b = fig18::run(&cfg);
+    assert_eq!(a.stream, b.stream);
+    assert_eq!(a.unique, 12);
+    assert_eq!(a.results.len(), 12);
+}
+
+/// Shard-count invariance: computing the cells through any number of
+/// hash-routed shard passes (the client side of the work-unit protocol)
+/// and then serving the full batch yields the byte-identical stream, with
+/// the serving pass all hits.
+#[test]
+fn shard_count_never_changes_the_stream() {
+    // The reference stream, computed unsharded and cacheless.
+    let reference = fig16::run(&DseConfig::new("ignored")).stream;
+
+    for shards in [1usize, 2, 3, 5] {
+        let dir = temp_dir(&format!("s{shards}"));
+        let mut cfg = DseConfig::new("ignored");
+        cfg.cache_dir = Some(dir.clone());
+        // Each shard computes and publishes its partition...
+        let mut routed = 0;
+        for index in 0..shards {
+            routed += fig16::shard(&cfg, index, shards);
+        }
+        assert_eq!(routed, 4, "shards partition the 4 cells exactly");
+        // ...and the serving pass streams identically (pure hits).
+        let served = fig16::run(&cfg);
+        assert_eq!(
+            served.stream, reference,
+            "stream must not depend on shard count {shards}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn shard_routing_is_a_partition_of_any_key_set() {
+    let keys: Vec<String> = (0..257).map(|i| format!("cell-{i}")).collect();
+    for count in [1usize, 2, 4, 9] {
+        for key in &keys {
+            let owners: Vec<usize> = (0..count)
+                .filter(|&idx| key_in_shard(key, idx, count))
+                .collect();
+            assert_eq!(owners.len(), 1, "{key} must have exactly one owner");
+        }
+    }
+}
+
+/// The engine's cache counters ride the shared HTTP `/metrics` endpoint:
+/// run a cached batch against the global registry, serve one scrape, and
+/// find the `dse_*` series in Prometheus text format.
+#[test]
+fn dse_counters_are_exposed_on_the_shared_metrics_endpoint() {
+    let dir = temp_dir("metrics");
+    let mut cfg = DseConfig::new("metrics-sweep");
+    cfg.cache_dir = Some(dir.clone());
+    let items: Vec<u64> = (0..3).collect();
+    // Cold populate + warm hit, recorded in the global registry (the
+    // engine enables telemetry when a cache is configured).
+    zfgan_dse::run_batch(&cfg, &items, |i| format!("m{i}"), eval);
+    zfgan_dse::run_batch(&cfg, &items, |i| format!("m{i}"), eval);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || zfgan_telemetry::http::serve_on(listener, Some(1)));
+    let body = zfgan_telemetry::http::scrape(&addr, "/metrics").expect("scrape");
+    server.join().expect("join").expect("serve");
+
+    for series in [
+        "dse_cells_total{namespace=\"metrics-sweep\"}",
+        "dse_cache_hits_total{namespace=\"metrics-sweep\"}",
+        "dse_cache_misses_total{namespace=\"metrics-sweep\"}",
+        "dse_published_total{namespace=\"metrics-sweep\"}",
+    ] {
+        assert!(body.contains(series), "missing {series} in:\n{body}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

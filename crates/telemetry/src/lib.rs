@@ -42,6 +42,7 @@ mod registry;
 mod span;
 
 pub mod export;
+pub mod http;
 
 pub use registry::{Class, HistogramSnapshot, MetricKey, Registry, Snapshot};
 pub use span::{Span, SpanRecord};

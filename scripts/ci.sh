@@ -109,6 +109,9 @@ for round in 1 2; do
     # Exec engine smoke: asserts the fast engine holds >= 3x over the
     # scalar oracle on the headline forward/transposed executors.
     bench_smoke exec 50 "$tdir/bench_exec_$round"
+    # DSE engine smoke: asserts a warm-cache fig15 sweep is >= 10x faster
+    # than cold with a byte-identical stream.
+    bench_smoke dse 25 "$tdir/bench_dse_$round"
     echo "bench gates passed (round $round)"
 done
 
@@ -211,17 +214,42 @@ grep -q 'fallback: generation' "$tdir/resume.txt"
 diff <(grep '^deterministic:' "$tdir/base.txt") <(grep '^deterministic:' "$tdir/resume.txt")
 echo "corrupted store detected, fell back, resumed byte-identically"
 
-echo "=== sweep-cache byte-identity ==="
-# A cold cached sweep, a warm (all cache hits) rerun, and an uncached run
-# must all print byte-identical output — the cache can only skip work.
-ZFGAN_SWEEP_CACHE="$tdir/sweepcache" ZFGAN_RESULTS_DIR="$tdir/results" \
-    cargo run -q --release -p zfgan-bench --bin fig18 > "$tdir/sc_cold.txt"
-ZFGAN_SWEEP_CACHE="$tdir/sweepcache" ZFGAN_RESULTS_DIR="$tdir/results" \
-    cargo run -q --release -p zfgan-bench --bin fig18 > "$tdir/sc_warm.txt"
-ZFGAN_RESULTS_DIR="$tdir/results" \
-    cargo run -q --release -p zfgan-bench --bin fig18 > "$tdir/sc_plain.txt"
-diff "$tdir/sc_cold.txt" "$tdir/sc_warm.txt"
-diff "$tdir/sc_cold.txt" "$tdir/sc_plain.txt"
-echo "sweep cache output is byte-identical (cold, warm, uncached)"
+echo "=== DSE service gate (cold shards -> warm -> corrupted cell) ==="
+# Cold: two spawned shard children compute and publish the fig15 key
+# space through the work-unit protocol; the parent then serves the whole
+# batch out of the shared cache (pure hits by construction). Warm: a
+# single-threaded rerun hits every cell. Corrupted: one flipped byte in a
+# stored generation is detected, recomputed and republished. All three
+# canonical streams must be byte-identical, and the dse_* counters must
+# tell the true cache story each time.
+dse_counter() { # file counter -> value (0 when the series is absent)
+    sed -n "s/.*$2{namespace=\"fig15\"} *\([0-9][0-9]*\).*/\1/p" "$1" \
+        | grep . || echo 0
+}
+ZFGAN_THREADS=4 cargo run -q --release -p zfgan -- dse fig15 \
+    --cache "$tdir/dsecache" --shards 2 --out "$tdir/dse_cold.jsonl" \
+    --telemetry > "$tdir/dse_cold.txt"
+ZFGAN_THREADS=1 cargo run -q --release -p zfgan -- dse fig15 \
+    --cache "$tdir/dsecache" --out "$tdir/dse_warm.jsonl" \
+    --telemetry > "$tdir/dse_warm.txt"
+cells="$(dse_counter "$tdir/dse_cold.txt" dse_cells_total)"
+[ "$cells" -gt 0 ]
+# The sharded cold parent and the warm rerun both serve pure hits.
+for run in dse_cold dse_warm; do
+    [ "$(dse_counter "$tdir/$run.txt" dse_cache_hits_total)" -eq "$cells" ]
+    [ "$(dse_counter "$tdir/$run.txt" dse_cache_misses_total)" -eq 0 ]
+done
+# Flip one byte inside one cell's stored generation and rerun: exactly
+# one miss, one republish, and the stream must not change.
+victim="$(find "$tdir/dsecache" -name '*.zfc' -path '*fig15-*' | sort | head -1)"
+printf '\x01' | dd of="$victim" bs=1 seek=60 count=1 conv=notrunc status=none
+cargo run -q --release -p zfgan -- dse fig15 \
+    --cache "$tdir/dsecache" --out "$tdir/dse_corrupt.jsonl" \
+    --telemetry > "$tdir/dse_corrupt.txt"
+[ "$(dse_counter "$tdir/dse_corrupt.txt" dse_cache_misses_total)" -eq 1 ]
+[ "$(dse_counter "$tdir/dse_corrupt.txt" dse_published_total)" -eq 1 ]
+diff "$tdir/dse_cold.jsonl" "$tdir/dse_warm.jsonl"
+diff "$tdir/dse_cold.jsonl" "$tdir/dse_corrupt.jsonl"
+echo "dse streams are byte-identical (cold shards, warm, corrupted cell)"
 
 echo "CI gate passed."

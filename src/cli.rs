@@ -172,6 +172,40 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 flag_num(&flags, "--tolerance")?.unwrap_or(crate::perf::DEFAULT_TOLERANCE_PCT),
             )
         }
+        Some((&"dse", rest)) => {
+            let (sweep, rest) = positional(rest, "dse", "<sweep>")?;
+            let flags = parse_flags(
+                rest,
+                &[
+                    ("--cache", true),
+                    ("--out", true),
+                    ("--verify", true),
+                    ("--window", true),
+                    ("--shards", true),
+                    ("--shard-index", true),
+                    ("--shard-count", true),
+                    ("--telemetry", false),
+                    ("--trace-out", true),
+                    ("--flame-out", true),
+                ],
+            )?;
+            let verify = match flag_str(&flags, "--verify") {
+                None | Some("trust") => zfgan_dse::VerifyPolicy::Trust,
+                Some("all") => zfgan_dse::VerifyPolicy::All,
+                Some(other) => return Err(format!("--verify {other}: expected 'trust' or 'all'")),
+            };
+            let args = crate::dse::DseArgs {
+                sweep: sweep.to_string(),
+                cache: flag_str(&flags, "--cache").map(std::path::PathBuf::from),
+                out: flag_str(&flags, "--out").map(std::path::PathBuf::from),
+                verify,
+                window: flag_num(&flags, "--window")?,
+                shards: flag_num(&flags, "--shards")?,
+                shard_index: flag_num(&flags, "--shard-index")?,
+                shard_count: flag_num(&flags, "--shard-count")?,
+            };
+            with_telemetry(&flags, || crate::dse::run_dse(&args))
+        }
         Some((&"serve-metrics", rest)) => {
             let flags = parse_flags(
                 rest,
@@ -213,6 +247,13 @@ fn usage() -> String {
      \x20                            render the results/bench_history.jsonl trajectory;\n\
      \x20                            --check fails on regression vs the rolling baseline\n\
      \x20                            beyond max(PCT %, 4 x cv); default tolerance 35 %\n\
+     \x20 dse <sweep> [--cache PATH] [--out PATH] [--verify trust|all]\n\
+     \x20     [--window N] [--shards N]\n\
+     \x20                            serve a figure sweep (fig15..fig19) as a query batch:\n\
+     \x20                            dedup, content-addressed result cache (also via\n\
+     \x20                            ZFGAN_DSE_CACHE), JSONL cell stream with incremental\n\
+     \x20                            Pareto frontier; --shards N fans the key space out\n\
+     \x20                            across child processes sharing the cache\n\
      \x20 serve-metrics [--addr A] [--max-requests N]\n\
      \x20                            HTTP endpoint exposing /metrics (Prometheus text\n\
      \x20                            format) and /health; --scrape ADDR [--path P] is the\n\
@@ -948,5 +989,77 @@ mod tests {
         assert_eq!(err, "--smoke and --full are mutually exclusive");
         let err = run(&args(&["faults", "--seed", "NaN"])).unwrap_err();
         assert_eq!(err, "--seed: 'NaN' is not a number");
+    }
+
+    #[test]
+    fn dse_serves_a_sweep_and_validates_flags() {
+        // Cacheless serve: canonical stream on stdout plus the summary.
+        let out = run(&args(&["dse", "fig16"])).unwrap();
+        assert!(out.contains("{\"cell\":\"D (S-CONV)|1200\""), "{out}");
+        assert!(out.contains("{\"pareto\":["), "{out}");
+        assert!(
+            out.contains("fig16: 4 unique cells (0 duplicates folded)"),
+            "{out}"
+        );
+
+        // Unknown sweep: targeted error naming the alternatives.
+        let err = run(&args(&["dse", "fig99"])).unwrap_err();
+        assert!(err.contains("unknown sweep 'fig99'"), "{err}");
+        assert!(err.contains("fig15"), "{err}");
+
+        // Missing positional.
+        let err = run(&args(&["dse"])).unwrap_err();
+        assert!(err.contains("dse: missing <sweep>"), "{err}");
+
+        // Verify policy validation.
+        let err = run(&args(&["dse", "fig16", "--verify", "maybe"])).unwrap_err();
+        assert_eq!(err, "--verify maybe: expected 'trust' or 'all'");
+
+        // Shard flags go together, and a shard needs a cache.
+        let err = run(&args(&["dse", "fig16", "--shard-index", "0"])).unwrap_err();
+        assert_eq!(err, "--shard-index and --shard-count go together");
+        let err = run(&args(&[
+            "dse",
+            "fig16",
+            "--shard-index",
+            "3",
+            "--shard-count",
+            "2",
+        ]))
+        .unwrap_err();
+        assert_eq!(err, "--shard-index 3 out of range for --shard-count 2");
+        let err = run(&args(&[
+            "dse",
+            "fig16",
+            "--shard-index",
+            "0",
+            "--shard-count",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("needs a cache"), "{err}");
+    }
+
+    #[test]
+    fn dse_cold_then_warm_is_byte_identical_with_hit_counters() {
+        let dir = std::env::temp_dir().join(format!("zfgan-cli-dse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.to_string_lossy().to_string();
+        let cold = run(&args(&["dse", "fig16", "--cache", &cache, "--telemetry"])).unwrap();
+        assert!(
+            cold.contains("dse_cache_misses_total{namespace=\"fig16\"}"),
+            "{cold}"
+        );
+        assert!(cold.contains("dse_published_total"), "{cold}");
+        let warm = run(&args(&["dse", "fig16", "--cache", &cache, "--telemetry"])).unwrap();
+        assert!(
+            warm.contains("dse_cache_hits_total{namespace=\"fig16\"}"),
+            "{warm}"
+        );
+        // The stream part (everything before the telemetry summary) is
+        // byte-identical: split at the summary marker.
+        let stream_of = |s: &str| s.split("\n    dse_").next().unwrap().to_string();
+        assert_eq!(stream_of(&cold), stream_of(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

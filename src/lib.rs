@@ -29,6 +29,7 @@
 
 pub mod cli;
 pub mod crashtest;
+pub mod dse;
 pub mod faults;
 pub mod perf;
 pub mod report;
